@@ -1,0 +1,41 @@
+//! Circuit evaluation is linear in circuit size — the paper's premise that
+//! circuits are efficient provenance stores (§1: "the polynomial value can
+//! be computed in time linear to the representation size").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphgen::generators;
+use semiring::prelude::*;
+
+fn bench_circuit_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circuit_eval/bellman_ford_tropical");
+    for n in [16usize, 32, 64] {
+        let g = generators::gnm(n, 4 * n, &["E"], 13);
+        let circ = circuit::bellman_ford_graph(&g, 0, (n - 1) as u32);
+        let gates = circuit::stats(&circ).num_gates;
+        group.throughput(criterion::Throughput::Elements(gates as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circ, |b, circ| {
+            b.iter(|| circ.eval(&|f| Tropical::new(f as u64 % 9 + 1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval_semiring_cost(c: &mut Criterion) {
+    let g = generators::gnm(32, 128, &["E"], 13);
+    let circ = circuit::bellman_ford_graph(&g, 0, 31);
+    let mut group = c.benchmark_group("circuit_eval/semiring_cost");
+    group.bench_function("boolean", |b| b.iter(|| circ.eval(&|_| Bool(true))));
+    group.bench_function("tropical", |b| {
+        b.iter(|| circ.eval(&|f| Tropical::new(f as u64 % 9 + 1)))
+    });
+    group.bench_function("bottleneck", |b| {
+        b.iter(|| circ.eval(&|f| Bottleneck::new(f as u64 % 9 + 1)))
+    });
+    group.bench_function("trop3", |b| {
+        b.iter(|| circ.eval(&|f| TropK::<3>::single(f as u64 % 9 + 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_circuit_eval, bench_eval_semiring_cost);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Dyck-1 reachability (Example 6.4): CFL-reachability solving and the
+//! Ullman–Van Gelder circuit build.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datalog::programs;
+use grammar::{CflOptions, Cnf};
+use graphgen::generators;
+
+fn bench_cfl_reach(c: &mut Criterion) {
+    let cnf = Cnf::from_cfg(&grammar::Cfg::dyck1());
+    let mut group = c.benchmark_group("dyck/cfl_reachability");
+    for pairs in [8usize, 16, 32] {
+        let g = generators::dyck_path(pairs, 3);
+        // Translate graph labels to grammar terminals (names match L/R).
+        let edges: Vec<(u32, u32, u32)> = g
+            .edges()
+            .iter()
+            .map(|&(u, v, t)| {
+                let name = g.alphabet.name(t);
+                (u, v, cnf.alphabet.get(name).unwrap())
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(pairs), &edges, |b, edges| {
+            b.iter(|| grammar::cflreach::solve(&cnf, g.num_nodes(), edges, CflOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_uvg_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dyck/uvg_build");
+    group.sample_size(10);
+    for pairs in [2usize, 4, 6] {
+        let g = generators::dyck_path(pairs, 3);
+        let (_, _, gp) = bench::ground_on_graph(&programs::dyck1(), &g);
+        group.bench_with_input(BenchmarkId::from_parameter(pairs), &gp, |b, gp| {
+            b.iter(|| circuit::uvg_circuit(gp, None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cfl_reach, bench_uvg_build);
+criterion_main!(benches);

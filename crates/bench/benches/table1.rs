@@ -1,0 +1,66 @@
+//! Criterion timing for the Table-1 constructions: how long it takes to
+//! *build* each circuit class as the input grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datalog::programs;
+use graphgen::generators;
+
+fn bench_finite_rpq(c: &mut Criterion) {
+    let program = datalog::parse_program(
+        "P3(X,Y) :- P2(X,Z), E(Z,Y).\nP2(X,Y) :- P1(X,Z), E(Z,Y).\nP1(X,Y) :- E(X,Y).\n@target P3",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("table1/finite_rpq_build");
+    for n in [32usize, 64, 128] {
+        let g = generators::gnm(n, 4 * n, &["E"], 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| circuit::finite_rpq_circuit(&program, g, 0, (n - 1) as u32).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_bellman_ford(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/bellman_ford_build");
+    for n in [16usize, 32, 64] {
+        let g = generators::gnm(n, 3 * n, &["E"], 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| circuit::bellman_ford_graph(g, 0, (n - 1) as u32))
+        });
+    }
+    group.finish();
+}
+
+fn bench_squaring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/squaring_build");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let g = generators::gnm(n, 3 * n, &["E"], 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| circuit::squaring_graph(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_grounded_dyck(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/dyck_grounded_build");
+    group.sample_size(10);
+    for pairs in [3usize, 5, 7] {
+        let g = generators::dyck_path(pairs, 3);
+        let (_, _, gp) = bench::ground_on_graph(&programs::dyck1(), &g);
+        group.bench_with_input(BenchmarkId::from_parameter(pairs), &gp, |b, gp| {
+            b.iter(|| circuit::grounded_circuit(gp, None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_finite_rpq,
+    bench_bellman_ford,
+    bench_squaring,
+    bench_grounded_dyck
+);
+criterion_main!(benches);

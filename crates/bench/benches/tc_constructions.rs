@@ -1,0 +1,39 @@
+//! Head-to-head timing of the two TC constructions (Thm 5.6 vs Thm 5.7)
+//! on sparse and dense inputs — the build-cost companion of the
+//! `crossover` experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphgen::generators;
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tc/sparse_m=2n");
+    group.sample_size(10);
+    for n in [16usize, 32] {
+        let g = generators::gnm(n, 2 * n, &["E"], 3);
+        group.bench_with_input(BenchmarkId::new("bellman_ford", n), &g, |b, g| {
+            b.iter(|| circuit::bellman_ford_graph(g, 0, (n - 1) as u32))
+        });
+        group.bench_with_input(BenchmarkId::new("squaring", n), &g, |b, g| {
+            b.iter(|| circuit::squaring_graph(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tc/dense");
+    group.sample_size(10);
+    for n in [12usize, 24] {
+        let g = generators::complete(n, "E");
+        group.bench_with_input(BenchmarkId::new("bellman_ford", n), &g, |b, g| {
+            b.iter(|| circuit::bellman_ford_graph(g, 0, (n - 1) as u32))
+        });
+        group.bench_with_input(BenchmarkId::new("squaring", n), &g, |b, g| {
+            b.iter(|| circuit::squaring_graph(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse, bench_dense);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! The paper's circuit constructions, one module per theorem.
+//!
+//! | Module | Paper result | Size | Depth |
+//! |---|---|---|---|
+//! | [`grounded`] | Thm 3.1 (Deutch et al.) / Thm 4.3 | poly(m) | O(K log m), K = fixpoint iterations (O(1) for bounded programs) |
+//! | [`dag`] | Thm 3.5 (layered graphs) | O(m) | O(L log ℓ) (linear) |
+//! | [`bellman_ford`] | Thm 5.6 | O(mn) | O(n log n) |
+//! | [`squaring`] | Thm 5.7 (NC² analogue) | O(n³ log n) | O(log² n) |
+//! | [`uvg`] | Thm 6.2 (Ullman–Van Gelder) | poly(m) | O(log² m) |
+//! | [`magic_rpq`] | Thm 5.8 (finite RPQs) | O(m) | O(log n) |
+//! | [`rpq`] | Thm 5.9 (product-graph direction) | inherits | inherits |
+
+pub mod bellman_ford;
+pub mod dag;
+pub mod grounded;
+pub mod magic_rpq;
+pub mod rpq;
+pub mod squaring;
+pub mod uvg;
+
+use crate::arena::{Circuit, CircuitBuilder, GateId};
+
+/// A circuit arena with one output gate per IDB fact; extract a
+/// single-output [`Circuit`] per fact of interest.
+#[derive(Clone, Debug)]
+pub struct MultiOutput {
+    builder: CircuitBuilder,
+    /// Output gate per fact (aligned with the construction's fact order).
+    pub outputs: Vec<GateId>,
+    /// Layers / stages the construction used before reaching its structural
+    /// fixpoint or cap.
+    pub layers: usize,
+}
+
+impl MultiOutput {
+    pub(crate) fn new(builder: CircuitBuilder, outputs: Vec<GateId>, layers: usize) -> Self {
+        MultiOutput {
+            builder,
+            outputs,
+            layers,
+        }
+    }
+
+    /// The circuit computing fact `i`'s provenance polynomial.
+    pub fn circuit_for(&self, i: usize) -> Circuit {
+        self.builder.clone().finish(self.outputs[i])
+    }
+
+    /// Total arena size (shared across all outputs).
+    pub fn arena_size(&self) -> usize {
+        self.builder.arena_size()
+    }
+}

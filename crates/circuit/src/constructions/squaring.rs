@@ -1,0 +1,192 @@
+//! The repeated-squaring circuit for transitive-closure provenance
+//! (Theorem 5.7): size O(n³ log n), depth **O(log² n)** — the absorptive
+//! analogue of TC ∈ NC², and depth-optimal by the Karchmer–Wigderson
+//! bound (Theorem 3.4).
+//!
+//! The adjacency matrix `M` (with `M[i][i] = 1`) is squared ⌈log₂ n⌉ times
+//! over the semiring; the `(s, t)` entry of `M^{2^⌈log n⌉}` computes the
+//! provenance of `T(s, t)` for `s ≠ t` (for `s = t` the entry is the
+//! constant 1 — the paper's remark (ii): diagonal entries stay 1 under
+//! absorption).
+
+use graphgen::{LabeledDigraph, NodeId};
+use semiring::VarId;
+
+use crate::arena::{Circuit, CircuitBuilder, GateId};
+
+/// The matrix of gates after repeated squaring, with extraction helpers.
+#[derive(Clone, Debug)]
+pub struct SquaringResult {
+    builder: CircuitBuilder,
+    n: usize,
+    entries: Vec<GateId>,
+    /// Number of squarings performed (⌈log₂ n⌉, or fewer on structural
+    /// fixpoint).
+    pub squarings: usize,
+}
+
+impl SquaringResult {
+    /// The circuit for entry `(s, t)`. For `s ≠ t` this is the provenance
+    /// polynomial of `T(s, t)`.
+    pub fn circuit_for(&self, s: NodeId, t: NodeId) -> Circuit {
+        self.builder
+            .clone()
+            .finish(self.entries[s as usize * self.n + t as usize])
+    }
+
+    /// Shared arena size.
+    pub fn arena_size(&self) -> usize {
+        self.builder.arena_size()
+    }
+}
+
+/// Build the Theorem 5.7 squaring circuit over an edge list.
+pub fn squaring_all(num_nodes: usize, edges: &[(NodeId, NodeId)], vars: &[VarId]) -> SquaringResult {
+    assert_eq!(edges.len(), vars.len());
+    let n = num_nodes;
+    let mut b = CircuitBuilder::new();
+    let zero = b.zero();
+    let one = b.one();
+
+    // M[i][j]: 1 on the diagonal, ⊕ of parallel edge variables off it.
+    let mut m = vec![zero; n * n];
+    for i in 0..n {
+        m[i * n + i] = one;
+    }
+    let mut parallel: std::collections::HashMap<(NodeId, NodeId), Vec<GateId>> =
+        std::collections::HashMap::new();
+    for (e, &(u, v)) in edges.iter().enumerate() {
+        let x = b.input(vars[e]);
+        parallel.entry((u, v)).or_default().push(x);
+    }
+    for ((u, v), xs) in parallel {
+        if u != v {
+            // Self-loops are absorbed by the diagonal 1 (paper remark (i)).
+            m[u as usize * n + v as usize] = b.add_many(&xs);
+        }
+    }
+
+    // ⌈log₂ n⌉ squarings: M^{2^rounds} ⪰ M^n, and entries are stable from
+    // exponent n on (all simple paths/cycles are covered).
+    let rounds = if n <= 1 {
+        0
+    } else {
+        (n as f64).log2().ceil() as usize
+    };
+    let mut squarings = 0;
+    for _ in 0..rounds {
+        let mut next = vec![zero; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let products: Vec<GateId> = (0..n)
+                    .map(|k| {
+                        let (a, c) = (m[i * n + k], m[k * n + j]);
+                        b.mul(a, c)
+                    })
+                    .collect();
+                next[i * n + j] = b.add_many(&products);
+            }
+        }
+        squarings += 1;
+        if next == m {
+            break;
+        }
+        m = next;
+    }
+    SquaringResult {
+        builder: b,
+        n,
+        entries: m,
+        squarings,
+    }
+}
+
+/// Wrapper for a [`LabeledDigraph`] (edge ids as provenance variables).
+pub fn squaring_graph(g: &LabeledDigraph) -> SquaringResult {
+    let edges: Vec<(NodeId, NodeId)> = g.edges().iter().map(|&(u, v, _)| (u, v)).collect();
+    let vars: Vec<VarId> = (0..g.num_edges() as VarId).collect();
+    squaring_all(g.num_nodes(), &edges, &vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constructions::bellman_ford::bellman_ford_graph;
+    use crate::metrics::stats;
+    use graphgen::generators;
+    use semiring::{Semiring, Tropical};
+
+    #[test]
+    fn agrees_with_bellman_ford_off_diagonal() {
+        for seed in 0..4u64 {
+            let g = generators::gnm(7, 16, &["E"], seed);
+            let sq = squaring_graph(&g);
+            for (s, t) in [(0u32, 3u32), (1, 6), (4, 2)] {
+                let c1 = sq.circuit_for(s, t);
+                let c2 = bellman_ford_graph(&g, s, t);
+                assert_eq!(c1.polynomial(), c2.polynomial(), "seed {seed} ({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_one_by_absorption() {
+        let g = generators::cycle(3, "E");
+        let sq = squaring_graph(&g);
+        let c = sq.circuit_for(1, 1);
+        assert!(c.polynomial().is_one());
+    }
+
+    #[test]
+    fn depth_grows_as_log_squared() {
+        // Depth/log₂(n)² should stay roughly constant while depth/log₂(n)
+        // must grow.
+        let mut rows = Vec::new();
+        for n in [8usize, 16, 32] {
+            let g = generators::cycle(n, "E");
+            let sq = squaring_graph(&g);
+            let c = sq.circuit_for(0, (n / 2) as NodeId);
+            let d = stats(&c).depth as f64;
+            let log = (n as f64).log2();
+            rows.push((d / log, d / (log * log)));
+        }
+        // d/log n increases markedly…
+        assert!(rows[2].0 > rows[0].0 * 1.3, "{rows:?}");
+        // …while d/log² n stays within a 2.5× band.
+        let ratios: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        let (min, max) = (
+            ratios.iter().cloned().fold(f64::MAX, f64::min),
+            ratios.iter().cloned().fold(0.0, f64::max),
+        );
+        assert!(max / min < 2.5, "{ratios:?}");
+    }
+
+    #[test]
+    fn tropical_all_pairs_shortest_paths() {
+        let g = generators::gnm(8, 20, &["E"], 21);
+        let sq = squaring_graph(&g);
+        for s in 0..4u32 {
+            let dist = g.bfs_distances(s);
+            for t in 0..8u32 {
+                if s == t {
+                    continue;
+                }
+                let val = sq.circuit_for(s, t).eval(&|_| Tropical::new(1));
+                match dist[t as usize] {
+                    Some(d) if d > 0 => assert_eq!(val, Tropical::new(d), "({s},{t})"),
+                    _ => assert!(val.is_zero(), "({s},{t})"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_edges_sum() {
+        let mut g = graphgen::LabeledDigraph::new(2);
+        g.add_edge(0, 1, "E");
+        g.add_edge(0, 1, "E");
+        let sq = squaring_graph(&g);
+        let poly = sq.circuit_for(0, 1).polynomial();
+        assert_eq!(poly.len(), 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! Formulas: circuits whose gates have fan-out one (paper §2.5).
+//!
+//! Proposition 3.3: a circuit of depth `d` expands into an equivalent
+//! formula of size ≤ 2^d and the same depth. This module materializes that
+//! expansion (with a size cap, since the expansion is intentionally
+//! super-polynomial for the paper's hard instances), so the formula-size
+//! experiments can account exactly.
+
+use semiring::{Semiring, VarId};
+
+use crate::arena::{Circuit, Gate};
+
+/// A formula: a tree over the same gate vocabulary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Formula {
+    /// The constant 0.
+    Zero,
+    /// The constant 1.
+    One,
+    /// An input variable.
+    Input(VarId),
+    /// `l ⊕ r`.
+    Add(Box<Formula>, Box<Formula>),
+    /// `l ⊗ r`.
+    Mul(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// Number of nodes.
+    pub fn size(&self) -> u128 {
+        match self {
+            Formula::Zero | Formula::One | Formula::Input(_) => 1,
+            Formula::Add(l, r) | Formula::Mul(l, r) => {
+                1u128.saturating_add(l.size()).saturating_add(r.size())
+            }
+        }
+    }
+
+    /// Depth (edges on the longest root-to-leaf path).
+    pub fn depth(&self) -> usize {
+        match self {
+            Formula::Zero | Formula::One | Formula::Input(_) => 0,
+            Formula::Add(l, r) | Formula::Mul(l, r) => 1 + l.depth().max(r.depth()),
+        }
+    }
+
+    /// Evaluate over a semiring.
+    pub fn eval<S: Semiring>(&self, assign: &dyn Fn(VarId) -> S) -> S {
+        match self {
+            Formula::Zero => S::zero(),
+            Formula::One => S::one(),
+            Formula::Input(v) => assign(*v),
+            Formula::Add(l, r) => l.eval(assign).add(&r.eval(assign)),
+            Formula::Mul(l, r) => l.eval(assign).mul(&r.eval(assign)),
+        }
+    }
+}
+
+/// Expand a circuit into a formula (Proposition 3.3), failing if the result
+/// would exceed `max_size` nodes.
+pub fn expand(circuit: &Circuit, max_size: u128) -> Result<Formula, FormulaTooLarge> {
+    // Check the size first via metrics (cheap DP), then build.
+    let size = crate::metrics::stats(circuit).formula_size;
+    if size > max_size {
+        return Err(FormulaTooLarge { size });
+    }
+    Ok(build(circuit, circuit.output()))
+}
+
+fn build(circuit: &Circuit, gate: u32) -> Formula {
+    match circuit.gates()[gate as usize] {
+        Gate::Zero => Formula::Zero,
+        Gate::One => Formula::One,
+        Gate::Input(v) => Formula::Input(v),
+        Gate::Add(a, b) => Formula::Add(
+            Box::new(build(circuit, a)),
+            Box::new(build(circuit, b)),
+        ),
+        Gate::Mul(a, b) => Formula::Mul(
+            Box::new(build(circuit, a)),
+            Box::new(build(circuit, b)),
+        ),
+    }
+}
+
+/// The expansion would exceed the requested size cap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FormulaTooLarge {
+    /// The exact (saturating) expansion size.
+    pub size: u128,
+}
+
+impl std::fmt::Display for FormulaTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "formula expansion has {} nodes", self.size)
+    }
+}
+
+impl std::error::Error for FormulaTooLarge {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::CircuitBuilder;
+    use semiring::prelude::*;
+
+    #[test]
+    fn expansion_preserves_value_and_depth() {
+        let mut b = CircuitBuilder::new();
+        let x0 = b.input(0);
+        let x1 = b.input(1);
+        let s = b.add(x0, x1);
+        let out = b.mul(s, s);
+        let c = b.finish(out);
+        let f = expand(&c, 1_000).unwrap();
+        assert_eq!(f.size(), 7);
+        assert_eq!(f.depth(), 2);
+        let assign = |v: VarId| Tropical::new(v as u64 + 1);
+        assert_eq!(f.eval(&assign), c.eval(&assign));
+    }
+
+    #[test]
+    fn expansion_respects_cap() {
+        let mut b = CircuitBuilder::new();
+        let mut g = b.input(0);
+        for _ in 0..40 {
+            g = b.mul(g, g);
+        }
+        let c = b.finish(g);
+        let err = expand(&c, 1_000_000).unwrap_err();
+        assert!(err.size > 1u128 << 40);
+    }
+
+    #[test]
+    fn formula_size_matches_metrics() {
+        let mut b = CircuitBuilder::new();
+        let xs: Vec<_> = (0..10).map(|v| b.input(v)).collect();
+        let s1 = b.add_many(&xs[..5]);
+        let s2 = b.add_many(&xs[5..]);
+        let m = b.mul(s1, s2);
+        let out = b.add(m, s1); // shared s1
+        let c = b.finish(out);
+        let f = expand(&c, u128::MAX).unwrap();
+        assert_eq!(f.size(), crate::metrics::stats(&c).formula_size);
+        assert_eq!(f.depth(), crate::metrics::stats(&c).depth);
+    }
+}

@@ -1,0 +1,37 @@
+//! Circuits and formulas for Datalog provenance over semirings — the
+//! constructions of Fan, Koutris & Roy (PODS 2025).
+//!
+//! * [`arena`] — hash-consed, semiring-agnostic circuit DAGs (§2.5);
+//! * [`metrics`] — size / depth / formula-size accounting (§3);
+//! * [`formula`] — formula expansion (Proposition 3.3);
+//! * [`constructions`] — one module per constructive theorem:
+//!   grounded/layered (Thm 3.1, 4.3), DAG (Thm 3.5), Bellman–Ford
+//!   (Thm 5.6), repeated squaring (Thm 5.7), magic-set finite RPQs
+//!   (Thm 5.8), product-graph RPQs (Thm 5.9), Ullman–Van Gelder (Thm 6.2);
+//! * [`reductions`] — the depth-preserving lower-bound reductions
+//!   (Thms 5.9, 5.11);
+//! * [`verify`] — oracles tying every construction back to the paper's
+//!   definition of provenance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod constructions;
+pub mod formula;
+pub mod metrics;
+pub mod reductions;
+pub mod verify;
+
+pub use arena::{Circuit, CircuitBuilder, Gate, GateId, InputSubst};
+pub use constructions::bellman_ford::{bellman_ford_all, bellman_ford_circuit, bellman_ford_graph};
+pub use constructions::dag::{dag_path_circuit, dag_path_circuit_graph};
+pub use constructions::grounded::grounded_circuit;
+pub use constructions::magic_rpq::{finite_rpq_circuit, FiniteRpqCircuit};
+pub use constructions::rpq::{rpq_circuit, sum_circuits, TcStrategy};
+pub use constructions::squaring::{squaring_all, squaring_graph, SquaringResult};
+pub use constructions::uvg::uvg_circuit;
+pub use constructions::MultiOutput;
+pub use formula::{expand, Formula, FormulaTooLarge};
+pub use metrics::{stats, CircuitStats};
+pub use reductions::{tc_to_cfg, tc_to_monadic_reachability, tc_to_rpq, ExpandedEdgeOrigin, ExpandedInstance, MonadicReductionInstance};

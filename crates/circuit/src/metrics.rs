@@ -1,0 +1,143 @@
+//! Size, depth and formula-size accounting (paper §2.5, §3).
+//!
+//! * **size** — number of live gates (the paper's `|F|`);
+//! * **depth** — longest input-to-output path (fan-in-2 gates);
+//! * **formula size** — the size of the formula obtained by expanding the
+//!   DAG into a tree (Proposition 3.3: a circuit of depth `d` expands to a
+//!   formula of size ≤ 2^d and equal depth). Saturating `u128`: the
+//!   super-polynomial regimes of Theorems 5.4/5.10 overflow `u64` by
+//!   design.
+
+use crate::arena::{Circuit, Gate};
+
+/// Metrics of the live (output-reachable) part of a circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Total live gates (inputs + constants + internal).
+    pub num_gates: usize,
+    /// Live ⊕-gates.
+    pub num_add: usize,
+    /// Live ⊗-gates.
+    pub num_mul: usize,
+    /// Live input gates.
+    pub num_inputs: usize,
+    /// Depth (edges on the longest path; inputs/constants have depth 0).
+    pub depth: usize,
+    /// Size of the tree expansion (number of nodes), saturating.
+    pub formula_size: u128,
+}
+
+/// Compute all metrics in one topological pass.
+pub fn stats(circuit: &Circuit) -> CircuitStats {
+    let live = circuit.live_mask();
+    let gates = circuit.gates();
+    let mut depth = vec![0usize; gates.len()];
+    let mut fsize = vec![0u128; gates.len()];
+    let mut num_add = 0;
+    let mut num_mul = 0;
+    let mut num_inputs = 0;
+    let mut num_gates = 0;
+    for (i, gate) in gates.iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        num_gates += 1;
+        match *gate {
+            Gate::Zero | Gate::One => {
+                fsize[i] = 1;
+            }
+            Gate::Input(_) => {
+                num_inputs += 1;
+                fsize[i] = 1;
+            }
+            Gate::Add(a, b) | Gate::Mul(a, b) => {
+                if matches!(gate, Gate::Add(_, _)) {
+                    num_add += 1;
+                } else {
+                    num_mul += 1;
+                }
+                depth[i] = 1 + depth[a as usize].max(depth[b as usize]);
+                fsize[i] = 1u128
+                    .saturating_add(fsize[a as usize])
+                    .saturating_add(fsize[b as usize]);
+            }
+        }
+    }
+    let out = circuit.output() as usize;
+    CircuitStats {
+        num_gates,
+        num_add,
+        num_mul,
+        num_inputs,
+        depth: depth[out],
+        formula_size: fsize[out],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::CircuitBuilder;
+
+    #[test]
+    fn chain_vs_balanced_depth() {
+        // Left-deep chain of 8 adds: depth 8. Balanced: depth 3.
+        let mut b = CircuitBuilder::new();
+        let inputs: Vec<_> = (0..9).map(|v| b.input(v)).collect();
+        let mut acc = inputs[0];
+        for &x in &inputs[1..] {
+            acc = b.add(acc, x);
+        }
+        let chain = b.clone().finish(acc);
+        assert_eq!(stats(&chain).depth, 8);
+
+        let mut b2 = CircuitBuilder::new();
+        let inputs2: Vec<_> = (0..8).map(|v| b2.input(v)).collect();
+        let out = b2.add_many(&inputs2);
+        let balanced = b2.finish(out);
+        assert_eq!(stats(&balanced).depth, 3);
+    }
+
+    #[test]
+    fn formula_size_doubles_on_shared_gates() {
+        // s = x0 ⊕ x1; out = s ⊗ s. Circuit: 4 live gates; formula expands
+        // s twice: size = 1 + 3 + 3 = 7.
+        let mut b = CircuitBuilder::new();
+        let x0 = b.input(0);
+        let x1 = b.input(1);
+        let s = b.add(x0, x1);
+        let out = b.mul(s, s);
+        let c = b.finish(out);
+        let st = stats(&c);
+        assert_eq!(st.num_gates, 4);
+        assert_eq!(st.formula_size, 7);
+        assert_eq!(st.depth, 2);
+    }
+
+    #[test]
+    fn formula_size_saturates_instead_of_overflowing() {
+        // A tower of 200 squarings: formula size ≈ 2^200 ≫ u128? No — 2^201-1
+        // fits in u128 only below 2^128; saturation must kick in.
+        let mut b = CircuitBuilder::new();
+        let mut g = b.input(0);
+        for _ in 0..200 {
+            g = b.mul(g, g);
+        }
+        let c = b.finish(g);
+        assert_eq!(stats(&c).formula_size, u128::MAX);
+    }
+
+    #[test]
+    fn counts_by_gate_kind() {
+        let mut b = CircuitBuilder::new();
+        let x0 = b.input(0);
+        let x1 = b.input(1);
+        let x2 = b.input(2);
+        let m = b.mul(x0, x1);
+        let a = b.add(m, x2);
+        let c = b.finish(a);
+        let st = stats(&c);
+        assert_eq!((st.num_add, st.num_mul, st.num_inputs), (1, 1, 3));
+        assert_eq!(st.num_gates, 5);
+    }
+}

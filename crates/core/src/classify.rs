@@ -1,0 +1,236 @@
+//! Program-level classification into the paper's depth and formula classes.
+//!
+//! For each fragment the paper pins down, this module reports the best
+//! known circuit-depth upper bound, the matching lower bound where one is
+//! proven, and the polynomial-size-formula verdict:
+//!
+//! * bounded programs → Θ(log m), polynomial formulas (Thm 4.3 + Prop 3.3);
+//! * basic chain, finite language → Θ(log m) (Thm 5.3/5.4, Prop 5.5);
+//! * basic chain, infinite language → Ω(log² m) (Thms 5.9/5.11) with an
+//!   O(log² m) upper bound when the program is linear or otherwise has the
+//!   polynomial fringe property (Thm 6.2), and the grounded polynomial
+//!   upper bound otherwise (Table 1, row 3);
+//! * monadic linear connected over Chom semirings → the full dichotomy of
+//!   Theorem 6.5, with boundedness decided up to expansion-horizon
+//!   evidence (boundedness is undecidable in general, §4).
+
+use datalog::{classify as classify_syntax, Program, ProgramClass};
+use grammar::{CfgAnalysis, Cnf, LanguageSize};
+
+use crate::boundedness::{decide_boundedness, BoundednessOptions, BoundednessReport, Verdict};
+
+/// Asymptotic depth classes (in the input size `m`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepthBound {
+    /// O(log m) / Ω(log m).
+    Log,
+    /// O(log² m) / Ω(log² m).
+    LogSquared,
+    /// O(D log m) where D is the fixpoint iteration count (the general
+    /// grounded construction of Theorem 3.1; polynomial depth).
+    FixpointTimesLog,
+    /// No bound established by the paper.
+    Unknown,
+}
+
+/// Whether the target admits polynomial-size formulas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FormulaVerdict {
+    /// Polynomial-size formulas exist (log-depth circuits, Prop 3.3).
+    Polynomial,
+    /// Super-polynomial formula size is forced (Thms 5.4, 5.10, 6.5).
+    SuperPolynomial,
+    /// Open for this program (the paper's §6.1 remark: no full dichotomy).
+    Unknown,
+}
+
+/// Grammar-level information for chain programs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GrammarInfo {
+    /// Language size of the corresponding CFG.
+    pub language: LanguageSize,
+    /// Whether the grammar is left- or right-linear (an RPQ).
+    pub regular: bool,
+    /// Longest word for finite languages (the boundedness constant).
+    pub longest_word: Option<u64>,
+}
+
+/// The complete classification of a program.
+#[derive(Clone, Debug)]
+pub struct Classification {
+    /// Syntactic fragment flags.
+    pub syntax: ProgramClass,
+    /// Chain-program grammar analysis, when applicable.
+    pub grammar: Option<GrammarInfo>,
+    /// Boundedness verdict (exact for chain programs, evidence otherwise).
+    pub boundedness: BoundednessReport,
+    /// Whether the polynomial fringe property is established (true for
+    /// linear programs by Cor 6.3; chain-program grammars like Dyck-1 can
+    /// be asserted by the caller when compiling).
+    pub poly_fringe: bool,
+    /// Best known depth upper bound.
+    pub depth_upper: DepthBound,
+    /// Best known depth lower bound.
+    pub depth_lower: DepthBound,
+    /// Formula-size verdict.
+    pub formula: FormulaVerdict,
+}
+
+/// Classify a program. `horizon` bounds the expansion search used for the
+/// (undecidable in general) boundedness evidence on non-chain programs.
+pub fn classify_program(program: &Program, horizon: usize) -> Classification {
+    let syntax = classify_syntax(program);
+    let grammar = if syntax.is_chain {
+        datalog::chain_to_cfg(program).ok().map(|cfg| {
+            let cnf = Cnf::from_cfg(&cfg);
+            let analysis = CfgAnalysis::new(&cnf);
+            GrammarInfo {
+                language: analysis.language_size().clone(),
+                regular: cfg.is_regular(),
+                longest_word: analysis.longest_word_len(&cnf),
+            }
+        })
+    } else {
+        None
+    };
+    let boundedness = decide_boundedness(
+        program,
+        &BoundednessOptions {
+            horizon,
+            ..BoundednessOptions::default()
+        },
+    );
+    let poly_fringe = syntax.is_linear;
+
+    let bounded = matches!(boundedness.verdict, Verdict::Bounded(_));
+    let unbounded = matches!(boundedness.verdict, Verdict::Unbounded(_));
+    // For the Theorem 6.5/6.8 dichotomy, expansion-horizon evidence stands
+    // in for the (decidable but heavyweight) Cosmadakis et al. procedure;
+    // the report records that it is evidence, not proof.
+    let evidence_unbounded = matches!(boundedness.verdict, Verdict::LikelyUnbounded(_));
+    let evidence_bounded = matches!(boundedness.verdict, Verdict::LikelyBounded(_));
+
+    // Depth upper bound.
+    let depth_upper = if bounded || evidence_bounded || !syntax.is_recursive {
+        DepthBound::Log
+    } else if poly_fringe {
+        DepthBound::LogSquared
+    } else {
+        DepthBound::FixpointTimesLog
+    };
+
+    // Depth lower bound. Ω(log m) is information-theoretic (fan-in 2);
+    // Ω(log² m) for provably unbounded chain programs (Thms 5.9/5.11) and
+    // for unbounded monadic linear connected programs (Thm 6.8).
+    let chain_unbounded = syntax.is_chain && unbounded;
+    let mlc_unbounded = syntax.is_monadic
+        && syntax.is_linear
+        && syntax.is_connected
+        && (unbounded || evidence_unbounded);
+    let depth_lower = if chain_unbounded || mlc_unbounded {
+        DepthBound::LogSquared
+    } else {
+        DepthBound::Log
+    };
+
+    // Formula verdict.
+    let formula = if bounded || evidence_bounded || !syntax.is_recursive {
+        FormulaVerdict::Polynomial
+    } else if chain_unbounded || mlc_unbounded {
+        FormulaVerdict::SuperPolynomial
+    } else {
+        FormulaVerdict::Unknown
+    };
+
+    Classification {
+        syntax,
+        grammar,
+        boundedness,
+        poly_fringe,
+        depth_upper,
+        depth_lower,
+        formula,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog::programs;
+
+    #[test]
+    fn tc_gets_the_theta_log_squared_dichotomy() {
+        let c = classify_program(&programs::transitive_closure(), 5);
+        assert_eq!(c.depth_upper, DepthBound::LogSquared);
+        assert_eq!(c.depth_lower, DepthBound::LogSquared);
+        assert_eq!(c.formula, FormulaVerdict::SuperPolynomial);
+        let g = c.grammar.unwrap();
+        assert_eq!(g.language, LanguageSize::Infinite);
+        assert!(g.regular);
+    }
+
+    #[test]
+    fn finite_rpq_is_log_depth_with_poly_formulas() {
+        let c = classify_program(&programs::three_hops(), 5);
+        assert_eq!(c.depth_upper, DepthBound::Log);
+        assert_eq!(c.depth_lower, DepthBound::Log);
+        assert_eq!(c.formula, FormulaVerdict::Polynomial);
+        assert_eq!(c.grammar.unwrap().longest_word, Some(3));
+    }
+
+    #[test]
+    fn bounded_example_is_log_depth() {
+        let c = classify_program(&programs::bounded_example(), 6);
+        assert_eq!(c.depth_upper, DepthBound::Log);
+        assert_eq!(c.formula, FormulaVerdict::Polynomial);
+    }
+
+    #[test]
+    fn dyck_is_unbounded_chain_without_linearity() {
+        let c = classify_program(&programs::dyck1(), 4);
+        // Unbounded chain ⇒ Ω(log²) lower bound and super-poly formulas;
+        // upper bound from the classifier is the grounded construction
+        // (Dyck's polynomial fringe is not *derived* syntactically).
+        assert_eq!(c.depth_lower, DepthBound::LogSquared);
+        assert_eq!(c.formula, FormulaVerdict::SuperPolynomial);
+        assert!(!c.poly_fringe);
+        assert_eq!(c.depth_upper, DepthBound::FixpointTimesLog);
+    }
+
+    #[test]
+    fn monadic_reachability_gets_theorem_6_5() {
+        let c = classify_program(&programs::monadic_reachability(), 5);
+        assert!(c.syntax.is_monadic && c.syntax.is_linear && c.syntax.is_connected);
+        assert_eq!(c.depth_upper, DepthBound::LogSquared); // Thm 6.2 via linearity
+        assert_eq!(c.depth_lower, DepthBound::LogSquared); // Thm 6.8
+        assert_eq!(c.formula, FormulaVerdict::SuperPolynomial);
+    }
+
+    #[test]
+    fn same_generation_is_an_unbounded_chain_program() {
+        // SG(x,y) :- U(x,w), SG(w,z), D(z,y) *is* a chain rule, so the full
+        // chain dichotomy applies: grammar U* F D* is infinite.
+        let c = classify_program(&programs::same_generation(), 4);
+        assert!(c.syntax.is_chain && c.syntax.is_linear);
+        assert_eq!(c.depth_upper, DepthBound::LogSquared); // Cor 6.3
+        assert_eq!(c.depth_lower, DepthBound::LogSquared); // Thm 5.11
+        assert_eq!(c.formula, FormulaVerdict::SuperPolynomial); // Thm 5.12
+    }
+
+    #[test]
+    fn linear_non_chain_binary_gets_upper_bound_only() {
+        // Linear, connected, binary (not monadic), not chain (the IDB atom
+        // starts with the head's *second* variable): only the Cor 6.3
+        // O(log²) upper bound applies; no lower bound, formula open (§6.1
+        // remark: no full dichotomy).
+        let p = datalog::parse_program(
+            "P(X,Y) :- E(X,Y).\nP(X,Y) :- P(Y,Z), E(Z,X).",
+        )
+        .unwrap();
+        let c = classify_program(&p, 4);
+        assert!(c.syntax.is_linear && !c.syntax.is_chain && !c.syntax.is_monadic);
+        assert_eq!(c.depth_upper, DepthBound::LogSquared);
+        assert_eq!(c.depth_lower, DepthBound::Log);
+        assert_eq!(c.formula, FormulaVerdict::Unknown);
+    }
+}

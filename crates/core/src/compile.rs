@@ -1,0 +1,347 @@
+//! Compilation of Datalog facts into provenance circuits: strategy
+//! selection and dispatch over the paper's constructions.
+
+use circuit::{Circuit, CircuitStats};
+use datalog::{Database, Program};
+use grammar::{Cfg, Dfa};
+use graphgen::{LabeledDigraph, NodeId};
+
+use crate::classify::{classify_program, Classification};
+use crate::boundedness::Verdict;
+
+/// Which construction to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Pick based on [`classify_program`].
+    Auto,
+    /// Theorem 3.1: layered circuit over the grounding, run to fixpoint.
+    GroundedFixpoint,
+    /// Theorem 4.3: layered circuit truncated at the boundedness constant
+    /// (determined by a provenance probe when not supplied).
+    BoundedLayered,
+    /// Theorem 5.8: magic-set rewriting for finite left-linear RPQs
+    /// (graph facts only).
+    MagicFiniteRpq,
+    /// Theorem 5.6 on the Theorem 5.9 product graph (graph facts only).
+    ProductBellmanFord,
+    /// Theorem 5.7 on the product graph (graph facts only).
+    ProductSquaring,
+    /// Theorem 6.2: the Ullman–Van Gelder O(log² m)-depth circuit.
+    UllmanVanGelder,
+}
+
+/// A compiled fact.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The circuit computing the fact's provenance polynomial.
+    pub circuit: Circuit,
+    /// The strategy actually used (resolved from `Auto`).
+    pub strategy: Strategy,
+    /// Live-circuit metrics.
+    pub stats: CircuitStats,
+    /// The classification that drove `Auto` (always populated).
+    pub classification: Classification,
+}
+
+/// Compile the provenance circuit of `pred(tuple…)` against a database.
+///
+/// Graph-specific strategies (`MagicFiniteRpq`, `Product*`) are rejected
+/// here; use [`compile_graph_fact`] for chain programs over labeled graphs.
+pub fn compile_fact(
+    program: &Program,
+    db: &Database,
+    pred: &str,
+    tuple: &[&str],
+    strategy: Strategy,
+) -> Result<Compiled, String> {
+    let classification = classify_program(program, 5);
+    let resolved = match strategy {
+        Strategy::Auto => {
+            if matches!(
+                classification.boundedness.verdict,
+                Verdict::Bounded(_) | Verdict::LikelyBounded(_)
+            ) || !classification.syntax.is_recursive
+            {
+                Strategy::BoundedLayered
+            } else if classification.poly_fringe {
+                Strategy::UllmanVanGelder
+            } else {
+                Strategy::GroundedFixpoint
+            }
+        }
+        s => s,
+    };
+    let gp = datalog::ground(program, db)?;
+    let pred_id = program
+        .preds
+        .get(pred)
+        .ok_or_else(|| format!("unknown predicate {pred}"))?;
+    let tuple_ids: Option<Vec<u32>> = tuple.iter().map(|c| db.consts.get(c)).collect();
+    let fact = tuple_ids.and_then(|t| gp.fact(pred_id, &t));
+    let circuit = match fact {
+        None => constant_zero(),
+        Some(fact) => match resolved {
+            Strategy::GroundedFixpoint => {
+                circuit::grounded_circuit(&gp, None).circuit_for(fact)
+            }
+            Strategy::BoundedLayered => {
+                // Provenance probe for the boundedness constant (exact over
+                // the universal absorptive semiring).
+                let probe = datalog::provenance_eval(&gp, datalog::default_budget(&gp));
+                if !probe.converged {
+                    return Err("provenance evaluation did not converge".into());
+                }
+                circuit::grounded_circuit(&gp, Some(probe.iterations)).circuit_for(fact)
+            }
+            Strategy::UllmanVanGelder => circuit::uvg_circuit(&gp, None).circuit_for(fact),
+            other => {
+                return Err(format!(
+                    "strategy {other:?} needs a graph fact; use compile_graph_fact"
+                ))
+            }
+        },
+    };
+    let stats = circuit::stats(&circuit);
+    Ok(Compiled {
+        circuit,
+        strategy: resolved,
+        stats,
+        classification,
+    })
+}
+
+/// Compile `target(v_src, v_dst)` for a basic chain program over a labeled
+/// graph, enabling the graph-specialized constructions.
+pub fn compile_graph_fact(
+    program: &Program,
+    graph: &LabeledDigraph,
+    src: NodeId,
+    dst: NodeId,
+    strategy: Strategy,
+) -> Result<Compiled, String> {
+    let classification = classify_program(program, 5);
+    let resolved = match strategy {
+        Strategy::Auto => resolve_graph_auto(&classification),
+        s => s,
+    };
+    match resolved {
+        Strategy::MagicFiniteRpq => {
+            let out = circuit::finite_rpq_circuit(program, graph, src, dst)?;
+            let stats = circuit::stats(&out.circuit);
+            Ok(Compiled {
+                circuit: out.circuit,
+                strategy: resolved,
+                stats,
+                classification,
+            })
+        }
+        Strategy::ProductBellmanFord | Strategy::ProductSquaring => {
+            let dfa = chain_program_dfa(program, graph)?;
+            let strat = if resolved == Strategy::ProductBellmanFord {
+                circuit::TcStrategy::BellmanFord
+            } else {
+                circuit::TcStrategy::RepeatedSquaring
+            };
+            let circuit = circuit::rpq_circuit(graph, &dfa, src, dst, strat);
+            let stats = circuit::stats(&circuit);
+            Ok(Compiled {
+                circuit,
+                strategy: resolved,
+                stats,
+                classification,
+            })
+        }
+        other => {
+            // Grounding-based strategies reuse compile_fact.
+            let mut p = program.clone();
+            let (db, _) = Database::from_graph(&mut p, graph);
+            let target = p.preds.name(p.target).to_owned();
+            let (s, d) = (format!("v{src}"), format!("v{dst}"));
+            compile_fact(&p, &db, &target, &[&s, &d], other)
+        }
+    }
+}
+
+fn resolve_graph_auto(c: &Classification) -> Strategy {
+    if let Some(g) = &c.grammar {
+        if g.regular {
+            return if g.language == grammar::LanguageSize::Infinite {
+                Strategy::ProductSquaring
+            } else {
+                Strategy::MagicFiniteRpq
+            };
+        }
+    }
+    if matches!(
+        c.boundedness.verdict,
+        Verdict::Bounded(_) | Verdict::LikelyBounded(_)
+    ) {
+        Strategy::BoundedLayered
+    } else if c.poly_fringe {
+        Strategy::UllmanVanGelder
+    } else {
+        Strategy::GroundedFixpoint
+    }
+}
+
+/// The minimal DFA of a left-linear chain program, translated onto the
+/// graph's alphabet ids.
+pub fn chain_program_dfa(program: &Program, graph: &LabeledDigraph) -> Result<Dfa, String> {
+    let cfg: Cfg = datalog::chain_to_cfg(program)?;
+    let dfa = grammar::left_linear_dfa(&cfg)
+        .ok_or("program is not left-linear; no RPQ automaton")?;
+    // Translate terminal ids: cfg alphabet → graph alphabet (by name).
+    let transitions: Vec<(usize, grammar::Terminal, usize)> = dfa
+        .transitions()
+        .filter_map(|(q, t, q2)| {
+            graph
+                .alphabet
+                .get(cfg.alphabet.name(t))
+                .map(|t2| (q, t2, q2))
+        })
+        .collect();
+    Ok(Dfa::from_parts(
+        dfa.num_states,
+        dfa.start,
+        dfa.accepting.clone(),
+        graph.alphabet.len().max(1),
+        &transitions,
+    ))
+}
+
+fn constant_zero() -> Circuit {
+    let mut b = circuit::CircuitBuilder::new();
+    let z = b.zero();
+    b.finish(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog::programs;
+    use graphgen::generators;
+    use semiring::Tropical;
+
+    #[test]
+    fn auto_picks_squaring_for_tc() {
+        let p = programs::transitive_closure();
+        let g = generators::gnm(6, 12, &["E"], 1);
+        let c = compile_graph_fact(&p, &g, 0, 4, Strategy::Auto).unwrap();
+        assert_eq!(c.strategy, Strategy::ProductSquaring);
+    }
+
+    #[test]
+    fn auto_picks_magic_for_finite_rpq() {
+        let p = datalog::parse_program(
+            "P3(X,Y) :- P2(X,Z), E(Z,Y).\n\
+             P2(X,Y) :- P1(X,Z), E(Z,Y).\n\
+             P1(X,Y) :- E(X,Y).\n\
+             @target P3",
+        )
+        .unwrap();
+        let g = generators::path(3, "E");
+        let c = compile_graph_fact(&p, &g, 0, 3, Strategy::Auto).unwrap();
+        assert_eq!(c.strategy, Strategy::MagicFiniteRpq);
+        assert_eq!(c.circuit.polynomial().len(), 1);
+    }
+
+    #[test]
+    fn all_graph_strategies_agree_on_tc() {
+        let p = programs::transitive_closure();
+        for seed in 0..3u64 {
+            let g = generators::gnm(6, 13, &["E"], seed);
+            let reference = compile_graph_fact(&p, &g, 0, 5, Strategy::GroundedFixpoint)
+                .unwrap()
+                .circuit
+                .polynomial();
+            for strat in [
+                Strategy::ProductBellmanFord,
+                Strategy::ProductSquaring,
+                Strategy::UllmanVanGelder,
+                Strategy::Auto,
+            ] {
+                let c = compile_graph_fact(&p, &g, 0, 5, strat).unwrap();
+                assert_eq!(c.circuit.polynomial(), reference, "seed {seed} {strat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compile_fact_on_non_graph_database() {
+        // Monadic reachability with a seeded A fact.
+        let mut p = programs::monadic_reachability();
+        let g = generators::path(3, "E");
+        let (mut db, _) = Database::from_graph(&mut p, &g);
+        let a = p.preds.get("A").unwrap();
+        let v3 = db.node_const(3).unwrap();
+        db.insert(a, vec![v3]);
+        let c = compile_fact(&p, &db, "U", &["v0"], Strategy::Auto).unwrap();
+        // U(v0): reached via the whole path; polynomial = a_{v3}·e01·e12·e23.
+        assert_eq!(c.strategy, Strategy::UllmanVanGelder);
+        let poly = c.circuit.polynomial();
+        assert_eq!(poly.len(), 1);
+        assert_eq!(poly.degree(), 4);
+        // Tropical check: weight = sum of 4 unit weights.
+        assert_eq!(c.circuit.eval(&|_| Tropical::new(1)), Tropical::new(4));
+    }
+
+    #[test]
+    fn graph_strategies_are_rejected_for_plain_databases() {
+        let mut p = programs::transitive_closure();
+        let g = generators::path(2, "E");
+        let (db, _) = Database::from_graph(&mut p, &g);
+        for strat in [Strategy::MagicFiniteRpq, Strategy::ProductSquaring] {
+            let err = compile_fact(&p, &db, "T", &["v0", "v2"], strat).unwrap_err();
+            assert!(err.contains("compile_graph_fact"), "{err}");
+        }
+    }
+
+    #[test]
+    fn magic_strategy_rejected_for_infinite_language() {
+        let p = programs::transitive_closure();
+        let g = generators::path(3, "E");
+        assert!(compile_graph_fact(&p, &g, 0, 3, Strategy::MagicFiniteRpq).is_err());
+    }
+
+    #[test]
+    fn unknown_predicates_and_constants_error_cleanly() {
+        let mut p = programs::transitive_closure();
+        let g = generators::path(2, "E");
+        let (db, _) = Database::from_graph(&mut p, &g);
+        assert!(compile_fact(&p, &db, "Nope", &["v0", "v1"], Strategy::Auto).is_err());
+        // Unknown constant: not an error, just the 0 circuit.
+        let c = compile_fact(&p, &db, "T", &["v0", "nosuch"], Strategy::GroundedFixpoint)
+            .unwrap();
+        assert!(c.circuit.polynomial().is_empty());
+    }
+
+    #[test]
+    fn underivable_facts_compile_to_zero() {
+        let p = programs::transitive_closure();
+        let g = generators::path(2, "E");
+        let c = compile_graph_fact(&p, &g, 2, 0, Strategy::GroundedFixpoint).unwrap();
+        assert!(c.circuit.polynomial().is_empty());
+        let c2 = compile_graph_fact(&p, &g, 2, 0, Strategy::ProductSquaring).unwrap();
+        assert!(c2.circuit.polynomial().is_empty());
+    }
+
+    #[test]
+    fn bounded_layered_strategy_for_bounded_example() {
+        let mut p = programs::bounded_example();
+        let g = generators::path(5, "E");
+        let (mut db, _) = Database::from_graph(&mut p, &g);
+        let a = p.preds.get("A").unwrap();
+        let v0 = db.node_const(0).unwrap();
+        db.insert(a, vec![v0]);
+        let c = compile_fact(&p, &db, "T", &["v0", "v3"], Strategy::Auto).unwrap();
+        assert_eq!(c.strategy, Strategy::BoundedLayered);
+        // Oracle agreement.
+        let gp = datalog::ground(&p, &db).unwrap();
+        let t = p.preds.get("T").unwrap();
+        let f = gp
+            .fact(t, &[v0, db.node_const(3).unwrap()])
+            .unwrap();
+        let expect = datalog::provenance_polynomial(&gp, f, 100_000).unwrap();
+        assert_eq!(c.circuit.polynomial(), expect);
+    }
+}

@@ -1,0 +1,57 @@
+//! `provcirc` — the paper-level API of the `datalog-circuits` workspace:
+//! classification and compilation of Datalog provenance into semiring
+//! circuits, after *Circuits and Formulas for Datalog over Semirings*
+//! (Fan, Koutris, Roy — PODS 2025).
+//!
+//! Three questions, three modules:
+//!
+//! * **"Which depth class is my program in?"** — [`classify`] reports the
+//!   paper's dichotomies: Θ(log m) vs Θ(log² m) circuit depth and the
+//!   polynomial-size-formula verdict (Theorems 4.3, 5.3, 5.4, 6.2, 6.5).
+//! * **"Is it bounded?"** — [`boundedness`] decides exactly for basic chain
+//!   programs (Prop 5.5), gathers Theorem 4.6 expansion evidence otherwise,
+//!   and probes Definition 4.1 empirically (including the Corollary 4.7
+//!   cross-semiring agreement).
+//! * **"Give me the circuit."** — [`compile`] dispatches to the
+//!   construction the classification recommends and returns the circuit
+//!   with its size/depth/formula-size statistics.
+//!
+//! ```
+//! use provcirc::prelude::*;
+//!
+//! // Transitive closure: the paper's running example.
+//! let program = datalog::programs::transitive_closure();
+//! let graph = graphgen::generators::path(4, "E");
+//!
+//! // Θ(log² m): infinite regular language (Theorem 5.3).
+//! let report = classify_program(&program, 5);
+//! assert_eq!(report.depth_upper, DepthBound::LogSquared);
+//! assert_eq!(report.formula, FormulaVerdict::SuperPolynomial);
+//!
+//! // Compile T(v0, v4) and evaluate its provenance over the tropical
+//! // semiring: the shortest path has weight 4.
+//! let compiled = compile_graph_fact(&program, &graph, 0, 4, Strategy::Auto).unwrap();
+//! use semiring::{Semiring, Tropical};
+//! assert_eq!(compiled.circuit.eval(&|_| Tropical::new(1)), Tropical::new(4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boundedness;
+pub mod classify;
+pub mod compile;
+
+pub use boundedness::{
+    cross_semiring_iterations, decide_boundedness, empirical_iterations, BoundednessOptions,
+    BoundednessReport, UnboundedReason, Verdict,
+};
+pub use classify::{classify_program, Classification, DepthBound, FormulaVerdict, GrammarInfo};
+pub use compile::{chain_program_dfa, compile_fact, compile_graph_fact, Compiled, Strategy};
+
+/// One-stop imports for examples and tests.
+pub mod prelude {
+    pub use crate::boundedness::{decide_boundedness, BoundednessOptions, Verdict};
+    pub use crate::classify::{classify_program, Classification, DepthBound, FormulaVerdict};
+    pub use crate::compile::{compile_fact, compile_graph_fact, Compiled, Strategy};
+}

@@ -1,0 +1,213 @@
+//! Datalog abstract syntax: terms, atoms, rules, programs (paper §2.1).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::symbols::{Interner, PredId, VarSym};
+
+/// A term: a variable or a constant *name* (constant names are resolved
+/// against a database's active domain at grounding time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A rule variable.
+    Var(VarSym),
+    /// A constant, interned in [`Program::consts`].
+    Const(u32),
+}
+
+/// An atom `P(t₁, …, t_k)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The predicate.
+    pub pred: PredId,
+    /// The argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Variables occurring in the atom.
+    pub fn vars(&self) -> impl Iterator<Item = VarSym> + '_ {
+        self.terms.iter().filter_map(|t| match t {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        })
+    }
+}
+
+/// A rule `head :- body₁ ∧ … ∧ body_k`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// The body atoms (empty bodies are facts; unused in this work).
+    pub body: Vec<Atom>,
+}
+
+/// A Datalog program with interned symbol tables and a designated target IDB
+/// (the predicate I/O convention of the paper, §2.1).
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Predicate names.
+    pub preds: Interner,
+    /// Variable names.
+    pub vars: Interner,
+    /// Constant names appearing in rules.
+    pub consts: Interner,
+    /// The rules.
+    pub rules: Vec<Rule>,
+    /// The target IDB predicate.
+    pub target: PredId,
+}
+
+impl Program {
+    /// An empty program; `target` is interned eagerly.
+    pub fn new(target: &str) -> Program {
+        let mut preds = Interner::new();
+        let target = preds.intern(target);
+        Program {
+            preds,
+            vars: Interner::new(),
+            consts: Interner::new(),
+            rules: Vec::new(),
+            target,
+        }
+    }
+
+    /// The set of IDB predicates (those occurring in some head).
+    pub fn idbs(&self) -> HashSet<PredId> {
+        self.rules.iter().map(|r| r.head.pred).collect()
+    }
+
+    /// The set of EDB predicates (those occurring only in bodies).
+    pub fn edbs(&self) -> HashSet<PredId> {
+        let idbs = self.idbs();
+        self.rules
+            .iter()
+            .flat_map(|r| r.body.iter().map(|a| a.pred))
+            .filter(|p| !idbs.contains(p))
+            .collect()
+    }
+
+    /// Whether a rule is an initialization rule (no IDB in the body, §2.1).
+    pub fn is_initialization(&self, rule: &Rule) -> bool {
+        let idbs = self.idbs();
+        rule.body.iter().all(|a| !idbs.contains(&a.pred))
+    }
+
+    /// The arity of each predicate (checked consistent by [`Self::validate`]).
+    pub fn arity(&self, pred: PredId) -> Option<usize> {
+        self.rules
+            .iter()
+            .flat_map(|r| std::iter::once(&r.head).chain(r.body.iter()))
+            .find(|a| a.pred == pred)
+            .map(|a| a.terms.len())
+    }
+
+    /// Validate the program:
+    /// * consistent arities,
+    /// * safety (every head variable occurs in the body),
+    /// * target is an IDB,
+    /// * no empty bodies.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut arities: Vec<Option<usize>> = vec![None; self.preds.len()];
+        for (i, rule) in self.rules.iter().enumerate() {
+            if rule.body.is_empty() {
+                return Err(format!("rule {i}: empty body"));
+            }
+            for atom in std::iter::once(&rule.head).chain(rule.body.iter()) {
+                let slot = &mut arities[atom.pred as usize];
+                match *slot {
+                    None => *slot = Some(atom.terms.len()),
+                    Some(a) if a != atom.terms.len() => {
+                        return Err(format!(
+                            "rule {i}: predicate {} used with arities {a} and {}",
+                            self.preds.name(atom.pred),
+                            atom.terms.len()
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            let body_vars: HashSet<VarSym> =
+                rule.body.iter().flat_map(|a| a.vars()).collect();
+            for v in rule.head.vars() {
+                if !body_vars.contains(&v) {
+                    return Err(format!(
+                        "rule {i}: unsafe head variable {}",
+                        self.vars.name(v)
+                    ));
+                }
+            }
+        }
+        if !self.idbs().contains(&self.target) {
+            return Err(format!(
+                "target {} is not an IDB",
+                self.preds.name(self.target)
+            ));
+        }
+        Ok(())
+    }
+
+    /// Pretty-print one atom.
+    pub fn atom_to_string(&self, atom: &Atom) -> String {
+        let args: Vec<String> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => self.vars.name(*v).to_owned(),
+                Term::Const(c) => self.consts.name(*c).to_owned(),
+            })
+            .collect();
+        format!("{}({})", self.preds.name(atom.pred), args.join(","))
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            write!(f, "{} :- ", self.atom_to_string(&rule.head))?;
+            for (i, atom) in rule.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.atom_to_string(atom))?;
+            }
+            writeln!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_program;
+
+    #[test]
+    fn idb_edb_partition() {
+        let p = parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).").unwrap();
+        let t = p.preds.get("T").unwrap();
+        let e = p.preds.get("E").unwrap();
+        assert!(p.idbs().contains(&t));
+        assert!(p.edbs().contains(&e));
+        assert_eq!(p.target, t);
+    }
+
+    #[test]
+    fn validate_catches_unsafe_rules() {
+        let p = parse_program("T(X,Y) :- E(X,X).").unwrap();
+        assert!(p.validate().unwrap_err().contains("unsafe"));
+    }
+
+    #[test]
+    fn validate_catches_arity_mismatch() {
+        let p = parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- E(X,Y,Y).").unwrap();
+        assert!(p.validate().unwrap_err().contains("arities"));
+    }
+
+    #[test]
+    fn initialization_rules_detected() {
+        let p = parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).").unwrap();
+        assert!(p.is_initialization(&p.rules[0]));
+        assert!(!p.is_initialization(&p.rules[1]));
+    }
+}

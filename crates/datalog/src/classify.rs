@@ -1,0 +1,213 @@
+//! Syntactic classification of Datalog programs into the paper's fragments.
+//!
+//! * **linear** (§2.1): every rule body has at most one IDB atom — implies
+//!   the polynomial fringe property, hence O(log² m)-depth circuits
+//!   (Corollary 6.3);
+//! * **monadic** (§2.1): every IDB has arity 1 (Theorem 6.5's fragment,
+//!   together with linear + connected);
+//! * **basic chain** (§5): recursive rules are chain rules — the fragment
+//!   with the full Table-1 dichotomy;
+//! * **connected** (§6.2): each rule's variable graph is connected.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{Program, Rule, Term};
+use crate::symbols::VarSym;
+
+/// The classification summary of a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramClass {
+    /// Every rule has ≤ 1 IDB body atom.
+    pub is_linear: bool,
+    /// Every IDB predicate has arity 1.
+    pub is_monadic: bool,
+    /// Every rule is a chain rule (basic chain Datalog).
+    pub is_chain: bool,
+    /// Chain and every recursive rule is left-linear (IDB first),
+    /// i.e. the program is an RPQ (Proposition 5.2).
+    pub is_left_linear_chain: bool,
+    /// Every rule's variable graph is connected.
+    pub is_connected: bool,
+    /// The program has at least one recursive rule.
+    pub is_recursive: bool,
+}
+
+/// Classify a program.
+pub fn classify(program: &Program) -> ProgramClass {
+    let idbs = program.idbs();
+    let is_linear = program.rules.iter().all(|r| {
+        r.body.iter().filter(|a| idbs.contains(&a.pred)).count() <= 1
+    });
+    let is_monadic = idbs
+        .iter()
+        .all(|&p| program.arity(p) == Some(1));
+    let is_chain = program.rules.iter().all(|r| is_chain_rule(program, r));
+    let is_left_linear_chain = is_chain
+        && program.rules.iter().all(|r| {
+            // Recursive chain rules must have their (single) IDB atom first.
+            let idb_positions: Vec<usize> = r
+                .body
+                .iter()
+                .enumerate()
+                .filter_map(|(i, a)| idbs.contains(&a.pred).then_some(i))
+                .collect();
+            idb_positions.is_empty() || idb_positions == [0]
+        });
+    let is_connected = program.rules.iter().all(|r| is_connected_rule(r));
+    let is_recursive = program
+        .rules
+        .iter()
+        .any(|r| r.body.iter().any(|a| idbs.contains(&a.pred)));
+    ProgramClass {
+        is_linear,
+        is_monadic,
+        is_chain,
+        is_left_linear_chain,
+        is_connected,
+        is_recursive,
+    }
+}
+
+/// A chain rule (paper §5): `P(x, y) :- Q₀(x, z₁), Q₁(z₁, z₂), …, Q_k(z_k, y)`
+/// with all predicates binary and all variables distinct.
+pub fn is_chain_rule(program: &Program, rule: &Rule) -> bool {
+    let _ = program;
+    // Head is binary over two distinct variables.
+    let (hx, hy) = match rule.head.terms[..] {
+        [Term::Var(x), Term::Var(y)] if x != y => (x, y),
+        _ => return false,
+    };
+    // Body atoms are binary over variables and chain up.
+    let mut expected = hx;
+    let mut seen: HashSet<VarSym> = HashSet::from([hx]);
+    for (i, atom) in rule.body.iter().enumerate() {
+        let (a, b) = match atom.terms[..] {
+            [Term::Var(a), Term::Var(b)] => (a, b),
+            _ => return false,
+        };
+        if a != expected {
+            return false;
+        }
+        let last = i + 1 == rule.body.len();
+        if last {
+            if b != hy {
+                return false;
+            }
+        } else {
+            // Fresh intermediate variable.
+            if b == hy || !seen.insert(b) {
+                return false;
+            }
+        }
+        expected = b;
+    }
+    !rule.body.is_empty()
+}
+
+/// Connectivity of a rule's variable graph (paper §6.2): variables are
+/// vertices, co-occurrence in an atom is an edge; the rule is connected if
+/// the graph is connected and contains the head variables.
+pub fn is_connected_rule(rule: &Rule) -> bool {
+    let mut vars: HashSet<VarSym> = HashSet::new();
+    for atom in std::iter::once(&rule.head).chain(rule.body.iter()) {
+        vars.extend(atom.vars());
+    }
+    if vars.is_empty() {
+        return true;
+    }
+    // Union-find over variables via repeated merging.
+    let ids: HashMap<VarSym, usize> = vars.iter().copied().zip(0..).collect();
+    let mut parent: Vec<usize> = (0..ids.len()).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for atom in rule.body.iter() {
+        let avars: Vec<usize> = atom.vars().map(|v| ids[&v]).collect();
+        for w in avars.windows(2) {
+            let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+            parent[a] = b;
+        }
+    }
+    // All variables (including head vars) in one component, connected via
+    // *body* atoms.
+    let mut roots: HashSet<usize> = HashSet::new();
+    for (_, &i) in ids.iter() {
+        roots.insert(find(&mut parent, i));
+    }
+    roots.len() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn tc_is_linear_chain_connected() {
+        let p = parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).").unwrap();
+        let c = classify(&p);
+        assert!(c.is_linear);
+        assert!(c.is_chain);
+        assert!(c.is_left_linear_chain);
+        assert!(c.is_connected);
+        assert!(c.is_recursive);
+        assert!(!c.is_monadic);
+    }
+
+    #[test]
+    fn dyck_is_chain_but_not_linear() {
+        let p = parse_program(
+            "S(X,Y) :- L(X,Z), R(Z,Y).\n\
+             S(X,Y) :- L(X,W), S(W,Z), R(Z,Y).\n\
+             S(X,Y) :- S(X,Z), S(Z,Y).",
+        )
+        .unwrap();
+        let c = classify(&p);
+        assert!(!c.is_linear);
+        assert!(c.is_chain);
+        assert!(!c.is_left_linear_chain);
+        assert!(c.is_connected);
+    }
+
+    #[test]
+    fn monadic_reachability_program() {
+        let p = parse_program("U(X) :- A(X).\nU(X) :- U(Y), E(X,Y).").unwrap();
+        let c = classify(&p);
+        assert!(c.is_monadic);
+        assert!(c.is_linear);
+        assert!(!c.is_chain);
+        assert!(c.is_connected);
+    }
+
+    #[test]
+    fn disconnected_rule_detected() {
+        // Example 4.2: T(x,y) :- A(x), T(z,y) — z not connected to x.
+        let p = parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- A(X), T(Z,Y).").unwrap();
+        let c = classify(&p);
+        assert!(!c.is_connected);
+        assert!(c.is_linear);
+        assert!(!c.is_chain);
+    }
+
+    #[test]
+    fn chain_rule_requires_distinct_chained_vars() {
+        // Repeated variable breaks the chain shape.
+        let p = parse_program("T(X,Y) :- E(X,X), E(X,Y).").unwrap();
+        assert!(!classify(&p).is_chain);
+        // Right order but skipping the chain also fails.
+        let p2 = parse_program("T(X,Y) :- E(X,Z), E(Y,Z).").unwrap();
+        assert!(!classify(&p2).is_chain);
+    }
+
+    #[test]
+    fn right_linear_chain_is_chain_but_not_left_linear() {
+        let p = parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- E(X,Z), T(Z,Y).").unwrap();
+        let c = classify(&p);
+        assert!(c.is_chain);
+        assert!(!c.is_left_linear_chain);
+    }
+}

@@ -1,0 +1,273 @@
+//! Naive (fixpoint) evaluation of grounded programs over semirings
+//! (paper §2.3).
+//!
+//! The immediate consequence operator maps each IDB fact to the ⊕-sum over
+//! its grounded rules of the ⊗-product of the rule's body values. Naive
+//! evaluation iterates from all-0; on a p-stable semiring it converges, and
+//! the number of iterations is the *boundedness* probe of §4 (a bounded
+//! program converges in O(1) iterations on every input).
+
+use semiring::{Semiring, Sorp};
+
+use crate::database::FactId;
+use crate::ground::GroundedProgram;
+
+/// Result of a fixpoint evaluation.
+#[derive(Clone, Debug)]
+pub struct EvalOutcome<S> {
+    /// Value per IDB fact (aligned with [`GroundedProgram::idb_facts`]).
+    pub values: Vec<S>,
+    /// Number of ICO applications performed.
+    pub iterations: usize,
+    /// Whether a fixpoint was reached within the iteration budget.
+    pub converged: bool,
+}
+
+/// One application of the immediate consequence operator.
+pub fn ico<S: Semiring>(
+    gp: &GroundedProgram,
+    assign: &dyn Fn(FactId) -> S,
+    current: &[S],
+) -> Vec<S> {
+    let mut next = vec![S::zero(); current.len()];
+    for rule in &gp.rules {
+        let mut prod = S::one();
+        for &i in &rule.body_idb {
+            prod.mul_assign(&current[i]);
+        }
+        for &f in &rule.body_edb {
+            prod.mul_assign(&assign(f));
+        }
+        next[rule.head].add_assign(&prod);
+    }
+    next
+}
+
+/// Naive evaluation: iterate the ICO from all-0 until a fixpoint or
+/// `max_iters` rounds.
+pub fn naive_eval<S: Semiring>(
+    gp: &GroundedProgram,
+    assign: &dyn Fn(FactId) -> S,
+    max_iters: usize,
+) -> EvalOutcome<S> {
+    let mut values = vec![S::zero(); gp.num_idb_facts()];
+    for iter in 0..max_iters {
+        let next = ico(gp, assign, &values);
+        let converged = next
+            .iter()
+            .zip(values.iter())
+            .all(|(a, b)| a.sr_eq(b));
+        values = next;
+        if converged {
+            return EvalOutcome {
+                values,
+                iterations: iter + 1,
+                converged: true,
+            };
+        }
+    }
+    EvalOutcome {
+        values,
+        iterations: max_iters,
+        converged: false,
+    }
+}
+
+/// Default iteration budget: `#IDB facts + 2` suffices for any absorptive
+/// (0-stable) semiring, where each round strictly grows the set of facts at
+/// their final value.
+pub fn default_budget(gp: &GroundedProgram) -> usize {
+    gp.num_idb_facts() + 2
+}
+
+/// Evaluate with every EDB fact tagged `1` — Boolean derivability plus the
+/// iterations-to-fixpoint probe used by the boundedness experiments.
+pub fn eval_all_ones<S: Semiring>(gp: &GroundedProgram, max_iters: usize) -> EvalOutcome<S> {
+    naive_eval(gp, &|_| S::one(), max_iters)
+}
+
+/// The provenance polynomial of every IDB fact, computed by naive evaluation
+/// over [`Sorp`] with each EDB fact tagged by its own variable.
+///
+/// By Proposition 2.4 this equals the tight-proof-tree polynomial of §2.4;
+/// `prooftree::provenance_polynomial` cross-checks it by enumeration.
+pub fn provenance_eval(gp: &GroundedProgram, max_iters: usize) -> EvalOutcome<Sorp> {
+    naive_eval(gp, &|f| Sorp::var(f), max_iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::ground::ground;
+    use crate::parser::parse_program;
+    use graphgen::generators;
+    use semiring::prelude::*;
+
+    fn tc_on(g: &graphgen::LabeledDigraph) -> (crate::ast::Program, Database, GroundedProgram) {
+        let mut p =
+            parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).").unwrap();
+        let (db, _) = Database::from_graph(&mut p, g);
+        let gp = ground(&p, &db).unwrap();
+        (p, db, gp)
+    }
+
+    #[test]
+    fn boolean_eval_matches_reachability() {
+        let g = generators::gnm(8, 20, &["E"], 3);
+        let (p, db, gp) = tc_on(&g);
+        let out = eval_all_ones::<Bool>(&gp, default_budget(&gp));
+        assert!(out.converged);
+        let t = p.preds.get("T").unwrap();
+        // Every derivable fact evaluates to true (grounding keeps only
+        // derivable facts), and matches BFS reachability.
+        for (i, (pred, tuple)) in gp.idb_facts.iter().enumerate() {
+            if *pred != t {
+                continue;
+            }
+            assert!(out.values[i].is_one());
+            let (u, v) = (tuple[0], tuple[1]);
+            // Find graph node indices back from constants.
+            let find = |c| (0..g.num_nodes()).find(|&i| db.node_const(i) == Some(c)).unwrap();
+            let (ui, vi) = (find(u), find(v));
+            // E+ reachability: at least one edge.
+            let mut ok = false;
+            for &(eu, ev, _) in g.edges() {
+                if eu as usize == ui && g.reachable_from(ev)[vi] {
+                    ok = true;
+                }
+            }
+            assert!(ok, "derived T({ui},{vi}) not backed by reachability");
+        }
+    }
+
+    #[test]
+    fn tropical_eval_is_shortest_path_on_unit_weights() {
+        let g = generators::gnm(9, 24, &["E"], 7);
+        let (p, db, gp) = tc_on(&g);
+        let out = naive_eval::<Tropical>(&gp, &|_| Tropical::new(1), default_budget(&gp));
+        assert!(out.converged);
+        let t = p.preds.get("T").unwrap();
+        for src in 0..g.num_nodes() {
+            let dist = g.bfs_distances(src as u32);
+            for dst in 0..g.num_nodes() {
+                let key = (
+                    t,
+                    vec![db.node_const(src).unwrap(), db.node_const(dst).unwrap()],
+                );
+                if let Some(&i) = gp.fact_index.get(&key) {
+                    let d = dist[dst].expect("derivable implies reachable");
+                    // E+ paths: for src==dst, BFS gives 0 but TC needs a
+                    // cycle; skip the diagonal.
+                    if src != dst {
+                        assert_eq!(out.values[i], Tropical::new(d), "({src},{dst})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counting_diverges_on_cycles() {
+        let g = generators::cycle(3, "E");
+        let (_, _, gp) = tc_on(&g);
+        let out = naive_eval::<Counting>(&gp, &|_| Counting::new(1), 50);
+        assert!(!out.converged, "counting semiring must not converge on a cycle");
+    }
+
+    #[test]
+    fn counting_counts_paths_on_dags() {
+        // Diamond: 0→1→3, 0→2→3 — two paths.
+        let mut g = graphgen::LabeledDigraph::new(4);
+        g.add_edge(0, 1, "E");
+        g.add_edge(0, 2, "E");
+        g.add_edge(1, 3, "E");
+        g.add_edge(2, 3, "E");
+        let (p, db, gp) = tc_on(&g);
+        let out = naive_eval::<Counting>(&gp, &|_| Counting::new(1), 20);
+        assert!(out.converged);
+        let t = p.preds.get("T").unwrap();
+        let i = gp
+            .fact(t, &[db.node_const(0).unwrap(), db.node_const(3).unwrap()])
+            .unwrap();
+        assert_eq!(out.values[i], Counting::new(2));
+    }
+
+    #[test]
+    fn tropk_converges_within_stability_budget() {
+        let g = generators::cycle(4, "E");
+        let (_, _, gp) = tc_on(&g);
+        // Trop_2 is 1-stable: naive evaluation converges despite the cycle.
+        let out = naive_eval::<TropK<2>>(&gp, &|_| TropK::single(1), 200);
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn provenance_eval_on_figure1() {
+        // The paper's Figure 1 graph.
+        let mut g = graphgen::LabeledDigraph::new(6);
+        // s=0, u1=1, u2=2, v1=3, v2=4, t=5
+        let e_su1 = g.add_edge(0, 1, "E");
+        let e_su2 = g.add_edge(0, 2, "E");
+        let e_u1v1 = g.add_edge(1, 3, "E");
+        let e_u1v2 = g.add_edge(1, 4, "E");
+        let e_u2v2 = g.add_edge(2, 4, "E");
+        let e_v1t = g.add_edge(3, 5, "E");
+        let e_v2t = g.add_edge(4, 5, "E");
+        let (p, db, gp) = tc_on(&g);
+        let out = provenance_eval(&gp, default_budget(&gp));
+        assert!(out.converged);
+        let t = p.preds.get("T").unwrap();
+        let i = gp
+            .fact(t, &[db.node_const(0).unwrap(), db.node_const(5).unwrap()])
+            .unwrap();
+        // §2.4: x_{s,u1}x_{u1,v1}x_{v1,t} + x_{s,u1}x_{u1,v2}x_{v2,t}
+        //       + x_{s,u2}x_{u2,v2}x_{v2,t}
+        let m = |a: u32, b: u32, c: u32| {
+            semiring::Monomial::from_pairs([(a, 1), (b, 1), (c, 1)])
+        };
+        let expect = Sorp::from_monomials([
+            m(e_su1 as u32, e_u1v1 as u32, e_v1t as u32),
+            m(e_su1 as u32, e_u1v2 as u32, e_v2t as u32),
+            m(e_su2 as u32, e_u2v2 as u32, e_v2t as u32),
+        ]);
+        assert_eq!(out.values[i], expect);
+    }
+
+    #[test]
+    fn bounded_program_converges_in_constant_iterations() {
+        // Example 4.2: T(x,y) :- E(x,y); T(x,y) :- A(x), T(z,y) — bounded.
+        let mut p = parse_program(
+            "T(X,Y) :- E(X,Y).\nT(X,Y) :- A(X), T(Z,Y).",
+        )
+        .unwrap();
+        for n in [3usize, 6, 10] {
+            let g = generators::path(n, "E");
+            let (mut db, _) = Database::from_graph(&mut p, &g);
+            let a = p.preds.get("A").unwrap();
+            let v0 = db.node_const(0).unwrap();
+            db.insert(a, vec![v0]);
+            let gp = ground(&p, &db).unwrap();
+            let out = eval_all_ones::<Bool>(&gp, default_budget(&gp));
+            assert!(out.converged);
+            assert!(
+                out.iterations <= 4,
+                "bounded program took {} iterations at n={n}",
+                out.iterations
+            );
+        }
+    }
+
+    #[test]
+    fn unbounded_tc_iterations_grow_with_input() {
+        let mut iters = Vec::new();
+        for n in [4usize, 8, 16] {
+            let g = generators::path(n, "E");
+            let (_, _, gp) = tc_on(&g);
+            let out = eval_all_ones::<Bool>(&gp, default_budget(&gp));
+            assert!(out.converged);
+            iters.push(out.iterations);
+        }
+        assert!(iters[0] < iters[1] && iters[1] < iters[2]);
+    }
+}

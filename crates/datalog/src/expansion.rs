@@ -1,0 +1,418 @@
+//! CQ expansions of a Datalog target and homomorphism-based boundedness
+//! evidence (paper §4, Theorems 4.5 and 4.6).
+//!
+//! Unfolding the target with rule applications yields a sequence of
+//! conjunctive queries `C₀, C₁, …` with `T =_S ⋃ᵢ Cᵢ` (Example 4.4). Over an
+//! absorptive ⊗-idempotent semiring (class `Chom`), the program is bounded
+//! iff from some depth on, every expansion absorbs into an earlier one via a
+//! homomorphism (Theorem 4.6) — and this coincides with Boolean boundedness
+//! (Corollary 4.7). Boundedness is undecidable in general, so this module
+//! offers a *semi-decision*: evidence up to a depth horizon.
+
+use std::collections::HashSet;
+
+use crate::ast::{Atom, Program, Term};
+use crate::symbols::{PredId, VarSym};
+
+/// A conjunctive query over EDB atoms with distinguished head variables.
+///
+/// Variables are local (`0..num_vars`); constants reference
+/// `Program::consts`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cq {
+    /// Head terms (the target's arguments).
+    pub head: Vec<CqTerm>,
+    /// EDB body atoms.
+    pub atoms: Vec<(PredId, Vec<CqTerm>)>,
+    /// Number of local variables.
+    pub num_vars: u32,
+    /// How many rule applications produced this expansion.
+    pub depth: usize,
+}
+
+/// A term of a [`Cq`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CqTerm {
+    /// A local variable.
+    Var(u32),
+    /// A program constant.
+    Const(u32),
+}
+
+/// Enumerate the expansions of the program's target with at most
+/// `max_depth` rule applications, stopping at `max_count` expansions.
+/// Returns `(expansions, truncated)`.
+pub fn expansions(program: &Program, max_depth: usize, max_count: usize) -> (Vec<Cq>, bool) {
+    let idbs = program.idbs();
+    let target_arity = program.arity(program.target).unwrap_or(0);
+
+    // Partial expansion: atoms may still contain IDB predicates.
+    #[derive(Clone)]
+    struct Partial {
+        head: Vec<CqTerm>,
+        atoms: Vec<(PredId, Vec<CqTerm>)>,
+        num_vars: u32,
+        depth: usize,
+    }
+
+    let init = Partial {
+        head: (0..target_arity as u32).map(CqTerm::Var).collect(),
+        atoms: vec![(
+            program.target,
+            (0..target_arity as u32).map(CqTerm::Var).collect(),
+        )],
+        num_vars: target_arity as u32,
+        depth: 0,
+    };
+
+    let mut out: Vec<Cq> = Vec::new();
+    let mut truncated = false;
+    let mut frontier = vec![init];
+    while let Some(partial) = frontier.pop() {
+        if out.len() >= max_count {
+            truncated = true;
+            break;
+        }
+        // Find the first IDB atom to unfold.
+        let Some(pos) = partial
+            .atoms
+            .iter()
+            .position(|(p, _)| idbs.contains(p))
+        else {
+            out.push(Cq {
+                head: partial.head,
+                atoms: partial.atoms,
+                num_vars: partial.num_vars,
+                depth: partial.depth,
+            });
+            continue;
+        };
+        if partial.depth == max_depth {
+            continue; // still has IDB atoms at the depth horizon: drop
+        }
+        let (pred, args) = partial.atoms[pos].clone();
+        for rule in program.rules.iter().filter(|r| r.head.pred == pred) {
+            // Rename rule variables to fresh local variables; unify head
+            // with `args` directly (head vars map to the matched terms).
+            let mut var_map: Vec<Option<CqTerm>> =
+                vec![None; program.vars.len()];
+            let mut num_vars = partial.num_vars;
+            let mut consistent = true;
+            for (ht, at) in rule.head.terms.iter().zip(args.iter()) {
+                match ht {
+                    Term::Var(v) => {
+                        let slot = &mut var_map[*v as usize];
+                        match slot {
+                            None => *slot = Some(*at),
+                            Some(prev) if *prev != *at => {
+                                consistent = false;
+                                break;
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                    Term::Const(c) => {
+                        // Head constant must match a constant argument; a
+                        // variable argument would need equality handling —
+                        // conservatively require equality of constants.
+                        if *at != CqTerm::Const(*c) {
+                            consistent = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !consistent {
+                continue;
+            }
+            let mut resolve = |t: &Term, num_vars: &mut u32| -> CqTerm {
+                match t {
+                    Term::Const(c) => CqTerm::Const(*c),
+                    Term::Var(v) => {
+                        let slot = &mut var_map[*v as usize];
+                        match slot {
+                            Some(x) => *x,
+                            None => {
+                                let fresh = CqTerm::Var(*num_vars);
+                                *num_vars += 1;
+                                *slot = Some(fresh);
+                                fresh
+                            }
+                        }
+                    }
+                }
+            };
+            let mut atoms = partial.atoms.clone();
+            let new_atoms: Vec<(PredId, Vec<CqTerm>)> = rule
+                .body
+                .iter()
+                .map(|a| {
+                    (
+                        a.pred,
+                        a.terms
+                            .iter()
+                            .map(|t| resolve(t, &mut num_vars))
+                            .collect(),
+                    )
+                })
+                .collect();
+            atoms.splice(pos..=pos, new_atoms);
+            frontier.push(Partial {
+                head: partial.head.clone(),
+                atoms,
+                num_vars,
+                depth: partial.depth + 1,
+            });
+        }
+    }
+    out.sort_by_key(|c| c.depth);
+    (out, truncated)
+}
+
+/// Is there a homomorphism `src → dst` fixing the head pointwise?
+/// (Chandra–Merlin: then `dst ⊆ src` over the Boolean semiring, and over any
+/// `Chom` semiring by the Kostylev et al. characterization the paper uses.)
+pub fn homomorphism(src: &Cq, dst: &Cq) -> bool {
+    // Mapping from src variables to dst terms.
+    let mut map: Vec<Option<CqTerm>> = vec![None; src.num_vars as usize];
+    // Head must map pointwise.
+    for (s, d) in src.head.iter().zip(dst.head.iter()) {
+        match s {
+            CqTerm::Var(v) => {
+                let slot = &mut map[*v as usize];
+                match slot {
+                    None => *slot = Some(*d),
+                    Some(prev) if prev != d => return false,
+                    Some(_) => {}
+                }
+            }
+            CqTerm::Const(c) => {
+                if *d != CqTerm::Const(*c) {
+                    return false;
+                }
+            }
+        }
+    }
+    hom_search(src, dst, 0, &mut map)
+}
+
+fn hom_search(src: &Cq, dst: &Cq, pos: usize, map: &mut Vec<Option<CqTerm>>) -> bool {
+    if pos == src.atoms.len() {
+        return true;
+    }
+    let (pred, args) = &src.atoms[pos];
+    'candidates: for (dpred, dargs) in &dst.atoms {
+        if dpred != pred || dargs.len() != args.len() {
+            continue;
+        }
+        let mut newly: Vec<u32> = Vec::new();
+        for (s, d) in args.iter().zip(dargs.iter()) {
+            match s {
+                CqTerm::Const(c) => {
+                    if *d != CqTerm::Const(*c) {
+                        for v in newly {
+                            map[v as usize] = None;
+                        }
+                        continue 'candidates;
+                    }
+                }
+                CqTerm::Var(v) => match &map[*v as usize] {
+                    Some(prev) if prev != d => {
+                        for v in newly {
+                            map[v as usize] = None;
+                        }
+                        continue 'candidates;
+                    }
+                    Some(_) => {}
+                    None => {
+                        map[*v as usize] = Some(*d);
+                        newly.push(*v);
+                    }
+                },
+            }
+        }
+        if hom_search(src, dst, pos + 1, map) {
+            return true;
+        }
+        for v in newly {
+            map[v as usize] = None;
+        }
+    }
+    false
+}
+
+/// Evidence about boundedness gathered from expansions (Theorem 4.6).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundednessEvidence {
+    /// The smallest `N` such that every expansion with depth in
+    /// `(N, horizon]` has a homomorphism from an expansion of depth ≤ `N`,
+    /// if one exists.
+    pub bound: Option<usize>,
+    /// The depth horizon examined.
+    pub horizon: usize,
+    /// Whether expansion enumeration was truncated (evidence incomplete).
+    pub truncated: bool,
+}
+
+/// Check the Theorem 4.6 condition up to a depth horizon. `Some(N)` in
+/// [`BoundednessEvidence::bound`] is *evidence* of boundedness over any
+/// absorptive ⊗-idempotent semiring (a proof if the program is known bounded
+/// ⇔ grammar-finite, as for chain programs); `None` with an honest horizon
+/// is evidence of unboundedness.
+pub fn boundedness_evidence(
+    program: &Program,
+    horizon: usize,
+    max_expansions: usize,
+) -> BoundednessEvidence {
+    let (exps, truncated) = expansions(program, horizon, max_expansions);
+    let mut bound = None;
+    'candidates: for n in 0..horizon {
+        for deep in exps.iter().filter(|c| c.depth > n) {
+            let absorbed = exps
+                .iter()
+                .filter(|c| c.depth <= n)
+                .any(|shallow| homomorphism(shallow, deep));
+            if !absorbed {
+                continue 'candidates;
+            }
+        }
+        bound = Some(n);
+        break;
+    }
+    BoundednessEvidence {
+        bound,
+        horizon,
+        truncated,
+    }
+}
+
+/// Convenience: variables of an atom list (used by tests).
+pub fn cq_vars(cq: &Cq) -> HashSet<u32> {
+    let mut out = HashSet::new();
+    for (_, args) in &cq.atoms {
+        for t in args {
+            if let CqTerm::Var(v) = t {
+                out.insert(*v);
+            }
+        }
+    }
+    out
+}
+
+/// Suppress unused-import warnings for `VarSym` (kept for doc references).
+#[allow(dead_code)]
+fn _unused(_: VarSym, _: &Atom) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn tc() -> Program {
+        parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).").unwrap()
+    }
+
+    #[test]
+    fn tc_expansions_are_paths() {
+        let p = tc();
+        let (exps, truncated) = expansions(&p, 4, 1000);
+        assert!(!truncated);
+        // Depth d expansion: path with d edge atoms (d = #applications;
+        // depth 1 → E(x,y), depth 2 → E(x,z),E(z,y), …).
+        for cq in &exps {
+            assert_eq!(cq.atoms.len(), cq.depth);
+            assert!(cq.atoms.iter().all(|(p_, _)| {
+                p_ == &p.preds.get("E").unwrap()
+            }));
+        }
+        let depths: Vec<usize> = exps.iter().map(|c| c.depth).collect();
+        assert_eq!(depths, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn path_homomorphisms_go_short_to_long_nowhere() {
+        // No hom from the 1-edge path E(x,y) to the 2-edge path
+        // E(x,z),E(z,y) with head (x,y) fixed — and vice versa.
+        let p = tc();
+        let (exps, _) = expansions(&p, 2, 100);
+        assert_eq!(exps.len(), 2);
+        assert!(!homomorphism(&exps[0], &exps[1]));
+        assert!(!homomorphism(&exps[1], &exps[0]));
+    }
+
+    #[test]
+    fn tc_looks_unbounded() {
+        let ev = boundedness_evidence(&tc(), 5, 1000);
+        assert_eq!(ev.bound, None);
+        assert!(!ev.truncated);
+    }
+
+    #[test]
+    fn example_4_2_looks_bounded() {
+        // T(x,y) :- E(x,y) | A(x), T(z,y): expansions beyond depth 2 absorb
+        // into depth-2 ones (the program is equivalent to a UCQ).
+        let p = parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- A(X), T(Z,Y).").unwrap();
+        let ev = boundedness_evidence(&p, 5, 1000);
+        assert_eq!(ev.bound, Some(2));
+    }
+
+    #[test]
+    fn finite_chain_program_is_bounded_quickly() {
+        // S → ab | b: no recursion, bounded at depth 1.
+        let p = parse_program("S(X,Y) :- A(X,Z), B(Z,Y).\nS(X,Y) :- B(X,Y).").unwrap();
+        let ev = boundedness_evidence(&p, 4, 1000);
+        assert_eq!(ev.bound, Some(1));
+    }
+
+    #[test]
+    fn nonlinear_expansion_explosion_is_truncated() {
+        // Dyck-1 expansions grow exponentially with depth; the cap must
+        // report truncation rather than hang.
+        let p = parse_program(
+            "S(X,Y) :- L(X,Z), R(Z,Y).\n\
+             S(X,Y) :- L(X,W), S(W,Z), R(Z,Y).\n\
+             S(X,Y) :- S(X,Z), S(Z,Y).",
+        )
+        .unwrap();
+        let (exps, truncated) = expansions(&p, 12, 50);
+        assert!(truncated);
+        assert!(exps.len() <= 50);
+        // Truncation propagates to the boundedness evidence as Unknown-safe.
+        let ev = boundedness_evidence(&p, 12, 50);
+        assert!(ev.truncated);
+    }
+
+    #[test]
+    fn self_homomorphism_always_exists() {
+        let p = tc();
+        let (exps, _) = expansions(&p, 3, 100);
+        for cq in &exps {
+            assert!(homomorphism(cq, cq));
+        }
+    }
+
+    #[test]
+    fn hom_collapses_redundant_atoms() {
+        // src: E(x,z), E(z,y) with head (x,y);
+        // dst: E(x,y) with head (x,y) has no hom (z can't go anywhere to
+        // make both atoms map) — but src': E(x,z),E(x,z2) head (x) maps onto
+        // dst': E(x,z) head (x).
+        let src = Cq {
+            head: vec![CqTerm::Var(0)],
+            atoms: vec![
+                (0, vec![CqTerm::Var(0), CqTerm::Var(1)]),
+                (0, vec![CqTerm::Var(0), CqTerm::Var(2)]),
+            ],
+            num_vars: 3,
+            depth: 0,
+        };
+        let dst = Cq {
+            head: vec![CqTerm::Var(0)],
+            atoms: vec![(0, vec![CqTerm::Var(0), CqTerm::Var(1)])],
+            num_vars: 2,
+            depth: 0,
+        };
+        assert!(homomorphism(&src, &dst));
+        assert!(homomorphism(&dst, &src));
+    }
+}

@@ -1,0 +1,402 @@
+//! Grounding: from a program and database to the grounded program
+//! (paper §2.1), the shared input of naive evaluation and of every circuit
+//! construction (Theorems 3.1, 4.3, 6.2).
+//!
+//! Grounding proceeds in two phases:
+//! 1. a naive Boolean fixpoint computes the set of *derivable* IDB facts;
+//! 2. every rule is instantiated in all ways whose body holds in
+//!    EDB ∪ derivable-IDB, yielding [`GroundedRule`]s.
+//!
+//! Restricting to derivable facts keeps the grounded program — and hence
+//! every circuit built from it — free of dead gates.
+
+use std::collections::HashMap;
+
+use crate::ast::{Atom, Program, Rule, Term};
+use crate::database::{Database, FactId};
+use crate::symbols::{ConstId, PredId, VarSym};
+
+/// A grounded rule `idb_facts[head] :- idb_facts[i]…, x_{edb}…`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroundedRule {
+    /// Index of the originating rule in the program.
+    pub rule_index: usize,
+    /// Head fact (index into [`GroundedProgram::idb_facts`]).
+    pub head: usize,
+    /// IDB body facts (indices into [`GroundedProgram::idb_facts`]).
+    pub body_idb: Vec<usize>,
+    /// EDB body facts (provenance variables).
+    pub body_edb: Vec<FactId>,
+}
+
+/// The grounded program.
+#[derive(Clone, Debug, Default)]
+pub struct GroundedProgram {
+    /// All derivable IDB facts.
+    pub idb_facts: Vec<(PredId, Vec<ConstId>)>,
+    /// Index from fact to its position in `idb_facts`.
+    pub fact_index: HashMap<(PredId, Vec<ConstId>), usize>,
+    /// All grounded rules.
+    pub rules: Vec<GroundedRule>,
+    /// For each IDB fact, the grounded rules deriving it.
+    pub rules_by_head: Vec<Vec<usize>>,
+}
+
+impl GroundedProgram {
+    /// Number of derivable IDB facts.
+    pub fn num_idb_facts(&self) -> usize {
+        self.idb_facts.len()
+    }
+
+    /// The index of a derivable IDB fact.
+    pub fn fact(&self, pred: PredId, tuple: &[ConstId]) -> Option<usize> {
+        self.fact_index.get(&(pred, tuple.to_vec())).copied()
+    }
+
+    /// Indices of derivable facts of a predicate.
+    pub fn facts_of(&self, pred: PredId) -> Vec<usize> {
+        self.idb_facts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (p, _))| (*p == pred).then_some(i))
+            .collect()
+    }
+
+    /// Total size of the grounded program (the `M` of Theorem 4.3's size
+    /// analysis): grounded rules plus their body atoms.
+    pub fn size(&self) -> usize {
+        self.rules.len()
+            + self
+                .rules
+                .iter()
+                .map(|r| r.body_idb.len() + r.body_edb.len())
+                .sum::<usize>()
+    }
+}
+
+/// A match target during joins: either an IDB fact index or an EDB fact id.
+#[derive(Clone, Copy, Debug)]
+enum BodyMatch {
+    Idb(usize),
+    Edb(FactId),
+}
+
+/// Ground `program` against `db`. Fails if the grounding would exceed
+/// `max_rules` grounded rules (pass `usize::MAX` for no limit).
+pub fn ground_with_limit(
+    program: &Program,
+    db: &Database,
+    max_rules: usize,
+) -> Result<GroundedProgram, String> {
+    program.validate()?;
+    let idbs = program.idbs();
+
+    // Resolve program constants into the database's domain; a rule whose
+    // constant is outside the active domain can never fire.
+    let const_map: Vec<Option<ConstId>> = (0..program.consts.len() as u32)
+        .map(|c| db.consts.get(program.consts.name(c)))
+        .collect();
+
+    // Phase 1: derivable IDB facts (naive Boolean fixpoint).
+    let mut gp = GroundedProgram::default();
+    loop {
+        let mut new_facts: Vec<(PredId, Vec<ConstId>)> = Vec::new();
+        for rule in &program.rules {
+            enumerate_matches(program, db, &gp, &const_map, rule, &idbs, &mut |bindings, _| {
+                let head = instantiate(&rule.head, bindings, &const_map)
+                    .expect("head vars bound by safety");
+                if gp.fact(rule.head.pred, &head).is_none() {
+                    new_facts.push((rule.head.pred, head));
+                }
+            });
+        }
+        let mut changed = false;
+        for (pred, tuple) in new_facts {
+            let key = (pred, tuple);
+            if !gp.fact_index.contains_key(&key) {
+                gp.fact_index.insert(key.clone(), gp.idb_facts.len());
+                gp.idb_facts.push(key);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Phase 2: enumerate all groundings against the completed fact set.
+    let mut rules: Vec<GroundedRule> = Vec::new();
+    for (rule_index, rule) in program.rules.iter().enumerate() {
+        let mut overflow = false;
+        enumerate_matches(program, db, &gp, &const_map, rule, &idbs, &mut |bindings,
+                                                                           matches| {
+            if overflow {
+                return;
+            }
+            if rules.len() >= max_rules {
+                overflow = true;
+                return;
+            }
+            let head_tuple = instantiate(&rule.head, bindings, &const_map)
+                .expect("head vars bound by safety");
+            let head = gp
+                .fact(rule.head.pred, &head_tuple)
+                .expect("head derivable at fixpoint");
+            let mut body_idb = Vec::new();
+            let mut body_edb = Vec::new();
+            for m in matches {
+                match *m {
+                    BodyMatch::Idb(i) => body_idb.push(i),
+                    BodyMatch::Edb(f) => body_edb.push(f),
+                }
+            }
+            rules.push(GroundedRule {
+                rule_index,
+                head,
+                body_idb,
+                body_edb,
+            });
+        });
+        if overflow {
+            return Err(format!(
+                "grounding exceeds the limit of {max_rules} grounded rules"
+            ));
+        }
+    }
+
+    gp.rules_by_head = vec![Vec::new(); gp.idb_facts.len()];
+    for (i, r) in rules.iter().enumerate() {
+        gp.rules_by_head[r.head].push(i);
+    }
+    gp.rules = rules;
+    Ok(gp)
+}
+
+/// Ground without a rule limit.
+pub fn ground(program: &Program, db: &Database) -> Result<GroundedProgram, String> {
+    ground_with_limit(program, db, usize::MAX)
+}
+
+/// Enumerate all substitutions satisfying `rule`'s body over
+/// EDB ∪ derivable-IDB, invoking `on_match(bindings, per-atom matches)`.
+fn enumerate_matches(
+    program: &Program,
+    db: &Database,
+    gp: &GroundedProgram,
+    const_map: &[Option<ConstId>],
+    rule: &Rule,
+    idbs: &std::collections::HashSet<PredId>,
+    on_match: &mut dyn FnMut(&HashMap<VarSym, ConstId>, &[BodyMatch]),
+) {
+    let mut bindings: HashMap<VarSym, ConstId> = HashMap::new();
+    let mut matches: Vec<BodyMatch> = Vec::with_capacity(rule.body.len());
+    recurse(
+        program, db, gp, const_map, rule, idbs, 0, &mut bindings, &mut matches, on_match,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    program: &Program,
+    db: &Database,
+    gp: &GroundedProgram,
+    const_map: &[Option<ConstId>],
+    rule: &Rule,
+    idbs: &std::collections::HashSet<PredId>,
+    pos: usize,
+    bindings: &mut HashMap<VarSym, ConstId>,
+    matches: &mut Vec<BodyMatch>,
+    on_match: &mut dyn FnMut(&HashMap<VarSym, ConstId>, &[BodyMatch]),
+) {
+    if pos == rule.body.len() {
+        on_match(bindings, matches);
+        return;
+    }
+    let atom = &rule.body[pos];
+    if idbs.contains(&atom.pred) {
+        for i in gp.facts_of(atom.pred) {
+            let tuple = gp.idb_facts[i].1.clone();
+            try_match(
+                program, db, gp, const_map, rule, idbs, pos, atom, &tuple,
+                BodyMatch::Idb(i), bindings, matches, on_match,
+            );
+        }
+    } else {
+        for &fid in db.facts_of(atom.pred) {
+            let tuple = db.fact(fid).1.to_vec();
+            try_match(
+                program, db, gp, const_map, rule, idbs, pos, atom, &tuple,
+                BodyMatch::Edb(fid), bindings, matches, on_match,
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_match(
+    program: &Program,
+    db: &Database,
+    gp: &GroundedProgram,
+    const_map: &[Option<ConstId>],
+    rule: &Rule,
+    idbs: &std::collections::HashSet<PredId>,
+    pos: usize,
+    atom: &Atom,
+    tuple: &[ConstId],
+    matched: BodyMatch,
+    bindings: &mut HashMap<VarSym, ConstId>,
+    matches: &mut Vec<BodyMatch>,
+    on_match: &mut dyn FnMut(&HashMap<VarSym, ConstId>, &[BodyMatch]),
+) {
+    if tuple.len() != atom.terms.len() {
+        return;
+    }
+    let mut newly_bound: Vec<VarSym> = Vec::new();
+    let mut ok = true;
+    for (term, &value) in atom.terms.iter().zip(tuple) {
+        match term {
+            Term::Const(c) => {
+                if const_map[*c as usize] != Some(value) {
+                    ok = false;
+                    break;
+                }
+            }
+            Term::Var(v) => match bindings.get(v) {
+                Some(&bound) if bound != value => {
+                    ok = false;
+                    break;
+                }
+                Some(_) => {}
+                None => {
+                    bindings.insert(*v, value);
+                    newly_bound.push(*v);
+                }
+            },
+        }
+    }
+    if ok {
+        matches.push(matched);
+        recurse(
+            program, db, gp, const_map, rule, idbs, pos + 1, bindings, matches, on_match,
+        );
+        matches.pop();
+    }
+    for v in newly_bound {
+        bindings.remove(&v);
+    }
+}
+
+fn instantiate(
+    atom: &Atom,
+    bindings: &HashMap<VarSym, ConstId>,
+    const_map: &[Option<ConstId>],
+) -> Option<Vec<ConstId>> {
+    atom.terms
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => bindings.get(v).copied(),
+            Term::Const(c) => const_map[*c as usize],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use graphgen::generators;
+
+    fn tc() -> Program {
+        parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).").unwrap()
+    }
+
+    #[test]
+    fn tc_on_path_derives_all_ordered_pairs() {
+        let mut p = tc();
+        let g = generators::path(4, "E");
+        let (db, _) = Database::from_graph(&mut p, &g);
+        let gp = ground(&p, &db).unwrap();
+        // 5 nodes: pairs (i,j) with i<j → 10 facts.
+        assert_eq!(gp.num_idb_facts(), 10);
+        let t = p.preds.get("T").unwrap();
+        let c = |i: usize| db.node_const(i).unwrap();
+        assert!(gp.fact(t, &[c(0), c(4)]).is_some());
+        assert!(gp.fact(t, &[c(2), c(1)]).is_none());
+    }
+
+    #[test]
+    fn grounded_rule_counts_on_path() {
+        let mut p = tc();
+        let g = generators::path(3, "E");
+        let (db, _) = Database::from_graph(&mut p, &g);
+        let gp = ground(&p, &db).unwrap();
+        // Initialization: one per edge (3). Recursive T(x,z),E(z,y): for
+        // each derivable T(x,z) and edge (z,y): T(0,1)E(1,2), T(0,1)..no..
+        // count: pairs (T(i,j), edge (j,k)) with i<j<k? T facts: (0,1),(0,2),
+        // (0,3),(1,2),(1,3),(2,3). Edges: (0,1),(1,2),(2,3).
+        // Joins: T(i,j) with edge (j,j+1): (0,1)+(1,2); (0,2)+(2,3);
+        // (1,2)+(2,3) → 3 groundings.
+        let init = gp.rules.iter().filter(|r| r.rule_index == 0).count();
+        let rec = gp.rules.iter().filter(|r| r.rule_index == 1).count();
+        assert_eq!(init, 3);
+        assert_eq!(rec, 3);
+        // Every grounded rule's head is a derivable fact with that rule in
+        // its head index.
+        for (i, r) in gp.rules.iter().enumerate() {
+            assert!(gp.rules_by_head[r.head].contains(&i));
+        }
+    }
+
+    #[test]
+    fn cycle_derives_all_pairs() {
+        let mut p = tc();
+        let g = generators::cycle(3, "E");
+        let (db, _) = Database::from_graph(&mut p, &g);
+        let gp = ground(&p, &db).unwrap();
+        assert_eq!(gp.num_idb_facts(), 9); // all ordered pairs incl. self
+    }
+
+    #[test]
+    fn constants_in_rules_bind() {
+        let mut p = parse_program("R(Y) :- E(v0, Y).\nR(Y) :- R(Z), E(Z,Y).").unwrap();
+        let g = generators::path(3, "E");
+        let (db, _) = Database::from_graph(&mut p, &g);
+        let gp = ground(&p, &db).unwrap();
+        let r = p.preds.get("R").unwrap();
+        // Reachable from v0 by ≥1 edges: v1, v2, v3.
+        assert_eq!(gp.facts_of(r).len(), 3);
+    }
+
+    #[test]
+    fn unknown_constants_never_fire() {
+        let mut p = parse_program("R(Y) :- E(nosuch, Y).").unwrap();
+        let g = generators::path(2, "E");
+        let (db, _) = Database::from_graph(&mut p, &g);
+        let gp = ground(&p, &db).unwrap();
+        assert_eq!(gp.num_idb_facts(), 0);
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let mut p = tc();
+        let g = generators::complete(6, "E");
+        let (db, _) = Database::from_graph(&mut p, &g);
+        assert!(ground_with_limit(&p, &db, 10).is_err());
+        assert!(ground(&p, &db).is_ok());
+    }
+
+    #[test]
+    fn monadic_program_grounds() {
+        // Paper Example 2.1's second program: reachable-from-A.
+        let mut p = parse_program("U(X) :- A(X).\nU(X) :- U(Y), E(X,Y).").unwrap();
+        let g = generators::path(3, "E");
+        let (mut db, _) = Database::from_graph(&mut p, &g);
+        // A holds at v3; U(x) reaches backwards along edges (x,y) with U(y).
+        let a = p.preds.get("A").unwrap();
+        let v3 = db.node_const(3).unwrap();
+        db.insert(a, vec![v3]);
+        let gp = ground(&p, &db).unwrap();
+        let u = p.preds.get("U").unwrap();
+        assert_eq!(gp.facts_of(u).len(), 4); // v3, v2, v1, v0
+    }
+}

@@ -1,0 +1,196 @@
+//! Textual Datalog syntax.
+//!
+//! ```text
+//! @target T          # optional; defaults to the head of the first rule
+//! T(X,Y) :- E(X,Y).
+//! T(X,Y) :- T(X,Z), E(Z,Y).
+//! U(X)   :- A(X).
+//! U(X)   :- U(Y), E(X,Y).
+//! R(Y)   :- P(s,Y).  # lowercase arguments are constants
+//! ```
+//!
+//! Identifiers starting with an uppercase letter or `_` are variables;
+//! everything else in argument position is a constant.
+
+use crate::ast::{Atom, Program, Rule, Term};
+
+/// Parse a program. See the module docs for the syntax.
+pub fn parse_program(text: &str) -> Result<Program, String> {
+    let mut target_directive: Option<String> = None;
+    let mut rule_sources: Vec<String> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("@target") {
+            let name = rest.trim();
+            if name.is_empty() {
+                return Err(format!("line {}: @target needs a predicate", lineno + 1));
+            }
+            target_directive = Some(name.to_owned());
+            continue;
+        }
+        rule_sources.push(line.to_owned());
+    }
+    // Rules may span lines until the terminating '.'; re-join and re-split.
+    let joined = rule_sources.join(" ");
+    let rule_texts: Vec<&str> = joined
+        .split('.')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if rule_texts.is_empty() {
+        return Err("no rules".into());
+    }
+
+    // Peek the first head name for the default target.
+    let first_head = rule_texts[0]
+        .split(&[':', '('][..])
+        .next()
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .ok_or("cannot determine first head")?;
+    let mut program = Program::new(target_directive.as_deref().unwrap_or(first_head));
+
+    for src in rule_texts {
+        let (head_src, body_src) = src
+            .split_once(":-")
+            .ok_or_else(|| format!("rule '{src}': missing ':-'"))?;
+        let head = parse_atom(&mut program, head_src.trim())?;
+        let mut body = Vec::new();
+        for atom_src in split_atoms(body_src)? {
+            body.push(parse_atom(&mut program, &atom_src)?);
+        }
+        if body.is_empty() {
+            return Err(format!("rule '{src}': empty body"));
+        }
+        program.rules.push(Rule { head, body });
+    }
+    Ok(program)
+}
+
+/// Split `P(a,b), Q(c)` into atom sources, respecting parentheses.
+fn split_atoms(src: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in src.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth = depth.checked_sub(1).ok_or("unbalanced ')'")?;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_owned());
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if depth != 0 {
+        return Err("unbalanced '('".into());
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_owned());
+    }
+    Ok(out)
+}
+
+fn parse_atom(program: &mut Program, src: &str) -> Result<Atom, String> {
+    let (name, rest) = src
+        .split_once('(')
+        .ok_or_else(|| format!("atom '{src}': missing '('"))?;
+    let name = name.trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(format!("atom '{src}': bad predicate name"));
+    }
+    let rest = rest.trim();
+    let args_src = rest
+        .strip_suffix(')')
+        .ok_or_else(|| format!("atom '{src}': missing ')'"))?;
+    let pred = program.preds.intern(name);
+    let mut terms = Vec::new();
+    for arg in args_src.split(',') {
+        let arg = arg.trim();
+        if arg.is_empty() {
+            return Err(format!("atom '{src}': empty argument"));
+        }
+        if !arg.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(format!("atom '{src}': bad argument '{arg}'"));
+        }
+        let first = arg.chars().next().expect("nonempty");
+        if first.is_uppercase() || first == '_' {
+            terms.push(Term::Var(program.vars.intern(arg)));
+        } else {
+            terms.push(Term::Const(program.consts.intern(arg)));
+        }
+    }
+    Ok(Atom { pred, terms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tc() {
+        let p = parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).").unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.rules[1].body.len(), 2);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn target_directive_overrides_first_head() {
+        let p = parse_program("@target U\nT(X,Y) :- E(X,Y).\nU(X) :- T(X,X).").unwrap();
+        assert_eq!(p.preds.name(p.target), "U");
+    }
+
+    #[test]
+    fn constants_are_lowercase() {
+        let p = parse_program("R(Y) :- P(s, Y).").unwrap();
+        match p.rules[0].body[0].terms[0] {
+            Term::Const(c) => assert_eq!(p.consts.name(c), "s"),
+            _ => panic!("expected constant"),
+        }
+        match p.rules[0].body[0].terms[1] {
+            Term::Var(v) => assert_eq!(p.vars.name(v), "Y"),
+            _ => panic!("expected variable"),
+        }
+    }
+
+    #[test]
+    fn multiline_rules_and_comments() {
+        let p = parse_program(
+            "# transitive closure\nT(X,Y) :-\n  E(X,Y).\nT(X,Y) :- T(X,Z),\n  E(Z,Y).",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+    }
+
+    #[test]
+    fn error_on_missing_implication() {
+        assert!(parse_program("T(X,Y).").is_err());
+    }
+
+    #[test]
+    fn error_on_unbalanced_parens() {
+        assert!(parse_program("T(X,Y) :- E(X,Y.").is_err());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let src = "T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).";
+        let p = parse_program(src).unwrap();
+        let p2 = parse_program(&p.to_string()).unwrap();
+        assert_eq!(p.rules.len(), p2.rules.len());
+        assert_eq!(p.to_string(), p2.to_string());
+    }
+}

@@ -1,0 +1,78 @@
+//! String interners for predicates, variables and constants.
+
+use std::collections::HashMap;
+
+/// A string interner handing out dense `u32` ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern a name, returning its id.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up an id by name.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// The name for an id.
+    pub fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All ids in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = u32> {
+        0..self.names.len() as u32
+    }
+}
+
+/// Predicate id.
+pub type PredId = u32;
+/// Variable id (program-level, not provenance).
+pub type VarSym = u32;
+/// Constant id (element of the active domain).
+pub type ConstId = u32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("T");
+        let b = i.intern("E");
+        assert_eq!(i.intern("T"), a);
+        assert_ne!(a, b);
+        assert_eq!(i.name(a), "T");
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.get("E"), Some(b));
+        assert_eq!(i.get("missing"), None);
+    }
+}

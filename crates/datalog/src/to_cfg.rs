@@ -1,0 +1,127 @@
+//! The chain-Datalog ↔ CFG correspondence (paper §5, Proposition 5.2).
+//!
+//! IDB predicates ↦ non-terminals, EDB predicates ↦ terminals, rules ↦
+//! productions with variables erased; the target IDB is the start symbol.
+
+use grammar::{Cfg, Symbol};
+
+use crate::ast::{Atom, Program, Rule, Term};
+use crate::classify::classify;
+
+/// Convert a basic chain Datalog program to its CFG.
+pub fn chain_to_cfg(program: &Program) -> Result<Cfg, String> {
+    if !classify(program).is_chain {
+        return Err("program is not basic chain Datalog".into());
+    }
+    let idbs = program.idbs();
+    let mut cfg = Cfg::new(program.preds.name(program.target));
+    for rule in &program.rules {
+        let head = cfg.nonterminal(program.preds.name(rule.head.pred));
+        let body = rule
+            .body
+            .iter()
+            .map(|a| {
+                if idbs.contains(&a.pred) {
+                    Symbol::N(cfg.nonterminal(program.preds.name(a.pred)))
+                } else {
+                    Symbol::T(cfg.terminal(program.preds.name(a.pred)))
+                }
+            })
+            .collect();
+        cfg.add_production(head, body);
+    }
+    Ok(cfg)
+}
+
+/// Convert a CFG (without ε-productions) to the corresponding basic chain
+/// Datalog program.
+pub fn cfg_to_chain(cfg: &Cfg) -> Result<Program, String> {
+    let mut program = Program::new(cfg.nonterminal_name(cfg.start));
+    for production in &cfg.productions {
+        if production.body.is_empty() {
+            return Err(
+                "ε-productions have no chain-Datalog counterpart (a safe rule needs a body)"
+                    .into(),
+            );
+        }
+        let head_pred = program.preds.intern(cfg.nonterminal_name(production.head));
+        let k = production.body.len();
+        // Variables X0 … Xk chain through the body.
+        let vars: Vec<u32> = (0..=k)
+            .map(|i| program.vars.intern(&format!("X{i}")))
+            .collect();
+        let body = production
+            .body
+            .iter()
+            .enumerate()
+            .map(|(i, sym)| {
+                let pred = match sym {
+                    Symbol::N(n) => program.preds.intern(cfg.nonterminal_name(*n)),
+                    Symbol::T(t) => program.preds.intern(cfg.alphabet.name(*t)),
+                };
+                Atom {
+                    pred,
+                    terms: vec![Term::Var(vars[i]), Term::Var(vars[i + 1])],
+                }
+            })
+            .collect();
+        program.rules.push(Rule {
+            head: Atom {
+                pred: head_pred,
+                terms: vec![Term::Var(vars[0]), Term::Var(vars[k])],
+            },
+            body,
+        });
+    }
+    program.validate()?;
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use grammar::{CfgAnalysis, Cnf, LanguageSize};
+
+    #[test]
+    fn tc_maps_to_its_grammar() {
+        let p = parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).").unwrap();
+        let cfg = chain_to_cfg(&p).unwrap();
+        // T ← E | T E, an infinite regular language.
+        assert!(cfg.is_left_linear());
+        let analysis = CfgAnalysis::new(&Cnf::from_cfg(&cfg));
+        assert_eq!(*analysis.language_size(), LanguageSize::Infinite);
+    }
+
+    #[test]
+    fn round_trip_preserves_shape() {
+        let cfg = Cfg::dyck1();
+        let p = cfg_to_chain(&cfg).unwrap();
+        assert!(classify(&p).is_chain);
+        let cfg2 = chain_to_cfg(&p).unwrap();
+        assert_eq!(cfg.productions.len(), cfg2.productions.len());
+        let analysis = CfgAnalysis::new(&Cnf::from_cfg(&cfg2));
+        assert_eq!(*analysis.language_size(), LanguageSize::Infinite);
+    }
+
+    #[test]
+    fn finite_grammar_round_trips_finite() {
+        let cfg = Cfg::parse("S -> a b | c").unwrap();
+        let p = cfg_to_chain(&cfg).unwrap();
+        let cfg2 = chain_to_cfg(&p).unwrap();
+        let analysis = CfgAnalysis::new(&Cnf::from_cfg(&cfg2));
+        assert_eq!(*analysis.language_size(), LanguageSize::Finite);
+    }
+
+    #[test]
+    fn non_chain_programs_are_rejected() {
+        let p = parse_program("U(X) :- A(X).\nU(X) :- U(Y), E(X,Y).").unwrap();
+        assert!(chain_to_cfg(&p).is_err());
+    }
+
+    #[test]
+    fn epsilon_productions_are_rejected() {
+        let cfg = Cfg::parse("S -> a S b | eps").unwrap();
+        assert!(cfg_to_chain(&cfg).is_err());
+    }
+}

@@ -1,0 +1,448 @@
+//! Decision procedures on CNF grammars: emptiness, finiteness, shortest
+//! witness words, and bounded word enumeration.
+//!
+//! Finiteness is the load-bearing procedure: by Proposition 5.5 of the paper
+//! it decides boundedness of the corresponding basic chain Datalog program
+//! over **every** absorptive semiring, and with it the whole Table-1 / Thm
+//! 5.3 / Thm 5.4 dichotomy. It runs in polynomial time, as the paper notes.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::{NonTerminal, Terminal};
+use crate::normalize::Cnf;
+
+/// How large a language is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LanguageSize {
+    /// No word is accepted.
+    Empty,
+    /// Finitely many words; boundedness holds (Prop 5.5) and the chain
+    /// program gets Θ(log n)-depth circuits (Thm 5.3).
+    Finite,
+    /// Infinitely many words; the program is unbounded and circuits require
+    /// Θ(log² n) depth (Thms 5.3, 5.9, 5.11).
+    Infinite,
+}
+
+/// Precomputed analysis of a CNF grammar.
+#[derive(Clone, Debug)]
+pub struct CfgAnalysis {
+    /// `generating[A]`: A derives at least one terminal word.
+    pub generating: Vec<bool>,
+    /// `reachable[A]`: A occurs in some sentential form from the start.
+    pub reachable: Vec<bool>,
+    /// `useful[A] = generating[A] && reachable[A]`.
+    pub useful: Vec<bool>,
+    /// Minimal terminal-word length derivable from each NT (`None` if not
+    /// generating).
+    pub min_len: Vec<Option<u64>>,
+    size: LanguageSize,
+}
+
+impl CfgAnalysis {
+    /// Analyze a CNF grammar.
+    pub fn new(cnf: &Cnf) -> Self {
+        let n = cnf.num_nonterminals();
+
+        // Generating: least fixpoint.
+        let mut generating = vec![false; n];
+        for &(a, _) in &cnf.unary {
+            generating[a as usize] = true;
+        }
+        loop {
+            let mut changed = false;
+            for &(a, b, c) in &cnf.binary {
+                if !generating[a as usize] && generating[b as usize] && generating[c as usize] {
+                    generating[a as usize] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Reachable: BFS from the start over binary productions restricted
+        // to generating children (a non-generating sibling kills the rule).
+        let mut reachable = vec![false; n];
+        let mut stack = vec![cnf.start];
+        reachable[cnf.start as usize] = true;
+        while let Some(x) = stack.pop() {
+            for &(a, b, c) in &cnf.binary {
+                if a == x && generating[b as usize] && generating[c as usize] {
+                    for child in [b, c] {
+                        if !reachable[child as usize] {
+                            reachable[child as usize] = true;
+                            stack.push(child);
+                        }
+                    }
+                }
+            }
+        }
+
+        let useful: Vec<bool> = (0..n).map(|i| generating[i] && reachable[i]).collect();
+
+        // Minimal word lengths (Knuth-style relaxation; lengths are small,
+        // plain fixpoint iteration suffices).
+        let mut min_len: Vec<Option<u64>> = vec![None; n];
+        for &(a, _) in &cnf.unary {
+            min_len[a as usize] = Some(1);
+        }
+        loop {
+            let mut changed = false;
+            for &(a, b, c) in &cnf.binary {
+                if let (Some(lb), Some(lc)) = (min_len[b as usize], min_len[c as usize]) {
+                    let cand = lb + lc;
+                    if min_len[a as usize].map_or(true, |cur| cand < cur) {
+                        min_len[a as usize] = Some(cand);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Language size. Infinite iff a cycle exists among useful NTs in the
+        // graph with edges A→B and A→C for each useful binary production
+        // A→BC: in CNF every useful NT derives a nonempty word, so a cycle
+        // pumps (|vx| ≥ 1).
+        let size = if !generating[cnf.start as usize] {
+            if cnf.start_nullable {
+                LanguageSize::Finite // L = {ε}
+            } else {
+                LanguageSize::Empty
+            }
+        } else {
+            let mut edges: Vec<Vec<NonTerminal>> = vec![Vec::new(); n];
+            for &(a, b, c) in &cnf.binary {
+                if useful[a as usize] && useful[b as usize] && useful[c as usize] {
+                    edges[a as usize].push(b);
+                    edges[a as usize].push(c);
+                }
+            }
+            if has_cycle(&edges, &useful) {
+                LanguageSize::Infinite
+            } else {
+                LanguageSize::Finite
+            }
+        };
+
+        CfgAnalysis {
+            generating,
+            reachable,
+            useful,
+            min_len,
+            size,
+        }
+    }
+
+    /// The language size classification.
+    pub fn language_size(&self) -> &LanguageSize {
+        &self.size
+    }
+
+    /// Whether `L(G) = ∅`.
+    pub fn is_empty_language(&self) -> bool {
+        self.size == LanguageSize::Empty
+    }
+
+    /// Whether `L(G)` is finite (including empty).
+    ///
+    /// Equivalently (paper Prop 5.5): the corresponding basic chain Datalog
+    /// program is bounded over every absorptive semiring.
+    pub fn is_finite_language(&self) -> bool {
+        self.size != LanguageSize::Infinite
+    }
+
+    /// A shortest terminal word derivable from `nt`, or `None` if `nt` is
+    /// not generating.
+    pub fn shortest_word(&self, cnf: &Cnf, nt: NonTerminal) -> Option<Vec<Terminal>> {
+        self.min_len[nt as usize]?;
+        let mut out = Vec::new();
+        self.expand_shortest(cnf, nt, &mut out);
+        Some(out)
+    }
+
+    fn expand_shortest(&self, cnf: &Cnf, nt: NonTerminal, out: &mut Vec<Terminal>) {
+        let target = self.min_len[nt as usize].expect("generating");
+        if target == 1 {
+            if let Some(&(_, t)) = cnf.unary.iter().find(|&&(a, _)| a == nt) {
+                out.push(t);
+                return;
+            }
+        }
+        for &(a, b, c) in &cnf.binary {
+            if a != nt {
+                continue;
+            }
+            if let (Some(lb), Some(lc)) = (self.min_len[b as usize], self.min_len[c as usize]) {
+                if lb + lc == target {
+                    self.expand_shortest(cnf, b, out);
+                    self.expand_shortest(cnf, c, out);
+                    return;
+                }
+            }
+        }
+        unreachable!("min_len fixpoint must be witnessed by some production");
+    }
+}
+
+impl CfgAnalysis {
+    /// The length of a longest word in `L(G)`, or `None` if the language is
+    /// infinite or empty. For a finite language this bounds the number of
+    /// naive-evaluation iterations of the corresponding chain program
+    /// (Prop 5.5) and the layer count of the Theorem 5.8 circuit.
+    pub fn longest_word_len(&self, cnf: &Cnf) -> Option<u64> {
+        if self.size != LanguageSize::Finite {
+            return None;
+        }
+        // DP over the acyclic useful part: max_len[A] = longest terminal
+        // word derivable from A (memoized recursion; no cycles by
+        // finiteness).
+        let n = cnf.num_nonterminals();
+        let mut memo: Vec<Option<u64>> = vec![None; n];
+        let mut visiting = vec![false; n];
+        fn rec(
+            cnf: &Cnf,
+            an: &CfgAnalysis,
+            a: NonTerminal,
+            memo: &mut Vec<Option<u64>>,
+            visiting: &mut Vec<bool>,
+        ) -> u64 {
+            if let Some(v) = memo[a as usize] {
+                return v;
+            }
+            assert!(!visiting[a as usize], "cycle in finite-language grammar");
+            visiting[a as usize] = true;
+            let mut best = 0;
+            if cnf.unary.iter().any(|&(h, _)| h == a) {
+                best = 1;
+            }
+            for &(h, b, c) in &cnf.binary {
+                if h == a && an.generating[b as usize] && an.generating[c as usize] {
+                    let v = rec(cnf, an, b, memo, visiting)
+                        + rec(cnf, an, c, memo, visiting);
+                    best = best.max(v);
+                }
+            }
+            visiting[a as usize] = false;
+            memo[a as usize] = Some(best);
+            best
+        }
+        if !self.useful[cnf.start as usize] {
+            return cnf.start_nullable.then_some(0);
+        }
+        Some(rec(cnf, self, cnf.start, &mut memo, &mut visiting))
+    }
+}
+
+fn has_cycle(edges: &[Vec<NonTerminal>], useful: &[bool]) -> bool {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let n = edges.len();
+    let mut mark = vec![Mark::White; n];
+    // Iterative DFS with an explicit stack of (node, next-child-index).
+    for root in 0..n {
+        if !useful[root] || mark[root] != Mark::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        mark[root] = Mark::Grey;
+        while let Some(&(node, next)) = stack.last() {
+            if next < edges[node].len() {
+                stack.last_mut().expect("nonempty").1 += 1;
+                let child = edges[node][next] as usize;
+                if !useful[child] {
+                    continue;
+                }
+                match mark[child] {
+                    Mark::Grey => return true,
+                    Mark::White => {
+                        mark[child] = Mark::Grey;
+                        stack.push((child, 0));
+                    }
+                    Mark::Black => {}
+                }
+            } else {
+                mark[node] = Mark::Black;
+                stack.pop();
+            }
+        }
+    }
+    false
+}
+
+/// Enumerate all words of `L(G)` of length at most `max_len`, stopping after
+/// `max_count` words. Used as a brute-force cross-check of the finiteness
+/// procedure and of CFL-reachability.
+pub fn words_up_to(cnf: &Cnf, max_len: usize, max_count: usize) -> Vec<Vec<Terminal>> {
+    let n = cnf.num_nonterminals();
+    // words[A] = set of derivable words of length ≤ max_len.
+    let mut words: Vec<BTreeSet<Vec<Terminal>>> = vec![BTreeSet::new(); n];
+    for &(a, t) in &cnf.unary {
+        if max_len >= 1 {
+            words[a as usize].insert(vec![t]);
+        }
+    }
+    loop {
+        let mut changed = false;
+        for &(a, b, c) in &cnf.binary {
+            let mut new_words = Vec::new();
+            for wb in &words[b as usize] {
+                for wc in &words[c as usize] {
+                    if wb.len() + wc.len() <= max_len {
+                        let mut w = wb.clone();
+                        w.extend_from_slice(wc);
+                        new_words.push(w);
+                    }
+                }
+            }
+            for w in new_words {
+                if words[a as usize].insert(w) {
+                    changed = true;
+                }
+            }
+            if words[a as usize].len() > max_count.saturating_mul(4) {
+                // Safety valve; callers use generous limits.
+                break;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut out: Vec<Vec<Terminal>> = Vec::new();
+    if cnf.start_nullable {
+        out.push(Vec::new());
+    }
+    out.extend(words[cnf.start as usize].iter().cloned());
+    out.sort_by_key(|w| (w.len(), w.clone()));
+    out.truncate(max_count);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+
+    fn analyze(text: &str) -> (Cnf, CfgAnalysis) {
+        let cnf = Cnf::from_cfg(&Cfg::parse(text).unwrap());
+        let an = CfgAnalysis::new(&cnf);
+        (cnf, an)
+    }
+
+    #[test]
+    fn tc_is_infinite() {
+        let (_, an) = analyze("T -> T E | E");
+        assert_eq!(*an.language_size(), LanguageSize::Infinite);
+    }
+
+    #[test]
+    fn dyck_is_infinite() {
+        let (_, an) = analyze("S -> L R | L S R | S S");
+        assert_eq!(*an.language_size(), LanguageSize::Infinite);
+    }
+
+    #[test]
+    fn bounded_path_query_is_finite() {
+        // E·E·E — the language {eee}.
+        let (cnf, an) = analyze("S -> e e e");
+        assert_eq!(*an.language_size(), LanguageSize::Finite);
+        let words = words_up_to(&cnf, 10, 100);
+        assert_eq!(words.len(), 1);
+        assert_eq!(words[0].len(), 3);
+    }
+
+    #[test]
+    fn union_of_fixed_paths_is_finite() {
+        let (cnf, an) = analyze("S -> a b | a | b a a");
+        assert_eq!(*an.language_size(), LanguageSize::Finite);
+        assert_eq!(words_up_to(&cnf, 10, 100).len(), 3);
+    }
+
+    #[test]
+    fn non_generating_start_is_empty() {
+        // A never terminates.
+        let (_, an) = analyze("S -> a A\nA -> b A");
+        assert_eq!(*an.language_size(), LanguageSize::Empty);
+    }
+
+    #[test]
+    fn useless_cycle_does_not_make_language_infinite() {
+        // B is on a cycle but non-generating: L = {a}.
+        let (cnf, an) = analyze("S -> a\nB -> b B");
+        assert_eq!(*an.language_size(), LanguageSize::Finite);
+        assert_eq!(words_up_to(&cnf, 10, 100).len(), 1);
+    }
+
+    #[test]
+    fn unreachable_cycle_does_not_make_language_infinite() {
+        // C -> c C | c is productive and cyclic but unreachable from S.
+        let (_, an) = analyze("S -> a\nC -> c C | c");
+        assert_eq!(*an.language_size(), LanguageSize::Finite);
+    }
+
+    #[test]
+    fn shortest_word_of_dyck_is_lr() {
+        let (cnf, an) = analyze("S -> L R | L S R | S S");
+        let w = an.shortest_word(&cnf, cnf.start).unwrap();
+        let names: Vec<&str> = w.iter().map(|&t| cnf.alphabet.name(t)).collect();
+        assert_eq!(names, vec!["L", "R"]);
+    }
+
+    #[test]
+    fn finiteness_agrees_with_enumeration_on_small_grammars() {
+        for (text, expect_finite) in [
+            ("S -> a S | a", false),
+            ("S -> a | b | a b", true),
+            ("S -> A A\nA -> a", true),
+            ("S -> A S A | a\nA -> b", false),
+            ("S -> a b c d e", true),
+        ] {
+            let (cnf, an) = analyze(text);
+            // Brute force: if finite, enumeration saturates below the cap
+            // and words longer than the longest finite word never appear.
+            let words = words_up_to(&cnf, 12, 10_000);
+            if expect_finite {
+                assert!(an.is_finite_language(), "{text}");
+                // Enumeration found everything; a second pass with a larger
+                // length bound finds nothing new.
+                let more = words_up_to(&cnf, 16, 10_000);
+                assert_eq!(words.len(), more.len(), "{text}");
+            } else {
+                assert!(!an.is_finite_language(), "{text}");
+                assert!(
+                    words.iter().any(|w| w.len() > 6),
+                    "{text}: infinite language should have long words"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn longest_word_len_of_finite_languages() {
+        for (text, expect) in [
+            ("S -> a b | a | b a a", Some(3)),
+            ("S -> A A\nA -> a b", Some(4)),
+            ("S -> a S | a", None), // infinite
+        ] {
+            let (cnf, an) = analyze(text);
+            assert_eq!(an.longest_word_len(&cnf), expect.map(|x: u64| x), "{text}");
+        }
+    }
+
+    #[test]
+    fn min_len_matches_enumeration() {
+        let (cnf, an) = analyze("S -> L R | L S R | S S");
+        let words = words_up_to(&cnf, 8, 1000);
+        let min_enum = words.iter().map(Vec::len).min().unwrap() as u64;
+        assert_eq!(an.min_len[cnf.start as usize], Some(min_enum));
+    }
+}

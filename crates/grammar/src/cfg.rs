@@ -1,0 +1,325 @@
+//! Context-free grammars with interned symbol tables.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A non-terminal symbol, indexing into [`Cfg::nonterminal_names`].
+pub type NonTerminal = u32;
+
+/// A terminal symbol (edge label), indexing into an [`Alphabet`].
+pub type Terminal = u32;
+
+/// An interner for terminal labels, shared between grammars, automata and
+/// labeled graphs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Alphabet {
+    names: Vec<String>,
+    index: HashMap<String, Terminal>,
+}
+
+impl Alphabet {
+    /// An empty alphabet.
+    pub fn new() -> Self {
+        Alphabet::default()
+    }
+
+    /// Intern a label, returning its id.
+    pub fn intern(&mut self, name: &str) -> Terminal {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as Terminal;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up a label id by name.
+    pub fn get(&self, name: &str) -> Option<Terminal> {
+        self.index.get(name).copied()
+    }
+
+    /// The label name for an id.
+    pub fn name(&self, t: Terminal) -> &str {
+        &self.names[t as usize]
+    }
+
+    /// Number of interned labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All label ids.
+    pub fn terminals(&self) -> impl Iterator<Item = Terminal> {
+        0..self.names.len() as Terminal
+    }
+}
+
+/// A grammar symbol: terminal or non-terminal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Symbol {
+    /// A terminal (edge label).
+    T(Terminal),
+    /// A non-terminal (IDB predicate).
+    N(NonTerminal),
+}
+
+/// A production `head → body`; an empty body is the ε-production.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Production {
+    /// The head non-terminal.
+    pub head: NonTerminal,
+    /// The body; empty means ε.
+    pub body: Vec<Symbol>,
+}
+
+/// A context-free grammar.
+///
+/// For a basic chain Datalog program, non-terminals are the IDB predicates,
+/// terminals the EDB predicates, and the start symbol the target IDB
+/// (paper §5, Proposition 5.2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cfg {
+    nt_names: Vec<String>,
+    nt_index: HashMap<String, NonTerminal>,
+    /// Terminal alphabet.
+    pub alphabet: Alphabet,
+    /// The start non-terminal.
+    pub start: NonTerminal,
+    /// All productions.
+    pub productions: Vec<Production>,
+}
+
+impl Cfg {
+    /// A grammar with a single start non-terminal and no productions.
+    pub fn new(start_name: &str) -> Self {
+        let mut cfg = Cfg {
+            nt_names: Vec::new(),
+            nt_index: HashMap::new(),
+            alphabet: Alphabet::new(),
+            start: 0,
+            productions: Vec::new(),
+        };
+        cfg.start = cfg.nonterminal(start_name);
+        cfg
+    }
+
+    /// Intern a non-terminal by name.
+    pub fn nonterminal(&mut self, name: &str) -> NonTerminal {
+        if let Some(&id) = self.nt_index.get(name) {
+            return id;
+        }
+        let id = self.nt_names.len() as NonTerminal;
+        self.nt_names.push(name.to_owned());
+        self.nt_index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Intern a terminal by name.
+    pub fn terminal(&mut self, name: &str) -> Terminal {
+        self.alphabet.intern(name)
+    }
+
+    /// Add a production.
+    pub fn add_production(&mut self, head: NonTerminal, body: Vec<Symbol>) {
+        self.productions.push(Production { head, body });
+    }
+
+    /// Number of non-terminals.
+    pub fn num_nonterminals(&self) -> usize {
+        self.nt_names.len()
+    }
+
+    /// Name of a non-terminal.
+    pub fn nonterminal_name(&self, n: NonTerminal) -> &str {
+        &self.nt_names[n as usize]
+    }
+
+    /// All non-terminal names.
+    pub fn nonterminal_names(&self) -> &[String] {
+        &self.nt_names
+    }
+
+    /// Look up a non-terminal id by name.
+    pub fn get_nonterminal(&self, name: &str) -> Option<NonTerminal> {
+        self.nt_index.get(name).copied()
+    }
+
+    /// Productions with the given head.
+    pub fn productions_of(&self, head: NonTerminal) -> impl Iterator<Item = &Production> {
+        self.productions.iter().filter(move |p| p.head == head)
+    }
+
+    /// Whether every production is *left-linear* (`A → B w` or `A → w` with
+    /// `w` terminal-only), i.e. the grammar denotes a regular language and
+    /// the chain program is an RPQ (paper §5, Proposition 5.2).
+    pub fn is_left_linear(&self) -> bool {
+        self.productions.iter().all(|p| {
+            p.body.iter().enumerate().all(|(i, s)| match s {
+                Symbol::T(_) => true,
+                Symbol::N(_) => i == 0,
+            })
+        })
+    }
+
+    /// Whether every production is *right-linear* (`A → w B` or `A → w`).
+    pub fn is_right_linear(&self) -> bool {
+        self.productions.iter().all(|p| {
+            let k = p.body.len();
+            p.body
+                .iter()
+                .take(k.saturating_sub(1))
+                .all(|s| matches!(s, Symbol::T(_)))
+        })
+    }
+
+    /// Whether the grammar is regular in either the left- or right-linear
+    /// presentation.
+    pub fn is_regular(&self) -> bool {
+        self.is_left_linear() || self.is_right_linear()
+    }
+
+    /// Parse a grammar from a simple textual notation, one rule per line:
+    ///
+    /// ```text
+    /// S -> L R | L S R | S S
+    /// ```
+    ///
+    /// The head of the first rule is the start symbol. A token is a
+    /// non-terminal iff it appears as the head of some rule; everything else
+    /// is a terminal. `eps` denotes the empty body.
+    pub fn parse(text: &str) -> Result<Cfg, String> {
+        let mut lines = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (head, rhs) = line
+                .split_once("->")
+                .ok_or_else(|| format!("line {}: missing '->'", lineno + 1))?;
+            let head = head.trim();
+            if head.is_empty() || head.contains(char::is_whitespace) {
+                return Err(format!("line {}: bad head '{head}'", lineno + 1));
+            }
+            lines.push((head.to_owned(), rhs.to_owned()));
+        }
+        if lines.is_empty() {
+            return Err("empty grammar".into());
+        }
+        let heads: std::collections::HashSet<&str> =
+            lines.iter().map(|(h, _)| h.as_str()).collect();
+        let mut cfg = Cfg::new(&lines[0].0);
+        for (head, rhs) in &lines {
+            let head_id = cfg.nonterminal(head);
+            for alt in rhs.split('|') {
+                let mut body = Vec::new();
+                for tok in alt.split_whitespace() {
+                    if tok == "eps" || tok == "ε" {
+                        continue;
+                    }
+                    if heads.contains(tok) {
+                        let n = cfg.nonterminal(tok);
+                        body.push(Symbol::N(n));
+                    } else {
+                        let t = cfg.terminal(tok);
+                        body.push(Symbol::T(t));
+                    }
+                }
+                cfg.add_production(head_id, body);
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// The transitive-closure grammar `T → T E | E` over one label `E`
+    /// (paper §5: the canonical infinite regular language `E⁺`).
+    pub fn transitive_closure() -> Cfg {
+        Cfg::parse("T -> T E | E").expect("static grammar")
+    }
+
+    /// The Dyck-1 grammar `S → L R | L S R | S S` (paper Example 6.4).
+    pub fn dyck1() -> Cfg {
+        Cfg::parse("S -> L R | L S R | S S").expect("static grammar")
+    }
+}
+
+impl fmt::Display for Cfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.productions {
+            write!(f, "{} ->", self.nonterminal_name(p.head))?;
+            if p.body.is_empty() {
+                write!(f, " eps")?;
+            }
+            for s in &p.body {
+                match s {
+                    Symbol::T(t) => write!(f, " {}", self.alphabet.name(*t))?,
+                    Symbol::N(n) => write!(f, " {}", self.nonterminal_name(*n))?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        let cfg = Cfg::parse("S -> a S b | eps").unwrap();
+        assert_eq!(cfg.num_nonterminals(), 1);
+        assert_eq!(cfg.alphabet.len(), 2);
+        assert_eq!(cfg.productions.len(), 2);
+        assert!(cfg.productions[1].body.is_empty());
+    }
+
+    #[test]
+    fn head_tokens_are_nonterminals() {
+        let cfg = Cfg::parse("S -> A b\nA -> a").unwrap();
+        assert_eq!(cfg.num_nonterminals(), 2);
+        assert_eq!(cfg.alphabet.len(), 2);
+        assert_eq!(
+            cfg.productions[0].body,
+            vec![Symbol::N(1), Symbol::T(0)]
+        );
+    }
+
+    #[test]
+    fn tc_is_left_linear_but_dyck_is_not() {
+        assert!(Cfg::transitive_closure().is_left_linear());
+        assert!(Cfg::transitive_closure().is_regular());
+        assert!(!Cfg::dyck1().is_regular());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Cfg::parse("no arrow here").is_err());
+        assert!(Cfg::parse("").is_err());
+    }
+
+    #[test]
+    fn display_mentions_all_rules() {
+        let cfg = Cfg::parse("S -> a S | eps").unwrap();
+        let shown = cfg.to_string();
+        assert!(shown.contains("S -> a S"));
+        assert!(shown.contains("S -> eps"));
+    }
+
+    #[test]
+    fn alphabet_interning_is_stable() {
+        let mut a = Alphabet::new();
+        let x = a.intern("edge");
+        assert_eq!(a.intern("edge"), x);
+        assert_eq!(a.name(x), "edge");
+        assert_eq!(a.get("edge"), Some(x));
+        assert_eq!(a.get("missing"), None);
+    }
+}

@@ -1,0 +1,373 @@
+//! Context-free reachability over labeled graphs (Definition 5.1).
+//!
+//! Given a CNF grammar and an edge-labeled digraph, the worklist algorithm
+//! computes every fact `A(u, v)` ("some `u → v` path spells a word derivable
+//! from `A`") together with — optionally — **every grounded derivation**
+//! `A(u,v) :- B(u,w), C(w,v)` or `A(u,v) :- edge e`. The derivation list is
+//! precisely the grounded program the paper's circuit constructions consume
+//! (Theorems 3.1, 4.3, 6.2): it is the chain-Datalog specialization of
+//! `datalog::ground`, and integration tests check the two agree.
+
+use std::collections::HashMap;
+
+use crate::cfg::{NonTerminal, Terminal};
+use crate::normalize::Cnf;
+
+/// A graph node.
+pub type Node = u32;
+
+/// A derived fact `nt(src, dst)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CflFact {
+    /// The non-terminal (IDB predicate).
+    pub nt: NonTerminal,
+    /// Path source.
+    pub src: Node,
+    /// Path target.
+    pub dst: Node,
+}
+
+/// The body of one grounded derivation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CflDerivationBody {
+    /// `A(u,v) :- a(u,v)` for input edge with this index.
+    Edge(usize),
+    /// `A(u,v) :- B(u,w), C(w,v)` with fact indices of B and C.
+    Pair(usize, usize),
+}
+
+/// One grounded derivation of `facts[head]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CflDerivation {
+    /// Index of the derived fact.
+    pub head: usize,
+    /// The body.
+    pub body: CflDerivationBody,
+}
+
+/// Options for the solver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CflOptions {
+    /// Record every grounded derivation (needed for provenance circuits;
+    /// costs O(#derivations) memory).
+    pub collect_derivations: bool,
+}
+
+/// Result of CFL reachability.
+#[derive(Clone, Debug, Default)]
+pub struct CflResult {
+    /// All derived facts, in discovery order.
+    pub facts: Vec<CflFact>,
+    /// Index from fact to its position in `facts`.
+    pub fact_index: HashMap<(NonTerminal, Node, Node), usize>,
+    /// Grounded derivations (empty unless requested).
+    pub derivations: Vec<CflDerivation>,
+}
+
+impl CflResult {
+    /// Whether `nt(src, dst)` was derived.
+    pub fn holds(&self, nt: NonTerminal, src: Node, dst: Node) -> bool {
+        self.fact_index.contains_key(&(nt, src, dst))
+    }
+
+    /// The fact index of `nt(src, dst)`, if derived.
+    pub fn fact(&self, nt: NonTerminal, src: Node, dst: Node) -> Option<usize> {
+        self.fact_index.get(&(nt, src, dst)).copied()
+    }
+
+    /// All `(src, dst)` pairs derived for `nt`.
+    pub fn pairs_of(&self, nt: NonTerminal) -> Vec<(Node, Node)> {
+        self.facts
+            .iter()
+            .filter(|f| f.nt == nt)
+            .map(|f| (f.src, f.dst))
+            .collect()
+    }
+}
+
+/// Solve context-free reachability.
+///
+/// `edges` are `(src, dst, label)` with nodes in `0..num_nodes`.
+pub fn solve(
+    cnf: &Cnf,
+    num_nodes: usize,
+    edges: &[(Node, Node, Terminal)],
+    opts: CflOptions,
+) -> CflResult {
+    let mut res = CflResult::default();
+    // Rules indexed for the two join directions.
+    // by_first[B] = [(A, C)], by_second[C] = [(A, B)]
+    let nts = cnf.num_nonterminals();
+    let mut by_first: Vec<Vec<(NonTerminal, NonTerminal)>> = vec![Vec::new(); nts];
+    let mut by_second: Vec<Vec<(NonTerminal, NonTerminal)>> = vec![Vec::new(); nts];
+    for &(a, b, c) in &cnf.binary {
+        by_first[b as usize].push((a, c));
+        by_second[c as usize].push((a, b));
+    }
+    // Popped facts indexed by (nt, endpoint).
+    let mut popped_by_src: HashMap<(NonTerminal, Node), Vec<usize>> = HashMap::new();
+    let mut popped_by_dst: HashMap<(NonTerminal, Node), Vec<usize>> = HashMap::new();
+
+    let mut worklist: Vec<usize> = Vec::new();
+    let mut pending: Vec<(usize, CflDerivationBody)> = Vec::new();
+
+    let add_fact =
+        |res: &mut CflResult, worklist: &mut Vec<usize>, fact: CflFact| -> usize {
+            match res.fact_index.get(&(fact.nt, fact.src, fact.dst)) {
+                Some(&i) => i,
+                None => {
+                    let i = res.facts.len();
+                    res.facts.push(fact);
+                    res.fact_index.insert((fact.nt, fact.src, fact.dst), i);
+                    worklist.push(i);
+                    i
+                }
+            }
+        };
+
+    // Seed with unary productions over edges.
+    for (ei, &(u, v, t)) in edges.iter().enumerate() {
+        debug_assert!((u as usize) < num_nodes && (v as usize) < num_nodes);
+        for &(a, ut) in &cnf.unary {
+            if ut == t {
+                let fi = add_fact(
+                    &mut res,
+                    &mut worklist,
+                    CflFact {
+                        nt: a,
+                        src: u,
+                        dst: v,
+                    },
+                );
+                if opts.collect_derivations {
+                    pending.push((fi, CflDerivationBody::Edge(ei)));
+                }
+            }
+        }
+    }
+    res.derivations
+        .extend(pending.drain(..).map(|(head, body)| CflDerivation { head, body }));
+
+    // Worklist: each popped fact joins with previously popped facts, so every
+    // unordered combination is enumerated exactly once.
+    while let Some(fi) = worklist.pop() {
+        let f = res.facts[fi];
+        let mut new_facts: Vec<(CflFact, CflDerivationBody)> = Vec::new();
+
+        // f as the first body atom: A(u,v) :- f=B(u,w), C(w,v).
+        for &(a, c) in &by_first[f.nt as usize] {
+            if let Some(partners) = popped_by_src.get(&(c, f.dst)) {
+                for &ci in partners {
+                    let g = res.facts[ci];
+                    new_facts.push((
+                        CflFact {
+                            nt: a,
+                            src: f.src,
+                            dst: g.dst,
+                        },
+                        CflDerivationBody::Pair(fi, ci),
+                    ));
+                }
+            }
+            // Self-join (f plays both roles) when endpoints line up.
+            if f.nt == c && f.dst == f.src {
+                new_facts.push((
+                    CflFact {
+                        nt: a,
+                        src: f.src,
+                        dst: f.dst,
+                    },
+                    CflDerivationBody::Pair(fi, fi),
+                ));
+            }
+        }
+        // f as the second body atom: A(u,v) :- B(u,w), f=C(w,v).
+        for &(a, b) in &by_second[f.nt as usize] {
+            if let Some(partners) = popped_by_dst.get(&(b, f.src)) {
+                for &bi in partners {
+                    let g = res.facts[bi];
+                    new_facts.push((
+                        CflFact {
+                            nt: a,
+                            src: g.src,
+                            dst: f.dst,
+                        },
+                        CflDerivationBody::Pair(bi, fi),
+                    ));
+                }
+            }
+        }
+
+        // Mark f popped *after* joining, so self-pairs aren't double counted.
+        popped_by_src.entry((f.nt, f.src)).or_default().push(fi);
+        popped_by_dst.entry((f.nt, f.dst)).or_default().push(fi);
+
+        for (fact, body) in new_facts {
+            let hi = add_fact(&mut res, &mut worklist, fact);
+            if opts.collect_derivations {
+                res.derivations.push(CflDerivation { head: hi, body });
+            }
+        }
+    }
+
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::normalize::Cnf;
+
+    fn tc_setup() -> (Cnf, NonTerminal) {
+        let cfg = Cfg::transitive_closure();
+        let start_name = cfg.nonterminal_name(cfg.start).to_owned();
+        let cnf = Cnf::from_cfg(&cfg);
+        // The CNF start wraps the original; reachability facts use original T
+        // via the start symbol of the CNF.
+        let _ = start_name;
+        (cnf.clone(), cnf.start)
+    }
+
+    #[test]
+    fn tc_on_a_path() {
+        let (cnf, start) = tc_setup();
+        let e = cnf.alphabet.get("E").unwrap();
+        let edges: Vec<(Node, Node, Terminal)> = (0..4).map(|i| (i, i + 1, e)).collect();
+        let res = solve(&cnf, 5, &edges, CflOptions::default());
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                assert_eq!(res.holds(start, i, j), i < j, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn tc_on_a_cycle_reaches_everything() {
+        let (cnf, start) = tc_setup();
+        let e = cnf.alphabet.get("E").unwrap();
+        let edges: Vec<(Node, Node, Terminal)> =
+            (0..4u32).map(|i| (i, (i + 1) % 4, e)).collect();
+        let res = solve(&cnf, 4, &edges, CflOptions::default());
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                assert!(res.holds(start, i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn dyck_reachability() {
+        let cnf = Cnf::from_cfg(&Cfg::dyck1());
+        let l = cnf.alphabet.get("L").unwrap();
+        let r = cnf.alphabet.get("R").unwrap();
+        // Path spelling L L R R L R
+        let labels = [l, l, r, r, l, r];
+        let edges: Vec<(Node, Node, Terminal)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i as Node, i as Node + 1, t))
+            .collect();
+        let res = solve(&cnf, 7, &edges, CflOptions::default());
+        let s = cnf.start;
+        // Balanced substrings: LR at (1,3), LLRR at (0,4), LR at (4,6),
+        // LLRRLR at (0,6).
+        assert!(res.holds(s, 1, 3));
+        assert!(res.holds(s, 0, 4));
+        assert!(res.holds(s, 4, 6));
+        assert!(res.holds(s, 0, 6));
+        // Unbalanced spans are not derived.
+        assert!(!res.holds(s, 0, 1));
+        assert!(!res.holds(s, 0, 3));
+        assert!(!res.holds(s, 2, 5));
+    }
+
+    #[test]
+    fn derivations_cover_all_groundings_on_small_path() {
+        let (cnf, start) = tc_setup();
+        let e = cnf.alphabet.get("E").unwrap();
+        let edges: Vec<(Node, Node, Terminal)> = (0..2).map(|i| (i, i + 1, e)).collect();
+        let res = solve(
+            &cnf,
+            3,
+            &edges,
+            CflOptions {
+                collect_derivations: true,
+            },
+        );
+        // T(0,2) must have at least one Pair derivation.
+        let t02 = res.fact(start, 0, 2).unwrap();
+        assert!(res
+            .derivations
+            .iter()
+            .any(|d| d.head == t02 && matches!(d.body, CflDerivationBody::Pair(_, _))));
+        // Every fact has at least one derivation.
+        for (i, _) in res.facts.iter().enumerate() {
+            assert!(
+                res.derivations.iter().any(|d| d.head == i),
+                "fact {i} underivable?"
+            );
+        }
+        // Derivation bodies refer to existing facts/edges.
+        for d in &res.derivations {
+            match d.body {
+                CflDerivationBody::Edge(ei) => assert!(ei < edges.len()),
+                CflDerivationBody::Pair(b, c) => {
+                    assert!(b < res.facts.len() && c < res.facts.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_edges_yield_multiple_edge_derivations() {
+        let (cnf, start) = tc_setup();
+        let e = cnf.alphabet.get("E").unwrap();
+        let edges = vec![(0, 1, e), (0, 1, e)];
+        let res = solve(
+            &cnf,
+            2,
+            &edges,
+            CflOptions {
+                collect_derivations: true,
+            },
+        );
+        let t01 = res.fact(start, 0, 1).unwrap();
+        let edge_derivs = res
+            .derivations
+            .iter()
+            .filter(|d| d.head == t01 && matches!(d.body, CflDerivationBody::Edge(_)))
+            .count();
+        assert_eq!(edge_derivs, 2);
+    }
+
+    #[test]
+    fn membership_via_word_path_matches_cyk() {
+        // Reachability on a path spelling w from 0 to n iff w ∈ L — for a
+        // spread of words and grammars.
+        for (text, words) in [
+            ("S -> a S b | a b", vec!["ab", "aabb", "ba", "abab", "aaabbb"]),
+            ("S -> S S | a", vec!["a", "aa", "aaa", ""]),
+        ] {
+            let cnf = Cnf::from_cfg(&Cfg::parse(text).unwrap());
+            for w in words {
+                let ts: Option<Vec<Terminal>> = w
+                    .chars()
+                    .map(|c| cnf.alphabet.get(&c.to_string()))
+                    .collect();
+                let Some(ts) = ts else { continue };
+                let edges: Vec<(Node, Node, Terminal)> = ts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| (i as Node, i as Node + 1, t))
+                    .collect();
+                let res = solve(&cnf, ts.len() + 1, &edges, CflOptions::default());
+                assert_eq!(
+                    res.holds(cnf.start, 0, ts.len() as Node),
+                    cnf.accepts(&ts),
+                    "{text} on {w:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! Deterministic finite automata: subset construction, minimization,
+//! finiteness, complement.
+//!
+//! The DFA is the engine behind the RPQ side of the paper: the
+//! product-graph reduction of Theorem 5.9 multiplies the input graph with
+//! the DFA of the query language, and the Θ(log n) / Θ(log² n) dichotomy of
+//! Theorem 5.3 is decided by [`Dfa::is_finite_language`].
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::cfg::{Alphabet, Terminal};
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+
+/// A (possibly partial) DFA over terminals `0..num_terminals`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dfa {
+    /// Number of states.
+    pub num_states: usize,
+    /// Start state.
+    pub start: usize,
+    /// Accepting-state flags.
+    pub accepting: Vec<bool>,
+    /// Alphabet size.
+    pub num_terminals: usize,
+    /// `trans[state * num_terminals + t]`; `None` means no transition.
+    trans: Vec<Option<usize>>,
+}
+
+impl Dfa {
+    /// An explicit DFA from parts.
+    pub fn from_parts(
+        num_states: usize,
+        start: usize,
+        accepting: Vec<bool>,
+        num_terminals: usize,
+        transitions: &[(usize, Terminal, usize)],
+    ) -> Dfa {
+        let mut trans = vec![None; num_states * num_terminals];
+        for &(from, t, to) in transitions {
+            trans[from * num_terminals + t as usize] = Some(to);
+        }
+        Dfa {
+            num_states,
+            start,
+            accepting,
+            num_terminals,
+            trans,
+        }
+    }
+
+    /// Subset construction from an NFA. `num_terminals` should be the size
+    /// of the (shared) alphabet at compile time.
+    pub fn from_nfa(nfa: &Nfa, num_terminals: usize) -> Dfa {
+        let start_set = nfa.eps_closure(&BTreeSet::from([nfa.start]));
+        let mut index: HashMap<BTreeSet<usize>, usize> = HashMap::new();
+        let mut sets: Vec<BTreeSet<usize>> = Vec::new();
+        let mut trans_list: Vec<(usize, Terminal, usize)> = Vec::new();
+        index.insert(start_set.clone(), 0);
+        sets.push(start_set);
+        let mut queue = VecDeque::from([0usize]);
+        while let Some(si) = queue.pop_front() {
+            let cur = sets[si].clone();
+            for t in 0..num_terminals as Terminal {
+                let mut next = BTreeSet::new();
+                for &(from, label, to) in &nfa.transitions {
+                    if label == Some(t) && cur.contains(&from) {
+                        next.insert(to);
+                    }
+                }
+                if next.is_empty() {
+                    continue;
+                }
+                let next = nfa.eps_closure(&next);
+                let ni = *index.entry(next.clone()).or_insert_with(|| {
+                    sets.push(next);
+                    queue.push_back(sets.len() - 1);
+                    sets.len() - 1
+                });
+                trans_list.push((si, t, ni));
+            }
+        }
+        let accepting = sets.iter().map(|s| s.contains(&nfa.accept)).collect();
+        Dfa::from_parts(sets.len(), 0, accepting, num_terminals, &trans_list)
+    }
+
+    /// Compile a regex into a minimal DFA, interning labels into `alphabet`.
+    pub fn compile(re: &Regex, alphabet: &mut Alphabet) -> Dfa {
+        let nfa = Nfa::thompson(re, alphabet);
+        Dfa::from_nfa(&nfa, alphabet.len()).minimize()
+    }
+
+    /// The transition from `state` on terminal `t`.
+    pub fn step(&self, state: usize, t: Terminal) -> Option<usize> {
+        self.trans[state * self.num_terminals + t as usize]
+    }
+
+    /// All transitions `(from, label, to)`.
+    pub fn transitions(&self) -> impl Iterator<Item = (usize, Terminal, usize)> + '_ {
+        (0..self.num_states).flat_map(move |s| {
+            (0..self.num_terminals as Terminal).filter_map(move |t| {
+                self.step(s, t).map(|to| (s, t, to))
+            })
+        })
+    }
+
+    /// Run the DFA on a word.
+    pub fn accepts(&self, word: &[Terminal]) -> bool {
+        let mut state = self.start;
+        for &t in word {
+            match self.step(state, t) {
+                Some(next) => state = next,
+                None => return false,
+            }
+        }
+        self.accepting[state]
+    }
+
+    /// States reachable from the start.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.num_states];
+        let mut stack = vec![self.start];
+        seen[self.start] = true;
+        while let Some(s) = stack.pop() {
+            for t in 0..self.num_terminals as Terminal {
+                if let Some(to) = self.step(s, t) {
+                    if !seen[to] {
+                        seen[to] = true;
+                        stack.push(to);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// States from which some accepting state is reachable.
+    pub fn co_reachable(&self) -> Vec<bool> {
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); self.num_states];
+        for (from, _, to) in self.transitions() {
+            rev[to].push(from);
+        }
+        let mut seen = vec![false; self.num_states];
+        let mut stack: Vec<usize> = (0..self.num_states).filter(|&s| self.accepting[s]).collect();
+        for &s in &stack {
+            seen[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &rev[s] {
+                if !seen[p] {
+                    seen[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether `L = ∅`.
+    pub fn is_empty_language(&self) -> bool {
+        let reach = self.reachable();
+        !(0..self.num_states).any(|s| reach[s] && self.accepting[s])
+    }
+
+    /// Whether `L` is finite: no cycle through a *useful* state (reachable
+    /// from the start and co-reachable to an accepting state).
+    ///
+    /// Deciding this is deciding the Θ(log n)/Θ(log² n) circuit-depth
+    /// dichotomy for the RPQ (paper Theorem 5.3 and the remark after
+    /// Theorem 5.9).
+    pub fn is_finite_language(&self) -> bool {
+        let useful = self.useful_states();
+        // DFS cycle detection restricted to useful states.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut mark = vec![Mark::White; self.num_states];
+        for root in 0..self.num_states {
+            if !useful[root] || mark[root] != Mark::White {
+                continue;
+            }
+            let mut stack = vec![(root, 0 as Terminal)];
+            mark[root] = Mark::Grey;
+            while let Some(&(node, t)) = stack.last() {
+                if (t as usize) < self.num_terminals {
+                    stack.last_mut().expect("nonempty").1 += 1;
+                    if let Some(child) = self.step(node, t) {
+                        if !useful[child] {
+                            continue;
+                        }
+                        match mark[child] {
+                            Mark::Grey => return false,
+                            Mark::White => {
+                                mark[child] = Mark::Grey;
+                                stack.push((child, 0));
+                            }
+                            Mark::Black => {}
+                        }
+                    }
+                } else {
+                    mark[node] = Mark::Black;
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+
+    fn useful_states(&self) -> Vec<bool> {
+        let reach = self.reachable();
+        let co = self.co_reachable();
+        (0..self.num_states).map(|s| reach[s] && co[s]).collect()
+    }
+
+    /// Moore partition-refinement minimization. The result is complete on
+    /// useful behavior but keeps partial transitions (the dead state is
+    /// dropped).
+    pub fn minimize(&self) -> Dfa {
+        // Complete with an explicit dead state for refinement.
+        let dead = self.num_states;
+        let n = self.num_states + 1;
+        let step = |s: usize, t: Terminal| -> usize {
+            if s == dead {
+                dead
+            } else {
+                self.step(s, t).unwrap_or(dead)
+            }
+        };
+        let mut class: Vec<usize> = (0..n)
+            .map(|s| if s < self.num_states && self.accepting[s] { 1 } else { 0 })
+            .collect();
+        loop {
+            let mut sig_index: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+            let mut next_class = vec![0usize; n];
+            for s in 0..n {
+                let sig: Vec<usize> = (0..self.num_terminals as Terminal)
+                    .map(|t| class[step(s, t)])
+                    .collect();
+                let key = (class[s], sig);
+                let next = sig_index.len();
+                let id = *sig_index.entry(key).or_insert(next);
+                next_class[s] = id;
+            }
+            if next_class == class {
+                break;
+            }
+            class = next_class;
+        }
+        // Rebuild, skipping classes only reachable through the dead state.
+        let dead_class = class[dead];
+        let mut remap: HashMap<usize, usize> = HashMap::new();
+        let mut order: Vec<usize> = Vec::new();
+        for s in 0..self.num_states {
+            if class[s] != dead_class && !remap.contains_key(&class[s]) {
+                remap.insert(class[s], order.len());
+                order.push(s);
+            }
+        }
+        if order.is_empty() {
+            // Language is empty: single non-accepting start state.
+            return Dfa::from_parts(1, 0, vec![false], self.num_terminals, &[]);
+        }
+        let mut transitions = Vec::new();
+        let mut accepting = vec![false; order.len()];
+        for (new_id, &rep) in order.iter().enumerate() {
+            accepting[new_id] = self.accepting[rep];
+            for t in 0..self.num_terminals as Terminal {
+                let target = step(rep, t);
+                if class[target] != dead_class {
+                    transitions.push((new_id, t, remap[&class[target]]));
+                }
+            }
+        }
+        let start = if class[self.start] == dead_class {
+            // Start behaves like the dead state (empty language) — handled
+            // above only if no class survived; otherwise map it in.
+            return Dfa::from_parts(1, 0, vec![false], self.num_terminals, &[]);
+        } else {
+            remap[&class[self.start]]
+        };
+        Dfa::from_parts(order.len(), start, accepting, self.num_terminals, &transitions)
+    }
+
+    /// The complement DFA over the same alphabet (completes with a dead
+    /// state, then flips acceptance). Used for the `accept`/`notaccept`
+    /// language pair of §6.2.
+    pub fn complement(&self) -> Dfa {
+        let dead = self.num_states;
+        let n = self.num_states + 1;
+        let mut transitions = Vec::new();
+        for s in 0..n {
+            for t in 0..self.num_terminals as Terminal {
+                let target = if s == dead {
+                    dead
+                } else {
+                    self.step(s, t).unwrap_or(dead)
+                };
+                transitions.push((s, t, target));
+            }
+        }
+        let mut accepting: Vec<bool> = self.accepting.iter().map(|a| !a).collect();
+        accepting.push(true);
+        Dfa::from_parts(n, self.start, accepting, self.num_terminals, &transitions)
+    }
+
+    /// Enumerate accepted words of length ≤ `max_len` (up to `max_count`),
+    /// in length-lexicographic order. Brute-force oracle for tests.
+    pub fn words_up_to(&self, max_len: usize, max_count: usize) -> Vec<Vec<Terminal>> {
+        let mut out = Vec::new();
+        let mut queue: VecDeque<(usize, Vec<Terminal>)> =
+            VecDeque::from([(self.start, Vec::new())]);
+        while let Some((state, word)) = queue.pop_front() {
+            if out.len() >= max_count {
+                break;
+            }
+            if self.accepting[state] {
+                out.push(word.clone());
+            }
+            if word.len() == max_len {
+                continue;
+            }
+            for t in 0..self.num_terminals as Terminal {
+                if let Some(next) = self.step(state, t) {
+                    let mut w = word.clone();
+                    w.push(t);
+                    queue.push_back((next, w));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(pattern: &str) -> (Dfa, Alphabet) {
+        let re = Regex::parse(pattern).unwrap();
+        let mut alphabet = Alphabet::new();
+        let dfa = Dfa::compile(&re, &mut alphabet);
+        (dfa, alphabet)
+    }
+
+    fn word(alphabet: &Alphabet, names: &[&str]) -> Vec<Terminal> {
+        names.iter().map(|n| alphabet.get(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn dfa_agrees_with_nfa() {
+        for pattern in ["E*", "a (b | c)+ d", "a? b a?", "(a b)* c"] {
+            let re = Regex::parse(pattern).unwrap();
+            let mut alphabet = Alphabet::new();
+            let nfa = Nfa::thompson(&re, &mut alphabet);
+            let dfa = Dfa::from_nfa(&nfa, alphabet.len()).minimize();
+            // Compare on all words of length ≤ 5.
+            let k = alphabet.len() as Terminal;
+            let mut words: Vec<Vec<Terminal>> = vec![vec![]];
+            let mut frontier: Vec<Vec<Terminal>> = vec![vec![]];
+            for _ in 0..5 {
+                let mut next = Vec::new();
+                for w in &frontier {
+                    for t in 0..k {
+                        let mut w2 = w.clone();
+                        w2.push(t);
+                        next.push(w2);
+                    }
+                }
+                words.extend(next.iter().cloned());
+                frontier = next;
+            }
+            for w in &words {
+                assert_eq!(nfa.accepts(w), dfa.accepts(w), "{pattern} on {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_tc_dfa_has_two_states() {
+        // E+ over a single label: start + accept.
+        let (dfa, _) = compile("E E*");
+        assert_eq!(dfa.num_states, 2);
+        assert!(!dfa.is_finite_language());
+    }
+
+    #[test]
+    fn finite_language_detected() {
+        let (dfa, _) = compile("a b | a c");
+        assert!(dfa.is_finite_language());
+        assert!(!dfa.is_empty_language());
+    }
+
+    #[test]
+    fn empty_language_detected() {
+        let mut alphabet = Alphabet::new();
+        alphabet.intern("a");
+        let dfa = Dfa::compile(&Regex::Empty, &mut alphabet);
+        assert!(dfa.is_empty_language());
+        assert!(dfa.is_finite_language());
+    }
+
+    #[test]
+    fn words_enumeration_matches_acceptance() {
+        let (dfa, alphabet) = compile("a b*");
+        let words = dfa.words_up_to(4, 100);
+        assert!(words.contains(&word(&alphabet, &["a"])));
+        assert!(words.contains(&word(&alphabet, &["a", "b", "b", "b"])));
+        assert_eq!(words.len(), 4); // a, ab, abb, abbb
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let (dfa, alphabet) = compile("a b");
+        let comp = dfa.complement();
+        let ab = word(&alphabet, &["a", "b"]);
+        let a = word(&alphabet, &["a"]);
+        assert!(dfa.accepts(&ab) && !comp.accepts(&ab));
+        assert!(!dfa.accepts(&a) && comp.accepts(&a));
+        assert!(comp.accepts(&[]));
+    }
+
+    #[test]
+    fn minimize_collapses_equivalent_states() {
+        // (a a)* | (a a)* — a redundant alternation: minimal DFA has 2 states.
+        let (dfa, _) = compile("(a a)* | (a a)*");
+        assert_eq!(dfa.num_states, 2);
+    }
+
+    #[test]
+    fn useful_cycle_required_for_infiniteness() {
+        // A cycle exists in "(a)* b" only before acceptance — still useful,
+        // so infinite; but "b (∅ cycle)" has none.
+        let (dfa, _) = compile("a* b");
+        assert!(!dfa.is_finite_language());
+        let (dfa2, _) = compile("b");
+        assert!(dfa2.is_finite_language());
+    }
+}

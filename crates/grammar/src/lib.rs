@@ -1,0 +1,42 @@
+//! Formal-language substrate for basic chain Datalog (paper §5).
+//!
+//! A basic chain Datalog program corresponds to a context-free grammar: IDBs
+//! are non-terminals, EDBs are terminals, rules are productions, and the
+//! program computes context-free reachability (Definition 5.1,
+//! Proposition 5.2). The paper's dichotomies for this fragment hinge on
+//! language-theoretic questions that this crate decides:
+//!
+//! * **finiteness** of a CFG / regular language — equivalent to boundedness
+//!   of the chain program over every absorptive semiring (Proposition 5.5)
+//!   and hence to the Θ(log n) vs Θ(log² n) circuit-depth dichotomy
+//!   (Theorems 5.3, 5.4, 5.9);
+//! * **pumping decompositions** for infinite languages — the gadget behind
+//!   the depth-preserving lower-bound reductions (Theorems 5.9 and 5.11);
+//! * **DFA machinery** (regex → NFA → DFA → minimal DFA) for Regular Path
+//!   Queries and the product-graph reduction of Theorem 5.9;
+//! * **CFL reachability** (Yannakakis-style worklist over a Chomsky normal
+//!   form) producing grounded derivations, the input of the paper's circuit
+//!   constructions for chain programs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cfg;
+pub mod cflreach;
+pub mod dfa;
+pub mod nfa;
+pub mod normalize;
+pub mod pumping;
+pub mod regex;
+pub mod regular;
+
+pub use analysis::{CfgAnalysis, LanguageSize};
+pub use cfg::{Alphabet, Cfg, NonTerminal, Production, Symbol, Terminal};
+pub use cflreach::{CflDerivation, CflDerivationBody, CflFact, CflOptions, CflResult};
+pub use dfa::Dfa;
+pub use nfa::Nfa;
+pub use normalize::Cnf;
+pub use pumping::{CfgPumping, RegularPumping};
+pub use regex::Regex;
+pub use regular::{left_linear_dfa, left_linear_nfa};

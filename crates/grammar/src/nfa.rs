@@ -1,0 +1,197 @@
+//! Thompson construction: regex → NFA with ε-transitions.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::{Alphabet, Terminal};
+use crate::regex::Regex;
+
+/// A nondeterministic finite automaton with ε-transitions and a single
+/// accept state (Thompson normal form).
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    /// Number of states.
+    pub num_states: usize,
+    /// Start state.
+    pub start: usize,
+    /// Accept state.
+    pub accept: usize,
+    /// Transitions `(from, label, to)`; `None` is ε.
+    pub transitions: Vec<(usize, Option<Terminal>, usize)>,
+}
+
+impl Nfa {
+    /// Compile a regex, interning its labels into `alphabet`.
+    pub fn thompson(re: &Regex, alphabet: &mut Alphabet) -> Nfa {
+        let mut nfa = Nfa {
+            num_states: 0,
+            start: 0,
+            accept: 0,
+            transitions: Vec::new(),
+        };
+        let (s, a) = nfa.build(re, alphabet);
+        nfa.start = s;
+        nfa.accept = a;
+        nfa
+    }
+
+    fn fresh(&mut self) -> usize {
+        let s = self.num_states;
+        self.num_states += 1;
+        s
+    }
+
+    fn build(&mut self, re: &Regex, alphabet: &mut Alphabet) -> (usize, usize) {
+        match re {
+            Regex::Empty => {
+                let s = self.fresh();
+                let a = self.fresh();
+                (s, a) // no transition: accepts nothing
+            }
+            Regex::Epsilon => {
+                let s = self.fresh();
+                let a = self.fresh();
+                self.transitions.push((s, None, a));
+                (s, a)
+            }
+            Regex::Lit(name) => {
+                let t = alphabet.intern(name);
+                let s = self.fresh();
+                let a = self.fresh();
+                self.transitions.push((s, Some(t), a));
+                (s, a)
+            }
+            Regex::Concat(parts) => {
+                if parts.is_empty() {
+                    return self.build(&Regex::Epsilon, alphabet);
+                }
+                let (s, mut prev_a) = self.build(&parts[0], alphabet);
+                for part in &parts[1..] {
+                    let (ps, pa) = self.build(part, alphabet);
+                    self.transitions.push((prev_a, None, ps));
+                    prev_a = pa;
+                }
+                (s, prev_a)
+            }
+            Regex::Alt(parts) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                for part in parts {
+                    let (ps, pa) = self.build(part, alphabet);
+                    self.transitions.push((s, None, ps));
+                    self.transitions.push((pa, None, a));
+                }
+                (s, a)
+            }
+            Regex::Star(inner) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                let (is, ia) = self.build(inner, alphabet);
+                self.transitions.push((s, None, is));
+                self.transitions.push((ia, None, a));
+                self.transitions.push((s, None, a));
+                self.transitions.push((ia, None, is));
+                (s, a)
+            }
+            Regex::Plus(inner) => {
+                // x+ = x x*
+                self.build(
+                    &Regex::Concat(vec![(**inner).clone(), Regex::Star(inner.clone())]),
+                    alphabet,
+                )
+            }
+            Regex::Opt(inner) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                let (is, ia) = self.build(inner, alphabet);
+                self.transitions.push((s, None, is));
+                self.transitions.push((ia, None, a));
+                self.transitions.push((s, None, a));
+                (s, a)
+            }
+        }
+    }
+
+    /// The ε-closure of a set of states.
+    pub fn eps_closure(&self, states: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut out = states.clone();
+        let mut stack: Vec<usize> = states.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for &(from, label, to) in &self.transitions {
+                if from == s && label.is_none() && out.insert(to) {
+                    stack.push(to);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the NFA accepts a word (via ε-closure simulation; used to
+    /// cross-check the DFA).
+    pub fn accepts(&self, word: &[Terminal]) -> bool {
+        let mut cur = self.eps_closure(&BTreeSet::from([self.start]));
+        for &t in word {
+            let mut next = BTreeSet::new();
+            for &(from, label, to) in &self.transitions {
+                if label == Some(t) && cur.contains(&from) {
+                    next.insert(to);
+                }
+            }
+            cur = self.eps_closure(&next);
+            if cur.is_empty() {
+                return false;
+            }
+        }
+        cur.contains(&self.accept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accepts(pattern: &str, word: &[&str]) -> bool {
+        let re = Regex::parse(pattern).unwrap();
+        let mut alphabet = Alphabet::new();
+        let nfa = Nfa::thompson(&re, &mut alphabet);
+        let ids: Option<Vec<Terminal>> = word.iter().map(|w| alphabet.get(w)).collect();
+        match ids {
+            Some(ids) => nfa.accepts(&ids),
+            None => false, // word uses a label the pattern never mentions
+        }
+    }
+
+    #[test]
+    fn star_accepts_all_repetitions() {
+        assert!(accepts("E*", &[]));
+        assert!(accepts("E*", &["E"]));
+        assert!(accepts("E*", &["E", "E", "E"]));
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        assert!(!accepts("E+", &[]));
+        assert!(accepts("E+", &["E"]));
+        assert!(accepts("E+", &["E", "E"]));
+    }
+
+    #[test]
+    fn concat_and_alt() {
+        assert!(accepts("a (b | c) d", &["a", "b", "d"]));
+        assert!(accepts("a (b | c) d", &["a", "c", "d"]));
+        assert!(!accepts("a (b | c) d", &["a", "d"]));
+    }
+
+    #[test]
+    fn opt_is_zero_or_one() {
+        assert!(accepts("a b?", &["a"]));
+        assert!(accepts("a b?", &["a", "b"]));
+        assert!(!accepts("a b?", &["a", "b", "b"]));
+    }
+
+    #[test]
+    fn empty_language_rejects_everything() {
+        let mut alphabet = Alphabet::new();
+        let nfa = Nfa::thompson(&Regex::Empty, &mut alphabet);
+        assert!(!nfa.accepts(&[]));
+    }
+}

@@ -1,0 +1,323 @@
+//! Chomsky normal form.
+//!
+//! The CFL-reachability engine, the finiteness test and the pumping
+//! machinery all operate on a CNF presentation: productions `A → a` and
+//! `A → B C`, plus an optional `S → ε` when the start symbol is nullable.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::cfg::{Alphabet, Cfg, NonTerminal, Production, Symbol, Terminal};
+
+/// A grammar in Chomsky normal form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cnf {
+    /// The start non-terminal.
+    pub start: NonTerminal,
+    /// Names of all non-terminals (including the ones introduced by the
+    /// transformation).
+    pub nt_names: Vec<String>,
+    /// Terminal alphabet, shared with the source grammar.
+    pub alphabet: Alphabet,
+    /// Terminal productions `A → a`.
+    pub unary: Vec<(NonTerminal, Terminal)>,
+    /// Binary productions `A → B C`.
+    pub binary: Vec<(NonTerminal, NonTerminal, NonTerminal)>,
+    /// Whether `ε ∈ L(G)`.
+    pub start_nullable: bool,
+}
+
+impl Cnf {
+    /// Number of non-terminals.
+    pub fn num_nonterminals(&self) -> usize {
+        self.nt_names.len()
+    }
+
+    /// Name of a non-terminal.
+    pub fn nonterminal_name(&self, n: NonTerminal) -> &str {
+        &self.nt_names[n as usize]
+    }
+
+    /// Convert a CFG to CNF via the standard START/TERM/BIN/DEL/UNIT
+    /// pipeline, deduplicating productions.
+    pub fn from_cfg(cfg: &Cfg) -> Cnf {
+        let mut nt_names: Vec<String> = cfg.nonterminal_names().to_vec();
+        let fresh = |names: &mut Vec<String>, base: &str| -> NonTerminal {
+            let id = names.len() as NonTerminal;
+            names.push(format!("{base}#{id}"));
+            id
+        };
+
+        // START: fresh start symbol so the old start may appear in bodies.
+        let start = fresh(&mut nt_names, "S0");
+        let mut prods: Vec<Production> = cfg.productions.clone();
+        prods.push(Production {
+            head: start,
+            body: vec![Symbol::N(cfg.start)],
+        });
+
+        // TERM: in bodies of length ≥ 2, replace terminals by wrappers.
+        let mut term_wrapper: HashMap<Terminal, NonTerminal> = HashMap::new();
+        for p in &mut prods {
+            if p.body.len() >= 2 {
+                for s in &mut p.body {
+                    if let Symbol::T(t) = *s {
+                        let w = *term_wrapper.entry(t).or_insert_with(|| {
+                            fresh(&mut nt_names, &format!("T_{}", cfg.alphabet.name(t)))
+                        });
+                        *s = Symbol::N(w);
+                    }
+                }
+            }
+        }
+        for (&t, &w) in &term_wrapper {
+            prods.push(Production {
+                head: w,
+                body: vec![Symbol::T(t)],
+            });
+        }
+
+        // BIN: binarize long bodies.
+        let mut binarized = Vec::with_capacity(prods.len());
+        for p in prods {
+            if p.body.len() <= 2 {
+                binarized.push(p);
+                continue;
+            }
+            let mut rest = p.body;
+            let mut head = p.head;
+            while rest.len() > 2 {
+                let first = rest.remove(0);
+                let cont = fresh(&mut nt_names, "B");
+                binarized.push(Production {
+                    head,
+                    body: vec![first, Symbol::N(cont)],
+                });
+                head = cont;
+            }
+            binarized.push(Production { head, body: rest });
+        }
+        let mut prods = binarized;
+
+        // DEL: eliminate ε-productions (bodies now have length ≤ 2).
+        let mut nullable: HashSet<NonTerminal> = HashSet::new();
+        loop {
+            let before = nullable.len();
+            for p in &prods {
+                if p.body.iter().all(|s| match s {
+                    Symbol::N(n) => nullable.contains(n),
+                    Symbol::T(_) => false,
+                }) {
+                    nullable.insert(p.head);
+                }
+            }
+            if nullable.len() == before {
+                break;
+            }
+        }
+        let start_nullable = nullable.contains(&start);
+        let mut deleted: BTreeSet<(NonTerminal, Vec<Symbol>)> = BTreeSet::new();
+        for p in &prods {
+            // Enumerate all sub-bodies obtained by dropping nullable symbols.
+            let positions: Vec<usize> = p
+                .body
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    Symbol::N(n) if nullable.contains(n) => Some(i),
+                    _ => None,
+                })
+                .collect();
+            for mask in 0..(1u32 << positions.len()) {
+                let drop: HashSet<usize> = positions
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(bit, &pos)| (mask >> bit & 1 == 1).then_some(pos))
+                    .collect();
+                let body: Vec<Symbol> = p
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| (!drop.contains(&i)).then_some(*s))
+                    .collect();
+                if !body.is_empty() {
+                    deleted.insert((p.head, body));
+                }
+            }
+        }
+        prods = deleted
+            .into_iter()
+            .map(|(head, body)| Production { head, body })
+            .collect();
+
+        // UNIT: eliminate unit productions A → B. unit_reach[a] is the set
+        // of non-terminals reachable from `a` by unit steps (including `a`).
+        let n_nts = nt_names.len();
+        let mut unit_edges: Vec<Vec<NonTerminal>> = vec![Vec::new(); n_nts];
+        for p in &prods {
+            if let [Symbol::N(b)] = p.body[..] {
+                unit_edges[p.head as usize].push(b);
+            }
+        }
+        let mut unit_reach: Vec<HashSet<NonTerminal>> = Vec::with_capacity(n_nts);
+        for a in 0..n_nts as NonTerminal {
+            let mut seen = HashSet::from([a]);
+            let mut stack = vec![a];
+            while let Some(x) = stack.pop() {
+                for &b in &unit_edges[x as usize] {
+                    if seen.insert(b) {
+                        stack.push(b);
+                    }
+                }
+            }
+            unit_reach.push(seen);
+        }
+
+        let mut unary: BTreeSet<(NonTerminal, Terminal)> = BTreeSet::new();
+        let mut binary: BTreeSet<(NonTerminal, NonTerminal, NonTerminal)> = BTreeSet::new();
+        for a in 0..n_nts as NonTerminal {
+            for b in unit_reach[a as usize].iter().copied() {
+                for p in prods.iter().filter(|p| p.head == b) {
+                    match p.body[..] {
+                        [Symbol::T(t)] => {
+                            unary.insert((a, t));
+                        }
+                        [s1, s2] => {
+                            let n1 = match s1 {
+                                Symbol::N(n) => n,
+                                Symbol::T(_) => unreachable!("TERM removed terminals"),
+                            };
+                            let n2 = match s2 {
+                                Symbol::N(n) => n,
+                                Symbol::T(_) => unreachable!("TERM removed terminals"),
+                            };
+                            binary.insert((a, n1, n2));
+                        }
+                        [Symbol::N(_)] => {} // unit production: folded above
+                        _ => unreachable!("BIN bounded body length at 2"),
+                    }
+                }
+            }
+        }
+
+        Cnf {
+            start,
+            nt_names,
+            alphabet: cfg.alphabet.clone(),
+            unary: unary.into_iter().collect(),
+            binary: binary.into_iter().collect(),
+            start_nullable,
+        }
+    }
+
+    /// CYK membership test (for cross-validation on small words).
+    pub fn accepts(&self, word: &[Terminal]) -> bool {
+        if word.is_empty() {
+            return self.start_nullable;
+        }
+        let n = word.len();
+        let nts = self.num_nonterminals();
+        // table[len-1][i] = set of NTs deriving word[i .. i+len]
+        let idx = |len: usize, i: usize| (len - 1) * n + i;
+        let mut table = vec![vec![false; nts]; n * n];
+        for (i, &t) in word.iter().enumerate() {
+            for &(a, u) in &self.unary {
+                if u == t {
+                    table[idx(1, i)][a as usize] = true;
+                }
+            }
+        }
+        for len in 2..=n {
+            for i in 0..=(n - len) {
+                for split in 1..len {
+                    for &(a, b, c) in &self.binary {
+                        if table[idx(split, i)][b as usize]
+                            && table[idx(len - split, i + split)][c as usize]
+                        {
+                            table[idx(len, i)][a as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        table[idx(n, 0)][self.start as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terminal_ids(cnf: &Cnf, names: &[&str]) -> Vec<Terminal> {
+        names
+            .iter()
+            .map(|n| cnf.alphabet.get(n).expect("terminal"))
+            .collect()
+    }
+
+    #[test]
+    fn cnf_of_tc_accepts_e_plus() {
+        let cnf = Cnf::from_cfg(&Cfg::transitive_closure());
+        assert!(!cnf.start_nullable);
+        for k in 1..6 {
+            let word = vec![cnf.alphabet.get("E").unwrap(); k];
+            assert!(cnf.accepts(&word), "E^{k} should be accepted");
+        }
+        assert!(!cnf.accepts(&[]));
+    }
+
+    #[test]
+    fn cnf_of_dyck_accepts_balanced_only() {
+        let cnf = Cnf::from_cfg(&Cfg::dyck1());
+        let w = |s: &str| -> Vec<Terminal> {
+            s.chars()
+                .map(|c| {
+                    cnf.alphabet
+                        .get(if c == '(' { "L" } else { "R" })
+                        .unwrap()
+                })
+                .collect()
+        };
+        assert!(cnf.accepts(&w("()")));
+        assert!(cnf.accepts(&w("(())")));
+        assert!(cnf.accepts(&w("()()")));
+        assert!(cnf.accepts(&w("(()())")));
+        assert!(!cnf.accepts(&w("(")));
+        assert!(!cnf.accepts(&w(")(")));
+        assert!(!cnf.accepts(&w("(()")));
+        assert!(!cnf.accepts(&[]));
+    }
+
+    #[test]
+    fn nullable_start_detected() {
+        let cnf = Cnf::from_cfg(&Cfg::parse("S -> a S b | eps").unwrap());
+        assert!(cnf.start_nullable);
+        let ab = terminal_ids(&cnf, &["a", "b"]);
+        assert!(cnf.accepts(&[]));
+        assert!(cnf.accepts(&[ab[0], ab[1]]));
+        assert!(cnf.accepts(&[ab[0], ab[0], ab[1], ab[1]]));
+        assert!(!cnf.accepts(&[ab[0]]));
+        assert!(!cnf.accepts(&[ab[1], ab[0]]));
+    }
+
+    #[test]
+    fn unit_chains_are_folded() {
+        let cnf = Cnf::from_cfg(&Cfg::parse("S -> A\nA -> B\nB -> b").unwrap());
+        let b = cnf.alphabet.get("b").unwrap();
+        assert!(cnf.accepts(&[b]));
+        assert!(!cnf.accepts(&[b, b]));
+    }
+
+    #[test]
+    fn long_bodies_are_binarized() {
+        let cnf = Cnf::from_cfg(&Cfg::parse("S -> a b c d").unwrap());
+        let w = terminal_ids(&cnf, &["a", "b", "c", "d"]);
+        assert!(cnf.accepts(&w));
+        assert!(!cnf.accepts(&w[..3]));
+        // All binary productions have exactly two non-terminals by type.
+        assert!(cnf.binary.iter().all(|&(a, b, c)| {
+            (a as usize) < cnf.num_nonterminals()
+                && (b as usize) < cnf.num_nonterminals()
+                && (c as usize) < cnf.num_nonterminals()
+        }));
+    }
+}

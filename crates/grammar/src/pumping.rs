@@ -1,0 +1,366 @@
+//! Pumping decompositions for infinite languages.
+//!
+//! The lower-bound reductions of the paper are built on pumping: Theorem 5.9
+//! expands every TC edge into the `y`-part of a regular decomposition
+//! `x y^i z`, and Theorem 5.11 uses a CFG decomposition `u v^i w x^i y`.
+//! This module extracts *concrete* decompositions (actual terminal strings)
+//! from the automaton/grammar, which is exactly what those reductions need
+//! as input.
+
+use std::collections::VecDeque;
+
+use crate::analysis::CfgAnalysis;
+use crate::cfg::{NonTerminal, Terminal};
+use crate::dfa::Dfa;
+use crate::normalize::Cnf;
+
+/// A regular pumping decomposition: every `x y^i z` (i ≥ 0) is accepted,
+/// with `|y| ≥ 1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegularPumping {
+    /// Prefix.
+    pub x: Vec<Terminal>,
+    /// Pumpable middle, nonempty.
+    pub y: Vec<Terminal>,
+    /// Suffix.
+    pub z: Vec<Terminal>,
+}
+
+impl RegularPumping {
+    /// Extract a decomposition from a DFA with an infinite language:
+    /// a useful state on a cycle yields `x` (start → state), `y` (the
+    /// cycle), `z` (state → accept).
+    pub fn from_dfa(dfa: &Dfa) -> Option<RegularPumping> {
+        let reach = dfa.reachable();
+        let co = dfa.co_reachable();
+        let useful: Vec<bool> = (0..dfa.num_states).map(|s| reach[s] && co[s]).collect();
+        for q in 0..dfa.num_states {
+            if !useful[q] {
+                continue;
+            }
+            // Shortest cycle through q staying within useful states.
+            let Some(y) = shortest_path(dfa, &useful, q, q, true) else {
+                continue;
+            };
+            let x = shortest_path(dfa, &useful, dfa.start, q, false)?;
+            // Shortest path from q to any accepting useful state.
+            let z = (0..dfa.num_states)
+                .filter(|&s| useful[s] && dfa.accepting[s])
+                .filter_map(|acc| shortest_path(dfa, &useful, q, acc, false))
+                .min_by_key(Vec::len)?;
+            return Some(RegularPumping { x, y, z });
+        }
+        None
+    }
+
+    /// The word `x y^i z`.
+    pub fn pump(&self, i: usize) -> Vec<Terminal> {
+        let mut out = self.x.clone();
+        for _ in 0..i {
+            out.extend_from_slice(&self.y);
+        }
+        out.extend_from_slice(&self.z);
+        out
+    }
+}
+
+/// BFS for the label sequence of a shortest path; with `proper`, paths of
+/// length 0 are disallowed (for cycles).
+fn shortest_path(
+    dfa: &Dfa,
+    useful: &[bool],
+    from: usize,
+    to: usize,
+    proper: bool,
+) -> Option<Vec<Terminal>> {
+    if from == to && !proper {
+        return Some(Vec::new());
+    }
+    let mut pred: Vec<Option<(usize, Terminal)>> = vec![None; dfa.num_states];
+    let mut seen = vec![false; dfa.num_states];
+    let mut queue = VecDeque::new();
+    // Seed with the first step so cycles are proper.
+    for t in 0..dfa.num_terminals as Terminal {
+        if let Some(next) = dfa.step(from, t) {
+            if useful[next] && !seen[next] {
+                seen[next] = true;
+                pred[next] = Some((from, t));
+                queue.push_back(next);
+                if next == to {
+                    return Some(reconstruct(&pred, from, to));
+                }
+            }
+        }
+    }
+    while let Some(s) = queue.pop_front() {
+        for t in 0..dfa.num_terminals as Terminal {
+            if let Some(next) = dfa.step(s, t) {
+                if useful[next] && !seen[next] {
+                    seen[next] = true;
+                    pred[next] = Some((s, t));
+                    if next == to {
+                        return Some(reconstruct(&pred, from, to));
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn reconstruct(
+    pred: &[Option<(usize, Terminal)>],
+    from: usize,
+    to: usize,
+) -> Vec<Terminal> {
+    let mut out = Vec::new();
+    let mut cur = to;
+    loop {
+        let (p, t) = pred[cur].expect("path exists");
+        out.push(t);
+        if p == from {
+            break;
+        }
+        cur = p;
+    }
+    out.reverse();
+    out
+}
+
+/// A CFG pumping decomposition: every `u v^i w x^i y` (i ≥ 0) is accepted,
+/// with `|vx| ≥ 1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CfgPumping {
+    /// Outer prefix.
+    pub u: Vec<Terminal>,
+    /// Left pumpable part.
+    pub v: Vec<Terminal>,
+    /// Core.
+    pub w: Vec<Terminal>,
+    /// Right pumpable part.
+    pub x: Vec<Terminal>,
+    /// Outer suffix.
+    pub y: Vec<Terminal>,
+}
+
+/// One descent step in a binary derivation: which child holds the hole, and
+/// the sibling non-terminal.
+#[derive(Clone, Copy, Debug)]
+struct Step {
+    hole_left: bool,
+    sibling: NonTerminal,
+}
+
+impl CfgPumping {
+    /// Extract a decomposition from a CNF grammar with an infinite language:
+    /// find a useful non-terminal `A` with `A ⇒⁺ vAx` and `S ⇒* uAy`,
+    /// expanding siblings by their shortest words.
+    pub fn from_cnf(cnf: &Cnf, analysis: &CfgAnalysis) -> Option<CfgPumping> {
+        let n = cnf.num_nonterminals();
+        // Edges among useful NTs with step metadata.
+        let mut edges: Vec<Vec<(NonTerminal, Step)>> = vec![Vec::new(); n];
+        for &(a, b, c) in &cnf.binary {
+            let ok = |x: NonTerminal| analysis.useful[x as usize];
+            if ok(a) && ok(b) && ok(c) {
+                edges[a as usize].push((
+                    b,
+                    Step {
+                        hole_left: true,
+                        sibling: c,
+                    },
+                ));
+                edges[a as usize].push((
+                    c,
+                    Step {
+                        hole_left: false,
+                        sibling: b,
+                    },
+                ));
+            }
+        }
+        // Find a cycle through some useful NT.
+        for a in 0..n as NonTerminal {
+            if !analysis.useful[a as usize] {
+                continue;
+            }
+            let Some(cycle) = bfs_steps(&edges, a, a, true) else {
+                continue;
+            };
+            let spine = bfs_steps(&edges, cnf.start, a, false)?;
+            let (u, y) = expand_steps(cnf, analysis, &spine);
+            let (v, x) = expand_steps(cnf, analysis, &cycle);
+            let w = analysis.shortest_word(cnf, a)?;
+            debug_assert!(!v.is_empty() || !x.is_empty(), "pumpable part is empty");
+            return Some(CfgPumping { u, v, w, x, y });
+        }
+        None
+    }
+
+    /// The word `u v^i w x^i y`.
+    pub fn pump(&self, i: usize) -> Vec<Terminal> {
+        let mut out = self.u.clone();
+        for _ in 0..i {
+            out.extend_from_slice(&self.v);
+        }
+        out.extend_from_slice(&self.w);
+        for _ in 0..i {
+            out.extend_from_slice(&self.x);
+        }
+        out.extend_from_slice(&self.y);
+        out
+    }
+}
+
+/// BFS over the step graph, returning the step sequence from `from` to `to`
+/// (outermost first); with `proper`, zero-length paths are disallowed.
+fn bfs_steps(
+    edges: &[Vec<(NonTerminal, Step)>],
+    from: NonTerminal,
+    to: NonTerminal,
+    proper: bool,
+) -> Option<Vec<Step>> {
+    if from == to && !proper {
+        return Some(Vec::new());
+    }
+    let n = edges.len();
+    let mut pred: Vec<Option<(NonTerminal, Step)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    for &(child, step) in &edges[from as usize] {
+        if !seen[child as usize] {
+            seen[child as usize] = true;
+            pred[child as usize] = Some((from, step));
+            if child == to {
+                return Some(rebuild_steps(&pred, from, to));
+            }
+            queue.push_back(child);
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        for &(child, step) in &edges[cur as usize] {
+            if !seen[child as usize] {
+                seen[child as usize] = true;
+                pred[child as usize] = Some((cur, step));
+                if child == to {
+                    return Some(rebuild_steps(&pred, from, to));
+                }
+                queue.push_back(child);
+            }
+        }
+    }
+    None
+}
+
+fn rebuild_steps(
+    pred: &[Option<(NonTerminal, Step)>],
+    from: NonTerminal,
+    to: NonTerminal,
+) -> Vec<Step> {
+    let mut out = Vec::new();
+    let mut cur = to;
+    loop {
+        let (p, step) = pred[cur as usize].expect("path exists");
+        out.push(step);
+        if p == from {
+            break;
+        }
+        cur = p;
+    }
+    out.reverse();
+    out
+}
+
+/// Expand a descent-step sequence into the (left, right) terminal strings
+/// surrounding the hole: descending into the left child appends the
+/// sibling's shortest word on the right, and vice versa.
+fn expand_steps(
+    cnf: &Cnf,
+    analysis: &CfgAnalysis,
+    steps: &[Step],
+) -> (Vec<Terminal>, Vec<Terminal>) {
+    if steps.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let (v_in, x_in) = expand_steps(cnf, analysis, &steps[1..]);
+    let sibling_word = analysis
+        .shortest_word(cnf, steps[0].sibling)
+        .expect("useful sibling generates");
+    if steps[0].hole_left {
+        // A ⇒ HOLE C: sibling to the right, outside the inner part.
+        let mut x = x_in;
+        x.extend(sibling_word);
+        (v_in, x)
+    } else {
+        // A ⇒ B HOLE: sibling to the left, outside the inner part.
+        let mut v = sibling_word;
+        v.extend(v_in);
+        (v, x_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{Alphabet, Cfg};
+    use crate::regex::Regex;
+
+    #[test]
+    fn regular_pumping_of_tc() {
+        let mut alphabet = Alphabet::new();
+        let dfa = Dfa::compile(&Regex::parse("E E*").unwrap(), &mut alphabet);
+        let p = RegularPumping::from_dfa(&dfa).unwrap();
+        assert!(!p.y.is_empty());
+        for i in 0..5 {
+            assert!(dfa.accepts(&p.pump(i)), "x y^{i} z must be accepted");
+        }
+    }
+
+    #[test]
+    fn regular_pumping_of_ab_star_c() {
+        let mut alphabet = Alphabet::new();
+        let dfa = Dfa::compile(&Regex::parse("a b* c").unwrap(), &mut alphabet);
+        let p = RegularPumping::from_dfa(&dfa).unwrap();
+        for i in 0..4 {
+            assert!(dfa.accepts(&p.pump(i)));
+        }
+    }
+
+    #[test]
+    fn no_pumping_for_finite_language() {
+        let mut alphabet = Alphabet::new();
+        let dfa = Dfa::compile(&Regex::parse("a b | c").unwrap(), &mut alphabet);
+        assert!(RegularPumping::from_dfa(&dfa).is_none());
+    }
+
+    #[test]
+    fn cfg_pumping_of_dyck() {
+        let cnf = Cnf::from_cfg(&Cfg::dyck1());
+        let analysis = CfgAnalysis::new(&cnf);
+        let p = CfgPumping::from_cnf(&cnf, &analysis).unwrap();
+        assert!(!p.v.is_empty() || !p.x.is_empty());
+        for i in 0..5 {
+            assert!(cnf.accepts(&p.pump(i)), "u v^{i} w x^{i} y must be accepted");
+        }
+    }
+
+    #[test]
+    fn cfg_pumping_of_palindromes() {
+        let cnf = Cnf::from_cfg(&Cfg::parse("S -> a S a | b").unwrap());
+        let analysis = CfgAnalysis::new(&cnf);
+        let p = CfgPumping::from_cnf(&cnf, &analysis).unwrap();
+        for i in 0..4 {
+            assert!(cnf.accepts(&p.pump(i)));
+        }
+        // Both sides pump for the palindrome grammar.
+        assert!(!p.v.is_empty());
+        assert!(!p.x.is_empty());
+    }
+
+    #[test]
+    fn no_cfg_pumping_for_finite_language() {
+        let cnf = Cnf::from_cfg(&Cfg::parse("S -> a b | b a").unwrap());
+        let analysis = CfgAnalysis::new(&cnf);
+        assert!(CfgPumping::from_cnf(&cnf, &analysis).is_none());
+    }
+}

@@ -1,0 +1,335 @@
+//! Regular expressions over edge-label alphabets.
+//!
+//! Regular Path Queries (paper §5) are given by a regular language over the
+//! EDB labels; this module provides the surface syntax. Literals are
+//! identifiers (`E`, `knows`, `a1`); concatenation is juxtaposition,
+//! alternation `|`, and the postfix operators `*`, `+`, `?` apply to the
+//! preceding atom. Parentheses group.
+
+use std::fmt;
+
+/// A regular expression AST over named labels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty language ∅.
+    Empty,
+    /// The empty word ε.
+    Epsilon,
+    /// A single label.
+    Lit(String),
+    /// Concatenation.
+    Concat(Vec<Regex>),
+    /// Alternation.
+    Alt(Vec<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+    /// One-or-more.
+    Plus(Box<Regex>),
+    /// Zero-or-one.
+    Opt(Box<Regex>),
+}
+
+impl Regex {
+    /// Parse an expression such as `E*`, `a (b | c)+ d?`, `knows* likes`.
+    pub fn parse(input: &str) -> Result<Regex, String> {
+        let tokens = tokenize(input)?;
+        let mut p = Parser { tokens, pos: 0 };
+        let re = p.alt()?;
+        if p.pos != p.tokens.len() {
+            return Err(format!("unexpected token at position {}", p.pos));
+        }
+        Ok(re)
+    }
+
+    /// All label names mentioned, in first-occurrence order.
+    pub fn labels(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_labels(&mut out);
+        out
+    }
+
+    fn collect_labels(&self, out: &mut Vec<String>) {
+        match self {
+            Regex::Empty | Regex::Epsilon => {}
+            Regex::Lit(l) => {
+                if !out.iter().any(|x| x == l) {
+                    out.push(l.clone());
+                }
+            }
+            Regex::Concat(xs) | Regex::Alt(xs) => {
+                for x in xs {
+                    x.collect_labels(out);
+                }
+            }
+            Regex::Star(x) | Regex::Plus(x) | Regex::Opt(x) => x.collect_labels(out),
+        }
+    }
+
+    /// Whether the denoted language is trivially finite by syntax (no `*`
+    /// or `+`). This is sufficient but not necessary; the exact test goes
+    /// through the DFA ([`crate::Dfa::is_finite_language`]).
+    pub fn is_star_free(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Lit(_) => true,
+            Regex::Concat(xs) | Regex::Alt(xs) => xs.iter().all(Regex::is_star_free),
+            Regex::Opt(x) => x.is_star_free(),
+            Regex::Star(_) | Regex::Plus(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regex::Empty => write!(f, "∅"),
+            Regex::Epsilon => write!(f, "ε"),
+            Regex::Lit(l) => write!(f, "{l}"),
+            Regex::Concat(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    if matches!(x, Regex::Alt(_)) {
+                        write!(f, "({x})")?;
+                    } else {
+                        write!(f, "{x}")?;
+                    }
+                }
+                Ok(())
+            }
+            Regex::Alt(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                Ok(())
+            }
+            Regex::Star(x) => write_postfix(f, x, '*'),
+            Regex::Plus(x) => write_postfix(f, x, '+'),
+            Regex::Opt(x) => write_postfix(f, x, '?'),
+        }
+    }
+}
+
+fn write_postfix(f: &mut fmt::Formatter<'_>, x: &Regex, op: char) -> fmt::Result {
+    if matches!(x, Regex::Lit(_) | Regex::Epsilon | Regex::Empty) {
+        write!(f, "{x}{op}")
+    } else {
+        write!(f, "({x}){op}")
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    Ident(String),
+    LParen,
+    RParen,
+    Pipe,
+    Star,
+    Plus,
+    Quest,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, String> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '.' => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            '|' => {
+                chars.next();
+                out.push(Token::Pipe);
+            }
+            '*' => {
+                chars.next();
+                out.push(Token::Star);
+            }
+            '+' => {
+                chars.next();
+                out.push(Token::Plus);
+            }
+            '?' => {
+                chars.next();
+                out.push(Token::Quest);
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(ident));
+            }
+            other => return Err(format!("unexpected character '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn alt(&mut self) -> Result<Regex, String> {
+        let mut parts = vec![self.concat()?];
+        while self.peek() == Some(&Token::Pipe) {
+            self.pos += 1;
+            parts.push(self.concat()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Regex::Alt(parts)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Regex, String> {
+        let mut parts = Vec::new();
+        while matches!(self.peek(), Some(Token::Ident(_)) | Some(Token::LParen)) {
+            parts.push(self.postfix()?);
+        }
+        Ok(match parts.len() {
+            0 => Regex::Epsilon,
+            1 => parts.pop().expect("one part"),
+            _ => Regex::Concat(parts),
+        })
+    }
+
+    fn postfix(&mut self) -> Result<Regex, String> {
+        let mut re = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(Token::Star) => {
+                    self.pos += 1;
+                    re = Regex::Star(Box::new(re));
+                }
+                Some(Token::Plus) => {
+                    self.pos += 1;
+                    re = Regex::Plus(Box::new(re));
+                }
+                Some(Token::Quest) => {
+                    self.pos += 1;
+                    re = Regex::Opt(Box::new(re));
+                }
+                _ => break,
+            }
+        }
+        Ok(re)
+    }
+
+    fn atom(&mut self) -> Result<Regex, String> {
+        match self.peek().cloned() {
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                Ok(Regex::Lit(name))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let re = self.alt()?;
+                if self.peek() != Some(&Token::RParen) {
+                    return Err("missing ')'".into());
+                }
+                self.pos += 1;
+                Ok(re)
+            }
+            other => Err(format!("expected atom, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_star() {
+        assert_eq!(
+            Regex::parse("E*").unwrap(),
+            Regex::Star(Box::new(Regex::Lit("E".into())))
+        );
+    }
+
+    #[test]
+    fn parses_concat_and_alt_with_precedence() {
+        // a b | c  ≡  (a b) | c
+        let re = Regex::parse("a b | c").unwrap();
+        assert_eq!(
+            re,
+            Regex::Alt(vec![
+                Regex::Concat(vec![Regex::Lit("a".into()), Regex::Lit("b".into())]),
+                Regex::Lit("c".into()),
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_grouping_and_postfix() {
+        let re = Regex::parse("(a | b)+ c?").unwrap();
+        assert_eq!(
+            re,
+            Regex::Concat(vec![
+                Regex::Plus(Box::new(Regex::Alt(vec![
+                    Regex::Lit("a".into()),
+                    Regex::Lit("b".into())
+                ]))),
+                Regex::Opt(Box::new(Regex::Lit("c".into()))),
+            ])
+        );
+    }
+
+    #[test]
+    fn empty_input_is_epsilon() {
+        assert_eq!(Regex::parse("").unwrap(), Regex::Epsilon);
+    }
+
+    #[test]
+    fn labels_in_order() {
+        let re = Regex::parse("b a b c").unwrap();
+        assert_eq!(re.labels(), vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn star_free_detection() {
+        assert!(Regex::parse("a b? (c | d)").unwrap().is_star_free());
+        assert!(!Regex::parse("a b*").unwrap().is_star_free());
+        assert!(!Regex::parse("(a b)+").unwrap().is_star_free());
+    }
+
+    #[test]
+    fn rejects_bad_syntax() {
+        assert!(Regex::parse("(a").is_err());
+        assert!(Regex::parse("a)").is_err());
+        assert!(Regex::parse("a $ b").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for src in ["E*", "a b | c", "(a | b)+ c?", "knows* likes"] {
+            let re = Regex::parse(src).unwrap();
+            let re2 = Regex::parse(&re.to_string()).unwrap();
+            assert_eq!(re, re2, "round-trip of {src}");
+        }
+    }
+}

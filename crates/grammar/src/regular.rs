@@ -1,0 +1,114 @@
+//! Left-linear (regular) grammars → automata.
+//!
+//! A basic chain Datalog program whose rules are all left-linear is exactly
+//! an RPQ (paper §5, Proposition 5.2). This module turns the left-linear
+//! grammar into an NFA (and on to a minimal DFA), which drives the
+//! product-graph constructions of Theorem 5.9.
+
+use crate::cfg::{Cfg, Symbol};
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+
+/// Build an NFA for a left-linear grammar: rules `A → B w` / `A → w` with
+/// `w` terminal-only. Returns `None` if the grammar is not left-linear.
+///
+/// States: one per non-terminal plus an initial state; a path from the
+/// initial state to the state of `A` spells a word derivable from `A`;
+/// the accept state is the start symbol's.
+pub fn left_linear_nfa(cfg: &Cfg) -> Option<Nfa> {
+    if !cfg.is_left_linear() {
+        return None;
+    }
+    let n_nts = cfg.num_nonterminals();
+    let init = n_nts; // state ids: 0..n_nts are NTs, then init, then fresh
+    let mut num_states = n_nts + 1;
+    let mut transitions = Vec::new();
+    for p in &cfg.productions {
+        let (from, word_start) = match p.body.first() {
+            Some(Symbol::N(b)) => (*b as usize, 1),
+            _ => (init, 0),
+        };
+        // Chain of terminal transitions from `from` to the head's state.
+        let word: Vec<_> = p.body[word_start..]
+            .iter()
+            .map(|s| match s {
+                Symbol::T(t) => *t,
+                Symbol::N(_) => unreachable!("left-linear checked"),
+            })
+            .collect();
+        let to = p.head as usize;
+        if word.is_empty() {
+            transitions.push((from, None, to)); // unit/ε production
+        } else {
+            let mut cur = from;
+            for (i, &t) in word.iter().enumerate() {
+                let next = if i + 1 == word.len() {
+                    to
+                } else {
+                    let s = num_states;
+                    num_states += 1;
+                    s
+                };
+                transitions.push((cur, Some(t), next));
+                cur = next;
+            }
+        }
+    }
+    Some(Nfa {
+        num_states,
+        start: init,
+        accept: cfg.start as usize,
+        transitions,
+    })
+}
+
+/// The minimal DFA of a left-linear grammar (`None` if not left-linear).
+pub fn left_linear_dfa(cfg: &Cfg) -> Option<Dfa> {
+    let nfa = left_linear_nfa(cfg)?;
+    Some(Dfa::from_nfa(&nfa, cfg.alphabet.len()).minimize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{words_up_to, CfgAnalysis};
+    use crate::normalize::Cnf;
+
+    fn check_language_agreement(text: &str) {
+        let cfg = Cfg::parse(text).unwrap();
+        let dfa = left_linear_dfa(&cfg).expect("left-linear");
+        let cnf = Cnf::from_cfg(&cfg);
+        let _ = CfgAnalysis::new(&cnf);
+        // All words up to length 6 agree between CYK and the DFA.
+        let accepted = words_up_to(&cnf, 6, 10_000);
+        for w in &accepted {
+            assert!(dfa.accepts(w), "{text}: CYK accepts {w:?}, DFA rejects");
+        }
+        // And DFA enumeration is CYK-accepted.
+        for w in dfa.words_up_to(6, 10_000) {
+            assert!(cnf.accepts(&w), "{text}: DFA accepts {w:?}, CYK rejects");
+        }
+    }
+
+    #[test]
+    fn tc_grammar_language_is_e_plus() {
+        check_language_agreement("T -> T E | E");
+    }
+
+    #[test]
+    fn multi_label_left_linear() {
+        check_language_agreement("T -> A\nT -> T B");
+        check_language_agreement("S -> S a b | c");
+    }
+
+    #[test]
+    fn finite_left_linear() {
+        check_language_agreement("S -> a b | a | b a a");
+    }
+
+    #[test]
+    fn non_left_linear_is_rejected() {
+        let cfg = Cfg::dyck1();
+        assert!(left_linear_nfa(&cfg).is_none());
+    }
+}

@@ -1,0 +1,285 @@
+//! Generators for the input families the paper's bounds are stated on.
+
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{LabeledDigraph, NodeId};
+
+/// A simple path `0 → 1 → … → n` with all edges labeled `label`.
+pub fn path(n_edges: usize, label: &str) -> LabeledDigraph {
+    let mut g = LabeledDigraph::new(n_edges + 1);
+    for i in 0..n_edges {
+        g.add_edge(i as NodeId, i as NodeId + 1, label);
+    }
+    g
+}
+
+/// A path spelling the given label word (used by Prop 5.5's boundedness
+/// witness and the pumping reductions).
+pub fn word_path(word: &[&str]) -> LabeledDigraph {
+    let mut g = LabeledDigraph::new(word.len() + 1);
+    for (i, label) in word.iter().enumerate() {
+        g.add_edge(i as NodeId, i as NodeId + 1, label);
+    }
+    g
+}
+
+/// A directed cycle of `n` nodes labeled `label`.
+pub fn cycle(n: usize, label: &str) -> LabeledDigraph {
+    assert!(n >= 1);
+    let mut g = LabeledDigraph::new(n);
+    for i in 0..n {
+        g.add_edge(i as NodeId, ((i + 1) % n) as NodeId, label);
+    }
+    g
+}
+
+/// An `(ℓ, L)`-layered graph (paper §3): `L` layers of `ℓ` vertices each,
+/// edges only between consecutive layers, plus distinguished source `s`
+/// (before layer 0) and target `t` (after the last layer).
+///
+/// Returns the graph plus `(s, t)`. `density` in `[0,1]` is the probability
+/// of each inter-layer edge; `s`/`t` connect to the full first/last layer.
+/// The Karchmer–Wigderson lower-bound family (Thm 3.4) is `ℓ = n^0.1`
+/// layered graphs; this generator covers it and Thm 3.5's upper bound.
+pub fn layered(
+    width: usize,
+    layers: usize,
+    density: f64,
+    label: &str,
+    seed: u64,
+) -> (LabeledDigraph, NodeId, NodeId) {
+    assert!(width >= 1 && layers >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = LabeledDigraph::new(width * layers + 2);
+    let s: NodeId = (width * layers) as NodeId;
+    let t: NodeId = s + 1;
+    let node = |layer: usize, i: usize| (layer * width + i) as NodeId;
+    for i in 0..width {
+        g.add_edge(s, node(0, i), label);
+        g.add_edge(node(layers - 1, i), t, label);
+    }
+    for layer in 0..layers.saturating_sub(1) {
+        for i in 0..width {
+            for j in 0..width {
+                if rng.gen_bool(density) {
+                    g.add_edge(node(layer, i), node(layer + 1, j), label);
+                }
+            }
+        }
+    }
+    (g, s, t)
+}
+
+/// A complete digraph on `n` nodes (no self-loops), single label.
+pub fn complete(n: usize, label: &str) -> LabeledDigraph {
+    let mut g = LabeledDigraph::new(n);
+    for i in 0..n as NodeId {
+        for j in 0..n as NodeId {
+            if i != j {
+                g.add_edge(i, j, label);
+            }
+        }
+    }
+    g
+}
+
+/// A `G(n, m)` random digraph: `m` distinct directed edges chosen uniformly,
+/// labels drawn uniformly from `labels`.
+pub fn gnm(n: usize, m: usize, labels: &[&str], seed: u64) -> LabeledDigraph {
+    assert!(n >= 2 && !labels.is_empty());
+    let max_edges = n * (n - 1);
+    let m = m.min(max_edges);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = LabeledDigraph::new(n);
+    let mut used = std::collections::HashSet::with_capacity(m);
+    while used.len() < m {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u != v && used.insert((u, v)) {
+            let label = labels[rng.gen_range(0..labels.len())];
+            g.add_edge(u, v, label);
+        }
+    }
+    g
+}
+
+/// A 2D grid graph with rightward edges labeled `right` and downward edges
+/// labeled `down`; node `(r, c)` has id `r * cols + c`.
+pub fn grid(rows: usize, cols: usize, right: &str, down: &str) -> LabeledDigraph {
+    let mut g = LabeledDigraph::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1), right);
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c), down);
+            }
+        }
+    }
+    g
+}
+
+/// A path spelling a uniformly random balanced-parentheses word of length
+/// `2 * pairs` over labels `L`/`R` (the Dyck-1 workload of Example 6.4).
+pub fn dyck_path(pairs: usize, seed: u64) -> LabeledDigraph {
+    let word = random_dyck_word(pairs, seed);
+    let labels: Vec<&str> = word.iter().map(|&open| if open { "L" } else { "R" }).collect();
+    word_path(&labels)
+}
+
+/// A uniformly random balanced word as a vec of open/close flags, via the
+/// cycle lemma on a random permutation of `pairs` opens and `pairs` closes.
+pub fn random_dyck_word(pairs: usize, seed: u64) -> Vec<bool> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random sequence with equal opens/closes.
+    let mut seq: Vec<bool> = std::iter::repeat(true)
+        .take(pairs)
+        .chain(std::iter::repeat(false).take(pairs))
+        .collect();
+    for i in (1..seq.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        seq.swap(i, j);
+    }
+    // Cycle-lemma rotation to the unique balanced rotation of the
+    // corresponding ±1 sequence (for sequences summing to 0 this yields a
+    // nonnegative-prefix word; standard Dvoretzky–Motzkin argument).
+    let mut best_pos = 0;
+    let mut sum = 0i64;
+    let mut min_sum = 0i64;
+    for (i, &open) in seq.iter().enumerate() {
+        sum += if open { 1 } else { -1 };
+        if sum < min_sum {
+            min_sum = sum;
+            best_pos = i + 1;
+        }
+    }
+    let mut rotated = Vec::with_capacity(seq.len());
+    rotated.extend_from_slice(&seq[best_pos..]);
+    rotated.extend_from_slice(&seq[..best_pos]);
+    debug_assert!(is_balanced(&rotated));
+    rotated
+}
+
+fn is_balanced(word: &[bool]) -> bool {
+    let mut depth = 0i64;
+    for &open in word {
+        depth += if open { 1 } else { -1 };
+        if depth < 0 {
+            return false;
+        }
+    }
+    depth == 0
+}
+
+/// A random DAG with edges only from lower to higher node ids — acyclic TC
+/// workloads (bounded path lengths without layering).
+pub fn random_dag(n: usize, density: f64, label: &str, seed: u64) -> LabeledDigraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = LabeledDigraph::new(n);
+    for i in 0..n as NodeId {
+        for j in (i + 1)..n as NodeId {
+            if rng.gen_bool(density) {
+                g.add_edge(i, j, label);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5, "E");
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.reachable_from(0)[5]);
+        assert!(!g.reachable_from(5)[0]);
+    }
+
+    #[test]
+    fn word_path_spells_word() {
+        let g = word_path(&["a", "b", "a"]);
+        let names: Vec<&str> = g
+            .edges()
+            .iter()
+            .map(|&(_, _, t)| g.alphabet.name(t))
+            .collect();
+        assert_eq!(names, vec!["a", "b", "a"]);
+    }
+
+    #[test]
+    fn cycle_reaches_everything() {
+        let g = cycle(4, "E");
+        assert!(g.reachable_from(2).iter().all(|&r| r));
+    }
+
+    #[test]
+    fn layered_has_only_consecutive_edges() {
+        let (g, s, t) = layered(3, 4, 1.0, "E", 7);
+        assert_eq!(g.num_nodes(), 3 * 4 + 2);
+        // Full density: s reaches t.
+        assert!(g.reachable_from(s)[t as usize]);
+        // Every non-s/t edge goes between consecutive layers.
+        for &(u, v, _) in g.edges() {
+            if u == s || v == t {
+                continue;
+            }
+            let lu = u as usize / 3;
+            let lv = v as usize / 3;
+            assert_eq!(lv, lu + 1, "edge {u}->{v} skips layers");
+        }
+    }
+
+    #[test]
+    fn gnm_has_requested_edges_and_is_deterministic() {
+        let g1 = gnm(10, 30, &["a", "b"], 42);
+        let g2 = gnm(10, 30, &["a", "b"], 42);
+        assert_eq!(g1.num_edges(), 30);
+        assert_eq!(g1.edges(), g2.edges());
+        let g3 = gnm(10, 30, &["a", "b"], 43);
+        assert_ne!(g1.edges(), g3.edges());
+    }
+
+    #[test]
+    fn gnm_caps_at_max_edges() {
+        let g = gnm(3, 100, &["a"], 1);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn dyck_words_are_balanced_and_deterministic() {
+        for pairs in [1, 2, 5, 20] {
+            let w = random_dyck_word(pairs, 9);
+            assert_eq!(w.len(), 2 * pairs);
+            assert!(is_balanced(&w));
+            assert_eq!(w, random_dyck_word(pairs, 9));
+        }
+    }
+
+    #[test]
+    fn dyck_path_labels() {
+        let g = dyck_path(3, 5);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.alphabet.len(), 2);
+    }
+
+    #[test]
+    fn random_dag_is_acyclic() {
+        let g = random_dag(12, 0.5, "E", 3);
+        for &(u, v, _) in g.edges() {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        assert_eq!(complete(5, "E").num_edges(), 20);
+    }
+}

@@ -1,0 +1,183 @@
+//! Edge-labeled directed multigraphs.
+
+use grammar::{Alphabet, Terminal};
+
+/// A node id.
+pub type NodeId = u32;
+
+/// An edge id (index into the edge list).
+pub type EdgeId = usize;
+
+/// An edge-labeled directed multigraph. Each edge is a potential EDB fact;
+/// its index doubles as the provenance-variable id for that fact.
+#[derive(Clone, Debug, Default)]
+pub struct LabeledDigraph {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId, Terminal)>,
+    /// The label alphabet.
+    pub alphabet: Alphabet,
+}
+
+impl LabeledDigraph {
+    /// An empty graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        LabeledDigraph {
+            num_nodes: n,
+            edges: Vec::new(),
+            alphabet: Alphabet::new(),
+        }
+    }
+
+    /// An empty graph with `n` nodes sharing an existing alphabet.
+    pub fn with_alphabet(n: usize, alphabet: Alphabet) -> Self {
+        LabeledDigraph {
+            num_nodes: n,
+            edges: Vec::new(),
+            alphabet,
+        }
+    }
+
+    /// Number of nodes (the active-domain size `n` of the paper).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges (the input size `m` of the paper).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add `count` fresh nodes, returning the id of the first.
+    pub fn add_nodes(&mut self, count: usize) -> NodeId {
+        let first = self.num_nodes as NodeId;
+        self.num_nodes += count;
+        first
+    }
+
+    /// Add an edge with an interned label name, returning its id.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, label: &str) -> EdgeId {
+        let t = self.alphabet.intern(label);
+        self.add_edge_t(src, dst, t)
+    }
+
+    /// Add an edge with an already-interned label.
+    pub fn add_edge_t(&mut self, src: NodeId, dst: NodeId, label: Terminal) -> EdgeId {
+        assert!(
+            (src as usize) < self.num_nodes && (dst as usize) < self.num_nodes,
+            "edge endpoints must be existing nodes"
+        );
+        self.edges.push((src, dst, label));
+        self.edges.len() - 1
+    }
+
+    /// The edge list `(src, dst, label)`.
+    pub fn edges(&self) -> &[(NodeId, NodeId, Terminal)] {
+        &self.edges
+    }
+
+    /// The edge with the given id.
+    pub fn edge(&self, e: EdgeId) -> (NodeId, NodeId, Terminal) {
+        self.edges[e]
+    }
+
+    /// Out-adjacency lists: `adj[u] = [(edge id, dst, label)]`.
+    pub fn out_adjacency(&self) -> Vec<Vec<(EdgeId, NodeId, Terminal)>> {
+        let mut adj = vec![Vec::new(); self.num_nodes];
+        for (e, &(u, v, t)) in self.edges.iter().enumerate() {
+            adj[u as usize].push((e, v, t));
+        }
+        adj
+    }
+
+    /// In-adjacency lists: `adj[v] = [(edge id, src, label)]`.
+    pub fn in_adjacency(&self) -> Vec<Vec<(EdgeId, NodeId, Terminal)>> {
+        let mut adj = vec![Vec::new(); self.num_nodes];
+        for (e, &(u, v, t)) in self.edges.iter().enumerate() {
+            adj[v as usize].push((e, u, t));
+        }
+        adj
+    }
+
+    /// Plain (label-blind) reachability from `src` — BFS oracle for tests.
+    pub fn reachable_from(&self, src: NodeId) -> Vec<bool> {
+        let adj = self.out_adjacency();
+        let mut seen = vec![false; self.num_nodes];
+        let mut stack = vec![src];
+        seen[src as usize] = true;
+        while let Some(u) = stack.pop() {
+            for &(_, v, _) in &adj[u as usize] {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Label-blind shortest hop-count distances from `src` (`None` if
+    /// unreachable) — oracle for tropical-semiring tests with unit weights.
+    pub fn bfs_distances(&self, src: NodeId) -> Vec<Option<u64>> {
+        let adj = self.out_adjacency();
+        let mut dist = vec![None; self.num_nodes];
+        dist[src as usize] = Some(0);
+        let mut queue = std::collections::VecDeque::from([src]);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize].expect("visited");
+            for &(_, v, _) in &adj[u as usize] {
+                if dist[v as usize].is_none() {
+                    dist[v as usize] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = LabeledDigraph::new(3);
+        let e0 = g.add_edge(0, 1, "E");
+        let e1 = g.add_edge(1, 2, "E");
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge(e0), (0, 1, g.alphabet.get("E").unwrap()));
+        assert_eq!(g.edge(e1).0, 1);
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let mut g = LabeledDigraph::new(3);
+        g.add_edge(0, 1, "a");
+        g.add_edge(0, 2, "b");
+        g.add_edge(1, 2, "a");
+        let out = g.out_adjacency();
+        let inn = g.in_adjacency();
+        assert_eq!(out[0].len(), 2);
+        assert_eq!(inn[2].len(), 2);
+        assert_eq!(out.iter().map(Vec::len).sum::<usize>(), 3);
+        assert_eq!(inn.iter().map(Vec::len).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn reachability_oracle() {
+        let mut g = LabeledDigraph::new(4);
+        g.add_edge(0, 1, "E");
+        g.add_edge(1, 2, "E");
+        let r = g.reachable_from(0);
+        assert_eq!(r, vec![true, true, true, false]);
+        assert_eq!(g.bfs_distances(0), vec![Some(0), Some(1), Some(2), None]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_dangling_edges() {
+        let mut g = LabeledDigraph::new(2);
+        g.add_edge(0, 5, "E");
+    }
+}

@@ -1,0 +1,17 @@
+//! Workload substrate: edge-labeled directed graphs and generators.
+//!
+//! The paper's bounds are stated against specific input families — paths
+//! spelling a word (Prop 5.5, Thm 5.9), `(ℓ, L)`-layered graphs (Thm 3.4,
+//! 3.5, 5.11, 6.8), dense/sparse random graphs (the O(mn) vs O(n³ log n)
+//! trade-off of Thms 5.6/5.7), and Dyck-labeled graphs (Example 6.4). This
+//! crate generates all of them, plus the graph × DFA product of Theorem 5.9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod graph;
+pub mod product;
+
+pub use graph::{EdgeId, LabeledDigraph, NodeId};
+pub use product::{product_with_dfa, ProductGraph};

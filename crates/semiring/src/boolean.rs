@@ -1,0 +1,101 @@
+//! The Boolean semiring `B = ({false, true}, ∨, ∧, false, true)`.
+
+use crate::traits::{AddIdempotent, Absorptive, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable};
+
+/// The Boolean semiring, the base case of all the paper's dichotomies:
+/// lower bounds proven over `B` transfer up to every positive semiring
+/// (Proposition 3.6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bool(pub bool);
+
+impl Bool {
+    /// The `true` value.
+    pub const TRUE: Bool = Bool(true);
+    /// The `false` value.
+    pub const FALSE: Bool = Bool(false);
+}
+
+impl Semiring for Bool {
+    const NAME: &'static str = "boolean";
+
+    fn zero() -> Self {
+        Bool(false)
+    }
+
+    fn one() -> Self {
+        Bool(true)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        Bool(self.0 || rhs.0)
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        Bool(self.0 && rhs.0)
+    }
+
+    fn is_zero(&self) -> bool {
+        !self.0
+    }
+
+    fn is_one(&self) -> bool {
+        self.0
+    }
+}
+
+impl AddIdempotent for Bool {}
+impl Absorptive for Bool {}
+impl MulIdempotent for Bool {}
+impl Positive for Bool {}
+
+impl NaturallyOrdered for Bool {
+    fn nat_le(&self, rhs: &Self) -> bool {
+        !self.0 || rhs.0
+    }
+}
+
+impl Stable for Bool {
+    fn stability_index() -> usize {
+        0
+    }
+}
+
+impl From<bool> for Bool {
+    fn from(b: bool) -> Self {
+        Bool(b)
+    }
+}
+
+impl std::fmt::Display for Bool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn laws() {
+        let vals = [Bool(false), Bool(true)];
+        for a in vals {
+            for b in vals {
+                for c in vals {
+                    properties::check_semiring_laws(&a, &b, &c).unwrap();
+                }
+                properties::check_add_idempotent(&a).unwrap();
+                properties::check_mul_idempotent(&a).unwrap();
+            }
+            properties::check_absorptive(&a).unwrap();
+        }
+    }
+
+    #[test]
+    fn natural_order_is_implication() {
+        assert!(Bool(false).nat_le(&Bool(true)));
+        assert!(!Bool(true).nat_le(&Bool(false)));
+        assert!(Bool(true).nat_le(&Bool(true)));
+    }
+}

@@ -1,0 +1,108 @@
+//! The bottleneck semiring `(ℕ ∪ {∞}, max, min, 0, ∞)`.
+//!
+//! Provenance of a TC fact over this semiring is the widest-path capacity.
+//! Like [`crate::Fuzzy`] it is a bounded distributive lattice (absorptive and
+//! ⊗-idempotent — class `Chom`), but over integer capacities, which makes it
+//! convenient for exact cross-semiring agreement tests (Corollary 4.7).
+
+use crate::traits::{
+    AddIdempotent, Absorptive, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable,
+};
+
+/// The bottleneck (max-min) capacity semiring; `u64::MAX` encodes `∞`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bottleneck(pub u64);
+
+/// The encoding of `∞` (the multiplicative identity) in [`Bottleneck`].
+pub const BOTTLENECK_INF: u64 = u64::MAX;
+
+impl Bottleneck {
+    /// A finite capacity.
+    pub fn new(c: u64) -> Self {
+        Bottleneck(c)
+    }
+
+    /// The multiplicative identity `∞` (unlimited capacity).
+    pub fn infinity() -> Self {
+        Bottleneck(BOTTLENECK_INF)
+    }
+}
+
+impl Semiring for Bottleneck {
+    const NAME: &'static str = "bottleneck";
+
+    fn zero() -> Self {
+        Bottleneck(0)
+    }
+
+    fn one() -> Self {
+        Bottleneck(BOTTLENECK_INF)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        Bottleneck(self.0.max(rhs.0))
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        Bottleneck(self.0.min(rhs.0))
+    }
+}
+
+impl AddIdempotent for Bottleneck {}
+impl Absorptive for Bottleneck {}
+impl MulIdempotent for Bottleneck {}
+impl Positive for Bottleneck {}
+
+impl NaturallyOrdered for Bottleneck {
+    fn nat_le(&self, rhs: &Self) -> bool {
+        self.0 <= rhs.0
+    }
+}
+
+impl Stable for Bottleneck {
+    fn stability_index() -> usize {
+        0
+    }
+}
+
+impl std::fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 == BOTTLENECK_INF {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn laws_and_chom_membership() {
+        let vals = [
+            Bottleneck(0),
+            Bottleneck(3),
+            Bottleneck(10),
+            Bottleneck::infinity(),
+        ];
+        for a in &vals {
+            for b in &vals {
+                for c in &vals {
+                    properties::check_semiring_laws(a, b, c).unwrap();
+                }
+            }
+            properties::check_absorptive(a).unwrap();
+            properties::check_mul_idempotent(a).unwrap();
+        }
+    }
+
+    #[test]
+    fn widest_path_semantics() {
+        let p1 = Bottleneck(8).mul(&Bottleneck(2)); // capacity 2
+        let p2 = Bottleneck(5).mul(&Bottleneck(4)); // capacity 4
+        assert_eq!(p1.add(&p2), Bottleneck(4));
+    }
+}

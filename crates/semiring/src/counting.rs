@@ -1,0 +1,93 @@
+//! The counting semiring `C = (ℕ, +, ·, 0, 1)`.
+//!
+//! `C` is positive and naturally ordered but **not** idempotent and not
+//! p-stable for any p: naive Datalog evaluation need not converge over it
+//! (paper §1 uses it as the canonical example of a semiring where the
+//! infinite proof-tree sum is ill-defined). The engine's divergence
+//! detection is exercised with this semiring.
+
+use crate::traits::{NaturallyOrdered, Positive, Semiring};
+
+/// The counting semiring with saturating arithmetic (`u64::MAX` acts as an
+/// overflow sentinel; tests keep values far below it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Counting(pub u64);
+
+impl Counting {
+    /// Wrap a count.
+    pub fn new(n: u64) -> Self {
+        Counting(n)
+    }
+}
+
+impl Semiring for Counting {
+    const NAME: &'static str = "counting";
+
+    fn zero() -> Self {
+        Counting(0)
+    }
+
+    fn one() -> Self {
+        Counting(1)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        Counting(self.0.saturating_add(rhs.0))
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        Counting(self.0.saturating_mul(rhs.0))
+    }
+
+    fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+
+    fn is_one(&self) -> bool {
+        self.0 == 1
+    }
+}
+
+impl Positive for Counting {}
+
+impl NaturallyOrdered for Counting {
+    fn nat_le(&self, rhs: &Self) -> bool {
+        self.0 <= rhs.0
+    }
+}
+
+impl std::fmt::Display for Counting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn laws() {
+        let vals = [Counting(0), Counting(1), Counting(2), Counting(7)];
+        for a in &vals {
+            for b in &vals {
+                for c in &vals {
+                    properties::check_semiring_laws(a, b, c).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn not_idempotent() {
+        let two = Counting(2);
+        assert_ne!(two.add(&two), two);
+    }
+
+    #[test]
+    fn counts_derivations() {
+        // Two proof trees of the same fact: 1 + 1 = 2.
+        assert_eq!(Counting::one().add(&Counting::one()), Counting(2));
+    }
+}

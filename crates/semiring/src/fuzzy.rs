@@ -1,0 +1,103 @@
+//! The fuzzy semiring `F = ([0,1], max, min, 0, 1)`.
+//!
+//! A bounded distributive lattice: absorptive **and** ⊗-idempotent, hence in
+//! the class `Chom` for which the paper's strongest boundedness
+//! characterizations hold (Theorem 4.6, Corollary 4.7, Proposition 4.8,
+//! Theorem 6.5). Both operations are exact on floats (no rounding), so
+//! equality is exact.
+
+use crate::traits::{
+    AddIdempotent, Absorptive, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable,
+};
+
+/// The fuzzy (max-min) semiring on `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Fuzzy(f64);
+
+impl Fuzzy {
+    /// Construct from a truth degree, clamped into `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics on NaN.
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "Fuzzy value must not be NaN");
+        Fuzzy(v.clamp(0.0, 1.0))
+    }
+
+    /// The underlying truth degree.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Semiring for Fuzzy {
+    const NAME: &'static str = "fuzzy";
+
+    fn zero() -> Self {
+        Fuzzy(0.0)
+    }
+
+    fn one() -> Self {
+        Fuzzy(1.0)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        Fuzzy(self.0.max(rhs.0))
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        Fuzzy(self.0.min(rhs.0))
+    }
+}
+
+impl AddIdempotent for Fuzzy {}
+impl Absorptive for Fuzzy {}
+impl MulIdempotent for Fuzzy {}
+impl Positive for Fuzzy {}
+
+impl NaturallyOrdered for Fuzzy {
+    fn nat_le(&self, rhs: &Self) -> bool {
+        self.0 <= rhs.0
+    }
+}
+
+impl Stable for Fuzzy {
+    fn stability_index() -> usize {
+        0
+    }
+}
+
+impl std::fmt::Display for Fuzzy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn laws_and_chom_membership() {
+        let vals = [Fuzzy::new(0.0), Fuzzy::new(0.3), Fuzzy::new(0.7), Fuzzy::new(1.0)];
+        for a in &vals {
+            for b in &vals {
+                for c in &vals {
+                    properties::check_semiring_laws(a, b, c).unwrap();
+                }
+            }
+            properties::check_absorptive(a).unwrap();
+            properties::check_add_idempotent(a).unwrap();
+            properties::check_mul_idempotent(a).unwrap();
+        }
+    }
+
+    #[test]
+    fn weakest_link_semantics() {
+        // A path's degree is its weakest edge; a fact takes the best path.
+        let p1 = Fuzzy::new(0.9).mul(&Fuzzy::new(0.2)); // 0.2
+        let p2 = Fuzzy::new(0.5).mul(&Fuzzy::new(0.6)); // 0.5
+        assert_eq!(p1.add(&p2), Fuzzy::new(0.5));
+    }
+}

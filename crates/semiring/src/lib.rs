@@ -1,0 +1,71 @@
+//! Commutative semirings for Datalog provenance.
+//!
+//! This crate is the algebraic substrate of the `datalog-circuits` workspace,
+//! reproducing the semiring landscape of *Circuits and Formulas for Datalog
+//! over Semirings* (Fan, Koutris, Roy — PODS 2025), §2.2–§2.4:
+//!
+//! * the [`Semiring`] trait plus marker traits for the properties the paper
+//!   relies on: [`AddIdempotent`] (⊕-idempotent), [`Absorptive`] (1 ⊕ x = 1,
+//!   i.e. 0-stable), [`MulIdempotent`] (⊗-idempotent; together with
+//!   absorptive this is the class `Chom` of bounded distributive lattices),
+//!   [`NaturallyOrdered`], [`Positive`] and [`Stable`] (p-stability);
+//! * concrete semirings: the Boolean semiring [`Bool`], the tropical
+//!   semiring [`Tropical`] (ℕ∪{∞}, min, +), the non-absorptive variant
+//!   [`TropicalZ`] (ℤ∪{∞}), the counting semiring [`Counting`], the Viterbi
+//!   semiring [`Viterbi`], the fuzzy semiring [`Fuzzy`] (min/max on `[0,1]`),
+//!   the bottleneck semiring [`Bottleneck`] (max/min), the k-best tropical
+//!   semiring [`TropK`], and why-provenance [`WhyProv`];
+//! * the universal object for absorptive provenance: generalized absorptive
+//!   polynomials [`Sorp`] with monomials normalized to a divisibility
+//!   antichain ([`Monomial`]).
+//!
+//! Evaluating any circuit or Datalog program over [`Sorp`] yields the
+//! canonical provenance polynomial of §2.4 of the paper; evaluating over a
+//! concrete absorptive semiring factors through it (Proposition 2.4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boolean;
+pub mod bottleneck;
+pub mod counting;
+pub mod fuzzy;
+pub mod lukasiewicz;
+pub mod polynomial;
+pub mod properties;
+pub mod traits;
+pub mod tropical;
+pub mod tropk;
+pub mod viterbi;
+pub mod whyprov;
+
+pub use boolean::Bool;
+pub use bottleneck::Bottleneck;
+pub use counting::Counting;
+pub use fuzzy::Fuzzy;
+pub use lukasiewicz::Lukasiewicz;
+pub use polynomial::{Monomial, Sorp, VarId};
+pub use traits::{
+    AddIdempotent, Absorptive, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable,
+};
+pub use tropical::{Tropical, TropicalZ};
+pub use tropk::TropK;
+pub use viterbi::Viterbi;
+pub use whyprov::WhyProv;
+
+/// Convenient glob-import of the trait hierarchy and all concrete semirings.
+pub mod prelude {
+    pub use crate::boolean::Bool;
+    pub use crate::bottleneck::Bottleneck;
+    pub use crate::counting::Counting;
+    pub use crate::fuzzy::Fuzzy;
+    pub use crate::lukasiewicz::Lukasiewicz;
+    pub use crate::polynomial::{Monomial, Sorp, VarId};
+    pub use crate::traits::{
+        AddIdempotent, Absorptive, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable,
+    };
+    pub use crate::tropical::{Tropical, TropicalZ};
+    pub use crate::tropk::TropK;
+    pub use crate::viterbi::Viterbi;
+    pub use crate::whyprov::WhyProv;
+}

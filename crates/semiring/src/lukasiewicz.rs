@@ -1,0 +1,130 @@
+//! The Łukasiewicz semiring `([0,1], max, ⊗_Ł, 0, 1)` with
+//! `a ⊗_Ł b = max(0, a + b − 1)`.
+//!
+//! A standard many-valued-logic semiring: absorptive (`max(1, x) = 1`) but
+//! not ⊗-idempotent, so it sits — like [`crate::Tropical`] and
+//! [`crate::Viterbi`] — in the class where the paper's circuit results
+//! apply but the `Chom` boundedness characterizations (§4) do not. Along a
+//! derivation, every rule application *deducts* missing truth, so
+//! provenance over Łukasiewicz measures how much slack the best proof
+//! leaves. Exact on the grid `k/1000`, so equality is exact in tests that
+//! stick to it; [`Semiring::sr_eq`] still uses a tolerance for safety.
+
+use crate::traits::{AddIdempotent, Absorptive, NaturallyOrdered, Positive, Semiring, Stable};
+
+/// The Łukasiewicz (max, bounded-sum) semiring on `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Lukasiewicz(f64);
+
+/// Tolerance used for semantic equality.
+pub const LUKASIEWICZ_EPS: f64 = 1e-9;
+
+impl Lukasiewicz {
+    /// Construct from a truth degree, clamped into `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics on NaN.
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "Lukasiewicz value must not be NaN");
+        Lukasiewicz(v.clamp(0.0, 1.0))
+    }
+
+    /// The underlying truth degree.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Semiring for Lukasiewicz {
+    const NAME: &'static str = "lukasiewicz";
+
+    fn zero() -> Self {
+        Lukasiewicz(0.0)
+    }
+
+    fn one() -> Self {
+        Lukasiewicz(1.0)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        Lukasiewicz(self.0.max(rhs.0))
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        Lukasiewicz((self.0 + rhs.0 - 1.0).max(0.0))
+    }
+
+    fn sr_eq(&self, rhs: &Self) -> bool {
+        (self.0 - rhs.0).abs() <= LUKASIEWICZ_EPS
+    }
+}
+
+impl AddIdempotent for Lukasiewicz {}
+impl Absorptive for Lukasiewicz {}
+impl Positive for Lukasiewicz {}
+
+impl NaturallyOrdered for Lukasiewicz {
+    fn nat_le(&self, rhs: &Self) -> bool {
+        self.0 <= rhs.0 + LUKASIEWICZ_EPS
+    }
+}
+
+impl Stable for Lukasiewicz {
+    fn stability_index() -> usize {
+        0
+    }
+}
+
+impl std::fmt::Display for Lukasiewicz {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn laws() {
+        let vals = [
+            Lukasiewicz::new(0.0),
+            Lukasiewicz::new(0.25),
+            Lukasiewicz::new(0.5),
+            Lukasiewicz::new(0.75),
+            Lukasiewicz::new(1.0),
+        ];
+        for a in &vals {
+            for b in &vals {
+                for c in &vals {
+                    properties::check_semiring_laws(a, b, c).unwrap();
+                }
+            }
+            properties::check_absorptive(a).unwrap();
+            properties::check_add_idempotent(a).unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_annihilates_through_deduction() {
+        // 0.3 ⊗ 0.3 = 0 — long weak chains die, unlike in Fuzzy.
+        let w = Lukasiewicz::new(0.3);
+        assert!(w.mul(&w).is_zero());
+    }
+
+    #[test]
+    fn not_mul_idempotent() {
+        let v = Lukasiewicz::new(0.8);
+        assert!(properties::check_mul_idempotent(&v).is_err());
+    }
+
+    #[test]
+    fn path_slack_semantics() {
+        // A proof using edges 0.9 and 0.8 has slack 0.7; an alternative
+        // with 0.95 · 0.95 has 0.9; ⊕ picks the stronger proof.
+        let p1 = Lukasiewicz::new(0.9).mul(&Lukasiewicz::new(0.8));
+        let p2 = Lukasiewicz::new(0.95).mul(&Lukasiewicz::new(0.95));
+        assert!(p1.add(&p2).sr_eq(&Lukasiewicz::new(0.9)));
+    }
+}

@@ -1,0 +1,138 @@
+//! Runtime checkers for the algebraic laws, shared by unit tests and
+//! proptest suites across the workspace.
+//!
+//! Each checker returns `Err` with a human-readable description of the first
+//! violated law, so property-test failures point directly at the broken
+//! axiom.
+
+use crate::traits::{AddIdempotent, Semiring};
+
+/// Check all commutative-semiring laws on a triple of values.
+pub fn check_semiring_laws<S: Semiring>(a: &S, b: &S, c: &S) -> Result<(), String> {
+    let zero = S::zero();
+    let one = S::one();
+
+    let chk = |cond: bool, law: &str| -> Result<(), String> {
+        if cond {
+            Ok(())
+        } else {
+            Err(format!("{} violated: a={a:?}, b={b:?}, c={c:?}", law))
+        }
+    };
+
+    chk(a.add(&b.add(c)).sr_eq(&a.add(b).add(c)), "⊕-associativity")?;
+    chk(a.add(b).sr_eq(&b.add(a)), "⊕-commutativity")?;
+    chk(a.add(&zero).sr_eq(a), "⊕-identity")?;
+    chk(a.mul(&b.mul(c)).sr_eq(&a.mul(b).mul(c)), "⊗-associativity")?;
+    chk(a.mul(b).sr_eq(&b.mul(a)), "⊗-commutativity")?;
+    chk(a.mul(&one).sr_eq(a), "⊗-identity")?;
+    chk(
+        a.mul(&b.add(c)).sr_eq(&a.mul(b).add(&a.mul(c))),
+        "distributivity",
+    )?;
+    chk(a.mul(&zero).sr_eq(&zero), "0-annihilation")?;
+    Ok(())
+}
+
+/// Check `x ⊕ x = x`.
+pub fn check_add_idempotent<S: Semiring>(x: &S) -> Result<(), String> {
+    if x.add(x).sr_eq(x) {
+        Ok(())
+    } else {
+        Err(format!("⊕-idempotence violated: x={x:?}"))
+    }
+}
+
+/// Check `1 ⊕ x = 1` (absorption / 0-stability).
+pub fn check_absorptive<S: Semiring>(x: &S) -> Result<(), String> {
+    if S::one().add(x).sr_eq(&S::one()) {
+        Ok(())
+    } else {
+        Err(format!("absorption violated: 1 ⊕ {x:?} ≠ 1"))
+    }
+}
+
+/// Check `x ⊗ x = x`.
+pub fn check_mul_idempotent<S: Semiring>(x: &S) -> Result<(), String> {
+    if x.mul(x).sr_eq(x) {
+        Ok(())
+    } else {
+        Err(format!("⊗-idempotence violated: x={x:?}"))
+    }
+}
+
+/// Check the p-stability identity at index `p`:
+/// `1 ⊕ u ⊕ … ⊕ u^p = 1 ⊕ u ⊕ … ⊕ u^{p+1}`.
+pub fn check_stability_at<S: Semiring>(u: &S, p: usize) -> Result<(), String> {
+    let mut star_p = S::one();
+    let mut pw = S::one();
+    for _ in 0..p {
+        pw.mul_assign(u);
+        star_p.add_assign(&pw);
+    }
+    let star_p1 = star_p.add(&pw.mul(u));
+    if star_p.sr_eq(&star_p1) {
+        Ok(())
+    } else {
+        Err(format!("{p}-stability violated: u={u:?}"))
+    }
+}
+
+/// Check that the idempotent order `a ≤ b ⇔ a ⊕ b = b` is a partial order on
+/// the given sample (reflexive, antisymmetric up to `sr_eq`, transitive).
+pub fn check_idem_partial_order<S: AddIdempotent>(sample: &[S]) -> Result<(), String> {
+    for a in sample {
+        if !a.idem_le(a) {
+            return Err(format!("reflexivity violated: {a:?}"));
+        }
+    }
+    for a in sample {
+        for b in sample {
+            if a.idem_le(b) && b.idem_le(a) && !a.sr_eq(b) {
+                return Err(format!("antisymmetry violated: {a:?}, {b:?}"));
+            }
+            for c in sample {
+                if a.idem_le(b) && b.idem_le(c) && !a.idem_le(c) {
+                    return Err(format!("transitivity violated: {a:?}, {b:?}, {c:?}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn detects_broken_absorption() {
+        assert!(check_absorptive(&TropicalZ::new(-1)).is_err());
+        assert!(check_absorptive(&Tropical::new(1)).is_ok());
+    }
+
+    #[test]
+    fn detects_broken_idempotence() {
+        assert!(check_add_idempotent(&Counting(2)).is_err());
+        assert!(check_mul_idempotent(&Tropical::new(2)).is_err());
+    }
+
+    #[test]
+    fn stability_of_absorptive_is_zero() {
+        assert!(check_stability_at(&Tropical::new(9), 0).is_ok());
+        // Counting is not p-stable for small p with u=2.
+        assert!(check_stability_at(&Counting(2), 3).is_err());
+    }
+
+    #[test]
+    fn idem_order_on_tropical_sample() {
+        let sample = [
+            Tropical::zero(),
+            Tropical::one(),
+            Tropical::new(3),
+            Tropical::new(9),
+        ];
+        check_idem_partial_order(&sample).unwrap();
+    }
+}

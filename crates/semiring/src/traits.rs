@@ -1,0 +1,209 @@
+//! The semiring trait hierarchy.
+//!
+//! A *(commutative) semiring* `S = (D, ⊕, ⊗, 0, 1)` satisfies (paper §2.2):
+//! `(D, ⊕, 0)` and `(D, ⊗, 1)` are commutative monoids, `⊗` distributes over
+//! `⊕`, and `0` annihilates `⊗`. Marker traits refine the hierarchy with the
+//! properties the paper's results are conditioned on.
+
+use crate::boolean::Bool;
+
+/// A commutative semiring.
+///
+/// Implementations must satisfy, for all `a, b, c`:
+///
+/// * `a ⊕ (b ⊕ c) = (a ⊕ b) ⊕ c`, `a ⊕ b = b ⊕ a`, `a ⊕ 0 = a`
+/// * `a ⊗ (b ⊗ c) = (a ⊗ b) ⊗ c`, `a ⊗ b = b ⊗ a`, `a ⊗ 1 = a`
+/// * `a ⊗ (b ⊕ c) = (a ⊗ b) ⊕ (a ⊗ c)`
+/// * `a ⊗ 0 = 0`
+///
+/// Equality of semiring values is [`Semiring::sr_eq`]; the default is
+/// `PartialEq`, but floating-point semirings override it with a tolerance
+/// because `⊗` is only associative up to rounding there.
+pub trait Semiring: Clone + std::fmt::Debug + PartialEq + Send + Sync + 'static {
+    /// Human-readable name used in experiment reports.
+    const NAME: &'static str;
+
+    /// The additive identity `0` (annihilator of `⊗`).
+    fn zero() -> Self;
+
+    /// The multiplicative identity `1`.
+    fn one() -> Self;
+
+    /// Semiring addition `⊕`.
+    fn add(&self, rhs: &Self) -> Self;
+
+    /// Semiring multiplication `⊗`.
+    fn mul(&self, rhs: &Self) -> Self;
+
+    /// Whether this value is the additive identity.
+    fn is_zero(&self) -> bool {
+        self.sr_eq(&Self::zero())
+    }
+
+    /// Whether this value is the multiplicative identity.
+    fn is_one(&self) -> bool {
+        self.sr_eq(&Self::one())
+    }
+
+    /// Semantic equality (defaults to `==`; floating-point semirings use a
+    /// tolerance so that re-associated products still compare equal).
+    fn sr_eq(&self, rhs: &Self) -> bool {
+        self == rhs
+    }
+
+    /// In-place `⊕`.
+    fn add_assign(&mut self, rhs: &Self) {
+        *self = self.add(rhs);
+    }
+
+    /// In-place `⊗`.
+    fn mul_assign(&mut self, rhs: &Self) {
+        *self = self.mul(rhs);
+    }
+
+    /// `⊕`-sum of an iterator (`0` when empty).
+    fn sum<'a, I>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Self>,
+        Self: 'a,
+    {
+        let mut acc = Self::zero();
+        for x in iter {
+            acc.add_assign(x);
+        }
+        acc
+    }
+
+    /// `⊗`-product of an iterator (`1` when empty).
+    fn product<'a, I>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Self>,
+        Self: 'a,
+    {
+        let mut acc = Self::one();
+        for x in iter {
+            acc.mul_assign(x);
+        }
+        acc
+    }
+
+    /// `x^n` by repeated squaring (`x^0 = 1`).
+    fn pow(&self, mut n: u32) -> Self {
+        let mut base = self.clone();
+        let mut acc = Self::one();
+        while n > 0 {
+            if n & 1 == 1 {
+                acc.mul_assign(&base);
+            }
+            n >>= 1;
+            if n > 0 {
+                base = base.mul(&base);
+            }
+        }
+        acc
+    }
+}
+
+/// `⊕`-idempotent semirings: `x ⊕ x = x`.
+///
+/// Every absorptive semiring is ⊕-idempotent (paper §2.2) but not vice versa
+/// (e.g. [`crate::TropicalZ`]).
+pub trait AddIdempotent: Semiring {
+    /// The canonical partial order of an idempotent semiring:
+    /// `a ≤ b  ⇔  a ⊕ b = b`.
+    fn idem_le(&self, rhs: &Self) -> bool {
+        self.add(rhs).sr_eq(rhs)
+    }
+}
+
+/// Absorptive (= 0-stable) semirings: `1 ⊕ x = 1` for all `x`.
+///
+/// These are exactly the semirings for which the paper's circuit
+/// constructions apply: infinite proof-tree sums collapse onto the finitely
+/// many tight proof trees (Proposition 2.4), and polynomial-size circuits
+/// always exist (Theorem 3.1).
+pub trait Absorptive: AddIdempotent {}
+
+/// `⊗`-idempotent semirings: `x ⊗ x = x`.
+///
+/// Absorptive + ⊗-idempotent is the class `Chom` of bounded distributive
+/// lattices (paper §4, citing Kostylev et al. and Naaf); boundedness over any
+/// such semiring coincides with Boolean boundedness (Corollary 4.7).
+pub trait MulIdempotent: Semiring {}
+
+/// Naturally ordered semirings: `a ≤ b ⇔ ∃c. a ⊕ c = b` is a partial order.
+///
+/// All semirings in this crate are naturally ordered; each implements the
+/// order test directly (for ⊕-idempotent semirings it coincides with
+/// [`AddIdempotent::idem_le`]).
+pub trait NaturallyOrdered: Semiring {
+    /// The natural order `a ≤_S b`.
+    fn nat_le(&self, rhs: &Self) -> bool;
+
+    /// Strict natural order.
+    fn nat_lt(&self, rhs: &Self) -> bool {
+        self.nat_le(rhs) && !rhs.nat_le(self)
+    }
+}
+
+/// Positive semirings: `h(x) = (x ≠ 0)` is a homomorphism onto [`Bool`].
+///
+/// Positivity is what lets the paper "transfer up" Boolean circuit lower
+/// bounds to arbitrary semirings (Proposition 3.6). Equivalently: `a ⊕ b = 0`
+/// implies `a = b = 0`, and `a ⊗ b = 0` implies `a = 0` or `b = 0`.
+pub trait Positive: Semiring {
+    /// The canonical homomorphism to the Boolean semiring.
+    fn to_bool(&self) -> Bool {
+        Bool(!self.is_zero())
+    }
+}
+
+/// `p`-stable semirings: `1 ⊕ u ⊕ … ⊕ u^p = 1 ⊕ u ⊕ … ⊕ u^{p+1}` for all `u`.
+///
+/// Naive Datalog evaluation converges on any p-stable semiring (paper §2.3,
+/// citing Khamis et al.). Absorptive semirings are exactly the 0-stable ones.
+pub trait Stable: Semiring {
+    /// The stability index `p` of the semiring.
+    fn stability_index() -> usize;
+
+    /// The truncated star `1 ⊕ u ⊕ … ⊕ u^p`, which equals the full star
+    /// `⊕_{i≥0} u^i` by p-stability.
+    fn star(&self) -> Self {
+        let p = Self::stability_index() as u32;
+        let mut acc = Self::one();
+        let mut pw = Self::one();
+        for _ in 0..p {
+            pw.mul_assign(self);
+            acc.add_assign(&pw);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tropical::Tropical;
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let x = Tropical::new(3);
+        let mut acc = Tropical::one();
+        for n in 0..8u32 {
+            assert_eq!(x.pow(n), acc);
+            acc = acc.mul(&x);
+        }
+    }
+
+    #[test]
+    fn sum_and_product_of_empty() {
+        assert_eq!(Tropical::sum([].iter()), Tropical::zero());
+        assert_eq!(Tropical::product([].iter()), Tropical::one());
+    }
+
+    #[test]
+    fn absorptive_star_is_one() {
+        // Absorptive semirings are 0-stable: star(u) = 1.
+        assert_eq!(Tropical::new(7).star(), Tropical::one());
+    }
+}

@@ -1,0 +1,226 @@
+//! Tropical (min-plus) semirings.
+//!
+//! [`Tropical`] is `T = (ℕ ∪ {∞}, min, +, ∞, 0)` — absorptive, the paper's
+//! running example of a non-Boolean absorptive semiring (provenance of a TC
+//! fact over `T` is the shortest-path weight, §2.4). [`TropicalZ`] is
+//! `T⁻ = (ℤ ∪ {∞}, min, +, ∞, 0)` — ⊕-idempotent but *not* absorptive
+//! (`min(0, -1) ≠ 0`), the paper's example separating the two classes.
+
+use crate::traits::{AddIdempotent, Absorptive, NaturallyOrdered, Positive, Semiring, Stable};
+
+/// The tropical semiring over natural weights; `u64::MAX` encodes `+∞`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tropical(pub u64);
+
+/// The encoding of `+∞` in [`Tropical`].
+pub const TROPICAL_INF: u64 = u64::MAX;
+
+impl Tropical {
+    /// A finite weight.
+    pub fn new(w: u64) -> Self {
+        debug_assert!(w != TROPICAL_INF, "use Tropical::infinity() for ∞");
+        Tropical(w)
+    }
+
+    /// The additive identity `+∞`.
+    pub fn infinity() -> Self {
+        Tropical(TROPICAL_INF)
+    }
+
+    /// Whether this weight is `+∞`.
+    pub fn is_infinite(&self) -> bool {
+        self.0 == TROPICAL_INF
+    }
+
+    /// The finite weight, if any.
+    pub fn finite(&self) -> Option<u64> {
+        (!self.is_infinite()).then_some(self.0)
+    }
+}
+
+impl Semiring for Tropical {
+    const NAME: &'static str = "tropical";
+
+    fn zero() -> Self {
+        Tropical(TROPICAL_INF)
+    }
+
+    fn one() -> Self {
+        Tropical(0)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        Tropical(self.0.min(rhs.0))
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        // ∞ + x = ∞; saturating_add keeps MAX absorbing.
+        Tropical(self.0.saturating_add(rhs.0))
+    }
+
+    fn is_zero(&self) -> bool {
+        self.is_infinite()
+    }
+
+    fn is_one(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl AddIdempotent for Tropical {}
+impl Absorptive for Tropical {}
+impl Positive for Tropical {}
+
+impl NaturallyOrdered for Tropical {
+    /// `a ≤_T b ⇔ min(a, b) = b`, i.e. numerically `b ≤ a`: smaller weights
+    /// are *larger* in the natural order (closer to `1 = 0`).
+    fn nat_le(&self, rhs: &Self) -> bool {
+        rhs.0 <= self.0
+    }
+}
+
+impl Stable for Tropical {
+    fn stability_index() -> usize {
+        0
+    }
+}
+
+impl std::fmt::Display for Tropical {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// The tropical semiring over integer weights (`T⁻` in the paper):
+/// ⊕-idempotent and naturally ordered, but **not** absorptive, so the
+/// paper's circuit constructions do *not* apply to it. `i64::MAX` encodes
+/// `+∞`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TropicalZ(pub i64);
+
+/// The encoding of `+∞` in [`TropicalZ`].
+pub const TROPICAL_Z_INF: i64 = i64::MAX;
+
+impl TropicalZ {
+    /// A finite weight.
+    pub fn new(w: i64) -> Self {
+        debug_assert!(w != TROPICAL_Z_INF, "use TropicalZ::infinity() for ∞");
+        TropicalZ(w)
+    }
+
+    /// The additive identity `+∞`.
+    pub fn infinity() -> Self {
+        TropicalZ(TROPICAL_Z_INF)
+    }
+
+    /// Whether this weight is `+∞`.
+    pub fn is_infinite(&self) -> bool {
+        self.0 == TROPICAL_Z_INF
+    }
+}
+
+impl Semiring for TropicalZ {
+    const NAME: &'static str = "tropical-z";
+
+    fn zero() -> Self {
+        TropicalZ(TROPICAL_Z_INF)
+    }
+
+    fn one() -> Self {
+        TropicalZ(0)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        TropicalZ(self.0.min(rhs.0))
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        if self.is_infinite() || rhs.is_infinite() {
+            TropicalZ::infinity()
+        } else {
+            // Saturate just below ∞ so finite stays finite.
+            TropicalZ(self.0.saturating_add(rhs.0).min(TROPICAL_Z_INF - 1))
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.is_infinite()
+    }
+}
+
+impl AddIdempotent for TropicalZ {}
+impl Positive for TropicalZ {}
+
+impl NaturallyOrdered for TropicalZ {
+    fn nat_le(&self, rhs: &Self) -> bool {
+        rhs.0 <= self.0
+    }
+}
+
+impl std::fmt::Display for TropicalZ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn tropical_laws() {
+        let vals = [
+            Tropical::new(0),
+            Tropical::new(1),
+            Tropical::new(5),
+            Tropical::infinity(),
+        ];
+        for a in &vals {
+            for b in &vals {
+                for c in &vals {
+                    properties::check_semiring_laws(a, b, c).unwrap();
+                }
+            }
+            properties::check_absorptive(a).unwrap();
+            properties::check_add_idempotent(a).unwrap();
+        }
+    }
+
+    #[test]
+    fn tropical_models_shortest_path_choice() {
+        // ⊕ picks the lighter path, ⊗ concatenates.
+        let p1 = Tropical::new(2).mul(&Tropical::new(3)); // weight-5 path
+        let p2 = Tropical::new(1).mul(&Tropical::new(7)); // weight-8 path
+        assert_eq!(p1.add(&p2), Tropical::new(5));
+    }
+
+    #[test]
+    fn tropical_z_is_not_absorptive() {
+        let x = TropicalZ::new(-3);
+        assert_ne!(TropicalZ::one().add(&x), TropicalZ::one());
+        // ... but it is ⊕-idempotent.
+        properties::check_add_idempotent(&x).unwrap();
+    }
+
+    #[test]
+    fn infinity_annihilates() {
+        assert!(Tropical::infinity().mul(&Tropical::new(4)).is_zero());
+        assert!(TropicalZ::infinity().mul(&TropicalZ::new(-4)).is_zero());
+    }
+
+    #[test]
+    fn natural_order_prefers_light_paths() {
+        assert!(Tropical::new(9).nat_le(&Tropical::new(2)));
+        assert!(Tropical::zero().nat_le(&Tropical::one()));
+        assert!(!Tropical::one().nat_le(&Tropical::zero()));
+    }
+}

@@ -1,0 +1,216 @@
+//! The k-best tropical semiring `Trop_K`: sets of the `K` smallest distinct
+//! path weights.
+//!
+//! For `K = 1` this degenerates to [`crate::Tropical`]. For `K ≥ 2` it is
+//! ⊕-idempotent and naturally ordered but **not** absorptive; it *is*
+//! `(K-1)`-stable, making it the crate's witness for the paper's p-stable
+//! semiring discussion (§2.3, citing Khamis et al.): naive evaluation still
+//! converges, just not in the 0-stable regime the circuit constructions need.
+//!
+//! Elements are strictly increasing vectors of at most `K` finite weights
+//! (absent entries are `∞`). We use the *distinct-value* variant so that `⊕`
+//! (merge, keep `K` smallest distinct) is idempotent.
+
+use crate::traits::{AddIdempotent, NaturallyOrdered, Positive, Semiring, Stable};
+
+/// The k-best tropical semiring. `K` must be at least 1.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TropK<const K: usize> {
+    /// Strictly increasing finite weights, length ≤ K.
+    weights: Vec<u64>,
+}
+
+impl<const K: usize> TropK<K> {
+    /// The element holding exactly the given weights (deduplicated, sorted,
+    /// truncated to the `K` smallest).
+    pub fn from_weights(mut ws: Vec<u64>) -> Self {
+        ws.sort_unstable();
+        ws.dedup();
+        ws.truncate(K);
+        TropK { weights: ws }
+    }
+
+    /// A single finite weight.
+    pub fn single(w: u64) -> Self {
+        TropK { weights: vec![w] }
+    }
+
+    /// The stored weights (strictly increasing, at most `K`).
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// The best (smallest) weight, if any.
+    pub fn best(&self) -> Option<u64> {
+        self.weights.first().copied()
+    }
+}
+
+impl<const K: usize> Semiring for TropK<K> {
+    const NAME: &'static str = "trop-k";
+
+    fn zero() -> Self {
+        TropK { weights: Vec::new() }
+    }
+
+    fn one() -> Self {
+        TropK { weights: vec![0] }
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        // Merge two sorted distinct lists, keep the K smallest distinct.
+        let mut out = Vec::with_capacity(K.min(self.weights.len() + rhs.weights.len()));
+        let (mut i, mut j) = (0, 0);
+        while out.len() < K && (i < self.weights.len() || j < rhs.weights.len()) {
+            let next = match (self.weights.get(i), rhs.weights.get(j)) {
+                (Some(&a), Some(&b)) => {
+                    if a <= b {
+                        i += 1;
+                        if a == b {
+                            j += 1;
+                        }
+                        a
+                    } else {
+                        j += 1;
+                        b
+                    }
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => unreachable!(),
+            };
+            out.push(next);
+        }
+        TropK { weights: out }
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        let mut sums: Vec<u64> = Vec::with_capacity(self.weights.len() * rhs.weights.len());
+        for &a in &self.weights {
+            for &b in &rhs.weights {
+                sums.push(a.saturating_add(b));
+            }
+        }
+        Self::from_weights(sums)
+    }
+
+    fn is_zero(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+impl<const K: usize> AddIdempotent for TropK<K> {}
+impl<const K: usize> Positive for TropK<K> {}
+
+impl<const K: usize> NaturallyOrdered for TropK<K> {
+    fn nat_le(&self, rhs: &Self) -> bool {
+        self.add(rhs) == *rhs
+    }
+}
+
+impl<const K: usize> Stable for TropK<K> {
+    /// `Trop_K` with distinct weights is `(K-1)`-stable: once the star has
+    /// accumulated `K` candidate weights built from at most `K-1` factors,
+    /// any longer product is dominated. Verified empirically in tests.
+    fn stability_index() -> usize {
+        K.saturating_sub(1)
+    }
+}
+
+impl<const K: usize> std::fmt::Display for TropK<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (idx, w) in self.weights.iter().enumerate() {
+            if idx > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{w}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    type T3 = TropK<3>;
+
+    #[test]
+    fn laws() {
+        let vals = [
+            T3::zero(),
+            T3::one(),
+            T3::single(2),
+            T3::from_weights(vec![1, 4]),
+            T3::from_weights(vec![0, 2, 5]),
+        ];
+        for a in &vals {
+            for b in &vals {
+                for c in &vals {
+                    properties::check_semiring_laws(a, b, c).unwrap();
+                }
+            }
+            properties::check_add_idempotent(a).unwrap();
+        }
+    }
+
+    #[test]
+    fn not_absorptive_for_k_at_least_2() {
+        let x = T3::single(5);
+        assert_ne!(T3::one().add(&x), T3::one());
+    }
+
+    #[test]
+    fn k1_is_absorptive_like_tropical() {
+        type T1 = TropK<1>;
+        let x = T1::single(5);
+        assert_eq!(T1::one().add(&x), T1::one());
+    }
+
+    #[test]
+    fn keeps_k_smallest() {
+        let a = T3::from_weights(vec![1, 3, 9]);
+        let b = T3::from_weights(vec![2, 3, 4]);
+        assert_eq!(a.add(&b), T3::from_weights(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn stability_index_holds_empirically() {
+        // star(u) computed with p = K-1 terms must equal the star with one
+        // extra term, for a spread of elements.
+        let elems = [
+            T3::single(0),
+            T3::single(3),
+            T3::from_weights(vec![0, 3]),
+            T3::from_weights(vec![2, 5, 11]),
+            T3::from_weights(vec![1, 2, 3]),
+        ];
+        for u in &elems {
+            let p = <T3 as Stable>::stability_index() as u32;
+            let mut star_p = T3::one();
+            let mut pw = T3::one();
+            for _ in 0..p {
+                pw = pw.mul(u);
+                star_p = star_p.add(&pw);
+            }
+            let star_p1 = star_p.add(&pw.mul(u));
+            assert_eq!(star_p, star_p1, "u = {u:?}");
+        }
+    }
+
+    #[test]
+    fn tracks_k_shortest_path_weights() {
+        // Diamond: two parallel 2-edge paths of weights 3 and 5.
+        let path1 = T3::single(1).mul(&T3::single(2));
+        let path2 = T3::single(4).mul(&T3::single(1));
+        assert_eq!(path1.add(&path2), T3::from_weights(vec![3, 5]));
+    }
+}

@@ -1,0 +1,121 @@
+//! The Viterbi semiring `V = ([0,1], max, ·, 0, 1)`.
+//!
+//! Absorptive (`max(1, x) = 1`) but not ⊗-idempotent. The provenance of a TC
+//! fact over `V` is the probability of the most likely path. Multiplication
+//! of floats is associative only up to rounding, so [`Viterbi`] overrides
+//! [`Semiring::sr_eq`] with a small tolerance.
+
+use crate::traits::{AddIdempotent, Absorptive, NaturallyOrdered, Positive, Semiring, Stable};
+
+/// The Viterbi (max-product) semiring on `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Viterbi(f64);
+
+/// Tolerance used for semantic equality of Viterbi values.
+pub const VITERBI_EPS: f64 = 1e-9;
+
+impl Viterbi {
+    /// Construct from a probability, clamped into `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics on NaN.
+    pub fn new(p: f64) -> Self {
+        assert!(!p.is_nan(), "Viterbi value must not be NaN");
+        Viterbi(p.clamp(0.0, 1.0))
+    }
+
+    /// The underlying probability.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Semiring for Viterbi {
+    const NAME: &'static str = "viterbi";
+
+    fn zero() -> Self {
+        Viterbi(0.0)
+    }
+
+    fn one() -> Self {
+        Viterbi(1.0)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        Viterbi(self.0.max(rhs.0))
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        Viterbi(self.0 * rhs.0)
+    }
+
+    fn sr_eq(&self, rhs: &Self) -> bool {
+        (self.0 - rhs.0).abs() <= VITERBI_EPS
+    }
+}
+
+impl AddIdempotent for Viterbi {}
+impl Absorptive for Viterbi {}
+impl Positive for Viterbi {}
+
+impl NaturallyOrdered for Viterbi {
+    fn nat_le(&self, rhs: &Self) -> bool {
+        self.0 <= rhs.0 + VITERBI_EPS
+    }
+}
+
+impl Stable for Viterbi {
+    fn stability_index() -> usize {
+        0
+    }
+}
+
+impl std::fmt::Display for Viterbi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn laws() {
+        let vals = [
+            Viterbi::new(0.0),
+            Viterbi::new(0.25),
+            Viterbi::new(0.5),
+            Viterbi::new(1.0),
+        ];
+        for a in &vals {
+            for b in &vals {
+                for c in &vals {
+                    properties::check_semiring_laws(a, b, c).unwrap();
+                }
+            }
+            properties::check_absorptive(a).unwrap();
+            properties::check_add_idempotent(a).unwrap();
+        }
+    }
+
+    #[test]
+    fn picks_most_likely_path() {
+        let p1 = Viterbi::new(0.9).mul(&Viterbi::new(0.5)); // 0.45
+        let p2 = Viterbi::new(0.6).mul(&Viterbi::new(0.8)); // 0.48
+        assert!(p1.add(&p2).sr_eq(&Viterbi::new(0.48)));
+    }
+
+    #[test]
+    fn clamps_and_rejects_nan() {
+        assert_eq!(Viterbi::new(2.0).value(), 1.0);
+        assert_eq!(Viterbi::new(-0.5).value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_panics() {
+        let _ = Viterbi::new(f64::NAN);
+    }
+}

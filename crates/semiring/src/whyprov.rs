@@ -1,0 +1,184 @@
+//! Why-provenance: antichains of minimal witness sets.
+//!
+//! An element is a set of *witnesses*; each witness is a set of EDB fact ids
+//! sufficient to derive the annotated fact. The absorption law keeps only
+//! ⊆-minimal witnesses, which makes this the free absorptive ⊗-idempotent
+//! semiring on its generators — the universal object of the class `Chom`
+//! (paper §4). It is the set-valued analogue of [`crate::Sorp`] with all
+//! exponents capped at 1.
+
+use std::collections::BTreeSet;
+
+use crate::traits::{
+    AddIdempotent, Absorptive, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable,
+};
+
+/// A witness: a set of EDB fact ids.
+pub type Witness = BTreeSet<u32>;
+
+/// Why-provenance values: antichains (under ⊆) of witness sets.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WhyProv {
+    witnesses: BTreeSet<Witness>,
+}
+
+impl WhyProv {
+    /// The annotation of a single EDB fact.
+    pub fn fact(id: u32) -> Self {
+        let mut w = Witness::new();
+        w.insert(id);
+        let mut s = BTreeSet::new();
+        s.insert(w);
+        WhyProv { witnesses: s }
+    }
+
+    /// Build from explicit witness sets (normalized to ⊆-minimal ones).
+    pub fn from_witnesses<I>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = Witness>,
+    {
+        let mut out = WhyProv::default();
+        for w in iter {
+            out.insert_minimal(w);
+        }
+        out
+    }
+
+    /// The ⊆-minimal witnesses.
+    pub fn witnesses(&self) -> &BTreeSet<Witness> {
+        &self.witnesses
+    }
+
+    /// Number of minimal witnesses.
+    pub fn len(&self) -> usize {
+        self.witnesses.len()
+    }
+
+    /// Whether there is no witness (the value is `0`).
+    pub fn is_empty(&self) -> bool {
+        self.witnesses.is_empty()
+    }
+
+    fn insert_minimal(&mut self, w: Witness) {
+        if self.witnesses.iter().any(|e| e.is_subset(&w)) {
+            return;
+        }
+        self.witnesses.retain(|e| !w.is_subset(e));
+        self.witnesses.insert(w);
+    }
+}
+
+impl Semiring for WhyProv {
+    const NAME: &'static str = "why-provenance";
+
+    fn zero() -> Self {
+        WhyProv::default()
+    }
+
+    fn one() -> Self {
+        let mut s = BTreeSet::new();
+        s.insert(Witness::new());
+        WhyProv { witnesses: s }
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        let mut out = self.clone();
+        for w in &rhs.witnesses {
+            out.insert_minimal(w.clone());
+        }
+        out
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        let mut out = WhyProv::default();
+        for a in &self.witnesses {
+            for b in &rhs.witnesses {
+                out.insert_minimal(a.union(b).copied().collect());
+            }
+        }
+        out
+    }
+
+    fn is_zero(&self) -> bool {
+        self.witnesses.is_empty()
+    }
+}
+
+impl AddIdempotent for WhyProv {}
+impl Absorptive for WhyProv {}
+impl MulIdempotent for WhyProv {}
+impl Positive for WhyProv {}
+
+impl NaturallyOrdered for WhyProv {
+    fn nat_le(&self, rhs: &Self) -> bool {
+        self.add(rhs) == *rhs
+    }
+}
+
+impl Stable for WhyProv {
+    fn stability_index() -> usize {
+        0
+    }
+}
+
+impl std::fmt::Display for WhyProv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, w) in self.witnesses.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{{")?;
+            for (j, id) in w.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "x{id}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn laws_and_chom_membership() {
+        let vals = [
+            WhyProv::zero(),
+            WhyProv::one(),
+            WhyProv::fact(1),
+            WhyProv::fact(1).mul(&WhyProv::fact(2)),
+            WhyProv::fact(1).add(&WhyProv::fact(2)),
+        ];
+        for a in &vals {
+            for b in &vals {
+                for c in &vals {
+                    properties::check_semiring_laws(a, b, c).unwrap();
+                }
+            }
+            properties::check_absorptive(a).unwrap();
+            properties::check_mul_idempotent(a).unwrap();
+        }
+    }
+
+    #[test]
+    fn absorption_keeps_minimal_witnesses() {
+        // {1} absorbs {1,2}: a derivation needing a superset is redundant.
+        let small = WhyProv::fact(1);
+        let large = WhyProv::fact(1).mul(&WhyProv::fact(2));
+        let sum = small.add(&large);
+        assert_eq!(sum, small);
+    }
+
+    #[test]
+    fn distinct_minimal_witnesses_coexist() {
+        let a = WhyProv::fact(1).mul(&WhyProv::fact(2));
+        let b = WhyProv::fact(3);
+        assert_eq!(a.add(&b).len(), 2);
+    }
+}

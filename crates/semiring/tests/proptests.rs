@@ -1,0 +1,149 @@
+//! Property-based tests of the algebraic laws for every concrete semiring.
+
+use proptest::prelude::*;
+use semiring::prelude::*;
+use semiring::properties;
+
+fn tropical() -> impl Strategy<Value = Tropical> {
+    prop_oneof![
+        9 => (0u64..1_000).prop_map(Tropical::new),
+        1 => Just(Tropical::infinity()),
+    ]
+}
+
+fn tropical_z() -> impl Strategy<Value = TropicalZ> {
+    prop_oneof![
+        9 => (-1_000i64..1_000).prop_map(TropicalZ::new),
+        1 => Just(TropicalZ::infinity()),
+    ]
+}
+
+fn counting() -> impl Strategy<Value = Counting> {
+    (0u64..1_000).prop_map(Counting::new)
+}
+
+fn viterbi() -> impl Strategy<Value = Viterbi> {
+    (0u32..=1_000).prop_map(|n| Viterbi::new(n as f64 / 1_000.0))
+}
+
+fn fuzzy() -> impl Strategy<Value = Fuzzy> {
+    (0u32..=1_000).prop_map(|n| Fuzzy::new(n as f64 / 1_000.0))
+}
+
+fn bottleneck() -> impl Strategy<Value = Bottleneck> {
+    prop_oneof![
+        9 => (0u64..1_000).prop_map(Bottleneck::new),
+        1 => Just(Bottleneck::infinity()),
+    ]
+}
+
+fn tropk() -> impl Strategy<Value = TropK<3>> {
+    proptest::collection::vec(0u64..100, 0..5).prop_map(TropK::<3>::from_weights)
+}
+
+fn whyprov() -> impl Strategy<Value = WhyProv> {
+    proptest::collection::vec(proptest::collection::btree_set(0u32..6, 0..4), 0..4)
+        .prop_map(WhyProv::from_witnesses)
+}
+
+fn monomial() -> impl Strategy<Value = Monomial> {
+    proptest::collection::vec((0u32..5, 1u32..4), 0..4).prop_map(Monomial::from_pairs)
+}
+
+fn sorp() -> impl Strategy<Value = Sorp> {
+    proptest::collection::vec(monomial(), 0..4).prop_map(Sorp::from_monomials)
+}
+
+macro_rules! law_suite {
+    ($name:ident, $strat:expr) => {
+        mod $name {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn semiring_laws(a in $strat, b in $strat, c in $strat) {
+                    properties::check_semiring_laws(&a, &b, &c)
+                        .map_err(TestCaseError::fail)?;
+                }
+            }
+        }
+    };
+}
+
+law_suite!(tropical_laws, tropical());
+law_suite!(tropical_z_laws, tropical_z());
+law_suite!(counting_laws, counting());
+law_suite!(viterbi_laws, viterbi());
+law_suite!(fuzzy_laws, fuzzy());
+law_suite!(bottleneck_laws, bottleneck());
+law_suite!(tropk_laws, tropk());
+law_suite!(whyprov_laws, whyprov());
+law_suite!(sorp_laws, sorp());
+
+proptest! {
+    #[test]
+    fn absorptive_semirings_absorb(a in tropical(), f in fuzzy(), w in whyprov(), p in sorp()) {
+        properties::check_absorptive(&a).map_err(TestCaseError::fail)?;
+        properties::check_absorptive(&f).map_err(TestCaseError::fail)?;
+        properties::check_absorptive(&w).map_err(TestCaseError::fail)?;
+        properties::check_absorptive(&p).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn chom_semirings_are_mul_idempotent(f in fuzzy(), b in bottleneck(), w in whyprov()) {
+        properties::check_mul_idempotent(&f).map_err(TestCaseError::fail)?;
+        properties::check_mul_idempotent(&b).map_err(TestCaseError::fail)?;
+        properties::check_mul_idempotent(&w).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn tropk_is_k_minus_1_stable(u in tropk()) {
+        properties::check_stability_at(&u, <TropK<3> as Stable>::stability_index())
+            .map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn sorp_is_an_antichain(p in sorp()) {
+        let ms: Vec<_> = p.monomials().iter().cloned().collect();
+        for (i, a) in ms.iter().enumerate() {
+            for (j, b) in ms.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.divides(b), "antichain violated: {a} divides {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorp_eval_is_homomorphism_into_tropical(p in sorp(), q in sorp()) {
+        let assign = |v: VarId| Tropical::new((v as u64 % 7) + 1);
+        prop_assert_eq!(
+            p.add(&q).eval(&assign),
+            p.eval(&assign).add(&q.eval(&assign))
+        );
+        prop_assert_eq!(
+            p.mul(&q).eval(&assign),
+            p.eval(&assign).mul(&q.eval(&assign))
+        );
+    }
+
+    #[test]
+    fn sorp_multilinear_eval_agrees_on_chom(p in sorp()) {
+        // Over a ⊗-idempotent semiring, capping exponents changes nothing.
+        let assign = |v: VarId| Bottleneck::new((v as u64 % 5) + 1);
+        prop_assert_eq!(p.eval(&assign), p.multilinear().eval(&assign));
+    }
+
+    #[test]
+    fn positive_homomorphism_to_bool(a in tropical(), b in tropical()) {
+        // h(a ⊕ b) = h(a) ∨ h(b), h(a ⊗ b) = h(a) ∧ h(b).
+        prop_assert_eq!(a.add(&b).to_bool(), a.to_bool().add(&b.to_bool()));
+        prop_assert_eq!(a.mul(&b).to_bool(), a.to_bool().mul(&b.to_bool()));
+    }
+
+    #[test]
+    fn natural_order_compatible_with_add(a in tropical(), b in tropical()) {
+        // a ≤ a ⊕ b always holds in a naturally ordered idempotent semiring.
+        prop_assert!(a.nat_le(&a.add(&b)));
+    }
+}

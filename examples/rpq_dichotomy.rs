@@ -1,0 +1,62 @@
+//! The Θ(log n) vs Θ(log² n) RPQ depth dichotomy (Theorem 5.3), live:
+//! two social-network path queries, one with a finite language and one with
+//! an infinite one, compiled and compared.
+//!
+//! ```text
+//! cargo run --example rpq_dichotomy --release
+//! ```
+
+use datalog_circuits::core::prelude::*;
+use datalog_circuits::graphgen::generators;
+
+fn main() {
+    // friend-of-friend-of-friend: finite language {F·F·F}.
+    let fof = datalog_circuits::datalog::parse_program(
+        "Q(X,Y) :- Q2(X,Z), F(Z,Y).\n\
+         Q2(X,Y) :- Q1(X,Z), F(Z,Y).\n\
+         Q1(X,Y) :- F(X,Y).\n\
+         @target Q",
+    )
+    .unwrap();
+    // influence: F⁺ — infinite language.
+    let influence = datalog_circuits::datalog::parse_program(
+        "I(X,Y) :- F(X,Y).\n\
+         I(X,Y) :- I(X,Z), F(Z,Y).",
+    )
+    .unwrap();
+
+    let rf = classify_program(&fof, 5);
+    let ri = classify_program(&influence, 5);
+    println!("friend³:   depth {:?} (lower {:?}), formulas {:?}", rf.depth_upper, rf.depth_lower, rf.formula);
+    println!("influence: depth {:?} (lower {:?}), formulas {:?}", ri.depth_upper, ri.depth_lower, ri.formula);
+
+    println!("\n{:>6} | {:>22} | {:>22}", "n", "friend³ depth (/log n)", "influence depth (/log²n)");
+    for n in [16usize, 32, 64, 128] {
+        let g = generators::gnm(n, 4 * n, &["F"], 99);
+        // A target three hops out, and the farthest one for influence.
+        let dist = g.bfs_distances(0);
+        let d3 = dist.iter().position(|&d| d == Some(3)).unwrap_or(1) as u32;
+        let far = dist
+            .iter()
+            .enumerate()
+            .filter_map(|(v, d)| d.map(|d| (d, v)))
+            .max()
+            .map(|(_, v)| v as u32)
+            .unwrap_or(1);
+
+        let cf = compile_graph_fact(&fof, &g, 0, d3, Strategy::Auto).unwrap();
+        let ci = compile_graph_fact(&influence, &g, 0, far, Strategy::Auto).unwrap();
+        let log = (n as f64).log2();
+        println!(
+            "{:>6} | {:>14} ({:>5.2}) | {:>14} ({:>5.2})",
+            n,
+            cf.stats.depth,
+            cf.stats.depth as f64 / log,
+            ci.stats.depth,
+            ci.stats.depth as f64 / (log * log),
+        );
+    }
+    println!("\nreading: both normalized columns stay flat — Θ(log n) vs Θ(log² n),");
+    println!("with nothing in between (Theorem 5.3). The infinite query therefore has");
+    println!("no polynomial-size formula (Theorem 5.4), while friend³ does.");
+}

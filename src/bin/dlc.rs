@@ -1,0 +1,223 @@
+//! `dlc` — the datalog-circuits command line.
+//!
+//! ```text
+//! dlc classify <program.dl>
+//! dlc compile  <program.dl> --graph <edges.txt> --src N --dst M
+//!              [--strategy auto|grounded|bounded|magic|bellman-ford|squaring|uvg]
+//!              [--semiring tropical|boolean|fuzzy|bottleneck|counting]
+//!              [--weights w0,w1,…] [--show-polynomial]
+//! dlc bounded  <program.dl>
+//! ```
+//!
+//! Program files use the `datalog::parser` syntax; graph files have one
+//! `src dst label` triple per line (`#` comments allowed).
+
+use std::process::ExitCode;
+
+use datalog_circuits::core::prelude::*;
+use datalog_circuits::datalog;
+use datalog_circuits::graphgen::LabeledDigraph;
+use datalog_circuits::semiring::prelude::*;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  dlc classify <program.dl>");
+            eprintln!("  dlc bounded  <program.dl>");
+            eprintln!(
+                "  dlc compile  <program.dl> --graph <edges.txt> --src N --dst M \
+                 [--strategy S] [--semiring R] [--weights w0,w1,...] [--show-polynomial]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "classify" => classify_cmd(rest),
+        "bounded" => bounded_cmd(rest),
+        "compile" => compile_cmd(rest),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn load_program(path: &str) -> Result<datalog::Program, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let program = datalog::parse_program(&text)?;
+    program.validate()?;
+    Ok(program)
+}
+
+fn load_graph(path: &str) -> Result<LabeledDigraph, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut triples: Vec<(u32, u32, String)> = Vec::new();
+    let mut max_node = 0u32;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "{path}:{}: expected 'src dst label'",
+                lineno + 1
+            ));
+        }
+        let u: u32 = parts[0]
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad src", lineno + 1))?;
+        let v: u32 = parts[1]
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad dst", lineno + 1))?;
+        max_node = max_node.max(u).max(v);
+        triples.push((u, v, parts[2].to_owned()));
+    }
+    let mut g = LabeledDigraph::new(max_node as usize + 1);
+    for (u, v, label) in triples {
+        g.add_edge(u, v, &label);
+    }
+    Ok(g)
+}
+
+fn classify_cmd(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("classify needs a program file")?;
+    let program = load_program(path)?;
+    let c = classify_program(&program, 5);
+    println!("program: {path}");
+    println!("  linear:            {}", c.syntax.is_linear);
+    println!("  monadic:           {}", c.syntax.is_monadic);
+    println!("  basic chain:       {}", c.syntax.is_chain);
+    println!("  left-linear (RPQ): {}", c.syntax.is_left_linear_chain);
+    println!("  connected:         {}", c.syntax.is_connected);
+    if let Some(g) = &c.grammar {
+        println!(
+            "  grammar:           {:?}, regular: {}, longest word: {:?}",
+            g.language, g.regular, g.longest_word
+        );
+    }
+    println!("  boundedness:       {:?}", c.boundedness.verdict);
+    println!("  depth upper bound: {:?}", c.depth_upper);
+    println!("  depth lower bound: {:?}", c.depth_lower);
+    println!("  formula verdict:   {:?}", c.formula);
+    Ok(())
+}
+
+fn bounded_cmd(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("bounded needs a program file")?;
+    let program = load_program(path)?;
+    let report = datalog_circuits::core::decide_boundedness(&program, &Default::default());
+    println!("{:?}", report.verdict);
+    if let Some(e) = report.evidence {
+        println!(
+            "expansion evidence: bound {:?}, horizon {}, truncated {}",
+            e.bound, e.horizon, e.truncated
+        );
+    }
+    Ok(())
+}
+
+fn compile_cmd(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("compile needs a program file")?;
+    let program = load_program(path)?;
+    let mut graph_path = None;
+    let mut src = None;
+    let mut dst = None;
+    let mut strategy = Strategy::Auto;
+    let mut semiring = "tropical".to_owned();
+    let mut weights: Vec<u64> = Vec::new();
+    let mut show_poly = false;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--graph" => graph_path = Some(it.next().ok_or("--graph needs a path")?.clone()),
+            "--src" => {
+                src = Some(parse_u32(it.next().ok_or("--src needs a node")?)?);
+            }
+            "--dst" => {
+                dst = Some(parse_u32(it.next().ok_or("--dst needs a node")?)?);
+            }
+            "--strategy" => {
+                strategy = parse_strategy(it.next().ok_or("--strategy needs a name")?)?;
+            }
+            "--semiring" => {
+                semiring = it.next().ok_or("--semiring needs a name")?.clone();
+            }
+            "--weights" => {
+                weights = it
+                    .next()
+                    .ok_or("--weights needs a list")?
+                    .split(',')
+                    .map(|w| w.trim().parse().map_err(|_| format!("bad weight '{w}'")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--show-polynomial" => show_poly = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let graph = load_graph(&graph_path.ok_or("--graph is required")?)?;
+    let (src, dst) = (src.ok_or("--src is required")?, dst.ok_or("--dst is required")?);
+    let compiled = compile_graph_fact(&program, &graph, src, dst, strategy)?;
+    println!(
+        "strategy: {:?}   gates: {}   depth: {}   formula size: {}",
+        compiled.strategy,
+        compiled.stats.num_gates,
+        compiled.stats.depth,
+        compiled.stats.formula_size
+    );
+    let weight = move |e: u32| -> u64 {
+        weights.get(e as usize).copied().unwrap_or(1)
+    };
+    match semiring.as_str() {
+        "boolean" => println!("value (boolean): {}", compiled.circuit.eval(&|_| Bool(true))),
+        "tropical" => println!(
+            "value (tropical): {}",
+            compiled.circuit.eval(&|e| Tropical::new(weight(e)))
+        ),
+        "fuzzy" => println!(
+            "value (fuzzy): {}",
+            compiled
+                .circuit
+                .eval(&|e| Fuzzy::new(1.0 / (1.0 + weight(e) as f64)))
+        ),
+        "bottleneck" => println!(
+            "value (bottleneck): {}",
+            compiled.circuit.eval(&|e| Bottleneck::new(weight(e)))
+        ),
+        "counting" => println!(
+            "value (counting): {}",
+            compiled.circuit.eval(&|_| Counting::new(1))
+        ),
+        other => return Err(format!("unknown semiring '{other}'")),
+    }
+    if show_poly {
+        println!("polynomial: {}", compiled.circuit.polynomial());
+    }
+    Ok(())
+}
+
+fn parse_u32(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| format!("bad number '{s}'"))
+}
+
+fn parse_strategy(s: &str) -> Result<Strategy, String> {
+    Ok(match s {
+        "auto" => Strategy::Auto,
+        "grounded" => Strategy::GroundedFixpoint,
+        "bounded" => Strategy::BoundedLayered,
+        "magic" => Strategy::MagicFiniteRpq,
+        "bellman-ford" => Strategy::ProductBellmanFord,
+        "squaring" => Strategy::ProductSquaring,
+        "uvg" => Strategy::UllmanVanGelder,
+        other => return Err(format!("unknown strategy '{other}'")),
+    })
+}

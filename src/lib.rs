@@ -1,0 +1,12 @@
+//! Umbrella crate for the `datalog-circuits` workspace.
+//!
+//! Re-exports every workspace crate so the examples and integration tests
+//! can use a single dependency. See `README.md` for the tour and `provcirc`
+//! (the [`core`] re-export) for the paper-level API.
+
+pub use circuit;
+pub use datalog;
+pub use grammar;
+pub use graphgen;
+pub use provcirc as core;
+pub use semiring;
