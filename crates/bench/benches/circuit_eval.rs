@@ -14,7 +14,7 @@ fn bench_circuit_eval(c: &mut Criterion) {
         let gates = circuit::stats(&circ).num_gates;
         group.throughput(criterion::Throughput::Elements(gates as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &circ, |b, circ| {
-            b.iter(|| circ.eval(&|f| Tropical::new(f as u64 % 9 + 1)))
+            b.iter(|| circ.eval(&from_fn(|f| Tropical::new(f as u64 % 9 + 1))))
         });
     }
     group.finish();
@@ -24,15 +24,17 @@ fn bench_eval_semiring_cost(c: &mut Criterion) {
     let g = generators::gnm(32, 128, &["E"], 13);
     let circ = circuit::bellman_ford_graph(&g, 0, 31);
     let mut group = c.benchmark_group("circuit_eval/semiring_cost");
-    group.bench_function("boolean", |b| b.iter(|| circ.eval(&|_| Bool(true))));
+    group.bench_function("boolean", |b| {
+        b.iter(|| circ.eval(&from_fn(|_| Bool(true))))
+    });
     group.bench_function("tropical", |b| {
-        b.iter(|| circ.eval(&|f| Tropical::new(f as u64 % 9 + 1)))
+        b.iter(|| circ.eval(&from_fn(|f| Tropical::new(f as u64 % 9 + 1))))
     });
     group.bench_function("bottleneck", |b| {
-        b.iter(|| circ.eval(&|f| Bottleneck::new(f as u64 % 9 + 1)))
+        b.iter(|| circ.eval(&from_fn(|f| Bottleneck::new(f as u64 % 9 + 1))))
     });
     group.bench_function("trop3", |b| {
-        b.iter(|| circ.eval(&|f| TropK::<3>::single(f as u64 % 9 + 1)))
+        b.iter(|| circ.eval(&from_fn(|f| TropK::<3>::single(f as u64 % 9 + 1))))
     });
     group.finish();
 }

@@ -15,16 +15,40 @@ fn bench_eval_semirings(c: &mut Criterion) {
         b.iter(|| datalog::eval_all_ones::<Bool>(&gp, budget))
     });
     group.bench_function("tropical", |b| {
-        b.iter(|| datalog::naive_eval::<Tropical>(&gp, &|f| Tropical::new(f as u64 % 7 + 1), budget))
+        b.iter(|| {
+            datalog::naive_eval::<Tropical, _>(
+                &gp,
+                &from_fn(|f| Tropical::new(f as u64 % 7 + 1)),
+                budget,
+            )
+        })
     });
     group.bench_function("fuzzy", |b| {
-        b.iter(|| datalog::naive_eval::<Fuzzy>(&gp, &|f| Fuzzy::new((f % 10) as f64 / 10.0), budget))
+        b.iter(|| {
+            datalog::naive_eval::<Fuzzy, _>(
+                &gp,
+                &from_fn(|f| Fuzzy::new((f % 10) as f64 / 10.0)),
+                budget,
+            )
+        })
     });
     group.bench_function("viterbi", |b| {
-        b.iter(|| datalog::naive_eval::<Viterbi>(&gp, &|f| Viterbi::new(0.5 + (f % 5) as f64 / 10.0), budget))
+        b.iter(|| {
+            datalog::naive_eval::<Viterbi, _>(
+                &gp,
+                &from_fn(|f| Viterbi::new(0.5 + (f % 5) as f64 / 10.0)),
+                budget,
+            )
+        })
     });
     group.bench_function("trop3", |b| {
-        b.iter(|| datalog::naive_eval::<TropK<3>>(&gp, &|f| TropK::single(f as u64 % 7 + 1), budget))
+        b.iter(|| {
+            datalog::naive_eval::<TropK<3>, _>(
+                &gp,
+                &from_fn(|f| TropK::single(f as u64 % 7 + 1)),
+                budget,
+            )
+        })
     });
     group.finish();
 }

@@ -83,7 +83,10 @@ fn figure1() {
     let trees = datalog::tight_proof_trees(&gp, fact, 1000);
     println!("   measured: {} tight proof trees", trees.trees.len());
     let poly = datalog::provenance_polynomial(&gp, fact, 1000).unwrap();
-    println!("   measured provenance polynomial ({} monomials):", poly.len());
+    println!(
+        "   measured provenance polynomial ({} monomials):",
+        poly.len()
+    );
     for m in poly.monomials() {
         let label: Vec<&str> = m.support().map(|v| names[v as usize]).collect();
         println!("     {}  [{}]", m, label.join(" · "));
@@ -93,7 +96,7 @@ fn figure1() {
     let c = compile_graph_fact(&p, &g, 0, 5, Strategy::Auto).unwrap();
     println!(
         "   tropical value (unit weights): {}   [paper: weight-3 shortest path]",
-        c.circuit.eval(&|_| Tropical::new(1))
+        c.circuit.eval(&UnitWeights::new(Tropical::new(1)))
     );
 }
 
@@ -156,7 +159,16 @@ fn table1_regular() {
     );
     println!(
         "   {:>5} {:>7} | {:>9} {:>6} {:>9} {:>12} | {:>9} {:>6} {:>14} {:>11}",
-        "n", "m", "BF.gates", "BF.dep", "gates/mn", "dep/(n·logn)", "SQ.gates", "SQ.dep", "gates/(n³logn)", "dep/log²n"
+        "n",
+        "m",
+        "BF.gates",
+        "BF.dep",
+        "gates/mn",
+        "dep/(n·logn)",
+        "SQ.gates",
+        "SQ.dep",
+        "gates/(n³logn)",
+        "dep/log²n"
     );
     let mut bf_depths = Vec::new();
     let mut sq_depths = Vec::new();
@@ -284,8 +296,7 @@ fn formula_size() {
         let (src, far) = bench::best_long_pair(&g).expect("has edges");
         let d3 = bench::target_at_distance(&g, src, 3).expect("3-hop target");
         let cf = compile_graph_fact(&finite, &g, src, d3, Strategy::Auto).unwrap();
-        let ci = compile_graph_fact(&tc, &g, src, far, Strategy::ProductSquaring)
-            .unwrap();
+        let ci = compile_graph_fact(&tc, &g, src, far, Strategy::ProductSquaring).unwrap();
         let ff = cf.stats.formula_size as f64;
         let fi = (ci.stats.formula_size.min(u128::from(u64::MAX)) as u64) as f64;
         fin_pts.push((n as f64, ff));
@@ -323,7 +334,10 @@ fn boundedness() {
     );
     let bounded = programs::bounded_example();
     let tc = programs::transitive_closure();
-    println!("   {:>5} | {:>14} {:>12} | {:>11}", "n", "bounded.iters", "bounded.depth", "tc.iters");
+    println!(
+        "   {:>5} | {:>14} {:>12} | {:>11}",
+        "n", "bounded.iters", "bounded.depth", "tc.iters"
+    );
     for n in [4usize, 8, 16, 32] {
         let g = generators::path(n, "E");
         // Seed A(v0) for the bounded program.
@@ -351,7 +365,10 @@ fn boundedness() {
     let verdict = provcirc::decide_boundedness(&tc, &Default::default());
     println!("   chain decision (Prop 5.5): TC → {:?}", verdict.verdict);
     let verdict2 = provcirc::decide_boundedness(&bounded, &Default::default());
-    println!("   expansion evidence (Thm 4.6): Example 4.2 → {:?}", verdict2.verdict);
+    println!(
+        "   expansion evidence (Thm 4.6): Example 4.2 → {:?}",
+        verdict2.verdict
+    );
 }
 
 /// §4: the Chom-class characterizations (Thm 4.6, Cor 4.7).
@@ -389,7 +406,10 @@ fn fringe() {
         "E-fringe · §6.1 (Def 6.1, Thm 6.2, Cor 6.3, Example 6.4)",
         "linear programs and Dyck-1 have polynomial fringe; UvG circuits reach depth O(log² m)",
     );
-    println!("   {:>22} {:>5} {:>11} {:>9} {:>11}", "program", "m", "max fringe", "UvG.dep", "dep/log² m");
+    println!(
+        "   {:>22} {:>5} {:>11} {:>9} {:>11}",
+        "program", "m", "max fringe", "UvG.dep", "dep/log² m"
+    );
     for n in [3usize, 5, 7] {
         let g = generators::path(n, "E");
         let (p, db, gp) = ground_on_graph(&programs::transitive_closure(), &g);
@@ -424,7 +444,9 @@ fn fringe() {
             st.depth as f64 / m.log2().powi(2).max(1.0)
         );
     }
-    println!("   reading: fringe stays linear in m (polynomial fringe), depth/log² m stays bounded.");
+    println!(
+        "   reading: fringe stays linear in m (polynomial fringe), depth/log² m stays bounded."
+    );
 }
 
 /// Theorems 5.9 / 5.11: the lower-bound reductions, executed.
@@ -491,7 +513,10 @@ fn layered() {
         "E-layered · Thm 3.5 (and the Thm 3.4 contrast)",
         "st-connectivity provenance on a layered graph: linear-size, linear-depth circuits (while *depth-optimal* circuits need Θ(log² n), Thm 3.4)",
     );
-    println!("   {:>6} {:>8} {:>9} {:>7} {:>9} {:>12}", "width", "layers", "gates", "depth", "gates/m", "sq.depth");
+    println!(
+        "   {:>6} {:>8} {:>9} {:>7} {:>9} {:>12}",
+        "width", "layers", "gates", "depth", "gates/m", "sq.depth"
+    );
     for (w, l) in [(3usize, 4usize), (4, 8), (5, 16), (6, 32)] {
         let (g, s, t) = generators::layered(w, l, 0.8, "E", 2);
         let c = circuit::dag_path_circuit_graph(&g, s, t).unwrap();
@@ -500,7 +525,7 @@ fn layered() {
         let sq_depth = circuit::stats(&sq).depth;
         // Compare through the tropical semiring: the Sorp polynomial has
         // exponentially many monomials on wide layered graphs.
-        let wt = |e: u32| Tropical::new((e as u64 % 7) + 1);
+        let wt = from_fn(|e: u32| Tropical::new((e as u64 % 7) + 1));
         assert!(c.eval(&wt).sr_eq(&sq.eval(&wt)));
         println!(
             "   {:>6} {:>8} {:>9} {:>7} {:>9.3} {:>12}",
@@ -522,15 +547,20 @@ fn stability() {
         "absorptive = 0-stable (converges); Trop_k is (k-1)-stable (converges later); counting is not p-stable (diverges on cycles)",
     );
     let tc = programs::transitive_closure();
-    println!("   {:>5} | {:>10} {:>10} {:>10} {:>12}", "n", "Bool", "Trop", "Trop_3", "Counting");
+    println!(
+        "   {:>5} | {:>10} {:>10} {:>10} {:>12}",
+        "n", "Bool", "Trop", "Trop_3", "Counting"
+    );
     for n in [3usize, 5, 8] {
         let g = generators::cycle(n, "E");
         let (_, _, gp) = ground_on_graph(&tc, &g);
         let budget = datalog::default_budget(&gp).max(120);
         let b = datalog::eval_all_ones::<Bool>(&gp, budget);
-        let t = datalog::naive_eval::<Tropical>(&gp, &|_| Tropical::new(1), budget);
-        let t3 = datalog::naive_eval::<TropK<3>>(&gp, &|_| TropK::single(1), budget);
-        let c = datalog::naive_eval::<Counting>(&gp, &|_| Counting::new(1), 120);
+        let t =
+            datalog::naive_eval::<Tropical, _>(&gp, &UnitWeights::new(Tropical::new(1)), budget);
+        let t3 =
+            datalog::naive_eval::<TropK<3>, _>(&gp, &UnitWeights::new(TropK::single(1)), budget);
+        let c = datalog::naive_eval::<Counting, _>(&gp, &UnitWeights::new(Counting::new(1)), 120);
         let show = |iters: usize, conv: bool| {
             if conv {
                 format!("{iters} it")

@@ -99,7 +99,7 @@ pub fn best_long_pair(g: &LabeledDigraph) -> Option<(u32, u32)> {
     for src in 0..g.num_nodes() as u32 {
         for (v, d) in g.bfs_distances(src).iter().enumerate() {
             if let Some(d) = *d {
-                if d > 0 && best.map_or(true, |(bd, _, _)| d > bd) {
+                if d > 0 && best.is_none_or(|(bd, _, _)| d > bd) {
                     best = Some((d, src, v as u32));
                 }
             }
@@ -140,10 +140,12 @@ mod tests {
 
     #[test]
     fn normalized_is_flat_for_matching_growth() {
-        let pts: Vec<(f64, f64)> = (2..8).map(|i| {
-            let x = (1 << i) as f64;
-            (x, 3.0 * x * x.log2())
-        }).collect();
+        let pts: Vec<(f64, f64)> = (2..8)
+            .map(|i| {
+                let x = (1 << i) as f64;
+                (x, 3.0 * x * x.log2())
+            })
+            .collect();
         let norm = normalized(&pts, |x| x * x.log2());
         for v in &norm {
             assert!((v - 3.0).abs() < 1e-9);

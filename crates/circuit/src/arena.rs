@@ -15,6 +15,8 @@
 
 use std::collections::HashMap;
 
+use provcirc_error::Error;
+use semiring::valuation::{Valuation, VarTags};
 use semiring::{Absorptive, Semiring, Sorp, VarId};
 
 /// A gate id (index into the arena).
@@ -201,8 +203,12 @@ impl Circuit {
         live
     }
 
-    /// Evaluate over a semiring under an input assignment.
-    pub fn eval<S: Semiring>(&self, assign: &dyn Fn(VarId) -> S) -> S {
+    /// Evaluate over a semiring under an input valuation.
+    pub fn eval<S, V>(&self, assign: &V) -> S
+    where
+        S: Semiring,
+        V: Valuation<S> + ?Sized,
+    {
         let live = self.live_mask();
         let mut vals: Vec<Option<S>> = vec![None; self.gates.len()];
         for (i, gate) in self.gates.iter().enumerate() {
@@ -212,7 +218,7 @@ impl Circuit {
             let v = match *gate {
                 Gate::Zero => S::zero(),
                 Gate::One => S::one(),
-                Gate::Input(x) => assign(x),
+                Gate::Input(x) => assign.value(x),
                 Gate::Add(a, b) => {
                     let (va, vb) = (vals[a as usize].as_ref(), vals[b as usize].as_ref());
                     va.expect("topo order").add(vb.expect("topo order"))
@@ -231,12 +237,16 @@ impl Circuit {
     /// absorptive semiring: its evaluation in `Sorp(X)` (see §2.5 — the
     /// polynomial the circuit *computes*, with absorption applied).
     pub fn polynomial(&self) -> Sorp {
-        self.eval(&Sorp::var)
+        self.eval(&VarTags)
     }
 
     /// Evaluate over an absorptive semiring via the polynomial — slow oracle
     /// used in tests to double-check direct evaluation.
-    pub fn eval_via_polynomial<S: Absorptive>(&self, assign: &dyn Fn(VarId) -> S) -> S {
+    pub fn eval_via_polynomial<S, V>(&self, assign: &V) -> S
+    where
+        S: Absorptive,
+        V: Valuation<S> + ?Sized,
+    {
         self.polynomial().eval(assign)
     }
 
@@ -271,16 +281,18 @@ impl Circuit {
     }
 
     /// Structural sanity checks: children precede parents, output in range.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), Error> {
         for (i, gate) in self.gates.iter().enumerate() {
             if let Gate::Add(a, b) | Gate::Mul(a, b) = *gate {
                 if a as usize >= i || b as usize >= i {
-                    return Err(format!("gate {i} references a later gate"));
+                    return Err(Error::InvalidCircuit(format!(
+                        "gate {i} references a later gate"
+                    )));
                 }
             }
         }
         if self.output as usize >= self.gates.len() {
-            return Err("output out of range".into());
+            return Err(Error::InvalidCircuit("output out of range".into()));
         }
         Ok(())
     }
@@ -338,12 +350,15 @@ mod tests {
         let c = b.finish(out);
         c.validate().unwrap();
 
-        assert_eq!(c.eval(&|_| Bool(true)), Bool(true));
+        assert_eq!(c.eval(&from_fn(|_| Bool(true))), Bool(true));
         assert_eq!(
-            c.eval(&|v| Tropical::new(v as u64 + 1)),
+            c.eval(&from_fn(|v| Tropical::new(v as u64 + 1))),
             Tropical::new(3) // min(1+2, 3)
         );
-        assert_eq!(c.eval(&|_| Counting::new(2)), Counting::new(6)); // 2*2+2
+        assert_eq!(
+            c.eval(&UnitWeights::new(Counting::new(2))),
+            Counting::new(6)
+        ); // 2*2+2
         let poly = c.polynomial();
         assert_eq!(poly.to_string(), "x0*x1 + x2");
     }
@@ -396,7 +411,10 @@ mod tests {
         let y = b.input(1);
         let _dead = b.mul(x, y);
         let c = b.finish(x);
-        assert_eq!(c.eval(&|v| Counting::new(v as u64 + 5)), Counting::new(5));
+        assert_eq!(
+            c.eval(&from_fn(|v| Counting::new(v as u64 + 5))),
+            Counting::new(5)
+        );
         let stats = crate::metrics::stats(&c);
         assert_eq!(stats.num_gates, 1);
     }
@@ -425,12 +443,7 @@ mod tests {
     fn validate_rejects_forward_references() {
         // Hand-build a malformed circuit: gate 2 references gate 3.
         let c = Circuit {
-            gates: vec![
-                Gate::Zero,
-                Gate::One,
-                Gate::Add(3, 1),
-                Gate::Input(0),
-            ],
+            gates: vec![Gate::Zero, Gate::One, Gate::Add(3, 1), Gate::Input(0)],
             output: 2,
         };
         assert!(c.validate().is_err());
@@ -444,7 +457,7 @@ mod tests {
         let m2 = b.mul_many(&xs[2..6]);
         let out = b.add(m1, m2);
         let c = b.finish(out);
-        let assign = |v: VarId| Tropical::new((v as u64 * 3) % 5 + 1);
+        let assign = from_fn(|v: VarId| Tropical::new((v as u64 * 3) % 5 + 1));
         assert_eq!(c.eval(&assign), c.eval_via_polynomial(&assign));
     }
 }

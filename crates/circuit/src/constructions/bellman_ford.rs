@@ -91,13 +91,9 @@ mod tests {
     use crate::metrics::stats;
     use datalog::{programs, Database};
     use graphgen::generators;
-    use semiring::{Semiring, Tropical};
+    use semiring::{Semiring, Tropical, UnitWeights};
 
-    fn tc_oracle(
-        g: &graphgen::LabeledDigraph,
-        s: usize,
-        t: usize,
-    ) -> Option<semiring::Sorp> {
+    fn tc_oracle(g: &graphgen::LabeledDigraph, s: usize, t: usize) -> Option<semiring::Sorp> {
         let mut p = programs::transitive_closure();
         let (db, _) = Database::from_graph(&mut p, g);
         let gp = datalog::ground(&p, &db).unwrap();
@@ -122,10 +118,7 @@ mod tests {
                     Some(poly) => {
                         assert_eq!(circuit.polynomial(), poly, "seed {seed} ({s},{t})")
                     }
-                    None => assert!(
-                        circuit.polynomial().is_empty(),
-                        "seed {seed} ({s},{t})"
-                    ),
+                    None => assert!(circuit.polynomial().is_empty(), "seed {seed} ({s},{t})"),
                 }
             }
         }
@@ -146,7 +139,7 @@ mod tests {
         let g = generators::gnm(10, 30, &["E"], 11);
         for t in 1..6u32 {
             let circuit = bellman_ford_graph(&g, 0, t);
-            let val = circuit.eval(&|_| Tropical::new(1));
+            let val = circuit.eval(&UnitWeights::new(Tropical::new(1)));
             match g.bfs_distances(0)[t as usize] {
                 Some(d) if d > 0 => assert_eq!(val, Tropical::new(d)),
                 _ => assert!(val.is_zero()),

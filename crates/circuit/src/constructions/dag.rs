@@ -10,6 +10,7 @@
 //! to the Ω(log² n) *depth* lower bound of Theorem 3.4.
 
 use graphgen::{LabeledDigraph, NodeId};
+use provcirc_error::Error;
 use semiring::VarId;
 
 use crate::arena::{Circuit, CircuitBuilder};
@@ -24,7 +25,7 @@ pub fn dag_path_circuit(
     vars: &[VarId],
     s: NodeId,
     t: NodeId,
-) -> Result<Circuit, String> {
+) -> Result<Circuit, Error> {
     assert_eq!(edges.len(), vars.len());
     // Kahn topological order.
     let mut indegree = vec![0usize; num_nodes];
@@ -49,7 +50,9 @@ pub fn dag_path_circuit(
         }
     }
     if order.len() != num_nodes {
-        return Err("graph has a cycle; Theorem 3.5 needs a DAG".into());
+        return Err(Error::unsupported(
+            "graph has a cycle; Theorem 3.5 needs a DAG",
+        ));
     }
 
     let mut b = CircuitBuilder::new();
@@ -75,11 +78,7 @@ pub fn dag_path_circuit(
 }
 
 /// Wrapper for a [`LabeledDigraph`] with edge ids as provenance variables.
-pub fn dag_path_circuit_graph(
-    g: &LabeledDigraph,
-    s: NodeId,
-    t: NodeId,
-) -> Result<Circuit, String> {
+pub fn dag_path_circuit_graph(g: &LabeledDigraph, s: NodeId, t: NodeId) -> Result<Circuit, Error> {
     let edges: Vec<(NodeId, NodeId)> = g.edges().iter().map(|&(u, v, _)| (u, v)).collect();
     let vars: Vec<VarId> = (0..g.num_edges() as VarId).collect();
     dag_path_circuit(g.num_nodes(), &edges, &vars, s, t)
@@ -93,6 +92,7 @@ mod tests {
     use graphgen::generators;
     use semiring::Semiring;
     use semiring::Tropical;
+    use semiring::UnitWeights;
 
     #[test]
     fn matches_tc_provenance_on_layered_graphs() {
@@ -160,7 +160,7 @@ mod tests {
     fn tropical_value_is_shortest_path() {
         let g = generators::random_dag(10, 0.5, "E", 4);
         if let Ok(circuit) = dag_path_circuit_graph(&g, 0, 9) {
-            let val = circuit.eval(&|_| Tropical::new(1));
+            let val = circuit.eval(&UnitWeights::new(Tropical::new(1)));
             match g.bfs_distances(0)[9] {
                 Some(d) => assert_eq!(val, Tropical::new(d)),
                 None => assert!(val.is_zero()),

@@ -30,8 +30,7 @@ pub fn grounded_circuit(gp: &GroundedProgram, max_layers: Option<usize>) -> Mult
             let mut summands = Vec::with_capacity(gp.rules_by_head[fact].len());
             for &ri in &gp.rules_by_head[fact] {
                 let rule = &gp.rules[ri];
-                let mut factors =
-                    Vec::with_capacity(rule.body_idb.len() + rule.body_edb.len());
+                let mut factors = Vec::with_capacity(rule.body_idb.len() + rule.body_edb.len());
                 for &i in &rule.body_idb {
                     factors.push(vals[i]);
                 }
@@ -58,9 +57,7 @@ mod tests {
     use graphgen::generators;
     use semiring::prelude::*;
 
-    fn tc_grounded(
-        g: &graphgen::LabeledDigraph,
-    ) -> (datalog::Program, Database, GroundedProgram) {
+    fn tc_grounded(g: &graphgen::LabeledDigraph) -> (datalog::Program, Database, GroundedProgram) {
         let mut p = programs::transitive_closure();
         let (db, _) = Database::from_graph(&mut p, g);
         let gp = datalog::ground(&p, &db).unwrap();
@@ -107,7 +104,7 @@ mod tests {
         let g = generators::gnm(8, 20, &["E"], 9);
         let (_, _, gp) = tc_grounded(&g);
         let mo = grounded_circuit(&gp, None);
-        let assign = |f: u32| Tropical::new((f as u64 % 4) + 1);
+        let assign = semiring::from_fn(|f: u32| Tropical::new((f as u64 % 4) + 1));
         let direct = datalog::naive_eval(&gp, &assign, datalog::default_budget(&gp));
         for fact in 0..gp.num_idb_facts() {
             assert_eq!(mo.circuit_for(fact).eval(&assign), direct.values[fact]);

@@ -10,6 +10,7 @@
 use datalog::{classify, magic_rewrite, Database, Program};
 use grammar::{CfgAnalysis, Cnf};
 use graphgen::{LabeledDigraph, NodeId};
+use provcirc_error::Error;
 
 use crate::arena::Circuit;
 use crate::constructions::grounded::grounded_circuit;
@@ -38,16 +39,18 @@ pub fn finite_rpq_circuit(
     graph: &LabeledDigraph,
     src: NodeId,
     dst: NodeId,
-) -> Result<FiniteRpqCircuit, String> {
+) -> Result<FiniteRpqCircuit, Error> {
     if !classify(program).is_left_linear_chain {
-        return Err("Theorem 5.8 needs a left-linear chain program".into());
+        return Err(Error::unsupported(
+            "Theorem 5.8 needs a left-linear chain program",
+        ));
     }
     let cfg = datalog::chain_to_cfg(program)?;
     let cnf = Cnf::from_cfg(&cfg);
     let analysis = CfgAnalysis::new(&cnf);
     let longest_word = analysis
         .longest_word_len(&cnf)
-        .ok_or("language is infinite: Theorem 5.8 does not apply")?;
+        .ok_or_else(|| Error::unsupported("language is infinite: Theorem 5.8 does not apply"))?;
 
     let rewritten = magic_rewrite(program, &format!("v{src}"))?;
     let mut p = rewritten.program;
@@ -59,7 +62,7 @@ pub fn finite_rpq_circuit(
     let tpred = p
         .preds
         .get(&target_name)
-        .ok_or("rewritten target missing")?;
+        .ok_or_else(|| Error::unsupported("rewritten target missing"))?;
     let circuit = match db
         .node_const(dst as usize)
         .and_then(|c| gp.fact(tpred, &[c]))
@@ -104,6 +107,7 @@ mod tests {
         let g = generators::path(3, "E");
         assert!(finite_rpq_circuit(&tc, &g, 0, 3)
             .unwrap_err()
+            .to_string()
             .contains("infinite"));
         let monadic = programs::monadic_reachability();
         assert!(finite_rpq_circuit(&monadic, &g, 0, 3).is_err());
@@ -139,7 +143,10 @@ mod tests {
                 let expect = gp
                     .fact(
                         t,
-                        &[db.node_const(0).unwrap(), db.node_const(dst as usize).unwrap()],
+                        &[
+                            db.node_const(0).unwrap(),
+                            db.node_const(dst as usize).unwrap(),
+                        ],
                     )
                     .map(|f| datalog::provenance_polynomial(&gp, f, 100_000).unwrap());
                 match expect {

@@ -50,31 +50,21 @@ pub fn rpq_circuit(
         TcStrategy::BellmanFord => {
             let mo = bellman_ford_all(prod.num_nodes, &prod.edges, &vars, start);
             // ⊕-sum over accept states, plus the ε-path when applicable.
-            merge_outputs(
-                mo,
-                &accepts,
-                src == dst && dfa.accepting[dfa.start],
-            )
+            merge_outputs(mo, &accepts, src == dst && dfa.accepting[dfa.start])
         }
         TcStrategy::RepeatedSquaring => {
             let sq = squaring_all(prod.num_nodes, &prod.edges, &vars);
             // The squaring matrix's diagonal 1 already covers the ε-path
             // when (src,q0) == (dst,qf).
-            let circuits: Vec<Circuit> = accepts
-                .iter()
-                .map(|&a| sq.circuit_for(start, a))
-                .collect();
+            let circuits: Vec<Circuit> =
+                accepts.iter().map(|&a| sq.circuit_for(start, a)).collect();
             sum_circuits(&circuits)
         }
     }
 }
 
 /// Merge several outputs of a [`super::MultiOutput`] into one ⊕-gate.
-fn merge_outputs(
-    mo: super::MultiOutput,
-    outputs: &[NodeId],
-    include_epsilon: bool,
-) -> Circuit {
+fn merge_outputs(mo: super::MultiOutput, outputs: &[NodeId], include_epsilon: bool) -> Circuit {
     // Clone the arena once and sum the chosen outputs within it.
     let circuits: Vec<Circuit> = outputs
         .iter()
@@ -128,11 +118,11 @@ pub fn import(b: &mut CircuitBuilder, c: &Circuit) -> crate::arena::GateId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use semiring::Semiring as _;
     use crate::metrics::stats;
     use datalog::Database;
     use grammar::Regex;
     use graphgen::generators;
+    use semiring::Semiring as _;
 
     /// Oracle: the chain-Datalog provenance of the RPQ via grounding.
     fn rpq_oracle(
@@ -166,11 +156,9 @@ mod tests {
                 for strat in [TcStrategy::BellmanFord, TcStrategy::RepeatedSquaring] {
                     let c = rpq_circuit(&g, &dfa, s as NodeId, t as NodeId, strat);
                     match &oracle {
-                        Some(poly) => assert_eq!(
-                            &c.polynomial(),
-                            poly,
-                            "seed {seed} ({s},{t}) {strat:?}"
-                        ),
+                        Some(poly) => {
+                            assert_eq!(&c.polynomial(), poly, "seed {seed} ({s},{t}) {strat:?}")
+                        }
                         None => assert!(c.polynomial().is_empty()),
                     }
                 }

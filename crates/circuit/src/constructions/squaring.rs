@@ -41,7 +41,11 @@ impl SquaringResult {
 }
 
 /// Build the Theorem 5.7 squaring circuit over an edge list.
-pub fn squaring_all(num_nodes: usize, edges: &[(NodeId, NodeId)], vars: &[VarId]) -> SquaringResult {
+pub fn squaring_all(
+    num_nodes: usize,
+    edges: &[(NodeId, NodeId)],
+    vars: &[VarId],
+) -> SquaringResult {
     assert_eq!(edges.len(), vars.len());
     let n = num_nodes;
     let mut b = CircuitBuilder::new();
@@ -114,7 +118,7 @@ mod tests {
     use crate::constructions::bellman_ford::bellman_ford_graph;
     use crate::metrics::stats;
     use graphgen::generators;
-    use semiring::{Semiring, Tropical};
+    use semiring::{Semiring, Tropical, UnitWeights};
 
     #[test]
     fn agrees_with_bellman_ford_off_diagonal() {
@@ -171,7 +175,9 @@ mod tests {
                 if s == t {
                     continue;
                 }
-                let val = sq.circuit_for(s, t).eval(&|_| Tropical::new(1));
+                let val = sq
+                    .circuit_for(s, t)
+                    .eval(&UnitWeights::new(Tropical::new(1)));
                 match dist[t as usize] {
                     Some(d) if d > 0 => assert_eq!(val, Tropical::new(d), "({s},{t})"),
                     _ => assert!(val.is_zero(), "({s},{t})"),

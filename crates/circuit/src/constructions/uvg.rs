@@ -50,8 +50,7 @@ pub fn uvg_circuit(gp: &GroundedProgram, stages: Option<usize>) -> MultiOutput {
             let mut summands = Vec::with_capacity(gp.rules_by_head[alpha].len());
             for &ri in &gp.rules_by_head[alpha] {
                 let rule = &gp.rules[ri];
-                let mut factors =
-                    Vec::with_capacity(rule.body_idb.len() + rule.body_edb.len());
+                let mut factors = Vec::with_capacity(rule.body_idb.len() + rule.body_edb.len());
                 for &beta in &rule.body_idb {
                     factors.push(g[source * ids + beta]);
                 }

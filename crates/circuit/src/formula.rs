@@ -6,6 +6,7 @@
 //! super-polynomial for the paper's hard instances), so the formula-size
 //! experiments can account exactly.
 
+use semiring::valuation::Valuation;
 use semiring::{Semiring, VarId};
 
 use crate::arena::{Circuit, Gate};
@@ -45,11 +46,15 @@ impl Formula {
     }
 
     /// Evaluate over a semiring.
-    pub fn eval<S: Semiring>(&self, assign: &dyn Fn(VarId) -> S) -> S {
+    pub fn eval<S, V>(&self, assign: &V) -> S
+    where
+        S: Semiring,
+        V: Valuation<S> + ?Sized,
+    {
         match self {
             Formula::Zero => S::zero(),
             Formula::One => S::one(),
-            Formula::Input(v) => assign(*v),
+            Formula::Input(v) => assign.value(*v),
             Formula::Add(l, r) => l.eval(assign).add(&r.eval(assign)),
             Formula::Mul(l, r) => l.eval(assign).mul(&r.eval(assign)),
         }
@@ -72,14 +77,8 @@ fn build(circuit: &Circuit, gate: u32) -> Formula {
         Gate::Zero => Formula::Zero,
         Gate::One => Formula::One,
         Gate::Input(v) => Formula::Input(v),
-        Gate::Add(a, b) => Formula::Add(
-            Box::new(build(circuit, a)),
-            Box::new(build(circuit, b)),
-        ),
-        Gate::Mul(a, b) => Formula::Mul(
-            Box::new(build(circuit, a)),
-            Box::new(build(circuit, b)),
-        ),
+        Gate::Add(a, b) => Formula::Add(Box::new(build(circuit, a)), Box::new(build(circuit, b))),
+        Gate::Mul(a, b) => Formula::Mul(Box::new(build(circuit, a)), Box::new(build(circuit, b))),
     }
 }
 
@@ -115,7 +114,7 @@ mod tests {
         let f = expand(&c, 1_000).unwrap();
         assert_eq!(f.size(), 7);
         assert_eq!(f.depth(), 2);
-        let assign = |v: VarId| Tropical::new(v as u64 + 1);
+        let assign = semiring::from_fn(|v: VarId| Tropical::new(v as u64 + 1));
         assert_eq!(f.eval(&assign), c.eval(&assign));
     }
 

@@ -23,6 +23,8 @@ pub mod metrics;
 pub mod reductions;
 pub mod verify;
 
+pub use provcirc_error::Error;
+
 pub use arena::{Circuit, CircuitBuilder, Gate, GateId, InputSubst};
 pub use constructions::bellman_ford::{bellman_ford_all, bellman_ford_circuit, bellman_ford_graph};
 pub use constructions::dag::{dag_path_circuit, dag_path_circuit_graph};
@@ -34,4 +36,7 @@ pub use constructions::uvg::uvg_circuit;
 pub use constructions::MultiOutput;
 pub use formula::{expand, Formula, FormulaTooLarge};
 pub use metrics::{stats, CircuitStats};
-pub use reductions::{tc_to_cfg, tc_to_monadic_reachability, tc_to_rpq, ExpandedEdgeOrigin, ExpandedInstance, MonadicReductionInstance};
+pub use reductions::{
+    tc_to_cfg, tc_to_monadic_reachability, tc_to_rpq, ExpandedEdgeOrigin, ExpandedInstance,
+    MonadicReductionInstance,
+};

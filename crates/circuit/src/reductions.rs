@@ -12,6 +12,7 @@
 
 use grammar::{CfgPumping, RegularPumping, Terminal};
 use graphgen::{EdgeId, LabeledDigraph, NodeId};
+use provcirc_error::Error;
 use semiring::VarId;
 
 use crate::arena::{Circuit, InputSubst};
@@ -74,11 +75,11 @@ pub fn tc_to_rpq(
 
     // Original vertices keep their ids; helper to append a labeled path.
     let add_word_path = |out: &mut LabeledDigraph,
-                             origins: &mut Vec<ExpandedEdgeOrigin>,
-                             from: NodeId,
-                             to: NodeId,
-                             word: &[Terminal],
-                             carried: Option<EdgeId>| {
+                         origins: &mut Vec<ExpandedEdgeOrigin>,
+                         from: NodeId,
+                         to: NodeId,
+                         word: &[Terminal],
+                         carried: Option<EdgeId>| {
         debug_assert!(!word.is_empty());
         let mut cur = from;
         for (i, &t) in word.iter().enumerate() {
@@ -135,7 +136,7 @@ pub fn tc_to_cfg(
     path_len: usize,
     pumping: &CfgPumping,
     label_name: &dyn Fn(Terminal) -> String,
-) -> Result<ExpandedInstance, String> {
+) -> Result<ExpandedInstance, Error> {
     if pumping.v.is_empty() {
         // WLOG of the paper's proof: if v is empty, swap roles by pumping on
         // x (expand edges with x and suffix with w only).
@@ -144,11 +145,11 @@ pub fn tc_to_cfg(
     let mut out = LabeledDigraph::new(g.num_nodes());
     let mut origins = Vec::new();
     let add_word_path = |out: &mut LabeledDigraph,
-                             origins: &mut Vec<ExpandedEdgeOrigin>,
-                             from: NodeId,
-                             to: NodeId,
-                             word: &[Terminal],
-                             carried: Option<EdgeId>| {
+                         origins: &mut Vec<ExpandedEdgeOrigin>,
+                         from: NodeId,
+                         to: NodeId,
+                         word: &[Terminal],
+                         carried: Option<EdgeId>| {
         debug_assert!(!word.is_empty());
         let mut cur = from;
         for (i, &t) in word.iter().enumerate() {
@@ -207,18 +208,20 @@ fn tc_to_cfg_on_x(
     path_len: usize,
     pumping: &CfgPumping,
     label_name: &dyn Fn(Terminal) -> String,
-) -> Result<ExpandedInstance, String> {
+) -> Result<ExpandedInstance, Error> {
     if pumping.x.is_empty() {
-        return Err("pumping decomposition has empty v and x".into());
+        return Err(Error::unsupported(
+            "pumping decomposition has empty v and x",
+        ));
     }
     let mut out = LabeledDigraph::new(g.num_nodes());
     let mut origins = Vec::new();
     let add_word_path = |out: &mut LabeledDigraph,
-                             origins: &mut Vec<ExpandedEdgeOrigin>,
-                             from: NodeId,
-                             to: NodeId,
-                             word: &[Terminal],
-                             carried: Option<EdgeId>| {
+                         origins: &mut Vec<ExpandedEdgeOrigin>,
+                         from: NodeId,
+                         to: NodeId,
+                         word: &[Terminal],
+                         carried: Option<EdgeId>| {
         debug_assert!(!word.is_empty());
         let mut cur = from;
         for (i, &t) in word.iter().enumerate() {
@@ -282,13 +285,16 @@ pub fn tc_to_monadic_reachability(
     g: &LabeledDigraph,
     src: NodeId,
     dst: NodeId,
-) -> Result<MonadicReductionInstance, String> {
+) -> Result<MonadicReductionInstance, Error> {
     let mut program = datalog::programs::monadic_reachability();
     let (mut db, edge_facts) = datalog::Database::from_graph(&mut program, g);
-    let a = program.preds.get("A").ok_or("A predicate missing")?;
+    let a = program
+        .preds
+        .get("A")
+        .ok_or_else(|| Error::UnknownPredicate("A".into()))?;
     let dst_const = db
         .node_const(dst as usize)
-        .ok_or("dst outside the active domain")?;
+        .ok_or_else(|| Error::BadQuery("dst outside the active domain".into()))?;
     let a_fact = db.insert(a, vec![dst_const]);
     Ok(MonadicReductionInstance {
         program,
@@ -339,12 +345,12 @@ impl MonadicReductionInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use semiring::Semiring as _;
     use crate::constructions::rpq::{rpq_circuit, TcStrategy};
     use crate::metrics::stats;
     use datalog::{programs, Database};
     use grammar::{CfgAnalysis, Cnf, Dfa, Regex};
     use graphgen::generators;
+    use semiring::Semiring as _;
 
     /// Oracle: TC provenance polynomial of (s, t) on g.
     fn tc_poly(g: &LabeledDigraph, s: usize, t: usize) -> semiring::Sorp {
@@ -352,10 +358,7 @@ mod tests {
         let (db, _) = Database::from_graph(&mut p, g);
         let gp = datalog::ground(&p, &db).unwrap();
         let tp = p.preds.get("T").unwrap();
-        match gp.fact(
-            tp,
-            &[db.node_const(s).unwrap(), db.node_const(t).unwrap()],
-        ) {
+        match gp.fact(tp, &[db.node_const(s).unwrap(), db.node_const(t).unwrap()]) {
             Some(f) => {
                 datalog::provenance_eval(&gp, datalog::default_budget(&gp)).values[f].clone()
             }
@@ -404,8 +407,7 @@ mod tests {
             let (g, s, t) = generators::layered(2, 2, 0.9, "E", seed);
             // Layered (ℓ=2 layers wide, 2 layers): all s-t paths have
             // length 3 (s → layer0 → layer1 → t).
-            let inst =
-                tc_to_cfg(&g, s, t, 3, &pumping, &|t| names.name(t).to_owned()).unwrap();
+            let inst = tc_to_cfg(&g, s, t, 3, &pumping, &|t| names.name(t).to_owned()).unwrap();
 
             // Solve Dyck reachability on the expanded instance by grounding.
             let mut p = programs::dyck1();
@@ -422,8 +424,8 @@ mod tests {
             );
             match fact {
                 Some(f) => {
-                    let big = crate::constructions::grounded::grounded_circuit(&gp, None)
-                        .circuit_for(f);
+                    let big =
+                        crate::constructions::grounded::grounded_circuit(&gp, None).circuit_for(f);
                     // Edge fact ids equal edge indices (from_graph aligns).
                     assert_eq!(edge_facts, (0..edge_facts.len() as u32).collect::<Vec<_>>());
                     let rewired = inst.rewire(&big);
@@ -443,8 +445,7 @@ mod tests {
             let expect = tc_poly(&g, s as usize, t as usize);
             match inst.query_fact(&gp) {
                 Some(f) => {
-                    let big =
-                        crate::constructions::uvg::uvg_circuit(&gp, None).circuit_for(f);
+                    let big = crate::constructions::uvg::uvg_circuit(&gp, None).circuit_for(f);
                     let rewired = inst.rewire(&big);
                     assert_eq!(rewired.polynomial(), expect, "seed {seed}");
                     // Depth-preserving (rewiring can only shrink).

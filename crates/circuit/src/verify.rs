@@ -7,7 +7,9 @@
 //! `Sorp(X)` implies equal values over **every** absorptive semiring.
 
 use datalog::GroundedProgram;
-use semiring::{Absorptive, Semiring, Sorp, VarId};
+use provcirc_error::Error;
+use semiring::valuation::Valuation;
+use semiring::{Absorptive, Semiring, Sorp};
 
 use crate::arena::Circuit;
 
@@ -19,16 +21,16 @@ pub fn check_against_proof_trees(
     gp: &GroundedProgram,
     fact: usize,
     cap: usize,
-) -> Result<(), String> {
+) -> Result<(), Error> {
     let expected = datalog::provenance_polynomial(gp, fact, cap)
-        .ok_or("too many tight proof trees to enumerate")?;
+        .ok_or_else(|| Error::TooLarge("too many tight proof trees to enumerate".into()))?;
     let got = circuit.polynomial();
     if got == expected {
         Ok(())
     } else {
-        Err(format!(
+        Err(Error::VerificationFailed(format!(
             "circuit polynomial mismatch:\n  circuit: {got}\n  proof trees: {expected}"
-        ))
+        )))
     }
 }
 
@@ -41,37 +43,46 @@ pub fn equivalent(c1: &Circuit, c2: &Circuit) -> bool {
 /// Check agreement between direct circuit evaluation and naive Datalog
 /// evaluation under a concrete assignment (applies to *any* semiring, not
 /// just absorptive ones, as long as naive evaluation converges).
-pub fn check_against_naive_eval<S: Semiring>(
+pub fn check_against_naive_eval<S, V>(
     circuit: &Circuit,
     gp: &GroundedProgram,
     fact: usize,
-    assign: &dyn Fn(VarId) -> S,
-) -> Result<(), String> {
-    let out = datalog::naive_eval(gp, assign, datalog::default_budget(gp));
+    assign: &V,
+) -> Result<(), Error>
+where
+    S: Semiring,
+    V: Valuation<S> + ?Sized,
+{
+    let budget = datalog::default_budget(gp);
+    let out = datalog::naive_eval(gp, assign, budget);
     if !out.converged {
-        return Err("naive evaluation did not converge".into());
+        return Err(Error::Diverged { iterations: budget });
     }
     let direct = circuit.eval(assign);
     if direct.sr_eq(&out.values[fact]) {
         Ok(())
     } else {
-        Err(format!(
+        Err(Error::VerificationFailed(format!(
             "value mismatch over {}: circuit {direct:?}, naive {:?}",
             S::NAME,
             out.values[fact]
-        ))
+        )))
     }
 }
 
 /// Full cross-check bundle used by integration tests: polynomial equality
 /// against proof trees plus concrete agreement over an absorptive semiring.
-pub fn verify_circuit<S: Absorptive>(
+pub fn verify_circuit<S, V>(
     circuit: &Circuit,
     gp: &GroundedProgram,
     fact: usize,
-    assign: &dyn Fn(VarId) -> S,
+    assign: &V,
     tree_cap: usize,
-) -> Result<(), String> {
+) -> Result<(), Error>
+where
+    S: Absorptive,
+    V: Valuation<S> + ?Sized,
+{
     circuit.validate()?;
     check_against_proof_trees(circuit, gp, fact, tree_cap)?;
     check_against_naive_eval(circuit, gp, fact, assign)?;
@@ -81,7 +92,9 @@ pub fn verify_circuit<S: Absorptive>(
     if via_poly.sr_eq(&direct) {
         Ok(())
     } else {
-        Err("polynomial evaluation disagrees with direct evaluation".into())
+        Err(Error::VerificationFailed(
+            "polynomial evaluation disagrees with direct evaluation".into(),
+        ))
     }
 }
 
@@ -113,7 +126,7 @@ mod tests {
                 &mo.circuit_for(fact),
                 &gp,
                 fact,
-                &|f| Tropical::new((f as u64 % 3) + 1),
+                &semiring::from_fn(|f| Tropical::new((f as u64 % 3) + 1)),
                 50_000,
             )
             .unwrap();

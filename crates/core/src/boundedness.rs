@@ -17,6 +17,7 @@
 
 use datalog::{classify as classify_syntax, Database, Program};
 use grammar::{CfgAnalysis, Cnf, LanguageSize};
+use provcirc_error::Error;
 use semiring::{Bool, Bottleneck, Fuzzy, Semiring};
 
 /// Why we believe a program is (un)bounded.
@@ -89,17 +90,14 @@ pub fn decide_boundedness(program: &Program, opts: &BoundednessOptions) -> Bound
                     evidence: None,
                 },
                 LanguageSize::Finite | LanguageSize::Empty => BoundednessReport {
-                    verdict: Verdict::Bounded(
-                        analysis.longest_word_len(&cnf).map(|l| l + 1),
-                    ),
+                    verdict: Verdict::Bounded(analysis.longest_word_len(&cnf).map(|l| l + 1)),
                     evidence: None,
                 },
             };
         }
     }
     // Theorem 4.6 expansion evidence.
-    let evidence =
-        datalog::boundedness_evidence(program, opts.horizon, opts.max_expansions);
+    let evidence = datalog::boundedness_evidence(program, opts.horizon, opts.max_expansions);
     let verdict = if evidence.truncated {
         Verdict::Unknown
     } else {
@@ -119,13 +117,14 @@ pub fn decide_boundedness(program: &Program, opts: &BoundednessOptions) -> Bound
 pub fn empirical_iterations<S: Semiring>(
     program: &Program,
     databases: &[Database],
-) -> Result<Vec<usize>, String> {
+) -> Result<Vec<usize>, Error> {
     let mut out = Vec::with_capacity(databases.len());
     for db in databases {
         let gp = datalog::ground(program, db)?;
-        let run = datalog::eval_all_ones::<S>(&gp, datalog::default_budget(&gp).max(64));
+        let budget = datalog::default_budget(&gp).max(64);
+        let run = datalog::eval_all_ones::<S>(&gp, budget);
         if !run.converged {
-            return Err(format!("naive evaluation diverged over {}", S::NAME));
+            return Err(Error::Diverged { iterations: budget });
         }
         out.push(run.iterations);
     }
@@ -138,7 +137,7 @@ pub fn empirical_iterations<S: Semiring>(
 pub fn cross_semiring_iterations(
     program: &Program,
     databases: &[Database],
-) -> Result<Vec<(usize, usize, usize)>, String> {
+) -> Result<Vec<(usize, usize, usize)>, Error> {
     let b = empirical_iterations::<Bool>(program, databases)?;
     let f = empirical_iterations::<Fuzzy>(program, databases)?;
     let k = empirical_iterations::<Bottleneck>(program, databases)?;
@@ -167,10 +166,7 @@ mod tests {
         assert_eq!(r2.verdict, Verdict::Bounded(Some(1)));
         // Recursive chain program with a finite language {a b}: bounded with
         // the grammar-derived constant (longest word + 1).
-        let p = datalog::parse_program(
-            "S(X,Y) :- A(X,Z), B2(Z,Y).\nB2(X,Y) :- B(X,Y).",
-        )
-        .unwrap();
+        let p = datalog::parse_program("S(X,Y) :- A(X,Z), B2(Z,Y).\nB2(X,Y) :- B(X,Y).").unwrap();
         let r3 = decide_boundedness(&p, &Default::default());
         assert_eq!(r3.verdict, Verdict::Bounded(Some(3)));
     }

@@ -223,10 +223,7 @@ mod tests {
         // starts with the head's *second* variable): only the Cor 6.3
         // O(log²) upper bound applies; no lower bound, formula open (§6.1
         // remark: no full dichotomy).
-        let p = datalog::parse_program(
-            "P(X,Y) :- E(X,Y).\nP(X,Y) :- P(Y,Z), E(Z,X).",
-        )
-        .unwrap();
+        let p = datalog::parse_program("P(X,Y) :- E(X,Y).\nP(X,Y) :- P(Y,Z), E(Z,X).").unwrap();
         let c = classify_program(&p, 4);
         assert!(c.syntax.is_linear && !c.syntax.is_chain && !c.syntax.is_monadic);
         assert_eq!(c.depth_upper, DepthBound::LogSquared);

@@ -1,18 +1,25 @@
 //! Compilation of Datalog facts into provenance circuits: strategy
 //! selection and dispatch over the paper's constructions.
+//!
+//! The session-level entry point is [`crate::Engine`], which owns and
+//! caches the grounding/classification these strategies share. The free
+//! functions [`compile_fact`] and [`compile_graph_fact`] remain as thin
+//! one-shot shims over a throwaway engine.
 
 use circuit::{Circuit, CircuitStats};
 use datalog::{Database, Program};
 use grammar::{Cfg, Dfa};
 use graphgen::{LabeledDigraph, NodeId};
+use provcirc_error::Error;
 
-use crate::classify::{classify_program, Classification};
 use crate::boundedness::Verdict;
+use crate::classify::Classification;
+use crate::engine::Engine;
 
 /// Which construction to use.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Strategy {
-    /// Pick based on [`classify_program`].
+    /// Pick based on [`crate::classify_program`].
     Auto,
     /// Theorem 3.1: layered circuit over the grounding, run to fixpoint.
     GroundedFixpoint,
@@ -43,126 +50,23 @@ pub struct Compiled {
     pub classification: Classification,
 }
 
-/// Compile the provenance circuit of `pred(tuple…)` against a database.
-///
-/// Graph-specific strategies (`MagicFiniteRpq`, `Product*`) are rejected
-/// here; use [`compile_graph_fact`] for chain programs over labeled graphs.
-pub fn compile_fact(
-    program: &Program,
-    db: &Database,
-    pred: &str,
-    tuple: &[&str],
-    strategy: Strategy,
-) -> Result<Compiled, String> {
-    let classification = classify_program(program, 5);
-    let resolved = match strategy {
-        Strategy::Auto => {
-            if matches!(
-                classification.boundedness.verdict,
-                Verdict::Bounded(_) | Verdict::LikelyBounded(_)
-            ) || !classification.syntax.is_recursive
-            {
-                Strategy::BoundedLayered
-            } else if classification.poly_fringe {
-                Strategy::UllmanVanGelder
-            } else {
-                Strategy::GroundedFixpoint
-            }
-        }
-        s => s,
-    };
-    let gp = datalog::ground(program, db)?;
-    let pred_id = program
-        .preds
-        .get(pred)
-        .ok_or_else(|| format!("unknown predicate {pred}"))?;
-    let tuple_ids: Option<Vec<u32>> = tuple.iter().map(|c| db.consts.get(c)).collect();
-    let fact = tuple_ids.and_then(|t| gp.fact(pred_id, &t));
-    let circuit = match fact {
-        None => constant_zero(),
-        Some(fact) => match resolved {
-            Strategy::GroundedFixpoint => {
-                circuit::grounded_circuit(&gp, None).circuit_for(fact)
-            }
-            Strategy::BoundedLayered => {
-                // Provenance probe for the boundedness constant (exact over
-                // the universal absorptive semiring).
-                let probe = datalog::provenance_eval(&gp, datalog::default_budget(&gp));
-                if !probe.converged {
-                    return Err("provenance evaluation did not converge".into());
-                }
-                circuit::grounded_circuit(&gp, Some(probe.iterations)).circuit_for(fact)
-            }
-            Strategy::UllmanVanGelder => circuit::uvg_circuit(&gp, None).circuit_for(fact),
-            other => {
-                return Err(format!(
-                    "strategy {other:?} needs a graph fact; use compile_graph_fact"
-                ))
-            }
-        },
-    };
-    let stats = circuit::stats(&circuit);
-    Ok(Compiled {
-        circuit,
-        strategy: resolved,
-        stats,
-        classification,
-    })
-}
-
-/// Compile `target(v_src, v_dst)` for a basic chain program over a labeled
-/// graph, enabling the graph-specialized constructions.
-pub fn compile_graph_fact(
-    program: &Program,
-    graph: &LabeledDigraph,
-    src: NodeId,
-    dst: NodeId,
-    strategy: Strategy,
-) -> Result<Compiled, String> {
-    let classification = classify_program(program, 5);
-    let resolved = match strategy {
-        Strategy::Auto => resolve_graph_auto(&classification),
-        s => s,
-    };
-    match resolved {
-        Strategy::MagicFiniteRpq => {
-            let out = circuit::finite_rpq_circuit(program, graph, src, dst)?;
-            let stats = circuit::stats(&out.circuit);
-            Ok(Compiled {
-                circuit: out.circuit,
-                strategy: resolved,
-                stats,
-                classification,
-            })
-        }
-        Strategy::ProductBellmanFord | Strategy::ProductSquaring => {
-            let dfa = chain_program_dfa(program, graph)?;
-            let strat = if resolved == Strategy::ProductBellmanFord {
-                circuit::TcStrategy::BellmanFord
-            } else {
-                circuit::TcStrategy::RepeatedSquaring
-            };
-            let circuit = circuit::rpq_circuit(graph, &dfa, src, dst, strat);
-            let stats = circuit::stats(&circuit);
-            Ok(Compiled {
-                circuit,
-                strategy: resolved,
-                stats,
-                classification,
-            })
-        }
-        other => {
-            // Grounding-based strategies reuse compile_fact.
-            let mut p = program.clone();
-            let (db, _) = Database::from_graph(&mut p, graph);
-            let target = p.preds.name(p.target).to_owned();
-            let (s, d) = (format!("v{src}"), format!("v{dst}"));
-            compile_fact(&p, &db, &target, &[&s, &d], other)
-        }
+/// Resolve `Auto` for a database-backed session (no graph strategies).
+pub(crate) fn resolve_db_auto(c: &Classification) -> Strategy {
+    if matches!(
+        c.boundedness.verdict,
+        Verdict::Bounded(_) | Verdict::LikelyBounded(_)
+    ) || !c.syntax.is_recursive
+    {
+        Strategy::BoundedLayered
+    } else if c.poly_fringe {
+        Strategy::UllmanVanGelder
+    } else {
+        Strategy::GroundedFixpoint
     }
 }
 
-fn resolve_graph_auto(c: &Classification) -> Strategy {
+/// Resolve `Auto` for a graph-backed session.
+pub(crate) fn resolve_graph_auto(c: &Classification) -> Strategy {
     if let Some(g) = &c.grammar {
         if g.regular {
             return if g.language == grammar::LanguageSize::Infinite {
@@ -172,24 +76,57 @@ fn resolve_graph_auto(c: &Classification) -> Strategy {
             };
         }
     }
-    if matches!(
-        c.boundedness.verdict,
-        Verdict::Bounded(_) | Verdict::LikelyBounded(_)
-    ) {
-        Strategy::BoundedLayered
-    } else if c.poly_fringe {
-        Strategy::UllmanVanGelder
-    } else {
-        Strategy::GroundedFixpoint
-    }
+    resolve_db_auto(c)
+}
+
+/// Compile the provenance circuit of `pred(tuple…)` against a database.
+///
+/// One-shot shim over [`Engine`]: sessions with more than one query should
+/// build the engine directly to reuse the grounding and classification.
+/// Graph-specific strategies (`MagicFiniteRpq`, `Product*`) are rejected
+/// here; use [`compile_graph_fact`] for chain programs over labeled graphs.
+pub fn compile_fact(
+    program: &Program,
+    db: &Database,
+    pred: &str,
+    tuple: &[&str],
+    strategy: Strategy,
+) -> Result<Compiled, Error> {
+    let engine = Engine::builder()
+        .program(program.clone())
+        .database(db.clone())
+        .build()?;
+    let compiled = engine.query(pred, tuple)?.circuit(strategy)?;
+    drop(engine);
+    Ok(std::rc::Rc::try_unwrap(compiled).unwrap_or_else(|rc| (*rc).clone()))
+}
+
+/// Compile `target(v_src, v_dst)` for a basic chain program over a labeled
+/// graph, enabling the graph-specialized constructions.
+///
+/// One-shot shim over [`Engine`] (see [`compile_fact`]).
+pub fn compile_graph_fact(
+    program: &Program,
+    graph: &LabeledDigraph,
+    src: NodeId,
+    dst: NodeId,
+    strategy: Strategy,
+) -> Result<Compiled, Error> {
+    let engine = Engine::builder()
+        .program(program.clone())
+        .graph(graph)
+        .build()?;
+    let compiled = engine.node_query(src, dst)?.circuit(strategy)?;
+    drop(engine);
+    Ok(std::rc::Rc::try_unwrap(compiled).unwrap_or_else(|rc| (*rc).clone()))
 }
 
 /// The minimal DFA of a left-linear chain program, translated onto the
 /// graph's alphabet ids.
-pub fn chain_program_dfa(program: &Program, graph: &LabeledDigraph) -> Result<Dfa, String> {
+pub fn chain_program_dfa(program: &Program, graph: &LabeledDigraph) -> Result<Dfa, Error> {
     let cfg: Cfg = datalog::chain_to_cfg(program)?;
     let dfa = grammar::left_linear_dfa(&cfg)
-        .ok_or("program is not left-linear; no RPQ automaton")?;
+        .ok_or_else(|| Error::unsupported("program is not left-linear; no RPQ automaton"))?;
     // Translate terminal ids: cfg alphabet → graph alphabet (by name).
     let transitions: Vec<(usize, grammar::Terminal, usize)> = dfa
         .transitions()
@@ -209,18 +146,12 @@ pub fn chain_program_dfa(program: &Program, graph: &LabeledDigraph) -> Result<Df
     ))
 }
 
-fn constant_zero() -> Circuit {
-    let mut b = circuit::CircuitBuilder::new();
-    let z = b.zero();
-    b.finish(z)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use datalog::programs;
     use graphgen::generators;
-    use semiring::Tropical;
+    use semiring::{Tropical, UnitWeights};
 
     #[test]
     fn auto_picks_squaring_for_tc() {
@@ -282,7 +213,10 @@ mod tests {
         assert_eq!(poly.len(), 1);
         assert_eq!(poly.degree(), 4);
         // Tropical check: weight = sum of 4 unit weights.
-        assert_eq!(c.circuit.eval(&|_| Tropical::new(1)), Tropical::new(4));
+        assert_eq!(
+            c.circuit.eval(&UnitWeights::new(Tropical::new(1))),
+            Tropical::new(4)
+        );
     }
 
     #[test]
@@ -292,7 +226,8 @@ mod tests {
         let (db, _) = Database::from_graph(&mut p, &g);
         for strat in [Strategy::MagicFiniteRpq, Strategy::ProductSquaring] {
             let err = compile_fact(&p, &db, "T", &["v0", "v2"], strat).unwrap_err();
-            assert!(err.contains("compile_graph_fact"), "{err}");
+            assert!(matches!(err, Error::Unsupported(_)), "{err}");
+            assert!(err.to_string().contains("graph"), "{err}");
         }
     }
 
@@ -308,10 +243,12 @@ mod tests {
         let mut p = programs::transitive_closure();
         let g = generators::path(2, "E");
         let (db, _) = Database::from_graph(&mut p, &g);
-        assert!(compile_fact(&p, &db, "Nope", &["v0", "v1"], Strategy::Auto).is_err());
+        assert!(matches!(
+            compile_fact(&p, &db, "Nope", &["v0", "v1"], Strategy::Auto).unwrap_err(),
+            Error::UnknownPredicate(_)
+        ));
         // Unknown constant: not an error, just the 0 circuit.
-        let c = compile_fact(&p, &db, "T", &["v0", "nosuch"], Strategy::GroundedFixpoint)
-            .unwrap();
+        let c = compile_fact(&p, &db, "T", &["v0", "nosuch"], Strategy::GroundedFixpoint).unwrap();
         assert!(c.circuit.polynomial().is_empty());
     }
 
@@ -338,9 +275,7 @@ mod tests {
         // Oracle agreement.
         let gp = datalog::ground(&p, &db).unwrap();
         let t = p.preds.get("T").unwrap();
-        let f = gp
-            .fact(t, &[v0, db.node_const(3).unwrap()])
-            .unwrap();
+        let f = gp.fact(t, &[v0, db.node_const(3).unwrap()]).unwrap();
         let expect = datalog::provenance_polynomial(&gp, f, 100_000).unwrap();
         assert_eq!(c.circuit.polynomial(), expect);
     }

@@ -1,0 +1,938 @@
+//! The `Engine` session facade: one entry point from Datalog text to
+//! semiring answers.
+//!
+//! The paper's pipeline — parse, ground (§2.1), classify (§4–§6), compile a
+//! provenance circuit (§3, §5, §6), evaluate over a semiring (§2.3–§2.4) —
+//! used to be a scatter of free functions across five crates. An [`Engine`]
+//! owns one program/database pair and **lazily caches** every stage, so a
+//! session that asks many questions about the same instance grounds and
+//! classifies exactly once:
+//!
+//! ```
+//! use provcirc::{Engine, Strategy};
+//! use semiring::{Bool, Semiring, Tropical, UnitWeights, AllOnes};
+//!
+//! let engine = Engine::builder()
+//!     .program_text("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).")
+//!     .graph(&graphgen::generators::path(4, "E"))
+//!     .build()
+//!     .unwrap();
+//!
+//! // One grounding serves evaluation, provenance, and compilation.
+//! let q = engine.query("T", &["v0", "v4"]).unwrap();
+//! assert_eq!(q.eval::<Bool, _>(&AllOnes).unwrap(), Bool(true));
+//! assert_eq!(
+//!     q.eval(&UnitWeights::new(Tropical::new(1))).unwrap(),
+//!     Tropical::new(4)
+//! );
+//! let compiled = q.circuit(Strategy::Auto).unwrap();
+//! assert_eq!(
+//!     compiled.circuit.eval(&UnitWeights::new(Tropical::new(1))),
+//!     Tropical::new(4)
+//! );
+//! assert_eq!(engine.cache_stats().groundings, 1);
+//! ```
+
+use std::cell::{Cell, OnceCell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use circuit::Circuit;
+use datalog::{
+    default_budget, ground_with_limit, naive_eval, parse_program, ConstId, Database, EvalOutcome,
+    GroundedProgram, PredId, Program,
+};
+use graphgen::{LabeledDigraph, NodeId};
+use provcirc_error::Error;
+use semiring::valuation::{Valuation, VarTags};
+use semiring::{Semiring, Sorp};
+
+use crate::classify::{classify_program, Classification};
+use crate::compile::{self, Compiled, Strategy};
+
+/// Counters describing how much work an [`Engine`] actually performed —
+/// repeated queries against the same session must not redo shared stages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineCacheStats {
+    /// Times the grounded program was computed (at most 1 per session).
+    pub groundings: usize,
+    /// Times the program was classified (at most 1 per session).
+    pub classifications: usize,
+    /// Times the provenance fixpoint (over [`Sorp`]) was run (at most 1).
+    pub provenance_runs: usize,
+    /// Circuits actually constructed.
+    pub circuits_built: usize,
+    /// Circuit requests served from the per-fact cache.
+    pub circuit_cache_hits: usize,
+}
+
+/// Cache key of a compiled circuit: the queried fact plus the resolved
+/// strategy.
+type CircuitKey = (PredId, Vec<ConstId>, Strategy);
+
+/// Builder for an [`Engine`] session.
+///
+/// Provide a program (text or AST) and an instance (a [`Database`], a
+/// labeled graph, or nothing for an empty database), then [`build`].
+///
+/// [`build`]: EngineBuilder::build
+#[derive(Clone, Debug)]
+pub struct EngineBuilder {
+    text: Option<String>,
+    program: Option<Program>,
+    database: Option<Database>,
+    graph: Option<LabeledDigraph>,
+    seed_facts: Vec<(String, Vec<String>)>,
+    horizon: usize,
+    max_ground_rules: Option<usize>,
+    eval_budget: Option<usize>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineBuilder {
+    /// A fresh builder (classification horizon 5, unlimited grounding).
+    pub fn new() -> Self {
+        EngineBuilder {
+            text: None,
+            program: None,
+            database: None,
+            graph: None,
+            seed_facts: Vec::new(),
+            horizon: 5,
+            max_ground_rules: None,
+            eval_budget: None,
+        }
+    }
+
+    /// Use a program given as Datalog text (parsed at [`build`] time).
+    ///
+    /// [`build`]: EngineBuilder::build
+    pub fn program_text(mut self, text: &str) -> Self {
+        self.text = Some(text.to_owned());
+        self
+    }
+
+    /// Use an already-parsed program.
+    pub fn program(mut self, program: Program) -> Self {
+        self.program = Some(program);
+        self
+    }
+
+    /// Run against an explicit EDB database.
+    pub fn database(mut self, db: Database) -> Self {
+        self.database = Some(db);
+        self
+    }
+
+    /// Run against a labeled graph: every label becomes a binary EDB
+    /// predicate, every node a constant `v{i}` (see `Database::from_graph`).
+    /// Enables the graph-specialized strategies (`MagicFiniteRpq`,
+    /// `ProductBellmanFord`, `ProductSquaring`).
+    pub fn graph(mut self, graph: &LabeledDigraph) -> Self {
+        self.graph = Some(graph.clone());
+        self
+    }
+
+    /// Insert one extra EDB fact after the instance is set up — the typical
+    /// use is seeding unary predicates (`A(v0)`) that graph import cannot
+    /// produce.
+    ///
+    /// The predicate must exist in the program with matching arity
+    /// ([`build`] errors otherwise). Constants are interned on the fly: a
+    /// name that matches nothing in the instance *extends* the active
+    /// domain rather than erroring, so double-check node names (`v3`, not
+    /// `v03`) on graph sessions.
+    ///
+    /// [`build`]: EngineBuilder::build
+    pub fn fact(mut self, pred: &str, tuple: &[&str]) -> Self {
+        self.seed_facts.push((
+            pred.to_owned(),
+            tuple.iter().map(|s| (*s).to_owned()).collect(),
+        ));
+        self
+    }
+
+    /// Expansion horizon for the boundedness evidence inside
+    /// classification (default 5).
+    pub fn horizon(mut self, horizon: usize) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Cap the number of grounded rules (default: unlimited).
+    pub fn max_grounded_rules(mut self, max_rules: usize) -> Self {
+        self.max_ground_rules = Some(max_rules);
+        self
+    }
+
+    /// Iteration budget for fixpoint evaluation (default:
+    /// `datalog::default_budget`, i.e. #IDB facts + 2).
+    pub fn eval_budget(mut self, budget: usize) -> Self {
+        self.eval_budget = Some(budget);
+        self
+    }
+
+    /// Assemble the session.
+    ///
+    /// Errors if no program was provided, the program text fails to parse,
+    /// the program fails validation, or both a database and a graph were
+    /// given.
+    pub fn build(self) -> Result<Engine, Error> {
+        let mut program = match (self.program, self.text) {
+            (Some(p), None) => p,
+            (None, Some(text)) => parse_program(&text)?,
+            (Some(_), Some(_)) => {
+                return Err(Error::InvalidProgram(
+                    "provide either program text or a parsed program, not both".into(),
+                ))
+            }
+            (None, None) => {
+                return Err(Error::InvalidProgram(
+                    "EngineBuilder needs a program (program_text or program)".into(),
+                ))
+            }
+        };
+        program.validate()?;
+
+        let (mut db, edge_facts, graph) = match (self.database, self.graph) {
+            (Some(_), Some(_)) => {
+                return Err(Error::unsupported(
+                    "provide either a database or a graph, not both",
+                ))
+            }
+            (Some(db), None) => (db, Vec::new(), None),
+            (None, Some(g)) => {
+                let (db, edge_facts) = Database::from_graph(&mut program, &g);
+                (db, edge_facts, Some(g))
+            }
+            (None, None) => (Database::new(), Vec::new(), None),
+        };
+
+        for (pred, tuple) in self.seed_facts {
+            let pred_id = program
+                .preds
+                .get(&pred)
+                .ok_or_else(|| Error::UnknownPredicate(pred.clone()))?;
+            if let Some(arity) = program.arity(pred_id) {
+                if arity != tuple.len() {
+                    return Err(Error::BadQuery(format!(
+                        "seed fact {pred} has arity {arity}, got {} arguments",
+                        tuple.len()
+                    )));
+                }
+            }
+            let tuple: Vec<ConstId> = tuple.iter().map(|c| db.constant(c)).collect();
+            db.insert(pred_id, tuple);
+        }
+
+        let node_of_const = graph
+            .as_ref()
+            .map(|g| {
+                (0..g.num_nodes())
+                    .filter_map(|i| db.consts.get(&format!("v{i}")).map(|c| (c, i as NodeId)))
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        Ok(Engine {
+            program,
+            db,
+            graph,
+            edge_facts,
+            node_of_const,
+            horizon: self.horizon,
+            max_ground_rules: self.max_ground_rules.unwrap_or(usize::MAX),
+            eval_budget: self.eval_budget,
+            grounding: OnceCell::new(),
+            classification: OnceCell::new(),
+            provenance: OnceCell::new(),
+            circuits: RefCell::new(HashMap::new()),
+            multi_outputs: RefCell::new(HashMap::new()),
+            groundings: Cell::new(0),
+            classifications: Cell::new(0),
+            provenance_runs: Cell::new(0),
+            circuits_built: Cell::new(0),
+            circuit_cache_hits: Cell::new(0),
+        })
+    }
+}
+
+/// A stateful session owning a program, its database, and every derived
+/// artifact: the grounding, the classification, the provenance fixpoint,
+/// and per-fact compiled circuits. All of them are computed on first use
+/// and reused afterwards.
+///
+/// Not `Sync`: a session is a single-threaded object (interior mutability
+/// backs the caches). Clone the underlying program/database to fan out.
+#[derive(Debug)]
+pub struct Engine {
+    program: Program,
+    db: Database,
+    graph: Option<LabeledDigraph>,
+    edge_facts: Vec<datalog::FactId>,
+    node_of_const: HashMap<ConstId, NodeId>,
+    horizon: usize,
+    max_ground_rules: usize,
+    eval_budget: Option<usize>,
+    grounding: OnceCell<Result<GroundedProgram, Error>>,
+    classification: OnceCell<Classification>,
+    provenance: OnceCell<Result<EvalOutcome<Sorp>, Error>>,
+    circuits: RefCell<HashMap<CircuitKey, Rc<Compiled>>>,
+    multi_outputs: RefCell<HashMap<Strategy, Rc<circuit::MultiOutput>>>,
+    groundings: Cell<usize>,
+    classifications: Cell<usize>,
+    provenance_runs: Cell<usize>,
+    circuits_built: Cell<usize>,
+    circuit_cache_hits: Cell<usize>,
+}
+
+impl Engine {
+    /// Start building a session.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The session's (validated) program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The session's database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The labeled graph the database was imported from, when built with
+    /// [`EngineBuilder::graph`].
+    pub fn graph(&self) -> Option<&LabeledDigraph> {
+        self.graph.as_ref()
+    }
+
+    /// Fact ids of the imported graph edges, aligned with the graph's edge
+    /// list (empty unless built from a graph) — pair with
+    /// `semiring::FromEdgeWeights` for weighted workloads.
+    pub fn edge_facts(&self) -> &[datalog::FactId] {
+        &self.edge_facts
+    }
+
+    /// How much work the session has actually performed.
+    pub fn cache_stats(&self) -> EngineCacheStats {
+        EngineCacheStats {
+            groundings: self.groundings.get(),
+            classifications: self.classifications.get(),
+            provenance_runs: self.provenance_runs.get(),
+            circuits_built: self.circuits_built.get(),
+            circuit_cache_hits: self.circuit_cache_hits.get(),
+        }
+    }
+
+    /// The grounded program — computed once, then cached. Failures
+    /// (e.g. [`Error::GroundingLimit`]) are cached too and replayed on
+    /// later calls instead of re-grounding.
+    pub fn grounding(&self) -> Result<&GroundedProgram, Error> {
+        self.grounding
+            .get_or_init(|| {
+                self.groundings.set(self.groundings.get() + 1);
+                ground_with_limit(&self.program, &self.db, self.max_ground_rules)
+            })
+            .as_ref()
+            .map_err(Error::clone)
+    }
+
+    /// The paper-level classification (computed once, then cached).
+    pub fn classification(&self) -> &Classification {
+        self.classification.get_or_init(|| {
+            self.classifications.set(self.classifications.get() + 1);
+            classify_program(&self.program, self.horizon)
+        })
+    }
+
+    /// The iteration budget used for fixpoint evaluation.
+    pub fn budget(&self) -> Result<usize, Error> {
+        let gp = self.grounding()?;
+        Ok(self.eval_budget.unwrap_or_else(|| default_budget(gp)))
+    }
+
+    /// Run the naive fixpoint over any semiring under a valuation. The raw
+    /// [`EvalOutcome`] exposes iterations-to-fixpoint (the §4 boundedness
+    /// probe); non-convergence is reported in the outcome, not as an error.
+    pub fn fixpoint<S, V>(&self, valuation: &V) -> Result<EvalOutcome<S>, Error>
+    where
+        S: Semiring,
+        V: Valuation<S> + ?Sized,
+    {
+        let budget = self.budget()?;
+        Ok(naive_eval(self.grounding()?, valuation, budget))
+    }
+
+    /// The provenance fixpoint over [`Sorp`] (every fact tagged by its own
+    /// variable) — computed once, then cached. Backing store of
+    /// [`Query::provenance`] and of the `BoundedLayered` probe.
+    /// A [`Error::Diverged`] outcome is cached as well, so a divergent
+    /// session fails fast instead of re-running the fixpoint.
+    pub fn provenance_outcome(&self) -> Result<&EvalOutcome<Sorp>, Error> {
+        self.provenance
+            .get_or_init(|| {
+                let budget = self.budget()?;
+                let out = naive_eval(self.grounding()?, &VarTags, budget);
+                self.provenance_runs.set(self.provenance_runs.get() + 1);
+                if !out.converged {
+                    return Err(Error::Diverged { iterations: budget });
+                }
+                Ok(out)
+            })
+            .as_ref()
+            .map_err(Error::clone)
+    }
+
+    /// A query handle for the fact `pred(tuple…)`.
+    ///
+    /// Errors on unknown predicates and arity mismatches. Constants outside
+    /// the active domain are *not* errors: the fact is simply underivable
+    /// and evaluates to `0` (matching the paper's semantics).
+    pub fn query<'e>(&'e self, pred: &str, tuple: &[&str]) -> Result<Query<'e>, Error> {
+        let pred_id = self
+            .program
+            .preds
+            .get(pred)
+            .ok_or_else(|| Error::UnknownPredicate(pred.to_owned()))?;
+        if let Some(arity) = self.program.arity(pred_id) {
+            if arity != tuple.len() {
+                return Err(Error::BadQuery(format!(
+                    "{pred} has arity {arity}, got {} arguments",
+                    tuple.len()
+                )));
+            }
+        }
+        let consts: Option<Vec<ConstId>> = tuple.iter().map(|c| self.db.consts.get(c)).collect();
+        Ok(Query {
+            engine: self,
+            pred: pred_id,
+            consts,
+        })
+    }
+
+    /// Graph-session shorthand: the target fact `target(v{src}, v{dst})`.
+    pub fn node_query(&self, src: NodeId, dst: NodeId) -> Result<Query<'_>, Error> {
+        if self.graph.is_none() {
+            return Err(Error::unsupported(
+                "node_query needs a session built from a graph",
+            ));
+        }
+        let target = self.program.preds.name(self.program.target).to_owned();
+        let (s, d) = (format!("v{src}"), format!("v{dst}"));
+        self.query(&target, &[&s, &d])
+    }
+
+    /// Resolve `Auto` against the cached classification. The graph
+    /// strategies only apply to the binary target fact over graph nodes;
+    /// every other query falls back to the database strategies.
+    fn resolve(&self, query: &Query<'_>, strategy: Strategy) -> Strategy {
+        match strategy {
+            Strategy::Auto => {
+                let graph_target = self.graph.is_some()
+                    && query.pred == self.program.target
+                    && query.consts.as_ref().is_none_or(|c| {
+                        c.len() == 2 && c.iter().all(|c| self.node_of_const.contains_key(c))
+                    });
+                if graph_target {
+                    compile::resolve_graph_auto(self.classification())
+                } else {
+                    compile::resolve_db_auto(self.classification())
+                }
+            }
+            s => s,
+        }
+    }
+
+    /// Compile (or fetch from cache) the circuit of a query.
+    fn compile(&self, query: &Query<'_>, strategy: Strategy) -> Result<Rc<Compiled>, Error> {
+        let resolved = self.resolve(query, strategy);
+
+        let Some(consts) = query.consts.clone() else {
+            // Constants outside the domain: the constant-0 circuit. Not a
+            // real compilation — the work counters are left untouched.
+            return Ok(Rc::new(self.assemble(constant_zero(), resolved)));
+        };
+
+        let key = (query.pred, consts, resolved);
+        if let Some(hit) = self.circuits.borrow().get(&key) {
+            self.circuit_cache_hits
+                .set(self.circuit_cache_hits.get() + 1);
+            return Ok(Rc::clone(hit));
+        }
+
+        let circuit = match resolved {
+            Strategy::Auto => unreachable!("resolved above"),
+            Strategy::MagicFiniteRpq | Strategy::ProductBellmanFord | Strategy::ProductSquaring => {
+                let graph = self.graph.as_ref().ok_or_else(|| {
+                    Error::unsupported(format!(
+                        "strategy {resolved:?} needs a graph fact; build the engine from a \
+                         graph or use compile_graph_fact"
+                    ))
+                })?;
+                let (src, dst) = self.node_pair(query, &key.1)?;
+                if resolved == Strategy::MagicFiniteRpq {
+                    circuit::finite_rpq_circuit(&self.program, graph, src, dst)?.circuit
+                } else {
+                    let dfa = compile::chain_program_dfa(&self.program, graph)?;
+                    let tc = if resolved == Strategy::ProductBellmanFord {
+                        circuit::TcStrategy::BellmanFord
+                    } else {
+                        circuit::TcStrategy::RepeatedSquaring
+                    };
+                    circuit::rpq_circuit(graph, &dfa, src, dst, tc)
+                }
+            }
+            Strategy::GroundedFixpoint | Strategy::BoundedLayered | Strategy::UllmanVanGelder => {
+                match query.fact()? {
+                    None => constant_zero(),
+                    Some(fact) => self.multi_output(resolved)?.circuit_for(fact),
+                }
+            }
+        };
+
+        let compiled = Rc::new(self.finish_compiled(circuit, resolved));
+        self.circuits.borrow_mut().insert(key, Rc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// The shared all-facts circuit of a grounded-family strategy —
+    /// constructed once per strategy and cached, so compiling k distinct
+    /// facts builds the arena once and extracts k cones instead of
+    /// rebuilding it k times.
+    fn multi_output(&self, resolved: Strategy) -> Result<Rc<circuit::MultiOutput>, Error> {
+        if let Some(mo) = self.multi_outputs.borrow().get(&resolved) {
+            return Ok(Rc::clone(mo));
+        }
+        let mo = Rc::new(match resolved {
+            Strategy::GroundedFixpoint => circuit::grounded_circuit(self.grounding()?, None),
+            Strategy::BoundedLayered => {
+                // Provenance probe for the boundedness constant (exact over
+                // the universal absorptive semiring) — cached.
+                let layers = self.provenance_outcome()?.iterations;
+                circuit::grounded_circuit(self.grounding()?, Some(layers))
+            }
+            Strategy::UllmanVanGelder => circuit::uvg_circuit(self.grounding()?, None),
+            other => unreachable!("{other:?} is not a grounded-family strategy"),
+        });
+        self.multi_outputs
+            .borrow_mut()
+            .insert(resolved, Rc::clone(&mo));
+        Ok(mo)
+    }
+
+    fn finish_compiled(&self, circuit: Circuit, resolved: Strategy) -> Compiled {
+        self.circuits_built.set(self.circuits_built.get() + 1);
+        self.assemble(circuit, resolved)
+    }
+
+    fn assemble(&self, circuit: Circuit, resolved: Strategy) -> Compiled {
+        let stats = circuit::stats(&circuit);
+        Compiled {
+            circuit,
+            strategy: resolved,
+            stats,
+            classification: self.classification().clone(),
+        }
+    }
+
+    /// Map a binary target tuple back onto graph node ids.
+    fn node_pair(&self, query: &Query<'_>, consts: &[ConstId]) -> Result<(NodeId, NodeId), Error> {
+        if query.pred != self.program.target || consts.len() != 2 {
+            return Err(Error::unsupported(
+                "graph strategies compile binary target facts over graph nodes",
+            ));
+        }
+        let node = |c: ConstId| {
+            self.node_of_const
+                .get(&c)
+                .copied()
+                .ok_or_else(|| Error::BadQuery("constant does not name a graph node".into()))
+        };
+        Ok((node(consts[0])?, node(consts[1])?))
+    }
+}
+
+/// A handle on one queried fact; created by [`Engine::query`].
+///
+/// Construction is cheap: the grounding is only materialized by the
+/// methods that need it ([`eval`], [`provenance`], [`fact_index`], and the
+/// grounded-family strategies of [`circuit`]) — the graph product
+/// strategies compile without ever grounding.
+///
+/// [`eval`]: Query::eval
+/// [`provenance`]: Query::provenance
+/// [`fact_index`]: Query::fact_index
+/// [`circuit`]: Query::circuit
+#[derive(Clone, Debug)]
+pub struct Query<'e> {
+    engine: &'e Engine,
+    pred: PredId,
+    /// Resolved constants; `None` if some constant is outside the domain.
+    consts: Option<Vec<ConstId>>,
+}
+
+impl Query<'_> {
+    /// The queried predicate.
+    pub fn pred(&self) -> PredId {
+        self.pred
+    }
+
+    /// The fact's index in the session grounding (forcing the grounding),
+    /// or `None` when the fact is not derivable.
+    fn fact(&self) -> Result<Option<usize>, Error> {
+        match &self.consts {
+            Some(t) => Ok(self.engine.grounding()?.fact(self.pred, t)),
+            None => Ok(None),
+        }
+    }
+
+    /// Index of the fact in the grounded program, when derivable.
+    /// Forces the (cached) grounding.
+    pub fn fact_index(&self) -> Result<Option<usize>, Error> {
+        self.fact()
+    }
+
+    /// Whether the fact is derivable at all. Forces the (cached) grounding.
+    pub fn is_derivable(&self) -> Result<bool, Error> {
+        Ok(self.fact()?.is_some())
+    }
+
+    /// Evaluate the fact over any semiring under a valuation, by the cached
+    /// grounding's naive fixpoint. Underivable facts evaluate to `0`.
+    ///
+    /// Each call runs one fixpoint over the (cached) grounding. To evaluate
+    /// *many* facts under the same valuation, run [`Engine::fixpoint`] once
+    /// and index its `values` by [`Query::fact_index`] instead.
+    ///
+    /// Errors with [`Error::Diverged`] when the semiring/valuation pair
+    /// does not reach a fixpoint within the session budget (e.g. the
+    /// counting semiring on a cyclic instance).
+    pub fn eval<S, V>(&self, valuation: &V) -> Result<S, Error>
+    where
+        S: Semiring,
+        V: Valuation<S> + ?Sized,
+    {
+        let Some(fact) = self.fact()? else {
+            return Ok(S::zero());
+        };
+        let budget = self.engine.budget()?;
+        let out = naive_eval(self.engine.grounding()?, valuation, budget);
+        if !out.converged {
+            return Err(Error::Diverged { iterations: budget });
+        }
+        Ok(out.values[fact].clone())
+    }
+
+    /// The fact's provenance polynomial (paper §2.4), from the cached
+    /// [`Sorp`] fixpoint. Underivable facts yield the zero polynomial.
+    pub fn provenance(&self) -> Result<Sorp, Error> {
+        match self.fact()? {
+            None => Ok(Sorp::zero()),
+            Some(fact) => Ok(self.engine.provenance_outcome()?.values[fact].clone()),
+        }
+    }
+
+    /// Compile the fact's provenance circuit with the given strategy
+    /// (`Strategy::Auto` dispatches on the cached classification). Results
+    /// are cached per `(fact, resolved strategy)` and shared: a cache hit
+    /// is an `Rc` bump, not a copy of the gate arena.
+    pub fn circuit(&self, strategy: Strategy) -> Result<Rc<Compiled>, Error> {
+        self.engine.compile(self, strategy)
+    }
+}
+
+fn constant_zero() -> Circuit {
+    let mut b = circuit::CircuitBuilder::new();
+    let z = b.zero();
+    b.finish(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog::programs;
+    use graphgen::generators;
+    use semiring::prelude::*;
+
+    fn figure1() -> LabeledDigraph {
+        // s=0, u1=1, u2=2, v1=3, v2=4, t=5 (paper Figure 1).
+        let mut g = LabeledDigraph::new(6);
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (3, 5), (4, 5)] {
+            g.add_edge(u, v, "E");
+        }
+        g
+    }
+
+    #[test]
+    fn grounding_and_classification_are_computed_once() {
+        let engine = Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&figure1())
+            .build()
+            .unwrap();
+        for _ in 0..3 {
+            let q = engine.query("T", &["v0", "v5"]).unwrap();
+            assert!(q.is_derivable().unwrap());
+            q.eval::<Bool, _>(&AllOnes).unwrap();
+            q.circuit(Strategy::Auto).unwrap();
+            q.provenance().unwrap();
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.groundings, 1, "{stats:?}");
+        assert_eq!(stats.classifications, 1, "{stats:?}");
+        assert_eq!(stats.provenance_runs, 1, "{stats:?}");
+        assert_eq!(stats.circuits_built, 1, "{stats:?}");
+        assert_eq!(stats.circuit_cache_hits, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn text_to_answer_without_touching_internals() {
+        let engine = Engine::builder()
+            .program_text("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).")
+            .graph(&generators::path(4, "E"))
+            .build()
+            .unwrap();
+        let q = engine.node_query(0, 4).unwrap();
+        assert_eq!(
+            q.eval(&UnitWeights::new(Tropical::new(1))).unwrap(),
+            Tropical::new(4)
+        );
+        assert_eq!(q.provenance().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn product_strategies_never_ground() {
+        // The graph constructions (Thms 5.6–5.8) work on the graph itself;
+        // querying and compiling through them must not pay the O(n²·m)
+        // grounding the grounded-family strategies need.
+        let engine = Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::gnm(8, 20, &["E"], 1))
+            .build()
+            .unwrap();
+        let q = engine.node_query(0, 5).unwrap();
+        q.circuit(Strategy::ProductSquaring).unwrap();
+        q.circuit(Strategy::ProductBellmanFord).unwrap();
+        assert_eq!(engine.cache_stats().groundings, 0);
+    }
+
+    #[test]
+    fn cached_failures_replay_without_recomputation() {
+        let engine = Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::complete(6, "E"))
+            .max_grounded_rules(10)
+            .build()
+            .unwrap();
+        for _ in 0..3 {
+            assert!(matches!(
+                engine.grounding().unwrap_err(),
+                Error::GroundingLimit { max_rules: 10 }
+            ));
+        }
+        // The failed grounding ran once, not three times.
+        assert_eq!(engine.cache_stats().groundings, 1);
+    }
+
+    #[test]
+    fn bad_seed_facts_are_rejected_at_build() {
+        let typo = Engine::builder()
+            .program(programs::monadic_reachability())
+            .graph(&generators::path(3, "E"))
+            .fact("a", &["v3"])
+            .build();
+        assert!(matches!(typo.unwrap_err(), Error::UnknownPredicate(_)));
+        let arity = Engine::builder()
+            .program(programs::monadic_reachability())
+            .graph(&generators::path(3, "E"))
+            .fact("A", &["v3", "v2"])
+            .build();
+        assert!(matches!(arity.unwrap_err(), Error::BadQuery(_)));
+    }
+
+    #[test]
+    fn seeded_facts_reach_the_grounding() {
+        let engine = Engine::builder()
+            .program(programs::monadic_reachability())
+            .graph(&generators::path(3, "E"))
+            .fact("A", &["v3"])
+            .build()
+            .unwrap();
+        let q = engine.query("U", &["v0"]).unwrap();
+        assert!(q.is_derivable().unwrap());
+        assert_eq!(q.eval::<Bool, _>(&AllOnes).unwrap(), Bool(true));
+    }
+
+    #[test]
+    fn unknown_constants_are_zero_not_errors() {
+        let engine = Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::path(2, "E"))
+            .build()
+            .unwrap();
+        let q = engine.query("T", &["v0", "nosuch"]).unwrap();
+        assert!(!q.is_derivable().unwrap());
+        assert_eq!(q.eval::<Bool, _>(&AllOnes).unwrap(), Bool(false));
+        assert!(q
+            .circuit(Strategy::GroundedFixpoint)
+            .unwrap()
+            .circuit
+            .polynomial()
+            .is_empty());
+        assert!(q.provenance().unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_queries_are_typed_errors() {
+        let engine = Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::path(2, "E"))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            engine.query("Nope", &["v0", "v1"]).unwrap_err(),
+            Error::UnknownPredicate(_)
+        ));
+        assert!(matches!(
+            engine.query("T", &["v0"]).unwrap_err(),
+            Error::BadQuery(_)
+        ));
+    }
+
+    #[test]
+    fn divergence_is_reported() {
+        let engine = Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::cycle(3, "E"))
+            .build()
+            .unwrap();
+        let q = engine.query("T", &["v0", "v1"]).unwrap();
+        assert!(matches!(
+            q.eval(&UnitWeights::new(Counting::new(1))).unwrap_err(),
+            Error::Diverged { .. }
+        ));
+        // The same engine still answers convergent questions.
+        assert_eq!(q.eval::<Bool, _>(&AllOnes).unwrap(), Bool(true));
+    }
+
+    #[test]
+    fn strategies_agree_through_the_facade() {
+        let engine = Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::gnm(6, 13, &["E"], 2))
+            .build()
+            .unwrap();
+        let q = engine.node_query(0, 5).unwrap();
+        let reference = q
+            .circuit(Strategy::GroundedFixpoint)
+            .unwrap()
+            .circuit
+            .polynomial();
+        for strat in [
+            Strategy::ProductBellmanFord,
+            Strategy::ProductSquaring,
+            Strategy::UllmanVanGelder,
+            Strategy::Auto,
+        ] {
+            let c = q.circuit(strat).unwrap();
+            assert_eq!(c.circuit.polynomial(), reference, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn auto_on_non_target_queries_falls_back_to_db_strategies() {
+        // A chain program with helper IDBs: Auto on the graph target uses a
+        // graph construction, Auto on a helper predicate must not try one.
+        let engine = Engine::builder()
+            .program_text(
+                "P3(X,Y) :- P2(X,Z), E(Z,Y).\n\
+                 P2(X,Y) :- P1(X,Z), E(Z,Y).\n\
+                 P1(X,Y) :- E(X,Y).\n\
+                 @target P3",
+            )
+            .graph(&generators::path(3, "E"))
+            .build()
+            .unwrap();
+        let target = engine
+            .node_query(0, 3)
+            .unwrap()
+            .circuit(Strategy::Auto)
+            .unwrap();
+        assert_eq!(target.strategy, Strategy::MagicFiniteRpq);
+        let helper = engine
+            .query("P1", &["v0", "v1"])
+            .unwrap()
+            .circuit(Strategy::Auto)
+            .unwrap();
+        assert!(
+            !matches!(
+                helper.strategy,
+                Strategy::MagicFiniteRpq | Strategy::ProductBellmanFord | Strategy::ProductSquaring
+            ),
+            "{:?}",
+            helper.strategy
+        );
+        assert_eq!(helper.circuit.polynomial().len(), 1);
+    }
+
+    #[test]
+    fn default_builder_matches_new() {
+        let engine = EngineBuilder::default()
+            .program(programs::transitive_closure())
+            .graph(&generators::path(2, "E"))
+            .build()
+            .unwrap();
+        // horizon 5 (not 0): the boundedness probe actually runs.
+        assert_eq!(engine.classification().boundedness.verdict, {
+            let via_new = Engine::builder()
+                .program(programs::transitive_closure())
+                .graph(&generators::path(2, "E"))
+                .build()
+                .unwrap();
+            via_new.classification().boundedness.verdict.clone()
+        });
+    }
+
+    #[test]
+    fn graph_strategies_need_a_graph_session() {
+        let mut p = programs::transitive_closure();
+        let (db, _) = Database::from_graph(&mut p, &generators::path(2, "E"));
+        let engine = Engine::builder().program(p).database(db).build().unwrap();
+        let q = engine.query("T", &["v0", "v2"]).unwrap();
+        let err = q.circuit(Strategy::ProductSquaring).unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn builder_misuse_is_rejected() {
+        assert!(Engine::builder().build().is_err());
+        let both = Engine::builder()
+            .program(programs::transitive_closure())
+            .program_text("T(X,Y) :- E(X,Y).")
+            .build();
+        assert!(both.is_err());
+        let bad = Engine::builder().program_text("T(X,Y :-").build();
+        assert!(matches!(bad.unwrap_err(), Error::Parse { .. }));
+    }
+
+    #[test]
+    fn grounding_limit_is_enforced_and_typed() {
+        let engine = Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::complete(6, "E"))
+            .max_grounded_rules(10)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            engine.grounding().unwrap_err(),
+            Error::GroundingLimit { max_rules: 10 }
+        ));
+    }
+}

@@ -3,7 +3,36 @@
 //! circuits, after *Circuits and Formulas for Datalog over Semirings*
 //! (Fan, Koutris, Roy — PODS 2025).
 //!
-//! Three questions, three modules:
+//! The front door is the [`Engine`] session: one object owning the program,
+//! the database, and every lazily cached derived artifact (grounding,
+//! classification, provenance, compiled circuits):
+//!
+//! ```
+//! use provcirc::prelude::*;
+//! use semiring::{Semiring, Tropical, UnitWeights};
+//!
+//! // Transitive closure — the paper's running example — on a 5-node path.
+//! let engine = Engine::builder()
+//!     .program_text("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).")
+//!     .graph(&graphgen::generators::path(4, "E"))
+//!     .build()
+//!     .unwrap();
+//!
+//! // Θ(log² m): infinite regular language (Theorem 5.3).
+//! let report = engine.classification();
+//! assert_eq!(report.depth_upper, DepthBound::LogSquared);
+//! assert_eq!(report.formula, FormulaVerdict::SuperPolynomial);
+//!
+//! // Query T(v0, v4): evaluate over the tropical semiring (shortest path
+//! // with unit weights = 4) and compile the provenance circuit once.
+//! let q = engine.query("T", &["v0", "v4"]).unwrap();
+//! let unit = UnitWeights::new(Tropical::new(1));
+//! assert_eq!(q.eval(&unit).unwrap(), Tropical::new(4));
+//! let compiled = q.circuit(Strategy::Auto).unwrap();
+//! assert_eq!(compiled.circuit.eval(&unit), Tropical::new(4));
+//! ```
+//!
+//! Behind the facade, three questions map to three modules:
 //!
 //! * **"Which depth class is my program in?"** — [`classify`] reports the
 //!   paper's dichotomies: Θ(log m) vs Θ(log² m) circuit depth and the
@@ -13,27 +42,8 @@
 //!   and probes Definition 4.1 empirically (including the Corollary 4.7
 //!   cross-semiring agreement).
 //! * **"Give me the circuit."** — [`compile`] dispatches to the
-//!   construction the classification recommends and returns the circuit
-//!   with its size/depth/formula-size statistics.
-//!
-//! ```
-//! use provcirc::prelude::*;
-//!
-//! // Transitive closure: the paper's running example.
-//! let program = datalog::programs::transitive_closure();
-//! let graph = graphgen::generators::path(4, "E");
-//!
-//! // Θ(log² m): infinite regular language (Theorem 5.3).
-//! let report = classify_program(&program, 5);
-//! assert_eq!(report.depth_upper, DepthBound::LogSquared);
-//! assert_eq!(report.formula, FormulaVerdict::SuperPolynomial);
-//!
-//! // Compile T(v0, v4) and evaluate its provenance over the tropical
-//! // semiring: the shortest path has weight 4.
-//! let compiled = compile_graph_fact(&program, &graph, 0, 4, Strategy::Auto).unwrap();
-//! use semiring::{Semiring, Tropical};
-//! assert_eq!(compiled.circuit.eval(&|_| Tropical::new(1)), Tropical::new(4));
-//! ```
+//!   construction the classification recommends; [`engine`] caches the
+//!   shared grounding/classification across queries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +51,9 @@
 pub mod boundedness;
 pub mod classify;
 pub mod compile;
+pub mod engine;
+
+pub use provcirc_error::Error;
 
 pub use boundedness::{
     cross_semiring_iterations, decide_boundedness, empirical_iterations, BoundednessOptions,
@@ -48,10 +61,13 @@ pub use boundedness::{
 };
 pub use classify::{classify_program, Classification, DepthBound, FormulaVerdict, GrammarInfo};
 pub use compile::{chain_program_dfa, compile_fact, compile_graph_fact, Compiled, Strategy};
+pub use engine::{Engine, EngineBuilder, EngineCacheStats, Query};
 
 /// One-stop imports for examples and tests.
 pub mod prelude {
     pub use crate::boundedness::{decide_boundedness, BoundednessOptions, Verdict};
     pub use crate::classify::{classify_program, Classification, DepthBound, FormulaVerdict};
     pub use crate::compile::{compile_fact, compile_graph_fact, Compiled, Strategy};
+    pub use crate::engine::{Engine, EngineBuilder, EngineCacheStats, Query};
+    pub use provcirc_error::Error;
 }

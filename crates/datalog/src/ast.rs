@@ -3,6 +3,8 @@
 use std::collections::HashSet;
 use std::fmt;
 
+use provcirc_error::Error;
+
 use crate::symbols::{Interner, PredId, VarSym};
 
 /// A term: a variable or a constant *name* (constant names are resolved
@@ -108,42 +110,41 @@ impl Program {
     /// * safety (every head variable occurs in the body),
     /// * target is an IDB,
     /// * no empty bodies.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), Error> {
         let mut arities: Vec<Option<usize>> = vec![None; self.preds.len()];
         for (i, rule) in self.rules.iter().enumerate() {
             if rule.body.is_empty() {
-                return Err(format!("rule {i}: empty body"));
+                return Err(Error::InvalidProgram(format!("rule {i}: empty body")));
             }
             for atom in std::iter::once(&rule.head).chain(rule.body.iter()) {
                 let slot = &mut arities[atom.pred as usize];
                 match *slot {
                     None => *slot = Some(atom.terms.len()),
                     Some(a) if a != atom.terms.len() => {
-                        return Err(format!(
+                        return Err(Error::InvalidProgram(format!(
                             "rule {i}: predicate {} used with arities {a} and {}",
                             self.preds.name(atom.pred),
                             atom.terms.len()
-                        ));
+                        )));
                     }
                     _ => {}
                 }
             }
-            let body_vars: HashSet<VarSym> =
-                rule.body.iter().flat_map(|a| a.vars()).collect();
+            let body_vars: HashSet<VarSym> = rule.body.iter().flat_map(|a| a.vars()).collect();
             for v in rule.head.vars() {
                 if !body_vars.contains(&v) {
-                    return Err(format!(
+                    return Err(Error::InvalidProgram(format!(
                         "rule {i}: unsafe head variable {}",
                         self.vars.name(v)
-                    ));
+                    )));
                 }
             }
         }
         if !self.idbs().contains(&self.target) {
-            return Err(format!(
+            return Err(Error::InvalidProgram(format!(
                 "target {} is not an IDB",
                 self.preds.name(self.target)
-            ));
+            )));
         }
         Ok(())
     }
@@ -195,13 +196,13 @@ mod tests {
     #[test]
     fn validate_catches_unsafe_rules() {
         let p = parse_program("T(X,Y) :- E(X,X).").unwrap();
-        assert!(p.validate().unwrap_err().contains("unsafe"));
+        assert!(p.validate().unwrap_err().to_string().contains("unsafe"));
     }
 
     #[test]
     fn validate_catches_arity_mismatch() {
         let p = parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- E(X,Y,Y).").unwrap();
-        assert!(p.validate().unwrap_err().contains("arities"));
+        assert!(p.validate().unwrap_err().to_string().contains("arities"));
     }
 
     #[test]

@@ -35,12 +35,11 @@ pub struct ProgramClass {
 /// Classify a program.
 pub fn classify(program: &Program) -> ProgramClass {
     let idbs = program.idbs();
-    let is_linear = program.rules.iter().all(|r| {
-        r.body.iter().filter(|a| idbs.contains(&a.pred)).count() <= 1
-    });
-    let is_monadic = idbs
+    let is_linear = program
+        .rules
         .iter()
-        .all(|&p| program.arity(p) == Some(1));
+        .all(|r| r.body.iter().filter(|a| idbs.contains(&a.pred)).count() <= 1);
+    let is_monadic = idbs.iter().all(|&p| program.arity(p) == Some(1));
     let is_chain = program.rules.iter().all(|r| is_chain_rule(program, r));
     let is_left_linear_chain = is_chain
         && program.rules.iter().all(|r| {
@@ -53,7 +52,7 @@ pub fn classify(program: &Program) -> ProgramClass {
                 .collect();
             idb_positions.is_empty() || idb_positions == [0]
         });
-    let is_connected = program.rules.iter().all(|r| is_connected_rule(r));
+    let is_connected = program.rules.iter().all(is_connected_rule);
     let is_recursive = program
         .rules
         .iter()
@@ -118,7 +117,7 @@ pub fn is_connected_rule(rule: &Rule) -> bool {
     // Union-find over variables via repeated merging.
     let ids: HashMap<VarSym, usize> = vars.iter().copied().zip(0..).collect();
     let mut parent: Vec<usize> = (0..ids.len()).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

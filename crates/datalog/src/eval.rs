@@ -7,9 +7,9 @@
 //! the number of iterations is the *boundedness* probe of §4 (a bounded
 //! program converges in O(1) iterations on every input).
 
+use semiring::valuation::{AllOnes, Valuation, VarTags};
 use semiring::{Semiring, Sorp};
 
-use crate::database::FactId;
 use crate::ground::GroundedProgram;
 
 /// Result of a fixpoint evaluation.
@@ -24,11 +24,11 @@ pub struct EvalOutcome<S> {
 }
 
 /// One application of the immediate consequence operator.
-pub fn ico<S: Semiring>(
-    gp: &GroundedProgram,
-    assign: &dyn Fn(FactId) -> S,
-    current: &[S],
-) -> Vec<S> {
+pub fn ico<S, V>(gp: &GroundedProgram, assign: &V, current: &[S]) -> Vec<S>
+where
+    S: Semiring,
+    V: Valuation<S> + ?Sized,
+{
     let mut next = vec![S::zero(); current.len()];
     for rule in &gp.rules {
         let mut prod = S::one();
@@ -36,7 +36,7 @@ pub fn ico<S: Semiring>(
             prod.mul_assign(&current[i]);
         }
         for &f in &rule.body_edb {
-            prod.mul_assign(&assign(f));
+            prod.mul_assign(&assign.value(f));
         }
         next[rule.head].add_assign(&prod);
     }
@@ -45,18 +45,15 @@ pub fn ico<S: Semiring>(
 
 /// Naive evaluation: iterate the ICO from all-0 until a fixpoint or
 /// `max_iters` rounds.
-pub fn naive_eval<S: Semiring>(
-    gp: &GroundedProgram,
-    assign: &dyn Fn(FactId) -> S,
-    max_iters: usize,
-) -> EvalOutcome<S> {
+pub fn naive_eval<S, V>(gp: &GroundedProgram, assign: &V, max_iters: usize) -> EvalOutcome<S>
+where
+    S: Semiring,
+    V: Valuation<S> + ?Sized,
+{
     let mut values = vec![S::zero(); gp.num_idb_facts()];
     for iter in 0..max_iters {
         let next = ico(gp, assign, &values);
-        let converged = next
-            .iter()
-            .zip(values.iter())
-            .all(|(a, b)| a.sr_eq(b));
+        let converged = next.iter().zip(values.iter()).all(|(a, b)| a.sr_eq(b));
         values = next;
         if converged {
             return EvalOutcome {
@@ -83,7 +80,7 @@ pub fn default_budget(gp: &GroundedProgram) -> usize {
 /// Evaluate with every EDB fact tagged `1` — Boolean derivability plus the
 /// iterations-to-fixpoint probe used by the boundedness experiments.
 pub fn eval_all_ones<S: Semiring>(gp: &GroundedProgram, max_iters: usize) -> EvalOutcome<S> {
-    naive_eval(gp, &|_| S::one(), max_iters)
+    naive_eval(gp, &AllOnes, max_iters)
 }
 
 /// The provenance polynomial of every IDB fact, computed by naive evaluation
@@ -92,7 +89,7 @@ pub fn eval_all_ones<S: Semiring>(gp: &GroundedProgram, max_iters: usize) -> Eva
 /// By Proposition 2.4 this equals the tight-proof-tree polynomial of §2.4;
 /// `prooftree::provenance_polynomial` cross-checks it by enumeration.
 pub fn provenance_eval(gp: &GroundedProgram, max_iters: usize) -> EvalOutcome<Sorp> {
-    naive_eval(gp, &|f| Sorp::var(f), max_iters)
+    naive_eval(gp, &VarTags, max_iters)
 }
 
 #[cfg(test)]
@@ -105,8 +102,7 @@ mod tests {
     use semiring::prelude::*;
 
     fn tc_on(g: &graphgen::LabeledDigraph) -> (crate::ast::Program, Database, GroundedProgram) {
-        let mut p =
-            parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).").unwrap();
+        let mut p = parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).").unwrap();
         let (db, _) = Database::from_graph(&mut p, g);
         let gp = ground(&p, &db).unwrap();
         (p, db, gp)
@@ -128,7 +124,11 @@ mod tests {
             assert!(out.values[i].is_one());
             let (u, v) = (tuple[0], tuple[1]);
             // Find graph node indices back from constants.
-            let find = |c| (0..g.num_nodes()).find(|&i| db.node_const(i) == Some(c)).unwrap();
+            let find = |c| {
+                (0..g.num_nodes())
+                    .find(|&i| db.node_const(i) == Some(c))
+                    .unwrap()
+            };
             let (ui, vi) = (find(u), find(v));
             // E+ reachability: at least one edge.
             let mut ok = false;
@@ -145,18 +145,22 @@ mod tests {
     fn tropical_eval_is_shortest_path_on_unit_weights() {
         let g = generators::gnm(9, 24, &["E"], 7);
         let (p, db, gp) = tc_on(&g);
-        let out = naive_eval::<Tropical>(&gp, &|_| Tropical::new(1), default_budget(&gp));
+        let out = naive_eval(
+            &gp,
+            &UnitWeights::new(Tropical::new(1)),
+            default_budget(&gp),
+        );
         assert!(out.converged);
         let t = p.preds.get("T").unwrap();
         for src in 0..g.num_nodes() {
             let dist = g.bfs_distances(src as u32);
-            for dst in 0..g.num_nodes() {
+            for (dst, &dopt) in dist.iter().enumerate() {
                 let key = (
                     t,
                     vec![db.node_const(src).unwrap(), db.node_const(dst).unwrap()],
                 );
                 if let Some(&i) = gp.fact_index.get(&key) {
-                    let d = dist[dst].expect("derivable implies reachable");
+                    let d = dopt.expect("derivable implies reachable");
                     // E+ paths: for src==dst, BFS gives 0 but TC needs a
                     // cycle; skip the diagonal.
                     if src != dst {
@@ -171,8 +175,11 @@ mod tests {
     fn counting_diverges_on_cycles() {
         let g = generators::cycle(3, "E");
         let (_, _, gp) = tc_on(&g);
-        let out = naive_eval::<Counting>(&gp, &|_| Counting::new(1), 50);
-        assert!(!out.converged, "counting semiring must not converge on a cycle");
+        let out = naive_eval(&gp, &UnitWeights::new(Counting::new(1)), 50);
+        assert!(
+            !out.converged,
+            "counting semiring must not converge on a cycle"
+        );
     }
 
     #[test]
@@ -184,7 +191,7 @@ mod tests {
         g.add_edge(1, 3, "E");
         g.add_edge(2, 3, "E");
         let (p, db, gp) = tc_on(&g);
-        let out = naive_eval::<Counting>(&gp, &|_| Counting::new(1), 20);
+        let out = naive_eval(&gp, &UnitWeights::new(Counting::new(1)), 20);
         assert!(out.converged);
         let t = p.preds.get("T").unwrap();
         let i = gp
@@ -198,7 +205,7 @@ mod tests {
         let g = generators::cycle(4, "E");
         let (_, _, gp) = tc_on(&g);
         // Trop_2 is 1-stable: naive evaluation converges despite the cycle.
-        let out = naive_eval::<TropK<2>>(&gp, &|_| TropK::single(1), 200);
+        let out = naive_eval(&gp, &UnitWeights::new(TropK::<2>::single(1)), 200);
         assert!(out.converged);
     }
 
@@ -223,9 +230,7 @@ mod tests {
             .unwrap();
         // §2.4: x_{s,u1}x_{u1,v1}x_{v1,t} + x_{s,u1}x_{u1,v2}x_{v2,t}
         //       + x_{s,u2}x_{u2,v2}x_{v2,t}
-        let m = |a: u32, b: u32, c: u32| {
-            semiring::Monomial::from_pairs([(a, 1), (b, 1), (c, 1)])
-        };
+        let m = |a: u32, b: u32, c: u32| semiring::Monomial::from_pairs([(a, 1), (b, 1), (c, 1)]);
         let expect = Sorp::from_monomials([
             m(e_su1 as u32, e_u1v1 as u32, e_v1t as u32),
             m(e_su1 as u32, e_u1v2 as u32, e_v2t as u32),
@@ -237,10 +242,7 @@ mod tests {
     #[test]
     fn bounded_program_converges_in_constant_iterations() {
         // Example 4.2: T(x,y) :- E(x,y); T(x,y) :- A(x), T(z,y) — bounded.
-        let mut p = parse_program(
-            "T(X,Y) :- E(X,Y).\nT(X,Y) :- A(X), T(Z,Y).",
-        )
-        .unwrap();
+        let mut p = parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- A(X), T(Z,Y).").unwrap();
         for n in [3usize, 6, 10] {
             let g = generators::path(n, "E");
             let (mut db, _) = Database::from_graph(&mut p, &g);

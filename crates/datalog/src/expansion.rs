@@ -74,11 +74,7 @@ pub fn expansions(program: &Program, max_depth: usize, max_count: usize) -> (Vec
             break;
         }
         // Find the first IDB atom to unfold.
-        let Some(pos) = partial
-            .atoms
-            .iter()
-            .position(|(p, _)| idbs.contains(p))
-        else {
+        let Some(pos) = partial.atoms.iter().position(|(p, _)| idbs.contains(p)) else {
             out.push(Cq {
                 head: partial.head,
                 atoms: partial.atoms,
@@ -94,8 +90,7 @@ pub fn expansions(program: &Program, max_depth: usize, max_count: usize) -> (Vec
         for rule in program.rules.iter().filter(|r| r.head.pred == pred) {
             // Rename rule variables to fresh local variables; unify head
             // with `args` directly (head vars map to the matched terms).
-            let mut var_map: Vec<Option<CqTerm>> =
-                vec![None; program.vars.len()];
+            let mut var_map: Vec<Option<CqTerm>> = vec![None; program.vars.len()];
             let mut num_vars = partial.num_vars;
             let mut consistent = true;
             for (ht, at) in rule.head.terms.iter().zip(args.iter()) {
@@ -149,10 +144,7 @@ pub fn expansions(program: &Program, max_depth: usize, max_count: usize) -> (Vec
                 .map(|a| {
                     (
                         a.pred,
-                        a.terms
-                            .iter()
-                            .map(|t| resolve(t, &mut num_vars))
-                            .collect(),
+                        a.terms.iter().map(|t| resolve(t, &mut num_vars)).collect(),
                     )
                 })
                 .collect();
@@ -321,9 +313,10 @@ mod tests {
         // depth 1 → E(x,y), depth 2 → E(x,z),E(z,y), …).
         for cq in &exps {
             assert_eq!(cq.atoms.len(), cq.depth);
-            assert!(cq.atoms.iter().all(|(p_, _)| {
-                p_ == &p.preds.get("E").unwrap()
-            }));
+            assert!(cq
+                .atoms
+                .iter()
+                .all(|(p_, _)| { p_ == &p.preds.get("E").unwrap() }));
         }
         let depths: Vec<usize> = exps.iter().map(|c| c.depth).collect();
         assert_eq!(depths, vec![1, 2, 3, 4]);

@@ -12,6 +12,8 @@
 
 use std::collections::HashMap;
 
+use provcirc_error::Error;
+
 use crate::ast::{Atom, Program, Rule, Term};
 use crate::database::{Database, FactId};
 use crate::symbols::{ConstId, PredId, VarSym};
@@ -87,7 +89,7 @@ pub fn ground_with_limit(
     program: &Program,
     db: &Database,
     max_rules: usize,
-) -> Result<GroundedProgram, String> {
+) -> Result<GroundedProgram, Error> {
     program.validate()?;
     let idbs = program.idbs();
 
@@ -102,13 +104,21 @@ pub fn ground_with_limit(
     loop {
         let mut new_facts: Vec<(PredId, Vec<ConstId>)> = Vec::new();
         for rule in &program.rules {
-            enumerate_matches(program, db, &gp, &const_map, rule, &idbs, &mut |bindings, _| {
-                let head = instantiate(&rule.head, bindings, &const_map)
-                    .expect("head vars bound by safety");
-                if gp.fact(rule.head.pred, &head).is_none() {
-                    new_facts.push((rule.head.pred, head));
-                }
-            });
+            enumerate_matches(
+                program,
+                db,
+                &gp,
+                &const_map,
+                rule,
+                &idbs,
+                &mut |bindings, _| {
+                    let head = instantiate(&rule.head, bindings, &const_map)
+                        .expect("head vars bound by safety");
+                    if gp.fact(rule.head.pred, &head).is_none() {
+                        new_facts.push((rule.head.pred, head));
+                    }
+                },
+            );
         }
         let mut changed = false;
         for (pred, tuple) in new_facts {
@@ -128,39 +138,44 @@ pub fn ground_with_limit(
     let mut rules: Vec<GroundedRule> = Vec::new();
     for (rule_index, rule) in program.rules.iter().enumerate() {
         let mut overflow = false;
-        enumerate_matches(program, db, &gp, &const_map, rule, &idbs, &mut |bindings,
-                                                                           matches| {
-            if overflow {
-                return;
-            }
-            if rules.len() >= max_rules {
-                overflow = true;
-                return;
-            }
-            let head_tuple = instantiate(&rule.head, bindings, &const_map)
-                .expect("head vars bound by safety");
-            let head = gp
-                .fact(rule.head.pred, &head_tuple)
-                .expect("head derivable at fixpoint");
-            let mut body_idb = Vec::new();
-            let mut body_edb = Vec::new();
-            for m in matches {
-                match *m {
-                    BodyMatch::Idb(i) => body_idb.push(i),
-                    BodyMatch::Edb(f) => body_edb.push(f),
+        enumerate_matches(
+            program,
+            db,
+            &gp,
+            &const_map,
+            rule,
+            &idbs,
+            &mut |bindings, matches| {
+                if overflow {
+                    return;
                 }
-            }
-            rules.push(GroundedRule {
-                rule_index,
-                head,
-                body_idb,
-                body_edb,
-            });
-        });
+                if rules.len() >= max_rules {
+                    overflow = true;
+                    return;
+                }
+                let head_tuple = instantiate(&rule.head, bindings, &const_map)
+                    .expect("head vars bound by safety");
+                let head = gp
+                    .fact(rule.head.pred, &head_tuple)
+                    .expect("head derivable at fixpoint");
+                let mut body_idb = Vec::new();
+                let mut body_edb = Vec::new();
+                for m in matches {
+                    match *m {
+                        BodyMatch::Idb(i) => body_idb.push(i),
+                        BodyMatch::Edb(f) => body_edb.push(f),
+                    }
+                }
+                rules.push(GroundedRule {
+                    rule_index,
+                    head,
+                    body_idb,
+                    body_edb,
+                });
+            },
+        );
         if overflow {
-            return Err(format!(
-                "grounding exceeds the limit of {max_rules} grounded rules"
-            ));
+            return Err(Error::GroundingLimit { max_rules });
         }
     }
 
@@ -173,9 +188,12 @@ pub fn ground_with_limit(
 }
 
 /// Ground without a rule limit.
-pub fn ground(program: &Program, db: &Database) -> Result<GroundedProgram, String> {
+pub fn ground(program: &Program, db: &Database) -> Result<GroundedProgram, Error> {
     ground_with_limit(program, db, usize::MAX)
 }
+
+/// Callback invoked for every satisfying assignment of a rule body.
+type OnMatch<'a> = dyn FnMut(&HashMap<VarSym, ConstId>, &[BodyMatch]) + 'a;
 
 /// Enumerate all substitutions satisfying `rule`'s body over
 /// EDB ∪ derivable-IDB, invoking `on_match(bindings, per-atom matches)`.
@@ -186,12 +204,21 @@ fn enumerate_matches(
     const_map: &[Option<ConstId>],
     rule: &Rule,
     idbs: &std::collections::HashSet<PredId>,
-    on_match: &mut dyn FnMut(&HashMap<VarSym, ConstId>, &[BodyMatch]),
+    on_match: &mut OnMatch<'_>,
 ) {
     let mut bindings: HashMap<VarSym, ConstId> = HashMap::new();
     let mut matches: Vec<BodyMatch> = Vec::with_capacity(rule.body.len());
     recurse(
-        program, db, gp, const_map, rule, idbs, 0, &mut bindings, &mut matches, on_match,
+        program,
+        db,
+        gp,
+        const_map,
+        rule,
+        idbs,
+        0,
+        &mut bindings,
+        &mut matches,
+        on_match,
     );
 }
 
@@ -206,7 +233,7 @@ fn recurse(
     pos: usize,
     bindings: &mut HashMap<VarSym, ConstId>,
     matches: &mut Vec<BodyMatch>,
-    on_match: &mut dyn FnMut(&HashMap<VarSym, ConstId>, &[BodyMatch]),
+    on_match: &mut OnMatch<'_>,
 ) {
     if pos == rule.body.len() {
         on_match(bindings, matches);
@@ -217,16 +244,38 @@ fn recurse(
         for i in gp.facts_of(atom.pred) {
             let tuple = gp.idb_facts[i].1.clone();
             try_match(
-                program, db, gp, const_map, rule, idbs, pos, atom, &tuple,
-                BodyMatch::Idb(i), bindings, matches, on_match,
+                program,
+                db,
+                gp,
+                const_map,
+                rule,
+                idbs,
+                pos,
+                atom,
+                &tuple,
+                BodyMatch::Idb(i),
+                bindings,
+                matches,
+                on_match,
             );
         }
     } else {
         for &fid in db.facts_of(atom.pred) {
             let tuple = db.fact(fid).1.to_vec();
             try_match(
-                program, db, gp, const_map, rule, idbs, pos, atom, &tuple,
-                BodyMatch::Edb(fid), bindings, matches, on_match,
+                program,
+                db,
+                gp,
+                const_map,
+                rule,
+                idbs,
+                pos,
+                atom,
+                &tuple,
+                BodyMatch::Edb(fid),
+                bindings,
+                matches,
+                on_match,
             );
         }
     }
@@ -246,7 +295,7 @@ fn try_match(
     matched: BodyMatch,
     bindings: &mut HashMap<VarSym, ConstId>,
     matches: &mut Vec<BodyMatch>,
-    on_match: &mut dyn FnMut(&HashMap<VarSym, ConstId>, &[BodyMatch]),
+    on_match: &mut OnMatch<'_>,
 ) {
     if tuple.len() != atom.terms.len() {
         return;
@@ -277,7 +326,16 @@ fn try_match(
     if ok {
         matches.push(matched);
         recurse(
-            program, db, gp, const_map, rule, idbs, pos + 1, bindings, matches, on_match,
+            program,
+            db,
+            gp,
+            const_map,
+            rule,
+            idbs,
+            pos + 1,
+            bindings,
+            matches,
+            on_match,
         );
         matches.pop();
     }

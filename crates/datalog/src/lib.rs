@@ -33,6 +33,8 @@ pub mod prooftree;
 pub mod symbols;
 pub mod to_cfg;
 
+pub use provcirc_error::Error;
+
 pub use ast::{Atom, Program, Rule, Term};
 pub use classify::{classify, ProgramClass};
 pub use database::{Database, FactId};

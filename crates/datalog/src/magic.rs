@@ -8,6 +8,8 @@
 //! rewriting `s` will replace the variable in the leftmost position of any
 //! IDB").
 
+use provcirc_error::Error;
+
 use crate::ast::{Atom, Program, Rule, Term};
 use crate::classify::classify;
 
@@ -24,10 +26,12 @@ pub struct MagicRewrite {
 ///
 /// Every IDB `P(x, y)` becomes `P_s(y)`; the head's first variable is
 /// substituted by the constant `source` throughout each rule.
-pub fn magic_rewrite(program: &Program, source: &str) -> Result<MagicRewrite, String> {
+pub fn magic_rewrite(program: &Program, source: &str) -> Result<MagicRewrite, Error> {
     let class = classify(program);
     if !class.is_left_linear_chain {
-        return Err("magic rewriting requires a left-linear chain program".into());
+        return Err(Error::unsupported(
+            "magic rewriting requires a left-linear chain program",
+        ));
     }
     let idbs = program.idbs();
     let target_name = program.preds.name(program.target).to_owned();
@@ -38,7 +42,11 @@ pub fn magic_rewrite(program: &Program, source: &str) -> Result<MagicRewrite, St
         // Chain head: P(x, y).
         let (hx, hy) = match rule.head.terms[..] {
             [Term::Var(x), Term::Var(y)] => (x, y),
-            _ => return Err("chain heads must be binary over variables".into()),
+            _ => {
+                return Err(Error::unsupported(
+                    "chain heads must be binary over variables",
+                ))
+            }
         };
         let new_head_pred = {
             let name = format!("{}_s", program.preds.name(rule.head.pred));
@@ -62,9 +70,9 @@ pub fn magic_rewrite(program: &Program, source: &str) -> Result<MagicRewrite, St
                 let z = match atom.terms[..] {
                     [Term::Var(x), Term::Var(z)] if x == hx => z,
                     _ => {
-                        return Err(
-                            "left-linear chain rule must start with IDB(head-x, z)".into()
-                        )
+                        return Err(Error::unsupported(
+                            "left-linear chain rule must start with IDB(head-x, z)",
+                        ))
                     }
                 };
                 let pred = {
@@ -82,9 +90,7 @@ pub fn magic_rewrite(program: &Program, source: &str) -> Result<MagicRewrite, St
                     .iter()
                     .map(|t| match t {
                         Term::Var(v) => map_var(*v, &mut out),
-                        Term::Const(c) => {
-                            Term::Const(out.consts.intern(program.consts.name(*c)))
-                        }
+                        Term::Const(c) => Term::Const(out.consts.intern(program.consts.name(*c))),
                     })
                     .collect();
                 new_body.push(Atom { pred, terms });
@@ -139,9 +145,7 @@ mod tests {
 
         let v0 = db.node_const(0).unwrap();
         for y in 0..g.num_nodes() {
-            let orig = gp
-                .fact(t, &[v0, db.node_const(y).unwrap()])
-                .is_some();
+            let orig = gp.fact(t, &[v0, db.node_const(y).unwrap()]).is_some();
             let magic = gp2.fact(ts, &[db2.node_const(y).unwrap()]).is_some();
             assert_eq!(orig, magic, "y = {y}");
         }
@@ -167,10 +171,7 @@ mod tests {
     fn rejects_non_left_linear_programs() {
         let right = parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- E(X,Z), T(Z,Y).").unwrap();
         assert!(magic_rewrite(&right, "v0").is_err());
-        let dyck = parse_program(
-            "S(X,Y) :- L(X,Z), R(Z,Y).\nS(X,Y) :- S(X,Z), S(Z,Y).",
-        )
-        .unwrap();
+        let dyck = parse_program("S(X,Y) :- L(X,Z), R(Z,Y).\nS(X,Y) :- S(X,Z), S(Z,Y).").unwrap();
         assert!(magic_rewrite(&dyck, "v0").is_err());
     }
 

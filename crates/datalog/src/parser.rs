@@ -12,10 +12,12 @@
 //! Identifiers starting with an uppercase letter or `_` are variables;
 //! everything else in argument position is a constant.
 
+use provcirc_error::Error;
+
 use crate::ast::{Atom, Program, Rule, Term};
 
 /// Parse a program. See the module docs for the syntax.
-pub fn parse_program(text: &str) -> Result<Program, String> {
+pub fn parse_program(text: &str) -> Result<Program, Error> {
     let mut target_directive: Option<String> = None;
     let mut rule_sources: Vec<String> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
@@ -26,7 +28,11 @@ pub fn parse_program(text: &str) -> Result<Program, String> {
         if let Some(rest) = line.strip_prefix("@target") {
             let name = rest.trim();
             if name.is_empty() {
-                return Err(format!("line {}: @target needs a predicate", lineno + 1));
+                return Err(Error::parse_at(
+                    "program",
+                    lineno + 1,
+                    "@target needs a predicate",
+                ));
             }
             target_directive = Some(name.to_owned());
             continue;
@@ -41,7 +47,7 @@ pub fn parse_program(text: &str) -> Result<Program, String> {
         .filter(|s| !s.is_empty())
         .collect();
     if rule_texts.is_empty() {
-        return Err("no rules".into());
+        return Err(Error::parse("program", "no rules"));
     }
 
     // Peek the first head name for the default target.
@@ -50,20 +56,20 @@ pub fn parse_program(text: &str) -> Result<Program, String> {
         .next()
         .map(str::trim)
         .filter(|s| !s.is_empty())
-        .ok_or("cannot determine first head")?;
+        .ok_or_else(|| Error::parse("program", "cannot determine first head"))?;
     let mut program = Program::new(target_directive.as_deref().unwrap_or(first_head));
 
     for src in rule_texts {
         let (head_src, body_src) = src
             .split_once(":-")
-            .ok_or_else(|| format!("rule '{src}': missing ':-'"))?;
+            .ok_or_else(|| Error::parse("program", format!("rule '{src}': missing ':-'")))?;
         let head = parse_atom(&mut program, head_src.trim())?;
         let mut body = Vec::new();
         for atom_src in split_atoms(body_src)? {
             body.push(parse_atom(&mut program, &atom_src)?);
         }
         if body.is_empty() {
-            return Err(format!("rule '{src}': empty body"));
+            return Err(Error::parse("program", format!("rule '{src}': empty body")));
         }
         program.rules.push(Rule { head, body });
     }
@@ -71,7 +77,7 @@ pub fn parse_program(text: &str) -> Result<Program, String> {
 }
 
 /// Split `P(a,b), Q(c)` into atom sources, respecting parentheses.
-fn split_atoms(src: &str) -> Result<Vec<String>, String> {
+fn split_atoms(src: &str) -> Result<Vec<String>, Error> {
     let mut out = Vec::new();
     let mut depth = 0usize;
     let mut cur = String::new();
@@ -82,7 +88,9 @@ fn split_atoms(src: &str) -> Result<Vec<String>, String> {
                 cur.push(c);
             }
             ')' => {
-                depth = depth.checked_sub(1).ok_or("unbalanced ')'")?;
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| Error::parse("program", "unbalanced ')'"))?;
                 cur.push(c);
             }
             ',' if depth == 0 => {
@@ -95,7 +103,7 @@ fn split_atoms(src: &str) -> Result<Vec<String>, String> {
         }
     }
     if depth != 0 {
-        return Err("unbalanced '('".into());
+        return Err(Error::parse("program", "unbalanced '('"));
     }
     if !cur.trim().is_empty() {
         out.push(cur.trim().to_owned());
@@ -103,27 +111,36 @@ fn split_atoms(src: &str) -> Result<Vec<String>, String> {
     Ok(out)
 }
 
-fn parse_atom(program: &mut Program, src: &str) -> Result<Atom, String> {
+fn parse_atom(program: &mut Program, src: &str) -> Result<Atom, Error> {
     let (name, rest) = src
         .split_once('(')
-        .ok_or_else(|| format!("atom '{src}': missing '('"))?;
+        .ok_or_else(|| Error::parse("program", format!("atom '{src}': missing '('")))?;
     let name = name.trim();
     if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
-        return Err(format!("atom '{src}': bad predicate name"));
+        return Err(Error::parse(
+            "program",
+            format!("atom '{src}': bad predicate name"),
+        ));
     }
     let rest = rest.trim();
     let args_src = rest
         .strip_suffix(')')
-        .ok_or_else(|| format!("atom '{src}': missing ')'"))?;
+        .ok_or_else(|| Error::parse("program", format!("atom '{src}': missing ')'")))?;
     let pred = program.preds.intern(name);
     let mut terms = Vec::new();
     for arg in args_src.split(',') {
         let arg = arg.trim();
         if arg.is_empty() {
-            return Err(format!("atom '{src}': empty argument"));
+            return Err(Error::parse(
+                "program",
+                format!("atom '{src}': empty argument"),
+            ));
         }
         if !arg.chars().all(|c| c.is_alphanumeric() || c == '_') {
-            return Err(format!("atom '{src}': bad argument '{arg}'"));
+            return Err(Error::parse(
+                "program",
+                format!("atom '{src}': bad argument '{arg}'"),
+            ));
         }
         let first = arg.chars().next().expect("nonempty");
         if first.is_uppercase() || first == '_' {

@@ -147,7 +147,9 @@ pub fn provenance_polynomial(gp: &GroundedProgram, fact: usize, cap: usize) -> O
     if t.truncated {
         return None;
     }
-    Some(Sorp::from_monomials(t.trees.iter().map(ProofNode::monomial)))
+    Some(Sorp::from_monomials(
+        t.trees.iter().map(ProofNode::monomial),
+    ))
 }
 
 /// The maximum fringe (leaf count) over all tight proof trees of `fact` —
@@ -169,11 +171,8 @@ mod tests {
     use crate::parser::parse_program;
     use graphgen::generators;
 
-    fn tc_on(
-        g: &graphgen::LabeledDigraph,
-    ) -> (crate::ast::Program, Database, GroundedProgram) {
-        let mut p =
-            parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).").unwrap();
+    fn tc_on(g: &graphgen::LabeledDigraph) -> (crate::ast::Program, Database, GroundedProgram) {
+        let mut p = parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).").unwrap();
         let (db, _) = Database::from_graph(&mut p, g);
         let gp = ground(&p, &db).unwrap();
         (p, db, gp)

@@ -4,14 +4,15 @@
 //! productions with variables erased; the target IDB is the start symbol.
 
 use grammar::{Cfg, Symbol};
+use provcirc_error::Error;
 
 use crate::ast::{Atom, Program, Rule, Term};
 use crate::classify::classify;
 
 /// Convert a basic chain Datalog program to its CFG.
-pub fn chain_to_cfg(program: &Program) -> Result<Cfg, String> {
+pub fn chain_to_cfg(program: &Program) -> Result<Cfg, Error> {
     if !classify(program).is_chain {
-        return Err("program is not basic chain Datalog".into());
+        return Err(Error::unsupported("program is not basic chain Datalog"));
     }
     let idbs = program.idbs();
     let mut cfg = Cfg::new(program.preds.name(program.target));
@@ -35,14 +36,13 @@ pub fn chain_to_cfg(program: &Program) -> Result<Cfg, String> {
 
 /// Convert a CFG (without ε-productions) to the corresponding basic chain
 /// Datalog program.
-pub fn cfg_to_chain(cfg: &Cfg) -> Result<Program, String> {
+pub fn cfg_to_chain(cfg: &Cfg) -> Result<Program, Error> {
     let mut program = Program::new(cfg.nonterminal_name(cfg.start));
     for production in &cfg.productions {
         if production.body.is_empty() {
-            return Err(
-                "ε-productions have no chain-Datalog counterpart (a safe rule needs a body)"
-                    .into(),
-            );
+            return Err(Error::unsupported(
+                "ε-productions have no chain-Datalog counterpart (a safe rule needs a body)",
+            ));
         }
         let head_pred = program.preds.intern(cfg.nonterminal_name(production.head));
         let k = production.body.len();

@@ -1,0 +1,165 @@
+//! The workspace-wide typed error of `datalog-circuits`.
+//!
+//! Every fallible public API in `grammar`, `datalog`, `circuit`, and
+//! `provcirc` returns [`Error`] (re-exported from each crate root), so `?`
+//! composes across layers and callers can match on failure classes instead
+//! of scraping strings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Convenient result alias over [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Everything that can go wrong between Datalog text and a semiring answer.
+///
+/// The enum is deliberately `Clone`: the [`Engine`] session caches fallible
+/// computations (grounding, provenance) and must be able to replay a stored
+/// failure.
+///
+/// [`Engine`]: https://docs.rs/provcirc
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Textual input (Datalog program, grammar, regex, graph file) failed
+    /// to parse. `line` is 1-based when known.
+    Parse {
+        /// What was being parsed ("program", "grammar", "regex", …).
+        what: &'static str,
+        /// 1-based source line, when known.
+        line: Option<usize>,
+        /// Parser diagnostic.
+        message: String,
+    },
+    /// A structurally invalid program (arity clash, unsafe head variable,
+    /// non-IDB target, empty body).
+    InvalidProgram(String),
+    /// A predicate name not interned in the program.
+    UnknownPredicate(String),
+    /// A malformed query (wrong tuple arity, constant outside the domain
+    /// where one is required, …).
+    BadQuery(String),
+    /// Command-line / API misuse (missing flag, unknown subcommand) —
+    /// distinct from [`Error::BadQuery`], which is about query *content*.
+    Usage(String),
+    /// Grounding exceeded the configured rule limit.
+    GroundingLimit {
+        /// The limit that was hit.
+        max_rules: usize,
+    },
+    /// Fixpoint evaluation did not converge within its iteration budget.
+    Diverged {
+        /// The budget that was exhausted.
+        iterations: usize,
+    },
+    /// The requested operation does not apply to this program/input
+    /// combination (graph-only strategy without a graph, infinite language
+    /// where a finite one is required, non-chain program, cyclic DAG input,
+    /// …).
+    Unsupported(String),
+    /// A structurally invalid circuit (forward reference, output out of
+    /// range).
+    InvalidCircuit(String),
+    /// An oracle cross-check failed: a construction disagrees with the
+    /// brute-force definition of provenance.
+    VerificationFailed(String),
+    /// An enumeration blew past its cap (proof trees, expansions).
+    TooLarge(String),
+    /// Filesystem / CLI-level failure.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The OS diagnostic.
+        message: String,
+    },
+}
+
+impl Error {
+    /// Shorthand for [`Error::Usage`].
+    pub fn usage(message: impl Into<String>) -> Error {
+        Error::Usage(message.into())
+    }
+
+    /// Shorthand for a [`Error::Parse`] without line information.
+    pub fn parse(what: &'static str, message: impl Into<String>) -> Error {
+        Error::Parse {
+            what,
+            line: None,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a [`Error::Parse`] at a 1-based line.
+    pub fn parse_at(what: &'static str, line: usize, message: impl Into<String>) -> Error {
+        Error::Parse {
+            what,
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for [`Error::Unsupported`].
+    pub fn unsupported(message: impl Into<String>) -> Error {
+        Error::Unsupported(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse {
+                what,
+                line: Some(line),
+                message,
+            } => write!(f, "{what} parse error at line {line}: {message}"),
+            Error::Parse {
+                what,
+                line: None,
+                message,
+            } => write!(f, "{what} parse error: {message}"),
+            Error::InvalidProgram(m) => write!(f, "invalid program: {m}"),
+            Error::UnknownPredicate(p) => write!(f, "unknown predicate '{p}'"),
+            Error::BadQuery(m) => write!(f, "bad query: {m}"),
+            Error::Usage(m) => write!(f, "{m}"),
+            Error::GroundingLimit { max_rules } => {
+                write!(
+                    f,
+                    "grounding exceeds the limit of {max_rules} grounded rules"
+                )
+            }
+            Error::Diverged { iterations } => write!(
+                f,
+                "fixpoint evaluation did not converge within {iterations} iterations"
+            ),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::InvalidCircuit(m) => write!(f, "invalid circuit: {m}"),
+            Error::VerificationFailed(m) => write!(f, "verification failed: {m}"),
+            Error::TooLarge(m) => write!(f, "instance too large: {m}"),
+            Error::Io { path, message } => write!(f, "io error on {path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::parse_at("program", 3, "missing ':-'");
+        assert_eq!(e.to_string(), "program parse error at line 3: missing ':-'");
+        assert!(Error::GroundingLimit { max_rules: 10 }
+            .to_string()
+            .contains("10"));
+    }
+
+    #[test]
+    fn errors_are_clone_and_eq() {
+        let e = Error::unsupported("no graph");
+        assert_eq!(e.clone(), e);
+    }
+}

@@ -93,7 +93,7 @@ impl CfgAnalysis {
             for &(a, b, c) in &cnf.binary {
                 if let (Some(lb), Some(lc)) = (min_len[b as usize], min_len[c as usize]) {
                     let cand = lb + lc;
-                    if min_len[a as usize].map_or(true, |cur| cand < cur) {
+                    if min_len[a as usize].is_none_or(|cur| cand < cur) {
                         min_len[a as usize] = Some(cand);
                         changed = true;
                     }
@@ -222,8 +222,7 @@ impl CfgAnalysis {
             }
             for &(h, b, c) in &cnf.binary {
                 if h == a && an.generating[b as usize] && an.generating[c as usize] {
-                    let v = rec(cnf, an, b, memo, visiting)
-                        + rec(cnf, an, c, memo, visiting);
+                    let v = rec(cnf, an, b, memo, visiting) + rec(cnf, an, c, memo, visiting);
                     best = best.max(v);
                 }
             }

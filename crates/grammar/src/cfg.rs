@@ -193,7 +193,8 @@ impl Cfg {
     /// The head of the first rule is the start symbol. A token is a
     /// non-terminal iff it appears as the head of some rule; everything else
     /// is a terminal. `eps` denotes the empty body.
-    pub fn parse(text: &str) -> Result<Cfg, String> {
+    pub fn parse(text: &str) -> Result<Cfg, provcirc_error::Error> {
+        use provcirc_error::Error;
         let mut lines = Vec::new();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -202,15 +203,19 @@ impl Cfg {
             }
             let (head, rhs) = line
                 .split_once("->")
-                .ok_or_else(|| format!("line {}: missing '->'", lineno + 1))?;
+                .ok_or_else(|| Error::parse_at("grammar", lineno + 1, "missing '->'"))?;
             let head = head.trim();
             if head.is_empty() || head.contains(char::is_whitespace) {
-                return Err(format!("line {}: bad head '{head}'", lineno + 1));
+                return Err(Error::parse_at(
+                    "grammar",
+                    lineno + 1,
+                    format!("bad head '{head}'"),
+                ));
             }
             lines.push((head.to_owned(), rhs.to_owned()));
         }
         if lines.is_empty() {
-            return Err("empty grammar".into());
+            return Err(Error::parse("grammar", "empty grammar"));
         }
         let heads: std::collections::HashSet<&str> =
             lines.iter().map(|(h, _)| h.as_str()).collect();
@@ -286,10 +291,7 @@ mod tests {
         let cfg = Cfg::parse("S -> A b\nA -> a").unwrap();
         assert_eq!(cfg.num_nonterminals(), 2);
         assert_eq!(cfg.alphabet.len(), 2);
-        assert_eq!(
-            cfg.productions[0].body,
-            vec![Symbol::N(1), Symbol::T(0)]
-        );
+        assert_eq!(cfg.productions[0].body, vec![Symbol::N(1), Symbol::T(0)]);
     }
 
     #[test]

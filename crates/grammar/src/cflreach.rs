@@ -111,19 +111,18 @@ pub fn solve(
     let mut worklist: Vec<usize> = Vec::new();
     let mut pending: Vec<(usize, CflDerivationBody)> = Vec::new();
 
-    let add_fact =
-        |res: &mut CflResult, worklist: &mut Vec<usize>, fact: CflFact| -> usize {
-            match res.fact_index.get(&(fact.nt, fact.src, fact.dst)) {
-                Some(&i) => i,
-                None => {
-                    let i = res.facts.len();
-                    res.facts.push(fact);
-                    res.fact_index.insert((fact.nt, fact.src, fact.dst), i);
-                    worklist.push(i);
-                    i
-                }
+    let add_fact = |res: &mut CflResult, worklist: &mut Vec<usize>, fact: CflFact| -> usize {
+        match res.fact_index.get(&(fact.nt, fact.src, fact.dst)) {
+            Some(&i) => i,
+            None => {
+                let i = res.facts.len();
+                res.facts.push(fact);
+                res.fact_index.insert((fact.nt, fact.src, fact.dst), i);
+                worklist.push(i);
+                i
             }
-        };
+        }
+    };
 
     // Seed with unary productions over edges.
     for (ei, &(u, v, t)) in edges.iter().enumerate() {
@@ -145,8 +144,11 @@ pub fn solve(
             }
         }
     }
-    res.derivations
-        .extend(pending.drain(..).map(|(head, body)| CflDerivation { head, body }));
+    res.derivations.extend(
+        pending
+            .drain(..)
+            .map(|(head, body)| CflDerivation { head, body }),
+    );
 
     // Worklist: each popped fact joins with previously popped facts, so every
     // unordered combination is enumerated exactly once.
@@ -246,8 +248,7 @@ mod tests {
     fn tc_on_a_cycle_reaches_everything() {
         let (cnf, start) = tc_setup();
         let e = cnf.alphabet.get("E").unwrap();
-        let edges: Vec<(Node, Node, Terminal)> =
-            (0..4u32).map(|i| (i, (i + 1) % 4, e)).collect();
+        let edges: Vec<(Node, Node, Terminal)> = (0..4u32).map(|i| (i, (i + 1) % 4, e)).collect();
         let res = solve(&cnf, 4, &edges, CflOptions::default());
         for i in 0..4u32 {
             for j in 0..4u32 {
@@ -346,7 +347,10 @@ mod tests {
         // Reachability on a path spelling w from 0 to n iff w ∈ L — for a
         // spread of words and grammars.
         for (text, words) in [
-            ("S -> a S b | a b", vec!["ab", "aabb", "ba", "abab", "aaabbb"]),
+            (
+                "S -> a S b | a b",
+                vec!["ab", "aabb", "ba", "abab", "aaabbb"],
+            ),
             ("S -> S S | a", vec!["a", "aa", "aaa", ""]),
         ] {
             let cnf = Cnf::from_cfg(&Cfg::parse(text).unwrap());

@@ -98,9 +98,8 @@ impl Dfa {
     /// All transitions `(from, label, to)`.
     pub fn transitions(&self) -> impl Iterator<Item = (usize, Terminal, usize)> + '_ {
         (0..self.num_states).flat_map(move |s| {
-            (0..self.num_terminals as Terminal).filter_map(move |t| {
-                self.step(s, t).map(|to| (s, t, to))
-            })
+            (0..self.num_terminals as Terminal)
+                .filter_map(move |t| self.step(s, t).map(|to| (s, t, to)))
         })
     }
 
@@ -141,7 +140,9 @@ impl Dfa {
             rev[to].push(from);
         }
         let mut seen = vec![false; self.num_states];
-        let mut stack: Vec<usize> = (0..self.num_states).filter(|&s| self.accepting[s]).collect();
+        let mut stack: Vec<usize> = (0..self.num_states)
+            .filter(|&s| self.accepting[s])
+            .collect();
         for &s in &stack {
             seen[s] = true;
         }
@@ -230,7 +231,13 @@ impl Dfa {
             }
         };
         let mut class: Vec<usize> = (0..n)
-            .map(|s| if s < self.num_states && self.accepting[s] { 1 } else { 0 })
+            .map(|s| {
+                if s < self.num_states && self.accepting[s] {
+                    1
+                } else {
+                    0
+                }
+            })
             .collect();
         loop {
             let mut sig_index: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
@@ -253,9 +260,9 @@ impl Dfa {
         let dead_class = class[dead];
         let mut remap: HashMap<usize, usize> = HashMap::new();
         let mut order: Vec<usize> = Vec::new();
-        for s in 0..self.num_states {
-            if class[s] != dead_class && !remap.contains_key(&class[s]) {
-                remap.insert(class[s], order.len());
+        for (s, &cls) in class.iter().enumerate() {
+            if cls != dead_class && !remap.contains_key(&cls) {
+                remap.insert(cls, order.len());
                 order.push(s);
             }
         }
@@ -281,7 +288,13 @@ impl Dfa {
         } else {
             remap[&class[self.start]]
         };
-        Dfa::from_parts(order.len(), start, accepting, self.num_terminals, &transitions)
+        Dfa::from_parts(
+            order.len(),
+            start,
+            accepting,
+            self.num_terminals,
+            &transitions,
+        )
     }
 
     /// The complement DFA over the same alphabet (completes with a dead

@@ -31,6 +31,8 @@ pub mod pumping;
 pub mod regex;
 pub mod regular;
 
+pub use provcirc_error::Error;
+
 pub use analysis::{CfgAnalysis, LanguageSize};
 pub use cfg::{Alphabet, Cfg, NonTerminal, Production, Symbol, Terminal};
 pub use cflreach::{CflDerivation, CflDerivationBody, CflFact, CflOptions, CflResult};

@@ -270,11 +270,7 @@ mod tests {
         let cnf = Cnf::from_cfg(&Cfg::dyck1());
         let w = |s: &str| -> Vec<Terminal> {
             s.chars()
-                .map(|c| {
-                    cnf.alphabet
-                        .get(if c == '(' { "L" } else { "R" })
-                        .unwrap()
-                })
+                .map(|c| cnf.alphabet.get(if c == '(' { "L" } else { "R" }).unwrap())
                 .collect()
         };
         assert!(cnf.accepts(&w("()")));

@@ -109,11 +109,7 @@ fn shortest_path(
     None
 }
 
-fn reconstruct(
-    pred: &[Option<(usize, Terminal)>],
-    from: usize,
-    to: usize,
-) -> Vec<Terminal> {
+fn reconstruct(pred: &[Option<(usize, Terminal)>], from: usize, to: usize) -> Vec<Terminal> {
     let mut out = Vec::new();
     let mut cur = to;
     loop {
@@ -340,7 +336,10 @@ mod tests {
         let p = CfgPumping::from_cnf(&cnf, &analysis).unwrap();
         assert!(!p.v.is_empty() || !p.x.is_empty());
         for i in 0..5 {
-            assert!(cnf.accepts(&p.pump(i)), "u v^{i} w x^{i} y must be accepted");
+            assert!(
+                cnf.accepts(&p.pump(i)),
+                "u v^{i} w x^{i} y must be accepted"
+            );
         }
     }
 

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use provcirc_error::Error;
+
 /// A regular expression AST over named labels.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Regex {
@@ -31,12 +33,15 @@ pub enum Regex {
 
 impl Regex {
     /// Parse an expression such as `E*`, `a (b | c)+ d?`, `knows* likes`.
-    pub fn parse(input: &str) -> Result<Regex, String> {
+    pub fn parse(input: &str) -> Result<Regex, Error> {
         let tokens = tokenize(input)?;
         let mut p = Parser { tokens, pos: 0 };
         let re = p.alt()?;
         if p.pos != p.tokens.len() {
-            return Err(format!("unexpected token at position {}", p.pos));
+            return Err(Error::parse(
+                "regex",
+                format!("unexpected token at position {}", p.pos),
+            ));
         }
         Ok(re)
     }
@@ -132,7 +137,7 @@ enum Token {
     Quest,
 }
 
-fn tokenize(input: &str) -> Result<Vec<Token>, String> {
+fn tokenize(input: &str) -> Result<Vec<Token>, Error> {
     let mut out = Vec::new();
     let mut chars = input.chars().peekable();
     while let Some(&c) = chars.peek() {
@@ -176,7 +181,12 @@ fn tokenize(input: &str) -> Result<Vec<Token>, String> {
                 }
                 out.push(Token::Ident(ident));
             }
-            other => return Err(format!("unexpected character '{other}'")),
+            other => {
+                return Err(Error::parse(
+                    "regex",
+                    format!("unexpected character '{other}'"),
+                ))
+            }
         }
     }
     Ok(out)
@@ -192,7 +202,7 @@ impl Parser {
         self.tokens.get(self.pos)
     }
 
-    fn alt(&mut self) -> Result<Regex, String> {
+    fn alt(&mut self) -> Result<Regex, Error> {
         let mut parts = vec![self.concat()?];
         while self.peek() == Some(&Token::Pipe) {
             self.pos += 1;
@@ -205,7 +215,7 @@ impl Parser {
         })
     }
 
-    fn concat(&mut self) -> Result<Regex, String> {
+    fn concat(&mut self) -> Result<Regex, Error> {
         let mut parts = Vec::new();
         while matches!(self.peek(), Some(Token::Ident(_)) | Some(Token::LParen)) {
             parts.push(self.postfix()?);
@@ -217,7 +227,7 @@ impl Parser {
         })
     }
 
-    fn postfix(&mut self) -> Result<Regex, String> {
+    fn postfix(&mut self) -> Result<Regex, Error> {
         let mut re = self.atom()?;
         loop {
             match self.peek() {
@@ -239,7 +249,7 @@ impl Parser {
         Ok(re)
     }
 
-    fn atom(&mut self) -> Result<Regex, String> {
+    fn atom(&mut self) -> Result<Regex, Error> {
         match self.peek().cloned() {
             Some(Token::Ident(name)) => {
                 self.pos += 1;
@@ -249,12 +259,15 @@ impl Parser {
                 self.pos += 1;
                 let re = self.alt()?;
                 if self.peek() != Some(&Token::RParen) {
-                    return Err("missing ')'".into());
+                    return Err(Error::parse("regex", "missing ')'"));
                 }
                 self.pos += 1;
                 Ok(re)
             }
-            other => Err(format!("expected atom, got {other:?}")),
+            other => Err(Error::parse(
+                "regex",
+                format!("expected atom, got {other:?}"),
+            )),
         }
     }
 }

@@ -1,6 +1,5 @@
 //! Generators for the input families the paper's bounds are stated on.
 
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -127,7 +126,10 @@ pub fn grid(rows: usize, cols: usize, right: &str, down: &str) -> LabeledDigraph
 /// `2 * pairs` over labels `L`/`R` (the Dyck-1 workload of Example 6.4).
 pub fn dyck_path(pairs: usize, seed: u64) -> LabeledDigraph {
     let word = random_dyck_word(pairs, seed);
-    let labels: Vec<&str> = word.iter().map(|&open| if open { "L" } else { "R" }).collect();
+    let labels: Vec<&str> = word
+        .iter()
+        .map(|&open| if open { "L" } else { "R" })
+        .collect();
     word_path(&labels)
 }
 
@@ -136,9 +138,8 @@ pub fn dyck_path(pairs: usize, seed: u64) -> LabeledDigraph {
 pub fn random_dyck_word(pairs: usize, seed: u64) -> Vec<bool> {
     let mut rng = StdRng::seed_from_u64(seed);
     // Random sequence with equal opens/closes.
-    let mut seq: Vec<bool> = std::iter::repeat(true)
-        .take(pairs)
-        .chain(std::iter::repeat(false).take(pairs))
+    let mut seq: Vec<bool> = std::iter::repeat_n(true, pairs)
+        .chain(std::iter::repeat_n(false, pairs))
         .collect();
     for i in (1..seq.len()).rev() {
         let j = rng.gen_range(0..=i);

@@ -75,12 +75,7 @@ mod tests {
 
     /// Boolean RPQ answer via the product graph: (u,v) iff some accept state
     /// (v, qf) is reachable from (u, q0).
-    fn rpq_via_product(
-        graph: &LabeledDigraph,
-        dfa: &Dfa,
-        src: NodeId,
-        dst: NodeId,
-    ) -> bool {
+    fn rpq_via_product(graph: &LabeledDigraph, dfa: &Dfa, src: NodeId, dst: NodeId) -> bool {
         let prod = product_with_dfa(graph, dfa);
         let start = prod.node(src, dfa.start);
         // BFS on product edges.
@@ -99,8 +94,7 @@ mod tests {
                 }
             }
         }
-        (0..dfa.num_states)
-            .any(|q| dfa.accepting[q] && seen[prod.node(dst, q) as usize])
+        (0..dfa.num_states).any(|q| dfa.accepting[q] && seen[prod.node(dst, q) as usize])
     }
 
     #[test]
@@ -144,8 +138,8 @@ mod tests {
         for src in 0..5 {
             let reach = g.reachable_from(src);
             for dst in 0..g.num_nodes() as NodeId {
-                let expect = reach[dst as usize] && src != dst
-                    || (src == dst && has_cycle_through(&g, src));
+                let expect =
+                    reach[dst as usize] && src != dst || (src == dst && has_cycle_through(&g, src));
                 // E+ requires at least one edge; src==dst needs a cycle.
                 assert_eq!(
                     rpq_via_product(&g, &dfa, src, dst),

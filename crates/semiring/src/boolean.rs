@@ -1,6 +1,8 @@
 //! The Boolean semiring `B = ({false, true}, ∨, ∧, false, true)`.
 
-use crate::traits::{AddIdempotent, Absorptive, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable};
+use crate::traits::{
+    Absorptive, AddIdempotent, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable,
+};
 
 /// The Boolean semiring, the base case of all the paper's dichotomies:
 /// lower bounds proven over `B` transfer up to every positive semiring

@@ -6,7 +6,7 @@
 //! convenient for exact cross-semiring agreement tests (Corollary 4.7).
 
 use crate::traits::{
-    AddIdempotent, Absorptive, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable,
+    Absorptive, AddIdempotent, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable,
 };
 
 /// The bottleneck (max-min) capacity semiring; `u64::MAX` encodes `∞`.

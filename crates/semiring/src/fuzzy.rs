@@ -7,7 +7,7 @@
 //! equality is exact.
 
 use crate::traits::{
-    AddIdempotent, Absorptive, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable,
+    Absorptive, AddIdempotent, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable,
 };
 
 /// The fuzzy (max-min) semiring on `[0, 1]`.
@@ -80,7 +80,12 @@ mod tests {
 
     #[test]
     fn laws_and_chom_membership() {
-        let vals = [Fuzzy::new(0.0), Fuzzy::new(0.3), Fuzzy::new(0.7), Fuzzy::new(1.0)];
+        let vals = [
+            Fuzzy::new(0.0),
+            Fuzzy::new(0.3),
+            Fuzzy::new(0.7),
+            Fuzzy::new(1.0),
+        ];
         for a in &vals {
             for b in &vals {
                 for c in &vals {

@@ -36,6 +36,7 @@ pub mod properties;
 pub mod traits;
 pub mod tropical;
 pub mod tropk;
+pub mod valuation;
 pub mod viterbi;
 pub mod whyprov;
 
@@ -46,10 +47,13 @@ pub use fuzzy::Fuzzy;
 pub use lukasiewicz::Lukasiewicz;
 pub use polynomial::{Monomial, Sorp, VarId};
 pub use traits::{
-    AddIdempotent, Absorptive, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable,
+    Absorptive, AddIdempotent, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable,
 };
 pub use tropical::{Tropical, TropicalZ};
 pub use tropk::TropK;
+pub use valuation::{
+    from_fn, AllOnes, FnVal, FromEdgeWeights, PerFact, UnitWeights, Valuation, VarTags,
+};
 pub use viterbi::Viterbi;
 pub use whyprov::WhyProv;
 
@@ -62,10 +66,13 @@ pub mod prelude {
     pub use crate::lukasiewicz::Lukasiewicz;
     pub use crate::polynomial::{Monomial, Sorp, VarId};
     pub use crate::traits::{
-        AddIdempotent, Absorptive, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable,
+        Absorptive, AddIdempotent, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable,
     };
     pub use crate::tropical::{Tropical, TropicalZ};
     pub use crate::tropk::TropK;
+    pub use crate::valuation::{
+        from_fn, AllOnes, FnVal, FromEdgeWeights, PerFact, UnitWeights, Valuation, VarTags,
+    };
     pub use crate::viterbi::Viterbi;
     pub use crate::whyprov::WhyProv;
 }

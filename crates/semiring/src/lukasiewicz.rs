@@ -10,7 +10,7 @@
 //! leaves. Exact on the grid `k/1000`, so equality is exact in tests that
 //! stick to it; [`Semiring::sr_eq`] still uses a tolerance for safety.
 
-use crate::traits::{AddIdempotent, Absorptive, NaturallyOrdered, Positive, Semiring, Stable};
+use crate::traits::{Absorptive, AddIdempotent, NaturallyOrdered, Positive, Semiring, Stable};
 
 /// The Łukasiewicz (max, bounded-sum) semiring on `[0, 1]`.
 #[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]

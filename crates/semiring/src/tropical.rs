@@ -6,7 +6,7 @@
 //! `T⁻ = (ℤ ∪ {∞}, min, +, ∞, 0)` — ⊕-idempotent but *not* absorptive
 //! (`min(0, -1) ≠ 0`), the paper's example separating the two classes.
 
-use crate::traits::{AddIdempotent, Absorptive, NaturallyOrdered, Positive, Semiring, Stable};
+use crate::traits::{Absorptive, AddIdempotent, NaturallyOrdered, Positive, Semiring, Stable};
 
 /// The tropical semiring over natural weights; `u64::MAX` encodes `+∞`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]

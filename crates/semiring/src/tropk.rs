@@ -50,7 +50,9 @@ impl<const K: usize> Semiring for TropK<K> {
     const NAME: &'static str = "trop-k";
 
     fn zero() -> Self {
-        TropK { weights: Vec::new() }
+        TropK {
+            weights: Vec::new(),
+        }
     }
 
     fn one() -> Self {

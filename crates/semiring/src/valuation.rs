@@ -1,0 +1,224 @@
+//! Valuations: typed assignments of semiring values to provenance
+//! variables (paper §2.4's `ν : X → S`, with `FactId = VarId`).
+//!
+//! A [`Valuation`] replaces the bare `&dyn Fn(VarId) -> S` plumbing that
+//! used to thread through evaluation, circuits, and verification. Named
+//! valuations make the common interpretations first-class and inferrable:
+//!
+//! * [`AllOnes`] — every fact ↦ `1` (Boolean derivability, iteration
+//!   probes);
+//! * [`UnitWeights`] — every fact ↦ one fixed value (e.g.
+//!   `Tropical::new(1)` for hop counting);
+//! * [`FromEdgeWeights`] — graph workloads: the i-th edge fact ↦ its
+//!   weight;
+//! * [`PerFact`] — an explicit per-fact map with a default;
+//! * [`VarTags`] — every fact ↦ its own [`Sorp`] variable (the §2.4
+//!   provenance-polynomial tagging);
+//! * [`from_fn`] — wrap an arbitrary closure.
+
+use std::collections::HashMap;
+
+use crate::polynomial::{Sorp, VarId};
+use crate::traits::Semiring;
+
+/// An assignment of semiring values to provenance variables.
+pub trait Valuation<S: Semiring> {
+    /// The value of variable (fact) `var`.
+    fn value(&self, var: VarId) -> S;
+}
+
+impl<S: Semiring, V: Valuation<S> + ?Sized> Valuation<S> for &V {
+    fn value(&self, var: VarId) -> S {
+        (**self).value(var)
+    }
+}
+
+/// Every fact gets the multiplicative identity `1`.
+///
+/// Over [`crate::Bool`] this is plain derivability; over any semiring it is
+/// the "all facts free" interpretation used by the boundedness probes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllOnes;
+
+impl<S: Semiring> Valuation<S> for AllOnes {
+    fn value(&self, _: VarId) -> S {
+        S::one()
+    }
+}
+
+/// Every fact gets the same fixed value — the "unit weight" interpretation
+/// (e.g. `UnitWeights::new(Tropical::new(1))` makes tropical evaluation
+/// count hops).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitWeights<S> {
+    unit: S,
+}
+
+impl<S: Semiring> UnitWeights<S> {
+    /// The valuation mapping every fact to `unit`.
+    pub fn new(unit: S) -> Self {
+        UnitWeights { unit }
+    }
+}
+
+impl<S: Semiring> Valuation<S> for UnitWeights<S> {
+    fn value(&self, _: VarId) -> S {
+        self.unit.clone()
+    }
+}
+
+/// Weights aligned with a graph's edge list: `edge_facts[i] ↦ weights[i]`.
+///
+/// Facts outside the edge list (seeded unary facts, for instance) evaluate
+/// to the default, which is `1` unless overridden — so they do not disturb
+/// products.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FromEdgeWeights<S> {
+    by_var: HashMap<VarId, S>,
+    default: S,
+}
+
+impl<S: Semiring> FromEdgeWeights<S> {
+    /// Pair the i-th edge fact with the i-th weight (the slices must be
+    /// aligned, as produced by `Database::from_graph`).
+    pub fn new(edge_facts: &[VarId], weights: &[S]) -> Self {
+        assert_eq!(
+            edge_facts.len(),
+            weights.len(),
+            "edge fact ids and weights must align"
+        );
+        FromEdgeWeights {
+            by_var: edge_facts
+                .iter()
+                .copied()
+                .zip(weights.iter().cloned())
+                .collect(),
+            default: S::one(),
+        }
+    }
+
+    /// Derive weights from edge indices: `edge_facts[i] ↦ f(i)`.
+    pub fn from_fn(edge_facts: &[VarId], f: impl Fn(usize) -> S) -> Self {
+        let weights: Vec<S> = (0..edge_facts.len()).map(f).collect();
+        Self::new(edge_facts, &weights)
+    }
+
+    /// Override the value of facts outside the edge list.
+    pub fn with_default(mut self, default: S) -> Self {
+        self.default = default;
+        self
+    }
+}
+
+impl<S: Semiring> Valuation<S> for FromEdgeWeights<S> {
+    fn value(&self, var: VarId) -> S {
+        self.by_var.get(&var).unwrap_or(&self.default).clone()
+    }
+}
+
+/// An explicit per-fact map with a default for unmapped facts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PerFact<S> {
+    map: HashMap<VarId, S>,
+    default: S,
+}
+
+impl<S: Semiring> PerFact<S> {
+    /// An empty map defaulting unmapped facts to `1`.
+    pub fn new() -> Self {
+        Self::with_default(S::one())
+    }
+
+    /// An empty map with the given default.
+    pub fn with_default(default: S) -> Self {
+        PerFact {
+            map: HashMap::new(),
+            default,
+        }
+    }
+
+    /// Set the value of one fact (builder style).
+    pub fn set(mut self, var: VarId, value: S) -> Self {
+        self.map.insert(var, value);
+        self
+    }
+
+    /// Set the value of one fact in place.
+    pub fn insert(&mut self, var: VarId, value: S) {
+        self.map.insert(var, value);
+    }
+}
+
+impl<S: Semiring> Default for PerFact<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Semiring> Valuation<S> for PerFact<S> {
+    fn value(&self, var: VarId) -> S {
+        self.map.get(&var).unwrap_or(&self.default).clone()
+    }
+}
+
+/// Every fact tagged by its own polynomial variable — evaluation under
+/// `VarTags` yields the canonical provenance polynomial of §2.4.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VarTags;
+
+impl Valuation<Sorp> for VarTags {
+    fn value(&self, var: VarId) -> Sorp {
+        Sorp::var(var)
+    }
+}
+
+/// A closure as a valuation (see [`from_fn`]).
+#[derive(Clone, Copy, Debug)]
+pub struct FnVal<F>(pub F);
+
+impl<S: Semiring, F: Fn(VarId) -> S> Valuation<S> for FnVal<F> {
+    fn value(&self, var: VarId) -> S {
+        (self.0)(var)
+    }
+}
+
+/// Wrap an arbitrary `Fn(VarId) -> S` as a [`Valuation`].
+pub fn from_fn<S: Semiring, F: Fn(VarId) -> S>(f: F) -> FnVal<F> {
+    FnVal(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tropical::Tropical;
+    use crate::Semiring;
+
+    #[test]
+    fn named_valuations_behave() {
+        let ones: Tropical = AllOnes.value(3);
+        assert_eq!(ones, Tropical::one());
+        assert_eq!(
+            UnitWeights::new(Tropical::new(2)).value(9),
+            Tropical::new(2)
+        );
+        let w = FromEdgeWeights::new(&[4, 7], &[Tropical::new(10), Tropical::new(20)]);
+        assert_eq!(w.value(7), Tropical::new(20));
+        assert_eq!(w.value(0), Tropical::one());
+        let p = PerFact::with_default(Tropical::zero()).set(1, Tropical::new(5));
+        assert_eq!(p.value(1), Tropical::new(5));
+        assert_eq!(p.value(2), Tropical::zero());
+        assert_eq!(VarTags.value(6), Sorp::var(6));
+        assert_eq!(
+            from_fn(|v| Tropical::new(v as u64)).value(8),
+            Tropical::new(8)
+        );
+    }
+
+    #[test]
+    fn references_are_valuations_too() {
+        fn total<V: Valuation<Tropical>>(v: &V) -> Tropical {
+            v.value(0).mul(&v.value(1))
+        }
+        assert_eq!(total(&UnitWeights::new(Tropical::new(3))), Tropical::new(6));
+    }
+}

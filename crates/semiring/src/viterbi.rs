@@ -5,7 +5,7 @@
 //! of floats is associative only up to rounding, so [`Viterbi`] overrides
 //! [`Semiring::sr_eq`] with a small tolerance.
 
-use crate::traits::{AddIdempotent, Absorptive, NaturallyOrdered, Positive, Semiring, Stable};
+use crate::traits::{Absorptive, AddIdempotent, NaturallyOrdered, Positive, Semiring, Stable};
 
 /// The Viterbi (max-product) semiring on `[0, 1]`.
 #[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]

@@ -10,7 +10,7 @@
 use std::collections::BTreeSet;
 
 use crate::traits::{
-    AddIdempotent, Absorptive, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable,
+    Absorptive, AddIdempotent, MulIdempotent, NaturallyOrdered, Positive, Semiring, Stable,
 };
 
 /// A witness: a set of EDB fact ids.

@@ -116,7 +116,7 @@ proptest! {
 
     #[test]
     fn sorp_eval_is_homomorphism_into_tropical(p in sorp(), q in sorp()) {
-        let assign = |v: VarId| Tropical::new((v as u64 % 7) + 1);
+        let assign = semiring::from_fn(|v: VarId| Tropical::new((v as u64 % 7) + 1));
         prop_assert_eq!(
             p.add(&q).eval(&assign),
             p.eval(&assign).add(&q.eval(&assign))
@@ -130,7 +130,7 @@ proptest! {
     #[test]
     fn sorp_multilinear_eval_agrees_on_chom(p in sorp()) {
         // Over a ⊗-idempotent semiring, capping exponents changes nothing.
-        let assign = |v: VarId| Bottleneck::new((v as u64 % 5) + 1);
+        let assign = semiring::from_fn(|v: VarId| Bottleneck::new((v as u64 % 5) + 1));
         prop_assert_eq!(p.eval(&assign), p.multilinear().eval(&assign));
     }
 

@@ -6,10 +6,10 @@
 //! cargo run --example boundedness_explorer
 //! ```
 
-use datalog_circuits::core::{cross_semiring_iterations, decide_boundedness};
-use datalog_circuits::datalog::{self, programs, Database};
+use datalog_circuits::datalog::{programs, Database};
 use datalog_circuits::graphgen::generators;
-use datalog_circuits::semiring::Bool;
+use datalog_circuits::provcirc::{cross_semiring_iterations, decide_boundedness, Engine};
+use datalog_circuits::semiring::{AllOnes, Bool};
 
 fn main() {
     let suite = [
@@ -28,7 +28,10 @@ fn main() {
     }
 
     println!("\n— empirical probe (Definition 4.1): iterations to fixpoint on paths —");
-    println!("  {:<24} {:>5} {:>5} {:>5} {:>5}", "program", "n=4", "n=8", "n=16", "n=32");
+    println!(
+        "  {:<24} {:>5} {:>5} {:>5} {:>5}",
+        "program", "n=4", "n=8", "n=16", "n=32"
+    );
     for (name, p) in &suite {
         let mut row = Vec::new();
         for n in [4usize, 8, 16, 32] {
@@ -39,20 +42,23 @@ fn main() {
             } else {
                 generators::path(n, "E")
             };
-            let mut prog = p.clone();
-            let (mut db, _) = Database::from_graph(&mut prog, &g);
             // Seed unary EDBs the programs may need (A for Example 4.2 /
-            // monadic reachability; F-labeled graphs reuse E here).
-            seed(&mut prog, &mut db, n);
-            match datalog::ground(&prog, &db) {
-                Ok(gp) => {
-                    let run = datalog::eval_all_ones::<Bool>(&gp, datalog::default_budget(&gp));
-                    row.push(if run.converged {
-                        run.iterations.to_string()
-                    } else {
-                        "∞".to_owned()
-                    });
-                }
+            // monadic reachability — at the path's end, since monadic
+            // reachability propagates U backwards; F sibling pairs for
+            // same-generation).
+            let mut b = Engine::builder().program(p.clone()).graph(&g);
+            if p.preds.get("A").is_some() {
+                b = b.fact("A", &[&format!("v{n}")]);
+            }
+            if p.preds.get("F").is_some() {
+                b = b.fact("F", &["v0", "v1"]);
+            }
+            match b.build().and_then(|e| e.fixpoint::<Bool, _>(&AllOnes)) {
+                Ok(run) => row.push(if run.converged {
+                    run.iterations.to_string()
+                } else {
+                    "∞".to_owned()
+                }),
                 Err(_) => row.push("-".to_owned()),
             }
         }
@@ -75,21 +81,5 @@ fn main() {
     let rows = cross_semiring_iterations(&tc, &dbs).unwrap();
     for (i, (b, f, k)) in rows.iter().enumerate() {
         println!("  input {i}: Bool={b}, Fuzzy={f}, Bottleneck={k}");
-    }
-}
-
-fn seed(prog: &mut datalog::Program, db: &mut Database, n: usize) {
-    if let Some(a) = prog.preds.get("A") {
-        // Monadic reachability propagates U backwards along edges, so the
-        // seed goes at the path's end to make the recursion run.
-        if let Some(vn) = db.node_const(n) {
-            db.insert(a, vec![vn]);
-        }
-    }
-    if let Some(f) = prog.preds.get("F") {
-        // same-generation: make the two endpoints siblings.
-        if let (Some(u), Some(v)) = (db.node_const(0), db.node_const(n.min(1))) {
-            db.insert(f, vec![u, v]);
-        }
     }
 }

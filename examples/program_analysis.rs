@@ -6,10 +6,10 @@
 //! cargo run --example program_analysis
 //! ```
 
-use datalog_circuits::circuit;
-use datalog_circuits::datalog::{self, programs};
+use datalog_circuits::datalog::programs;
 use datalog_circuits::grammar::{CflOptions, Cnf};
 use datalog_circuits::graphgen::LabeledDigraph;
+use datalog_circuits::provcirc::prelude::*;
 use datalog_circuits::semiring::prelude::*;
 
 fn main() {
@@ -25,7 +25,8 @@ fn main() {
     g.add_edge(3, 4, "R");
     g.add_edge(0, 5, "R");
 
-    // Route 1: the CFL-reachability worklist engine (Definition 5.1).
+    // Route 1: the CFL-reachability worklist engine (Definition 5.1), as an
+    // independent oracle for the Datalog session below.
     let cnf = Cnf::from_cfg(&datalog_circuits::grammar::Cfg::dyck1());
     let edges: Vec<(u32, u32, u32)> = g
         .edges()
@@ -46,27 +47,39 @@ fn main() {
     assert!(res.holds(cnf.start, 1, 3)); // inner pair
     assert!(!res.holds(cnf.start, 0, 5)); // unmatched return
 
-    // Route 2: the Datalog engine + the Ullman–Van Gelder circuit
+    // Route 2: an Engine session + the Ullman–Van Gelder circuit
     // (Theorem 6.2) — Dyck-1 has the polynomial fringe property, so the
     // provenance circuit has depth O(log² m) despite the non-linear rules.
-    let mut p = programs::dyck1();
-    let (db, _) = datalog::Database::from_graph(&mut p, &g);
-    let gp = datalog::ground(&p, &db).unwrap();
-    let s = p.preds.get("S").unwrap();
-    let fact = gp
-        .fact(s, &[db.node_const(0).unwrap(), db.node_const(4).unwrap()])
-        .expect("flow 0⇒4 derivable");
-    let uvg = circuit::uvg_circuit(&gp, None);
-    let c = uvg.circuit_for(fact);
-    let st = circuit::stats(&c);
+    let engine = Engine::builder()
+        .program(programs::dyck1())
+        .graph(&g)
+        .build()
+        .expect("build session");
+    let q = engine.query("S", &["v0", "v4"]).expect("query");
+    assert!(q.is_derivable().expect("ground"), "flow 0⇒4 derivable");
+    assert!(
+        !engine
+            .query("S", &["v0", "v5"])
+            .unwrap()
+            .is_derivable()
+            .unwrap(),
+        "unmatched return creates no flow"
+    );
+
+    let compiled = q.circuit(Strategy::UllmanVanGelder).expect("compile");
     println!(
         "\nUvG provenance circuit for flow 0⇒4: {} gates, depth {} (Θ(log² m))",
-        st.num_gates, st.depth
+        compiled.stats.num_gates, compiled.stats.depth
     );
-    println!("witnessing edge sets: {}", c.eval(&WhyProv::fact));
-    println!("polynomial: {}", c.polynomial());
+    println!(
+        "witnessing edge sets: {}",
+        compiled.circuit.eval(&from_fn(WhyProv::fact))
+    );
+    println!("polynomial: {}", q.provenance().expect("provenance"));
 
     // Fuzzy semiring: confidence of the flow = weakest analysis edge.
-    let conf = c.eval(&|e| Fuzzy::new(1.0 - 0.1 * e as f64));
+    let conf = compiled
+        .circuit
+        .eval(&from_fn(|e| Fuzzy::new(1.0 - 0.1 * e as f64)));
     println!("flow confidence (fuzzy): {conf}");
 }

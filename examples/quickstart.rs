@@ -1,59 +1,83 @@
-//! Quickstart: parse a Datalog program, classify it, compile a provenance
-//! circuit, and interpret it over several semirings.
+//! Quickstart: one `Engine` session from Datalog text to semiring answers —
+//! classify, query, compile a provenance circuit, and interpret it over
+//! several semirings.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use datalog_circuits::core::prelude::*;
 use datalog_circuits::graphgen::generators;
+use datalog_circuits::provcirc::prelude::*;
 use datalog_circuits::semiring::prelude::*;
 
 fn main() {
-    // The paper's running example: transitive closure (Example 2.1).
-    let program = datalog_circuits::datalog::parse_program(
-        "T(X,Y) :- E(X,Y).\n\
-         T(X,Y) :- T(X,Z), E(Z,Y).",
-    )
-    .expect("parse");
-    println!("program:\n{program}");
+    // The paper's running example: transitive closure (Example 2.1), as one
+    // session owning the program, the graph-backed database, and every
+    // cached derived artifact.
+    let engine = Engine::builder()
+        .program_text(
+            "T(X,Y) :- E(X,Y).\n\
+             T(X,Y) :- T(X,Z), E(Z,Y).",
+        )
+        .graph(&generators::gnm(8, 20, &["E"], 42))
+        .build()
+        .expect("build session");
+    println!("program:\n{}", engine.program());
 
     // 1. Classify: which side of the paper's dichotomies is this on?
-    let report = classify_program(&program, 5);
+    let report = engine.classification();
     println!("chain program:      {}", report.syntax.is_chain);
     println!("boundedness:        {:?}", report.boundedness.verdict);
     println!("depth upper bound:  {:?}", report.depth_upper);
     println!("depth lower bound:  {:?}", report.depth_lower);
     println!("formula size:       {:?}", report.formula);
 
-    // 2. Compile the provenance circuit of T(v0, v5) on a small graph.
-    let graph = generators::gnm(8, 20, &["E"], 42);
-    let compiled = compile_graph_fact(&program, &graph, 0, 5, Strategy::Auto)
-        .expect("compile");
+    // 2. Query T(v0, v5): evaluate directly, then compile the circuit.
+    let q = engine.node_query(0, 5).expect("query");
     println!(
-        "\ncompiled with {:?}: {} gates, depth {}",
+        "\nT(v0,v5) derivable: {}   shortest path (tropical, unit weights): {}",
+        q.eval::<Bool, _>(&AllOnes).unwrap(),
+        q.eval(&UnitWeights::new(Tropical::new(1))).unwrap()
+    );
+
+    let compiled = q.circuit(Strategy::Auto).expect("compile");
+    println!(
+        "compiled with {:?}: {} gates, depth {}",
         compiled.strategy, compiled.stats.num_gates, compiled.stats.depth
     );
 
     // 3. One circuit, many semirings (the whole point of provenance):
     let circuit = &compiled.circuit;
     println!("\ninterpretations of the same circuit:");
-    println!("  boolean (is v5 reachable?):        {}", circuit.eval(&|_| Bool(true)));
+    println!(
+        "  boolean (is v5 reachable?):        {}",
+        circuit.eval::<Bool, _>(&AllOnes)
+    );
     println!(
         "  tropical (shortest path, unit w):  {}",
-        circuit.eval(&|_| Tropical::new(1))
+        circuit.eval(&UnitWeights::new(Tropical::new(1)))
     );
     println!(
         "  counting-of-min-paths via Trop_3:  {}",
-        circuit.eval(&|_| TropK::<3>::single(1))
+        circuit.eval(&UnitWeights::new(TropK::<3>::single(1)))
     );
     println!(
         "  fuzzy (best weakest-link):         {}",
-        circuit.eval(&|e| Fuzzy::new(0.5 + (e % 5) as f64 / 10.0))
+        circuit.eval(&from_fn(|e| Fuzzy::new(0.5 + (e % 5) as f64 / 10.0)))
     );
     println!(
         "  why-provenance (minimal witnesses): {}",
-        circuit.eval(&WhyProv::fact)
+        circuit.eval(&from_fn(WhyProv::fact))
     );
-    println!("\ncanonical polynomial: {}", circuit.polynomial());
+    println!(
+        "\ncanonical polynomial: {}",
+        q.provenance().expect("provenance")
+    );
+
+    // The session grounded and classified exactly once for all of the above.
+    let stats = engine.cache_stats();
+    println!(
+        "\nsession work: {} grounding(s), {} classification(s), {} circuit(s) built",
+        stats.groundings, stats.classifications, stats.circuits_built
+    );
 }

@@ -6,31 +6,36 @@
 //! cargo run --example rpq_dichotomy --release
 //! ```
 
-use datalog_circuits::core::prelude::*;
 use datalog_circuits::graphgen::generators;
+use datalog_circuits::provcirc::prelude::*;
 
 fn main() {
     // friend-of-friend-of-friend: finite language {F·F·F}.
-    let fof = datalog_circuits::datalog::parse_program(
-        "Q(X,Y) :- Q2(X,Z), F(Z,Y).\n\
-         Q2(X,Y) :- Q1(X,Z), F(Z,Y).\n\
-         Q1(X,Y) :- F(X,Y).\n\
-         @target Q",
-    )
-    .unwrap();
+    let fof = "Q(X,Y) :- Q2(X,Z), F(Z,Y).\n\
+               Q2(X,Y) :- Q1(X,Z), F(Z,Y).\n\
+               Q1(X,Y) :- F(X,Y).\n\
+               @target Q";
     // influence: F⁺ — infinite language.
-    let influence = datalog_circuits::datalog::parse_program(
-        "I(X,Y) :- F(X,Y).\n\
-         I(X,Y) :- I(X,Z), F(Z,Y).",
-    )
-    .unwrap();
+    let influence = "I(X,Y) :- F(X,Y).\n\
+                     I(X,Y) :- I(X,Z), F(Z,Y).";
 
-    let rf = classify_program(&fof, 5);
-    let ri = classify_program(&influence, 5);
-    println!("friend³:   depth {:?} (lower {:?}), formulas {:?}", rf.depth_upper, rf.depth_lower, rf.formula);
-    println!("influence: depth {:?} (lower {:?}), formulas {:?}", ri.depth_upper, ri.depth_lower, ri.formula);
+    // Classify both (an instance-free session: classification needs no data).
+    let rf = Engine::builder().program_text(fof).build().unwrap();
+    let ri = Engine::builder().program_text(influence).build().unwrap();
+    let (rf, ri) = (rf.classification().clone(), ri.classification().clone());
+    println!(
+        "friend³:   depth {:?} (lower {:?}), formulas {:?}",
+        rf.depth_upper, rf.depth_lower, rf.formula
+    );
+    println!(
+        "influence: depth {:?} (lower {:?}), formulas {:?}",
+        ri.depth_upper, ri.depth_lower, ri.formula
+    );
 
-    println!("\n{:>6} | {:>22} | {:>22}", "n", "friend³ depth (/log n)", "influence depth (/log²n)");
+    println!(
+        "\n{:>6} | {:>22} | {:>22}",
+        "n", "friend³ depth (/log n)", "influence depth (/log²n)"
+    );
     for n in [16usize, 32, 64, 128] {
         let g = generators::gnm(n, 4 * n, &["F"], 99);
         // A target three hops out, and the farthest one for influence.
@@ -44,8 +49,26 @@ fn main() {
             .map(|(_, v)| v as u32)
             .unwrap_or(1);
 
-        let cf = compile_graph_fact(&fof, &g, 0, d3, Strategy::Auto).unwrap();
-        let ci = compile_graph_fact(&influence, &g, 0, far, Strategy::Auto).unwrap();
+        let ef = Engine::builder()
+            .program_text(fof)
+            .graph(&g)
+            .build()
+            .unwrap();
+        let ei = Engine::builder()
+            .program_text(influence)
+            .graph(&g)
+            .build()
+            .unwrap();
+        let cf = ef
+            .node_query(0, d3)
+            .unwrap()
+            .circuit(Strategy::Auto)
+            .unwrap();
+        let ci = ei
+            .node_query(0, far)
+            .unwrap()
+            .circuit(Strategy::Auto)
+            .unwrap();
         let log = (n as f64).log2();
         println!(
             "{:>6} | {:>14} ({:>5.2}) | {:>14} ({:>5.2})",

@@ -6,8 +6,8 @@
 //! cargo run --example shortest_paths
 //! ```
 
-use datalog_circuits::circuit;
 use datalog_circuits::graphgen::LabeledDigraph;
+use datalog_circuits::provcirc::prelude::*;
 use datalog_circuits::semiring::prelude::*;
 
 fn main() {
@@ -34,38 +34,62 @@ fn main() {
     road(&mut g, &mut weights, 3, 4, 6);
     road(&mut g, &mut weights, 4, 5, 2);
 
-    // Compile the TC provenance circuit for T(0, 5) with the NC²
+    // One session: transitive closure over `road` edges.
+    let engine = Engine::builder()
+        .program_text(
+            "T(X,Y) :- road(X,Y).\n\
+             T(X,Y) :- T(X,Z), road(Z,Y).",
+        )
+        .graph(&g)
+        .build()
+        .expect("build session");
+
+    // Compile the provenance circuit for T(city0, city5) with the NC²
     // repeated-squaring construction (Theorem 5.7): depth O(log² n).
-    let sq = circuit::squaring_graph(&g);
-    let c = sq.circuit_for(0, 5);
-    let st = circuit::stats(&c);
+    let q = engine.node_query(0, 5).expect("query");
+    let sq = q.circuit(Strategy::ProductSquaring).expect("compile");
     println!(
         "squaring circuit for T(city0, city5): {} gates, depth {}",
-        st.num_gates, st.depth
+        sq.stats.num_gates, sq.stats.depth
     );
 
-    // Tropical semiring: the shortest 0 → 5 distance.
-    let dist = c.eval(&|e| Tropical::new(weights[e as usize]));
+    // Tropical semiring: the shortest 0 → 5 distance. The i-th graph edge
+    // carries weights[i], aligned through the session's edge facts.
+    let tropical = FromEdgeWeights::from_fn(engine.edge_facts(), |i| Tropical::new(weights[i]));
+    let dist = sq.circuit.eval(&tropical);
     println!("shortest distance 0 → 5: {dist}   (0-1-4-5: 4+1+2 = 7)");
 
     // Trop_3: the three best path weights.
-    let top3 = c.eval(&|e| TropK::<3>::single(weights[e as usize]));
+    let top3 = sq
+        .circuit
+        .eval(&FromEdgeWeights::from_fn(engine.edge_facts(), |i| {
+            TropK::<3>::single(weights[i])
+        }));
     println!("3 best path weights:     {top3}");
 
     // Bottleneck semiring: the widest path (weights as capacities).
-    let cap = c.eval(&|e| Bottleneck::new(weights[e as usize]));
+    let cap = sq
+        .circuit
+        .eval(&FromEdgeWeights::from_fn(engine.edge_facts(), |i| {
+            Bottleneck::new(weights[i])
+        }));
     println!("widest-path capacity:    {cap}");
 
     // Why-provenance: which roads appear in some minimal route?
-    let why = c.eval(&WhyProv::fact);
-    println!("minimal road sets supporting reachability: {} witnesses", why.len());
+    let why = sq.circuit.eval(&from_fn(WhyProv::fact));
+    println!(
+        "minimal road sets supporting reachability: {} witnesses",
+        why.len()
+    );
 
-    // Cross-check against the Bellman–Ford construction (Theorem 5.6).
-    let bf = circuit::bellman_ford_graph(&g, 0, 5);
+    // Cross-check: the Bellman–Ford construction (Theorem 5.6) and the
+    // session's own fixpoint evaluation agree with the circuit.
+    let bf = q.circuit(Strategy::ProductBellmanFord).expect("compile BF");
+    assert_eq!(bf.circuit.eval(&tropical), dist, "both constructions agree");
     assert_eq!(
-        bf.eval(&|e| Tropical::new(weights[e as usize])),
+        q.eval(&tropical).expect("fixpoint"),
         dist,
-        "both constructions agree"
+        "fixpoint agrees"
     );
     println!("Bellman–Ford circuit agrees (Thm 5.6 ≡ Thm 5.7 over the tropical semiring).");
 }

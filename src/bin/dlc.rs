@@ -10,14 +10,16 @@
 //! ```
 //!
 //! Program files use the `datalog::parser` syntax; graph files have one
-//! `src dst label` triple per line (`#` comments allowed).
+//! `src dst label` triple per line (`#` comments allowed). All subcommands
+//! are thin wrappers over the [`Engine`] session facade.
 
 use std::process::ExitCode;
 
-use datalog_circuits::core::prelude::*;
-use datalog_circuits::datalog;
 use datalog_circuits::graphgen::LabeledDigraph;
+use datalog_circuits::provcirc::prelude::*;
+use datalog_circuits::provcirc::{Engine, Error};
 use datalog_circuits::semiring::prelude::*;
+use datalog_circuits::semiring::{AllOnes, FromEdgeWeights};
 
 fn main() -> ExitCode {
     match run() {
@@ -37,28 +39,32 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> Result<(), String> {
+fn cli_err(message: impl Into<String>) -> Error {
+    Error::usage(message)
+}
+
+fn run() -> Result<(), Error> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
+    let (cmd, rest) = args
+        .split_first()
+        .ok_or_else(|| cli_err("missing subcommand"))?;
     match cmd.as_str() {
         "classify" => classify_cmd(rest),
         "bounded" => bounded_cmd(rest),
         "compile" => compile_cmd(rest),
-        other => Err(format!("unknown subcommand '{other}'")),
+        other => Err(cli_err(format!("unknown subcommand '{other}'"))),
     }
 }
 
-fn load_program(path: &str) -> Result<datalog::Program, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
-    let program = datalog::parse_program(&text)?;
-    program.validate()?;
-    Ok(program)
+fn read_file(path: &str) -> Result<String, Error> {
+    std::fs::read_to_string(path).map_err(|e| Error::Io {
+        path: path.to_owned(),
+        message: e.to_string(),
+    })
 }
 
-fn load_graph(path: &str) -> Result<LabeledDigraph, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+fn load_graph(path: &str) -> Result<LabeledDigraph, Error> {
+    let text = read_file(path)?;
     let mut triples: Vec<(u32, u32, String)> = Vec::new();
     let mut max_node = 0u32;
     for (lineno, raw) in text.lines().enumerate() {
@@ -68,17 +74,18 @@ fn load_graph(path: &str) -> Result<LabeledDigraph, String> {
         }
         let parts: Vec<&str> = line.split_whitespace().collect();
         if parts.len() != 3 {
-            return Err(format!(
-                "{path}:{}: expected 'src dst label'",
-                lineno + 1
+            return Err(Error::parse_at(
+                "graph",
+                lineno + 1,
+                format!("{path}: expected 'src dst label'"),
             ));
         }
         let u: u32 = parts[0]
             .parse()
-            .map_err(|_| format!("{path}:{}: bad src", lineno + 1))?;
+            .map_err(|_| Error::parse_at("graph", lineno + 1, format!("{path}: bad src")))?;
         let v: u32 = parts[1]
             .parse()
-            .map_err(|_| format!("{path}:{}: bad dst", lineno + 1))?;
+            .map_err(|_| Error::parse_at("graph", lineno + 1, format!("{path}: bad dst")))?;
         max_node = max_node.max(u).max(v);
         triples.push((u, v, parts[2].to_owned()));
     }
@@ -89,10 +96,12 @@ fn load_graph(path: &str) -> Result<LabeledDigraph, String> {
     Ok(g)
 }
 
-fn classify_cmd(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("classify needs a program file")?;
-    let program = load_program(path)?;
-    let c = classify_program(&program, 5);
+fn classify_cmd(args: &[String]) -> Result<(), Error> {
+    let path = args
+        .first()
+        .ok_or_else(|| cli_err("classify needs a program file"))?;
+    let engine = Engine::builder().program_text(&read_file(path)?).build()?;
+    let c = engine.classification();
     println!("program: {path}");
     println!("  linear:            {}", c.syntax.is_linear);
     println!("  monadic:           {}", c.syntax.is_monadic);
@@ -112,12 +121,14 @@ fn classify_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn bounded_cmd(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("bounded needs a program file")?;
-    let program = load_program(path)?;
-    let report = datalog_circuits::core::decide_boundedness(&program, &Default::default());
+fn bounded_cmd(args: &[String]) -> Result<(), Error> {
+    let path = args
+        .first()
+        .ok_or_else(|| cli_err("bounded needs a program file"))?;
+    let engine = Engine::builder().program_text(&read_file(path)?).build()?;
+    let report = &engine.classification().boundedness;
     println!("{:?}", report.verdict);
-    if let Some(e) = report.evidence {
+    if let Some(e) = &report.evidence {
         println!(
             "expansion evidence: bound {:?}, horizon {}, truncated {}",
             e.bound, e.horizon, e.truncated
@@ -126,9 +137,10 @@ fn bounded_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn compile_cmd(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("compile needs a program file")?;
-    let program = load_program(path)?;
+fn compile_cmd(args: &[String]) -> Result<(), Error> {
+    let path = args
+        .first()
+        .ok_or_else(|| cli_err("compile needs a program file"))?;
     let mut graph_path = None;
     let mut src = None;
     let mut dst = None;
@@ -139,34 +151,62 @@ fn compile_cmd(args: &[String]) -> Result<(), String> {
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--graph" => graph_path = Some(it.next().ok_or("--graph needs a path")?.clone()),
+            "--graph" => {
+                graph_path = Some(
+                    it.next()
+                        .ok_or_else(|| cli_err("--graph needs a path"))?
+                        .clone(),
+                )
+            }
             "--src" => {
-                src = Some(parse_u32(it.next().ok_or("--src needs a node")?)?);
+                src = Some(parse_u32(
+                    it.next().ok_or_else(|| cli_err("--src needs a node"))?,
+                )?);
             }
             "--dst" => {
-                dst = Some(parse_u32(it.next().ok_or("--dst needs a node")?)?);
+                dst = Some(parse_u32(
+                    it.next().ok_or_else(|| cli_err("--dst needs a node"))?,
+                )?);
             }
             "--strategy" => {
-                strategy = parse_strategy(it.next().ok_or("--strategy needs a name")?)?;
+                strategy = parse_strategy(
+                    it.next()
+                        .ok_or_else(|| cli_err("--strategy needs a name"))?,
+                )?;
             }
             "--semiring" => {
-                semiring = it.next().ok_or("--semiring needs a name")?.clone();
+                semiring = it
+                    .next()
+                    .ok_or_else(|| cli_err("--semiring needs a name"))?
+                    .clone();
             }
             "--weights" => {
                 weights = it
                     .next()
-                    .ok_or("--weights needs a list")?
+                    .ok_or_else(|| cli_err("--weights needs a list"))?
                     .split(',')
-                    .map(|w| w.trim().parse().map_err(|_| format!("bad weight '{w}'")))
+                    .map(|w| {
+                        w.trim()
+                            .parse()
+                            .map_err(|_| cli_err(format!("bad weight '{w}'")))
+                    })
                     .collect::<Result<_, _>>()?;
             }
             "--show-polynomial" => show_poly = true,
-            other => return Err(format!("unknown flag '{other}'")),
+            other => return Err(cli_err(format!("unknown flag '{other}'"))),
         }
     }
-    let graph = load_graph(&graph_path.ok_or("--graph is required")?)?;
-    let (src, dst) = (src.ok_or("--src is required")?, dst.ok_or("--dst is required")?);
-    let compiled = compile_graph_fact(&program, &graph, src, dst, strategy)?;
+    let graph = load_graph(&graph_path.ok_or_else(|| cli_err("--graph is required"))?)?;
+    let (src, dst) = (
+        src.ok_or_else(|| cli_err("--src is required"))?,
+        dst.ok_or_else(|| cli_err("--dst is required"))?,
+    );
+
+    let engine = Engine::builder()
+        .program_text(&read_file(path)?)
+        .graph(&graph)
+        .build()?;
+    let compiled = engine.node_query(src, dst)?.circuit(strategy)?;
     println!(
         "strategy: {:?}   gates: {}   depth: {}   formula size: {}",
         compiled.strategy,
@@ -174,30 +214,43 @@ fn compile_cmd(args: &[String]) -> Result<(), String> {
         compiled.stats.depth,
         compiled.stats.formula_size
     );
-    let weight = move |e: u32| -> u64 {
-        weights.get(e as usize).copied().unwrap_or(1)
-    };
+    // The i-th graph edge carries weights[i] (default 1); non-edge facts
+    // (there are none in a graph session) fall back to `1`.
+    let weight = |i: usize| weights.get(i).copied().unwrap_or(1);
     match semiring.as_str() {
-        "boolean" => println!("value (boolean): {}", compiled.circuit.eval(&|_| Bool(true))),
+        "boolean" => println!(
+            "value (boolean): {}",
+            compiled.circuit.eval::<Bool, _>(&AllOnes)
+        ),
         "tropical" => println!(
             "value (tropical): {}",
-            compiled.circuit.eval(&|e| Tropical::new(weight(e)))
+            compiled
+                .circuit
+                .eval(&FromEdgeWeights::from_fn(engine.edge_facts(), |i| {
+                    Tropical::new(weight(i))
+                }))
         ),
         "fuzzy" => println!(
             "value (fuzzy): {}",
             compiled
                 .circuit
-                .eval(&|e| Fuzzy::new(1.0 / (1.0 + weight(e) as f64)))
+                .eval(&FromEdgeWeights::from_fn(engine.edge_facts(), |i| {
+                    Fuzzy::new(1.0 / (1.0 + weight(i) as f64))
+                }))
         ),
         "bottleneck" => println!(
             "value (bottleneck): {}",
-            compiled.circuit.eval(&|e| Bottleneck::new(weight(e)))
+            compiled
+                .circuit
+                .eval(&FromEdgeWeights::from_fn(engine.edge_facts(), |i| {
+                    Bottleneck::new(weight(i))
+                }))
         ),
         "counting" => println!(
             "value (counting): {}",
-            compiled.circuit.eval(&|_| Counting::new(1))
+            compiled.circuit.eval::<Counting, _>(&AllOnes)
         ),
-        other => return Err(format!("unknown semiring '{other}'")),
+        other => return Err(cli_err(format!("unknown semiring '{other}'"))),
     }
     if show_poly {
         println!("polynomial: {}", compiled.circuit.polynomial());
@@ -205,11 +258,11 @@ fn compile_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_u32(s: &str) -> Result<u32, String> {
-    s.parse().map_err(|_| format!("bad number '{s}'"))
+fn parse_u32(s: &str) -> Result<u32, Error> {
+    s.parse().map_err(|_| cli_err(format!("bad number '{s}'")))
 }
 
-fn parse_strategy(s: &str) -> Result<Strategy, String> {
+fn parse_strategy(s: &str) -> Result<Strategy, Error> {
     Ok(match s {
         "auto" => Strategy::Auto,
         "grounded" => Strategy::GroundedFixpoint,
@@ -218,6 +271,6 @@ fn parse_strategy(s: &str) -> Result<Strategy, String> {
         "bellman-ford" => Strategy::ProductBellmanFord,
         "squaring" => Strategy::ProductSquaring,
         "uvg" => Strategy::UllmanVanGelder,
-        other => return Err(format!("unknown strategy '{other}'")),
+        other => return Err(cli_err(format!("unknown strategy '{other}'"))),
     })
 }

@@ -1,12 +1,21 @@
 //! Umbrella crate for the `datalog-circuits` workspace.
 //!
 //! Re-exports every workspace crate so the examples and integration tests
-//! can use a single dependency. See `README.md` for the tour and `provcirc`
-//! (the [`core`] re-export) for the paper-level API.
+//! can use a single dependency. See `README.md` for the tour and
+//! [`provcirc`] (home of the [`Engine`](provcirc::Engine) session facade)
+//! for the paper-level API.
 
 pub use circuit;
 pub use datalog;
 pub use grammar;
 pub use graphgen;
-pub use provcirc as core;
+pub use provcirc;
 pub use semiring;
+
+/// Deprecated alias of [`provcirc`].
+///
+/// The old name shadowed the built-in `core` crate inside user code
+/// (`use datalog_circuits::core::...` vs `::core::...`), so the re-export
+/// is now spelled `provcirc`.
+#[deprecated(since = "0.2.0", note = "use `datalog_circuits::provcirc` instead")]
+pub use provcirc as core;

@@ -10,9 +10,7 @@ use datalog_circuits::graphgen::{generators, LabeledDigraph};
 fn graph_edges_for(cnf: &Cnf, g: &LabeledDigraph) -> Vec<(u32, u32, u32)> {
     g.edges()
         .iter()
-        .filter_map(|&(u, v, t)| {
-            cnf.alphabet.get(g.alphabet.name(t)).map(|tt| (u, v, tt))
-        })
+        .filter_map(|&(u, v, t)| cnf.alphabet.get(g.alphabet.name(t)).map(|tt| (u, v, tt)))
         .collect()
 }
 
@@ -179,10 +177,7 @@ fn magic_rewriting_equivalence_on_random_graphs() {
         let ts = magic.preds.get("T_s").unwrap();
         for y in 0..g.num_nodes() {
             let lhs = gpo
-                .fact(
-                    t,
-                    &[dbo.node_const(0).unwrap(), dbo.node_const(y).unwrap()],
-                )
+                .fact(t, &[dbo.node_const(0).unwrap(), dbo.node_const(y).unwrap()])
                 .is_some();
             let rhs = gpm.fact(ts, &[dbm.node_const(y).unwrap()]).is_some();
             assert_eq!(lhs, rhs, "seed {seed} y={y}");

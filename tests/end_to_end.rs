@@ -2,9 +2,9 @@
 //! against the proof-tree definition of provenance (paper Def 2.2, §2.4).
 
 use datalog_circuits::circuit::{self, verify};
-use datalog_circuits::core::prelude::*;
 use datalog_circuits::datalog::{self, programs, Database};
 use datalog_circuits::graphgen::generators;
+use datalog_circuits::provcirc::prelude::*;
 use datalog_circuits::semiring::prelude::*;
 
 /// Every graph strategy computes the same polynomial for TC facts, and the
@@ -41,12 +41,10 @@ fn tc_all_strategies_fully_verified() {
                             &c.circuit,
                             &gp,
                             f,
-                            &|v| Tropical::new((v as u64 % 5) + 1),
+                            &from_fn(|v| Tropical::new((v as u64 % 5) + 1)),
                             200_000,
                         )
-                        .unwrap_or_else(|e| {
-                            panic!("seed {seed} ({src},{dst}) {strat:?}: {e}")
-                        }),
+                        .unwrap_or_else(|e| panic!("seed {seed} ({src},{dst}) {strat:?}: {e}")),
                         None => assert!(
                             c.circuit.polynomial().is_empty(),
                             "seed {seed} ({src},{dst}) {strat:?}: expected 0"
@@ -70,17 +68,16 @@ fn semiring_sweep_agreement() {
     let t = p2.preds.get("T").unwrap();
     let budget = datalog::default_budget(&gp);
     let c = compile_graph_fact(&p, &g, 0, 6, Strategy::ProductSquaring).unwrap();
-    let Some(fact) = gp.fact(t, &[db.node_const(0).unwrap(), db.node_const(6).unwrap()])
-    else {
+    let Some(fact) = gp.fact(t, &[db.node_const(0).unwrap(), db.node_const(6).unwrap()]) else {
         assert!(c.circuit.polynomial().is_empty());
         return;
     };
 
     macro_rules! check {
         ($S:ty, $assign:expr) => {{
-            let assign = $assign;
+            let assign = from_fn($assign);
             let direct = c.circuit.eval(&assign);
-            let naive = datalog::naive_eval::<$S>(&gp, &assign, budget);
+            let naive = datalog::naive_eval::<$S, _>(&gp, &assign, budget);
             assert!(naive.converged);
             assert!(
                 direct.sr_eq(&naive.values[fact]),
@@ -142,7 +139,7 @@ fn monadic_reachability_end_to_end() {
                 &c,
                 &gp,
                 fact,
-                &|v| Fuzzy::new(0.2 + (v % 8) as f64 / 10.0),
+                &from_fn(|v| Fuzzy::new(0.2 + (v % 8) as f64 / 10.0)),
                 100_000,
             )
             .unwrap();
@@ -157,7 +154,7 @@ fn formula_expansion_preserves_semantics() {
     let g = generators::gnm(6, 12, &["E"], 2);
     let c = compile_graph_fact(&p, &g, 0, 5, Strategy::ProductSquaring).unwrap();
     if let Ok(f) = circuit::expand(&c.circuit, 5_000_000) {
-        let assign = |v: u32| Tropical::new((v as u64 % 4) + 1);
+        let assign = from_fn(|v: u32| Tropical::new((v as u64 % 4) + 1));
         assert!(f.eval(&assign).sr_eq(&c.circuit.eval(&assign)));
         assert_eq!(f.depth(), c.stats.depth);
         assert_eq!(f.size(), c.stats.formula_size);

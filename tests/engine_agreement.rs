@@ -1,0 +1,118 @@
+//! Cross-semiring agreement through the `Engine` facade: on the paper's
+//! Figure 1 graph, `engine.query(…).eval::<S>(…)` must match both direct
+//! `Circuit::eval` of the compiled circuit and `naive_eval` over the same
+//! grounded program — for `Bool`, `Tropical`, `Counting` (the instance is a
+//! DAG, so counting converges), and `Sorp`.
+
+use datalog_circuits::datalog::{self, programs};
+use datalog_circuits::graphgen::LabeledDigraph;
+use datalog_circuits::provcirc::prelude::*;
+use datalog_circuits::semiring::prelude::*;
+
+/// The paper's Figure 1 graph: s=0, u1=1, u2=2, v1=3, v2=4, t=5. Acyclic.
+fn figure1() -> LabeledDigraph {
+    let mut g = LabeledDigraph::new(6);
+    for (u, v) in [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (3, 5), (4, 5)] {
+        g.add_edge(u, v, "E");
+    }
+    g
+}
+
+fn figure1_engine() -> Engine {
+    Engine::builder()
+        .program(programs::transitive_closure())
+        .graph(&figure1())
+        .build()
+        .unwrap()
+}
+
+/// Facade evaluation ≡ compiled-circuit evaluation ≡ naive evaluation of
+/// the identical grounding, for every node pair and semiring.
+fn assert_agreement<S: Semiring, V: Valuation<S>>(engine: &Engine, valuation: &V) {
+    let gp = engine.grounding().unwrap();
+    let naive = datalog::naive_eval::<S, _>(gp, valuation, datalog::default_budget(gp));
+    assert!(naive.converged, "{} must converge on Figure 1", S::NAME);
+    for src in 0..6u32 {
+        for dst in 0..6u32 {
+            let q = engine.node_query(src, dst).unwrap();
+            let via_engine: S = q.eval(valuation).unwrap();
+            let via_circuit: S = q
+                .circuit(Strategy::GroundedFixpoint)
+                .unwrap()
+                .circuit
+                .eval(valuation);
+            let via_naive = match q.fact_index().unwrap() {
+                Some(f) => naive.values[f].clone(),
+                None => S::zero(),
+            };
+            assert!(
+                via_engine.sr_eq(&via_circuit),
+                "{} ({src},{dst}): engine {via_engine:?} vs circuit {via_circuit:?}",
+                S::NAME
+            );
+            assert!(
+                via_engine.sr_eq(&via_naive),
+                "{} ({src},{dst}): engine {via_engine:?} vs naive {via_naive:?}",
+                S::NAME
+            );
+        }
+    }
+}
+
+#[test]
+fn bool_agreement_on_figure1() {
+    assert_agreement::<Bool, _>(&figure1_engine(), &AllOnes);
+}
+
+#[test]
+fn tropical_agreement_on_figure1() {
+    let engine = figure1_engine();
+    assert_agreement::<Tropical, _>(&engine, &UnitWeights::new(Tropical::new(1)));
+    // Distinct edge weights through the session's edge-fact alignment.
+    let weighted =
+        FromEdgeWeights::from_fn(engine.edge_facts(), |i| Tropical::new(i as u64 % 4 + 1));
+    assert_agreement::<Tropical, _>(&engine, &weighted);
+}
+
+#[test]
+fn counting_agreement_on_figure1() {
+    // Figure 1 is a DAG, so path counting converges: s→t has 3 paths.
+    let engine = figure1_engine();
+    assert_agreement::<Counting, _>(&engine, &AllOnes);
+    let st: Counting = engine.node_query(0, 5).unwrap().eval(&AllOnes).unwrap();
+    assert_eq!(st, Counting::new(3));
+}
+
+#[test]
+fn sorp_agreement_on_figure1() {
+    let engine = figure1_engine();
+    assert_agreement::<Sorp, _>(&engine, &VarTags);
+    // The facade's provenance accessor is the same polynomial.
+    for (src, dst) in [(0u32, 5u32), (1, 5), (0, 4)] {
+        let q = engine.node_query(src, dst).unwrap();
+        let via_eval: Sorp = q.eval(&VarTags).unwrap();
+        assert_eq!(q.provenance().unwrap(), via_eval, "({src},{dst})");
+    }
+    // Paper Figure 1: three source-to-target paths, each a 3-edge monomial.
+    let st = engine.node_query(0, 5).unwrap().provenance().unwrap();
+    assert_eq!(st.len(), 3);
+    assert!(st.monomials().iter().all(|m| m.degree() == 3));
+}
+
+/// The whole battery above reuses ONE grounding and ONE classification —
+/// the facade's core caching contract, asserted by counting `ground()`
+/// invocations across many queries, evaluations, and compilations.
+#[test]
+fn agreement_battery_grounds_once() {
+    let engine = figure1_engine();
+    assert_agreement::<Bool, _>(&engine, &AllOnes);
+    assert_agreement::<Tropical, _>(&engine, &UnitWeights::new(Tropical::new(1)));
+    assert_agreement::<Counting, _>(&engine, &AllOnes);
+    assert_agreement::<Sorp, _>(&engine, &VarTags);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.groundings, 1, "{stats:?}");
+    assert_eq!(stats.classifications, 1, "{stats:?}");
+    // 36 node pairs × 4 batteries, but each derivable fact's circuit is
+    // compiled exactly once and served from cache afterwards.
+    assert!(stats.circuit_cache_hits > stats.circuits_built, "{stats:?}");
+}

@@ -64,7 +64,7 @@ proptest! {
         let g = generators::random_dag(n, density, "E", seed);
         let (p, db, gp) = tc_grounding(&g);
         let t = p.preds.get("T").unwrap();
-        let out = datalog::naive_eval::<Counting>(&gp, &|_| Counting::new(1), 64);
+        let out = datalog::naive_eval::<Counting, _>(&gp, &from_fn(|_| Counting::new(1)), 64);
         prop_assert!(out.converged);
         for src in 0..n as u32 {
             let oracle = dag_path_counts(&g, src);
@@ -84,7 +84,7 @@ proptest! {
         let g = generators::gnm(n, m, &["E"], seed);
         let (p, db, gp) = tc_grounding(&g);
         let t = p.preds.get("T").unwrap();
-        let out = datalog::naive_eval::<Tropical>(&gp, &|_| Tropical::new(1),
+        let out = datalog::naive_eval::<Tropical, _>(&gp, &from_fn(|_| Tropical::new(1)),
             datalog::default_budget(&gp));
         prop_assert!(out.converged);
         for src in 0..n as u32 {
@@ -111,8 +111,8 @@ proptest! {
         let g = generators::gnm(n, m, &["E"], seed);
         let (_, _, gp) = tc_grounding(&g);
         let budget = datalog::default_budget(&gp);
-        let t1 = datalog::naive_eval::<TropK<1>>(&gp, &|f| TropK::single(f as u64 % 5 + 1), budget);
-        let tr = datalog::naive_eval::<Tropical>(&gp, &|f| Tropical::new(f as u64 % 5 + 1), budget);
+        let t1 = datalog::naive_eval::<TropK<1>, _>(&gp, &from_fn(|f| TropK::single(f as u64 % 5 + 1)), budget);
+        let tr = datalog::naive_eval::<Tropical, _>(&gp, &from_fn(|f| Tropical::new(f as u64 % 5 + 1)), budget);
         prop_assert!(t1.converged && tr.converged);
         for (a, b) in t1.values.iter().zip(tr.values.iter()) {
             prop_assert_eq!(a.best(), b.finite());
@@ -126,10 +126,10 @@ proptest! {
         let g = generators::gnm(n, m, &["E"], seed);
         let (_, _, gp) = tc_grounding(&g);
         let budget = datalog::default_budget(&gp);
-        let assign_l = |f: u32| Lukasiewicz::new(0.8 + (f % 3) as f64 / 15.0);
-        let assign_f = |f: u32| Fuzzy::new(0.8 + (f % 3) as f64 / 15.0);
-        let l = datalog::naive_eval::<Lukasiewicz>(&gp, &assign_l, budget);
-        let f = datalog::naive_eval::<Fuzzy>(&gp, &assign_f, budget);
+        let assign_l = from_fn(|f: u32| Lukasiewicz::new(0.8 + (f % 3) as f64 / 15.0));
+        let assign_f = from_fn(|f: u32| Fuzzy::new(0.8 + (f % 3) as f64 / 15.0));
+        let l = datalog::naive_eval::<Lukasiewicz, _>(&gp, &assign_l, budget);
+        let f = datalog::naive_eval::<Fuzzy, _>(&gp, &assign_f, budget);
         prop_assert!(l.converged && f.converged);
         for (lv, fv) in l.values.iter().zip(f.values.iter()) {
             prop_assert!(lv.value() <= fv.value() + 1e-9);
@@ -145,7 +145,7 @@ fn divergence_is_detected_not_hung() {
         let g = generators::cycle(n, "E");
         let (_, _, gp) = tc_grounding(&g);
         let start = std::time::Instant::now();
-        let out = datalog::naive_eval::<Counting>(&gp, &|_| Counting::new(1), 100);
+        let out = datalog::naive_eval::<Counting, _>(&gp, &from_fn(|_| Counting::new(1)), 100);
         assert!(!out.converged);
         assert!(start.elapsed().as_secs() < 30);
     }
@@ -158,15 +158,15 @@ fn divergence_is_detected_not_hung() {
 fn tropical_z_negative_weights() {
     let g = generators::random_dag(8, 0.4, "E", 3);
     let (_, _, gp) = tc_grounding(&g);
-    let out = datalog::naive_eval::<TropicalZ>(
+    let out = datalog::naive_eval::<TropicalZ, _>(
         &gp,
-        &|f| TropicalZ::new((f as i64 % 5) - 2),
+        &from_fn(|f| TropicalZ::new((f as i64 % 5) - 2)),
         64,
     );
     assert!(out.converged, "DAGs converge even without absorption");
 
     let g2 = generators::cycle(3, "E");
     let (_, _, gp2) = tc_grounding(&g2);
-    let out2 = datalog::naive_eval::<TropicalZ>(&gp2, &|_| TropicalZ::new(-1), 100);
+    let out2 = datalog::naive_eval::<TropicalZ, _>(&gp2, &from_fn(|_| TropicalZ::new(-1)), 100);
     assert!(!out2.converged, "negative cycle must not converge");
 }

@@ -2,10 +2,10 @@
 //! dichotomies on a battery of programs, and the measured depth shapes of
 //! Table 1.
 
-use datalog_circuits::core::prelude::*;
-use datalog_circuits::core::{DepthBound, FormulaVerdict};
 use datalog_circuits::datalog::{self, programs};
 use datalog_circuits::graphgen::generators;
+use datalog_circuits::provcirc::prelude::*;
+use datalog_circuits::provcirc::{DepthBound, FormulaVerdict};
 
 /// Theorem 5.3 + 5.4 + 4.3: the classification battery.
 #[test]
@@ -113,13 +113,29 @@ fn depth_dichotomy_shape() {
         let max = xs.iter().cloned().fold(0.0f64, f64::max);
         max / min
     };
-    assert!(band(&fin_norm) < 3.0, "finite depth/log n not flat: {fin_norm:?}");
-    assert!(band(&inf_norm) < 2.5, "infinite depth/log²n not flat: {inf_norm:?}");
+    // Finite-language depth is O(log n) from above but near-constant on
+    // instances this small, so depth/log n may *decay* by ~log(64)/log(8);
+    // the band only guards against upward drift.
+    assert!(
+        band(&fin_norm) < 3.5,
+        "finite depth/log n not flat: {fin_norm:?}"
+    );
+    assert!(
+        *fin_norm.last().unwrap() <= fin_norm[0] * 1.5,
+        "finite depth/log n should not drift upward: {fin_norm:?}"
+    );
+    assert!(
+        band(&inf_norm) < 2.5,
+        "infinite depth/log²n not flat: {inf_norm:?}"
+    );
     // The wrong normalization trends upward (depth ≫ log n) while the right
     // one does not grow: the Θ(log² n) signature.
     let (w0, wl) = (inf_wrong_norm[0], *inf_wrong_norm.last().unwrap());
     let (r0, rl) = (inf_norm[0], *inf_norm.last().unwrap());
-    assert!(wl > w0 * 1.2, "depth/log n should drift upward: {inf_wrong_norm:?}");
+    assert!(
+        wl > w0 * 1.2,
+        "depth/log n should drift upward: {inf_wrong_norm:?}"
+    );
     assert!(rl < r0 * 1.2, "depth/log² n should stay flat: {inf_norm:?}");
 }
 
@@ -136,10 +152,10 @@ fn layered_graph_trade_off() {
     let ss = datalog_circuits::circuit::stats(&squaring);
     // Same function (the Sorp polynomial has ~2^48 monomials here, so we
     // compare through concrete absorptive semirings instead):
-    use datalog_circuits::semiring::{Bottleneck, Semiring, Tropical};
-    let w = |e: u32| Tropical::new((e as u64 % 7) + 1);
+    use datalog_circuits::semiring::{from_fn, Bottleneck, Tropical};
+    let w = from_fn(|e: u32| Tropical::new((e as u64 % 7) + 1));
     assert_eq!(linear.eval(&w), squaring.eval(&w));
-    let cap = |e: u32| Bottleneck::new((e as u64 % 9) + 1);
+    let cap = from_fn(|e: u32| Bottleneck::new((e as u64 % 9) + 1));
     assert_eq!(linear.eval(&cap), squaring.eval(&cap));
     // …linear size vs poly size; linear depth vs polylog depth.
     assert!(ls.num_gates <= 3 * g.num_edges() + 3);
@@ -173,14 +189,14 @@ fn proposition_2_4_absorption() {
 /// Prop 3.6's homomorphism).
 #[test]
 fn positivity_transfer() {
-    use datalog_circuits::semiring::{Bool, Bottleneck, Fuzzy, Positive, Semiring};
+    use datalog_circuits::semiring::{Bool, Bottleneck, Fuzzy, Positive, UnitWeights};
     let p = programs::transitive_closure();
     let g = generators::gnm(7, 16, &["E"], 21);
     for dst in 1..6u32 {
         let c = compile_graph_fact(&p, &g, 0, dst, Strategy::ProductBellmanFord).unwrap();
-        let b: Bool = c.circuit.eval(&|_| Bool(true));
-        let f: Fuzzy = c.circuit.eval(&|_| Fuzzy::new(0.7));
-        let k: Bottleneck = c.circuit.eval(&|_| Bottleneck::new(5));
+        let b: Bool = c.circuit.eval(&UnitWeights::new(Bool(true)));
+        let f: Fuzzy = c.circuit.eval(&UnitWeights::new(Fuzzy::new(0.7)));
+        let k: Bottleneck = c.circuit.eval(&UnitWeights::new(Bottleneck::new(5)));
         assert_eq!(b, f.to_bool());
         assert_eq!(b, k.to_bool());
     }

@@ -72,7 +72,7 @@ proptest! {
     fn eval_factors_through_polynomial(g in small_graph(), w in 1u64..9) {
         let (_, _, gp) = tc_grounding(&g);
         let mo = circuit::grounded_circuit(&gp, None);
-        let assign = move |v: u32| Tropical::new((v as u64 % w) + 1);
+        let assign = from_fn(move |v: u32| Tropical::new((v as u64 % w) + 1));
         for fact in 0..gp.num_idb_facts() {
             let c = mo.circuit_for(fact);
             prop_assert_eq!(c.eval(&assign), c.polynomial().eval(&assign));
@@ -93,12 +93,12 @@ proptest! {
                 circuit::InputSubst::Var(v)
             });
             // Evaluate original with x_kill = 1 over the tropical semiring.
-            let assign_killed = move |v: u32| if v == kill {
+            let assign_killed = from_fn(move |v: u32| if v == kill {
                 Tropical::one()
             } else {
                 Tropical::new((v as u64 % 5) + 1)
-            };
-            let assign_plain = move |v: u32| Tropical::new((v as u64 % 5) + 1);
+            });
+            let assign_plain = from_fn(move |v: u32| Tropical::new((v as u64 % 5) + 1));
             prop_assert_eq!(c.eval(&assign_killed), sub.eval(&assign_plain));
         }
     }
