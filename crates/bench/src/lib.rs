@@ -2,6 +2,7 @@
 //! the criterion benches.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use circuit::CircuitStats;
 use datalog::{Database, GroundedProgram, Program};
@@ -29,6 +30,22 @@ pub fn graph_fact(
     let s = db.node_const(src)?;
     let d = db.node_const(dst)?;
     gp.fact(p.target, &[s, d])
+}
+
+/// Best-of-`runs` wall time of `f` in milliseconds, plus the last result —
+/// the experiment harness's stopwatch (minimum over runs suppresses
+/// allocator and scheduler noise).
+pub fn time_best_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    assert!(runs > 0, "need at least one run");
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..runs {
+        let start = std::time::Instant::now();
+        let value = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(value);
+    }
+    (best, out.expect("runs > 0"))
 }
 
 /// Format circuit stats compactly.
@@ -111,6 +128,13 @@ pub fn best_long_pair(g: &LabeledDigraph) -> Option<(u32, u32)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn time_best_returns_result_and_finite_time() {
+        let (ms, v) = time_best_ms(3, || 6 * 7);
+        assert_eq!(v, 42);
+        assert!(ms.is_finite() && ms >= 0.0);
+    }
 
     #[test]
     fn exponent_fit_recovers_powers() {

@@ -9,7 +9,7 @@
 //! classifies exactly once:
 //!
 //! ```
-//! use provcirc::{Engine, Strategy};
+//! use provcirc::{Engine, EvalStrategy, Strategy};
 //! use semiring::{Bool, Semiring, Tropical, UnitWeights, AllOnes};
 //!
 //! let engine = Engine::builder()
@@ -31,6 +31,19 @@
 //!     Tropical::new(4)
 //! );
 //! assert_eq!(engine.cache_stats().groundings, 1);
+//!
+//! // Evaluation runs the delta-driven semi-naive fixpoint by default;
+//! // opt back into the naive ICO when its iteration count is the point
+//! // (the §4 boundedness probe).
+//! assert_eq!(engine.eval_strategy(), EvalStrategy::SemiNaive);
+//! let probe = Engine::builder()
+//!     .program_text("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).")
+//!     .graph(&graphgen::generators::path(4, "E"))
+//!     .eval_strategy(EvalStrategy::Naive)
+//!     .build()
+//!     .unwrap();
+//! let iters = probe.fixpoint::<Bool, _>(&AllOnes).unwrap().iterations;
+//! assert!(iters >= 4); // grows with the path length: unbounded program
 //! ```
 
 use std::cell::{Cell, OnceCell, RefCell};
@@ -39,8 +52,8 @@ use std::rc::Rc;
 
 use circuit::Circuit;
 use datalog::{
-    default_budget, ground_with_limit, naive_eval, parse_program, ConstId, Database, EvalOutcome,
-    GroundedProgram, PredId, Program,
+    default_budget, eval_with_strategy, ground_with_limit, naive_eval, parse_program, ConstId,
+    Database, EvalOutcome, EvalStrategy, GroundedProgram, PredId, Program,
 };
 use graphgen::{LabeledDigraph, NodeId};
 use provcirc_error::Error;
@@ -86,6 +99,7 @@ pub struct EngineBuilder {
     horizon: usize,
     max_ground_rules: Option<usize>,
     eval_budget: Option<usize>,
+    eval_strategy: EvalStrategy,
 }
 
 impl Default for EngineBuilder {
@@ -106,6 +120,7 @@ impl EngineBuilder {
             horizon: 5,
             max_ground_rules: None,
             eval_budget: None,
+            eval_strategy: EvalStrategy::default(),
         }
     }
 
@@ -174,6 +189,19 @@ impl EngineBuilder {
     /// `datalog::default_budget`, i.e. #IDB facts + 2).
     pub fn eval_budget(mut self, budget: usize) -> Self {
         self.eval_budget = Some(budget);
+        self
+    }
+
+    /// Which fixpoint algorithm the session's evaluations run (default:
+    /// [`EvalStrategy::SemiNaive`] — delta-driven, several times faster on
+    /// recursive workloads, with an automatic per-semiring fallback to
+    /// naive where delta propagation is unsound, e.g. `Counting`).
+    ///
+    /// The strategy only affects [`Engine::fixpoint`] and [`Query::eval`];
+    /// the cached provenance fixpoint always runs naive because its
+    /// iteration count doubles as the Theorem 4.3 layering probe.
+    pub fn eval_strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.eval_strategy = strategy;
         self
     }
 
@@ -248,6 +276,7 @@ impl EngineBuilder {
             horizon: self.horizon,
             max_ground_rules: self.max_ground_rules.unwrap_or(usize::MAX),
             eval_budget: self.eval_budget,
+            eval_strategy: self.eval_strategy,
             grounding: OnceCell::new(),
             classification: OnceCell::new(),
             provenance: OnceCell::new(),
@@ -279,6 +308,7 @@ pub struct Engine {
     horizon: usize,
     max_ground_rules: usize,
     eval_budget: Option<usize>,
+    eval_strategy: EvalStrategy,
     grounding: OnceCell<Result<GroundedProgram, Error>>,
     classification: OnceCell<Classification>,
     provenance: OnceCell<Result<EvalOutcome<Sorp>, Error>>,
@@ -358,16 +388,33 @@ impl Engine {
         Ok(self.eval_budget.unwrap_or_else(|| default_budget(gp)))
     }
 
-    /// Run the naive fixpoint over any semiring under a valuation. The raw
-    /// [`EvalOutcome`] exposes iterations-to-fixpoint (the §4 boundedness
-    /// probe); non-convergence is reported in the outcome, not as an error.
+    /// The session's fixpoint algorithm (set by
+    /// [`EngineBuilder::eval_strategy`]; [`EvalStrategy::SemiNaive`] by
+    /// default).
+    pub fn eval_strategy(&self) -> EvalStrategy {
+        self.eval_strategy
+    }
+
+    /// Run the session's fixpoint over any semiring under a valuation. The
+    /// raw [`EvalOutcome`] exposes iterations-to-fixpoint; non-convergence
+    /// is reported in the outcome, not as an error.
+    ///
+    /// Under the default [`EvalStrategy::SemiNaive`], `iterations` counts
+    /// delta rounds. The §4 boundedness probes interpret *naive* ICO
+    /// applications — build the session with
+    /// `.eval_strategy(EvalStrategy::Naive)` for those.
     pub fn fixpoint<S, V>(&self, valuation: &V) -> Result<EvalOutcome<S>, Error>
     where
         S: Semiring,
         V: Valuation<S> + ?Sized,
     {
         let budget = self.budget()?;
-        Ok(naive_eval(self.grounding()?, valuation, budget))
+        Ok(eval_with_strategy(
+            self.eval_strategy,
+            self.grounding()?,
+            valuation,
+            budget,
+        ))
     }
 
     /// The provenance fixpoint over [`Sorp`] (every fact tagged by its own
@@ -375,6 +422,13 @@ impl Engine {
     /// [`Query::provenance`] and of the `BoundedLayered` probe.
     /// A [`Error::Diverged`] outcome is cached as well, so a divergent
     /// session fails fast instead of re-running the fixpoint.
+    ///
+    /// This run is **always naive**, whatever the session's
+    /// [`EvalStrategy`]: `BoundedLayered` unrolls the grounded circuit to
+    /// this outcome's `iterations`, and only naive ICO applications bound
+    /// the derivation depth — semi-naive rounds can be fewer, which would
+    /// cut proof trees off. The *values* would be identical either way
+    /// ([`Sorp`] is absorptive).
     pub fn provenance_outcome(&self) -> Result<&EvalOutcome<Sorp>, Error> {
         self.provenance
             .get_or_init(|| {
@@ -605,7 +659,8 @@ impl Query<'_> {
     }
 
     /// Evaluate the fact over any semiring under a valuation, by the cached
-    /// grounding's naive fixpoint. Underivable facts evaluate to `0`.
+    /// grounding's fixpoint (the session's [`EvalStrategy`] — semi-naive by
+    /// default). Underivable facts evaluate to `0`.
     ///
     /// Each call runs one fixpoint over the (cached) grounding. To evaluate
     /// *many* facts under the same valuation, run [`Engine::fixpoint`] once
@@ -623,7 +678,12 @@ impl Query<'_> {
             return Ok(S::zero());
         };
         let budget = self.engine.budget()?;
-        let out = naive_eval(self.engine.grounding()?, valuation, budget);
+        let out = eval_with_strategy(
+            self.engine.eval_strategy,
+            self.engine.grounding()?,
+            valuation,
+            budget,
+        );
         if !out.converged {
             return Err(Error::Diverged { iterations: budget });
         }
@@ -804,6 +864,35 @@ mod tests {
             engine.query("T", &["v0"]).unwrap_err(),
             Error::BadQuery(_)
         ));
+    }
+
+    #[test]
+    fn eval_strategies_agree_through_the_facade() {
+        let g = generators::gnm(7, 18, &["E"], 4);
+        let semi = Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&g)
+            .build()
+            .unwrap();
+        assert_eq!(semi.eval_strategy(), EvalStrategy::SemiNaive);
+        let naive = Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&g)
+            .eval_strategy(EvalStrategy::Naive)
+            .build()
+            .unwrap();
+        assert_eq!(naive.eval_strategy(), EvalStrategy::Naive);
+        for src in 0..7u32 {
+            for dst in 0..7u32 {
+                let unit = UnitWeights::new(Tropical::new(1));
+                let a: Tropical = semi.node_query(src, dst).unwrap().eval(&unit).unwrap();
+                let b: Tropical = naive.node_query(src, dst).unwrap().eval(&unit).unwrap();
+                assert_eq!(a, b, "({src},{dst})");
+            }
+        }
+        // The strategy switch must not disturb the caching contract.
+        assert_eq!(semi.cache_stats().groundings, 1);
+        assert_eq!(naive.cache_stats().groundings, 1);
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub use boundedness::{
 };
 pub use classify::{classify_program, Classification, DepthBound, FormulaVerdict, GrammarInfo};
 pub use compile::{chain_program_dfa, compile_fact, compile_graph_fact, Compiled, Strategy};
+pub use datalog::EvalStrategy;
 pub use engine::{Engine, EngineBuilder, EngineCacheStats, Query};
 
 /// One-stop imports for examples and tests.
@@ -69,5 +70,6 @@ pub mod prelude {
     pub use crate::classify::{classify_program, Classification, DepthBound, FormulaVerdict};
     pub use crate::compile::{compile_fact, compile_graph_fact, Compiled, Strategy};
     pub use crate::engine::{Engine, EngineBuilder, EngineCacheStats, Query};
+    pub use datalog::EvalStrategy;
     pub use provcirc_error::Error;
 }

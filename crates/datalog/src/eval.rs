@@ -1,11 +1,23 @@
-//! Naive (fixpoint) evaluation of grounded programs over semirings
-//! (paper §2.3).
+//! Fixpoint evaluation of grounded programs over semirings (paper §2.3):
+//! naive and semi-naive.
 //!
 //! The immediate consequence operator maps each IDB fact to the ⊕-sum over
-//! its grounded rules of the ⊗-product of the rule's body values. Naive
-//! evaluation iterates from all-0; on a p-stable semiring it converges, and
+//! its grounded rules of the ⊗-product of the rule's body values. [`naive_eval`]
+//! iterates it from all-0; on a p-stable semiring it converges, and
 //! the number of iterations is the *boundedness* probe of §4 (a bounded
 //! program converges in O(1) iterations on every input).
+//!
+//! [`semi_naive_eval`] reaches the same fixpoint *differentially*: it keeps
+//! a frontier of grounded rules whose body values changed last round and
+//! re-fires only those, accumulating each rule's fresh contribution into its
+//! head with `⊕` instead of recomputing every head's full sum. Accumulation
+//! is sound exactly when `⊕` is idempotent ([`Semiring::ADD_IDEMPOTENT`]):
+//! a stale contribution `x` computed from earlier (smaller) body values is
+//! dominated by the final one `y`, so `x ⊕ y = y` and it never inflates the
+//! result. For non-idempotent semirings (e.g. [`semiring::Counting`], where
+//! re-added contributions would double-count proof trees) it transparently
+//! falls back to [`naive_eval`]. [`EvalStrategy`] names the choice; the
+//! `Engine` facade defaults to [`EvalStrategy::SemiNaive`].
 
 use semiring::valuation::{AllOnes, Valuation, VarTags};
 use semiring::{Semiring, Sorp};
@@ -67,6 +79,198 @@ where
         values,
         iterations: max_iters,
         converged: false,
+    }
+}
+
+/// Which fixpoint algorithm [`eval_with_strategy`] runs.
+///
+/// The two strategies compute identical values whenever both converge
+/// (semi-naive falls back to naive where its delta propagation would be
+/// unsound), but their `EvalOutcome::iterations` counters measure
+/// different things: naive counts applications of the full immediate
+/// consequence operator — the §4 boundedness probe — while semi-naive
+/// counts frontier rounds, which can be fewer. Probes that *interpret*
+/// the iteration count (boundedness, the Theorem 4.3 layering) must use
+/// [`Naive`](EvalStrategy::Naive).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EvalStrategy {
+    /// The Jacobi-style naive fixpoint: every round re-fires every
+    /// grounded rule against the previous round's values.
+    Naive,
+    /// Delta-driven evaluation: each round re-fires only the grounded
+    /// rules whose body values changed, accumulating contributions with
+    /// `⊕`. Sound on `⊕`-idempotent semirings
+    /// ([`Semiring::ADD_IDEMPOTENT`]); silently equals `Naive` otherwise.
+    #[default]
+    SemiNaive,
+}
+
+/// Evaluate under the given [`EvalStrategy`] — the single dispatch point
+/// the `Engine` facade routes through.
+pub fn eval_with_strategy<S, V>(
+    strategy: EvalStrategy,
+    gp: &GroundedProgram,
+    assign: &V,
+    max_iters: usize,
+) -> EvalOutcome<S>
+where
+    S: Semiring,
+    V: Valuation<S> + ?Sized,
+{
+    match strategy {
+        EvalStrategy::Naive => naive_eval(gp, assign, max_iters),
+        EvalStrategy::SemiNaive => semi_naive_eval(gp, assign, max_iters),
+    }
+}
+
+/// Semi-naive (differential) evaluation: reach the same fixpoint as
+/// [`naive_eval`] by propagating value changes along rule dependencies
+/// instead of recomputing every fact every round.
+///
+/// The algorithm is a FIFO worklist over grounded rules. Every rule fires
+/// once; when a firing `⊕`-accumulates a *strictly new* value into its
+/// head, the rules reading that head are re-enqueued (unless already
+/// pending — a pending rule reads the newer value when it fires, so one
+/// queue entry absorbs any number of upstream changes). Total work is
+/// proportional to the number of value *changes*, not
+/// `rounds × total grounded rules` — on transitive closure over `gnm`
+/// graphs this is several times faster than naive (see the `seminaive`
+/// bench experiment). The fact → dependent-rules lists are laid out in
+/// one flat CSR buffer, built in two passes without per-rule allocation.
+///
+/// Accumulation without recomputation is sound exactly when `⊕` is
+/// idempotent: within the idempotent order, body values only grow, `⊗` is
+/// monotone, so every stale contribution is dominated by (and absorbed
+/// into) the final one. When `S::ADD_IDEMPOTENT` is `false` (e.g.
+/// [`semiring::Counting`]) this function **falls back to [`naive_eval`]**,
+/// so it is safe to call on any semiring; divergent instances exhaust
+/// the budget and report `converged: false` either way.
+///
+/// `iterations` reports *equivalent full passes* — rule firings divided by
+/// the number of grounded rules, rounded up — and the budget caps firings
+/// at `max_iters × #rules`, mirroring naive's total work bound. Do not
+/// feed the count to the §4 boundedness or layering probes (they
+/// interpret naive ICO applications; use [`naive_eval`] there).
+pub fn semi_naive_eval<S, V>(gp: &GroundedProgram, assign: &V, max_iters: usize) -> EvalOutcome<S>
+where
+    S: Semiring,
+    V: Valuation<S> + ?Sized,
+{
+    if !S::ADD_IDEMPOTENT {
+        return naive_eval(gp, assign, max_iters);
+    }
+    let n = gp.num_idb_facts();
+    let num_rules = gp.rules.len();
+    let mut values = vec![S::zero(); n];
+
+    // Each rule's EDB factor is loop-invariant: compute it once.
+    let edb_factor: Vec<S> = gp
+        .rules
+        .iter()
+        .map(|r| {
+            let mut p = S::one();
+            for &f in &r.body_edb {
+                p.mul_assign(&assign.value(f));
+            }
+            p
+        })
+        .collect();
+
+    // Invert the body references into fact → dependent rules, CSR layout:
+    // `deps[start[i]..start[i + 1]]` lists the rules reading fact `i`
+    // (each rule at most once per fact).
+    let mut start = vec![0usize; n + 1];
+    for r in &gp.rules {
+        for_each_distinct_body_fact(r, |i| start[i + 1] += 1);
+    }
+    for i in 0..n {
+        start[i + 1] += start[i];
+    }
+    let mut deps = vec![0u32; start[n]];
+    let mut cursor = start.clone();
+    for (ri, r) in gp.rules.iter().enumerate() {
+        for_each_distinct_body_fact(r, |i| {
+            deps[cursor[i]] = ri as u32;
+            cursor[i] += 1;
+        });
+    }
+
+    let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+    let mut pending = vec![false; num_rules];
+    let max_firings = max_iters.saturating_mul(num_rules.max(1));
+    let mut firings = 0usize;
+    let equivalent_passes = |firings: usize| firings.div_ceil(num_rules.max(1));
+
+    // One firing of rule `ri`: ⊕-accumulate its product into the head and
+    // re-enqueue the dependent rules that fired before this change (a rule
+    // that has not fired yet — or is already queued — reads the newer value
+    // when its turn comes, so it needs no entry).
+    macro_rules! fire {
+        ($ri:expr, $fired:expr) => {{
+            let ri = $ri;
+            let rule = &gp.rules[ri];
+            let mut prod = edb_factor[ri].clone();
+            for &i in &rule.body_idb {
+                prod.mul_assign(&values[i]);
+            }
+            if !prod.is_zero() {
+                let sum = values[rule.head].add(&prod);
+                if !sum.sr_eq(&values[rule.head]) {
+                    values[rule.head] = sum;
+                    for &dep in &deps[start[rule.head]..start[rule.head + 1]] {
+                        let dep = dep as usize;
+                        if $fired(dep) && !pending[dep] {
+                            pending[dep] = true;
+                            queue.push_back(dep as u32);
+                        }
+                    }
+                }
+            }
+        }};
+    }
+
+    // Initial pass: every rule fires once, in creation order — a plain
+    // scan, as cache-friendly as one naive round. Only rules at an earlier
+    // position (already fired) can need a second look.
+    for ri in 0..num_rules.min(max_firings) {
+        firings += 1;
+        fire!(ri, |dep| dep <= ri);
+    }
+    if num_rules > max_firings {
+        return EvalOutcome {
+            values,
+            iterations: equivalent_passes(firings),
+            converged: false,
+        };
+    }
+    // Drain: by now every rule has fired, so any dependent of a change is
+    // a re-fire candidate unless already queued.
+    while let Some(ri) = queue.pop_front() {
+        if firings == max_firings {
+            return EvalOutcome {
+                values,
+                iterations: equivalent_passes(firings),
+                converged: false,
+            };
+        }
+        firings += 1;
+        pending[ri as usize] = false;
+        fire!(ri as usize, |_dep| true);
+    }
+    EvalOutcome {
+        values,
+        iterations: equivalent_passes(firings),
+        converged: true,
+    }
+}
+
+/// Visit each IDB fact of a rule body once, even when the body repeats it
+/// (bodies are tiny, so the quadratic dedup beats sorting a clone).
+fn for_each_distinct_body_fact(r: &crate::ground::GroundedRule, mut f: impl FnMut(usize)) {
+    for (k, &i) in r.body_idb.iter().enumerate() {
+        if !r.body_idb[..k].contains(&i) {
+            f(i);
+        }
     }
 }
 
@@ -237,6 +441,86 @@ mod tests {
             m(e_su2 as u32, e_u2v2 as u32, e_v2t as u32),
         ]);
         assert_eq!(out.values[i], expect);
+    }
+
+    #[test]
+    fn seminaive_matches_naive_across_semirings() {
+        for seed in [1u64, 5, 9] {
+            let g = generators::gnm(8, 20, &["E"], seed);
+            let (_, _, gp) = tc_on(&g);
+            let budget = default_budget(&gp);
+
+            let nb = naive_eval::<Bool, _>(&gp, &AllOnes, budget);
+            let sb = semi_naive_eval::<Bool, _>(&gp, &AllOnes, budget);
+            assert!(sb.converged && nb.converged);
+            assert_eq!(nb.values, sb.values, "Bool seed={seed}");
+
+            let unit = UnitWeights::new(Tropical::new(1));
+            let nt = naive_eval::<Tropical, _>(&gp, &unit, budget);
+            let st = semi_naive_eval::<Tropical, _>(&gp, &unit, budget);
+            assert!(st.converged);
+            assert_eq!(nt.values, st.values, "Tropical seed={seed}");
+            assert!(
+                st.iterations <= nt.iterations,
+                "semi-naive rounds ({}) exceed naive iterations ({})",
+                st.iterations,
+                nt.iterations
+            );
+
+            let ns = naive_eval::<Sorp, _>(&gp, &VarTags, budget);
+            let ss = semi_naive_eval::<Sorp, _>(&gp, &VarTags, budget);
+            assert!(ss.converged);
+            assert_eq!(ns.values, ss.values, "Sorp seed={seed}");
+        }
+    }
+
+    #[test]
+    fn seminaive_counting_falls_back_to_naive() {
+        // Counting is not ⊕-idempotent: the delta path would double-count,
+        // so semi_naive_eval must route through naive and agree exactly —
+        // on the DAG it counts paths, on the cycle both diverge.
+        let mut g = graphgen::LabeledDigraph::new(4);
+        g.add_edge(0, 1, "E");
+        g.add_edge(0, 2, "E");
+        g.add_edge(1, 3, "E");
+        g.add_edge(2, 3, "E");
+        let (_, _, gp) = tc_on(&g);
+        let unit = UnitWeights::new(Counting::new(1));
+        let n = naive_eval::<Counting, _>(&gp, &unit, 20);
+        let s = semi_naive_eval::<Counting, _>(&gp, &unit, 20);
+        assert!(n.converged && s.converged);
+        assert_eq!(n.values, s.values);
+        assert_eq!(n.iterations, s.iterations, "fallback must be naive itself");
+
+        let cyc = generators::cycle(3, "E");
+        let (_, _, gp) = tc_on(&cyc);
+        let s = semi_naive_eval::<Counting, _>(&gp, &unit, 50);
+        assert!(!s.converged, "counting must still diverge on a cycle");
+    }
+
+    #[test]
+    fn seminaive_tropk_converges_on_cycles() {
+        // Trop_2 is ⊕-idempotent but only 1-stable: the frontier must
+        // still drain (values stop changing) despite the cycle.
+        let g = generators::cycle(4, "E");
+        let (_, _, gp) = tc_on(&g);
+        let unit = UnitWeights::new(TropK::<2>::single(1));
+        let n = naive_eval::<TropK<2>, _>(&gp, &unit, 200);
+        let s = semi_naive_eval::<TropK<2>, _>(&gp, &unit, 200);
+        assert!(n.converged && s.converged);
+        assert_eq!(n.values, s.values);
+    }
+
+    #[test]
+    fn strategy_dispatch_routes_both_ways() {
+        let g = generators::gnm(7, 16, &["E"], 2);
+        let (_, _, gp) = tc_on(&g);
+        let budget = default_budget(&gp);
+        let unit = UnitWeights::new(Tropical::new(1));
+        let naive = eval_with_strategy::<Tropical, _>(EvalStrategy::Naive, &gp, &unit, budget);
+        let semi = eval_with_strategy::<Tropical, _>(EvalStrategy::SemiNaive, &gp, &unit, budget);
+        assert_eq!(naive.values, semi.values);
+        assert_eq!(EvalStrategy::default(), EvalStrategy::SemiNaive);
     }
 
     #[test]

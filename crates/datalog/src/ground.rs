@@ -3,14 +3,27 @@
 //! construction (Theorems 3.1, 4.3, 6.2).
 //!
 //! Grounding proceeds in two phases:
-//! 1. a naive Boolean fixpoint computes the set of *derivable* IDB facts;
+//! 1. a **semi-naive** Boolean fixpoint computes the set of *derivable*
+//!    IDB facts: each round only instantiates rule bodies that use at
+//!    least one fact from the previous round's *delta frontier*, instead
+//!    of re-enumerating every match from scratch;
 //! 2. every rule is instantiated in all ways whose body holds in
 //!    EDB ∪ derivable-IDB, yielding [`GroundedRule`]s.
+//!
+//! Both phases join through per-predicate **hash indices**: for every
+//! `(predicate, bound argument positions)` pair some rule probes, facts are
+//! keyed by their projection onto those positions (the private
+//! `JoinIndices`). A body atom whose prefix has already bound `k` of its
+//! arguments is matched by one hash lookup over exactly the candidate
+//! facts agreeing on those arguments — not by scanning the full relation.
+//! Because derivable facts are appended round by round, the delta frontier
+//! is a contiguous index range and a binary search restricts any index
+//! bucket to it.
 //!
 //! Restricting to derivable facts keeps the grounded program — and hence
 //! every circuit built from it — free of dead gates.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use provcirc_error::Error;
 
@@ -42,6 +55,12 @@ pub struct GroundedProgram {
     pub rules: Vec<GroundedRule>,
     /// For each IDB fact, the grounded rules deriving it.
     pub rules_by_head: Vec<Vec<usize>>,
+    /// Derivable facts grouped by predicate, each group in `idb_facts`
+    /// order — maintained during grounding so [`facts_of`] is a lookup,
+    /// not a scan.
+    ///
+    /// [`facts_of`]: GroundedProgram::facts_of
+    pub facts_by_pred: HashMap<PredId, Vec<usize>>,
 }
 
 impl GroundedProgram {
@@ -55,13 +74,13 @@ impl GroundedProgram {
         self.fact_index.get(&(pred, tuple.to_vec())).copied()
     }
 
-    /// Indices of derivable facts of a predicate.
-    pub fn facts_of(&self, pred: PredId) -> Vec<usize> {
-        self.idb_facts
-            .iter()
-            .enumerate()
-            .filter_map(|(i, (p, _))| (*p == pred).then_some(i))
-            .collect()
+    /// Indices of derivable facts of a predicate, in `idb_facts` order.
+    ///
+    /// O(1): served from the per-predicate index built during grounding
+    /// (it used to be an O(#facts) scan per call, which made the grounding
+    /// join quadratic on large instances).
+    pub fn facts_of(&self, pred: PredId) -> &[usize] {
+        self.facts_by_pred.get(&pred).map_or(&[][..], Vec::as_slice)
     }
 
     /// Total size of the grounded program (the `M` of Theorem 4.3's size
@@ -74,6 +93,20 @@ impl GroundedProgram {
                 .map(|r| r.body_idb.len() + r.body_edb.len())
                 .sum::<usize>()
     }
+
+    /// Append a derivable fact, keeping `fact_index` and `facts_by_pred`
+    /// coherent. Returns `Some(i)` for a new fact, `None` for a duplicate.
+    fn push_fact(&mut self, pred: PredId, tuple: Vec<ConstId>) -> Option<usize> {
+        let key = (pred, tuple);
+        if self.fact_index.contains_key(&key) {
+            return None;
+        }
+        let i = self.idb_facts.len();
+        self.fact_index.insert(key.clone(), i);
+        self.facts_by_pred.entry(pred).or_default().push(i);
+        self.idb_facts.push(key);
+        Some(i)
+    }
 }
 
 /// A match target during joins: either an IDB fact index or an EDB fact id.
@@ -81,6 +114,160 @@ impl GroundedProgram {
 enum BodyMatch {
     Idb(usize),
     Edb(FactId),
+}
+
+/// Statically computed join plan of one rule, for the fixed left-to-right
+/// body order: which argument positions of each body atom are already
+/// bound (constants, or variables bound by an earlier atom) when the
+/// matcher reaches it — the probe key of the hash index at that position.
+struct RulePlan {
+    /// Per body position: the pre-bound argument positions, ascending.
+    bound: Vec<Vec<usize>>,
+    /// Per body position: slot of the shared index in [`JoinIndices`].
+    slot: Vec<usize>,
+    /// Body positions holding IDB atoms (delta-constraint candidates).
+    idb_positions: Vec<usize>,
+    /// A constant in the rule names nothing in the active domain: the rule
+    /// can never fire over this database and is skipped wholesale.
+    dead: bool,
+}
+
+fn plan_rule(
+    rule: &Rule,
+    idbs: &HashSet<PredId>,
+    const_map: &[Option<ConstId>],
+    slots: &mut SlotInterner,
+) -> RulePlan {
+    let mut dead = rule
+        .head
+        .terms
+        .iter()
+        .any(|t| matches!(t, Term::Const(c) if const_map[*c as usize].is_none()));
+    let mut bound_vars: HashSet<VarSym> = HashSet::new();
+    let mut bound = Vec::with_capacity(rule.body.len());
+    let mut slot = Vec::with_capacity(rule.body.len());
+    let mut idb_positions = Vec::new();
+    for (pos, atom) in rule.body.iter().enumerate() {
+        let mut pre_bound = Vec::new();
+        for (p, term) in atom.terms.iter().enumerate() {
+            match term {
+                Term::Const(c) => {
+                    if const_map[*c as usize].is_none() {
+                        dead = true;
+                    }
+                    pre_bound.push(p);
+                }
+                Term::Var(v) => {
+                    if bound_vars.contains(v) {
+                        pre_bound.push(p);
+                    }
+                }
+            }
+        }
+        for term in &atom.terms {
+            if let Term::Var(v) = term {
+                bound_vars.insert(*v);
+            }
+        }
+        let is_idb = idbs.contains(&atom.pred);
+        if is_idb {
+            idb_positions.push(pos);
+        }
+        slot.push(slots.intern(atom.pred, &pre_bound, is_idb));
+        bound.push(pre_bound);
+    }
+    RulePlan {
+        bound,
+        slot,
+        idb_positions,
+        dead,
+    }
+}
+
+/// Interner mapping `(predicate, bound positions)` to an index slot shared
+/// across all rules probing the same relation the same way.
+#[derive(Default)]
+struct SlotInterner {
+    by_key: HashMap<(PredId, Vec<usize>), usize>,
+    /// Per slot: predicate, bound positions, and whether it indexes IDB.
+    specs: Vec<(PredId, Vec<usize>, bool)>,
+}
+
+impl SlotInterner {
+    fn intern(&mut self, pred: PredId, positions: &[usize], is_idb: bool) -> usize {
+        *self
+            .by_key
+            .entry((pred, positions.to_vec()))
+            .or_insert_with(|| {
+                self.specs.push((pred, positions.to_vec(), is_idb));
+                self.specs.len() - 1
+            })
+    }
+}
+
+/// The hash join indices of one grounding run: one index per interned
+/// `(predicate, bound positions)` slot. EDB slots are filled once from the
+/// database; IDB slots grow after every semi-naive round.
+struct JoinIndices {
+    /// Per slot: projection key → matching facts (IDB fact indices or EDB
+    /// fact ids, ascending — insertion order).
+    maps: Vec<HashMap<Vec<ConstId>, Vec<usize>>>,
+    /// Per slot: the projected positions (copied out of the interner).
+    positions: Vec<Vec<usize>>,
+    /// IDB slot numbers grouped by predicate, so extending with a new fact
+    /// touches only its own predicate's slots.
+    idb_slots_by_pred: HashMap<PredId, Vec<usize>>,
+    /// Number of `idb_facts` already folded into the IDB slots.
+    idb_upto: usize,
+}
+
+impl JoinIndices {
+    fn build(slots: &SlotInterner, db: &Database) -> Self {
+        let mut maps = Vec::with_capacity(slots.specs.len());
+        let mut positions = Vec::with_capacity(slots.specs.len());
+        let mut idb_slots_by_pred: HashMap<PredId, Vec<usize>> = HashMap::new();
+        for (slot, (pred, pos, idb)) in slots.specs.iter().enumerate() {
+            let mut map: HashMap<Vec<ConstId>, Vec<usize>> = HashMap::new();
+            if *idb {
+                idb_slots_by_pred.entry(*pred).or_default().push(slot);
+            } else {
+                for &fid in db.facts_of(*pred) {
+                    let tuple = db.fact(fid).1;
+                    if pos.iter().all(|&p| p < tuple.len()) {
+                        let key: Vec<ConstId> = pos.iter().map(|&p| tuple[p]).collect();
+                        map.entry(key).or_default().push(fid as usize);
+                    }
+                }
+            }
+            maps.push(map);
+            positions.push(pos.clone());
+        }
+        JoinIndices {
+            maps,
+            positions,
+            idb_slots_by_pred,
+            idb_upto: 0,
+        }
+    }
+
+    /// Fold the facts appended since the last call into the IDB slots of
+    /// their predicate.
+    fn extend_idb(&mut self, gp: &GroundedProgram) {
+        for i in self.idb_upto..gp.idb_facts.len() {
+            let (pred, tuple) = &gp.idb_facts[i];
+            let Some(slots) = self.idb_slots_by_pred.get(pred) else {
+                continue;
+            };
+            for &slot in slots {
+                if self.positions[slot].iter().all(|&p| p < tuple.len()) {
+                    let key: Vec<ConstId> =
+                        self.positions[slot].iter().map(|&p| tuple[p]).collect();
+                    self.maps[slot].entry(key).or_default().push(i);
+                }
+            }
+        }
+        self.idb_upto = gp.idb_facts.len();
+    }
 }
 
 /// Ground `program` against `db`. Fails if the grounding would exceed
@@ -99,81 +286,111 @@ pub fn ground_with_limit(
         .map(|c| db.consts.get(program.consts.name(c)))
         .collect();
 
-    // Phase 1: derivable IDB facts (naive Boolean fixpoint).
+    let mut slots = SlotInterner::default();
+    let plans: Vec<RulePlan> = program
+        .rules
+        .iter()
+        .map(|r| plan_rule(r, &idbs, &const_map, &mut slots))
+        .collect();
+    let mut indices = JoinIndices::build(&slots, db);
+
+    // Phase 1: derivable IDB facts (semi-naive Boolean fixpoint). Round 0
+    // fires every rule against the empty IDB relation (only all-EDB bodies
+    // can match); round r > 0 re-fires a rule once per IDB body position,
+    // constrained to take a fact from round r-1's delta frontier there.
     let mut gp = GroundedProgram::default();
+    let mut delta_start = 0usize;
+    let mut first_round = true;
     loop {
         let mut new_facts: Vec<(PredId, Vec<ConstId>)> = Vec::new();
-        for rule in &program.rules {
-            enumerate_matches(
-                program,
+        for (ri, rule) in program.rules.iter().enumerate() {
+            let plan = &plans[ri];
+            if plan.dead {
+                continue;
+            }
+            let mut derive = |bindings: &HashMap<VarSym, ConstId>, _: &[BodyMatch]| {
+                let head = instantiate(&rule.head, bindings, &const_map)
+                    .expect("head vars bound by safety; dead rules skipped");
+                if gp.fact(rule.head.pred, &head).is_none() {
+                    new_facts.push((rule.head.pred, head));
+                }
+            };
+            let matcher = Matcher {
                 db,
-                &gp,
-                &const_map,
+                gp: &gp,
+                const_map: &const_map,
                 rule,
-                &idbs,
-                &mut |bindings, _| {
-                    let head = instantiate(&rule.head, bindings, &const_map)
-                        .expect("head vars bound by safety");
-                    if gp.fact(rule.head.pred, &head).is_none() {
-                        new_facts.push((rule.head.pred, head));
-                    }
-                },
-            );
+                plan,
+                idbs: &idbs,
+                indices: &indices,
+            };
+            if first_round {
+                matcher.enumerate(None, &mut derive);
+            } else {
+                for &dpos in &plan.idb_positions {
+                    matcher.enumerate(Some((dpos, delta_start)), &mut derive);
+                }
+            }
         }
+        delta_start = gp.idb_facts.len();
         let mut changed = false;
         for (pred, tuple) in new_facts {
-            let key = (pred, tuple);
-            if !gp.fact_index.contains_key(&key) {
-                gp.fact_index.insert(key.clone(), gp.idb_facts.len());
-                gp.idb_facts.push(key);
-                changed = true;
-            }
+            changed |= gp.push_fact(pred, tuple).is_some();
         }
         if !changed {
             break;
         }
+        indices.extend_idb(&gp);
+        first_round = false;
     }
 
-    // Phase 2: enumerate all groundings against the completed fact set.
+    // Phase 2: enumerate all groundings against the completed fact set,
+    // through the same indices (no delta constraint).
     let mut rules: Vec<GroundedRule> = Vec::new();
     for (rule_index, rule) in program.rules.iter().enumerate() {
+        let plan = &plans[rule_index];
+        if plan.dead {
+            continue;
+        }
         let mut overflow = false;
-        enumerate_matches(
-            program,
+        let mut ground_rule = |bindings: &HashMap<VarSym, ConstId>, matches: &[BodyMatch]| {
+            if overflow {
+                return;
+            }
+            if rules.len() >= max_rules {
+                overflow = true;
+                return;
+            }
+            let head_tuple = instantiate(&rule.head, bindings, &const_map)
+                .expect("head vars bound by safety; dead rules skipped");
+            let head = gp
+                .fact(rule.head.pred, &head_tuple)
+                .expect("head derivable at fixpoint");
+            let mut body_idb = Vec::new();
+            let mut body_edb = Vec::new();
+            for m in matches {
+                match *m {
+                    BodyMatch::Idb(i) => body_idb.push(i),
+                    BodyMatch::Edb(f) => body_edb.push(f),
+                }
+            }
+            rules.push(GroundedRule {
+                rule_index,
+                head,
+                body_idb,
+                body_edb,
+            });
+        };
+        Matcher {
             db,
-            &gp,
-            &const_map,
+            gp: &gp,
+            const_map: &const_map,
             rule,
-            &idbs,
-            &mut |bindings, matches| {
-                if overflow {
-                    return;
-                }
-                if rules.len() >= max_rules {
-                    overflow = true;
-                    return;
-                }
-                let head_tuple = instantiate(&rule.head, bindings, &const_map)
-                    .expect("head vars bound by safety");
-                let head = gp
-                    .fact(rule.head.pred, &head_tuple)
-                    .expect("head derivable at fixpoint");
-                let mut body_idb = Vec::new();
-                let mut body_edb = Vec::new();
-                for m in matches {
-                    match *m {
-                        BodyMatch::Idb(i) => body_idb.push(i),
-                        BodyMatch::Edb(f) => body_edb.push(f),
-                    }
-                }
-                rules.push(GroundedRule {
-                    rule_index,
-                    head,
-                    body_idb,
-                    body_edb,
-                });
-            },
-        );
+            plan,
+            idbs: &idbs,
+            indices: &indices,
+        }
+        .enumerate(None, &mut ground_rule);
         if overflow {
             return Err(Error::GroundingLimit { max_rules });
         }
@@ -195,152 +412,145 @@ pub fn ground(program: &Program, db: &Database) -> Result<GroundedProgram, Error
 /// Callback invoked for every satisfying assignment of a rule body.
 type OnMatch<'a> = dyn FnMut(&HashMap<VarSym, ConstId>, &[BodyMatch]) + 'a;
 
-/// Enumerate all substitutions satisfying `rule`'s body over
-/// EDB ∪ derivable-IDB, invoking `on_match(bindings, per-atom matches)`.
-fn enumerate_matches(
-    program: &Program,
-    db: &Database,
-    gp: &GroundedProgram,
-    const_map: &[Option<ConstId>],
-    rule: &Rule,
-    idbs: &std::collections::HashSet<PredId>,
-    on_match: &mut OnMatch<'_>,
-) {
-    let mut bindings: HashMap<VarSym, ConstId> = HashMap::new();
-    let mut matches: Vec<BodyMatch> = Vec::with_capacity(rule.body.len());
-    recurse(
-        program,
-        db,
-        gp,
-        const_map,
-        rule,
-        idbs,
-        0,
-        &mut bindings,
-        &mut matches,
-        on_match,
-    );
+/// One rule's indexed join over EDB ∪ derivable-IDB.
+struct Matcher<'a> {
+    db: &'a Database,
+    gp: &'a GroundedProgram,
+    const_map: &'a [Option<ConstId>],
+    rule: &'a Rule,
+    plan: &'a RulePlan,
+    idbs: &'a HashSet<PredId>,
+    indices: &'a JoinIndices,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn recurse(
-    program: &Program,
-    db: &Database,
-    gp: &GroundedProgram,
-    const_map: &[Option<ConstId>],
-    rule: &Rule,
-    idbs: &std::collections::HashSet<PredId>,
-    pos: usize,
-    bindings: &mut HashMap<VarSym, ConstId>,
-    matches: &mut Vec<BodyMatch>,
-    on_match: &mut OnMatch<'_>,
-) {
-    if pos == rule.body.len() {
-        on_match(bindings, matches);
-        return;
+impl Matcher<'_> {
+    /// Enumerate all substitutions satisfying the rule's body, invoking
+    /// `on_match(bindings, per-atom matches)`. With `delta = Some((pos,
+    /// start))`, the IDB atom at body position `pos` only matches facts
+    /// with index `≥ start` — the semi-naive frontier constraint.
+    fn enumerate(&self, delta: Option<(usize, usize)>, on_match: &mut OnMatch<'_>) {
+        let mut bindings: HashMap<VarSym, ConstId> = HashMap::new();
+        let mut matches: Vec<BodyMatch> = Vec::with_capacity(self.rule.body.len());
+        self.recurse(0, delta, &mut bindings, &mut matches, on_match);
     }
-    let atom = &rule.body[pos];
-    if idbs.contains(&atom.pred) {
-        for i in gp.facts_of(atom.pred) {
-            let tuple = gp.idb_facts[i].1.clone();
-            try_match(
-                program,
-                db,
-                gp,
-                const_map,
-                rule,
-                idbs,
-                pos,
-                atom,
-                &tuple,
-                BodyMatch::Idb(i),
-                bindings,
-                matches,
-                on_match,
-            );
-        }
-    } else {
-        for &fid in db.facts_of(atom.pred) {
-            let tuple = db.fact(fid).1.to_vec();
-            try_match(
-                program,
-                db,
-                gp,
-                const_map,
-                rule,
-                idbs,
-                pos,
-                atom,
-                &tuple,
-                BodyMatch::Edb(fid),
-                bindings,
-                matches,
-                on_match,
-            );
-        }
-    }
-}
 
-#[allow(clippy::too_many_arguments)]
-fn try_match(
-    program: &Program,
-    db: &Database,
-    gp: &GroundedProgram,
-    const_map: &[Option<ConstId>],
-    rule: &Rule,
-    idbs: &std::collections::HashSet<PredId>,
-    pos: usize,
-    atom: &Atom,
-    tuple: &[ConstId],
-    matched: BodyMatch,
-    bindings: &mut HashMap<VarSym, ConstId>,
-    matches: &mut Vec<BodyMatch>,
-    on_match: &mut OnMatch<'_>,
-) {
-    if tuple.len() != atom.terms.len() {
-        return;
-    }
-    let mut newly_bound: Vec<VarSym> = Vec::new();
-    let mut ok = true;
-    for (term, &value) in atom.terms.iter().zip(tuple) {
-        match term {
-            Term::Const(c) => {
-                if const_map[*c as usize] != Some(value) {
-                    ok = false;
-                    break;
-                }
+    fn recurse(
+        &self,
+        pos: usize,
+        delta: Option<(usize, usize)>,
+        bindings: &mut HashMap<VarSym, ConstId>,
+        matches: &mut Vec<BodyMatch>,
+        on_match: &mut OnMatch<'_>,
+    ) {
+        if pos == self.rule.body.len() {
+            on_match(bindings, matches);
+            return;
+        }
+        let atom = &self.rule.body[pos];
+        // Probe key: current bindings projected onto the pre-bound
+        // positions of this atom (constants resolved statically).
+        let key: Vec<ConstId> = self.plan.bound[pos]
+            .iter()
+            .map(|&p| match &atom.terms[p] {
+                Term::Const(c) => self.const_map[*c as usize].expect("dead rules are skipped"),
+                Term::Var(v) => bindings[v],
+            })
+            .collect();
+        let Some(candidates) = self.indices.maps[self.plan.slot[pos]].get(&key) else {
+            return;
+        };
+        let is_idb = self.idbs.contains(&atom.pred);
+        // Frontier constraint: buckets are ascending, so the frontier facts
+        // form a suffix whose start a binary search finds. The delta
+        // position takes the suffix; *earlier* IDB positions take the
+        // prefix (pre-frontier facts only), so a binding with several
+        // frontier facts is enumerated exactly once — when `dpos` is its
+        // first frontier position. Later positions stay unrestricted.
+        let (from, to) = match delta {
+            Some((dpos, start)) if dpos == pos => {
+                (candidates.partition_point(|&i| i < start), candidates.len())
             }
-            Term::Var(v) => match bindings.get(v) {
-                Some(&bound) if bound != value => {
-                    ok = false;
-                    break;
-                }
-                Some(_) => {}
-                None => {
-                    bindings.insert(*v, value);
-                    newly_bound.push(*v);
-                }
-            },
+            Some((dpos, start)) if pos < dpos && is_idb => {
+                (0, candidates.partition_point(|&i| i < start))
+            }
+            _ => (0, candidates.len()),
+        };
+        for &c in &candidates[from..to] {
+            if is_idb {
+                let tuple = &self.gp.idb_facts[c].1;
+                self.try_match(
+                    pos,
+                    delta,
+                    tuple,
+                    BodyMatch::Idb(c),
+                    bindings,
+                    matches,
+                    on_match,
+                );
+            } else {
+                let fid = c as FactId;
+                let tuple = self.db.fact(fid).1;
+                self.try_match(
+                    pos,
+                    delta,
+                    tuple,
+                    BodyMatch::Edb(fid),
+                    bindings,
+                    matches,
+                    on_match,
+                );
+            }
         }
     }
-    if ok {
-        matches.push(matched);
-        recurse(
-            program,
-            db,
-            gp,
-            const_map,
-            rule,
-            idbs,
-            pos + 1,
-            bindings,
-            matches,
-            on_match,
-        );
-        matches.pop();
-    }
-    for v in newly_bound {
-        bindings.remove(&v);
+
+    /// Check the residual positions the index could not pre-filter
+    /// (fresh variables, within-atom repeats), bind them, and descend.
+    #[allow(clippy::too_many_arguments)]
+    fn try_match(
+        &self,
+        pos: usize,
+        delta: Option<(usize, usize)>,
+        tuple: &[ConstId],
+        matched: BodyMatch,
+        bindings: &mut HashMap<VarSym, ConstId>,
+        matches: &mut Vec<BodyMatch>,
+        on_match: &mut OnMatch<'_>,
+    ) {
+        let atom = &self.rule.body[pos];
+        if tuple.len() != atom.terms.len() {
+            return;
+        }
+        let mut newly_bound: Vec<VarSym> = Vec::new();
+        let mut ok = true;
+        for (term, &value) in atom.terms.iter().zip(tuple) {
+            match term {
+                Term::Const(c) => {
+                    if self.const_map[*c as usize] != Some(value) {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match bindings.get(v) {
+                    Some(&bound) if bound != value => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        bindings.insert(*v, value);
+                        newly_bound.push(*v);
+                    }
+                },
+            }
+        }
+        if ok {
+            matches.push(matched);
+            self.recurse(pos + 1, delta, bindings, matches, on_match);
+            matches.pop();
+        }
+        for v in newly_bound {
+            bindings.remove(&v);
+        }
     }
 }
 
@@ -435,6 +645,18 @@ mod tests {
     }
 
     #[test]
+    fn unknown_constants_in_heads_never_fire() {
+        // A head constant outside the active domain: the rule is dead (it
+        // could only derive a fact outside the domain) instead of a panic.
+        let mut p = parse_program("R(nosuch) :- E(X, Y).").unwrap();
+        let g = generators::path(2, "E");
+        let (db, _) = Database::from_graph(&mut p, &g);
+        let gp = ground(&p, &db).unwrap();
+        assert_eq!(gp.num_idb_facts(), 0);
+        assert!(gp.rules.is_empty());
+    }
+
+    #[test]
     fn limit_is_enforced() {
         let mut p = tc();
         let g = generators::complete(6, "E");
@@ -456,5 +678,88 @@ mod tests {
         let gp = ground(&p, &db).unwrap();
         let u = p.preds.get("U").unwrap();
         assert_eq!(gp.facts_of(u).len(), 4); // v3, v2, v1, v0
+    }
+
+    #[test]
+    fn facts_by_pred_index_is_coherent() {
+        let mut p = tc();
+        let g = generators::gnm(7, 18, &["E"], 3);
+        let (db, _) = Database::from_graph(&mut p, &g);
+        let gp = ground(&p, &db).unwrap();
+        let t = p.preds.get("T").unwrap();
+        // The per-predicate index is exactly the filter-scan it replaced.
+        let scanned: Vec<usize> = gp
+            .idb_facts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (pred, _))| (*pred == t).then_some(i))
+            .collect();
+        assert_eq!(gp.facts_of(t), &scanned[..]);
+        assert_eq!(gp.facts_of(t).len(), gp.num_idb_facts());
+    }
+
+    #[test]
+    fn nonlinear_rules_ground_like_linear_tc() {
+        // Nonlinear TC has two IDB body atoms: every semi-naive round
+        // exercises the pre-frontier restriction at positions before the
+        // delta position. Derivable facts must match linear TC exactly.
+        let mut nl = parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), T(Z,Y).").unwrap();
+        let mut lin = tc();
+        for seed in 0..4u64 {
+            let g = generators::gnm(8, 18, &["E"], seed);
+            let (db_nl, _) = Database::from_graph(&mut nl, &g);
+            let gp_nl = ground(&nl, &db_nl).unwrap();
+            let (db_lin, _) = Database::from_graph(&mut lin, &g);
+            let gp_lin = ground(&lin, &db_lin).unwrap();
+            assert_eq!(gp_nl.num_idb_facts(), gp_lin.num_idb_facts(), "seed={seed}");
+            let t = lin.preds.get("T").unwrap();
+            for (pred, tuple) in &gp_lin.idb_facts {
+                if *pred == t {
+                    let names: Vec<&str> = tuple.iter().map(|&c| db_lin.consts.name(c)).collect();
+                    let mapped: Vec<ConstId> = names
+                        .iter()
+                        .map(|n| db_nl.consts.get(n).expect("shared domain"))
+                        .collect();
+                    let t_nl = nl.preds.get("T").unwrap();
+                    assert!(
+                        gp_nl.fact(t_nl, &mapped).is_some(),
+                        "missing {names:?} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seminaive_grounding_matches_reachability_on_random_graphs() {
+        // The delta-frontier fixpoint must derive exactly the BFS-reachable
+        // pairs (≥ 1 edge) on arbitrary graphs, cycles included.
+        let mut p = tc();
+        for seed in 0..5u64 {
+            let g = generators::gnm(9, 22, &["E"], seed);
+            let (db, _) = Database::from_graph(&mut p, &g);
+            let gp = ground(&p, &db).unwrap();
+            let t = p.preds.get("T").unwrap();
+            let mut expected = 0usize;
+            for u in 0..g.num_nodes() {
+                let mut reach = vec![false; g.num_nodes()];
+                for &(eu, ev, _) in g.edges() {
+                    if eu as usize == u {
+                        for (w, r) in g.reachable_from(ev).iter().enumerate() {
+                            reach[w] |= r;
+                        }
+                        reach[ev as usize] = true;
+                    }
+                }
+                for (v, reachable) in reach.iter().enumerate() {
+                    if *reachable {
+                        expected += 1;
+                        let key = [db.node_const(u).unwrap(), db.node_const(v).unwrap()];
+                        assert!(gp.fact(t, &key).is_some(), "missing T({u},{v}) seed={seed}");
+                    }
+                }
+            }
+            assert_eq!(gp.facts_of(t).len(), expected, "seed={seed}");
+        }
     }
 }

@@ -4,16 +4,17 @@
 //!
 //! * [`ast`] / [`parser`] — programs with the predicate-I/O convention;
 //! * [`database`] — EDB databases with provenance-tagged facts;
-//! * [`ground`] — the grounded program (derivable facts + grounded rules),
-//!   the shared input of evaluation and circuit construction;
-//! * [`eval`] — naive fixpoint evaluation over any [`semiring::Semiring`],
-//!   with convergence detection (p-stability, §2.3) and the
-//!   iterations-to-fixpoint boundedness probe (§4);
+//! * [`mod@ground`] — the grounded program (derivable facts + grounded
+//!   rules) computed by an indexed semi-naive fixpoint, the shared input
+//!   of evaluation and circuit construction;
+//! * [`eval`] — naive and semi-naive fixpoint evaluation over any
+//!   [`semiring::Semiring`], with convergence detection (p-stability,
+//!   §2.3) and the iterations-to-fixpoint boundedness probe (§4);
 //! * [`prooftree`] — tight proof trees and brute-force provenance
 //!   polynomials (§2.4), the small-instance oracle;
 //! * [`expansion`] — CQ expansions, homomorphisms, and Theorem 4.6
 //!   boundedness evidence;
-//! * [`classify`] — the paper's fragments (linear, monadic, chain,
+//! * [`mod@classify`] — the paper's fragments (linear, monadic, chain,
 //!   connected);
 //! * [`magic`] — the magic-set rewriting behind Theorem 5.8;
 //! * [`to_cfg`] — the chain-Datalog ↔ CFG correspondence (Prop 5.2).
@@ -38,7 +39,10 @@ pub use provcirc_error::Error;
 pub use ast::{Atom, Program, Rule, Term};
 pub use classify::{classify, ProgramClass};
 pub use database::{Database, FactId};
-pub use eval::{default_budget, eval_all_ones, naive_eval, provenance_eval, EvalOutcome};
+pub use eval::{
+    default_budget, eval_all_ones, eval_with_strategy, naive_eval, provenance_eval,
+    semi_naive_eval, EvalOutcome, EvalStrategy,
+};
 pub use expansion::{boundedness_evidence, expansions, homomorphism, BoundednessEvidence, Cq};
 pub use ground::{ground, ground_with_limit, GroundedProgram, GroundedRule};
 pub use magic::{magic_rewrite, MagicRewrite};

@@ -19,6 +19,7 @@ impl Bool {
 
 impl Semiring for Bool {
     const NAME: &'static str = "boolean";
+    const ADD_IDEMPOTENT: bool = true;
 
     fn zero() -> Self {
         Bool(false)

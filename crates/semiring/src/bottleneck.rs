@@ -30,6 +30,7 @@ impl Bottleneck {
 
 impl Semiring for Bottleneck {
     const NAME: &'static str = "bottleneck";
+    const ADD_IDEMPOTENT: bool = true;
 
     fn zero() -> Self {
         Bottleneck(0)

@@ -32,6 +32,7 @@ impl Fuzzy {
 
 impl Semiring for Fuzzy {
     const NAME: &'static str = "fuzzy";
+    const ADD_IDEMPOTENT: bool = true;
 
     fn zero() -> Self {
         Fuzzy(0.0)

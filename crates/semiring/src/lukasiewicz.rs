@@ -37,6 +37,7 @@ impl Lukasiewicz {
 
 impl Semiring for Lukasiewicz {
     const NAME: &'static str = "lukasiewicz";
+    const ADD_IDEMPOTENT: bool = true;
 
     fn zero() -> Self {
         Lukasiewicz(0.0)

@@ -126,6 +126,32 @@ mod tests {
     }
 
     #[test]
+    fn add_idempotent_flag_mirrors_marker_trait() {
+        // `Semiring::ADD_IDEMPOTENT` is the const mirror of the
+        // `AddIdempotent` marker (semi-naive evaluation branches on it);
+        // keep the two in sync for every semiring in the crate.
+        fn marker_flag<S: AddIdempotent>() -> bool {
+            S::ADD_IDEMPOTENT
+        }
+        assert!(marker_flag::<Bool>());
+        assert!(marker_flag::<Tropical>());
+        assert!(marker_flag::<TropicalZ>());
+        assert!(marker_flag::<TropK<3>>());
+        assert!(marker_flag::<Fuzzy>());
+        assert!(marker_flag::<Bottleneck>());
+        assert!(marker_flag::<Lukasiewicz>());
+        assert!(marker_flag::<Viterbi>());
+        assert!(marker_flag::<WhyProv>());
+        assert!(marker_flag::<Sorp>());
+        // The one non-idempotent semiring must keep the default (the
+        // whole point is asserting the constant, hence the allow).
+        #[allow(clippy::assertions_on_constants)]
+        {
+            assert!(!Counting::ADD_IDEMPOTENT);
+        }
+    }
+
+    #[test]
     fn idem_order_on_tropical_sample() {
         let sample = [
             Tropical::zero(),

@@ -23,6 +23,21 @@ pub trait Semiring: Clone + std::fmt::Debug + PartialEq + Send + Sync + 'static 
     /// Human-readable name used in experiment reports.
     const NAME: &'static str;
 
+    /// Whether `⊕` is idempotent (`x ⊕ x = x`) for every element.
+    ///
+    /// This is a compile-time capability flag mirroring the
+    /// [`AddIdempotent`] marker trait: it must be `true` exactly for the
+    /// types that implement the marker (each semiring's unit tests assert
+    /// the law itself via [`crate::properties::check_add_idempotent`]).
+    ///
+    /// Generic code that cannot name the marker trait — most importantly
+    /// delta-driven *semi-naive* Datalog evaluation, which accumulates rule
+    /// contributions with `⊕` instead of recomputing full sums and is only
+    /// sound when stale contributions collapse (`x ⊕ y = y` whenever
+    /// `x ≤ y`) — branches on this constant and falls back to naive
+    /// evaluation when it is `false` (e.g. for [`crate::Counting`]).
+    const ADD_IDEMPOTENT: bool = false;
+
     /// The additive identity `0` (annihilator of `⊗`).
     fn zero() -> Self;
 

@@ -40,6 +40,7 @@ impl Tropical {
 
 impl Semiring for Tropical {
     const NAME: &'static str = "tropical";
+    const ADD_IDEMPOTENT: bool = true;
 
     fn zero() -> Self {
         Tropical(TROPICAL_INF)
@@ -125,6 +126,7 @@ impl TropicalZ {
 
 impl Semiring for TropicalZ {
     const NAME: &'static str = "tropical-z";
+    const ADD_IDEMPOTENT: bool = true;
 
     fn zero() -> Self {
         TropicalZ(TROPICAL_Z_INF)

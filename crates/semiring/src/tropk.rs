@@ -48,6 +48,7 @@ impl<const K: usize> TropK<K> {
 
 impl<const K: usize> Semiring for TropK<K> {
     const NAME: &'static str = "trop-k";
+    const ADD_IDEMPOTENT: bool = true;
 
     fn zero() -> Self {
         TropK {

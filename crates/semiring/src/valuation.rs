@@ -15,6 +15,31 @@
 //! * [`VarTags`] — every fact ↦ its own [`Sorp`] variable (the §2.4
 //!   provenance-polynomial tagging);
 //! * [`from_fn`] — wrap an arbitrary closure.
+//!
+//! The same interpretation question — "what is this fact worth?" — takes
+//! a different valuation per workload, with the semiring inferred from
+//! the value type:
+//!
+//! ```
+//! use semiring::valuation::{from_fn, AllOnes, UnitWeights, Valuation};
+//! use semiring::{Bool, Semiring, Sorp, Tropical, VarTags};
+//!
+//! // Boolean derivability: every fact is free.
+//! let derivable: Bool = AllOnes.value(7);
+//! assert_eq!(derivable, Bool(true));
+//!
+//! // Hop counting: every fact costs one step.
+//! let hops = UnitWeights::new(Tropical::new(1));
+//! assert_eq!(hops.value(7), Tropical::new(1));
+//!
+//! // Weighted edges: derive the cost from the fact id.
+//! let weighted = from_fn(|fact| Tropical::new(fact as u64 % 4));
+//! assert_eq!(weighted.value(7), Tropical::new(3));
+//!
+//! // Provenance: every fact is its own indeterminate x_7.
+//! let tagged: Sorp = VarTags.value(7);
+//! assert_eq!(tagged, Sorp::var(7));
+//! ```
 
 use std::collections::HashMap;
 

@@ -32,6 +32,7 @@ impl Viterbi {
 
 impl Semiring for Viterbi {
     const NAME: &'static str = "viterbi";
+    const ADD_IDEMPOTENT: bool = true;
 
     fn zero() -> Self {
         Viterbi(0.0)

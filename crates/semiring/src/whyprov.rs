@@ -70,6 +70,7 @@ impl WhyProv {
 
 impl Semiring for WhyProv {
     const NAME: &'static str = "why-provenance";
+    const ADD_IDEMPOTENT: bool = true;
 
     fn zero() -> Self {
         WhyProv::default()

@@ -3,6 +3,7 @@
 //! wall-clock time of a small fixed sample — no statistics, no plots.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

@@ -3,6 +3,7 @@
 //! failures report the generated inputs via the assertion message instead.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::fmt;
 use std::ops::{Range, RangeInclusive};
@@ -247,7 +248,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// [`vec`] strategy.
+    /// [`fn@vec`] strategy.
     pub struct VecStrategy<S> {
         element: S,
         len: Range<usize>,

@@ -5,6 +5,7 @@
 //! tests were chosen against *this* generator.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};
 

@@ -33,9 +33,13 @@ fn main() {
     println!("formula size:       {:?}", report.formula);
 
     // 2. Query T(v0, v5): evaluate directly, then compile the circuit.
+    // Evaluation runs the delta-driven semi-naive fixpoint by default
+    // (`.eval_strategy(EvalStrategy::Naive)` opts back into the ICO
+    // iteration whose round count is the §4 boundedness probe).
     let q = engine.node_query(0, 5).expect("query");
+    println!("\neval strategy:      {:?}", engine.eval_strategy());
     println!(
-        "\nT(v0,v5) derivable: {}   shortest path (tropical, unit weights): {}",
+        "T(v0,v5) derivable: {}   shortest path (tropical, unit weights): {}",
         q.eval::<Bool, _>(&AllOnes).unwrap(),
         q.eval(&UnitWeights::new(Tropical::new(1))).unwrap()
     );

@@ -1,9 +1,14 @@
 //! Umbrella crate for the `datalog-circuits` workspace.
 //!
 //! Re-exports every workspace crate so the examples and integration tests
-//! can use a single dependency. See `README.md` for the tour and
-//! [`provcirc`] (home of the [`Engine`](provcirc::Engine) session facade)
-//! for the paper-level API.
+//! can use a single dependency. See [`provcirc`] (home of the
+//! [`Engine`](provcirc::Engine) session facade) for the paper-level API.
+//!
+//! The README below is included verbatim — its quickstart compiles and
+//! runs as a doctest of this crate, so the front-door example can never
+//! rot.
+//!
+#![doc = include_str!("../README.md")]
 
 pub use circuit;
 pub use datalog;

@@ -2,12 +2,17 @@
 //! Figure 1 graph, `engine.query(…).eval::<S>(…)` must match both direct
 //! `Circuit::eval` of the compiled circuit and `naive_eval` over the same
 //! grounded program — for `Bool`, `Tropical`, `Counting` (the instance is a
-//! DAG, so counting converges), and `Sorp`.
+//! DAG, so counting converges), and `Sorp` — plus property tests that the
+//! semi-naive and naive fixpoints compute identical values on random `gnm`
+//! graphs.
 
 use datalog_circuits::datalog::{self, programs};
-use datalog_circuits::graphgen::LabeledDigraph;
+use datalog_circuits::graphgen::{generators, LabeledDigraph};
 use datalog_circuits::provcirc::prelude::*;
 use datalog_circuits::semiring::prelude::*;
+// Selective import: proptest's prelude would shadow `provcirc::Strategy`
+// with its generator trait of the same name.
+use proptest::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, TestCaseError};
 
 /// The paper's Figure 1 graph: s=0, u1=1, u2=2, v1=3, v2=4, t=5. Acyclic.
 fn figure1() -> LabeledDigraph {
@@ -97,6 +102,108 @@ fn sorp_agreement_on_figure1() {
     let st = engine.node_query(0, 5).unwrap().provenance().unwrap();
     assert_eq!(st.len(), 3);
     assert!(st.monomials().iter().all(|m| m.degree() == 3));
+}
+
+/// Naive and semi-naive agree on every value — asserted per semiring so a
+/// failure names the algebra that broke.
+fn assert_strategies_agree<S: Semiring, V: Valuation<S>>(
+    gp: &datalog::GroundedProgram,
+    valuation: &V,
+) -> Result<(), TestCaseError> {
+    let budget = datalog::default_budget(gp);
+    let naive = datalog::naive_eval::<S, _>(gp, valuation, budget);
+    let semi = datalog::semi_naive_eval::<S, _>(gp, valuation, budget);
+    prop_assert_eq!(naive.converged, semi.converged, "{} convergence", S::NAME);
+    prop_assert_eq!(naive.values.len(), semi.values.len());
+    for (i, (a, b)) in naive.values.iter().zip(&semi.values).enumerate() {
+        prop_assert!(
+            a.sr_eq(b),
+            "{} fact {}: naive {:?} vs semi-naive {:?}",
+            S::NAME,
+            i,
+            a,
+            b
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `EvalOutcome.values` is identical across the two strategies for
+    /// Bool, Tropical, TropK and Sorp on random gnm transitive closures
+    /// (cycles included — all four are ⊕-idempotent, so the delta path
+    /// really runs).
+    #[test]
+    fn seminaive_matches_naive_on_random_gnm(
+        n in 4usize..9,
+        m in 6usize..20,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::gnm(n, m, &["E"], seed);
+        let mut p = programs::transitive_closure();
+        let (db, _) = datalog::Database::from_graph(&mut p, &g);
+        let gp = datalog::ground(&p, &db).unwrap();
+        assert_strategies_agree::<Bool, _>(&gp, &AllOnes)?;
+        assert_strategies_agree::<Tropical, _>(&gp, &UnitWeights::new(Tropical::new(1)))?;
+        assert_strategies_agree::<Tropical, _>(
+            &gp,
+            &from_fn(|f| Tropical::new(f as u64 % 5 + 1)),
+        )?;
+        assert_strategies_agree::<TropK<3>, _>(
+            &gp,
+            &UnitWeights::new(TropK::<3>::single(1)),
+        )?;
+        assert_strategies_agree::<Sorp, _>(&gp, &VarTags)?;
+    }
+
+    /// Counting is not ⊕-idempotent: `semi_naive_eval` must fall back to
+    /// naive and therefore behave *identically* — same values and same
+    /// iteration count on DAGs, same divergence on cyclic instances.
+    #[test]
+    fn counting_falls_back_identically(
+        n in 4usize..9,
+        m in 6usize..20,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::gnm(n, m, &["E"], seed);
+        let mut p = programs::transitive_closure();
+        let (db, _) = datalog_circuits::datalog::Database::from_graph(&mut p, &g);
+        let gp = datalog::ground(&p, &db).unwrap();
+        let unit = UnitWeights::new(Counting::new(1));
+        let budget = datalog::default_budget(&gp).min(60);
+        let naive = datalog::naive_eval::<Counting, _>(&gp, &unit, budget);
+        let semi = datalog::semi_naive_eval::<Counting, _>(&gp, &unit, budget);
+        prop_assert_eq!(naive.converged, semi.converged);
+        prop_assert_eq!(naive.iterations, semi.iterations, "fallback must be naive itself");
+        prop_assert_eq!(naive.values, semi.values);
+    }
+}
+
+/// The `Engine` default (semi-naive) answers exactly like a naive session
+/// on Figure 1, across the full battery.
+#[test]
+fn engine_default_matches_naive_strategy_session() {
+    let semi = figure1_engine();
+    assert_eq!(semi.eval_strategy(), EvalStrategy::SemiNaive);
+    let naive = Engine::builder()
+        .program(programs::transitive_closure())
+        .graph(&figure1())
+        .eval_strategy(EvalStrategy::Naive)
+        .build()
+        .unwrap();
+    for src in 0..6u32 {
+        for dst in 0..6u32 {
+            let unit = UnitWeights::new(Tropical::new(1));
+            let a: Tropical = semi.node_query(src, dst).unwrap().eval(&unit).unwrap();
+            let b: Tropical = naive.node_query(src, dst).unwrap().eval(&unit).unwrap();
+            assert_eq!(a, b, "({src},{dst})");
+            let ap: Sorp = semi.node_query(src, dst).unwrap().eval(&VarTags).unwrap();
+            let bp: Sorp = naive.node_query(src, dst).unwrap().eval(&VarTags).unwrap();
+            assert_eq!(ap, bp, "({src},{dst})");
+        }
+    }
 }
 
 /// The whole battery above reuses ONE grounding and ONE classification —
