@@ -63,6 +63,9 @@ fn main() {
     if want("seminaive") {
         seminaive();
     }
+    if want("parallel") {
+        parallel();
+    }
 }
 
 fn header(title: &str, claim: &str) {
@@ -593,6 +596,132 @@ fn seminaive() {
     );
 }
 
+/// Parallel sharded evaluation: thread-scaling of the fixpoint pipeline —
+/// the perf-trajectory experiment behind `BENCH_parallel.json`.
+fn parallel() {
+    header(
+        "E-parallel · sharded parallel evaluation",
+        "the ICO is embarrassingly rule-parallel: shard-private ⊕-accumulators merged at a barrier; wall-clock scales with cores, values are bit-identical",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("   available cores: {cores}");
+    let tc = programs::transitive_closure();
+    let unit = UnitWeights::new(Tropical::new(1));
+    let thread_counts = [1usize, 2, 4, 8];
+    let mut rows: Vec<String> = Vec::new();
+    let mut headline: Option<(f64, f64)> = None; // (naive, semi) speedups at 4 threads, largest row
+    let mut agree = true;
+    println!(
+        "   {:>5} {:>6} {:>9} {:>10} {:>10} {:>10} | {:>3} {:>10} {:>8} {:>10} {:>8}",
+        "n",
+        "m",
+        "facts",
+        "rules",
+        "grnd1_ms",
+        "grnd4_ms",
+        "t",
+        "naive_ms",
+        "n.spd",
+        "semi_ms",
+        "s.spd"
+    );
+    for (n, m) in [(500usize, 2000usize), (1000, 4000), (2000, 8000)] {
+        let g = generators::gnm(n, m, &["E"], 13);
+        let mut p = tc.clone();
+        let (db, _) = datalog::Database::from_graph(&mut p, &g);
+        let (ground1_ms, gp) = bench::time_best_ms(1, || datalog::ground(&p, &db).unwrap());
+        let (ground4_ms, gp4) = bench::time_best_ms(1, || datalog::par_ground(&p, &db, 4).unwrap());
+        // Determinism gate: the sharded grounding must be bit-identical.
+        assert_eq!(
+            gp.idb_facts, gp4.idb_facts,
+            "parallel grounding FactId drift"
+        );
+        assert_eq!(gp.rules, gp4.rules, "parallel grounding rule drift");
+        drop(gp4);
+        let budget = datalog::default_budget(&gp);
+        let mut base = (0.0f64, 0.0f64);
+        let mut reference: Option<(Vec<Tropical>, Vec<Tropical>)> = None;
+        for &t in &thread_counts {
+            let (naive_ms, nout) = bench::time_best_ms(3, || {
+                datalog::par_naive_eval::<Tropical, _>(&gp, &unit, budget, t)
+            });
+            let (semi_ms, sout) = bench::time_best_ms(3, || {
+                datalog::par_semi_naive_eval::<Tropical, _>(&gp, &unit, budget, t)
+            });
+            assert!(nout.converged && sout.converged, "both must converge");
+            match &reference {
+                None => reference = Some((nout.values, sout.values)),
+                Some((rn, rs)) => {
+                    agree &= *rn == nout.values && *rs == sout.values;
+                }
+            }
+            if t == 1 {
+                base = (naive_ms, semi_ms);
+            }
+            let naive_speedup = base.0 / naive_ms;
+            let semi_speedup = base.1 / semi_ms;
+            if t == 4 && (n, m) == (2000, 8000) {
+                headline = Some((naive_speedup, semi_speedup));
+            }
+            println!(
+                "   {:>5} {:>6} {:>9} {:>10} {:>10.1} {:>10.1} | {:>3} {:>10.2} {:>7.2}x {:>10.2} {:>7.2}x",
+                n,
+                m,
+                gp.num_idb_facts(),
+                gp.rules.len(),
+                ground1_ms,
+                ground4_ms,
+                t,
+                naive_ms,
+                naive_speedup,
+                semi_ms,
+                semi_speedup,
+            );
+            rows.push(format!(
+                "{{\"n\": {n}, \"m\": {m}, \"idb_facts\": {}, \"grounded_rules\": {}, \
+                 \"ground_seq_ms\": {ground1_ms:.3}, \"ground_par4_ms\": {ground4_ms:.3}, \
+                 \"threads\": {t}, \"naive_ms\": {naive_ms:.3}, \"naive_speedup\": {naive_speedup:.3}, \
+                 \"semi_ms\": {semi_ms:.3}, \"semi_speedup\": {semi_speedup:.3}}}",
+                gp.num_idb_facts(),
+                gp.rules.len(),
+            ));
+        }
+    }
+    assert!(
+        agree,
+        "parallel evaluation drifted from the 1-thread values"
+    );
+    let json = format!(
+        "{{\n  \"experiment\": \"parallel_eval\",\n  \"program\": \"transitive_closure\",\n  \
+         \"semiring\": \"tropical, unit weights\",\n  \
+         \"timer\": \"eval best of 3; grounding single run\",\n  \
+         \"cores\": {cores},\n  \"agree\": true,\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        rows.join(",\n    ")
+    );
+    match std::fs::write("BENCH_parallel.json", &json) {
+        Ok(()) => println!("   trajectory written to BENCH_parallel.json"),
+        Err(e) => println!("   could not write BENCH_parallel.json: {e}"),
+    }
+    let (naive4, semi4) = headline.expect("gnm(2000,8000) × 4 threads row ran");
+    let best = naive4.max(semi4);
+    println!(
+        "   reading: gnm(2000,8000) 4-thread speedup — naive {naive4:.2}x, semi {semi4:.2}x \
+         [target on ≥4 cores: ≥ 1.5x]"
+    );
+    // Smoke gate. Wall-clock parallel speedup needs physical cores: on a
+    // ≥4-core host the 4-thread run must at least break even (the committed
+    // trajectory records the real scaling); on smaller hosts only guard
+    // against catastrophic overhead — 4 threads time-sliced onto 1 core
+    // should still be within ~2x of sequential.
+    let gate = if cores >= 4 { 1.0 } else { 0.5 };
+    assert!(
+        best >= gate,
+        "parallel evaluation speedup collapsed on gnm(2000,8000): {best:.2}x (gate {gate}, cores {cores})"
+    );
+}
+
 /// Theorem 3.5: the layered graph *is* the circuit.
 fn layered() {
     header(
@@ -698,9 +827,22 @@ fn crossover() {
 }
 
 /// The committed `BENCH_seminaive.json` must record the tentpole's ≥2x
-/// speedup on the gnm(200,800)-scale row.
+/// speedup on the gnm(200,800)-scale row, and `BENCH_parallel.json` must
+/// record value-agreement plus — when measured on a host with ≥4 physical
+/// cores — a ≥1.5x 4-thread speedup on the gnm(2000,8000) row.
 #[cfg(test)]
 mod tests {
+    /// Extract a numeric JSON field from a flat `"key": value` line.
+    fn field(line: &str, key: &str) -> f64 {
+        line.split(&format!("\"{key}\": "))
+            .nth(1)
+            .and_then(|s| s.split(&[',', '}', '\n'][..]).next())
+            .unwrap_or_else(|| panic!("field {key} present in {line}"))
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("field {key} parses in {line}"))
+    }
+
     #[test]
     fn committed_trajectory_meets_speedup_target() {
         let json = include_str!("../../../../BENCH_seminaive.json");
@@ -708,14 +850,41 @@ mod tests {
             .lines()
             .find(|l| l.contains("\"n\": 200"))
             .expect("gnm(200,800) row present");
-        let speedup: f64 = row
-            .split("\"speedup\": ")
-            .nth(1)
-            .and_then(|s| s.split(&[',', '}'][..]).next())
-            .expect("speedup field present")
-            .trim()
-            .parse()
-            .expect("speedup parses");
+        let speedup = field(row, "speedup");
         assert!(speedup >= 2.0, "committed trajectory records {speedup}x");
+    }
+
+    #[test]
+    fn committed_parallel_trajectory_is_coherent() {
+        let json = include_str!("../../../../BENCH_parallel.json");
+        assert!(
+            json.contains("\"agree\": true"),
+            "parallel evaluation must record value agreement with 1 thread"
+        );
+        let cores = field(
+            json.lines()
+                .find(|l| l.contains("\"cores\":"))
+                .expect("cores recorded"),
+            "cores",
+        ) as usize;
+        let headline = json
+            .lines()
+            .find(|l| l.contains("\"n\": 2000") && l.contains("\"threads\": 4"))
+            .expect("gnm(2000,8000) × 4-thread row present");
+        let best = field(headline, "naive_speedup").max(field(headline, "semi_speedup"));
+        // Wall-clock speedup needs physical cores. The trajectory records
+        // the host's count so the gate arms exactly when it is meaningful
+        // (CI runners have ≥4; a 1-core container cannot exceed 1x).
+        if cores >= 4 {
+            assert!(
+                best >= 1.5,
+                "committed parallel trajectory records {best}x at 4 threads on {cores} cores"
+            );
+        } else {
+            assert!(
+                best > 0.0,
+                "committed parallel trajectory records a nonsensical speedup {best}x"
+            );
+        }
     }
 }

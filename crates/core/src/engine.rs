@@ -44,6 +44,22 @@
 //!     .unwrap();
 //! let iters = probe.fixpoint::<Bool, _>(&AllOnes).unwrap().iterations;
 //! assert!(iters >= 4); // grows with the path length: unbounded program
+//!
+//! // Grounding and evaluation shard across the session's `parallelism`
+//! // (available cores by default; 1 = the exact sequential code path).
+//! // Groundings are bit-identical whatever the thread count.
+//! let sharded = Engine::builder()
+//!     .program_text("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).")
+//!     .graph(&graphgen::generators::path(4, "E"))
+//!     .parallelism(4)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(sharded.parallelism(), 4);
+//! assert_eq!(
+//!     sharded.query("T", &["v0", "v4"]).unwrap()
+//!         .eval(&UnitWeights::new(Tropical::new(1))).unwrap(),
+//!     Tropical::new(4)
+//! );
 //! ```
 
 use std::cell::{Cell, OnceCell, RefCell};
@@ -52,8 +68,8 @@ use std::rc::Rc;
 
 use circuit::Circuit;
 use datalog::{
-    default_budget, eval_with_strategy, ground_with_limit, naive_eval, parse_program, ConstId,
-    Database, EvalOutcome, EvalStrategy, GroundedProgram, PredId, Program,
+    default_budget, par_eval_with_strategy, par_ground_with_limit, par_naive_eval, parse_program,
+    ConstId, Database, EvalOutcome, EvalStrategy, GroundedProgram, PredId, Program,
 };
 use graphgen::{LabeledDigraph, NodeId};
 use provcirc_error::Error;
@@ -77,6 +93,10 @@ pub struct EngineCacheStats {
     pub circuits_built: usize,
     /// Circuit requests served from the per-fact cache.
     pub circuit_cache_hits: usize,
+    /// Evaluations that requested [`EvalStrategy::SemiNaive`] but fell
+    /// back to naive because the semiring is not ⊕-idempotent (the
+    /// fallback is recorded in [`datalog::EvalOutcome::strategy`]).
+    pub seminaive_fallbacks: usize,
 }
 
 /// Cache key of a compiled circuit: the queried fact plus the resolved
@@ -100,6 +120,7 @@ pub struct EngineBuilder {
     max_ground_rules: Option<usize>,
     eval_budget: Option<usize>,
     eval_strategy: EvalStrategy,
+    parallelism: usize,
 }
 
 impl Default for EngineBuilder {
@@ -108,8 +129,25 @@ impl Default for EngineBuilder {
     }
 }
 
+/// The default `parallelism` of a new session: the `DATALOG_PARALLELISM`
+/// environment variable when set to a positive integer (the knob CI uses
+/// to pin the whole test suite to a thread count), otherwise the number of
+/// available cores, otherwise 1.
+fn default_parallelism() -> usize {
+    if let Some(n) = std::env::var("DATALOG_PARALLELISM")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 impl EngineBuilder {
-    /// A fresh builder (classification horizon 5, unlimited grounding).
+    /// A fresh builder (classification horizon 5, unlimited grounding,
+    /// parallelism = available cores).
     pub fn new() -> Self {
         EngineBuilder {
             text: None,
@@ -121,6 +159,7 @@ impl EngineBuilder {
             max_ground_rules: None,
             eval_budget: None,
             eval_strategy: EvalStrategy::default(),
+            parallelism: default_parallelism(),
         }
     }
 
@@ -205,6 +244,25 @@ impl EngineBuilder {
         self
     }
 
+    /// How many threads the session's grounding and fixpoint evaluations
+    /// may shard across (clamped to at least 1).
+    ///
+    /// Defaults to the machine's available cores (overridable via the
+    /// `DATALOG_PARALLELISM` environment variable). `parallelism(1)` is
+    /// the exact sequential code path — no thread is ever spawned — and
+    /// higher counts produce **bit-identical groundings** (same `FactId`
+    /// order) and identical evaluation values. Semi-naive's round-based
+    /// parallel schedule accounts `iterations` differently from the
+    /// sequential worklist, and under an artificially tight
+    /// [`eval_budget`](EngineBuilder::eval_budget) it can exhaust a
+    /// budget the worklist squeaked under (reporting non-convergence);
+    /// at the default budget the outcomes agree — see
+    /// [`datalog::par_semi_naive_eval`].
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads.max(1);
+        self
+    }
+
     /// Assemble the session.
     ///
     /// Errors if no program was provided, the program text fails to parse,
@@ -277,6 +335,7 @@ impl EngineBuilder {
             max_ground_rules: self.max_ground_rules.unwrap_or(usize::MAX),
             eval_budget: self.eval_budget,
             eval_strategy: self.eval_strategy,
+            parallelism: self.parallelism.max(1),
             grounding: OnceCell::new(),
             classification: OnceCell::new(),
             provenance: OnceCell::new(),
@@ -287,6 +346,7 @@ impl EngineBuilder {
             provenance_runs: Cell::new(0),
             circuits_built: Cell::new(0),
             circuit_cache_hits: Cell::new(0),
+            seminaive_fallbacks: Cell::new(0),
         })
     }
 }
@@ -309,6 +369,7 @@ pub struct Engine {
     max_ground_rules: usize,
     eval_budget: Option<usize>,
     eval_strategy: EvalStrategy,
+    parallelism: usize,
     grounding: OnceCell<Result<GroundedProgram, Error>>,
     classification: OnceCell<Classification>,
     provenance: OnceCell<Result<EvalOutcome<Sorp>, Error>>,
@@ -319,6 +380,7 @@ pub struct Engine {
     provenance_runs: Cell<usize>,
     circuits_built: Cell<usize>,
     circuit_cache_hits: Cell<usize>,
+    seminaive_fallbacks: Cell<usize>,
 }
 
 impl Engine {
@@ -358,17 +420,25 @@ impl Engine {
             provenance_runs: self.provenance_runs.get(),
             circuits_built: self.circuits_built.get(),
             circuit_cache_hits: self.circuit_cache_hits.get(),
+            seminaive_fallbacks: self.seminaive_fallbacks.get(),
         }
     }
 
-    /// The grounded program — computed once, then cached. Failures
-    /// (e.g. [`Error::GroundingLimit`]) are cached too and replayed on
-    /// later calls instead of re-grounding.
+    /// The grounded program — computed once, then cached, sharding the
+    /// join work across the session's [`parallelism`](Engine::parallelism)
+    /// (bit-identical to a sequential grounding at any thread count).
+    /// Failures (e.g. [`Error::GroundingLimit`]) are cached too and
+    /// replayed on later calls instead of re-grounding.
     pub fn grounding(&self) -> Result<&GroundedProgram, Error> {
         self.grounding
             .get_or_init(|| {
                 self.groundings.set(self.groundings.get() + 1);
-                ground_with_limit(&self.program, &self.db, self.max_ground_rules)
+                par_ground_with_limit(
+                    &self.program,
+                    &self.db,
+                    self.max_ground_rules,
+                    self.parallelism,
+                )
             })
             .as_ref()
             .map_err(Error::clone)
@@ -395,9 +465,16 @@ impl Engine {
         self.eval_strategy
     }
 
-    /// Run the session's fixpoint over any semiring under a valuation. The
-    /// raw [`EvalOutcome`] exposes iterations-to-fixpoint; non-convergence
-    /// is reported in the outcome, not as an error.
+    /// How many threads the session shards grounding and evaluation across
+    /// (set by [`EngineBuilder::parallelism`]; available cores by default).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Run the session's fixpoint over any semiring under a valuation,
+    /// sharded across the session's [`parallelism`](Engine::parallelism).
+    /// The raw [`EvalOutcome`] exposes iterations-to-fixpoint; non-
+    /// convergence is reported in the outcome, not as an error.
     ///
     /// Under the default [`EvalStrategy::SemiNaive`], `iterations` counts
     /// delta rounds. The §4 boundedness probes interpret *naive* ICO
@@ -406,15 +483,28 @@ impl Engine {
     pub fn fixpoint<S, V>(&self, valuation: &V) -> Result<EvalOutcome<S>, Error>
     where
         S: Semiring,
-        V: Valuation<S> + ?Sized,
+        V: Valuation<S> + Sync + ?Sized,
     {
         let budget = self.budget()?;
-        Ok(eval_with_strategy(
+        let out = par_eval_with_strategy(
             self.eval_strategy,
             self.grounding()?,
             valuation,
             budget,
-        ))
+            self.parallelism,
+        );
+        self.note_effective_strategy(out.strategy);
+        Ok(out)
+    }
+
+    /// Bump the fallback counter when a semi-naive request actually ran
+    /// naive (observable via [`EvalOutcome::strategy`] and
+    /// [`EngineCacheStats::seminaive_fallbacks`]).
+    fn note_effective_strategy(&self, effective: EvalStrategy) {
+        if self.eval_strategy == EvalStrategy::SemiNaive && effective == EvalStrategy::Naive {
+            self.seminaive_fallbacks
+                .set(self.seminaive_fallbacks.get() + 1);
+        }
     }
 
     /// The provenance fixpoint over [`Sorp`] (every fact tagged by its own
@@ -433,7 +523,7 @@ impl Engine {
         self.provenance
             .get_or_init(|| {
                 let budget = self.budget()?;
-                let out = naive_eval(self.grounding()?, &VarTags, budget);
+                let out = par_naive_eval(self.grounding()?, &VarTags, budget, self.parallelism);
                 self.provenance_runs.set(self.provenance_runs.get() + 1);
                 if !out.converged {
                     return Err(Error::Diverged { iterations: budget });
@@ -672,18 +762,20 @@ impl Query<'_> {
     pub fn eval<S, V>(&self, valuation: &V) -> Result<S, Error>
     where
         S: Semiring,
-        V: Valuation<S> + ?Sized,
+        V: Valuation<S> + Sync + ?Sized,
     {
         let Some(fact) = self.fact()? else {
             return Ok(S::zero());
         };
         let budget = self.engine.budget()?;
-        let out = eval_with_strategy(
+        let out = par_eval_with_strategy(
             self.engine.eval_strategy,
             self.engine.grounding()?,
             valuation,
             budget,
+            self.engine.parallelism,
         );
+        self.engine.note_effective_strategy(out.strategy);
         if !out.converged {
             return Err(Error::Diverged { iterations: budget });
         }
@@ -893,6 +985,94 @@ mod tests {
         // The strategy switch must not disturb the caching contract.
         assert_eq!(semi.cache_stats().groundings, 1);
         assert_eq!(naive.cache_stats().groundings, 1);
+    }
+
+    #[test]
+    fn parallel_sessions_match_sequential_byte_for_byte() {
+        // parallelism(1) is the sequential code path; parallelism(4) must
+        // reproduce its grounding (same FactId order) and its answers.
+        let g = generators::gnm(8, 20, &["E"], 6);
+        let seq = Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&g)
+            .parallelism(1)
+            .build()
+            .unwrap();
+        let par = Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&g)
+            .parallelism(4)
+            .build()
+            .unwrap();
+        assert_eq!(seq.parallelism(), 1);
+        assert_eq!(par.parallelism(), 4);
+        let gs = seq.grounding().unwrap();
+        let gparallel = par.grounding().unwrap();
+        assert_eq!(gs.idb_facts, gparallel.idb_facts);
+        assert_eq!(gs.rules, gparallel.rules);
+        let unit = UnitWeights::new(Tropical::new(1));
+        for src in 0..8u32 {
+            for dst in 0..8u32 {
+                let a: Tropical = seq.node_query(src, dst).unwrap().eval(&unit).unwrap();
+                let b: Tropical = par.node_query(src, dst).unwrap().eval(&unit).unwrap();
+                assert_eq!(a, b, "({src},{dst})");
+            }
+        }
+        // The provenance probe stays naive and bit-identical, iterations
+        // included (they feed the Theorem 4.3 layering).
+        let ps = seq.provenance_outcome().unwrap();
+        let pp = par.provenance_outcome().unwrap();
+        assert_eq!(ps.values, pp.values);
+        assert_eq!(ps.iterations, pp.iterations);
+    }
+
+    #[test]
+    fn parallelism_knob_is_clamped_and_defaulted() {
+        let clamped = Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::path(2, "E"))
+            .parallelism(0)
+            .build()
+            .unwrap();
+        assert_eq!(clamped.parallelism(), 1);
+        let defaulted = Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::path(2, "E"))
+            .build()
+            .unwrap();
+        assert!(defaulted.parallelism() >= 1);
+    }
+
+    #[test]
+    fn seminaive_fallback_is_counted() {
+        // Counting is not ⊕-idempotent: a SemiNaive session silently runs
+        // naive — the downgrade must be observable in the cache stats.
+        let engine = Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::path(3, "E"))
+            .build()
+            .unwrap();
+        assert_eq!(engine.cache_stats().seminaive_fallbacks, 0);
+        let out = engine
+            .fixpoint::<Counting, _>(&UnitWeights::new(Counting::new(1)))
+            .unwrap();
+        assert_eq!(out.strategy, EvalStrategy::Naive);
+        assert_eq!(engine.cache_stats().seminaive_fallbacks, 1);
+        // Idempotent semirings stay on the delta path: no extra count.
+        let out = engine.fixpoint::<Bool, _>(&AllOnes).unwrap();
+        assert_eq!(out.strategy, EvalStrategy::SemiNaive);
+        assert_eq!(engine.cache_stats().seminaive_fallbacks, 1);
+        // A Naive-strategy session never "falls back" — it asked for naive.
+        let naive = Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::path(3, "E"))
+            .eval_strategy(EvalStrategy::Naive)
+            .build()
+            .unwrap();
+        naive
+            .fixpoint::<Counting, _>(&UnitWeights::new(Counting::new(1)))
+            .unwrap();
+        assert_eq!(naive.cache_stats().seminaive_fallbacks, 0);
     }
 
     #[test]

@@ -17,7 +17,16 @@
 //! result. For non-idempotent semirings (e.g. [`semiring::Counting`], where
 //! re-added contributions would double-count proof trees) it transparently
 //! falls back to [`naive_eval`]. [`EvalStrategy`] names the choice; the
-//! `Engine` facade defaults to [`EvalStrategy::SemiNaive`].
+//! `Engine` facade defaults to [`EvalStrategy::SemiNaive`]. The outcome's
+//! [`EvalOutcome::strategy`] records which algorithm actually ran.
+//!
+//! Every stage also has a **sharded parallel** variant ([`par_ico`],
+//! [`par_naive_eval`], [`par_semi_naive_eval`], dispatched by
+//! [`par_eval_with_strategy`]): grounded rules are embarrassingly
+//! rule-parallel — each rule's ⊗-product is independent and head
+//! contributions combine with `⊕` — so shards accumulate privately and
+//! merge at a barrier. `threads <= 1` is always the exact sequential code
+//! path; the `Engine` facade's `parallelism` knob picks the count.
 
 use semiring::valuation::{AllOnes, Valuation, VarTags};
 use semiring::{Semiring, Sorp};
@@ -33,6 +42,11 @@ pub struct EvalOutcome<S> {
     pub iterations: usize,
     /// Whether a fixpoint was reached within the iteration budget.
     pub converged: bool,
+    /// The algorithm that **actually ran**. A [`EvalStrategy::SemiNaive`]
+    /// request on a non-⊕-idempotent semiring falls back to naive; this
+    /// field records the fallback so callers can observe it instead of
+    /// trusting the requested strategy.
+    pub strategy: EvalStrategy,
 }
 
 /// One application of the immediate consequence operator.
@@ -55,16 +69,73 @@ where
     next
 }
 
-/// Naive evaluation: iterate the ICO from all-0 until a fixpoint or
-/// `max_iters` rounds.
-pub fn naive_eval<S, V>(gp: &GroundedProgram, assign: &V, max_iters: usize) -> EvalOutcome<S>
+/// One application of the immediate consequence operator, sharded across
+/// `threads` scoped threads.
+///
+/// The grounded rules are partitioned into contiguous shards; each thread
+/// ⊕-accumulates its shard's rule products into a **private** vector of
+/// head accumulators, and the shard vectors are ⊕-merged in shard order.
+/// Because every grounded rule contributes exactly once and `⊕` is
+/// associative and commutative, the merged vector equals [`ico`]'s on
+/// *every* semiring — idempotence is not required (the per-head addition
+/// order is in fact identical: contiguous shards merged in order replay
+/// the rules in creation order). With `threads <= 1` this *is* [`ico`].
+pub fn par_ico<S, V>(gp: &GroundedProgram, assign: &V, current: &[S], threads: usize) -> Vec<S>
 where
     S: Semiring,
-    V: Valuation<S> + ?Sized,
+    V: Valuation<S> + Sync + ?Sized,
+{
+    let num_rules = gp.rules.len();
+    if threads <= 1 || num_rules < 2 {
+        return ico(gp, assign, current);
+    }
+    let locals: Vec<Vec<S>> = crate::par::run_sharded(num_rules, threads, |lo, hi| {
+        let mut acc = vec![S::zero(); current.len()];
+        for rule in &gp.rules[lo..hi] {
+            let mut prod = S::one();
+            for &i in &rule.body_idb {
+                prod.mul_assign(&current[i]);
+            }
+            for &f in &rule.body_edb {
+                prod.mul_assign(&assign.value(f));
+            }
+            acc[rule.head].add_assign(&prod);
+        }
+        acc
+    });
+    let mut next = vec![S::zero(); current.len()];
+    for acc in &locals {
+        for (slot, v) in next.iter_mut().zip(acc) {
+            if !v.is_zero() {
+                slot.add_assign(v);
+            }
+        }
+    }
+    next
+}
+
+/// The naive round loop shared by the sequential and sharded entry
+/// points: iterate `step` (one ICO application) from all-0 until a
+/// fixpoint or `max_iters` rounds.
+fn naive_driver<S, F>(gp: &GroundedProgram, max_iters: usize, mut step: F) -> EvalOutcome<S>
+where
+    S: Semiring,
+    F: FnMut(&[S]) -> Vec<S>,
 {
     let mut values = vec![S::zero(); gp.num_idb_facts()];
+    // With no grounded rules the ICO is constantly 0: the all-zero vector
+    // is already the fixpoint, whatever the budget — even a zero budget
+    // (it used to report `converged: false` for `max_iters == 0`).
+    if gp.rules.is_empty() {
+        return EvalOutcome {
+            values,
+            iterations: 0,
+            converged: true,
+            strategy: EvalStrategy::Naive,
+        };
+    }
     for iter in 0..max_iters {
-        let next = ico(gp, assign, &values);
+        let next = step(&values);
         let converged = next.iter().zip(values.iter()).all(|(a, b)| a.sr_eq(b));
         values = next;
         if converged {
@@ -72,6 +143,7 @@ where
                 values,
                 iterations: iter + 1,
                 converged: true,
+                strategy: EvalStrategy::Naive,
             };
         }
     }
@@ -79,7 +151,40 @@ where
         values,
         iterations: max_iters,
         converged: false,
+        strategy: EvalStrategy::Naive,
     }
+}
+
+/// Naive evaluation: iterate the ICO from all-0 until a fixpoint or
+/// `max_iters` rounds.
+pub fn naive_eval<S, V>(gp: &GroundedProgram, assign: &V, max_iters: usize) -> EvalOutcome<S>
+where
+    S: Semiring,
+    V: Valuation<S> + ?Sized,
+{
+    naive_driver(gp, max_iters, |current| ico(gp, assign, current))
+}
+
+/// [`naive_eval`] with each round's ICO sharded across `threads` threads
+/// ([`par_ico`]).
+///
+/// Exactly the same rounds, convergence test, and therefore the same
+/// [`EvalOutcome`] — values, `iterations`, and `converged` are identical to
+/// the sequential run for every semiring (see [`par_ico`] for why). With
+/// `threads <= 1` no thread is spawned and this is [`naive_eval`].
+pub fn par_naive_eval<S, V>(
+    gp: &GroundedProgram,
+    assign: &V,
+    max_iters: usize,
+    threads: usize,
+) -> EvalOutcome<S>
+where
+    S: Semiring,
+    V: Valuation<S> + Sync + ?Sized,
+{
+    naive_driver(gp, max_iters, |current| {
+        par_ico(gp, assign, current, threads)
+    })
 }
 
 /// Which fixpoint algorithm [`eval_with_strategy`] runs.
@@ -123,6 +228,31 @@ where
     }
 }
 
+/// [`eval_with_strategy`] with the work of each round sharded across
+/// `threads` scoped threads — the dispatch point the `Engine` facade's
+/// `parallelism` knob routes through.
+///
+/// `threads <= 1` runs the exact sequential code path (no thread is
+/// spawned). The returned [`EvalOutcome::strategy`] records the algorithm
+/// that actually ran, so the semi-naive → naive fallback on
+/// non-⊕-idempotent semirings stays observable.
+pub fn par_eval_with_strategy<S, V>(
+    strategy: EvalStrategy,
+    gp: &GroundedProgram,
+    assign: &V,
+    max_iters: usize,
+    threads: usize,
+) -> EvalOutcome<S>
+where
+    S: Semiring,
+    V: Valuation<S> + Sync + ?Sized,
+{
+    match strategy {
+        EvalStrategy::Naive => par_naive_eval(gp, assign, max_iters, threads),
+        EvalStrategy::SemiNaive => par_semi_naive_eval(gp, assign, max_iters, threads),
+    }
+}
+
 /// Semi-naive (differential) evaluation: reach the same fixpoint as
 /// [`naive_eval`] by propagating value changes along rule dependencies
 /// instead of recomputing every fact every round.
@@ -162,38 +292,8 @@ where
     let n = gp.num_idb_facts();
     let num_rules = gp.rules.len();
     let mut values = vec![S::zero(); n];
-
-    // Each rule's EDB factor is loop-invariant: compute it once.
-    let edb_factor: Vec<S> = gp
-        .rules
-        .iter()
-        .map(|r| {
-            let mut p = S::one();
-            for &f in &r.body_edb {
-                p.mul_assign(&assign.value(f));
-            }
-            p
-        })
-        .collect();
-
-    // Invert the body references into fact → dependent rules, CSR layout:
-    // `deps[start[i]..start[i + 1]]` lists the rules reading fact `i`
-    // (each rule at most once per fact).
-    let mut start = vec![0usize; n + 1];
-    for r in &gp.rules {
-        for_each_distinct_body_fact(r, |i| start[i + 1] += 1);
-    }
-    for i in 0..n {
-        start[i + 1] += start[i];
-    }
-    let mut deps = vec![0u32; start[n]];
-    let mut cursor = start.clone();
-    for (ri, r) in gp.rules.iter().enumerate() {
-        for_each_distinct_body_fact(r, |i| {
-            deps[cursor[i]] = ri as u32;
-            cursor[i] += 1;
-        });
-    }
+    let edb_factor = edb_factors(gp, assign);
+    let (start, deps) = dependency_csr(gp);
 
     let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
     let mut pending = vec![false; num_rules];
@@ -241,6 +341,7 @@ where
             values,
             iterations: equivalent_passes(firings),
             converged: false,
+            strategy: EvalStrategy::SemiNaive,
         };
     }
     // Drain: by now every rule has fired, so any dependent of a change is
@@ -251,6 +352,7 @@ where
                 values,
                 iterations: equivalent_passes(firings),
                 converged: false,
+                strategy: EvalStrategy::SemiNaive,
             };
         }
         firings += 1;
@@ -261,7 +363,180 @@ where
         values,
         iterations: equivalent_passes(firings),
         converged: true,
+        strategy: EvalStrategy::SemiNaive,
     }
+}
+
+/// Delta-driven evaluation with each round's frontier sharded across
+/// `threads` scoped threads.
+///
+/// `threads <= 1` runs the sequential [`semi_naive_eval`] worklist
+/// unchanged. With more threads the algorithm becomes **round-based**: the
+/// frontier (initially every rule) is split into contiguous shards, each
+/// thread computes its shard's rule products against the *pre-round*
+/// values into a private `(head, contribution)` buffer, and at a round
+/// barrier the buffers are ⊕-merged into the global values **in frontier
+/// order** — heads that strictly grow enqueue their dependent rules for
+/// the next round. The frontier sequence is therefore deterministic and
+/// independent of the thread count.
+///
+/// Soundness is the same ⊕-idempotence argument as the sequential
+/// algorithm (stale contributions are dominated by, and absorbed into,
+/// final ones); non-idempotent semirings fall back to [`par_naive_eval`],
+/// whose sharding is exact on every semiring. The two schedules
+/// (worklist vs rounds) fire rules in different orders, so
+/// `iterations` — still *equivalent full passes*, total firings over
+/// `#rules` — may differ from the sequential count, and at a **tight**
+/// budget so may `converged`: the round-based schedule reads pre-round
+/// values (Jacobi) where the worklist reads in-place updates
+/// (Gauss–Seidel-like), so it can need more firings to drain and may
+/// exhaust a budget the worklist squeaked under. Both respect the same
+/// `max_iters × #rules` firing bound; at a budget that lets either drain
+/// (e.g. [`default_budget`]), `values` and `converged` agree — asserted
+/// by the parallel agreement proptests.
+pub fn par_semi_naive_eval<S, V>(
+    gp: &GroundedProgram,
+    assign: &V,
+    max_iters: usize,
+    threads: usize,
+) -> EvalOutcome<S>
+where
+    S: Semiring,
+    V: Valuation<S> + Sync + ?Sized,
+{
+    if !S::ADD_IDEMPOTENT {
+        return par_naive_eval(gp, assign, max_iters, threads);
+    }
+    if threads <= 1 {
+        return semi_naive_eval(gp, assign, max_iters);
+    }
+    let n = gp.num_idb_facts();
+    let num_rules = gp.rules.len();
+    let mut values = vec![S::zero(); n];
+    if num_rules == 0 {
+        return EvalOutcome {
+            values,
+            iterations: 0,
+            converged: true,
+            strategy: EvalStrategy::SemiNaive,
+        };
+    }
+    let edb_factor = edb_factors(gp, assign);
+    let (start, deps) = dependency_csr(gp);
+
+    let max_firings = max_iters.saturating_mul(num_rules);
+    let mut firings = 0usize;
+    let mut frontier: Vec<u32> = (0..num_rules as u32).collect();
+    // `pending[r]` ⇔ rule r is already in the *next* frontier.
+    let mut pending = vec![false; num_rules];
+    let mut exhausted = false;
+    while !frontier.is_empty() {
+        let budget_left = max_firings - firings;
+        if budget_left == 0 {
+            exhausted = true;
+            break;
+        }
+        if frontier.len() > budget_left {
+            // Fire what the budget allows, then report non-convergence —
+            // the truncated rules were never re-fired.
+            frontier.truncate(budget_left);
+            exhausted = true;
+        }
+        let frontier_ref = &frontier;
+        let values_ref = &values;
+        let buffers: Vec<Vec<(u32, S)>> =
+            crate::par::run_sharded(frontier.len(), threads, |lo, hi| {
+                let mut out = Vec::new();
+                for &ri in &frontier_ref[lo..hi] {
+                    let rule = &gp.rules[ri as usize];
+                    let mut prod = edb_factor[ri as usize].clone();
+                    for &i in &rule.body_idb {
+                        prod.mul_assign(&values_ref[i]);
+                    }
+                    if !prod.is_zero() {
+                        out.push((rule.head as u32, prod));
+                    }
+                }
+                out
+            });
+        firings += frontier.len();
+        // Rules that just fired read pre-round values: if the merge below
+        // changes one of their inputs they must re-fire next round, so
+        // clear their next-frontier membership first.
+        for &ri in &frontier {
+            pending[ri as usize] = false;
+        }
+        // Barrier merge, in frontier order (shards are contiguous), so the
+        // next frontier is deterministic whatever the thread count.
+        let mut next_frontier: Vec<u32> = Vec::new();
+        for buf in buffers {
+            for (head, prod) in buf {
+                let h = head as usize;
+                let sum = values[h].add(&prod);
+                if !sum.sr_eq(&values[h]) {
+                    values[h] = sum;
+                    for &dep in &deps[start[h]..start[h + 1]] {
+                        if !pending[dep as usize] {
+                            pending[dep as usize] = true;
+                            next_frontier.push(dep);
+                        }
+                    }
+                }
+            }
+        }
+        if exhausted {
+            break;
+        }
+        frontier = next_frontier;
+    }
+    EvalOutcome {
+        values,
+        iterations: firings.div_ceil(num_rules),
+        converged: !exhausted,
+        strategy: EvalStrategy::SemiNaive,
+    }
+}
+
+/// Each rule's EDB factor is loop-invariant across a fixpoint run: the
+/// ⊗-product of its EDB body facts' values, computed once.
+fn edb_factors<S, V>(gp: &GroundedProgram, assign: &V) -> Vec<S>
+where
+    S: Semiring,
+    V: Valuation<S> + ?Sized,
+{
+    gp.rules
+        .iter()
+        .map(|r| {
+            let mut p = S::one();
+            for &f in &r.body_edb {
+                p.mul_assign(&assign.value(f));
+            }
+            p
+        })
+        .collect()
+}
+
+/// Invert the body references into fact → dependent rules, CSR layout:
+/// `deps[start[i]..start[i + 1]]` lists the rules reading fact `i`
+/// (each rule at most once per fact).
+fn dependency_csr(gp: &GroundedProgram) -> (Vec<usize>, Vec<u32>) {
+    let n = gp.num_idb_facts();
+    let mut start = vec![0usize; n + 1];
+    for r in &gp.rules {
+        for_each_distinct_body_fact(r, |i| start[i + 1] += 1);
+    }
+    for i in 0..n {
+        start[i + 1] += start[i];
+    }
+    let mut deps = vec![0u32; start[n]];
+    let mut cursor = start.clone();
+    for (ri, r) in gp.rules.iter().enumerate() {
+        for_each_distinct_body_fact(r, |i| {
+            deps[cursor[i]] = ri as u32;
+            cursor[i] += 1;
+        });
+    }
+    (start, deps)
 }
 
 /// Visit each IDB fact of a rule body once, even when the body repeats it
@@ -509,6 +784,127 @@ mod tests {
         let s = semi_naive_eval::<TropK<2>, _>(&gp, &unit, 200);
         assert!(n.converged && s.converged);
         assert_eq!(n.values, s.values);
+    }
+
+    #[test]
+    fn empty_program_and_zero_budget_converge_immediately() {
+        // A program with zero grounded rules: the all-zero vector is the
+        // fixpoint, whatever the budget — including a zero budget.
+        let mut p = parse_program("R(Y) :- E(nosuch, Y).").unwrap();
+        let g = generators::path(2, "E");
+        let (db, _) = Database::from_graph(&mut p, &g);
+        let gp = ground(&p, &db).unwrap();
+        assert!(gp.rules.is_empty());
+        for budget in [0usize, 1, 10] {
+            let n = naive_eval::<Bool, _>(&gp, &AllOnes, budget);
+            assert!(n.converged, "naive budget={budget}");
+            assert_eq!(n.iterations, 0);
+            let s = semi_naive_eval::<Bool, _>(&gp, &AllOnes, budget);
+            assert!(s.converged, "semi-naive budget={budget}");
+            assert_eq!(s.iterations, 0);
+            // The Counting fallback routes through naive and must agree.
+            let c =
+                semi_naive_eval::<Counting, _>(&gp, &UnitWeights::new(Counting::new(1)), budget);
+            assert!(c.converged, "fallback budget={budget}");
+            assert_eq!(c.strategy, EvalStrategy::Naive);
+        }
+    }
+
+    #[test]
+    fn zero_budget_on_nonempty_program_is_honest() {
+        // With rules present, a zero budget cannot verify the fixpoint:
+        // both algorithms report non-convergence without firing anything.
+        let g = generators::path(3, "E");
+        let (_, _, gp) = tc_on(&g);
+        let n = naive_eval::<Bool, _>(&gp, &AllOnes, 0);
+        assert!(!n.converged);
+        assert_eq!(n.iterations, 0);
+        let s = semi_naive_eval::<Bool, _>(&gp, &AllOnes, 0);
+        assert!(!s.converged);
+        assert_eq!(s.iterations, 0);
+        let p = par_semi_naive_eval::<Bool, _>(&gp, &AllOnes, 0, 4);
+        assert!(!p.converged);
+        assert_eq!(p.iterations, 0);
+    }
+
+    #[test]
+    fn outcome_records_the_effective_strategy() {
+        let g = generators::path(3, "E");
+        let (_, _, gp) = tc_on(&g);
+        let budget = default_budget(&gp);
+        assert_eq!(
+            naive_eval::<Bool, _>(&gp, &AllOnes, budget).strategy,
+            EvalStrategy::Naive
+        );
+        assert_eq!(
+            semi_naive_eval::<Bool, _>(&gp, &AllOnes, budget).strategy,
+            EvalStrategy::SemiNaive
+        );
+        // The silent SemiNaive → Naive downgrade on non-idempotent
+        // semirings is now visible in the outcome.
+        let unit = UnitWeights::new(Counting::new(1));
+        let fallback = eval_with_strategy::<Counting, _>(EvalStrategy::SemiNaive, &gp, &unit, 20);
+        assert_eq!(fallback.strategy, EvalStrategy::Naive);
+        let par_fallback =
+            par_eval_with_strategy::<Counting, _>(EvalStrategy::SemiNaive, &gp, &unit, 20, 4);
+        assert_eq!(par_fallback.strategy, EvalStrategy::Naive);
+    }
+
+    #[test]
+    fn par_ico_matches_ico_along_the_whole_fixpoint() {
+        for seed in [2u64, 7] {
+            let g = generators::gnm(8, 20, &["E"], seed);
+            let (_, _, gp) = tc_on(&g);
+            let unit = UnitWeights::new(Tropical::new(1));
+            let mut current = vec![Tropical::zero(); gp.num_idb_facts()];
+            for _ in 0..default_budget(&gp) {
+                let seq = ico::<Tropical, _>(&gp, &unit, &current);
+                for threads in [2usize, 3, 8] {
+                    let par = par_ico::<Tropical, _>(&gp, &unit, &current, threads);
+                    assert_eq!(seq, par, "threads={threads} seed={seed}");
+                }
+                current = seq;
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_eval_agrees_with_sequential() {
+        for seed in [1u64, 4, 11] {
+            let g = generators::gnm(9, 24, &["E"], seed);
+            let (_, _, gp) = tc_on(&g);
+            let budget = default_budget(&gp);
+            let unit = UnitWeights::new(Tropical::new(1));
+            let seq_n = naive_eval::<Tropical, _>(&gp, &unit, budget);
+            let seq_s = semi_naive_eval::<Tropical, _>(&gp, &unit, budget);
+            for threads in [2usize, 4] {
+                let par_n = par_naive_eval::<Tropical, _>(&gp, &unit, budget, threads);
+                assert_eq!(seq_n.values, par_n.values, "naive t={threads} seed={seed}");
+                assert_eq!(seq_n.iterations, par_n.iterations);
+                assert!(par_n.converged);
+                let par_s = par_semi_naive_eval::<Tropical, _>(&gp, &unit, budget, threads);
+                assert_eq!(seq_s.values, par_s.values, "semi t={threads} seed={seed}");
+                assert!(par_s.converged);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_counting_falls_back_to_sharded_naive() {
+        // Counting on a DAG: the parallel semi-naive entry point must route
+        // through (sharded) naive and agree exactly with the sequential run.
+        let mut g = graphgen::LabeledDigraph::new(4);
+        g.add_edge(0, 1, "E");
+        g.add_edge(0, 2, "E");
+        g.add_edge(1, 3, "E");
+        g.add_edge(2, 3, "E");
+        let (_, _, gp) = tc_on(&g);
+        let unit = UnitWeights::new(Counting::new(1));
+        let seq = naive_eval::<Counting, _>(&gp, &unit, 20);
+        let par = par_semi_naive_eval::<Counting, _>(&gp, &unit, 20, 4);
+        assert_eq!(seq.values, par.values);
+        assert_eq!(seq.iterations, par.iterations);
+        assert_eq!(par.strategy, EvalStrategy::Naive);
     }
 
     #[test]

@@ -20,10 +20,32 @@
 //! is a contiguous index range and a binary search restricts any index
 //! bucket to it.
 //!
+//! Phase-1 delta joins are **frontier-driven**: the delta atom iterates
+//! the frontier facts of its predicate *outermost* (ascending fact index),
+//! with the rest of the body joined per frontier fact through the shared
+//! indices. That ordering is what makes the phase shardable: the frontier
+//! range splits into contiguous sub-ranges evaluated on scoped threads
+//! against the read-only indices, and concatenating shard outputs in
+//! frontier order replays the sequential enumeration exactly — `FactId`s
+//! (and hence the Theorem 4.3 layering probe) are bit-identical whatever
+//! the thread count ([`par_ground_with_limit`]). Phase 2 shards by rule,
+//! concatenated in rule order, for the same reason.
+//!
+//! Note on cross-version stability: hoisting the delta atom changed the
+//! *discovery order* of phase 1 relative to earlier releases for rules
+//! whose recursive atom is not the first body atom (the derived fact
+//! *set*, values, and probes are unchanged — only which `FactId` a fact
+//! happens to get). `FactId`s are a per-run artifact, not a stable
+//! identifier across versions; within a version they are deterministic
+//! and thread-count-independent, which is the invariant everything
+//! downstream (circuit sharing, provenance variable numbering, caches)
+//! actually relies on.
+//!
 //! Restricting to derivable facts keeps the grounded program — and hence
 //! every circuit built from it — free of dead gates.
 
 use std::collections::{HashMap, HashSet};
+use std::ops::ControlFlow;
 
 use provcirc_error::Error;
 
@@ -184,6 +206,70 @@ fn plan_rule(
     }
 }
 
+/// Join plan of one rule with its IDB atom at body position `dpos` pinned
+/// to the delta frontier and **hoisted to the outermost loop**: the
+/// frontier facts of that predicate are iterated directly (ascending fact
+/// index), and the remaining atoms are joined per frontier fact, in their
+/// original body order, with bound-position sets recomputed for the new
+/// variable-binding order.
+struct DeltaPlan {
+    /// Body position of the delta atom.
+    dpos: usize,
+    /// Remaining body positions, original order, `dpos` excluded.
+    rest: Vec<usize>,
+    /// Per rest-atom: pre-bound argument positions under the hoisted order.
+    bound: Vec<Vec<usize>>,
+    /// Per rest-atom: slot of the shared index in [`JoinIndices`].
+    slot: Vec<usize>,
+}
+
+fn plan_delta(
+    rule: &Rule,
+    dpos: usize,
+    idbs: &HashSet<PredId>,
+    slots: &mut SlotInterner,
+) -> DeltaPlan {
+    let mut bound_vars: HashSet<VarSym> = HashSet::new();
+    for term in &rule.body[dpos].terms {
+        if let Term::Var(v) = term {
+            bound_vars.insert(*v);
+        }
+    }
+    let mut rest = Vec::with_capacity(rule.body.len() - 1);
+    let mut bound = Vec::with_capacity(rule.body.len() - 1);
+    let mut slot = Vec::with_capacity(rule.body.len() - 1);
+    for (pos, atom) in rule.body.iter().enumerate() {
+        if pos == dpos {
+            continue;
+        }
+        let mut pre_bound = Vec::new();
+        for (p, term) in atom.terms.iter().enumerate() {
+            match term {
+                Term::Const(_) => pre_bound.push(p),
+                Term::Var(v) => {
+                    if bound_vars.contains(v) {
+                        pre_bound.push(p);
+                    }
+                }
+            }
+        }
+        for term in &atom.terms {
+            if let Term::Var(v) = term {
+                bound_vars.insert(*v);
+            }
+        }
+        slot.push(slots.intern(atom.pred, &pre_bound, idbs.contains(&atom.pred)));
+        bound.push(pre_bound);
+        rest.push(pos);
+    }
+    DeltaPlan {
+        dpos,
+        rest,
+        bound,
+        slot,
+    }
+}
+
 /// Interner mapping `(predicate, bound positions)` to an index slot shared
 /// across all rules probing the same relation the same way.
 #[derive(Default)]
@@ -277,6 +363,25 @@ pub fn ground_with_limit(
     db: &Database,
     max_rules: usize,
 ) -> Result<GroundedProgram, Error> {
+    par_ground_with_limit(program, db, max_rules, 1)
+}
+
+/// [`ground_with_limit`] with the join work sharded across `threads`
+/// scoped threads.
+///
+/// Phase-1 delta joins split each round's frontier fact range into
+/// contiguous sub-ranges probed concurrently against the (read-only,
+/// shared) per-predicate hash indices; phase 2 shards by rule. Both
+/// concatenate shard outputs in frontier/rule order, so the resulting
+/// [`GroundedProgram`] — fact order, `FactId`s, grounded-rule order — is
+/// **bit-identical** to the sequential run whatever the thread count.
+/// `threads <= 1` spawns nothing and is the exact sequential code path.
+pub fn par_ground_with_limit(
+    program: &Program,
+    db: &Database,
+    max_rules: usize,
+    threads: usize,
+) -> Result<GroundedProgram, Error> {
     program.validate()?;
     let idbs = program.idbs();
 
@@ -292,46 +397,97 @@ pub fn ground_with_limit(
         .iter()
         .map(|r| plan_rule(r, &idbs, &const_map, &mut slots))
         .collect();
+    // One delta plan per (live rule, IDB body position): the semi-naive
+    // re-fire obligations of phase 1, planned with the delta atom hoisted.
+    let delta_plans: Vec<Vec<DeltaPlan>> = program
+        .rules
+        .iter()
+        .enumerate()
+        .map(|(ri, rule)| {
+            if plans[ri].dead {
+                return Vec::new();
+            }
+            plans[ri]
+                .idb_positions
+                .iter()
+                .map(|&dpos| plan_delta(rule, dpos, &idbs, &mut slots))
+                .collect()
+        })
+        .collect();
     let mut indices = JoinIndices::build(&slots, db);
 
     // Phase 1: derivable IDB facts (semi-naive Boolean fixpoint). Round 0
     // fires every rule against the empty IDB relation (only all-EDB bodies
     // can match); round r > 0 re-fires a rule once per IDB body position,
     // constrained to take a fact from round r-1's delta frontier there.
+    // Work items run on up to `threads` threads; outputs are concatenated
+    // in item order, which equals the sequential enumeration order.
     let mut gp = GroundedProgram::default();
     let mut delta_start = 0usize;
     let mut first_round = true;
     loop {
-        let mut new_facts: Vec<(PredId, Vec<ConstId>)> = Vec::new();
-        for (ri, rule) in program.rules.iter().enumerate() {
-            let plan = &plans[ri];
-            if plan.dead {
-                continue;
-            }
-            let mut derive = |bindings: &HashMap<VarSym, ConstId>, _: &[BodyMatch]| {
-                let head = instantiate(&rule.head, bindings, &const_map)
-                    .expect("head vars bound by safety; dead rules skipped");
-                if gp.fact(rule.head.pred, &head).is_none() {
-                    new_facts.push((rule.head.pred, head));
+        let matcher_for = |ri: usize| Matcher {
+            db,
+            gp: &gp,
+            const_map: &const_map,
+            rule: &program.rules[ri],
+            plan: &plans[ri],
+            idbs: &idbs,
+            indices: &indices,
+        };
+        let new_facts: Vec<(PredId, Vec<ConstId>)> = if first_round {
+            // Round 0: one work item per rule, full (delta-free) join.
+            let outs = crate::par::run_indexed(program.rules.len(), threads, |ri| {
+                let mut found: Vec<(PredId, Vec<ConstId>)> = Vec::new();
+                if !plans[ri].dead {
+                    let head_atom = &program.rules[ri].head;
+                    matcher_for(ri).enumerate(&mut |bindings, _| {
+                        let head = instantiate(head_atom, bindings, &const_map)
+                            .expect("head vars bound by safety; dead rules skipped");
+                        if gp.fact(head_atom.pred, &head).is_none() {
+                            found.push((head_atom.pred, head));
+                        }
+                        ControlFlow::Continue(())
+                    });
                 }
-            };
-            let matcher = Matcher {
-                db,
-                gp: &gp,
-                const_map: &const_map,
-                rule,
-                plan,
-                idbs: &idbs,
-                indices: &indices,
-            };
-            if first_round {
-                matcher.enumerate(None, &mut derive);
-            } else {
-                for &dpos in &plan.idb_positions {
-                    matcher.enumerate(Some((dpos, delta_start)), &mut derive);
+                found
+            });
+            outs.into_iter().flatten().collect()
+        } else {
+            // Round r > 0: one work item per (rule, delta position,
+            // frontier sub-range), in that lexicographic order.
+            let span = gp.idb_facts.len() - delta_start;
+            let ranges = crate::par::shard_bounds(span, threads);
+            let mut tasks: Vec<(usize, usize, usize, usize)> = Vec::new();
+            for (ri, dps) in delta_plans.iter().enumerate() {
+                for di in 0..dps.len() {
+                    for &(lo, hi) in &ranges {
+                        tasks.push((ri, di, delta_start + lo, delta_start + hi));
+                    }
                 }
             }
-        }
+            let outs = crate::par::run_indexed(tasks.len(), threads, |t| {
+                let (ri, di, lo, hi) = tasks[t];
+                let mut found: Vec<(PredId, Vec<ConstId>)> = Vec::new();
+                let head_atom = &program.rules[ri].head;
+                matcher_for(ri).enumerate_delta(
+                    &delta_plans[ri][di],
+                    delta_start,
+                    lo,
+                    hi,
+                    &mut |bindings, _| {
+                        let head = instantiate(head_atom, bindings, &const_map)
+                            .expect("head vars bound by safety; dead rules skipped");
+                        if gp.fact(head_atom.pred, &head).is_none() {
+                            found.push((head_atom.pred, head));
+                        }
+                        ControlFlow::Continue(())
+                    },
+                );
+                found
+            });
+            outs.into_iter().flatten().collect()
+        };
         delta_start = gp.idb_facts.len();
         let mut changed = false;
         for (pred, tuple) in new_facts {
@@ -345,55 +501,75 @@ pub fn ground_with_limit(
     }
 
     // Phase 2: enumerate all groundings against the completed fact set,
-    // through the same indices (no delta constraint).
-    let mut rules: Vec<GroundedRule> = Vec::new();
-    for (rule_index, rule) in program.rules.iter().enumerate() {
-        let plan = &plans[rule_index];
-        if plan.dead {
-            continue;
-        }
-        let mut overflow = false;
-        let mut ground_rule = |bindings: &HashMap<VarSym, ConstId>, matches: &[BodyMatch]| {
-            if overflow {
-                return;
+    // through the same indices (no delta constraint). One work item per
+    // rule; concatenating per-rule outputs in rule order reproduces the
+    // sequential grounded-rule order. A shared counter of emitted rules
+    // short-circuits *all* tasks as soon as the cap is hit, so a tight
+    // `max_rules` still cuts the enumeration off early instead of paying
+    // for (and buffering) the full join before erroring.
+    let emitted = std::sync::atomic::AtomicUsize::new(0);
+    let limited = max_rules != usize::MAX;
+    let per_rule: Vec<(Vec<GroundedRule>, bool)> =
+        crate::par::run_indexed(program.rules.len(), threads, |rule_index| {
+            let plan = &plans[rule_index];
+            if plan.dead {
+                return (Vec::new(), false);
             }
-            if rules.len() >= max_rules {
-                overflow = true;
-                return;
+            if limited && emitted.load(std::sync::atomic::Ordering::Relaxed) > max_rules {
+                // Another task already blew the cap; skip this rule.
+                return (Vec::new(), true);
             }
-            let head_tuple = instantiate(&rule.head, bindings, &const_map)
-                .expect("head vars bound by safety; dead rules skipped");
-            let head = gp
-                .fact(rule.head.pred, &head_tuple)
-                .expect("head derivable at fixpoint");
-            let mut body_idb = Vec::new();
-            let mut body_edb = Vec::new();
-            for m in matches {
-                match *m {
-                    BodyMatch::Idb(i) => body_idb.push(i),
-                    BodyMatch::Edb(f) => body_edb.push(f),
+            let rule = &program.rules[rule_index];
+            let mut out: Vec<GroundedRule> = Vec::new();
+            let mut overflow = false;
+            let mut ground_rule = |bindings: &HashMap<VarSym, ConstId>, matches: &[BodyMatch]| {
+                if limited
+                    && emitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed) >= max_rules
+                {
+                    // Abort this rule's whole join: the cap is blown
+                    // globally, so further enumeration is pure waste.
+                    overflow = true;
+                    return ControlFlow::Break(());
                 }
+                let head_tuple = instantiate(&rule.head, bindings, &const_map)
+                    .expect("head vars bound by safety; dead rules skipped");
+                let head = gp
+                    .fact(rule.head.pred, &head_tuple)
+                    .expect("head derivable at fixpoint");
+                let mut body_idb = Vec::new();
+                let mut body_edb = Vec::new();
+                for m in matches {
+                    match *m {
+                        BodyMatch::Idb(i) => body_idb.push(i),
+                        BodyMatch::Edb(f) => body_edb.push(f),
+                    }
+                }
+                out.push(GroundedRule {
+                    rule_index,
+                    head,
+                    body_idb,
+                    body_edb,
+                });
+                ControlFlow::Continue(())
+            };
+            Matcher {
+                db,
+                gp: &gp,
+                const_map: &const_map,
+                rule,
+                plan,
+                idbs: &idbs,
+                indices: &indices,
             }
-            rules.push(GroundedRule {
-                rule_index,
-                head,
-                body_idb,
-                body_edb,
-            });
-        };
-        Matcher {
-            db,
-            gp: &gp,
-            const_map: &const_map,
-            rule,
-            plan,
-            idbs: &idbs,
-            indices: &indices,
-        }
-        .enumerate(None, &mut ground_rule);
-        if overflow {
+            .enumerate(&mut ground_rule);
+            (out, overflow)
+        });
+    let mut rules: Vec<GroundedRule> = Vec::new();
+    for (mut out, overflow) in per_rule {
+        if overflow || rules.len().saturating_add(out.len()) > max_rules {
             return Err(Error::GroundingLimit { max_rules });
         }
+        rules.append(&mut out);
     }
 
     gp.rules_by_head = vec![Vec::new(); gp.idb_facts.len()];
@@ -409,8 +585,21 @@ pub fn ground(program: &Program, db: &Database) -> Result<GroundedProgram, Error
     ground_with_limit(program, db, usize::MAX)
 }
 
+/// Ground without a rule limit, sharded across `threads` scoped threads
+/// (see [`par_ground_with_limit`] for the determinism guarantee).
+pub fn par_ground(
+    program: &Program,
+    db: &Database,
+    threads: usize,
+) -> Result<GroundedProgram, Error> {
+    par_ground_with_limit(program, db, usize::MAX, threads)
+}
+
 /// Callback invoked for every satisfying assignment of a rule body.
-type OnMatch<'a> = dyn FnMut(&HashMap<VarSym, ConstId>, &[BodyMatch]) + 'a;
+/// Returning [`ControlFlow::Break`] aborts the whole enumeration — how the
+/// grounded-rule cap cuts a combinatorially exploding join off early
+/// instead of enumerating it to completion with a no-op callback.
+type OnMatch<'a> = dyn FnMut(&HashMap<VarSym, ConstId>, &[BodyMatch]) -> ControlFlow<()> + 'a;
 
 /// One rule's indexed join over EDB ∪ derivable-IDB.
 struct Matcher<'a> {
@@ -424,27 +613,125 @@ struct Matcher<'a> {
 }
 
 impl Matcher<'_> {
-    /// Enumerate all substitutions satisfying the rule's body, invoking
-    /// `on_match(bindings, per-atom matches)`. With `delta = Some((pos,
-    /// start))`, the IDB atom at body position `pos` only matches facts
-    /// with index `≥ start` — the semi-naive frontier constraint.
-    fn enumerate(&self, delta: Option<(usize, usize)>, on_match: &mut OnMatch<'_>) {
+    /// Enumerate all substitutions satisfying the rule's body in body
+    /// order, invoking `on_match(bindings, per-atom matches)` — the full
+    /// (delta-free) join used by round 0 and phase 2. Stops as soon as
+    /// the callback breaks.
+    fn enumerate(&self, on_match: &mut OnMatch<'_>) {
         let mut bindings: HashMap<VarSym, ConstId> = HashMap::new();
         let mut matches: Vec<BodyMatch> = Vec::with_capacity(self.rule.body.len());
-        self.recurse(0, delta, &mut bindings, &mut matches, on_match);
+        let _ = self.recurse(0, &mut bindings, &mut matches, on_match);
+    }
+
+    /// Enumerate the substitutions whose IDB atom at `dp.dpos` takes a
+    /// frontier fact with index in `[lo, hi)` — the semi-naive re-fire of
+    /// one rule at one delta position, restricted to one frontier shard.
+    ///
+    /// The delta atom iterates its predicate's facts in ascending index
+    /// order **outermost**, so the enumeration order is keyed by frontier
+    /// fact first: concatenating the outputs of consecutive `[lo, hi)`
+    /// shards reproduces the full-frontier enumeration exactly. IDB atoms
+    /// at body positions *before* `dp.dpos` are restricted to pre-frontier
+    /// facts (`< delta_start`), so a grounding with several frontier facts
+    /// is enumerated exactly once — at its first frontier position; later
+    /// positions stay unrestricted.
+    fn enumerate_delta(
+        &self,
+        dp: &DeltaPlan,
+        delta_start: usize,
+        lo: usize,
+        hi: usize,
+        on_match: &mut OnMatch<'_>,
+    ) {
+        let atom = &self.rule.body[dp.dpos];
+        let facts = self.gp.facts_of(atom.pred);
+        let from = facts.partition_point(|&i| i < lo.max(delta_start));
+        let mut bindings: HashMap<VarSym, ConstId> = HashMap::new();
+        let mut matches: Vec<BodyMatch> = Vec::with_capacity(self.rule.body.len());
+        for &fi in &facts[from..] {
+            if fi >= hi {
+                break;
+            }
+            let tuple = &self.gp.idb_facts[fi].1;
+            if let Some(newly) = self.bind_atom(atom, tuple, &mut bindings) {
+                matches.push(BodyMatch::Idb(fi));
+                let flow =
+                    self.recurse_rest(dp, 0, delta_start, &mut bindings, &mut matches, on_match);
+                matches.pop();
+                for v in newly {
+                    bindings.remove(&v);
+                }
+                if flow.is_break() {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Descend through the non-delta atoms of a [`DeltaPlan`] (original
+    /// body order, delta atom excluded).
+    fn recurse_rest(
+        &self,
+        dp: &DeltaPlan,
+        k: usize,
+        delta_start: usize,
+        bindings: &mut HashMap<VarSym, ConstId>,
+        matches: &mut Vec<BodyMatch>,
+        on_match: &mut OnMatch<'_>,
+    ) -> ControlFlow<()> {
+        if k == dp.rest.len() {
+            return on_match(bindings, matches);
+        }
+        let pos = dp.rest[k];
+        let atom = &self.rule.body[pos];
+        let key: Vec<ConstId> = dp.bound[k]
+            .iter()
+            .map(|&p| match &atom.terms[p] {
+                Term::Const(c) => self.const_map[*c as usize].expect("dead rules are skipped"),
+                Term::Var(v) => bindings[v],
+            })
+            .collect();
+        let Some(candidates) = self.indices.maps[dp.slot[k]].get(&key) else {
+            return ControlFlow::Continue(());
+        };
+        let is_idb = self.idbs.contains(&atom.pred);
+        // Pre-frontier restriction for IDB atoms left of the delta
+        // position (buckets are ascending: the pre-frontier facts are a
+        // prefix found by binary search).
+        let to = if is_idb && pos < dp.dpos {
+            candidates.partition_point(|&i| i < delta_start)
+        } else {
+            candidates.len()
+        };
+        for &c in &candidates[..to] {
+            let (tuple, matched) = if is_idb {
+                (&self.gp.idb_facts[c].1[..], BodyMatch::Idb(c))
+            } else {
+                let fid = c as FactId;
+                (self.db.fact(fid).1, BodyMatch::Edb(fid))
+            };
+            if let Some(newly) = self.bind_atom(atom, tuple, bindings) {
+                matches.push(matched);
+                let flow = self.recurse_rest(dp, k + 1, delta_start, bindings, matches, on_match);
+                matches.pop();
+                for v in newly {
+                    bindings.remove(&v);
+                }
+                flow?;
+            }
+        }
+        ControlFlow::Continue(())
     }
 
     fn recurse(
         &self,
         pos: usize,
-        delta: Option<(usize, usize)>,
         bindings: &mut HashMap<VarSym, ConstId>,
         matches: &mut Vec<BodyMatch>,
         on_match: &mut OnMatch<'_>,
-    ) {
+    ) -> ControlFlow<()> {
         if pos == self.rule.body.len() {
-            on_match(bindings, matches);
-            return;
+            return on_match(bindings, matches);
         }
         let atom = &self.rule.body[pos];
         // Probe key: current bindings projected onto the pre-bound
@@ -457,100 +744,63 @@ impl Matcher<'_> {
             })
             .collect();
         let Some(candidates) = self.indices.maps[self.plan.slot[pos]].get(&key) else {
-            return;
+            return ControlFlow::Continue(());
         };
         let is_idb = self.idbs.contains(&atom.pred);
-        // Frontier constraint: buckets are ascending, so the frontier facts
-        // form a suffix whose start a binary search finds. The delta
-        // position takes the suffix; *earlier* IDB positions take the
-        // prefix (pre-frontier facts only), so a binding with several
-        // frontier facts is enumerated exactly once — when `dpos` is its
-        // first frontier position. Later positions stay unrestricted.
-        let (from, to) = match delta {
-            Some((dpos, start)) if dpos == pos => {
-                (candidates.partition_point(|&i| i < start), candidates.len())
-            }
-            Some((dpos, start)) if pos < dpos && is_idb => {
-                (0, candidates.partition_point(|&i| i < start))
-            }
-            _ => (0, candidates.len()),
-        };
-        for &c in &candidates[from..to] {
-            if is_idb {
-                let tuple = &self.gp.idb_facts[c].1;
-                self.try_match(
-                    pos,
-                    delta,
-                    tuple,
-                    BodyMatch::Idb(c),
-                    bindings,
-                    matches,
-                    on_match,
-                );
+        for &c in candidates {
+            let (tuple, matched) = if is_idb {
+                (&self.gp.idb_facts[c].1[..], BodyMatch::Idb(c))
             } else {
                 let fid = c as FactId;
-                let tuple = self.db.fact(fid).1;
-                self.try_match(
-                    pos,
-                    delta,
-                    tuple,
-                    BodyMatch::Edb(fid),
-                    bindings,
-                    matches,
-                    on_match,
-                );
+                (self.db.fact(fid).1, BodyMatch::Edb(fid))
+            };
+            if let Some(newly) = self.bind_atom(atom, tuple, bindings) {
+                matches.push(matched);
+                let flow = self.recurse(pos + 1, bindings, matches, on_match);
+                matches.pop();
+                for v in newly {
+                    bindings.remove(&v);
+                }
+                flow?;
             }
         }
+        ControlFlow::Continue(())
     }
 
-    /// Check the residual positions the index could not pre-filter
-    /// (fresh variables, within-atom repeats), bind them, and descend.
-    #[allow(clippy::too_many_arguments)]
-    fn try_match(
+    /// Check the residual positions the index could not pre-filter (fresh
+    /// variables, within-atom repeats) and bind the fresh variables. On
+    /// success returns the newly bound variables (for the caller to remove
+    /// after its recursion); on a mismatch rolls back and returns `None`.
+    fn bind_atom(
         &self,
-        pos: usize,
-        delta: Option<(usize, usize)>,
+        atom: &Atom,
         tuple: &[ConstId],
-        matched: BodyMatch,
         bindings: &mut HashMap<VarSym, ConstId>,
-        matches: &mut Vec<BodyMatch>,
-        on_match: &mut OnMatch<'_>,
-    ) {
-        let atom = &self.rule.body[pos];
+    ) -> Option<Vec<VarSym>> {
         if tuple.len() != atom.terms.len() {
-            return;
+            return None;
         }
         let mut newly_bound: Vec<VarSym> = Vec::new();
-        let mut ok = true;
         for (term, &value) in atom.terms.iter().zip(tuple) {
-            match term {
-                Term::Const(c) => {
-                    if self.const_map[*c as usize] != Some(value) {
-                        ok = false;
-                        break;
-                    }
-                }
+            let ok = match term {
+                Term::Const(c) => self.const_map[*c as usize] == Some(value),
                 Term::Var(v) => match bindings.get(v) {
-                    Some(&bound) if bound != value => {
-                        ok = false;
-                        break;
-                    }
-                    Some(_) => {}
+                    Some(&bound) => bound == value,
                     None => {
                         bindings.insert(*v, value);
                         newly_bound.push(*v);
+                        true
                     }
                 },
+            };
+            if !ok {
+                for v in newly_bound {
+                    bindings.remove(&v);
+                }
+                return None;
             }
         }
-        if ok {
-            matches.push(matched);
-            self.recurse(pos + 1, delta, bindings, matches, on_match);
-            matches.pop();
-        }
-        for v in newly_bound {
-            bindings.remove(&v);
-        }
+        Some(newly_bound)
     }
 }
 
@@ -728,6 +978,60 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_grounding_is_bit_identical_to_sequential() {
+        // Fact order (= FactId assignment), grounded-rule order, and every
+        // index must match the sequential run for any thread count —
+        // including programs whose recursive atom is not the first body
+        // atom (delta position > 0 exercises the hoisted enumeration).
+        let programs: Vec<Program> = vec![
+            tc(),
+            parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), T(Z,Y).").unwrap(),
+            parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- A(X), T(Z,Y).").unwrap(),
+            parse_program(
+                "S(X,Y) :- L(X,Z), R(Z,Y).\n\
+                 S(X,Y) :- L(X,W), S(W,Z), R(Z,Y).\n\
+                 S(X,Y) :- S(X,Z), S(Z,Y).",
+            )
+            .unwrap(),
+        ];
+        for mut p in programs {
+            for seed in 0..3u64 {
+                let labels: Vec<&str> = if p.preds.get("L").is_some() {
+                    vec!["L", "R"]
+                } else {
+                    vec!["E"]
+                };
+                let g = generators::gnm(8, 18, &labels, seed);
+                let (mut db, _) = Database::from_graph(&mut p, &g);
+                if let Some(a) = p.preds.get("A") {
+                    let v0 = db.node_const(0).unwrap();
+                    db.insert(a, vec![v0]);
+                }
+                let seq = ground(&p, &db).unwrap();
+                for threads in [2usize, 4, 8] {
+                    let par = par_ground(&p, &db, threads).unwrap();
+                    assert_eq!(seq.idb_facts, par.idb_facts, "facts, threads={threads}");
+                    assert_eq!(seq.rules, par.rules, "rules, threads={threads}");
+                    assert_eq!(seq.fact_index, par.fact_index, "index, threads={threads}");
+                    assert_eq!(
+                        seq.rules_by_head, par.rules_by_head,
+                        "by-head, threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_limit_is_enforced() {
+        let mut p = tc();
+        let g = generators::complete(6, "E");
+        let (db, _) = Database::from_graph(&mut p, &g);
+        assert!(par_ground_with_limit(&p, &db, 10, 4).is_err());
+        assert!(par_ground(&p, &db, 4).is_ok());
     }
 
     #[test]

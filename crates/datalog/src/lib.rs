@@ -29,6 +29,7 @@ pub mod eval;
 pub mod expansion;
 pub mod ground;
 pub mod magic;
+mod par;
 pub mod parser;
 pub mod prooftree;
 pub mod symbols;
@@ -40,11 +41,14 @@ pub use ast::{Atom, Program, Rule, Term};
 pub use classify::{classify, ProgramClass};
 pub use database::{Database, FactId};
 pub use eval::{
-    default_budget, eval_all_ones, eval_with_strategy, naive_eval, provenance_eval,
-    semi_naive_eval, EvalOutcome, EvalStrategy,
+    default_budget, eval_all_ones, eval_with_strategy, ico, naive_eval, par_eval_with_strategy,
+    par_ico, par_naive_eval, par_semi_naive_eval, provenance_eval, semi_naive_eval, EvalOutcome,
+    EvalStrategy,
 };
 pub use expansion::{boundedness_evidence, expansions, homomorphism, BoundednessEvidence, Cq};
-pub use ground::{ground, ground_with_limit, GroundedProgram, GroundedRule};
+pub use ground::{
+    ground, ground_with_limit, par_ground, par_ground_with_limit, GroundedProgram, GroundedRule,
+};
 pub use magic::{magic_rewrite, MagicRewrite};
 pub use parser::parse_program;
 pub use prooftree::{provenance_polynomial, tight_proof_trees, ProofNode, TightTrees};

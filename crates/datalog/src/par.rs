@@ -1,0 +1,137 @@
+//! Crate-internal scoped-thread task runner shared by the parallel
+//! grounding and evaluation paths.
+//!
+//! No dependencies: plain `std::thread::scope`. Tasks are indexed `0..count`
+//! and results are returned **in task order**, whatever interleaving the
+//! threads ran them in — every caller relies on this to keep parallel
+//! output bit-identical to the sequential enumeration (the task order *is*
+//! the sequential order). With `threads <= 1` the tasks run inline on the
+//! caller's thread, so the single-threaded configuration spawns nothing and
+//! is exactly the sequential code path.
+
+/// Split `len` items into at most `threads` contiguous shards:
+/// `(lo, hi)` bounds in ascending order, covering `0..len` exactly, never
+/// empty. The single source of the shard-range arithmetic every parallel
+/// stage relies on for deterministic, order-preserving concatenation.
+pub(crate) fn shard_bounds(len: usize, threads: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let shards = threads.clamp(1, len);
+    let chunk = len.div_ceil(shards);
+    (0..shards)
+        .map(|s| ((s * chunk).min(len), ((s + 1) * chunk).min(len)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// Run `f(lo, hi)` over the [`shard_bounds`] of `len` items on up to
+/// `threads` workers; results in shard order.
+pub(crate) fn run_sharded<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let bounds = shard_bounds(len, threads);
+    run_indexed(bounds.len(), threads, move |s| {
+        let (lo, hi) = bounds[s];
+        f(lo, hi)
+    })
+}
+
+/// Run `count` indexed tasks on up to `threads` scoped worker threads and
+/// return their results in task-index order.
+///
+/// Workers pick tasks round-robin (`worker w` runs tasks `w, w + workers,
+/// …`), which balances shards of uneven cost without any synchronization
+/// beyond the final join.
+pub(crate) fn run_indexed<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let workers = threads.min(count);
+    let mut buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = w;
+                    while i < count {
+                        out.push((i, f(i)));
+                        i += workers;
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel task worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for bucket in &mut buckets {
+        for (i, t) in bucket.drain(..) {
+            slots[i] = Some(t);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("every task index is assigned to exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_task_order() {
+        for threads in [1usize, 2, 4, 8] {
+            let out = run_indexed(23, threads, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>(), "{threads}");
+        }
+    }
+
+    #[test]
+    fn zero_and_single_task_edges() {
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(run_indexed(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn more_threads_than_tasks() {
+        assert_eq!(run_indexed(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shard_bounds_partition_exactly() {
+        for len in [0usize, 1, 2, 3, 5, 7, 16, 100] {
+            for threads in [1usize, 2, 3, 4, 8, 64] {
+                let bounds = shard_bounds(len, threads);
+                assert!(bounds.len() <= threads.max(1));
+                let mut expect = 0;
+                for &(lo, hi) in &bounds {
+                    assert_eq!(lo, expect, "len={len} threads={threads}");
+                    assert!(lo < hi, "len={len} threads={threads}");
+                    expect = hi;
+                }
+                assert_eq!(expect, len, "len={len} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_sharded_concatenates_in_order() {
+        for threads in [1usize, 3, 8] {
+            let out: Vec<Vec<usize>> = run_sharded(17, threads, |lo, hi| (lo..hi).collect());
+            let flat: Vec<usize> = out.into_iter().flatten().collect();
+            assert_eq!(flat, (0..17).collect::<Vec<_>>(), "{threads}");
+        }
+    }
+}

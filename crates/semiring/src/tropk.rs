@@ -30,9 +30,10 @@ impl<const K: usize> TropK<K> {
         TropK { weights: ws }
     }
 
-    /// A single finite weight.
+    /// A single finite weight (truncated away when `K == 0`, where the
+    /// only element is the empty set and the semiring is trivial).
     pub fn single(w: u64) -> Self {
-        TropK { weights: vec![w] }
+        Self::from_weights(vec![w])
     }
 
     /// The stored weights (strictly increasing, at most `K`).
@@ -57,7 +58,10 @@ impl<const K: usize> Semiring for TropK<K> {
     }
 
     fn one() -> Self {
-        TropK { weights: vec![0] }
+        // Through the truncating constructor: `vec![0]` would violate the
+        // "at most K weights" invariant when `K == 0` (the trivial
+        // one-element semiring, where 1 = 0 = {}).
+        Self::from_weights(vec![0])
     }
 
     fn add(&self, rhs: &Self) -> Self {
@@ -206,6 +210,31 @@ mod tests {
             }
             let star_p1 = star_p.add(&pw.mul(u));
             assert_eq!(star_p, star_p1, "u = {u:?}");
+        }
+    }
+
+    #[test]
+    fn k0_is_the_trivial_one_element_semiring() {
+        // Regression: `one()` and `single()` used to build `vec![w]`
+        // without truncation, violating the "at most K weights" invariant
+        // at K = 0. Every constructor must yield the empty set, 1 = 0, and
+        // all operations must stay closed on it.
+        type T0 = TropK<0>;
+        assert!(T0::one().weights().is_empty());
+        assert!(T0::single(7).weights().is_empty());
+        assert!(T0::from_weights(vec![1, 2, 3]).weights().is_empty());
+        assert_eq!(T0::one(), T0::zero());
+        assert!(T0::one().is_zero());
+        let vals = [T0::zero(), T0::one(), T0::single(5)];
+        for a in &vals {
+            for b in &vals {
+                assert!(a.add(b).weights().is_empty());
+                assert!(a.mul(b).weights().is_empty());
+                for c in &vals {
+                    properties::check_semiring_laws(a, b, c).unwrap();
+                }
+            }
+            properties::check_add_idempotent(a).unwrap();
         }
     }
 

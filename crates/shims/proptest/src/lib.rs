@@ -1,6 +1,10 @@
 //! Offline shim for the `proptest` crate: deterministic random testing with
 //! the subset of the proptest 1.x API this workspace uses. No shrinking —
 //! failures report the generated inputs via the assertion message instead.
+//!
+//! Like the real proptest, the `PROPTEST_CASES` environment variable caps
+//! the per-test case count (it only lowers, never raises, the configured
+//! count) — CI sets it to keep the property suites within its time budget.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -343,10 +347,20 @@ impl fmt::Display for TestCaseError {
 }
 
 /// Run one property function over `cases` deterministic cases.
+///
+/// The `PROPTEST_CASES` environment variable (when set to a positive
+/// integer) caps the count, mirroring the real proptest's env override.
 pub fn run_cases<F>(test_name: &str, cases: u32, mut case: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
 {
+    let cases = match std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+    {
+        Some(cap) if cap > 0 => cases.min(cap),
+        _ => cases,
+    };
     // Per-test deterministic seed stream: hash of the test name.
     let mut seed = 0xcbf2_9ce4_8422_2325u64;
     for b in test_name.bytes() {

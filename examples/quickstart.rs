@@ -13,7 +13,10 @@ use datalog_circuits::semiring::prelude::*;
 fn main() {
     // The paper's running example: transitive closure (Example 2.1), as one
     // session owning the program, the graph-backed database, and every
-    // cached derived artifact.
+    // cached derived artifact. Grounding and evaluation shard across the
+    // builder's `parallelism(n)` threads — available cores by default,
+    // `parallelism(1)` for the exact sequential code path; the grounding
+    // (and every FactId) is bit-identical either way.
     let engine = Engine::builder()
         .program_text(
             "T(X,Y) :- E(X,Y).\n\
@@ -23,6 +26,7 @@ fn main() {
         .build()
         .expect("build session");
     println!("program:\n{}", engine.program());
+    println!("parallelism:        {} thread(s)", engine.parallelism());
 
     // 1. Classify: which side of the paper's dichotomies is this on?
     let report = engine.classification();

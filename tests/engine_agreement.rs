@@ -4,15 +4,21 @@
 //! grounded program — for `Bool`, `Tropical`, `Counting` (the instance is a
 //! DAG, so counting converges), and `Sorp` — plus property tests that the
 //! semi-naive and naive fixpoints compute identical values on random `gnm`
-//! graphs.
+//! graphs, that the **parallel sharded** pipeline (grounding, `par_ico`,
+//! parallel semi-naive) is indistinguishable from the sequential one, and
+//! that `TropK` satisfies the semiring laws at its boundary parameters
+//! (`K = 1`, duplicate weights, `u64::MAX` saturation).
 
 use datalog_circuits::datalog::{self, programs};
 use datalog_circuits::graphgen::{generators, LabeledDigraph};
 use datalog_circuits::provcirc::prelude::*;
-use datalog_circuits::semiring::prelude::*;
+use datalog_circuits::semiring::{prelude::*, properties};
 // Selective import: proptest's prelude would shadow `provcirc::Strategy`
 // with its generator trait of the same name.
-use proptest::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, TestCaseError};
+use proptest::{
+    any, collection, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig,
+    Strategy as PropStrategy, TestCaseError,
+};
 
 /// The paper's Figure 1 graph: s=0, u1=1, u2=2, v1=3, v2=4, t=5. Acyclic.
 fn figure1() -> LabeledDigraph {
@@ -33,7 +39,7 @@ fn figure1_engine() -> Engine {
 
 /// Facade evaluation ≡ compiled-circuit evaluation ≡ naive evaluation of
 /// the identical grounding, for every node pair and semiring.
-fn assert_agreement<S: Semiring, V: Valuation<S>>(engine: &Engine, valuation: &V) {
+fn assert_agreement<S: Semiring, V: Valuation<S> + Sync>(engine: &Engine, valuation: &V) {
     let gp = engine.grounding().unwrap();
     let naive = datalog::naive_eval::<S, _>(gp, valuation, datalog::default_budget(gp));
     assert!(naive.converged, "{} must converge on Figure 1", S::NAME);
@@ -160,7 +166,8 @@ proptest! {
 
     /// Counting is not ⊕-idempotent: `semi_naive_eval` must fall back to
     /// naive and therefore behave *identically* — same values and same
-    /// iteration count on DAGs, same divergence on cyclic instances.
+    /// iteration count on DAGs, same divergence on cyclic instances — and
+    /// the outcome must *record* the downgrade as its effective strategy.
     #[test]
     fn counting_falls_back_identically(
         n in 4usize..9,
@@ -178,7 +185,184 @@ proptest! {
         prop_assert_eq!(naive.converged, semi.converged);
         prop_assert_eq!(naive.iterations, semi.iterations, "fallback must be naive itself");
         prop_assert_eq!(naive.values, semi.values);
+        prop_assert_eq!(naive.strategy, EvalStrategy::Naive);
+        prop_assert_eq!(
+            semi.strategy,
+            EvalStrategy::Naive,
+            "the SemiNaive request must record its effective (fallen-back) strategy"
+        );
+        // Same downgrade through the parallel dispatch point.
+        let par = datalog::par_eval_with_strategy::<Counting, _>(
+            EvalStrategy::SemiNaive, &gp, &unit, budget, 4,
+        );
+        prop_assert_eq!(par.strategy, EvalStrategy::Naive);
+        prop_assert_eq!(par.iterations, naive.iterations);
+        prop_assert_eq!(par.values, naive.values);
     }
+
+    /// The sharded pipeline is indistinguishable from the sequential one:
+    /// `par_ground` produces a bit-identical `GroundedProgram` (same
+    /// `FactId` order), `par_ico` equals `ico`, parallel naive equals
+    /// naive (values *and* iterations), and parallel semi-naive reaches
+    /// the same values — across Bool/Tropical/TropK/Sorp, on programs
+    /// whose recursive atom sits at different body positions.
+    #[test]
+    fn parallel_pipeline_matches_sequential(
+        n in 4usize..9,
+        m in 6usize..20,
+        seed in any::<u64>(),
+        threads in 2usize..9,
+        which in 0usize..3,
+    ) {
+        let g = generators::gnm(n, m, &["E"], seed);
+        let mut p = match which {
+            0 => programs::transitive_closure(),
+            // Non-linear TC: two IDB atoms — delta positions 0 and 1.
+            1 => datalog::parse_program(
+                "T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), T(Z,Y).",
+            ).unwrap(),
+            // Example 4.2: the recursive atom is *second* in the body.
+            _ => programs::bounded_example(),
+        };
+        let (mut db, _) = datalog::Database::from_graph(&mut p, &g);
+        if let Some(a) = p.preds.get("A") {
+            let v0 = db.node_const(0).unwrap();
+            db.insert(a, vec![v0]);
+        }
+        let gp = datalog::ground(&p, &db).unwrap();
+        let gp_par = datalog::par_ground(&p, &db, threads).unwrap();
+        prop_assert_eq!(&gp.idb_facts, &gp_par.idb_facts, "FactId order must be bit-identical");
+        prop_assert_eq!(&gp.rules, &gp_par.rules, "grounded-rule order must be bit-identical");
+
+        let budget = datalog::default_budget(&gp);
+        assert_par_eval_agrees::<Bool, _>(&gp, &AllOnes, budget, threads)?;
+        assert_par_eval_agrees::<Tropical, _>(
+            &gp, &UnitWeights::new(Tropical::new(1)), budget, threads,
+        )?;
+        assert_par_eval_agrees::<TropK<3>, _>(
+            &gp, &UnitWeights::new(TropK::<3>::single(1)), budget, threads,
+        )?;
+        assert_par_eval_agrees::<Sorp, _>(&gp, &VarTags, budget, threads)?;
+    }
+
+    /// `TropK` semiring laws at the boundary parameters: `K = 1` (the
+    /// degenerate tropical case), duplicate weights (the distinct-value
+    /// merge), and `u64::MAX` (saturating `⊗`).
+    #[test]
+    fn tropk_laws_hold_at_boundary_parameters(
+        a in tropk_weights(),
+        b in tropk_weights(),
+        c in tropk_weights(),
+    ) {
+        check_tropk_laws::<1>(&a, &b, &c)?;
+        check_tropk_laws::<2>(&a, &b, &c)?;
+        check_tropk_laws::<3>(&a, &b, &c)?;
+    }
+}
+
+/// Weight vectors biased toward the interesting boundaries: duplicates
+/// (small range) and saturation (`u64::MAX` and neighbors).
+fn tropk_weights() -> impl PropStrategy<Value = Vec<u64>> {
+    collection::vec(
+        prop_oneof![
+            4 => 0u64..6,
+            1 => Just(u64::MAX),
+            1 => Just(u64::MAX - 1),
+        ],
+        0..5,
+    )
+}
+
+fn check_tropk_laws<const K: usize>(a: &[u64], b: &[u64], c: &[u64]) -> Result<(), TestCaseError> {
+    let (a, b, c) = (
+        TropK::<K>::from_weights(a.to_vec()),
+        TropK::<K>::from_weights(b.to_vec()),
+        TropK::<K>::from_weights(c.to_vec()),
+    );
+    if let Err(e) = properties::check_semiring_laws(&a, &b, &c) {
+        return Err(TestCaseError::fail(format!("K={K}: {e}")));
+    }
+    if let Err(e) = properties::check_add_idempotent(&a) {
+        return Err(TestCaseError::fail(format!("K={K}: {e}")));
+    }
+    // Saturating ⊗ stays within the invariant: sorted, distinct, ≤ K.
+    let prod = a.mul(&b);
+    prop_assert!(prod.weights().len() <= K, "K={}: {:?}", K, prod);
+    prop_assert!(
+        prod.weights().windows(2).all(|w| w[0] < w[1]),
+        "K={}: {:?} not strictly increasing",
+        K,
+        prod
+    );
+    Ok(())
+}
+
+/// Parallel naive must equal naive exactly (values, iterations,
+/// convergence); parallel semi-naive must reach the same values and
+/// convergence verdict (its round schedule may count iterations
+/// differently).
+fn assert_par_eval_agrees<S: Semiring, V: Valuation<S> + Sync>(
+    gp: &datalog::GroundedProgram,
+    valuation: &V,
+    budget: usize,
+    threads: usize,
+) -> Result<(), TestCaseError> {
+    let state = vec![S::zero(); gp.num_idb_facts()];
+    let seq_ico = datalog::ico::<S, _>(gp, valuation, &state);
+    let par_ico = datalog::par_ico::<S, _>(gp, valuation, &state, threads);
+    for (i, (a, b)) in seq_ico.iter().zip(&par_ico).enumerate() {
+        prop_assert!(
+            a.sr_eq(b),
+            "{} par_ico fact {}: {:?} vs {:?}",
+            S::NAME,
+            i,
+            a,
+            b
+        );
+    }
+    let naive = datalog::naive_eval::<S, _>(gp, valuation, budget);
+    let par_naive = datalog::par_naive_eval::<S, _>(gp, valuation, budget, threads);
+    prop_assert_eq!(
+        naive.converged,
+        par_naive.converged,
+        "{} naive convergence",
+        S::NAME
+    );
+    prop_assert_eq!(
+        naive.iterations,
+        par_naive.iterations,
+        "{} naive iterations",
+        S::NAME
+    );
+    for (i, (a, b)) in naive.values.iter().zip(&par_naive.values).enumerate() {
+        prop_assert!(
+            a.sr_eq(b),
+            "{} naive fact {}: {:?} vs {:?}",
+            S::NAME,
+            i,
+            a,
+            b
+        );
+    }
+    let semi = datalog::semi_naive_eval::<S, _>(gp, valuation, budget);
+    let par_semi = datalog::par_semi_naive_eval::<S, _>(gp, valuation, budget, threads);
+    prop_assert_eq!(
+        semi.converged,
+        par_semi.converged,
+        "{} semi convergence",
+        S::NAME
+    );
+    for (i, (a, b)) in semi.values.iter().zip(&par_semi.values).enumerate() {
+        prop_assert!(
+            a.sr_eq(b),
+            "{} semi fact {}: {:?} vs {:?}",
+            S::NAME,
+            i,
+            a,
+            b
+        );
+    }
+    Ok(())
 }
 
 /// The `Engine` default (semi-naive) answers exactly like a naive session
