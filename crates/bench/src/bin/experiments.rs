@@ -541,11 +541,12 @@ fn seminaive() {
         let g = generators::gnm(n, m, &["E"], 13);
         let (ground_ms, (_, _, gp)) = bench::time_best_ms(1, || ground_on_graph(&tc, &g));
         let budget = datalog::default_budget(&gp);
-        let (naive_ms, nout) =
-            bench::time_best_ms(5, || datalog::naive_eval::<Tropical, _>(&gp, &unit, budget));
-        let (semi_ms, sout) = bench::time_best_ms(5, || {
+        let (naive, nout) =
+            bench::time_stats_ms(5, || datalog::naive_eval::<Tropical, _>(&gp, &unit, budget));
+        let (semi, sout) = bench::time_stats_ms(5, || {
             datalog::semi_naive_eval::<Tropical, _>(&gp, &unit, budget)
         });
+        let (naive_ms, semi_ms) = (naive.best_ms, semi.best_ms);
         assert!(nout.converged && sout.converged, "both must converge");
         assert_eq!(nout.values, sout.values, "strategies must agree");
         let speedup = naive_ms / semi_ms;
@@ -568,17 +569,46 @@ fn seminaive() {
         rows.push(format!(
             "{{\"n\": {n}, \"m\": {m}, \"idb_facts\": {}, \"grounded_rules\": {}, \
              \"ground_ms\": {ground_ms:.3}, \"naive_ms\": {naive_ms:.3}, \
-             \"seminaive_ms\": {semi_ms:.3}, \"speedup\": {speedup:.3}, \
+             \"naive_mean_ms\": {:.3}, \"seminaive_ms\": {semi_ms:.3}, \
+             \"seminaive_mean_ms\": {:.3}, \"samples\": {}, \
+             \"speedup\": {speedup:.3}, \
              \"naive_iters\": {}, \"seminaive_rounds\": {}}}",
             gp.num_idb_facts(),
             gp.rules.len(),
+            naive.mean_ms,
+            semi.mean_ms,
+            naive.samples,
             nout.iterations,
             sout.iterations,
         ));
     }
+    // Per-stage wall-clock of the same workload through the full Engine
+    // pipeline on the largest row, recorded by the telemetry layer — the
+    // committed trajectory shows where the milliseconds go, not just the
+    // eval total.
+    let engine = provcirc::Engine::builder()
+        .program_text("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).")
+        .graph(&generators::gnm(200, 800, &["E"], 13))
+        .telemetry(true)
+        .build()
+        .expect("engine builds");
+    engine.classification();
+    let (bs, bt) = bench::best_long_pair(engine.graph().expect("graph session")).expect("edges");
+    engine
+        .node_query(bs, bt)
+        .and_then(|q| q.eval::<Tropical, _>(&unit))
+        .expect("eval converges");
+    let report = engine.metrics_report();
+    let stage_ms: Vec<String> = report
+        .stages
+        .iter()
+        .map(|s| format!("\"{}\": {:.3}", s.stage.name(), s.total_nanos as f64 / 1e6))
+        .collect();
     let json = format!(
         "{{\n  \"experiment\": \"naive_vs_seminaive\",\n  \"program\": \"transitive_closure\",\n  \
-         \"semiring\": \"tropical, unit weights\",\n  \"timer\": \"best of 5\",\n  \"rows\": [\n    {}\n  ]\n}}\n",
+         \"semiring\": \"tropical, unit weights\",\n  \"timer\": \"best of 5\",\n  \
+         \"stage_ms\": {{{}}},\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        stage_ms.join(", "),
         rows.join(",\n    ")
     );
     match std::fs::write("BENCH_seminaive.json", &json) {
@@ -644,12 +674,13 @@ fn parallel() {
         let mut base = (0.0f64, 0.0f64);
         let mut reference: Option<(Vec<Tropical>, Vec<Tropical>)> = None;
         for &t in &thread_counts {
-            let (naive_ms, nout) = bench::time_best_ms(3, || {
+            let (naive, nout) = bench::time_stats_ms(3, || {
                 datalog::par_naive_eval::<Tropical, _>(&gp, &unit, budget, t)
             });
-            let (semi_ms, sout) = bench::time_best_ms(3, || {
+            let (semi, sout) = bench::time_stats_ms(3, || {
                 datalog::par_semi_naive_eval::<Tropical, _>(&gp, &unit, budget, t)
             });
+            let (naive_ms, semi_ms) = (naive.best_ms, semi.best_ms);
             assert!(nout.converged && sout.converged, "both must converge");
             match &reference {
                 None => reference = Some((nout.values, sout.values)),
@@ -682,10 +713,15 @@ fn parallel() {
             rows.push(format!(
                 "{{\"n\": {n}, \"m\": {m}, \"idb_facts\": {}, \"grounded_rules\": {}, \
                  \"ground_seq_ms\": {ground1_ms:.3}, \"ground_par4_ms\": {ground4_ms:.3}, \
-                 \"threads\": {t}, \"naive_ms\": {naive_ms:.3}, \"naive_speedup\": {naive_speedup:.3}, \
-                 \"semi_ms\": {semi_ms:.3}, \"semi_speedup\": {semi_speedup:.3}}}",
+                 \"threads\": {t}, \"naive_ms\": {naive_ms:.3}, \"naive_mean_ms\": {:.3}, \
+                 \"naive_speedup\": {naive_speedup:.3}, \
+                 \"semi_ms\": {semi_ms:.3}, \"semi_mean_ms\": {:.3}, \
+                 \"semi_speedup\": {semi_speedup:.3}, \"samples\": {}}}",
                 gp.num_idb_facts(),
                 gp.rules.len(),
+                naive.mean_ms,
+                semi.mean_ms,
+                naive.samples,
             ));
         }
     }
@@ -693,11 +729,44 @@ fn parallel() {
         agree,
         "parallel evaluation drifted from the 1-thread values"
     );
+    // Per-worker shard statistics of a 4-thread Engine run on the largest
+    // instance, recorded by the telemetry layer — the committed trajectory
+    // shows how the parallel stages actually divided their work.
+    let engine = provcirc::Engine::builder()
+        .program(tc.clone())
+        .graph(&generators::gnm(2000, 8000, &["E"], 13))
+        .parallelism(4)
+        .telemetry(true)
+        .build()
+        .expect("engine builds");
+    let (bs, bt) = bench::best_long_pair(engine.graph().expect("graph session")).expect("edges");
+    engine
+        .node_query(bs, bt)
+        .and_then(|q| q.eval::<Tropical, _>(&unit))
+        .expect("eval converges");
+    let shard_rows: Vec<String> = engine
+        .metrics_report()
+        .shards
+        .iter()
+        .map(|((stage, worker), a)| {
+            format!(
+                "{{\"stage\": \"{}\", \"worker\": {worker}, \"calls\": {}, \
+                 \"busy_ms\": {:.3}, \"tasks\": {}, \"produced\": {}}}",
+                stage.name(),
+                a.calls,
+                a.busy_nanos as f64 / 1e6,
+                a.tasks,
+                a.produced,
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"experiment\": \"parallel_eval\",\n  \"program\": \"transitive_closure\",\n  \
          \"semiring\": \"tropical, unit weights\",\n  \
          \"timer\": \"eval best of 3; grounding single run\",\n  \
-         \"cores\": {cores},\n  \"agree\": true,\n  \"rows\": [\n    {}\n  ]\n}}\n",
+         \"cores\": {cores},\n  \"agree\": true,\n  \"shards_4threads\": [\n    {}\n  ],\n  \
+         \"rows\": [\n    {}\n  ]\n}}\n",
+        shard_rows.join(",\n    "),
         rows.join(",\n    ")
     );
     match std::fs::write("BENCH_parallel.json", &json) {

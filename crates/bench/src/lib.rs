@@ -32,20 +32,52 @@ pub fn graph_fact(
     gp.fact(p.target, &[s, d])
 }
 
-/// Best-of-`runs` wall time of `f` in milliseconds, plus the last result —
-/// the experiment harness's stopwatch (minimum over runs suppresses
-/// allocator and scheduler noise).
-pub fn time_best_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+/// Wall-clock statistics of repeated runs of one workload.
+///
+/// `best_ms` is the harness's headline number (minimum suppresses
+/// allocator and scheduler noise); `mean_ms` and `samples` are reported
+/// alongside it in the trajectory JSON so the committed numbers disclose
+/// the spread the minimum discards.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimingStats {
+    /// Minimum wall time over the runs, milliseconds.
+    pub best_ms: f64,
+    /// Arithmetic mean wall time over the runs, milliseconds.
+    pub mean_ms: f64,
+    /// Number of runs measured.
+    pub samples: usize,
+}
+
+/// Time `runs` executions of `f`: full [`TimingStats`] plus the last
+/// result — the experiment harness's stopwatch.
+pub fn time_stats_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> (TimingStats, T) {
     assert!(runs > 0, "need at least one run");
     let mut best = f64::INFINITY;
+    let mut total = 0.0;
     let mut out = None;
     for _ in 0..runs {
         let start = std::time::Instant::now();
         let value = f();
-        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        best = best.min(ms);
+        total += ms;
         out = Some(value);
     }
-    (best, out.expect("runs > 0"))
+    (
+        TimingStats {
+            best_ms: best,
+            mean_ms: total / runs as f64,
+            samples: runs,
+        },
+        out.expect("runs > 0"),
+    )
+}
+
+/// Best-of-`runs` wall time of `f` in milliseconds, plus the last result —
+/// the minimum-only view of [`time_stats_ms`].
+pub fn time_best_ms<T>(runs: usize, f: impl FnMut() -> T) -> (f64, T) {
+    let (stats, out) = time_stats_ms(runs, f);
+    (stats.best_ms, out)
 }
 
 /// Format circuit stats compactly.
@@ -134,6 +166,19 @@ mod tests {
         let (ms, v) = time_best_ms(3, || 6 * 7);
         assert_eq!(v, 42);
         assert!(ms.is_finite() && ms >= 0.0);
+    }
+
+    #[test]
+    fn time_stats_report_best_mean_and_samples() {
+        let (stats, v) = time_stats_ms(4, || {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            "done"
+        });
+        assert_eq!(v, "done");
+        assert_eq!(stats.samples, 4);
+        // best is a minimum, so it can never exceed the mean.
+        assert!(stats.best_ms <= stats.mean_ms, "{stats:?}");
+        assert!(stats.best_ms > 0.0 && stats.mean_ms.is_finite());
     }
 
     #[test]

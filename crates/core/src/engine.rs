@@ -62,25 +62,33 @@
 //! );
 //! ```
 
-use std::cell::{Cell, OnceCell, RefCell};
+use std::cell::{OnceCell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
 use circuit::Circuit;
 use datalog::{
-    default_budget, par_eval_with_strategy, par_ground_with_limit, par_naive_eval, parse_program,
-    ConstId, Database, EvalOutcome, EvalStrategy, GroundedProgram, PredId, Program,
+    default_budget, par_eval_with_strategy_recorded, par_ground_with_limit_recorded,
+    par_naive_eval_recorded, parse_program, ConstId, Database, EvalOutcome, EvalStrategy,
+    GroundedProgram, PredId, Program,
 };
 use graphgen::{LabeledDigraph, NodeId};
 use provcirc_error::Error;
 use semiring::valuation::{Valuation, VarTags};
 use semiring::{Semiring, Sorp};
+use telemetry::{CacheEvent, MetricsReport, PipelineMetrics, Stage};
 
 use crate::classify::{classify_program, Classification};
 use crate::compile::{self, Compiled, Strategy};
 
 /// Counters describing how much work an [`Engine`] actually performed —
 /// repeated queries against the same session must not redo shared stages.
+///
+/// Since the telemetry layer landed this is a *view*: the counters live in
+/// the session's [`PipelineMetrics`] collector (as
+/// [`CacheEvent`]s, counted whether or not
+/// telemetry is enabled) and [`Engine::cache_stats`] snapshots them here
+/// for compatibility.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineCacheStats {
     /// Times the grounded program was computed (at most 1 per session).
@@ -121,11 +129,23 @@ pub struct EngineBuilder {
     eval_budget: Option<usize>,
     eval_strategy: EvalStrategy,
     parallelism: usize,
+    telemetry: Option<bool>,
 }
 
 impl Default for EngineBuilder {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// The default telemetry mode of a new session: enabled when the
+/// `DATALOG_METRICS` environment variable is set to anything other than
+/// `0`, `false`, `off`, or the empty string — the knob `dlc --metrics`
+/// and CI use — otherwise disabled (the no-op fast path).
+fn default_telemetry() -> bool {
+    match std::env::var("DATALOG_METRICS") {
+        Ok(v) => !matches!(v.trim(), "" | "0" | "false" | "off"),
+        Err(_) => false,
     }
 }
 
@@ -160,6 +180,7 @@ impl EngineBuilder {
             eval_budget: None,
             eval_strategy: EvalStrategy::default(),
             parallelism: default_parallelism(),
+            telemetry: None,
         }
     }
 
@@ -263,15 +284,35 @@ impl EngineBuilder {
         self
     }
 
+    /// Enable (or explicitly disable) pipeline telemetry for the session.
+    ///
+    /// When enabled, every stage the session runs — parse, grounding
+    /// phases, classification, evaluation, the provenance fixpoint,
+    /// circuit construction — records wall-clock spans, per-round fixpoint
+    /// series, and per-shard parallel statistics into the session's
+    /// [`PipelineMetrics`]; read them back with
+    /// [`Engine::metrics_report`]. Defaults to the `DATALOG_METRICS`
+    /// environment variable (an explicit call wins), otherwise off.
+    ///
+    /// Disabled telemetry is the no-op recorder: instrumented code paths
+    /// delegate to the exact pre-telemetry code, no clock is read, and
+    /// grounding/evaluation results stay bit-identical. Cache-discipline
+    /// counters ([`Engine::cache_stats`]) are maintained either way.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = Some(enabled);
+        self
+    }
+
     /// Assemble the session.
     ///
     /// Errors if no program was provided, the program text fails to parse,
     /// the program fails validation, or both a database and a graph were
     /// given.
     pub fn build(self) -> Result<Engine, Error> {
+        let metrics = PipelineMetrics::new(self.telemetry.unwrap_or_else(default_telemetry));
         let mut program = match (self.program, self.text) {
             (Some(p), None) => p,
-            (None, Some(text)) => parse_program(&text)?,
+            (None, Some(text)) => telemetry::time(&metrics, Stage::Parse, || parse_program(&text))?,
             (Some(_), Some(_)) => {
                 return Err(Error::InvalidProgram(
                     "provide either program text or a parsed program, not both".into(),
@@ -341,12 +382,7 @@ impl EngineBuilder {
             provenance: OnceCell::new(),
             circuits: RefCell::new(HashMap::new()),
             multi_outputs: RefCell::new(HashMap::new()),
-            groundings: Cell::new(0),
-            classifications: Cell::new(0),
-            provenance_runs: Cell::new(0),
-            circuits_built: Cell::new(0),
-            circuit_cache_hits: Cell::new(0),
-            seminaive_fallbacks: Cell::new(0),
+            metrics,
         })
     }
 }
@@ -375,12 +411,7 @@ pub struct Engine {
     provenance: OnceCell<Result<EvalOutcome<Sorp>, Error>>,
     circuits: RefCell<HashMap<CircuitKey, Rc<Compiled>>>,
     multi_outputs: RefCell<HashMap<Strategy, Rc<circuit::MultiOutput>>>,
-    groundings: Cell<usize>,
-    classifications: Cell<usize>,
-    provenance_runs: Cell<usize>,
-    circuits_built: Cell<usize>,
-    circuit_cache_hits: Cell<usize>,
-    seminaive_fallbacks: Cell<usize>,
+    metrics: PipelineMetrics,
 }
 
 impl Engine {
@@ -412,16 +443,40 @@ impl Engine {
         &self.edge_facts
     }
 
-    /// How much work the session has actually performed.
+    /// How much work the session has actually performed — a snapshot of
+    /// the cache-event counters in the session's [`PipelineMetrics`]
+    /// (maintained whether or not telemetry is enabled).
     pub fn cache_stats(&self) -> EngineCacheStats {
+        let count = |e| self.metrics.cache_count(e) as usize;
         EngineCacheStats {
-            groundings: self.groundings.get(),
-            classifications: self.classifications.get(),
-            provenance_runs: self.provenance_runs.get(),
-            circuits_built: self.circuits_built.get(),
-            circuit_cache_hits: self.circuit_cache_hits.get(),
-            seminaive_fallbacks: self.seminaive_fallbacks.get(),
+            groundings: count(CacheEvent::Grounding),
+            classifications: count(CacheEvent::Classification),
+            provenance_runs: count(CacheEvent::ProvenanceRun),
+            circuits_built: count(CacheEvent::CircuitBuilt),
+            circuit_cache_hits: count(CacheEvent::CircuitCacheHit),
+            seminaive_fallbacks: count(CacheEvent::SeminaiveFallback),
         }
+    }
+
+    /// The session's telemetry collector. Cache events are always counted;
+    /// spans, round series, and shard statistics only accumulate when the
+    /// session was built with telemetry enabled
+    /// ([`EngineBuilder::telemetry`] or `DATALOG_METRICS`).
+    pub fn metrics(&self) -> &PipelineMetrics {
+        &self.metrics
+    }
+
+    /// Whether the session records pipeline telemetry (spans, rounds,
+    /// shards) — see [`EngineBuilder::telemetry`].
+    pub fn telemetry_enabled(&self) -> bool {
+        self.metrics.is_enabled()
+    }
+
+    /// Snapshot the session's telemetry as a [`MetricsReport`]: render it
+    /// with `Display` for a human-readable per-stage table or
+    /// [`MetricsReport::to_json`] for the machine-readable form.
+    pub fn metrics_report(&self) -> MetricsReport {
+        self.metrics.report()
     }
 
     /// The grounded program — computed once, then cached, sharding the
@@ -432,12 +487,13 @@ impl Engine {
     pub fn grounding(&self) -> Result<&GroundedProgram, Error> {
         self.grounding
             .get_or_init(|| {
-                self.groundings.set(self.groundings.get() + 1);
-                par_ground_with_limit(
+                self.metrics.cache_event(CacheEvent::Grounding);
+                par_ground_with_limit_recorded(
                     &self.program,
                     &self.db,
                     self.max_ground_rules,
                     self.parallelism,
+                    &self.metrics,
                 )
             })
             .as_ref()
@@ -447,8 +503,10 @@ impl Engine {
     /// The paper-level classification (computed once, then cached).
     pub fn classification(&self) -> &Classification {
         self.classification.get_or_init(|| {
-            self.classifications.set(self.classifications.get() + 1);
-            classify_program(&self.program, self.horizon)
+            self.metrics.cache_event(CacheEvent::Classification);
+            telemetry::time(&self.metrics, Stage::Classify, || {
+                classify_program(&self.program, self.horizon)
+            })
         })
     }
 
@@ -486,13 +544,18 @@ impl Engine {
         V: Valuation<S> + Sync + ?Sized,
     {
         let budget = self.budget()?;
-        let out = par_eval_with_strategy(
-            self.eval_strategy,
-            self.grounding()?,
-            valuation,
-            budget,
-            self.parallelism,
-        );
+        let gp = self.grounding()?;
+        let out = telemetry::time(&self.metrics, Stage::Eval, || {
+            par_eval_with_strategy_recorded(
+                self.eval_strategy,
+                gp,
+                valuation,
+                budget,
+                self.parallelism,
+                &self.metrics,
+                Stage::Eval,
+            )
+        });
         self.note_effective_strategy(out.strategy);
         Ok(out)
     }
@@ -502,8 +565,7 @@ impl Engine {
     /// [`EngineCacheStats::seminaive_fallbacks`]).
     fn note_effective_strategy(&self, effective: EvalStrategy) {
         if self.eval_strategy == EvalStrategy::SemiNaive && effective == EvalStrategy::Naive {
-            self.seminaive_fallbacks
-                .set(self.seminaive_fallbacks.get() + 1);
+            self.metrics.cache_event(CacheEvent::SeminaiveFallback);
         }
     }
 
@@ -523,8 +585,18 @@ impl Engine {
         self.provenance
             .get_or_init(|| {
                 let budget = self.budget()?;
-                let out = par_naive_eval(self.grounding()?, &VarTags, budget, self.parallelism);
-                self.provenance_runs.set(self.provenance_runs.get() + 1);
+                let gp = self.grounding()?;
+                let out = telemetry::time(&self.metrics, Stage::Provenance, || {
+                    par_naive_eval_recorded(
+                        gp,
+                        &VarTags,
+                        budget,
+                        self.parallelism,
+                        &self.metrics,
+                        Stage::Provenance,
+                    )
+                });
+                self.metrics.cache_event(CacheEvent::ProvenanceRun);
                 if !out.converged {
                     return Err(Error::Diverged { iterations: budget });
                 }
@@ -606,8 +678,7 @@ impl Engine {
 
         let key = (query.pred, consts, resolved);
         if let Some(hit) = self.circuits.borrow().get(&key) {
-            self.circuit_cache_hits
-                .set(self.circuit_cache_hits.get() + 1);
+            self.metrics.cache_event(CacheEvent::CircuitCacheHit);
             return Ok(Rc::clone(hit));
         }
 
@@ -622,7 +693,10 @@ impl Engine {
                 })?;
                 let (src, dst) = self.node_pair(query, &key.1)?;
                 if resolved == Strategy::MagicFiniteRpq {
-                    circuit::finite_rpq_circuit(&self.program, graph, src, dst)?.circuit
+                    telemetry::time(&self.metrics, Stage::CircuitBuild, || {
+                        circuit::finite_rpq_circuit(&self.program, graph, src, dst)
+                    })?
+                    .circuit
                 } else {
                     let dfa = compile::chain_program_dfa(&self.program, graph)?;
                     let tc = if resolved == Strategy::ProductBellmanFord {
@@ -630,13 +704,18 @@ impl Engine {
                     } else {
                         circuit::TcStrategy::RepeatedSquaring
                     };
-                    circuit::rpq_circuit(graph, &dfa, src, dst, tc)
+                    telemetry::time(&self.metrics, Stage::CircuitBuild, || {
+                        circuit::rpq_circuit(graph, &dfa, src, dst, tc)
+                    })
                 }
             }
             Strategy::GroundedFixpoint | Strategy::BoundedLayered | Strategy::UllmanVanGelder => {
                 match query.fact()? {
                     None => constant_zero(),
-                    Some(fact) => self.multi_output(resolved)?.circuit_for(fact),
+                    Some(fact) => {
+                        let mo = self.multi_output(resolved)?;
+                        telemetry::time(&self.metrics, Stage::CircuitBuild, || mo.circuit_for(fact))
+                    }
                 }
             }
         };
@@ -655,14 +734,27 @@ impl Engine {
             return Ok(Rc::clone(mo));
         }
         let mo = Rc::new(match resolved {
-            Strategy::GroundedFixpoint => circuit::grounded_circuit(self.grounding()?, None),
+            Strategy::GroundedFixpoint => {
+                let gp = self.grounding()?;
+                telemetry::time(&self.metrics, Stage::CircuitBuild, || {
+                    circuit::grounded_circuit(gp, None)
+                })
+            }
             Strategy::BoundedLayered => {
                 // Provenance probe for the boundedness constant (exact over
                 // the universal absorptive semiring) — cached.
                 let layers = self.provenance_outcome()?.iterations;
-                circuit::grounded_circuit(self.grounding()?, Some(layers))
+                let gp = self.grounding()?;
+                telemetry::time(&self.metrics, Stage::CircuitBuild, || {
+                    circuit::grounded_circuit(gp, Some(layers))
+                })
             }
-            Strategy::UllmanVanGelder => circuit::uvg_circuit(self.grounding()?, None),
+            Strategy::UllmanVanGelder => {
+                let gp = self.grounding()?;
+                telemetry::time(&self.metrics, Stage::CircuitBuild, || {
+                    circuit::uvg_circuit(gp, None)
+                })
+            }
             other => unreachable!("{other:?} is not a grounded-family strategy"),
         });
         self.multi_outputs
@@ -672,7 +764,7 @@ impl Engine {
     }
 
     fn finish_compiled(&self, circuit: Circuit, resolved: Strategy) -> Compiled {
-        self.circuits_built.set(self.circuits_built.get() + 1);
+        self.metrics.cache_event(CacheEvent::CircuitBuilt);
         self.assemble(circuit, resolved)
     }
 
@@ -768,13 +860,18 @@ impl Query<'_> {
             return Ok(S::zero());
         };
         let budget = self.engine.budget()?;
-        let out = par_eval_with_strategy(
-            self.engine.eval_strategy,
-            self.engine.grounding()?,
-            valuation,
-            budget,
-            self.engine.parallelism,
-        );
+        let gp = self.engine.grounding()?;
+        let out = telemetry::time(&self.engine.metrics, Stage::Eval, || {
+            par_eval_with_strategy_recorded(
+                self.engine.eval_strategy,
+                gp,
+                valuation,
+                budget,
+                self.engine.parallelism,
+                &self.engine.metrics,
+                Stage::Eval,
+            )
+        });
         self.engine.note_effective_strategy(out.strategy);
         if !out.converged {
             return Err(Error::Diverged { iterations: budget });

@@ -64,6 +64,8 @@ pub use compile::{chain_program_dfa, compile_fact, compile_graph_fact, Compiled,
 pub use datalog::EvalStrategy;
 pub use engine::{Engine, EngineBuilder, EngineCacheStats, Query};
 
+pub use telemetry;
+
 /// One-stop imports for examples and tests.
 pub mod prelude {
     pub use crate::boundedness::{decide_boundedness, BoundednessOptions, Verdict};

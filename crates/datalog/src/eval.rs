@@ -31,6 +31,8 @@
 use semiring::valuation::{AllOnes, Valuation, VarTags};
 use semiring::{Semiring, Sorp};
 
+use telemetry::{Counter, Recorder, RoundStats, Stage, NOOP};
+
 use crate::ground::GroundedProgram;
 
 /// Result of a fixpoint evaluation.
@@ -38,8 +40,20 @@ use crate::ground::GroundedProgram;
 pub struct EvalOutcome<S> {
     /// Value per IDB fact (aligned with [`GroundedProgram::idb_facts`]).
     pub values: Vec<S>,
-    /// Number of ICO applications performed.
+    /// A *strategy-relative* progress count: naive reports ICO
+    /// applications (the §4 boundedness probe); semi-naive reports
+    /// **equivalent full passes** — [`rule_firings`] over the number of
+    /// grounded rules, rounded up. The two are NOT comparable across
+    /// strategies; compare [`rule_firings`] instead.
+    ///
+    /// [`rule_firings`]: EvalOutcome::rule_firings
     pub iterations: usize,
+    /// Raw number of grounded-rule firings performed — the
+    /// strategy-independent work measure. Naive fires every grounded rule
+    /// once per ICO application (`iterations × #rules`); semi-naive fires
+    /// only frontier rules, so the ratio of the two counts is exactly the
+    /// work its delta propagation saved.
+    pub rule_firings: usize,
     /// Whether a fixpoint was reached within the iteration budget.
     pub converged: bool,
     /// The algorithm that **actually ran**. A [`EvalStrategy::SemiNaive`]
@@ -85,24 +99,53 @@ where
     S: Semiring,
     V: Valuation<S> + Sync + ?Sized,
 {
+    par_ico_recorded(gp, assign, current, threads, &NOOP, Stage::Eval)
+}
+
+/// [`par_ico`] reporting into a telemetry [`Recorder`]: per-shard busy
+/// time and nonzero head accumulators produced, plus barrier ⊕-merge time
+/// ([`Counter::EvalMergeNanos`]). `stage` tags the shard samples (the
+/// `Engine` facade attributes its provenance fixpoint to
+/// [`Stage::Provenance`], everything else to [`Stage::Eval`]). Disabled
+/// recorders take the un-instrumented path bit-identically.
+pub fn par_ico_recorded<S, V>(
+    gp: &GroundedProgram,
+    assign: &V,
+    current: &[S],
+    threads: usize,
+    rec: &dyn Recorder,
+    stage: Stage,
+) -> Vec<S>
+where
+    S: Semiring,
+    V: Valuation<S> + Sync + ?Sized,
+{
     let num_rules = gp.rules.len();
     if threads <= 1 || num_rules < 2 {
         return ico(gp, assign, current);
     }
-    let locals: Vec<Vec<S>> = crate::par::run_sharded(num_rules, threads, |lo, hi| {
-        let mut acc = vec![S::zero(); current.len()];
-        for rule in &gp.rules[lo..hi] {
-            let mut prod = S::one();
-            for &i in &rule.body_idb {
-                prod.mul_assign(&current[i]);
+    let locals: Vec<Vec<S>> = crate::par::run_sharded_recorded(
+        num_rules,
+        threads,
+        rec,
+        stage,
+        |acc: &Vec<S>| acc.iter().filter(|v| !v.is_zero()).count() as u64,
+        |lo, hi| {
+            let mut acc = vec![S::zero(); current.len()];
+            for rule in &gp.rules[lo..hi] {
+                let mut prod = S::one();
+                for &i in &rule.body_idb {
+                    prod.mul_assign(&current[i]);
+                }
+                for &f in &rule.body_edb {
+                    prod.mul_assign(&assign.value(f));
+                }
+                acc[rule.head].add_assign(&prod);
             }
-            for &f in &rule.body_edb {
-                prod.mul_assign(&assign.value(f));
-            }
-            acc[rule.head].add_assign(&prod);
-        }
-        acc
-    });
+            acc
+        },
+    );
+    let merge_start = rec.enabled().then(std::time::Instant::now);
     let mut next = vec![S::zero(); current.len()];
     for acc in &locals {
         for (slot, v) in next.iter_mut().zip(acc) {
@@ -111,17 +154,41 @@ where
             }
         }
     }
+    if let Some(t) = merge_start {
+        rec.counter(Counter::EvalMergeNanos, t.elapsed().as_nanos() as u64);
+    }
     next
 }
 
 /// The naive round loop shared by the sequential and sharded entry
 /// points: iterate `step` (one ICO application) from all-0 until a
 /// fixpoint or `max_iters` rounds.
-fn naive_driver<S, F>(gp: &GroundedProgram, max_iters: usize, mut step: F) -> EvalOutcome<S>
+fn naive_driver<S, F>(gp: &GroundedProgram, max_iters: usize, step: F) -> EvalOutcome<S>
 where
     S: Semiring,
     F: FnMut(&[S]) -> Vec<S>,
 {
+    naive_driver_recorded(gp, max_iters, &NOOP, Stage::Eval, step)
+}
+
+/// [`naive_driver`] reporting into `rec`: one [`RoundStats`] per ICO
+/// application (frontier = every grounded rule; `delta` = heads whose
+/// value strictly changed) and the [`Counter::RuleFirings`] total. With a
+/// disabled recorder the convergence test keeps its short-circuit form
+/// and nothing else runs.
+fn naive_driver_recorded<S, F>(
+    gp: &GroundedProgram,
+    max_iters: usize,
+    rec: &dyn Recorder,
+    stage: Stage,
+    mut step: F,
+) -> EvalOutcome<S>
+where
+    S: Semiring,
+    F: FnMut(&[S]) -> Vec<S>,
+{
+    let enabled = rec.enabled();
+    let num_rules = gp.rules.len();
     let mut values = vec![S::zero(); gp.num_idb_facts()];
     // With no grounded rules the ICO is constantly 0: the all-zero vector
     // is already the fixpoint, whatever the budget — even a zero budget
@@ -130,18 +197,41 @@ where
         return EvalOutcome {
             values,
             iterations: 0,
+            rule_firings: 0,
             converged: true,
             strategy: EvalStrategy::Naive,
         };
     }
     for iter in 0..max_iters {
         let next = step(&values);
-        let converged = next.iter().zip(values.iter()).all(|(a, b)| a.sr_eq(b));
+        let converged = if enabled {
+            let changed = next
+                .iter()
+                .zip(values.iter())
+                .filter(|(a, b)| !a.sr_eq(b))
+                .count() as u64;
+            rec.counter(Counter::RuleFirings, num_rules as u64);
+            rec.round(
+                stage,
+                RoundStats {
+                    round: iter as u64,
+                    frontier: num_rules as u64,
+                    delta: changed,
+                    probes: 0,
+                    firings: num_rules as u64,
+                    worklist: if changed == 0 { 0 } else { num_rules as u64 },
+                },
+            );
+            changed == 0
+        } else {
+            next.iter().zip(values.iter()).all(|(a, b)| a.sr_eq(b))
+        };
         values = next;
         if converged {
             return EvalOutcome {
                 values,
                 iterations: iter + 1,
+                rule_firings: (iter + 1) * num_rules,
                 converged: true,
                 strategy: EvalStrategy::Naive,
             };
@@ -150,6 +240,7 @@ where
     EvalOutcome {
         values,
         iterations: max_iters,
+        rule_firings: max_iters.saturating_mul(num_rules),
         converged: false,
         strategy: EvalStrategy::Naive,
     }
@@ -182,8 +273,27 @@ where
     S: Semiring,
     V: Valuation<S> + Sync + ?Sized,
 {
-    naive_driver(gp, max_iters, |current| {
-        par_ico(gp, assign, current, threads)
+    par_naive_eval_recorded(gp, assign, max_iters, threads, &NOOP, Stage::Eval)
+}
+
+/// [`par_naive_eval`] reporting into a telemetry [`Recorder`]: per-round
+/// series from the driver, per-shard stats and merge time from each
+/// round's [`par_ico_recorded`]. `stage` tags the samples (the `Engine`
+/// facade uses [`Stage::Provenance`] for its provenance fixpoint).
+pub fn par_naive_eval_recorded<S, V>(
+    gp: &GroundedProgram,
+    assign: &V,
+    max_iters: usize,
+    threads: usize,
+    rec: &dyn Recorder,
+    stage: Stage,
+) -> EvalOutcome<S>
+where
+    S: Semiring,
+    V: Valuation<S> + Sync + ?Sized,
+{
+    naive_driver_recorded(gp, max_iters, rec, stage, |current| {
+        par_ico_recorded(gp, assign, current, threads, rec, stage)
     })
 }
 
@@ -247,9 +357,31 @@ where
     S: Semiring,
     V: Valuation<S> + Sync + ?Sized,
 {
+    par_eval_with_strategy_recorded(strategy, gp, assign, max_iters, threads, &NOOP, Stage::Eval)
+}
+
+/// [`par_eval_with_strategy`] reporting into a telemetry [`Recorder`] —
+/// the dispatch point `Engine` routes its instrumented evaluations
+/// through. `stage` tags the per-round/per-shard samples, letting the
+/// caller attribute a run to [`Stage::Eval`] or [`Stage::Provenance`].
+pub fn par_eval_with_strategy_recorded<S, V>(
+    strategy: EvalStrategy,
+    gp: &GroundedProgram,
+    assign: &V,
+    max_iters: usize,
+    threads: usize,
+    rec: &dyn Recorder,
+    stage: Stage,
+) -> EvalOutcome<S>
+where
+    S: Semiring,
+    V: Valuation<S> + Sync + ?Sized,
+{
     match strategy {
-        EvalStrategy::Naive => par_naive_eval(gp, assign, max_iters, threads),
-        EvalStrategy::SemiNaive => par_semi_naive_eval(gp, assign, max_iters, threads),
+        EvalStrategy::Naive => par_naive_eval_recorded(gp, assign, max_iters, threads, rec, stage),
+        EvalStrategy::SemiNaive => {
+            par_semi_naive_eval_recorded(gp, assign, max_iters, threads, rec, stage)
+        }
     }
 }
 
@@ -286,9 +418,35 @@ where
     S: Semiring,
     V: Valuation<S> + ?Sized,
 {
+    semi_naive_eval_recorded(gp, assign, max_iters, &NOOP, Stage::Eval)
+}
+
+/// [`semi_naive_eval`] reporting into a telemetry [`Recorder`].
+///
+/// The sequential worklist has no natural rounds, so the per-round series
+/// is **sampled at equivalent-pass boundaries** (every `#rules` firings):
+/// each [`RoundStats`] carries the queue length at the boundary (as both
+/// `frontier` and `worklist`) and the head-value changes since the last
+/// sample. Round 0 is the initial every-rule pass. [`Counter::RuleFirings`]
+/// accumulates the exact total. Disabled recorders leave the worklist loop
+/// bit-identical (the only residue is one dead branch per value change).
+pub fn semi_naive_eval_recorded<S, V>(
+    gp: &GroundedProgram,
+    assign: &V,
+    max_iters: usize,
+    rec: &dyn Recorder,
+    stage: Stage,
+) -> EvalOutcome<S>
+where
+    S: Semiring,
+    V: Valuation<S> + ?Sized,
+{
     if !S::ADD_IDEMPOTENT {
-        return naive_eval(gp, assign, max_iters);
+        return naive_driver_recorded(gp, max_iters, rec, stage, |current| {
+            ico(gp, assign, current)
+        });
     }
+    let enabled = rec.enabled();
     let n = gp.num_idb_facts();
     let num_rules = gp.rules.len();
     let mut values = vec![S::zero(); n];
@@ -299,7 +457,23 @@ where
     let mut pending = vec![false; num_rules];
     let max_firings = max_iters.saturating_mul(num_rules.max(1));
     let mut firings = 0usize;
+    let mut changes = 0u64;
+    let mut sampled_changes = 0u64;
     let equivalent_passes = |firings: usize| firings.div_ceil(num_rules.max(1));
+    macro_rules! finish {
+        ($converged:expr) => {{
+            if enabled {
+                rec.counter(Counter::RuleFirings, firings as u64);
+            }
+            return EvalOutcome {
+                values,
+                iterations: equivalent_passes(firings),
+                rule_firings: firings,
+                converged: $converged,
+                strategy: EvalStrategy::SemiNaive,
+            };
+        }};
+    }
 
     // One firing of rule `ri`: ⊕-accumulate its product into the head and
     // re-enqueue the dependent rules that fired before this change (a rule
@@ -317,6 +491,9 @@ where
                 let sum = values[rule.head].add(&prod);
                 if !sum.sr_eq(&values[rule.head]) {
                     values[rule.head] = sum;
+                    if enabled {
+                        changes += 1;
+                    }
                     for &dep in &deps[start[rule.head]..start[rule.head + 1]] {
                         let dep = dep as usize;
                         if $fired(dep) && !pending[dep] {
@@ -336,35 +513,48 @@ where
         firings += 1;
         fire!(ri, |dep| dep <= ri);
     }
+    if enabled && firings > 0 {
+        rec.round(
+            stage,
+            RoundStats {
+                round: 0,
+                frontier: firings as u64,
+                delta: changes,
+                probes: 0,
+                firings: firings as u64,
+                worklist: queue.len() as u64,
+            },
+        );
+        sampled_changes = changes;
+    }
     if num_rules > max_firings {
-        return EvalOutcome {
-            values,
-            iterations: equivalent_passes(firings),
-            converged: false,
-            strategy: EvalStrategy::SemiNaive,
-        };
+        finish!(false);
     }
     // Drain: by now every rule has fired, so any dependent of a change is
     // a re-fire candidate unless already queued.
     while let Some(ri) = queue.pop_front() {
         if firings == max_firings {
-            return EvalOutcome {
-                values,
-                iterations: equivalent_passes(firings),
-                converged: false,
-                strategy: EvalStrategy::SemiNaive,
-            };
+            finish!(false);
         }
         firings += 1;
         pending[ri as usize] = false;
         fire!(ri as usize, |_dep| true);
+        if enabled && firings.is_multiple_of(num_rules.max(1)) {
+            rec.round(
+                stage,
+                RoundStats {
+                    round: (firings / num_rules.max(1)) as u64,
+                    frontier: queue.len() as u64,
+                    delta: changes - sampled_changes,
+                    probes: 0,
+                    firings: num_rules as u64,
+                    worklist: queue.len() as u64,
+                },
+            );
+            sampled_changes = changes;
+        }
     }
-    EvalOutcome {
-        values,
-        iterations: equivalent_passes(firings),
-        converged: true,
-        strategy: EvalStrategy::SemiNaive,
-    }
+    finish!(true);
 }
 
 /// Delta-driven evaluation with each round's frontier sharded across
@@ -404,12 +594,34 @@ where
     S: Semiring,
     V: Valuation<S> + Sync + ?Sized,
 {
+    par_semi_naive_eval_recorded(gp, assign, max_iters, threads, &NOOP, Stage::Eval)
+}
+
+/// [`par_semi_naive_eval`] reporting into a telemetry [`Recorder`]: one
+/// [`RoundStats`] per frontier round (frontier size, head-value changes,
+/// next-frontier worklist), [`Counter::RuleFirings`] /
+/// [`Counter::Contributions`] / [`Counter::EvalMergeNanos`] totals, and —
+/// at `threads > 1` — per-worker shard stats from each round's sharded
+/// fire. Disabled recorders take the un-instrumented path bit-identically.
+pub fn par_semi_naive_eval_recorded<S, V>(
+    gp: &GroundedProgram,
+    assign: &V,
+    max_iters: usize,
+    threads: usize,
+    rec: &dyn Recorder,
+    stage: Stage,
+) -> EvalOutcome<S>
+where
+    S: Semiring,
+    V: Valuation<S> + Sync + ?Sized,
+{
     if !S::ADD_IDEMPOTENT {
-        return par_naive_eval(gp, assign, max_iters, threads);
+        return par_naive_eval_recorded(gp, assign, max_iters, threads, rec, stage);
     }
     if threads <= 1 {
-        return semi_naive_eval(gp, assign, max_iters);
+        return semi_naive_eval_recorded(gp, assign, max_iters, rec, stage);
     }
+    let enabled = rec.enabled();
     let n = gp.num_idb_facts();
     let num_rules = gp.rules.len();
     let mut values = vec![S::zero(); n];
@@ -417,6 +629,7 @@ where
         return EvalOutcome {
             values,
             iterations: 0,
+            rule_firings: 0,
             converged: true,
             strategy: EvalStrategy::SemiNaive,
         };
@@ -430,6 +643,7 @@ where
     // `pending[r]` ⇔ rule r is already in the *next* frontier.
     let mut pending = vec![false; num_rules];
     let mut exhausted = false;
+    let mut round = 0u64;
     while !frontier.is_empty() {
         let budget_left = max_firings - firings;
         if budget_left == 0 {
@@ -444,8 +658,13 @@ where
         }
         let frontier_ref = &frontier;
         let values_ref = &values;
-        let buffers: Vec<Vec<(u32, S)>> =
-            crate::par::run_sharded(frontier.len(), threads, |lo, hi| {
+        let buffers: Vec<Vec<(u32, S)>> = crate::par::run_sharded_recorded(
+            frontier.len(),
+            threads,
+            rec,
+            stage,
+            |buf: &Vec<(u32, S)>| buf.len() as u64,
+            |lo, hi| {
                 let mut out = Vec::new();
                 for &ri in &frontier_ref[lo..hi] {
                     let rule = &gp.rules[ri as usize];
@@ -458,8 +677,16 @@ where
                     }
                 }
                 out
-            });
+            },
+        );
         firings += frontier.len();
+        if enabled {
+            rec.counter(Counter::RuleFirings, frontier.len() as u64);
+            rec.counter(
+                Counter::Contributions,
+                buffers.iter().map(|b| b.len() as u64).sum(),
+            );
+        }
         // Rules that just fired read pre-round values: if the merge below
         // changes one of their inputs they must re-fire next round, so
         // clear their next-frontier membership first.
@@ -468,6 +695,8 @@ where
         }
         // Barrier merge, in frontier order (shards are contiguous), so the
         // next frontier is deterministic whatever the thread count.
+        let merge_start = enabled.then(std::time::Instant::now);
+        let mut changed = 0u64;
         let mut next_frontier: Vec<u32> = Vec::new();
         for buf in buffers {
             for (head, prod) in buf {
@@ -475,6 +704,9 @@ where
                 let sum = values[h].add(&prod);
                 if !sum.sr_eq(&values[h]) {
                     values[h] = sum;
+                    if enabled {
+                        changed += 1;
+                    }
                     for &dep in &deps[start[h]..start[h + 1]] {
                         if !pending[dep as usize] {
                             pending[dep as usize] = true;
@@ -484,6 +716,23 @@ where
                 }
             }
         }
+        if let Some(t) = merge_start {
+            rec.counter(Counter::EvalMergeNanos, t.elapsed().as_nanos() as u64);
+        }
+        if enabled {
+            rec.round(
+                stage,
+                RoundStats {
+                    round,
+                    frontier: frontier.len() as u64,
+                    delta: changed,
+                    probes: 0,
+                    firings: frontier.len() as u64,
+                    worklist: next_frontier.len() as u64,
+                },
+            );
+        }
+        round += 1;
         if exhausted {
             break;
         }
@@ -492,6 +741,7 @@ where
     EvalOutcome {
         values,
         iterations: firings.div_ceil(num_rules),
+        rule_firings: firings,
         converged: !exhausted,
         strategy: EvalStrategy::SemiNaive,
     }

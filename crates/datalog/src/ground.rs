@@ -44,10 +44,12 @@
 //! Restricting to derivable facts keeps the grounded program — and hence
 //! every circuit built from it — free of dead gates.
 
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
 
 use provcirc_error::Error;
+use telemetry::{Counter, Recorder, RoundStats, Stage, NOOP};
 
 use crate::ast::{Atom, Program, Rule, Term};
 use crate::database::{Database, FactId};
@@ -382,6 +384,26 @@ pub fn par_ground_with_limit(
     max_rules: usize,
     threads: usize,
 ) -> Result<GroundedProgram, Error> {
+    par_ground_with_limit_recorded(program, db, max_rules, threads, &NOOP)
+}
+
+/// [`par_ground_with_limit`] reporting into a telemetry [`Recorder`]:
+/// phase spans ([`Stage::GroundPhase1`] / [`Stage::GroundPhase2`]), one
+/// [`RoundStats`] per semi-naive round (frontier size, facts discovered,
+/// index probes, next-frontier worklist), the [`Counter::IndexProbes`] /
+/// [`Counter::FactsDiscovered`] / [`Counter::GroundMergeNanos`] totals,
+/// and — at `threads > 1` — per-worker shard stats. With a disabled
+/// recorder (the default [`NOOP`]) no clock is read and no probe is
+/// counted: the join loops pay one predictable never-taken branch and the
+/// result is bit-identical either way.
+pub fn par_ground_with_limit_recorded(
+    program: &Program,
+    db: &Database,
+    max_rules: usize,
+    threads: usize,
+    rec: &dyn Recorder,
+) -> Result<GroundedProgram, Error> {
+    let enabled = rec.enabled();
     program.validate()?;
     let idbs = program.idbs();
 
@@ -425,6 +447,8 @@ pub fn par_ground_with_limit(
     let mut gp = GroundedProgram::default();
     let mut delta_start = 0usize;
     let mut first_round = true;
+    let mut round = 0u64;
+    let phase1_start = enabled.then(std::time::Instant::now);
     loop {
         let matcher_for = |ri: usize| Matcher {
             db,
@@ -434,30 +458,48 @@ pub fn par_ground_with_limit(
             plan: &plans[ri],
             idbs: &idbs,
             indices: &indices,
+            count_probes: enabled,
+            probes: Cell::new(0),
         };
-        let new_facts: Vec<(PredId, Vec<ConstId>)> = if first_round {
+        // Per work item: the facts it found plus its index-probe count.
+        type Found = (Vec<(PredId, Vec<ConstId>)>, u64);
+        let produced = |o: &Found| o.0.len() as u64;
+        let frontier = if first_round {
+            0
+        } else {
+            gp.idb_facts.len() - delta_start
+        };
+        let outs: Vec<Found> = if first_round {
             // Round 0: one work item per rule, full (delta-free) join.
-            let outs = crate::par::run_indexed(program.rules.len(), threads, |ri| {
-                let mut found: Vec<(PredId, Vec<ConstId>)> = Vec::new();
-                if !plans[ri].dead {
-                    let head_atom = &program.rules[ri].head;
-                    matcher_for(ri).enumerate(&mut |bindings, _| {
-                        let head = instantiate(head_atom, bindings, &const_map)
-                            .expect("head vars bound by safety; dead rules skipped");
-                        if gp.fact(head_atom.pred, &head).is_none() {
-                            found.push((head_atom.pred, head));
-                        }
-                        ControlFlow::Continue(())
-                    });
-                }
-                found
-            });
-            outs.into_iter().flatten().collect()
+            crate::par::run_indexed_recorded(
+                program.rules.len(),
+                threads,
+                rec,
+                Stage::GroundPhase1,
+                produced,
+                |ri| {
+                    let mut found: Vec<(PredId, Vec<ConstId>)> = Vec::new();
+                    let mut probes = 0;
+                    if !plans[ri].dead {
+                        let head_atom = &program.rules[ri].head;
+                        let m = matcher_for(ri);
+                        m.enumerate(&mut |bindings, _| {
+                            let head = instantiate(head_atom, bindings, &const_map)
+                                .expect("head vars bound by safety; dead rules skipped");
+                            if gp.fact(head_atom.pred, &head).is_none() {
+                                found.push((head_atom.pred, head));
+                            }
+                            ControlFlow::Continue(())
+                        });
+                        probes = m.probes.get();
+                    }
+                    (found, probes)
+                },
+            )
         } else {
             // Round r > 0: one work item per (rule, delta position,
             // frontier sub-range), in that lexicographic order.
-            let span = gp.idb_facts.len() - delta_start;
-            let ranges = crate::par::shard_bounds(span, threads);
+            let ranges = crate::par::shard_bounds(frontier, threads);
             let mut tasks: Vec<(usize, usize, usize, usize)> = Vec::new();
             for (ri, dps) in delta_plans.iter().enumerate() {
                 for di in 0..dps.len() {
@@ -466,38 +508,73 @@ pub fn par_ground_with_limit(
                     }
                 }
             }
-            let outs = crate::par::run_indexed(tasks.len(), threads, |t| {
-                let (ri, di, lo, hi) = tasks[t];
-                let mut found: Vec<(PredId, Vec<ConstId>)> = Vec::new();
-                let head_atom = &program.rules[ri].head;
-                matcher_for(ri).enumerate_delta(
-                    &delta_plans[ri][di],
-                    delta_start,
-                    lo,
-                    hi,
-                    &mut |bindings, _| {
-                        let head = instantiate(head_atom, bindings, &const_map)
-                            .expect("head vars bound by safety; dead rules skipped");
-                        if gp.fact(head_atom.pred, &head).is_none() {
-                            found.push((head_atom.pred, head));
-                        }
-                        ControlFlow::Continue(())
-                    },
-                );
-                found
-            });
-            outs.into_iter().flatten().collect()
+            crate::par::run_indexed_recorded(
+                tasks.len(),
+                threads,
+                rec,
+                Stage::GroundPhase1,
+                produced,
+                |t| {
+                    let (ri, di, lo, hi) = tasks[t];
+                    let mut found: Vec<(PredId, Vec<ConstId>)> = Vec::new();
+                    let head_atom = &program.rules[ri].head;
+                    let m = matcher_for(ri);
+                    m.enumerate_delta(
+                        &delta_plans[ri][di],
+                        delta_start,
+                        lo,
+                        hi,
+                        &mut |bindings, _| {
+                            let head = instantiate(head_atom, bindings, &const_map)
+                                .expect("head vars bound by safety; dead rules skipped");
+                            if gp.fact(head_atom.pred, &head).is_none() {
+                                found.push((head_atom.pred, head));
+                            }
+                            ControlFlow::Continue(())
+                        },
+                    );
+                    (found, m.probes.get())
+                },
+            )
         };
+        let round_probes: u64 = outs.iter().map(|(_, p)| *p).sum();
+        let new_facts = outs.into_iter().flat_map(|(f, _)| f);
         delta_start = gp.idb_facts.len();
+        let merge_start = enabled.then(std::time::Instant::now);
         let mut changed = false;
         for (pred, tuple) in new_facts {
             changed |= gp.push_fact(pred, tuple).is_some();
         }
+        if changed {
+            indices.extend_idb(&gp);
+        }
+        if let Some(t) = merge_start {
+            rec.counter(Counter::GroundMergeNanos, t.elapsed().as_nanos() as u64);
+        }
+        if enabled {
+            let delta = (gp.idb_facts.len() - delta_start) as u64;
+            rec.counter(Counter::IndexProbes, round_probes);
+            rec.counter(Counter::FactsDiscovered, delta);
+            rec.round(
+                Stage::GroundPhase1,
+                RoundStats {
+                    round,
+                    frontier: frontier as u64,
+                    delta,
+                    probes: round_probes,
+                    firings: 0,
+                    worklist: delta,
+                },
+            );
+        }
+        round += 1;
         if !changed {
             break;
         }
-        indices.extend_idb(&gp);
         first_round = false;
+    }
+    if let Some(t) = phase1_start {
+        rec.stage_nanos(Stage::GroundPhase1, t.elapsed().as_nanos() as u64);
     }
 
     // Phase 2: enumerate all groundings against the completed fact set,
@@ -509,15 +586,21 @@ pub fn par_ground_with_limit(
     // for (and buffering) the full join before erroring.
     let emitted = std::sync::atomic::AtomicUsize::new(0);
     let limited = max_rules != usize::MAX;
-    let per_rule: Vec<(Vec<GroundedRule>, bool)> =
-        crate::par::run_indexed(program.rules.len(), threads, |rule_index| {
+    let phase2_start = enabled.then(std::time::Instant::now);
+    let per_rule: Vec<(Vec<GroundedRule>, bool, u64)> = crate::par::run_indexed_recorded(
+        program.rules.len(),
+        threads,
+        rec,
+        Stage::GroundPhase2,
+        |o: &(Vec<GroundedRule>, bool, u64)| o.0.len() as u64,
+        |rule_index| {
             let plan = &plans[rule_index];
             if plan.dead {
-                return (Vec::new(), false);
+                return (Vec::new(), false, 0);
             }
             if limited && emitted.load(std::sync::atomic::Ordering::Relaxed) > max_rules {
                 // Another task already blew the cap; skip this rule.
-                return (Vec::new(), true);
+                return (Vec::new(), true, 0);
             }
             let rule = &program.rules[rule_index];
             let mut out: Vec<GroundedRule> = Vec::new();
@@ -552,7 +635,7 @@ pub fn par_ground_with_limit(
                 });
                 ControlFlow::Continue(())
             };
-            Matcher {
+            let m = Matcher {
                 db,
                 gp: &gp,
                 const_map: &const_map,
@@ -560,12 +643,21 @@ pub fn par_ground_with_limit(
                 plan,
                 idbs: &idbs,
                 indices: &indices,
-            }
-            .enumerate(&mut ground_rule);
-            (out, overflow)
-        });
+                count_probes: enabled,
+                probes: Cell::new(0),
+            };
+            m.enumerate(&mut ground_rule);
+            (out, overflow, m.probes.get())
+        },
+    );
+    if enabled {
+        rec.counter(
+            Counter::IndexProbes,
+            per_rule.iter().map(|(_, _, p)| *p).sum(),
+        );
+    }
     let mut rules: Vec<GroundedRule> = Vec::new();
-    for (mut out, overflow) in per_rule {
+    for (mut out, overflow, _) in per_rule {
         if overflow || rules.len().saturating_add(out.len()) > max_rules {
             return Err(Error::GroundingLimit { max_rules });
         }
@@ -577,6 +669,9 @@ pub fn par_ground_with_limit(
         gp.rules_by_head[r.head].push(i);
     }
     gp.rules = rules;
+    if let Some(t) = phase2_start {
+        rec.stage_nanos(Stage::GroundPhase2, t.elapsed().as_nanos() as u64);
+    }
     Ok(gp)
 }
 
@@ -610,9 +705,23 @@ struct Matcher<'a> {
     plan: &'a RulePlan,
     idbs: &'a HashSet<PredId>,
     indices: &'a JoinIndices,
+    /// Telemetry gate: when `false` (disabled recorder) the probe counter
+    /// below is never touched — the hot join loop pays one predictable
+    /// branch and nothing else.
+    count_probes: bool,
+    /// Index probes performed, counted per matcher (one matcher per work
+    /// item, so the counter is thread-private by construction).
+    probes: Cell<u64>,
 }
 
 impl Matcher<'_> {
+    /// Count one hash-index probe (when telemetry is enabled).
+    #[inline]
+    fn probe(&self) {
+        if self.count_probes {
+            self.probes.set(self.probes.get() + 1);
+        }
+    }
     /// Enumerate all substitutions satisfying the rule's body in body
     /// order, invoking `on_match(bindings, per-atom matches)` — the full
     /// (delta-free) join used by round 0 and phase 2. Stops as soon as
@@ -691,6 +800,7 @@ impl Matcher<'_> {
                 Term::Var(v) => bindings[v],
             })
             .collect();
+        self.probe();
         let Some(candidates) = self.indices.maps[dp.slot[k]].get(&key) else {
             return ControlFlow::Continue(());
         };
@@ -743,6 +853,7 @@ impl Matcher<'_> {
                 Term::Var(v) => bindings[v],
             })
             .collect();
+        self.probe();
         let Some(candidates) = self.indices.maps[self.plan.slot[pos]].get(&key) else {
             return ControlFlow::Continue(());
         };

@@ -9,6 +9,8 @@
 //! caller's thread, so the single-threaded configuration spawns nothing and
 //! is exactly the sequential code path.
 
+use telemetry::{Recorder, ShardStats, Stage};
+
 /// Split `len` items into at most `threads` contiguous shards:
 /// `(lo, hi)` bounds in ascending order, covering `0..len` exactly, never
 /// empty. The single source of the shard-range arithmetic every parallel
@@ -26,17 +28,76 @@ pub(crate) fn shard_bounds(len: usize, threads: usize) -> Vec<(usize, usize)> {
 }
 
 /// Run `f(lo, hi)` over the [`shard_bounds`] of `len` items on up to
-/// `threads` workers; results in shard order.
-pub(crate) fn run_sharded<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+/// `threads` workers (results in shard order), with per-worker telemetry:
+/// see [`run_indexed_recorded`]. A disabled `rec` (e.g. [`telemetry::NOOP`])
+/// runs the plain un-instrumented sharded loop.
+pub(crate) fn run_sharded_recorded<T, F, P>(
+    len: usize,
+    threads: usize,
+    rec: &dyn Recorder,
+    stage: Stage,
+    produced: P,
+    f: F,
+) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, usize) -> T + Sync,
+    P: Fn(&T) -> u64,
 {
     let bounds = shard_bounds(len, threads);
-    run_indexed(bounds.len(), threads, move |s| {
+    run_indexed_recorded(bounds.len(), threads, rec, stage, produced, move |s| {
         let (lo, hi) = bounds[s];
         f(lo, hi)
     })
+}
+
+/// [`run_indexed`] with per-worker telemetry: when `rec` is enabled, each
+/// task's wall-clock is measured and attributed to the worker that ran it
+/// (the round-robin assignment `task i → worker i mod workers` is
+/// deterministic, so attribution needs no extra synchronization), and one
+/// [`ShardStats`] per participating worker is reported — busy time, task
+/// count, and the `produced(result)` sum. Disabled recorders take the
+/// un-instrumented [`run_indexed`] path untouched: no clock is read.
+pub(crate) fn run_indexed_recorded<T, F, P>(
+    count: usize,
+    threads: usize,
+    rec: &dyn Recorder,
+    stage: Stage,
+    produced: P,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    P: Fn(&T) -> u64,
+{
+    if !rec.enabled() {
+        return run_indexed(count, threads, f);
+    }
+    let workers = if threads <= 1 || count <= 1 {
+        1
+    } else {
+        threads.min(count)
+    };
+    let timed: Vec<(T, u64)> = run_indexed(count, threads, |i| {
+        let start = std::time::Instant::now();
+        let t = f(i);
+        (t, start.elapsed().as_nanos() as u64)
+    });
+    let mut stats = vec![ShardStats::default(); workers];
+    for (i, (t, nanos)) in timed.iter().enumerate() {
+        let s = &mut stats[i % workers];
+        s.busy_nanos += nanos;
+        s.tasks += 1;
+        s.produced += produced(t);
+    }
+    for (w, s) in stats.iter_mut().enumerate() {
+        if s.tasks > 0 {
+            s.worker = w as u64;
+            rec.shard(stage, *s);
+        }
+    }
+    timed.into_iter().map(|(t, _)| t).collect()
 }
 
 /// Run `count` indexed tasks on up to `threads` scoped worker threads and
@@ -129,9 +190,43 @@ mod tests {
     #[test]
     fn run_sharded_concatenates_in_order() {
         for threads in [1usize, 3, 8] {
-            let out: Vec<Vec<usize>> = run_sharded(17, threads, |lo, hi| (lo..hi).collect());
+            let out: Vec<Vec<usize>> = run_sharded_recorded(
+                17,
+                threads,
+                &telemetry::NOOP,
+                Stage::Eval,
+                |v: &Vec<usize>| v.len() as u64,
+                |lo, hi| (lo..hi).collect(),
+            );
             let flat: Vec<usize> = out.into_iter().flatten().collect();
             assert_eq!(flat, (0..17).collect::<Vec<_>>(), "{threads}");
         }
+    }
+
+    #[test]
+    fn recorded_runs_report_per_worker_stats() {
+        // Every task must be attributed to exactly one worker, with the
+        // produced counts summing to the total across workers.
+        for threads in [1usize, 2, 4] {
+            let m = telemetry::PipelineMetrics::new(true);
+            let out =
+                run_indexed_recorded(10, threads, &m, Stage::GroundPhase2, |&x| x as u64, |i| i);
+            assert_eq!(out, (0..10).collect::<Vec<_>>());
+            let r = m.report();
+            let workers = threads.clamp(1, 10);
+            assert_eq!(r.shards.len(), workers, "threads={threads}");
+            let tasks: u64 = r.shards.iter().map(|(_, a)| a.tasks).sum();
+            let produced: u64 = r.shards.iter().map(|(_, a)| a.produced).sum();
+            assert_eq!(tasks, 10);
+            assert_eq!(produced, (0..10u64).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_reports_nothing() {
+        let m = telemetry::PipelineMetrics::new(false);
+        let out = run_indexed_recorded(5, 4, &m, Stage::Eval, |_| 1, |i| i);
+        assert_eq!(out, (0..5).collect::<Vec<_>>());
+        assert!(m.report().shards.is_empty());
     }
 }

@@ -1,17 +1,27 @@
 //! `dlc` — the datalog-circuits command line.
 //!
 //! ```text
-//! dlc classify <program.dl>
+//! dlc classify <program.dl> [--metrics] [--metrics-json <path>]
 //! dlc compile  <program.dl> --graph <edges.txt> --src N --dst M
 //!              [--strategy auto|grounded|bounded|magic|bellman-ford|squaring|uvg]
 //!              [--semiring tropical|boolean|fuzzy|bottleneck|counting]
 //!              [--weights w0,w1,…] [--show-polynomial]
+//!              [--metrics] [--metrics-json <path>]
 //! dlc bounded  <program.dl>
 //! ```
 //!
 //! Program files use the `datalog::parser` syntax; graph files have one
 //! `src dst label` triple per line (`#` comments allowed). All subcommands
 //! are thin wrappers over the [`Engine`] session facade.
+//!
+//! `--metrics` enables the session's pipeline telemetry and prints the
+//! per-stage breakdown (wall-clock spans, fixpoint round series, parallel
+//! shard stats, cache events) after the normal output; `--metrics-json`
+//! additionally writes the machine-readable report to a file (implies
+//! `--metrics`). The `DATALOG_METRICS` environment variable enables the
+//! same collection without a flag. Under `--metrics`, `compile` also runs
+//! one semiring evaluation through the Datalog fixpoint so grounding and
+//! evaluation stages show up even for strategies that never ground.
 
 use std::process::ExitCode;
 
@@ -28,11 +38,12 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  dlc classify <program.dl>");
+            eprintln!("  dlc classify <program.dl> [--metrics] [--metrics-json <path>]");
             eprintln!("  dlc bounded  <program.dl>");
             eprintln!(
                 "  dlc compile  <program.dl> --graph <edges.txt> --src N --dst M \
-                 [--strategy S] [--semiring R] [--weights w0,w1,...] [--show-polynomial]"
+                 [--strategy S] [--semiring R] [--weights w0,w1,...] [--show-polynomial] \
+                 [--metrics] [--metrics-json <path>]"
             );
             ExitCode::FAILURE
         }
@@ -96,11 +107,71 @@ fn load_graph(path: &str) -> Result<LabeledDigraph, Error> {
     Ok(g)
 }
 
+/// The `--metrics` / `--metrics-json <path>` pair shared by subcommands.
+/// `--metrics-json` implies `--metrics`.
+#[derive(Default)]
+struct MetricsOpts {
+    enabled: bool,
+    json_path: Option<String>,
+}
+
+impl MetricsOpts {
+    /// Consume the flag if it is one of ours; `Ok(false)` means the caller
+    /// should handle it.
+    fn consume<'a>(
+        &mut self,
+        flag: &str,
+        it: &mut impl Iterator<Item = &'a String>,
+    ) -> Result<bool, Error> {
+        match flag {
+            "--metrics" => self.enabled = true,
+            "--metrics-json" => {
+                self.json_path = Some(
+                    it.next()
+                        .ok_or_else(|| cli_err("--metrics-json needs a path"))?
+                        .clone(),
+                );
+                self.enabled = true;
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Print the report (and write the JSON file) if requested.
+    fn emit(&self, engine: &Engine) -> Result<(), Error> {
+        if !self.enabled {
+            return Ok(());
+        }
+        let report = engine.metrics_report();
+        println!();
+        print!("{report}");
+        if let Some(path) = &self.json_path {
+            std::fs::write(path, report.to_json()).map_err(|e| Error::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            })?;
+        }
+        Ok(())
+    }
+}
+
 fn classify_cmd(args: &[String]) -> Result<(), Error> {
     let path = args
         .first()
         .ok_or_else(|| cli_err("classify needs a program file"))?;
-    let engine = Engine::builder().program_text(&read_file(path)?).build()?;
+    let mut metrics = MetricsOpts::default();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        if !metrics.consume(flag, &mut it)? {
+            return Err(cli_err(format!("unknown flag '{flag}'")));
+        }
+    }
+    let mut builder = Engine::builder().program_text(&read_file(path)?);
+    if metrics.enabled {
+        builder = builder.telemetry(true);
+    }
+    let engine = builder.build()?;
     let c = engine.classification();
     println!("program: {path}");
     println!("  linear:            {}", c.syntax.is_linear);
@@ -118,7 +189,7 @@ fn classify_cmd(args: &[String]) -> Result<(), Error> {
     println!("  depth upper bound: {:?}", c.depth_upper);
     println!("  depth lower bound: {:?}", c.depth_lower);
     println!("  formula verdict:   {:?}", c.formula);
-    Ok(())
+    metrics.emit(&engine)
 }
 
 fn bounded_cmd(args: &[String]) -> Result<(), Error> {
@@ -148,8 +219,12 @@ fn compile_cmd(args: &[String]) -> Result<(), Error> {
     let mut semiring = "tropical".to_owned();
     let mut weights: Vec<u64> = Vec::new();
     let mut show_poly = false;
+    let mut metrics = MetricsOpts::default();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
+        if metrics.consume(flag, &mut it)? {
+            continue;
+        }
         match flag.as_str() {
             "--graph" => {
                 graph_path = Some(
@@ -202,11 +277,25 @@ fn compile_cmd(args: &[String]) -> Result<(), Error> {
         dst.ok_or_else(|| cli_err("--dst is required"))?,
     );
 
-    let engine = Engine::builder()
+    let mut builder = Engine::builder()
         .program_text(&read_file(path)?)
-        .graph(&graph)
-        .build()?;
-    let compiled = engine.node_query(src, dst)?.circuit(strategy)?;
+        .graph(&graph);
+    if metrics.enabled {
+        builder = builder.telemetry(true);
+    }
+    let engine = builder.build()?;
+    let query = engine.node_query(src, dst)?;
+    if metrics.enabled {
+        // Force one evaluation through the Datalog fixpoint so the
+        // grounding and eval stages are populated even when the chosen
+        // strategy compiles straight off the graph (e.g. ProductSquaring
+        // never grounds). Divergence is a report detail here, not an error.
+        match query.eval::<Bool, _>(&AllOnes) {
+            Ok(_) | Err(Error::Diverged { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let compiled = query.circuit(strategy)?;
     println!(
         "strategy: {:?}   gates: {}   depth: {}   formula size: {}",
         compiled.strategy,
@@ -255,7 +344,7 @@ fn compile_cmd(args: &[String]) -> Result<(), Error> {
     if show_poly {
         println!("polynomial: {}", compiled.circuit.polynomial());
     }
-    Ok(())
+    metrics.emit(&engine)
 }
 
 fn parse_u32(s: &str) -> Result<u32, Error> {
