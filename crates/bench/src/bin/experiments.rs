@@ -66,6 +66,9 @@ fn main() {
     if want("parallel") {
         parallel();
     }
+    if want("serving") {
+        serving();
+    }
 }
 
 fn header(title: &str, claim: &str) {
@@ -791,6 +794,224 @@ fn parallel() {
     );
 }
 
+/// Engine-as-a-service: serving throughput of the session server — the
+/// perf-trajectory experiment behind `BENCH_serving.json`.
+///
+/// One resident session holds the frozen grounding; clients hammer it with
+/// transitive-closure queries over the wire. Two effects are measured:
+/// worker-pool scaling (more connections answered concurrently, each
+/// reader on its own `Arc<EngineSnapshot>`) and batch amortization (a
+/// `BATCH` of same-semiring queries pays for ONE fixpoint instead of one
+/// per query).
+fn serving() {
+    use server::client::Client;
+    use server::{Server, ServerConfig};
+    use std::collections::BTreeSet;
+    use std::time::Instant;
+
+    header(
+        "E-serving · engine-as-a-service throughput",
+        "ground once, serve forever: snapshot readers share one frozen grounding; BATCH amortizes one fixpoint across N same-semiring queries",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("   available cores: {cores}");
+
+    // Workload: transitive closure on gnm(60,240); goals are edge
+    // endpoints, so every query is derivable and actually evaluates.
+    let g = generators::gnm(60, 240, &["E"], 13);
+    let fact_lines: Vec<String> = g
+        .edges()
+        .iter()
+        .map(|&(u, v, _)| format!("E n{u} n{v}"))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let goals: Vec<(u32, u32)> = {
+        let mut seen = BTreeSet::new();
+        g.edges()
+            .iter()
+            .filter(|&&(u, v, _)| seen.insert((u, v)))
+            .map(|&(u, v, _)| (u, v))
+            .take(32)
+            .collect()
+    };
+    let query_line =
+        |&(u, v): &(u32, u32)| format!("QUERY T n{u} n{v} SEMIRING tropical VALUATION unit:1");
+    const SINGLES_PER_CLIENT: usize = 32;
+    const BATCHES_PER_CLIENT: usize = 2;
+    let batch_payload: Vec<String> = goals.iter().map(query_line).collect();
+    let batch_size = batch_payload.len();
+
+    let worker_counts = [1usize, 4, 8];
+    let mut rows: Vec<String> = Vec::new();
+    let mut single_qps_by_workers: Vec<(usize, f64)> = Vec::new();
+    let mut amortization_at_1 = 0.0f64;
+    println!(
+        "   {:>7} {:>7} | {:>8} {:>10} {:>10} | {:>8} {:>10} {:>10} | {:>6}",
+        "workers",
+        "clients",
+        "queries",
+        "single_s",
+        "single_qps",
+        "queries",
+        "batch_s",
+        "batch_qps",
+        "amort"
+    );
+    for &workers in &worker_counts {
+        let handle = Server::bind(ServerConfig::default().addr("127.0.0.1:0").workers(workers))
+            .expect("server binds");
+        let addr = handle.addr();
+
+        // One admin connection sets up the shared session: program + facts
+        // ground exactly once; every client attaches to the same snapshot.
+        let mut admin = Client::connect(addr).expect("admin connects");
+        let open = admin.roundtrip("SESSION OPEN").expect("session opens");
+        let sid: u64 = open
+            .strip_prefix("OK SESSION ")
+            .expect("OK SESSION reply")
+            .parse()
+            .expect("session id");
+        let program = ["T(X,Y) :- E(X,Y).", "T(X,Y) :- T(X,Z), E(Z,Y)."];
+        assert!(
+            admin
+                .send_block("LOAD PROGRAM", &program)
+                .expect("program loads")
+                .is_ok(),
+            "LOAD PROGRAM accepted"
+        );
+        let fact_refs: Vec<&str> = fact_lines.iter().map(String::as_str).collect();
+        assert!(
+            admin
+                .send_block("LOAD FACTS", &fact_refs)
+                .expect("facts load")
+                .is_ok(),
+            "LOAD FACTS accepted"
+        );
+        // Warm the snapshot (grounding + classification) outside the timer.
+        let warm = admin.roundtrip(&query_line(&goals[0])).expect("warm query");
+        assert!(warm.starts_with("OK VALUE"), "warm query answers: {warm}");
+        // Release the admin's worker before timing: a thread-per-connection
+        // pool dedicates one worker per live connection, and at 1 worker an
+        // idle admin would starve every benchmark client (the session
+        // itself stays resident in the registry).
+        let _ = admin.roundtrip("QUIT");
+        drop(admin);
+
+        let clients = workers;
+        let attach = format!("SESSION ATTACH {sid}");
+
+        // Mode 1: one-at-a-time queries, each paying its own fixpoint.
+        let single_total = clients * SINGLES_PER_CLIENT;
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let attach = &attach;
+                let goals = &goals;
+                let query_line = &query_line;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    assert!(
+                        client
+                            .roundtrip(attach)
+                            .expect("attach")
+                            .starts_with("OK SESSION"),
+                        "client attaches"
+                    );
+                    for q in 0..SINGLES_PER_CLIENT {
+                        let goal = &goals[(c + q) % goals.len()];
+                        let reply = client.roundtrip(&query_line(goal)).expect("query");
+                        assert!(reply.starts_with("OK VALUE"), "query answers: {reply}");
+                    }
+                });
+            }
+        });
+        let single_s = start.elapsed().as_secs_f64();
+        let single_qps = single_total as f64 / single_s;
+
+        // Mode 2: the same queries in BATCH frames — one fixpoint per
+        // (semiring, valuation) group per frame.
+        let batch_total = clients * BATCHES_PER_CLIENT * batch_size;
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                let attach = &attach;
+                let batch_payload = &batch_payload;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    assert!(
+                        client
+                            .roundtrip(attach)
+                            .expect("attach")
+                            .starts_with("OK SESSION"),
+                        "client attaches"
+                    );
+                    let payload: Vec<&str> = batch_payload.iter().map(String::as_str).collect();
+                    for _ in 0..BATCHES_PER_CLIENT {
+                        let reply = client.send_block("BATCH", &payload).expect("batch");
+                        assert!(reply.is_ok(), "batch answers: {}", reply.status);
+                        assert_eq!(reply.body.len(), batch_size, "one row per item");
+                        for row in &reply.body {
+                            assert!(
+                                row.split_ascii_whitespace().nth(1) == Some("OK"),
+                                "batch row ok: {row}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let batch_s = start.elapsed().as_secs_f64();
+        let batch_qps = batch_total as f64 / batch_s;
+        let amortization = batch_qps / single_qps;
+
+        handle.shutdown();
+        handle.wait().expect("server drains");
+
+        if workers == 1 {
+            amortization_at_1 = amortization;
+        }
+        single_qps_by_workers.push((workers, single_qps));
+        println!(
+            "   {workers:>7} {clients:>7} | {single_total:>8} {single_s:>10.3} {single_qps:>10.1} | {batch_total:>8} {batch_s:>10.3} {batch_qps:>10.1} | {amortization:>5.1}x"
+        );
+        rows.push(format!(
+            "{{\"workers\": {workers}, \"clients\": {clients},              \"single_queries\": {single_total}, \"single_s\": {single_s:.4},              \"single_qps\": {single_qps:.1}, \"batch_queries\": {batch_total},              \"batch_s\": {batch_s:.4}, \"batch_qps\": {batch_qps:.1},              \"amortization\": {amortization:.2}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"serving\",\n  \"program\": \"transitive_closure\",\n           \"semiring\": \"tropical, unit weights\",\n           \"workload\": \"gnm(60,240); {SINGLES_PER_CLIENT} single queries/client;          {BATCHES_PER_CLIENT} batches of {batch_size}/client; clients = workers\",\n           \"cores\": {cores},\n  \"batch_size\": {batch_size},\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        rows.join(",\n    ")
+    );
+    match std::fs::write("BENCH_serving.json", &json) {
+        Ok(()) => println!("   trajectory written to BENCH_serving.json"),
+        Err(e) => println!("   could not write BENCH_serving.json: {e}"),
+    }
+
+    println!(
+        "   reading: batch amortization {amortization_at_1:.1}x at 1 worker          [one fixpoint per batch group vs one per query]"
+    );
+    // Amortization is algorithmic (fixpoints skipped, not cores added), so
+    // it must show on any host. Worker scaling needs physical cores: gate
+    // only on ≥4, and loosely — this is a smoke tripwire, the committed
+    // trajectory records the real curve.
+    assert!(
+        amortization_at_1 >= 1.2,
+        "batch amortization collapsed: {amortization_at_1:.2}x at 1 worker"
+    );
+    if cores >= 4 {
+        let qps1 = single_qps_by_workers[0].1;
+        let qps4 = single_qps_by_workers[1].1;
+        assert!(
+            qps4 >= qps1,
+            "4 workers slower than 1 on {cores} cores: {qps4:.1} vs {qps1:.1} qps"
+        );
+    }
+}
+
 /// Theorem 3.5: the layered graph *is* the circuit.
 fn layered() {
     header(
@@ -953,6 +1174,42 @@ mod tests {
             assert!(
                 best > 0.0,
                 "committed parallel trajectory records a nonsensical speedup {best}x"
+            );
+        }
+    }
+
+    #[test]
+    fn committed_serving_trajectory_is_coherent() {
+        let json = include_str!("../../../../BENCH_serving.json");
+        let cores = field(
+            json.lines()
+                .find(|l| l.contains("\"cores\":"))
+                .expect("cores recorded"),
+            "cores",
+        ) as usize;
+        let row = |workers: usize| {
+            json.lines()
+                .find(|l| l.contains(&format!("\"workers\": {workers},")))
+                .unwrap_or_else(|| panic!("{workers}-worker row present"))
+                .to_owned()
+        };
+        // Batch amortization is algorithmic — one fixpoint per frame group
+        // instead of one per query — so it must hold on any host.
+        for workers in [1usize, 4, 8] {
+            let r = row(workers);
+            assert!(
+                field(&r, "amortization") >= 1.2,
+                "batch amortization collapsed in the {workers}-worker row"
+            );
+            assert!(field(&r, "single_qps") > 0.0 && field(&r, "batch_qps") > 0.0);
+        }
+        // Worker-pool throughput scaling needs physical cores; the
+        // trajectory records the host's count so the gate arms exactly
+        // when it is meaningful (a 1-core container time-slices workers).
+        if cores >= 4 {
+            assert!(
+                field(&row(4), "single_qps") >= field(&row(1), "single_qps"),
+                "committed serving trajectory lost throughput going 1 → 4 workers on {cores} cores"
             );
         }
     }

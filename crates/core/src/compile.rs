@@ -98,7 +98,7 @@ pub fn compile_fact(
         .build()?;
     let compiled = engine.query(pred, tuple)?.circuit(strategy)?;
     drop(engine);
-    Ok(std::rc::Rc::try_unwrap(compiled).unwrap_or_else(|rc| (*rc).clone()))
+    Ok(std::sync::Arc::try_unwrap(compiled).unwrap_or_else(|rc| (*rc).clone()))
 }
 
 /// Compile `target(v_src, v_dst)` for a basic chain program over a labeled
@@ -118,7 +118,7 @@ pub fn compile_graph_fact(
         .build()?;
     let compiled = engine.node_query(src, dst)?.circuit(strategy)?;
     drop(engine);
-    Ok(std::rc::Rc::try_unwrap(compiled).unwrap_or_else(|rc| (*rc).clone()))
+    Ok(std::sync::Arc::try_unwrap(compiled).unwrap_or_else(|rc| (*rc).clone()))
 }
 
 /// The minimal DFA of a left-linear chain program, translated onto the

@@ -64,7 +64,7 @@
 
 use std::cell::{OnceCell, RefCell};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use circuit::Circuit;
 use datalog::{
@@ -109,7 +109,7 @@ pub struct EngineCacheStats {
 
 /// Cache key of a compiled circuit: the queried fact plus the resolved
 /// strategy.
-type CircuitKey = (PredId, Vec<ConstId>, Strategy);
+pub(crate) type CircuitKey = (PredId, Vec<ConstId>, Strategy);
 
 /// Builder for an [`Engine`] session.
 ///
@@ -130,6 +130,7 @@ pub struct EngineBuilder {
     eval_strategy: EvalStrategy,
     parallelism: usize,
     telemetry: Option<bool>,
+    metrics_collector: Option<Arc<PipelineMetrics>>,
 }
 
 impl Default for EngineBuilder {
@@ -181,6 +182,7 @@ impl EngineBuilder {
             eval_strategy: EvalStrategy::default(),
             parallelism: default_parallelism(),
             telemetry: None,
+            metrics_collector: None,
         }
     }
 
@@ -303,16 +305,39 @@ impl EngineBuilder {
         self
     }
 
+    /// Record into an externally owned [`PipelineMetrics`] collector
+    /// instead of a fresh per-session one.
+    ///
+    /// The serving layer uses this to accumulate one metrics stream per
+    /// *server session* across the engine rebuilds that `LOAD FACTS`
+    /// triggers: cache events (groundings in particular) and stage spans
+    /// keep counting into the same collector, so "this session grounded
+    /// exactly once" stays assertable after a snapshot swap. The
+    /// collector's own enabled flag decides whether spans/rounds/shards
+    /// are recorded — an explicit collector overrides
+    /// [`telemetry`](EngineBuilder::telemetry) and `DATALOG_METRICS`.
+    pub fn metrics_collector(mut self, collector: Arc<PipelineMetrics>) -> Self {
+        self.metrics_collector = Some(collector);
+        self
+    }
+
     /// Assemble the session.
     ///
     /// Errors if no program was provided, the program text fails to parse,
     /// the program fails validation, or both a database and a graph were
     /// given.
     pub fn build(self) -> Result<Engine, Error> {
-        let metrics = PipelineMetrics::new(self.telemetry.unwrap_or_else(default_telemetry));
+        let metrics = match self.metrics_collector {
+            Some(collector) => collector,
+            None => Arc::new(PipelineMetrics::new(
+                self.telemetry.unwrap_or_else(default_telemetry),
+            )),
+        };
         let mut program = match (self.program, self.text) {
             (Some(p), None) => p,
-            (None, Some(text)) => telemetry::time(&metrics, Stage::Parse, || parse_program(&text))?,
+            (None, Some(text)) => {
+                telemetry::time(&*metrics, Stage::Parse, || parse_program(&text))?
+            }
             (Some(_), Some(_)) => {
                 return Err(Error::InvalidProgram(
                     "provide either program text or a parsed program, not both".into(),
@@ -367,8 +392,8 @@ impl EngineBuilder {
             .unwrap_or_default();
 
         Ok(Engine {
-            program,
-            db,
+            program: Arc::new(program),
+            db: Arc::new(db),
             graph,
             edge_facts,
             node_of_const,
@@ -393,11 +418,17 @@ impl EngineBuilder {
 /// and reused afterwards.
 ///
 /// Not `Sync`: a session is a single-threaded object (interior mutability
-/// backs the caches). Clone the underlying program/database to fan out.
+/// backs the caches — `OnceCell` fills and `RefCell` maps are exactly the
+/// state that would race under `&Engine` from two threads). To evaluate
+/// from many threads, take an [`Engine::snapshot`]: it pre-forces the lazy
+/// caches and freezes the shared artifacts behind `Arc`s into an immutable
+/// [`EngineSnapshot`] that *is* `Send + Sync`.
+///
+/// [`EngineSnapshot`]: crate::snapshot::EngineSnapshot
 #[derive(Debug)]
 pub struct Engine {
-    program: Program,
-    db: Database,
+    program: Arc<Program>,
+    db: Arc<Database>,
     graph: Option<LabeledDigraph>,
     edge_facts: Vec<datalog::FactId>,
     node_of_const: HashMap<ConstId, NodeId>,
@@ -406,12 +437,12 @@ pub struct Engine {
     eval_budget: Option<usize>,
     eval_strategy: EvalStrategy,
     parallelism: usize,
-    grounding: OnceCell<Result<GroundedProgram, Error>>,
-    classification: OnceCell<Classification>,
+    grounding: OnceCell<Result<Arc<GroundedProgram>, Error>>,
+    classification: OnceCell<Arc<Classification>>,
     provenance: OnceCell<Result<EvalOutcome<Sorp>, Error>>,
-    circuits: RefCell<HashMap<CircuitKey, Rc<Compiled>>>,
-    multi_outputs: RefCell<HashMap<Strategy, Rc<circuit::MultiOutput>>>,
-    metrics: PipelineMetrics,
+    circuits: RefCell<HashMap<CircuitKey, Arc<Compiled>>>,
+    multi_outputs: RefCell<HashMap<Strategy, Arc<circuit::MultiOutput>>>,
+    metrics: Arc<PipelineMetrics>,
 }
 
 impl Engine {
@@ -485,28 +516,43 @@ impl Engine {
     /// Failures (e.g. [`Error::GroundingLimit`]) are cached too and
     /// replayed on later calls instead of re-grounding.
     pub fn grounding(&self) -> Result<&GroundedProgram, Error> {
-        self.grounding
-            .get_or_init(|| {
-                self.metrics.cache_event(CacheEvent::Grounding);
-                par_ground_with_limit_recorded(
-                    &self.program,
-                    &self.db,
-                    self.max_ground_rules,
-                    self.parallelism,
-                    &self.metrics,
-                )
-            })
+        self.grounding_cell()
             .as_ref()
+            .map(|arc| &**arc)
             .map_err(Error::clone)
+    }
+
+    /// The cached grounding as a shareable handle — the form
+    /// [`Engine::snapshot`] freezes.
+    fn grounding_arc(&self) -> Result<Arc<GroundedProgram>, Error> {
+        self.grounding_cell().clone()
+    }
+
+    fn grounding_cell(&self) -> &Result<Arc<GroundedProgram>, Error> {
+        self.grounding.get_or_init(|| {
+            self.metrics.cache_event(CacheEvent::Grounding);
+            par_ground_with_limit_recorded(
+                &self.program,
+                &self.db,
+                self.max_ground_rules,
+                self.parallelism,
+                &*self.metrics,
+            )
+            .map(Arc::new)
+        })
     }
 
     /// The paper-level classification (computed once, then cached).
     pub fn classification(&self) -> &Classification {
+        self.classification_arc_ref()
+    }
+
+    fn classification_arc_ref(&self) -> &Arc<Classification> {
         self.classification.get_or_init(|| {
             self.metrics.cache_event(CacheEvent::Classification);
-            telemetry::time(&self.metrics, Stage::Classify, || {
+            Arc::new(telemetry::time(&*self.metrics, Stage::Classify, || {
                 classify_program(&self.program, self.horizon)
-            })
+            }))
         })
     }
 
@@ -545,19 +591,59 @@ impl Engine {
     {
         let budget = self.budget()?;
         let gp = self.grounding()?;
-        let out = telemetry::time(&self.metrics, Stage::Eval, || {
+        let out = telemetry::time(&*self.metrics, Stage::Eval, || {
             par_eval_with_strategy_recorded(
                 self.eval_strategy,
                 gp,
                 valuation,
                 budget,
                 self.parallelism,
-                &self.metrics,
+                &*self.metrics,
                 Stage::Eval,
             )
         });
         self.note_effective_strategy(out.strategy);
         Ok(out)
+    }
+
+    /// Freeze the session into an immutable, `Send + Sync`
+    /// [`EngineSnapshot`](crate::snapshot::EngineSnapshot) sharing the
+    /// cached artifacts by `Arc`.
+    ///
+    /// Pre-forces the lazy caches the snapshot carries — the grounding and
+    /// the classification — so concurrent readers never race a cache fill:
+    /// after this call the snapshot's state is physically immutable.
+    /// Circuits already compiled through [`Engine::query`] ride along
+    /// (frozen — a snapshot serves cache hits but never compiles new
+    /// ones). Cheap to call repeatedly: `Arc` bumps plus one shallow map
+    /// clone, so a serving layer can snapshot after every mutation.
+    ///
+    /// Grounding failures surface here exactly as they do from
+    /// [`Engine::grounding`].
+    pub fn snapshot(&self) -> Result<crate::snapshot::EngineSnapshot, Error> {
+        let grounding = self.grounding_arc()?;
+        let classification = Arc::clone(self.classification_arc_ref());
+        let budget = self
+            .eval_budget
+            .unwrap_or_else(|| default_budget(&grounding));
+        Ok(crate::snapshot::EngineSnapshot::new(
+            Arc::clone(&self.program),
+            Arc::clone(&self.db),
+            grounding,
+            classification,
+            budget,
+            self.eval_strategy,
+            self.parallelism,
+            self.circuits.borrow().clone(),
+            Arc::clone(&self.metrics),
+        ))
+    }
+
+    /// The session's telemetry collector as a shareable handle — what a
+    /// serving layer passes to [`EngineBuilder::metrics_collector`] so a
+    /// rebuilt engine keeps accumulating into the same stream.
+    pub fn metrics_handle(&self) -> Arc<PipelineMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Bump the fallback counter when a semi-naive request actually ran
@@ -586,13 +672,13 @@ impl Engine {
             .get_or_init(|| {
                 let budget = self.budget()?;
                 let gp = self.grounding()?;
-                let out = telemetry::time(&self.metrics, Stage::Provenance, || {
+                let out = telemetry::time(&*self.metrics, Stage::Provenance, || {
                     par_naive_eval_recorded(
                         gp,
                         &VarTags,
                         budget,
                         self.parallelism,
-                        &self.metrics,
+                        &*self.metrics,
                         Stage::Provenance,
                     )
                 });
@@ -667,19 +753,19 @@ impl Engine {
     }
 
     /// Compile (or fetch from cache) the circuit of a query.
-    fn compile(&self, query: &Query<'_>, strategy: Strategy) -> Result<Rc<Compiled>, Error> {
+    fn compile(&self, query: &Query<'_>, strategy: Strategy) -> Result<Arc<Compiled>, Error> {
         let resolved = self.resolve(query, strategy);
 
         let Some(consts) = query.consts.clone() else {
             // Constants outside the domain: the constant-0 circuit. Not a
             // real compilation — the work counters are left untouched.
-            return Ok(Rc::new(self.assemble(constant_zero(), resolved)));
+            return Ok(Arc::new(self.assemble(constant_zero(), resolved)));
         };
 
         let key = (query.pred, consts, resolved);
         if let Some(hit) = self.circuits.borrow().get(&key) {
             self.metrics.cache_event(CacheEvent::CircuitCacheHit);
-            return Ok(Rc::clone(hit));
+            return Ok(Arc::clone(hit));
         }
 
         let circuit = match resolved {
@@ -693,7 +779,7 @@ impl Engine {
                 })?;
                 let (src, dst) = self.node_pair(query, &key.1)?;
                 if resolved == Strategy::MagicFiniteRpq {
-                    telemetry::time(&self.metrics, Stage::CircuitBuild, || {
+                    telemetry::time(&*self.metrics, Stage::CircuitBuild, || {
                         circuit::finite_rpq_circuit(&self.program, graph, src, dst)
                     })?
                     .circuit
@@ -704,7 +790,7 @@ impl Engine {
                     } else {
                         circuit::TcStrategy::RepeatedSquaring
                     };
-                    telemetry::time(&self.metrics, Stage::CircuitBuild, || {
+                    telemetry::time(&*self.metrics, Stage::CircuitBuild, || {
                         circuit::rpq_circuit(graph, &dfa, src, dst, tc)
                     })
                 }
@@ -714,14 +800,18 @@ impl Engine {
                     None => constant_zero(),
                     Some(fact) => {
                         let mo = self.multi_output(resolved)?;
-                        telemetry::time(&self.metrics, Stage::CircuitBuild, || mo.circuit_for(fact))
+                        telemetry::time(&*self.metrics, Stage::CircuitBuild, || {
+                            mo.circuit_for(fact)
+                        })
                     }
                 }
             }
         };
 
-        let compiled = Rc::new(self.finish_compiled(circuit, resolved));
-        self.circuits.borrow_mut().insert(key, Rc::clone(&compiled));
+        let compiled = Arc::new(self.finish_compiled(circuit, resolved));
+        self.circuits
+            .borrow_mut()
+            .insert(key, Arc::clone(&compiled));
         Ok(compiled)
     }
 
@@ -729,14 +819,14 @@ impl Engine {
     /// constructed once per strategy and cached, so compiling k distinct
     /// facts builds the arena once and extracts k cones instead of
     /// rebuilding it k times.
-    fn multi_output(&self, resolved: Strategy) -> Result<Rc<circuit::MultiOutput>, Error> {
+    fn multi_output(&self, resolved: Strategy) -> Result<Arc<circuit::MultiOutput>, Error> {
         if let Some(mo) = self.multi_outputs.borrow().get(&resolved) {
-            return Ok(Rc::clone(mo));
+            return Ok(Arc::clone(mo));
         }
-        let mo = Rc::new(match resolved {
+        let mo = Arc::new(match resolved {
             Strategy::GroundedFixpoint => {
                 let gp = self.grounding()?;
-                telemetry::time(&self.metrics, Stage::CircuitBuild, || {
+                telemetry::time(&*self.metrics, Stage::CircuitBuild, || {
                     circuit::grounded_circuit(gp, None)
                 })
             }
@@ -745,13 +835,13 @@ impl Engine {
                 // the universal absorptive semiring) — cached.
                 let layers = self.provenance_outcome()?.iterations;
                 let gp = self.grounding()?;
-                telemetry::time(&self.metrics, Stage::CircuitBuild, || {
+                telemetry::time(&*self.metrics, Stage::CircuitBuild, || {
                     circuit::grounded_circuit(gp, Some(layers))
                 })
             }
             Strategy::UllmanVanGelder => {
                 let gp = self.grounding()?;
-                telemetry::time(&self.metrics, Stage::CircuitBuild, || {
+                telemetry::time(&*self.metrics, Stage::CircuitBuild, || {
                     circuit::uvg_circuit(gp, None)
                 })
             }
@@ -759,7 +849,7 @@ impl Engine {
         });
         self.multi_outputs
             .borrow_mut()
-            .insert(resolved, Rc::clone(&mo));
+            .insert(resolved, Arc::clone(&mo));
         Ok(mo)
     }
 
@@ -861,14 +951,14 @@ impl Query<'_> {
         };
         let budget = self.engine.budget()?;
         let gp = self.engine.grounding()?;
-        let out = telemetry::time(&self.engine.metrics, Stage::Eval, || {
+        let out = telemetry::time(&*self.engine.metrics, Stage::Eval, || {
             par_eval_with_strategy_recorded(
                 self.engine.eval_strategy,
                 gp,
                 valuation,
                 budget,
                 self.engine.parallelism,
-                &self.engine.metrics,
+                &*self.engine.metrics,
                 Stage::Eval,
             )
         });
@@ -891,8 +981,8 @@ impl Query<'_> {
     /// Compile the fact's provenance circuit with the given strategy
     /// (`Strategy::Auto` dispatches on the cached classification). Results
     /// are cached per `(fact, resolved strategy)` and shared: a cache hit
-    /// is an `Rc` bump, not a copy of the gate arena.
-    pub fn circuit(&self, strategy: Strategy) -> Result<Rc<Compiled>, Error> {
+    /// is an `Arc` bump, not a copy of the gate arena.
+    pub fn circuit(&self, strategy: Strategy) -> Result<Arc<Compiled>, Error> {
         self.engine.compile(self, strategy)
     }
 }

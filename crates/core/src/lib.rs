@@ -52,6 +52,7 @@ pub mod boundedness;
 pub mod classify;
 pub mod compile;
 pub mod engine;
+pub mod snapshot;
 
 pub use provcirc_error::Error;
 
@@ -63,6 +64,7 @@ pub use classify::{classify_program, Classification, DepthBound, FormulaVerdict,
 pub use compile::{chain_program_dfa, compile_fact, compile_graph_fact, Compiled, Strategy};
 pub use datalog::EvalStrategy;
 pub use engine::{Engine, EngineBuilder, EngineCacheStats, Query};
+pub use snapshot::EngineSnapshot;
 
 pub use telemetry;
 
@@ -72,6 +74,7 @@ pub mod prelude {
     pub use crate::classify::{classify_program, Classification, DepthBound, FormulaVerdict};
     pub use crate::compile::{compile_fact, compile_graph_fact, Compiled, Strategy};
     pub use crate::engine::{Engine, EngineBuilder, EngineCacheStats, Query};
+    pub use crate::snapshot::EngineSnapshot;
     pub use datalog::EvalStrategy;
     pub use provcirc_error::Error;
 }

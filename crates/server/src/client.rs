@@ -1,0 +1,187 @@
+//! A small blocking client for the wire protocol — the backing of
+//! `dlc client`, the integration tests, and the serving benchmark.
+//!
+//! The protocol's framing makes the client a two-state machine: every
+//! request gets exactly one reply line, and the two count-prefixed replies
+//! (`OK BATCH <n>`, `OK METRICS <n>`) are followed by exactly `n` more
+//! lines. [`Client::run_line`] implements that rule once; everything else
+//! is sugar.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// One reply: the status line plus any count-prefixed body lines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reply {
+    /// The first (status) line: `OK …` or `ERR <code> <msg>`.
+    pub status: String,
+    /// Body lines of a count-prefixed reply (batch rows, metrics JSON).
+    pub body: Vec<String>,
+}
+
+impl Reply {
+    /// Whether the status line starts with `OK`.
+    pub fn is_ok(&self) -> bool {
+        self.status.starts_with("OK")
+    }
+}
+
+impl Client {
+    /// Connect, with a 30-second default read timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Change the read timeout (`None` = wait forever).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Send one raw line (newline appended).
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Read one reply line (newline stripped). Errors with
+    /// `UnexpectedEof` when the server closed the connection.
+    pub fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Read one full reply, consuming the body of count-prefixed frames.
+    pub fn read_reply(&mut self) -> std::io::Result<Reply> {
+        let status = self.read_line()?;
+        let body_lines = count_prefixed(&status);
+        let mut body = Vec::with_capacity(body_lines);
+        for _ in 0..body_lines {
+            body.push(self.read_line()?);
+        }
+        Ok(Reply { status, body })
+    }
+
+    /// Send one command line and read its full reply.
+    pub fn run_line(&mut self, line: &str) -> std::io::Result<Reply> {
+        self.send_line(line)?;
+        self.read_reply()
+    }
+
+    /// Send one command line and return just the status line — for the
+    /// single-frame commands.
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        Ok(self.run_line(line)?.status)
+    }
+
+    /// Send an opener (`LOAD PROGRAM`, `LOAD FACTS`, `BATCH`), its payload
+    /// lines, and the closing `END`, then read the full reply.
+    pub fn send_block(&mut self, opener: &str, payload: &[&str]) -> std::io::Result<Reply> {
+        self.send_line(opener)?;
+        for line in payload {
+            self.send_line(line)?;
+        }
+        self.send_line("END")?;
+        self.read_reply()
+    }
+
+    /// Drive a whole script of protocol lines (comments `#…` and blank
+    /// lines skipped), reading one reply per *command* — payload lines
+    /// between a block opener and `END` get no replies of their own.
+    /// Returns the replies in command order.
+    pub fn run_script(&mut self, script: &str) -> std::io::Result<Vec<Reply>> {
+        let mut replies = Vec::new();
+        let mut in_block = false;
+        let mut pending_block = false;
+        for raw in script.lines() {
+            let line = raw.trim_end();
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            self.send_line(line)?;
+            if in_block {
+                if trimmed.eq_ignore_ascii_case("END") {
+                    in_block = false;
+                    replies.push(self.read_reply()?);
+                }
+                continue;
+            }
+            if is_block_opener(trimmed) {
+                in_block = true;
+                pending_block = true;
+                continue;
+            }
+            replies.push(self.read_reply()?);
+        }
+        if in_block && pending_block {
+            // Script ended mid-block: close it so the server replies.
+            self.send_line("END")?;
+            replies.push(self.read_reply()?);
+        }
+        Ok(replies)
+    }
+}
+
+/// Lines opening a payload block (terminated by `END`, one reply total).
+fn is_block_opener(line: &str) -> bool {
+    let upper = line.to_ascii_uppercase();
+    upper == "BATCH" || upper == "LOAD PROGRAM" || upper == "LOAD FACTS"
+}
+
+/// Body-line count of a count-prefixed status (`OK BATCH <n>`,
+/// `OK METRICS <n>`); 0 for single-frame replies.
+fn count_prefixed(status: &str) -> usize {
+    let mut toks = status.split_ascii_whitespace();
+    match (toks.next(), toks.next(), toks.next()) {
+        (Some("OK"), Some("BATCH" | "METRICS"), Some(n)) => n.parse().unwrap_or(0),
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_prefix_detection() {
+        assert_eq!(count_prefixed("OK BATCH 3"), 3);
+        assert_eq!(count_prefixed("OK METRICS 12"), 12);
+        assert_eq!(count_prefixed("OK VALUE 4"), 0);
+        assert_eq!(count_prefixed("ERR QUERY nope"), 0);
+        assert_eq!(count_prefixed("OK PONG"), 0);
+    }
+
+    #[test]
+    fn block_opener_detection() {
+        assert!(is_block_opener("BATCH"));
+        assert!(is_block_opener("load program"));
+        assert!(is_block_opener("LOAD FACTS"));
+        assert!(!is_block_opener("QUERY T v0 SEMIRING bool"));
+        assert!(!is_block_opener("END"));
+    }
+}

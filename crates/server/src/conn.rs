@@ -1,0 +1,431 @@
+//! Per-connection protocol loop: bounded line reading, command dispatch,
+//! and the never-panic error path.
+//!
+//! Each worker thread runs [`serve_connection`] for one accepted socket at
+//! a time. The loop is defensive by construction:
+//!
+//! - lines are read through a **bounded** reader — a line longer than
+//!   [`MAX_LINE`] is drained to its newline, answered with `ERR TOOLONG`,
+//!   and the connection continues;
+//! - every command handler returns `Result<_, WireError>`; failures render
+//!   as a single `ERR <code> <msg>` frame and never tear the connection;
+//! - the worker wraps the whole loop in `catch_unwind` (see `lib.rs`), so
+//!   even a bug that panics mid-command kills one connection, not the
+//!   server.
+
+use std::io::{BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::protocol::{parse_command, Command, ErrCode, WireError, MAX_LINE};
+use crate::session::{Registry, Session};
+
+/// What one poll of the line reader produced.
+enum Poll {
+    /// A complete line (newline and trailing `\r` stripped).
+    Line(String),
+    /// The peer closed the connection cleanly.
+    Eof,
+    /// The line (or its parse) was bad; the stream is re-framed at the
+    /// next newline and the connection continues.
+    Bad(WireError),
+    /// The read timed out with no (or partial) data — the caller decides
+    /// whether to keep waiting (checking the shutdown flag) or hang up.
+    /// Partial bytes stay buffered in the reader.
+    Pending,
+}
+
+/// A bounded, resumable line reader.
+///
+/// Reads byte-at-a-time through a `BufReader` (so the syscall count stays
+/// sane) into an internal buffer that **survives read timeouts**: the
+/// socket carries a short poll timeout so the worker can notice the
+/// server-wide shutdown flag between bytes, and a half-received line is
+/// simply resumed by the next [`poll`](LineReader::poll) call. Lines
+/// longer than [`MAX_LINE`] are drained to their newline and reported as
+/// [`Poll::Bad`] without unbounded buffering.
+struct LineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    overflow: bool,
+}
+
+impl<R: Read> LineReader<R> {
+    fn new(inner: R) -> Self {
+        LineReader {
+            inner,
+            buf: Vec::new(),
+            overflow: false,
+        }
+    }
+
+    fn poll(&mut self) -> std::io::Result<Poll> {
+        let mut byte = [0u8; 1];
+        loop {
+            match self.inner.read(&mut byte) {
+                Ok(0) => {
+                    if self.buf.is_empty() && !self.overflow {
+                        return Ok(Poll::Eof);
+                    }
+                    // EOF mid-line: treat what we have as the final line.
+                    return Ok(self.take_line());
+                }
+                Ok(_) => {
+                    if byte[0] == b'\n' {
+                        return Ok(self.take_line());
+                    }
+                    if self.buf.len() >= MAX_LINE {
+                        self.overflow = true;
+                        // Keep draining to the newline; drop the excess.
+                        continue;
+                    }
+                    self.buf.push(byte[0]);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(Poll::Pending);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn take_line(&mut self) -> Poll {
+        let overflow = std::mem::take(&mut self.overflow);
+        let mut buf = std::mem::take(&mut self.buf);
+        if overflow {
+            return Poll::Bad(WireError::new(
+                ErrCode::TooLong,
+                format!("line exceeds {MAX_LINE} bytes"),
+            ));
+        }
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+        match String::from_utf8(buf) {
+            Ok(s) => Poll::Line(s),
+            Err(_) => Poll::Bad(WireError::new(ErrCode::UnknownCommand, "non-UTF-8 line")),
+        }
+    }
+}
+
+/// How often a worker wakes from a blocked read to check the shutdown
+/// flag and the idle deadline. This is the socket-level timeout; the
+/// user-visible idle timeout is `ServerConfig::read_timeout`.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Outcome of waiting for one line with shutdown/idle supervision.
+enum NextLine {
+    Line(String),
+    Eof,
+    Bad(WireError),
+    /// The server-wide shutdown flag was set while we were idle.
+    ShuttingDown,
+    /// The connection sat idle past the configured read timeout.
+    IdleTimeout,
+}
+
+/// Wait for the next line, waking every [`POLL_INTERVAL`] to notice a
+/// server shutdown or an expired idle deadline. The deadline is per line:
+/// a client must complete each line within `read_timeout` of starting to
+/// wait for it.
+fn next_line<R: Read>(
+    reader: &mut LineReader<R>,
+    shutdown: &AtomicBool,
+    read_timeout: Option<Duration>,
+) -> std::io::Result<NextLine> {
+    let started = Instant::now();
+    loop {
+        match reader.poll()? {
+            Poll::Line(line) => return Ok(NextLine::Line(line)),
+            Poll::Eof => return Ok(NextLine::Eof),
+            Poll::Bad(wire) => return Ok(NextLine::Bad(wire)),
+            Poll::Pending => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(NextLine::ShuttingDown);
+                }
+                if let Some(limit) = read_timeout {
+                    if started.elapsed() >= limit {
+                        return Ok(NextLine::IdleTimeout);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Result of reading a payload block.
+enum BlockRead {
+    /// The payload lines (without the terminating `END`).
+    Lines(Vec<String>),
+    /// The block was corrupt (oversized/non-UTF-8 line, EOF before `END`):
+    /// answer with this error and keep the connection.
+    Wire(WireError),
+    /// Shutdown or idle timeout interrupted the block: hang up.
+    Close,
+}
+
+/// Read payload lines until a bare `END`. Oversized or non-UTF-8 payload
+/// lines abort the block with their error (the block's data would be
+/// corrupt); EOF before `END` is a `PAYLOAD` error.
+fn read_block<R: Read>(
+    reader: &mut LineReader<R>,
+    shutdown: &AtomicBool,
+    read_timeout: Option<Duration>,
+) -> std::io::Result<BlockRead> {
+    let mut lines = Vec::new();
+    loop {
+        match next_line(reader, shutdown, read_timeout)? {
+            NextLine::Line(line) => {
+                if line.trim().eq_ignore_ascii_case("END") {
+                    return Ok(BlockRead::Lines(lines));
+                }
+                lines.push(line);
+            }
+            NextLine::Eof => {
+                return Ok(BlockRead::Wire(WireError::new(
+                    ErrCode::Payload,
+                    "connection closed before END",
+                )))
+            }
+            NextLine::Bad(wire) => return Ok(BlockRead::Wire(wire)),
+            NextLine::ShuttingDown | NextLine::IdleTimeout => return Ok(BlockRead::Close),
+        }
+    }
+}
+
+/// Parse a `LOAD FACTS` payload line: `Pred c1 c2 …`.
+fn parse_fact_line(line: &str) -> Result<(String, Vec<String>), WireError> {
+    let mut toks = line.split_ascii_whitespace();
+    let pred = toks
+        .next()
+        .ok_or_else(|| WireError::new(ErrCode::Parse, "empty fact line"))?;
+    let args: Vec<String> = toks.map(str::to_owned).collect();
+    if args.is_empty() {
+        return Err(WireError::new(
+            ErrCode::Parse,
+            format!("fact {pred:?} has no constants"),
+        ));
+    }
+    Ok((pred.to_owned(), args))
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// Drive one accepted connection until EOF, `QUIT`, `SHUTDOWN`, a read
+/// timeout, or an I/O error. Returns `Ok(true)` when the client asked the
+/// whole server to shut down.
+pub(crate) fn serve_connection(
+    stream: TcpStream,
+    registry: &Registry,
+    shutdown: &Arc<AtomicBool>,
+    read_timeout: Option<std::time::Duration>,
+) -> std::io::Result<bool> {
+    // The socket timeout is the supervision poll, NOT the user-facing idle
+    // timeout: `next_line` wakes every POLL_INTERVAL to check the shutdown
+    // flag, and enforces `read_timeout` as an idle deadline itself.
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = LineReader::new(BufReader::new(stream));
+    let mut session: Option<Arc<Session>> = None;
+
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            // Graceful drain: finish nothing new once shutdown is flagged.
+            return Ok(false);
+        }
+        let line = match next_line(&mut reader, shutdown, read_timeout)? {
+            NextLine::Line(line) => line,
+            NextLine::Eof | NextLine::ShuttingDown | NextLine::IdleTimeout => return Ok(false),
+            NextLine::Bad(wire) => {
+                write_line(&mut writer, &wire.render())?;
+                continue;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let command = match parse_command(&line) {
+            Ok(c) => c,
+            Err(wire) => {
+                write_line(&mut writer, &wire.render())?;
+                continue;
+            }
+        };
+        match command {
+            Command::Ping => write_line(&mut writer, "OK PONG")?,
+            Command::Quit => {
+                write_line(&mut writer, "OK BYE")?;
+                return Ok(false);
+            }
+            Command::Shutdown => {
+                // Flag BEFORE the reply: a client that reads `OK SHUTDOWN`
+                // must be able to observe the server as shutting down.
+                shutdown.store(true, Ordering::SeqCst);
+                write_line(&mut writer, "OK SHUTDOWN")?;
+                return Ok(true);
+            }
+            Command::SessionOpen => {
+                let s = registry.open();
+                let id = s.id();
+                session = Some(s);
+                write_line(&mut writer, &format!("OK SESSION {id}"))?;
+            }
+            Command::SessionAttach(id) => match registry.attach(id) {
+                Ok(s) => {
+                    session = Some(s);
+                    write_line(&mut writer, &format!("OK SESSION {id}"))?;
+                }
+                Err(wire) => write_line(&mut writer, &wire.render())?,
+            },
+            Command::SessionClose => match session.take() {
+                Some(s) => {
+                    let id = s.id();
+                    match registry.close(id) {
+                        Ok(()) => write_line(&mut writer, &format!("OK CLOSED {id}"))?,
+                        Err(wire) => write_line(&mut writer, &wire.render())?,
+                    }
+                }
+                None => write_line(
+                    &mut writer,
+                    &WireError::new(ErrCode::NoSession, "no session attached").render(),
+                )?,
+            },
+            Command::LoadProgram => {
+                let block = match read_block(&mut reader, shutdown, read_timeout)? {
+                    BlockRead::Lines(lines) => lines,
+                    BlockRead::Wire(wire) => {
+                        write_line(&mut writer, &wire.render())?;
+                        continue;
+                    }
+                    BlockRead::Close => return Ok(false),
+                };
+                match require(&session) {
+                    Err(wire) => write_line(&mut writer, &wire.render())?,
+                    Ok(s) => match s.load_program(&block.join("\n")) {
+                        Ok(rules) => write_line(&mut writer, &format!("OK PROGRAM {rules}"))?,
+                        Err(wire) => write_line(&mut writer, &wire.render())?,
+                    },
+                }
+            }
+            Command::LoadFacts => {
+                let block = match read_block(&mut reader, shutdown, read_timeout)? {
+                    BlockRead::Lines(lines) => lines,
+                    BlockRead::Wire(wire) => {
+                        write_line(&mut writer, &wire.render())?;
+                        continue;
+                    }
+                    BlockRead::Close => return Ok(false),
+                };
+                let reply = require(&session).and_then(|s| {
+                    let facts = block
+                        .iter()
+                        .filter(|l| !l.trim().is_empty())
+                        .map(|l| parse_fact_line(l))
+                        .collect::<Result<Vec<_>, WireError>>()?;
+                    s.load_facts(facts)
+                });
+                match reply {
+                    Ok(n) => write_line(&mut writer, &format!("OK FACTS {n}"))?,
+                    Err(wire) => write_line(&mut writer, &wire.render())?,
+                }
+            }
+            Command::Query(spec) => {
+                let reply = require(&session).and_then(|s| s.query(&spec));
+                match reply {
+                    Ok(v) => write_line(&mut writer, &format!("OK VALUE {v}"))?,
+                    Err(wire) => write_line(&mut writer, &wire.render())?,
+                }
+            }
+            Command::Batch => {
+                let block = match read_block(&mut reader, shutdown, read_timeout)? {
+                    BlockRead::Lines(lines) => lines,
+                    BlockRead::Wire(wire) => {
+                        write_line(&mut writer, &wire.render())?;
+                        continue;
+                    }
+                    BlockRead::Close => return Ok(false),
+                };
+                // Parse every item; item-level parse failures become
+                // item-level ERR rows, not a batch failure — the other
+                // items still evaluate (mid-batch error acceptance case).
+                let reply = require(&session).map(|s| {
+                    let mut parsed: Vec<Result<crate::protocol::QuerySpec, WireError>> = Vec::new();
+                    for item in block.iter().filter(|l| !l.trim().is_empty()) {
+                        let toks: Vec<&str> = item.split_ascii_whitespace().collect();
+                        let toks = if toks
+                            .first()
+                            .is_some_and(|t| t.eq_ignore_ascii_case("QUERY"))
+                        {
+                            &toks[1..]
+                        } else {
+                            &toks[..]
+                        };
+                        parsed.push(crate::protocol::QuerySpec::parse(toks));
+                    }
+                    (s, parsed)
+                });
+                match reply {
+                    Err(wire) => write_line(&mut writer, &wire.render())?,
+                    Ok((s, parsed)) => {
+                        let good: Vec<crate::protocol::QuerySpec> = parsed
+                            .iter()
+                            .filter_map(|r| r.as_ref().ok().cloned())
+                            .collect();
+                        match s.batch(&good) {
+                            Err(wire) => write_line(&mut writer, &wire.render())?,
+                            Ok(mut results) => {
+                                write_line(&mut writer, &format!("OK BATCH {}", parsed.len()))?;
+                                let mut next = results.drain(..);
+                                for (i, item) in parsed.iter().enumerate() {
+                                    let row = match item {
+                                        Err(wire) => format!("{i} {}", wire.render()),
+                                        Ok(_) => match next.next() {
+                                            Some(Ok(v)) => format!("{i} OK {v}"),
+                                            Some(Err(wire)) => format!("{i} {}", wire.render()),
+                                            None => format!(
+                                                "{i} {}",
+                                                WireError::new(
+                                                    ErrCode::Eval,
+                                                    "internal: missing batch result"
+                                                )
+                                                .render()
+                                            ),
+                                        },
+                                    };
+                                    write_line(&mut writer, &row)?;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Command::Metrics => match require(&session) {
+                Err(wire) => write_line(&mut writer, &wire.render())?,
+                Ok(s) => {
+                    let json = s.metrics().report().to_json();
+                    let lines: Vec<&str> = json.lines().collect();
+                    write_line(&mut writer, &format!("OK METRICS {}", lines.len()))?;
+                    for l in lines {
+                        write_line(&mut writer, l)?;
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// The attached session, or a `NO-SESSION` error.
+fn require(session: &Option<Arc<Session>>) -> Result<Arc<Session>, WireError> {
+    session
+        .as_ref()
+        .cloned()
+        .ok_or_else(|| WireError::new(ErrCode::NoSession, "open or attach a session first"))
+}

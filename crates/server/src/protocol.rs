@@ -1,0 +1,401 @@
+//! The line-oriented wire protocol: request parsing and reply framing.
+//!
+//! # Grammar
+//!
+//! Requests are single UTF-8 lines (LF- or CRLF-terminated, at most
+//! [`MAX_LINE`] bytes), tokenized on ASCII whitespace:
+//!
+//! ```text
+//! SESSION OPEN                      → OK SESSION <id>
+//! SESSION ATTACH <id>               → OK SESSION <id>
+//! SESSION CLOSE                     → OK CLOSED <id>
+//! LOAD PROGRAM                      → (lines of Datalog text …) END → OK PROGRAM <rules>
+//! LOAD FACTS                        → (lines `Pred c1 c2 …` …) END → OK FACTS <n>
+//! QUERY <pred> <c…> SEMIRING <name> [VALUATION <spec>]
+//!                                   → OK VALUE <rendered>
+//! BATCH                             → (QUERY-shaped lines …) END
+//!                                   → OK BATCH <n>, then n lines `<i> OK <v>` | `<i> ERR <code> <msg>`
+//! METRICS                           → OK METRICS <n>, then n lines of pipeline_metrics_v1 JSON
+//! PING                              → OK PONG
+//! SHUTDOWN                          → OK SHUTDOWN, server drains and exits
+//! QUIT                              → OK BYE, connection closes
+//! ```
+//!
+//! Every failure is a single `ERR <CODE> <message>` line; the connection
+//! always survives a protocol error (the acceptance bar for the serving
+//! layer). Multi-line replies are count-prefixed so clients never sniff.
+//!
+//! Semiring names: `bool`, `tropical`, `counting`, `fuzzy`, `bottleneck`.
+//! Valuation specs: `ones` (the default; every fact ↦ 1) and `unit:<w>`
+//! (every fact ↦ the same weight `w`; rejected for `bool`, whose only
+//! usable unit is its 1).
+
+use std::fmt;
+
+/// Maximum accepted request-line length in bytes. Longer lines are
+/// discarded up to the next newline and answered with `ERR TOOLONG` —
+/// the connection survives.
+pub const MAX_LINE: usize = 64 * 1024;
+
+/// Machine-readable error codes carried on `ERR` lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The verb is not part of the protocol.
+    UnknownCommand,
+    /// The command needs an open session and none is attached.
+    NoSession,
+    /// `SESSION ATTACH` named a session that does not exist (or was closed).
+    BadSession,
+    /// A request line exceeded [`MAX_LINE`] bytes.
+    TooLong,
+    /// The session has no program loaded yet.
+    NoProgram,
+    /// Program text or fact lines failed to parse / build.
+    Parse,
+    /// Unknown semiring name.
+    Semiring,
+    /// Malformed or unsupported valuation spec.
+    Valuation,
+    /// The query itself is malformed (unknown predicate, arity, syntax).
+    Query,
+    /// Evaluation failed (e.g. divergence within the session budget).
+    Eval,
+    /// Unexpected end of a payload block (connection closed before `END`).
+    Payload,
+}
+
+impl ErrCode {
+    /// The wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrCode::UnknownCommand => "UNKNOWN-COMMAND",
+            ErrCode::NoSession => "NO-SESSION",
+            ErrCode::BadSession => "BAD-SESSION",
+            ErrCode::TooLong => "TOOLONG",
+            ErrCode::NoProgram => "NO-PROGRAM",
+            ErrCode::Parse => "PARSE",
+            ErrCode::Semiring => "SEMIRING",
+            ErrCode::Valuation => "VALUATION",
+            ErrCode::Query => "QUERY",
+            ErrCode::Eval => "EVAL",
+            ErrCode::Payload => "PAYLOAD",
+        }
+    }
+}
+
+/// A protocol-level failure: code + single-line human message, rendered
+/// as `ERR <CODE> <message>`.
+#[derive(Clone, Debug)]
+pub struct WireError {
+    /// Machine-readable code.
+    pub code: ErrCode,
+    /// One-line diagnostic (newlines are squashed at render time).
+    pub message: String,
+}
+
+impl WireError {
+    /// Build an error reply.
+    pub fn new(code: ErrCode, message: impl Into<String>) -> Self {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Render the `ERR` line (without trailing newline). Embedded
+    /// newlines are flattened so the reply stays a single frame.
+    pub fn render(&self) -> String {
+        let msg = self.message.replace(['\n', '\r'], " ");
+        format!("ERR {} {}", self.code.as_str(), msg.trim())
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// The semirings the wire protocol can evaluate over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireSemiring {
+    /// `bool` — derivability.
+    Bool,
+    /// `tropical` — min-plus shortest proofs.
+    Tropical,
+    /// `counting` — derivation counting (naive fallback; may diverge).
+    Counting,
+    /// `fuzzy` — max-min truth degrees on `[0, 1]`.
+    Fuzzy,
+    /// `bottleneck` — max-min capacities.
+    Bottleneck,
+}
+
+impl WireSemiring {
+    /// Resolve a wire name (case-insensitive).
+    pub fn parse(name: &str) -> Result<Self, WireError> {
+        match name.to_ascii_lowercase().as_str() {
+            "bool" | "boolean" => Ok(WireSemiring::Bool),
+            "tropical" | "trop" => Ok(WireSemiring::Tropical),
+            "counting" | "count" => Ok(WireSemiring::Counting),
+            "fuzzy" => Ok(WireSemiring::Fuzzy),
+            "bottleneck" => Ok(WireSemiring::Bottleneck),
+            other => Err(WireError::new(
+                ErrCode::Semiring,
+                format!("unknown semiring {other:?} (bool|tropical|counting|fuzzy|bottleneck)"),
+            )),
+        }
+    }
+
+    /// The canonical wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireSemiring::Bool => "bool",
+            WireSemiring::Tropical => "tropical",
+            WireSemiring::Counting => "counting",
+            WireSemiring::Fuzzy => "fuzzy",
+            WireSemiring::Bottleneck => "bottleneck",
+        }
+    }
+}
+
+/// A parsed valuation spec: `ones` or `unit:<weight>`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireValuation {
+    /// Every fact ↦ the semiring's 1 (the default).
+    Ones,
+    /// Every fact ↦ the same weight, parsed per semiring.
+    Unit(f64),
+}
+
+impl WireValuation {
+    /// Parse a `VALUATION` spec token.
+    pub fn parse(spec: &str) -> Result<Self, WireError> {
+        let lower = spec.to_ascii_lowercase();
+        if lower == "ones" {
+            return Ok(WireValuation::Ones);
+        }
+        if let Some(w) = lower.strip_prefix("unit:") {
+            let v: f64 = w.parse().map_err(|_| {
+                WireError::new(
+                    ErrCode::Valuation,
+                    format!("bad unit weight {w:?} (expected a number)"),
+                )
+            })?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(WireError::new(
+                    ErrCode::Valuation,
+                    "unit weight must be finite and non-negative",
+                ));
+            }
+            return Ok(WireValuation::Unit(v));
+        }
+        Err(WireError::new(
+            ErrCode::Valuation,
+            format!("unknown valuation {spec:?} (ones | unit:<w>)"),
+        ))
+    }
+}
+
+/// One `(goal, semiring, valuation)` triple — a `QUERY` line's payload,
+/// also the element type of a `BATCH`.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// Goal predicate name.
+    pub pred: String,
+    /// Goal constants.
+    pub args: Vec<String>,
+    /// Semiring to evaluate over.
+    pub semiring: WireSemiring,
+    /// Valuation assigning fact weights.
+    pub valuation: WireValuation,
+}
+
+impl QuerySpec {
+    /// Parse the tokens after the `QUERY` verb:
+    /// `<pred> <c…> SEMIRING <name> [VALUATION <spec>]`.
+    pub fn parse(tokens: &[&str]) -> Result<Self, WireError> {
+        let sem_pos = tokens
+            .iter()
+            .position(|t| t.eq_ignore_ascii_case("SEMIRING"))
+            .ok_or_else(|| WireError::new(ErrCode::Query, "missing SEMIRING clause in query"))?;
+        if sem_pos == 0 {
+            return Err(WireError::new(ErrCode::Query, "missing goal predicate"));
+        }
+        let pred = tokens[0].to_owned();
+        let args: Vec<String> = tokens[1..sem_pos].iter().map(|s| (*s).to_owned()).collect();
+        let rest = &tokens[sem_pos + 1..];
+        let Some((sem_name, rest)) = rest.split_first() else {
+            return Err(WireError::new(ErrCode::Query, "SEMIRING needs a name"));
+        };
+        let semiring = WireSemiring::parse(sem_name)?;
+        let valuation = match rest {
+            [] => WireValuation::Ones,
+            [kw, spec] if kw.eq_ignore_ascii_case("VALUATION") => WireValuation::parse(spec)?,
+            _ => {
+                return Err(WireError::new(
+                    ErrCode::Query,
+                    "trailing tokens (expected VALUATION <spec>)",
+                ))
+            }
+        };
+        if matches!(semiring, WireSemiring::Bool) && !matches!(valuation, WireValuation::Ones) {
+            return Err(WireError::new(
+                ErrCode::Valuation,
+                "bool only supports the ones valuation",
+            ));
+        }
+        Ok(QuerySpec {
+            pred,
+            args,
+            semiring,
+            valuation,
+        })
+    }
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// `SESSION OPEN`
+    SessionOpen,
+    /// `SESSION ATTACH <id>`
+    SessionAttach(u64),
+    /// `SESSION CLOSE`
+    SessionClose,
+    /// `LOAD PROGRAM` — payload lines follow until `END`.
+    LoadProgram,
+    /// `LOAD FACTS` — payload lines follow until `END`.
+    LoadFacts,
+    /// `QUERY …`
+    Query(QuerySpec),
+    /// `BATCH` — QUERY-shaped payload lines follow until `END`.
+    Batch,
+    /// `METRICS`
+    Metrics,
+    /// `PING`
+    Ping,
+    /// `SHUTDOWN`
+    Shutdown,
+    /// `QUIT`
+    Quit,
+}
+
+/// Parse one request line (already stripped of the newline).
+pub fn parse_command(line: &str) -> Result<Command, WireError> {
+    let tokens: Vec<&str> = line.split_ascii_whitespace().collect();
+    let Some((verb, rest)) = tokens.split_first() else {
+        return Err(WireError::new(ErrCode::UnknownCommand, "empty command"));
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "SESSION" => match rest {
+            [sub] if sub.eq_ignore_ascii_case("OPEN") => Ok(Command::SessionOpen),
+            [sub] if sub.eq_ignore_ascii_case("CLOSE") => Ok(Command::SessionClose),
+            [sub, id] if sub.eq_ignore_ascii_case("ATTACH") => id
+                .parse::<u64>()
+                .map(Command::SessionAttach)
+                .map_err(|_| WireError::new(ErrCode::BadSession, format!("bad session id {id:?}"))),
+            _ => Err(WireError::new(
+                ErrCode::UnknownCommand,
+                "usage: SESSION OPEN | SESSION ATTACH <id> | SESSION CLOSE",
+            )),
+        },
+        "LOAD" => match rest {
+            [sub] if sub.eq_ignore_ascii_case("PROGRAM") => Ok(Command::LoadProgram),
+            [sub] if sub.eq_ignore_ascii_case("FACTS") => Ok(Command::LoadFacts),
+            _ => Err(WireError::new(
+                ErrCode::UnknownCommand,
+                "usage: LOAD PROGRAM | LOAD FACTS",
+            )),
+        },
+        "QUERY" => QuerySpec::parse(rest).map(Command::Query),
+        "BATCH" if rest.is_empty() => Ok(Command::Batch),
+        "METRICS" if rest.is_empty() => Ok(Command::Metrics),
+        "PING" if rest.is_empty() => Ok(Command::Ping),
+        "SHUTDOWN" if rest.is_empty() => Ok(Command::Shutdown),
+        "QUIT" if rest.is_empty() => Ok(Command::Quit),
+        other => Err(WireError::new(
+            ErrCode::UnknownCommand,
+            format!("unknown command {other:?}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_command_set() {
+        assert!(matches!(
+            parse_command("SESSION OPEN"),
+            Ok(Command::SessionOpen)
+        ));
+        assert!(matches!(
+            parse_command("session attach 42"),
+            Ok(Command::SessionAttach(42))
+        ));
+        assert!(matches!(
+            parse_command("SESSION CLOSE"),
+            Ok(Command::SessionClose)
+        ));
+        assert!(matches!(
+            parse_command("LOAD PROGRAM"),
+            Ok(Command::LoadProgram)
+        ));
+        assert!(matches!(
+            parse_command("LOAD FACTS"),
+            Ok(Command::LoadFacts)
+        ));
+        assert!(matches!(parse_command("BATCH"), Ok(Command::Batch)));
+        assert!(matches!(parse_command("METRICS"), Ok(Command::Metrics)));
+        assert!(matches!(parse_command("PING"), Ok(Command::Ping)));
+        assert!(matches!(parse_command("SHUTDOWN"), Ok(Command::Shutdown)));
+        assert!(matches!(parse_command("QUIT"), Ok(Command::Quit)));
+    }
+
+    #[test]
+    fn parses_query_with_and_without_valuation() {
+        let q = match parse_command("QUERY T v0 v4 SEMIRING tropical VALUATION unit:1") {
+            Ok(Command::Query(q)) => q,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(q.pred, "T");
+        assert_eq!(q.args, vec!["v0", "v4"]);
+        assert_eq!(q.semiring, WireSemiring::Tropical);
+        assert_eq!(q.valuation, WireValuation::Unit(1.0));
+
+        let q = match parse_command("QUERY T v0 v4 SEMIRING bool") {
+            Ok(Command::Query(q)) => q,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(q.valuation, WireValuation::Ones);
+    }
+
+    #[test]
+    fn rejects_malformed_queries_with_codes() {
+        let err = |s: &str| parse_command(s).unwrap_err().code;
+        assert_eq!(err("QUERY T v0 v4"), ErrCode::Query);
+        assert_eq!(err("QUERY SEMIRING bool"), ErrCode::Query);
+        assert_eq!(err("QUERY T v0 SEMIRING madeup"), ErrCode::Semiring);
+        assert_eq!(
+            err("QUERY T v0 SEMIRING bool VALUATION unit:2"),
+            ErrCode::Valuation
+        );
+        assert_eq!(
+            err("QUERY T v0 SEMIRING tropical VALUATION unit:NaN"),
+            ErrCode::Valuation
+        );
+        assert_eq!(err("FROBNICATE"), ErrCode::UnknownCommand);
+        assert_eq!(err(""), ErrCode::UnknownCommand);
+        assert_eq!(err("SESSION ATTACH xyz"), ErrCode::BadSession);
+    }
+
+    #[test]
+    fn err_lines_are_single_frame() {
+        let e = WireError::new(ErrCode::Parse, "line 1\nline 2");
+        let r = e.render();
+        assert!(r.starts_with("ERR PARSE "));
+        assert!(!r.contains('\n'));
+    }
+}

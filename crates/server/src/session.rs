@@ -1,0 +1,553 @@
+//! Server sessions: engine state, snapshot lifecycle, and query/batch
+//! evaluation against frozen snapshots.
+//!
+//! A [`Session`] owns the mutable serving state — program text, the
+//! accumulated fact list, and the current [`EngineSnapshot`] — behind one
+//! mutex that is held only for *state transitions* (load, swap, handle
+//! clone), never across an evaluation. Readers clone the `Arc` out and
+//! evaluate lock-free; `LOAD FACTS` rebuilds a fresh engine, pre-forces
+//! its caches via [`Engine::snapshot`], and swaps the `Arc` in place,
+//! leaving in-flight queries on the old snapshot (they finish against a
+//! consistent view and simply miss the new facts — snapshot isolation).
+//!
+//! The grounds-once discipline the acceptance test pins down: `LOAD
+//! PROGRAM` only validates and stores text (no grounding), `LOAD FACTS`
+//! grounds exactly once while building the swap-in snapshot, and every
+//! subsequent `QUERY`/`BATCH` — whatever mix of semirings — reuses that
+//! frozen grounding. The session's [`PipelineMetrics`] stream survives
+//! rebuilds (it is handed to each new engine via
+//! [`EngineBuilder::metrics_collector`]), so `METRICS` reports cumulative
+//! grounding counts a client can assert on.
+//!
+//! [`EngineBuilder::metrics_collector`]: provcirc::EngineBuilder::metrics_collector
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use provcirc::{Engine, EngineSnapshot};
+use provcirc_error::Error;
+use semiring::valuation::{AllOnes, UnitWeights, Valuation};
+use semiring::{Bool, Bottleneck, Counting, Fuzzy, Semiring, Tropical};
+use telemetry::{Counter, PipelineMetrics, Recorder, Stage};
+
+use crate::protocol::{ErrCode, QuerySpec, WireError, WireSemiring, WireValuation};
+
+/// Map an engine [`Error`] onto a wire error with the right code.
+fn engine_err(e: &Error) -> WireError {
+    let code = match e {
+        Error::UnknownPredicate(_) | Error::BadQuery(_) => ErrCode::Query,
+        Error::Diverged { .. } => ErrCode::Eval,
+        _ => ErrCode::Parse,
+    };
+    WireError::new(code, e.to_string())
+}
+
+/// One open serving session. Cheap to share (`Arc`); all mutation goes
+/// through the internal state mutex, all evaluation through snapshots.
+pub struct Session {
+    id: u64,
+    metrics: Arc<PipelineMetrics>,
+    eval_threads: usize,
+    state: Mutex<SessionState>,
+}
+
+struct SessionState {
+    program: Option<String>,
+    facts: Vec<(String, Vec<String>)>,
+    snapshot: Option<Arc<EngineSnapshot>>,
+}
+
+impl Session {
+    fn new(id: u64, eval_threads: usize) -> Self {
+        Session {
+            id,
+            // Always-on telemetry: METRICS is part of the protocol, so a
+            // session collects spans/counters unconditionally.
+            metrics: Arc::new(PipelineMetrics::new(true)),
+            eval_threads,
+            state: Mutex::new(SessionState {
+                program: None,
+                facts: Vec::new(),
+                snapshot: None,
+            }),
+        }
+    }
+
+    /// The session id handed to the client.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The session's cumulative telemetry stream (survives snapshot
+    /// rebuilds).
+    pub fn metrics(&self) -> &Arc<PipelineMetrics> {
+        &self.metrics
+    }
+
+    /// Store (and validate) program text. No grounding happens here — the
+    /// first `LOAD FACTS` or query builds the snapshot. Returns the rule
+    /// count. Invalidates any existing snapshot: the program changed.
+    pub fn load_program(&self, text: &str) -> Result<usize, WireError> {
+        let program = datalog::parse_program(text)
+            .map_err(|e| WireError::new(ErrCode::Parse, e.to_string()))?;
+        let rules = program.rules.len();
+        let mut st = self.state.lock().expect("session state poisoned");
+        st.program = Some(text.to_owned());
+        st.snapshot = None;
+        Ok(rules)
+    }
+
+    /// Append facts (`(pred, constants)` tuples), rebuild the engine, and
+    /// atomically swap in the fresh snapshot. This is the write path: it
+    /// grounds exactly once per call; concurrent readers keep the old
+    /// snapshot until they next ask for one.
+    pub fn load_facts(&self, facts: Vec<(String, Vec<String>)>) -> Result<usize, WireError> {
+        let added = facts.len();
+        let mut st = self.state.lock().expect("session state poisoned");
+        if st.program.is_none() {
+            return Err(WireError::new(
+                ErrCode::NoProgram,
+                "LOAD PROGRAM before LOAD FACTS",
+            ));
+        }
+        let mut all = st.facts.clone();
+        all.extend(facts);
+        // Build outside nothing: the rebuild grounds, which can be heavy,
+        // but correctness first — holding the lock serializes writers and
+        // keeps readers on the old Arc (they cloned it out already).
+        let snapshot = self.build_snapshot(st.program.as_deref().unwrap(), &all)?;
+        st.facts = all;
+        st.snapshot = Some(Arc::new(snapshot));
+        Ok(added)
+    }
+
+    /// The current snapshot, building it lazily when a program is loaded
+    /// but no write has happened yet (e.g. queries straight after
+    /// `LOAD PROGRAM` on an empty database).
+    pub fn snapshot(&self) -> Result<Arc<EngineSnapshot>, WireError> {
+        let mut st = self.state.lock().expect("session state poisoned");
+        if let Some(snap) = &st.snapshot {
+            return Ok(Arc::clone(snap));
+        }
+        let Some(program) = st.program.clone() else {
+            return Err(WireError::new(
+                ErrCode::NoProgram,
+                "no program loaded in this session",
+            ));
+        };
+        let facts = st.facts.clone();
+        let snap = Arc::new(self.build_snapshot(&program, &facts)?);
+        st.snapshot = Some(Arc::clone(&snap));
+        Ok(snap)
+    }
+
+    fn build_snapshot(
+        &self,
+        program: &str,
+        facts: &[(String, Vec<String>)],
+    ) -> Result<EngineSnapshot, WireError> {
+        let mut builder = Engine::builder()
+            .program_text(program)
+            .parallelism(self.eval_threads)
+            .metrics_collector(Arc::clone(&self.metrics));
+        for (pred, tuple) in facts {
+            let refs: Vec<&str> = tuple.iter().map(String::as_str).collect();
+            builder = builder.fact(pred, &refs);
+        }
+        let engine = builder.build().map_err(|e| engine_err(&e))?;
+        engine.snapshot().map_err(|e| engine_err(&e))
+    }
+
+    /// Evaluate one `QUERY`, bumping the serve counters and attributing
+    /// wall-clock to [`Stage::Serve`].
+    pub fn query(&self, spec: &QuerySpec) -> Result<String, WireError> {
+        let snap = self.snapshot()?;
+        self.metrics.counter(Counter::QueriesServed, 1);
+        telemetry::time(&*self.metrics, Stage::Serve, || {
+            let goals = [(0usize, spec)];
+            eval_group(&snap, spec.semiring, &spec.valuation, &goals)
+                .pop()
+                .expect("one goal in, one result out")
+                .1
+        })
+    }
+
+    /// Evaluate a `BATCH` against **one** snapshot: items are grouped by
+    /// `(semiring, valuation)` and each group runs a single fixpoint over
+    /// the shared frozen grounding, so N queries cost one grounding and at
+    /// most `#groups` fixpoints (the paper's compile-once/eval-many pitch
+    /// as a wire command). Results come back in item order; per-item
+    /// failures don't fail the batch.
+    pub fn batch(&self, specs: &[QuerySpec]) -> Result<Vec<Result<String, WireError>>, WireError> {
+        let snap = self.snapshot()?;
+        self.metrics.counter(Counter::BatchesServed, 1);
+        self.metrics
+            .counter(Counter::BatchQueries, specs.len() as u64);
+        // One batch group: a (semiring, valuation) pair and the goals
+        // (with original positions) it answers.
+        type Group<'a> = (WireSemiring, WireValuation, Vec<(usize, &'a QuerySpec)>);
+        Ok(telemetry::time(&*self.metrics, Stage::Serve, || {
+            // Group while preserving original positions.
+            let mut groups: Vec<Group> = Vec::new();
+            for (i, spec) in specs.iter().enumerate() {
+                match groups
+                    .iter_mut()
+                    .find(|(s, v, _)| *s == spec.semiring && *v == spec.valuation)
+                {
+                    Some((_, _, goals)) => goals.push((i, spec)),
+                    None => groups.push((spec.semiring, spec.valuation.clone(), vec![(i, spec)])),
+                }
+            }
+            let mut out: Vec<Option<Result<String, WireError>>> = vec![None; specs.len()];
+            for (sem, val, goals) in groups {
+                for (i, res) in eval_group(&snap, sem, &val, &goals) {
+                    out[i] = Some(res);
+                }
+            }
+            out.into_iter()
+                .map(|r| r.expect("every batch item answered by its group"))
+                .collect()
+        }))
+    }
+}
+
+/// Evaluate one `(semiring, valuation)` group against a snapshot: resolve
+/// every goal first, run **at most one** fixpoint (skipped when no goal is
+/// derivable), then index the values out. Returns `(original index,
+/// per-goal result)` pairs.
+fn eval_group(
+    snap: &EngineSnapshot,
+    sem: WireSemiring,
+    val: &WireValuation,
+    goals: &[(usize, &QuerySpec)],
+) -> Vec<(usize, Result<String, WireError>)> {
+    match sem {
+        WireSemiring::Bool => {
+            // QuerySpec::parse rejects bool + unit, so `val` is Ones here.
+            run_group::<Bool, _>(snap, &AllOnes, goals, |b| b.0.to_string())
+        }
+        WireSemiring::Tropical => match unit_u64(val) {
+            Err(e) => fail_all(goals, e),
+            Ok(None) => run_group::<Tropical, _>(snap, &AllOnes, goals, render_tropical),
+            Ok(Some(w)) => run_group(
+                snap,
+                &UnitWeights::new(Tropical::new(w)),
+                goals,
+                render_tropical,
+            ),
+        },
+        WireSemiring::Counting => match unit_u64(val) {
+            Err(e) => fail_all(goals, e),
+            Ok(None) => run_group::<Counting, _>(snap, &AllOnes, goals, |c| c.0.to_string()),
+            Ok(Some(w)) => run_group(snap, &UnitWeights::new(Counting::new(w)), goals, |c| {
+                c.0.to_string()
+            }),
+        },
+        WireSemiring::Bottleneck => match unit_u64(val) {
+            Err(e) => fail_all(goals, e),
+            Ok(None) => run_group::<Bottleneck, _>(snap, &AllOnes, goals, |b| b.0.to_string()),
+            Ok(Some(w)) => run_group(snap, &UnitWeights::new(Bottleneck::new(w)), goals, |b| {
+                b.0.to_string()
+            }),
+        },
+        WireSemiring::Fuzzy => match val {
+            WireValuation::Ones => {
+                run_group::<Fuzzy, _>(snap, &AllOnes, goals, |f| f.value().to_string())
+            }
+            WireValuation::Unit(w) => {
+                if !(0.0..=1.0).contains(w) {
+                    return fail_all(
+                        goals,
+                        WireError::new(ErrCode::Valuation, "fuzzy unit weight must be in [0, 1]"),
+                    );
+                }
+                run_group(snap, &UnitWeights::new(Fuzzy::new(*w)), goals, |f| {
+                    f.value().to_string()
+                })
+            }
+        },
+    }
+}
+
+/// `unit:<w>` for the u64-weighted semirings: `Ok(None)` for `ones`,
+/// an error unless `w` is a non-negative integer.
+fn unit_u64(val: &WireValuation) -> Result<Option<u64>, WireError> {
+    match val {
+        WireValuation::Ones => Ok(None),
+        WireValuation::Unit(w) => {
+            if w.fract() != 0.0 || *w < 0.0 || *w > u64::MAX as f64 {
+                return Err(WireError::new(
+                    ErrCode::Valuation,
+                    "unit weight must be a non-negative integer for this semiring",
+                ));
+            }
+            Ok(Some(*w as u64))
+        }
+    }
+}
+
+fn render_tropical(t: &Tropical) -> String {
+    match t.finite() {
+        Some(w) => w.to_string(),
+        None => "inf".to_owned(),
+    }
+}
+
+fn fail_all(
+    goals: &[(usize, &QuerySpec)],
+    e: WireError,
+) -> Vec<(usize, Result<String, WireError>)> {
+    goals.iter().map(|(i, _)| (*i, Err(e.clone()))).collect()
+}
+
+/// The typed heart of the serving read path: resolve all goals against the
+/// frozen grounding, run one shared fixpoint iff some goal is derivable,
+/// and render each value. Underivable goals render `0` without forcing an
+/// evaluation; a diverging fixpoint fails only the goals that needed it.
+fn run_group<S, V>(
+    snap: &EngineSnapshot,
+    valuation: &V,
+    goals: &[(usize, &QuerySpec)],
+    render: impl Fn(&S) -> String,
+) -> Vec<(usize, Result<String, WireError>)>
+where
+    S: Semiring,
+    V: Valuation<S> + Sync,
+{
+    let resolved: Vec<(usize, Result<Option<usize>, WireError>)> = goals
+        .iter()
+        .map(|(i, q)| {
+            let args: Vec<&str> = q.args.iter().map(String::as_str).collect();
+            (
+                *i,
+                snap.fact_index(&q.pred, &args).map_err(|e| engine_err(&e)),
+            )
+        })
+        .collect();
+    let needs_eval = resolved.iter().any(|(_, r)| matches!(r, Ok(Some(_))));
+    let values = if needs_eval {
+        let out = snap.fixpoint::<S, V>(valuation);
+        if !out.converged {
+            let e = WireError::new(
+                ErrCode::Eval,
+                format!("fixpoint diverged within budget {}", snap.budget()),
+            );
+            return resolved
+                .into_iter()
+                .map(|(i, r)| match r {
+                    Err(orig) => (i, Err(orig)),
+                    Ok(None) => (i, Ok(render(&S::zero()))),
+                    Ok(Some(_)) => (i, Err(e.clone())),
+                })
+                .collect();
+        }
+        Some(out.values)
+    } else {
+        None
+    };
+    resolved
+        .into_iter()
+        .map(|(i, r)| {
+            let res = match r {
+                Err(e) => Err(e),
+                Ok(None) => Ok(render(&S::zero())),
+                Ok(Some(f)) => Ok(render(
+                    &values
+                        .as_ref()
+                        .expect("fixpoint ran: derivable goal present")[f],
+                )),
+            };
+            (i, res)
+        })
+        .collect()
+}
+
+/// The server-wide session table: id allocation, open/attach/close, and
+/// the sessions-opened/closed counters.
+pub struct Registry {
+    next_id: AtomicU64,
+    eval_threads: usize,
+    sessions: Mutex<HashMap<u64, Arc<Session>>>,
+}
+
+impl Registry {
+    /// An empty registry whose sessions evaluate with `eval_threads`
+    /// threads per fixpoint (serving layers usually want 1: concurrency
+    /// comes from the worker pool, not from sharding a single query).
+    pub fn new(eval_threads: usize) -> Self {
+        Registry {
+            next_id: AtomicU64::new(1),
+            eval_threads: eval_threads.max(1),
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Open a fresh session.
+    pub fn open(&self) -> Arc<Session> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let session = Arc::new(Session::new(id, self.eval_threads));
+        session.metrics.counter(Counter::SessionsOpened, 1);
+        self.sessions
+            .lock()
+            .expect("session registry poisoned")
+            .insert(id, Arc::clone(&session));
+        session
+    }
+
+    /// Attach to an existing session by id (shared state: two connections
+    /// attached to one session see the same snapshots and metrics).
+    pub fn attach(&self, id: u64) -> Result<Arc<Session>, WireError> {
+        self.sessions
+            .lock()
+            .expect("session registry poisoned")
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| WireError::new(ErrCode::BadSession, format!("no session {id}")))
+    }
+
+    /// Close (drop) a session. Connections still holding the `Arc` can
+    /// finish in-flight work; new attaches fail.
+    pub fn close(&self, id: u64) -> Result<(), WireError> {
+        let removed = self
+            .sessions
+            .lock()
+            .expect("session registry poisoned")
+            .remove(&id);
+        match removed {
+            Some(s) => {
+                s.metrics.counter(Counter::SessionsClosed, 1);
+                Ok(())
+            }
+            None => Err(WireError::new(
+                ErrCode::BadSession,
+                format!("no session {id}"),
+            )),
+        }
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions
+            .lock()
+            .expect("session registry poisoned")
+            .len()
+    }
+
+    /// Whether no session is open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_command;
+    use crate::protocol::Command;
+
+    const TC: &str = "T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).";
+
+    fn path_facts(n: usize) -> Vec<(String, Vec<String>)> {
+        (0..n)
+            .map(|i| ("E".to_owned(), vec![format!("v{i}"), format!("v{}", i + 1)]))
+            .collect()
+    }
+
+    fn spec(line: &str) -> QuerySpec {
+        match parse_command(&format!("QUERY {line}")).unwrap() {
+            Command::Query(q) => q,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_lifecycle_grounds_exactly_once() {
+        let reg = Registry::new(1);
+        let session = reg.open();
+        session.load_program(TC).unwrap();
+        session.load_facts(path_facts(4)).unwrap();
+        let results = session
+            .batch(&[
+                spec("T v0 v4 SEMIRING bool"),
+                spec("T v0 v4 SEMIRING tropical VALUATION unit:1"),
+                spec("T v0 v4 SEMIRING counting"),
+            ])
+            .unwrap();
+        let values: Vec<String> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, vec!["true", "4", "1"]);
+        // One LOAD FACTS, one grounding — the three semirings shared it.
+        assert_eq!(
+            session
+                .metrics()
+                .cache_count(telemetry::CacheEvent::Grounding),
+            1
+        );
+        assert_eq!(session.metrics().counter_value(Counter::BatchQueries), 3);
+    }
+
+    #[test]
+    fn load_facts_without_program_is_an_error() {
+        let reg = Registry::new(1);
+        let session = reg.open();
+        let err = session.load_facts(path_facts(1)).unwrap_err();
+        assert_eq!(err.code, ErrCode::NoProgram);
+    }
+
+    #[test]
+    fn incremental_fact_loads_reground() {
+        let reg = Registry::new(1);
+        let session = reg.open();
+        session.load_program(TC).unwrap();
+        session.load_facts(path_facts(2)).unwrap();
+        assert_eq!(
+            session.query(&spec("T v0 v3 SEMIRING bool")).unwrap(),
+            "false"
+        );
+        session
+            .load_facts(vec![("E".into(), vec!["v2".into(), "v3".into()])])
+            .unwrap();
+        assert_eq!(
+            session.query(&spec("T v0 v3 SEMIRING bool")).unwrap(),
+            "true"
+        );
+        // Two writes, two groundings — queries added none.
+        assert_eq!(
+            session
+                .metrics()
+                .cache_count(telemetry::CacheEvent::Grounding),
+            2
+        );
+    }
+
+    #[test]
+    fn batch_mixes_results_and_errors_in_order() {
+        let reg = Registry::new(1);
+        let session = reg.open();
+        session.load_program(TC).unwrap();
+        session.load_facts(path_facts(3)).unwrap();
+        let results = session
+            .batch(&[
+                spec("T v0 v2 SEMIRING tropical VALUATION unit:1"),
+                spec("Nope v0 SEMIRING bool"),
+                spec("T v0 nowhere SEMIRING tropical VALUATION unit:1"),
+            ])
+            .unwrap();
+        assert_eq!(results[0].as_ref().unwrap(), "2");
+        assert_eq!(results[1].as_ref().unwrap_err().code, ErrCode::Query);
+        // Out-of-domain constant: underivable ⇒ semiring zero, not error.
+        assert_eq!(results[2].as_ref().unwrap(), "inf");
+    }
+
+    #[test]
+    fn registry_attach_and_close() {
+        let reg = Registry::new(1);
+        let s = reg.open();
+        let same = reg.attach(s.id()).unwrap();
+        assert_eq!(same.id(), s.id());
+        reg.close(s.id()).unwrap();
+        assert!(reg.attach(s.id()).is_err());
+        assert_eq!(reg.close(s.id()).unwrap_err().code, ErrCode::BadSession);
+        assert!(reg.is_empty());
+    }
+}

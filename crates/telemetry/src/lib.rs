@@ -56,11 +56,17 @@ pub enum Stage {
     Provenance,
     /// Circuit construction (`provcirc::compile` / `circuit`).
     CircuitBuild,
+    /// Server-side query handling in the serving layer (`server`): the
+    /// wall-clock of one wire query or batch group, measured around the
+    /// snapshot evaluation — the engine stages it drives (grounding on a
+    /// lazy snapshot build, `Eval` fixpoints) are attributed to their own
+    /// stages as usual, so `serve` minus `eval` is protocol overhead.
+    Serve,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 8] = [
         Stage::Parse,
         Stage::GroundPhase1,
         Stage::GroundPhase2,
@@ -68,6 +74,7 @@ impl Stage {
         Stage::Eval,
         Stage::Provenance,
         Stage::CircuitBuild,
+        Stage::Serve,
     ];
 
     /// Stable machine-readable name (used as the JSON key).
@@ -80,6 +87,7 @@ impl Stage {
             Stage::Eval => "eval",
             Stage::Provenance => "provenance",
             Stage::CircuitBuild => "circuit_build",
+            Stage::Serve => "serve",
         }
     }
 
@@ -92,6 +100,7 @@ impl Stage {
             Stage::Eval => 4,
             Stage::Provenance => 5,
             Stage::CircuitBuild => 6,
+            Stage::Serve => 7,
         }
     }
 }
@@ -112,17 +121,34 @@ pub enum Counter {
     GroundMergeNanos,
     /// Nanoseconds spent ⊕-merging shard accumulators at eval barriers.
     EvalMergeNanos,
+    /// Serving-layer sessions opened (`SESSION OPEN`).
+    SessionsOpened,
+    /// Serving-layer sessions closed (`SESSION CLOSE`).
+    SessionsClosed,
+    /// Wire queries answered by the serving layer (batch members count
+    /// individually).
+    QueriesServed,
+    /// `BATCH` commands evaluated by the serving layer.
+    BatchesServed,
+    /// Total queries submitted through `BATCH` commands — divide by
+    /// [`Counter::BatchesServed`] for the mean batch size.
+    BatchQueries,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 6] = [
+    pub const ALL: [Counter; 11] = [
         Counter::IndexProbes,
         Counter::RuleFirings,
         Counter::FactsDiscovered,
         Counter::Contributions,
         Counter::GroundMergeNanos,
         Counter::EvalMergeNanos,
+        Counter::SessionsOpened,
+        Counter::SessionsClosed,
+        Counter::QueriesServed,
+        Counter::BatchesServed,
+        Counter::BatchQueries,
     ];
 
     /// Stable machine-readable name (used as the JSON key).
@@ -134,6 +160,11 @@ impl Counter {
             Counter::Contributions => "contributions",
             Counter::GroundMergeNanos => "ground_merge_nanos",
             Counter::EvalMergeNanos => "eval_merge_nanos",
+            Counter::SessionsOpened => "sessions_opened",
+            Counter::SessionsClosed => "sessions_closed",
+            Counter::QueriesServed => "queries_served",
+            Counter::BatchesServed => "batches_served",
+            Counter::BatchQueries => "batch_queries",
         }
     }
 
@@ -145,6 +176,11 @@ impl Counter {
             Counter::Contributions => 3,
             Counter::GroundMergeNanos => 4,
             Counter::EvalMergeNanos => 5,
+            Counter::SessionsOpened => 6,
+            Counter::SessionsClosed => 7,
+            Counter::QueriesServed => 8,
+            Counter::BatchesServed => 9,
+            Counter::BatchQueries => 10,
         }
     }
 }

@@ -8,6 +8,9 @@
 //!              [--weights w0,w1,…] [--show-polynomial]
 //!              [--metrics] [--metrics-json <path>]
 //! dlc bounded  <program.dl>
+//! dlc serve    [--addr <host:port>] [--workers N] [--eval-threads N]
+//!              [--timeout-secs S]
+//! dlc client   <host:port> [--script <file>] [--metrics-json <path>]
 //! ```
 //!
 //! Program files use the `datalog::parser` syntax; graph files have one
@@ -45,6 +48,11 @@ fn main() -> ExitCode {
                  [--strategy S] [--semiring R] [--weights w0,w1,...] [--show-polynomial] \
                  [--metrics] [--metrics-json <path>]"
             );
+            eprintln!(
+                "  dlc serve    [--addr <host:port>] [--workers N] [--eval-threads N] \
+                 [--timeout-secs S]"
+            );
+            eprintln!("  dlc client   <host:port> [--script <file>] [--metrics-json <path>]");
             ExitCode::FAILURE
         }
     }
@@ -63,6 +71,8 @@ fn run() -> Result<(), Error> {
         "classify" => classify_cmd(rest),
         "bounded" => bounded_cmd(rest),
         "compile" => compile_cmd(rest),
+        "serve" => serve_cmd(rest),
+        "client" => client_cmd(rest),
         other => Err(cli_err(format!("unknown subcommand '{other}'"))),
     }
 }
@@ -345,6 +355,141 @@ fn compile_cmd(args: &[String]) -> Result<(), Error> {
         println!("polynomial: {}", compiled.circuit.polynomial());
     }
     metrics.emit(&engine)
+}
+
+/// `dlc serve` — run the engine-as-a-service TCP server (see the
+/// `server` crate for the protocol). Blocks until a client sends
+/// `SHUTDOWN`, then drains the worker pool and exits cleanly.
+fn serve_cmd(args: &[String]) -> Result<(), Error> {
+    let mut config = datalog_circuits::server::ServerConfig::default().addr("127.0.0.1:7171");
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                config = config.addr(
+                    it.next()
+                        .ok_or_else(|| cli_err("--addr needs host:port"))?
+                        .clone(),
+                );
+            }
+            "--workers" => {
+                let n: usize = it
+                    .next()
+                    .ok_or_else(|| cli_err("--workers needs a count"))?
+                    .parse()
+                    .map_err(|_| cli_err("--workers needs a number"))?;
+                config = config.workers(n);
+            }
+            "--eval-threads" => {
+                let n: usize = it
+                    .next()
+                    .ok_or_else(|| cli_err("--eval-threads needs a count"))?
+                    .parse()
+                    .map_err(|_| cli_err("--eval-threads needs a number"))?;
+                config = config.eval_threads(n);
+            }
+            "--timeout-secs" => {
+                let s: u64 = it
+                    .next()
+                    .ok_or_else(|| cli_err("--timeout-secs needs seconds"))?
+                    .parse()
+                    .map_err(|_| cli_err("--timeout-secs needs a number"))?;
+                config = config.read_timeout((s > 0).then(|| std::time::Duration::from_secs(s)));
+            }
+            other => return Err(cli_err(format!("unknown flag '{other}'"))),
+        }
+    }
+    let handle = datalog_circuits::server::Server::bind(config).map_err(|e| Error::Io {
+        path: "serve".to_owned(),
+        message: e.to_string(),
+    })?;
+    println!("serving on {}", handle.addr());
+    // Make the address reach pipes promptly so scripted callers can
+    // connect as soon as the line appears.
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    handle.wait().map_err(|_| Error::Io {
+        path: "serve".to_owned(),
+        message: "server thread panicked".to_owned(),
+    })?;
+    println!("server drained, bye");
+    Ok(())
+}
+
+/// `dlc client` — drive a protocol script against a running server.
+/// Commands come from `--script <file>` or stdin; every reply line is
+/// printed to stdout prefixed with `< `. `--metrics-json <path>` writes
+/// the body of the last `OK METRICS` reply to a file (handy for CI).
+fn client_cmd(args: &[String]) -> Result<(), Error> {
+    let addr = args
+        .first()
+        .ok_or_else(|| cli_err("client needs a server address"))?;
+    let mut script_path = None;
+    let mut metrics_json = None;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--script" => {
+                script_path = Some(
+                    it.next()
+                        .ok_or_else(|| cli_err("--script needs a path"))?
+                        .clone(),
+                );
+            }
+            "--metrics-json" => {
+                metrics_json = Some(
+                    it.next()
+                        .ok_or_else(|| cli_err("--metrics-json needs a path"))?
+                        .clone(),
+                );
+            }
+            other => return Err(cli_err(format!("unknown flag '{other}'"))),
+        }
+    }
+    let script = match script_path {
+        Some(path) => read_file(&path)?,
+        None => {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| Error::Io {
+                    path: "stdin".to_owned(),
+                    message: e.to_string(),
+                })?;
+            buf
+        }
+    };
+    let io_err = |e: std::io::Error| Error::Io {
+        path: addr.clone(),
+        message: e.to_string(),
+    };
+    let mut client = datalog_circuits::server::client::Client::connect(addr).map_err(io_err)?;
+    let replies = client.run_script(&script).map_err(io_err)?;
+    let mut last_metrics: Option<String> = None;
+    let mut any_err = false;
+    for reply in &replies {
+        println!("< {}", reply.status);
+        for line in &reply.body {
+            println!("< {line}");
+        }
+        any_err |= !reply.is_ok();
+        if reply.status.starts_with("OK METRICS") {
+            last_metrics = Some(reply.body.join("\n"));
+        }
+    }
+    if let Some(path) = metrics_json {
+        let json = last_metrics
+            .ok_or_else(|| cli_err("--metrics-json set but the script never ran METRICS"))?;
+        std::fs::write(&path, json).map_err(|e| Error::Io {
+            path,
+            message: e.to_string(),
+        })?;
+    }
+    if any_err {
+        return Err(cli_err("one or more commands returned ERR"));
+    }
+    Ok(())
 }
 
 fn parse_u32(s: &str) -> Result<u32, Error> {

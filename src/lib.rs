@@ -16,6 +16,7 @@ pub use grammar;
 pub use graphgen;
 pub use provcirc;
 pub use semiring;
+pub use server;
 pub use telemetry;
 
 /// Deprecated alias of [`provcirc`].
