@@ -69,6 +69,9 @@ fn main() {
     if want("serving") {
         serving();
     }
+    if want("incremental") {
+        incremental();
+    }
 }
 
 fn header(title: &str, claim: &str) {
@@ -1012,6 +1015,217 @@ fn serving() {
     }
 }
 
+/// Incremental maintenance: cost-per-update of insert/retract against the
+/// resident engine vs re-grounding + re-evaluating from scratch — the
+/// perf-trajectory experiment behind `BENCH_incremental.json`.
+///
+/// Each update is *complete*: the grounding is maintained in place
+/// (`Engine::insert_fact` / `retract_fact`) **and** the tropical fixpoint
+/// is repaired (`MaintainedFixpoint`), so the per-update cost is what a
+/// serving write actually pays. The baseline is what a non-incremental
+/// engine pays per update: one full grounding plus one full semi-naive
+/// fixpoint.
+fn incremental() {
+    use incremental::MaintainedFixpoint;
+    use std::time::Instant;
+
+    header(
+        "E-incremental · insert/retract maintenance vs re-grounding",
+        "a single-fact delta touches O(|cone|) rules, not O(|grounding|): maintained updates beat full recompute by orders of magnitude on TC",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("   available cores: {cores}");
+    let tc = programs::transitive_closure();
+    let unit = UnitWeights::new(Tropical::new(1));
+    const UPDATES: usize = 24;
+    const BATCH: usize = 8;
+    let mut rows: Vec<String> = Vec::new();
+    let mut smoke_500: Option<f64> = None; // batched-insert speedup on the small row
+    let mut headline_1k: Option<(f64, f64)> = None; // (full_ms, single-insert per-update)
+    println!(
+        "   {:>5} {:>6} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8}",
+        "n",
+        "m",
+        "rules",
+        "full_ms",
+        "ins1_ms",
+        "insB_ms",
+        "del1_ms",
+        "delB_ms",
+        "ins1.spd",
+        "insB.spd"
+    );
+    for (n, m) in [(500usize, 2000usize), (1000, 4000)] {
+        let g = generators::gnm(n, m, &["E"], 13);
+        // A pool of fresh edges absent from g, spread across the node
+        // space so the deltas are not all local to one vertex.
+        let existing: std::collections::BTreeSet<(u32, u32)> =
+            g.edges().iter().map(|&(u, v, _)| (u, v)).collect();
+        let mut pool: Vec<(usize, usize)> = Vec::new();
+        let mut i = 1usize;
+        while pool.len() < 2 * UPDATES {
+            let (u, v) = ((i * 37) % n, (i * 53 + 11) % n);
+            if u != v && !existing.contains(&(u as u32, v as u32)) && !pool.contains(&(u, v)) {
+                pool.push((u, v));
+            }
+            i += 1;
+        }
+        let singles = &pool[..UPDATES];
+        let batched = &pool[UPDATES..];
+
+        // Baseline: one full re-ground + semi-naive fixpoint — the price a
+        // non-incremental engine pays for EVERY update.
+        let mut p = tc.clone();
+        let (db, _) = datalog::Database::from_graph(&mut p, &g);
+        let (full_ms, _) = bench::time_best_ms(3, || {
+            let gp = datalog::ground(&p, &db).unwrap();
+            datalog::semi_naive_eval::<Tropical, _>(&gp, &unit, datalog::default_budget(&gp))
+        });
+
+        // Resident engine + maintained fixpoint, warmed outside the timers.
+        let warm = |engine: &provcirc::Engine| {
+            let gp = engine.grounding().expect("grounds");
+            MaintainedFixpoint::start(&datalog::semi_naive_eval::<Tropical, _>(
+                gp,
+                &unit,
+                engine.budget().expect("budget"),
+            ))
+        };
+        let build = || {
+            provcirc::Engine::builder()
+                .program(tc.clone())
+                .graph(&g)
+                .build()
+                .expect("engine builds")
+        };
+        let edge_name = |&(u, v): &(usize, usize)| (format!("v{u}"), format!("v{v}"));
+
+        // Mode 1: single-fact inserts, then single-fact retracts.
+        let mut engine = build();
+        let mut mf = warm(&engine);
+        let rules0 = engine.grounding().unwrap().rules.len();
+        let t0 = Instant::now();
+        for e in singles {
+            let (su, sv) = edge_name(e);
+            let out = engine.insert_fact("E", &[&su, &sv]).expect("insert");
+            let budget = engine.budget().expect("budget");
+            let gp = engine.grounding().expect("maintained grounding");
+            mf.apply_insert(gp, &unit, out.base_rules, budget, &telemetry::Noop);
+        }
+        let ins1_ms = t0.elapsed().as_secs_f64() * 1e3 / UPDATES as f64;
+        // Exactness spot-check: the maintained values equal a from-scratch
+        // fixpoint over the maintained grounding.
+        let check = datalog::semi_naive_eval::<Tropical, _>(engine.grounding().unwrap(), &unit, {
+            engine.budget().unwrap()
+        });
+        assert_eq!(check.values, *mf.values(), "insert maintenance drifted");
+        let t0 = Instant::now();
+        for e in singles {
+            let (su, sv) = edge_name(e);
+            let out = engine.retract_fact("E", &[&su, &sv]).expect("retract");
+            let budget = engine.budget().expect("budget");
+            let gp = engine.grounding().expect("maintained grounding");
+            mf.apply_retract(gp, &unit, &out.roots, budget, &telemetry::Noop);
+        }
+        let del1_ms = t0.elapsed().as_secs_f64() * 1e3 / UPDATES as f64;
+        let check = datalog::semi_naive_eval::<Tropical, _>(engine.grounding().unwrap(), &unit, {
+            engine.budget().unwrap()
+        });
+        assert_eq!(check.values, *mf.values(), "retract maintenance drifted");
+        let report = engine.metrics_report();
+        assert_eq!(report.cache.groundings, 1, "updates must not reground");
+
+        // Mode 2: the same volume in batches of `BATCH` facts.
+        let mut engine = build();
+        let mut mf = warm(&engine);
+        let t0 = Instant::now();
+        for chunk in batched.chunks(BATCH) {
+            let named: Vec<(String, String)> = chunk.iter().map(edge_name).collect();
+            let facts: Vec<(&str, Vec<&str>)> = named
+                .iter()
+                .map(|(u, v)| ("E", vec![u.as_str(), v.as_str()]))
+                .collect();
+            let facts: Vec<(&str, &[&str])> =
+                facts.iter().map(|(p, t)| (*p, t.as_slice())).collect();
+            let out = engine.insert_facts(&facts).expect("batch insert");
+            let budget = engine.budget().expect("budget");
+            let gp = engine.grounding().expect("maintained grounding");
+            mf.apply_insert(gp, &unit, out.base_rules, budget, &telemetry::Noop);
+        }
+        let ins_b_ms = t0.elapsed().as_secs_f64() * 1e3 / UPDATES as f64;
+        let t0 = Instant::now();
+        for chunk in batched.chunks(BATCH) {
+            let named: Vec<(String, String)> = chunk.iter().map(edge_name).collect();
+            let facts: Vec<(&str, Vec<&str>)> = named
+                .iter()
+                .map(|(u, v)| ("E", vec![u.as_str(), v.as_str()]))
+                .collect();
+            let facts: Vec<(&str, &[&str])> =
+                facts.iter().map(|(p, t)| (*p, t.as_slice())).collect();
+            let out = engine.retract_facts(&facts).expect("batch retract");
+            let budget = engine.budget().expect("budget");
+            let gp = engine.grounding().expect("maintained grounding");
+            mf.apply_retract(gp, &unit, &out.roots, budget, &telemetry::Noop);
+        }
+        let del_b_ms = t0.elapsed().as_secs_f64() * 1e3 / UPDATES as f64;
+        let check = datalog::semi_naive_eval::<Tropical, _>(engine.grounding().unwrap(), &unit, {
+            engine.budget().unwrap()
+        });
+        assert_eq!(check.values, *mf.values(), "batched maintenance drifted");
+
+        let (spd1, spd_b) = (full_ms / ins1_ms, full_ms / ins_b_ms);
+        if (n, m) == (500, 2000) {
+            smoke_500 = Some(spd_b);
+        }
+        if (n, m) == (1000, 4000) {
+            headline_1k = Some((full_ms, ins1_ms));
+        }
+        println!(
+            "   {n:>5} {m:>6} {rules0:>9} {full_ms:>9.2} | {ins1_ms:>9.3} {ins_b_ms:>9.3} {del1_ms:>9.3} {del_b_ms:>9.3} | {spd1:>7.1}x {spd_b:>7.1}x"
+        );
+        rows.push(format!(
+            "{{\"n\": {n}, \"m\": {m}, \"grounded_rules\": {rules0}, \
+             \"updates\": {UPDATES}, \"batch_size\": {BATCH}, \
+             \"full_ms\": {full_ms:.3}, \
+             \"insert_single_ms\": {ins1_ms:.4}, \"insert_batched_ms\": {ins_b_ms:.4}, \
+             \"retract_single_ms\": {del1_ms:.4}, \"retract_batched_ms\": {del_b_ms:.4}, \
+             \"speedup_insert_single\": {spd1:.1}, \"speedup_insert_batched\": {spd_b:.1}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"incremental_maintenance\",\n  \
+         \"program\": \"transitive_closure\",\n  \
+         \"semiring\": \"tropical, unit weights\",\n  \
+         \"workload\": \"per-update = maintained grounding + maintained fixpoint; \
+         baseline = full ground + semi-naive eval (best of 3)\",\n  \
+         \"cores\": {cores},\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        rows.join(",\n    ")
+    );
+    match std::fs::write("BENCH_incremental.json", &json) {
+        Ok(()) => println!("   trajectory written to BENCH_incremental.json"),
+        Err(e) => println!("   could not write BENCH_incremental.json: {e}"),
+    }
+    let (full_1k, ins1_1k) = headline_1k.expect("gnm(1000,4000) row ran");
+    println!(
+        "   reading: gnm(1000,4000) single-fact insert {ins1_1k:.3}ms/update vs full recompute \
+         {full_1k:.2}ms [target: maintained < full]"
+    );
+    // CI smoke gates. The batched gate is deliberately far below the
+    // measured margin (typically 100x+): a noisy shared runner must not
+    // flake, and the committed trajectory records the real number.
+    assert!(
+        full_1k > ins1_1k,
+        "single-fact insert no cheaper than full recompute on gnm(1000,4000)"
+    );
+    let smoke = smoke_500.expect("gnm(500,2000) row ran");
+    assert!(
+        smoke >= 5.0,
+        "batched insert must be ≥5x a full recompute on gnm(500,2000): {smoke:.1}x"
+    );
+}
+
 /// Theorem 3.5: the layered graph *is* the circuit.
 fn layered() {
     header(
@@ -1175,6 +1389,45 @@ mod tests {
                 best > 0.0,
                 "committed parallel trajectory records a nonsensical speedup {best}x"
             );
+        }
+    }
+
+    #[test]
+    fn committed_incremental_trajectory_is_coherent() {
+        let json = include_str!("../../../../BENCH_incremental.json");
+        // The honest-hardware field the acceptance bar asks for.
+        let cores = field(
+            json.lines()
+                .find(|l| l.contains("\"cores\":"))
+                .expect("cores recorded"),
+            "cores",
+        ) as usize;
+        assert!(cores >= 1, "cores field must record the measuring host");
+        // The tentpole's headline: maintained single-fact inserts beat a
+        // full re-ground + re-eval per update on gnm(1000,4000) TC. This
+        // is algorithmic (O(cone) vs O(grounding) work), so it holds on
+        // any host — no core gate.
+        let row = json
+            .lines()
+            .find(|l| l.contains("\"n\": 1000"))
+            .expect("gnm(1000,4000) row present");
+        let (full, single) = (field(row, "full_ms"), field(row, "insert_single_ms"));
+        assert!(
+            single < full,
+            "committed trajectory records single-insert {single}ms vs full {full}ms"
+        );
+        // Batched amortization holds with margin on the small row too.
+        let small = json
+            .lines()
+            .find(|l| l.contains("\"n\": 500"))
+            .expect("gnm(500,2000) row present");
+        assert!(field(small, "speedup_insert_batched") >= 5.0);
+        for key in [
+            "retract_single_ms",
+            "retract_batched_ms",
+            "insert_batched_ms",
+        ] {
+            assert!(field(row, key) > 0.0, "{key} recorded");
         }
     }
 

@@ -68,15 +68,16 @@ use std::sync::Arc;
 
 use circuit::Circuit;
 use datalog::{
-    default_budget, par_eval_with_strategy_recorded, par_ground_with_limit_recorded,
-    par_naive_eval_recorded, parse_program, ConstId, Database, EvalOutcome, EvalStrategy,
+    default_budget, extend_grounding, par_eval_with_strategy_recorded,
+    par_ground_with_limit_recorded, par_naive_eval_recorded, parse_program,
+    retract_facts_from_grounding, ConstId, Database, EvalOutcome, EvalStrategy, FactId,
     GroundedProgram, PredId, Program,
 };
 use graphgen::{LabeledDigraph, NodeId};
 use provcirc_error::Error;
-use semiring::valuation::{Valuation, VarTags};
+use semiring::valuation::{AllOnes, Valuation, VarTags};
 use semiring::{Semiring, Sorp};
-use telemetry::{CacheEvent, MetricsReport, PipelineMetrics, Stage};
+use telemetry::{CacheEvent, Counter, MetricsReport, PipelineMetrics, Recorder, Stage};
 
 use crate::classify::{classify_program, Classification};
 use crate::compile::{self, Compiled, Strategy};
@@ -110,6 +111,42 @@ pub struct EngineCacheStats {
 /// Cache key of a compiled circuit: the queried fact plus the resolved
 /// strategy.
 pub(crate) type CircuitKey = (PredId, Vec<ConstId>, Strategy);
+
+/// What one write batch ([`Engine::insert_facts`] /
+/// [`Engine::retract_facts`]) did to the session.
+///
+/// `base_rules` (inserts) and `roots` (retracts) are the handles the
+/// value-maintenance layer needs: pass them, with the engine's updated
+/// [`grounding`](Engine::grounding), to
+/// `incremental::MaintainedFixpoint::apply_insert` /
+/// `apply_retract` to repair a semiring fixpoint in place instead of
+/// re-running it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaOutcome {
+    /// The session epoch *after* the write (bumped once per batch that
+    /// changed the database; snapshots carry the epoch they froze).
+    pub epoch: u64,
+    /// Fact ids actually inserted (fresh ids; duplicates of existing
+    /// facts are skipped) or retracted (now tombstoned).
+    pub facts: Vec<FactId>,
+    /// Grounded-rule count before the delta extension — the seed point
+    /// for `MaintainedFixpoint::apply_insert`. 0 when no grounding was
+    /// cached (nothing was extended).
+    pub base_rules: usize,
+    /// Heads of the grounded rules removed by a retraction (indices into
+    /// `GroundedProgram::idb_facts`) — the cone roots for
+    /// `MaintainedFixpoint::apply_retract`. Empty for inserts.
+    pub roots: Vec<usize>,
+    /// Whether a cached grounding was updated **in place** (delta
+    /// extension or rule retirement). `false` when nothing was cached
+    /// yet — the write was a plain database mutation.
+    pub maintained: bool,
+    /// `false` exactly when a cached grounding had to be discarded (the
+    /// delta extension failed, or a cached grounding error went stale):
+    /// the next read re-grounds from scratch. Counted in the
+    /// `incremental_fallbacks` metric.
+    pub incremental: bool,
+}
 
 /// Builder for an [`Engine`] session.
 ///
@@ -402,6 +439,7 @@ impl EngineBuilder {
             eval_budget: self.eval_budget,
             eval_strategy: self.eval_strategy,
             parallelism: self.parallelism.max(1),
+            epoch: 0,
             grounding: OnceCell::new(),
             classification: OnceCell::new(),
             provenance: OnceCell::new(),
@@ -437,6 +475,7 @@ pub struct Engine {
     eval_budget: Option<usize>,
     eval_strategy: EvalStrategy,
     parallelism: usize,
+    epoch: u64,
     grounding: OnceCell<Result<Arc<GroundedProgram>, Error>>,
     classification: OnceCell<Arc<Classification>>,
     provenance: OnceCell<Result<EvalOutcome<Sorp>, Error>>,
@@ -575,6 +614,250 @@ impl Engine {
         self.parallelism
     }
 
+    /// The session's write epoch: 0 at build, bumped once per
+    /// [`insert_facts`](Engine::insert_facts) /
+    /// [`retract_facts`](Engine::retract_facts) batch that changed the
+    /// database. Snapshots record the epoch they froze
+    /// ([`EngineSnapshot::epoch`](crate::snapshot::EngineSnapshot::epoch)),
+    /// so a serving layer can tell which generation a reader is on.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Insert one EDB fact — see [`insert_facts`](Engine::insert_facts).
+    pub fn insert_fact(&mut self, pred: &str, tuple: &[&str]) -> Result<DeltaOutcome, Error> {
+        self.insert_facts(&[(pred, tuple)])
+    }
+
+    /// Retract one EDB fact — see [`retract_facts`](Engine::retract_facts).
+    pub fn retract_fact(&mut self, pred: &str, tuple: &[&str]) -> Result<DeltaOutcome, Error> {
+        self.retract_facts(&[(pred, tuple)])
+    }
+
+    /// Insert a batch of EDB facts **without invalidating the cached
+    /// grounding**: if the session has already grounded, the delta is
+    /// grounded against the cached [`GroundedProgram`] in place
+    /// (`datalog::extend_grounding` — new facts as the join frontier,
+    /// revived rules on domain growth) instead of re-grounding from
+    /// scratch. Constants are interned on the fly; inserting a fact that
+    /// already exists is a no-op (its id is *not* reported in
+    /// [`DeltaOutcome::facts`]).
+    ///
+    /// Errors — without touching any state — on unknown predicates, arity
+    /// mismatches, and IDB predicates (only EDB relations are writable;
+    /// IDB facts are *derived*). If the delta extension itself fails
+    /// (e.g. [`Error::GroundingLimit`]), the write still succeeds: the
+    /// cached grounding is dropped and the next read re-grounds from
+    /// scratch — reported via [`DeltaOutcome::incremental`] `= false` and
+    /// the `incremental_fallbacks` counter.
+    ///
+    /// Value-level caches that cannot be maintained soundly are cleared
+    /// for lazy recomputation: the provenance fixpoint (its *naive
+    /// iteration count* feeds the Theorem 4.3 `BoundedLayered` layering —
+    /// an in-place value repair would not reproduce it) and with it every
+    /// compiled circuit and multi-output arena. The classification
+    /// survives (it depends only on the program). Batching several facts
+    /// into one call amortizes both the delta-grounding pass and the
+    /// copy-on-write of grounding/database `Arc`s shared with live
+    /// snapshots.
+    pub fn insert_facts(&mut self, facts: &[(&str, &[&str])]) -> Result<DeltaOutcome, Error> {
+        // Validate everything before mutating anything: a failed batch
+        // must leave the session untouched.
+        let idbs = self.program.idbs();
+        let mut resolved: Vec<(PredId, &[&str])> = Vec::with_capacity(facts.len());
+        for (pred, tuple) in facts {
+            let pred_id = self
+                .program
+                .preds
+                .get(pred)
+                .ok_or_else(|| Error::UnknownPredicate((*pred).to_owned()))?;
+            if idbs.contains(&pred_id) {
+                return Err(Error::BadQuery(format!(
+                    "{pred} is an IDB predicate — writes target EDB relations; derived facts \
+                     follow from the rules"
+                )));
+            }
+            if let Some(arity) = self.program.arity(pred_id) {
+                if arity != tuple.len() {
+                    return Err(Error::BadQuery(format!(
+                        "{pred} has arity {arity}, got {} arguments",
+                        tuple.len()
+                    )));
+                }
+            }
+            resolved.push((pred_id, tuple));
+        }
+
+        let old_domain = self.db.domain_size();
+        let edb_delta_start = self.db.num_facts() as FactId;
+        let db = Arc::make_mut(&mut self.db);
+        let mut inserted: Vec<FactId> = Vec::new();
+        for (pred_id, tuple) in resolved {
+            let consts: Vec<ConstId> = tuple.iter().map(|c| db.constant(c)).collect();
+            let before = db.num_facts();
+            let id = db.insert(pred_id, consts);
+            if db.num_facts() > before {
+                inserted.push(id);
+            }
+        }
+        if inserted.is_empty() {
+            // Every fact was a duplicate: nothing changed (duplicates
+            // cannot introduce constants either), no epoch bump.
+            return Ok(DeltaOutcome {
+                epoch: self.epoch,
+                incremental: true,
+                ..DeltaOutcome::default()
+            });
+        }
+
+        let mut outcome = DeltaOutcome {
+            facts: inserted,
+            incremental: true,
+            ..DeltaOutcome::default()
+        };
+        if let Some(cell) = self.grounding.take() {
+            match cell {
+                Ok(mut arc) => {
+                    // Copy-on-write: clones only when a live snapshot
+                    // still shares the grounding — the price of snapshot
+                    // isolation.
+                    let gp = Arc::make_mut(&mut arc);
+                    outcome.base_rules = gp.rules.len();
+                    match extend_grounding(
+                        &self.program,
+                        &self.db,
+                        gp,
+                        edb_delta_start,
+                        old_domain,
+                        self.max_ground_rules,
+                        &*self.metrics,
+                    ) {
+                        Ok(()) => {
+                            outcome.maintained = true;
+                            // Re-seat WITHOUT a CacheEvent::Grounding:
+                            // nothing was re-grounded from scratch.
+                            let _ = self.grounding.set(Ok(arc));
+                        }
+                        Err(_) => {
+                            // The partially-extended grounding is
+                            // poisoned; drop it and let the next read
+                            // re-ground from scratch (a rebuild can
+                            // succeed where the extension overflowed:
+                            // zombie rules from earlier retractions do
+                            // not count against a fresh grounding).
+                            outcome.incremental = false;
+                        }
+                    }
+                }
+                Err(_) => {
+                    // A cached grounding *failure* went stale with the
+                    // database change; retry lazily.
+                    outcome.incremental = false;
+                }
+            }
+        }
+        self.finish_delta(&mut outcome);
+        Ok(outcome)
+    }
+
+    /// Retract a batch of EDB facts **without invalidating the cached
+    /// grounding**: the facts are tombstoned in the database (ids are
+    /// never reused — a later re-insert is genuinely new support) and, if
+    /// the session has already grounded, every grounded rule citing a
+    /// retracted fact is retired in place
+    /// (`datalog::retract_facts_from_grounding`). The affected IDB facts
+    /// stay in the grounding as *zombies* pinned at value 0 — keeping
+    /// fact indices prefix-stable for live snapshots — and
+    /// [`DeltaOutcome::roots`] reports the retired rules' heads, the cone
+    /// roots for DRed-style value rederivation
+    /// (`incremental::MaintainedFixpoint::apply_retract`).
+    ///
+    /// Errors — without touching any state — on unknown predicates and on
+    /// facts that are not present (retracting an absent or derived fact
+    /// is a [`Error::BadQuery`]). Cache handling (provenance, circuits,
+    /// epoch) is as in [`insert_facts`](Engine::insert_facts).
+    pub fn retract_facts(&mut self, facts: &[(&str, &[&str])]) -> Result<DeltaOutcome, Error> {
+        // All-or-nothing validation, as for inserts.
+        let mut resolved: Vec<(PredId, Vec<ConstId>, FactId)> = Vec::with_capacity(facts.len());
+        for (pred, tuple) in facts {
+            let pred_id = self
+                .program
+                .preds
+                .get(pred)
+                .ok_or_else(|| Error::UnknownPredicate((*pred).to_owned()))?;
+            let consts: Option<Vec<ConstId>> =
+                tuple.iter().map(|c| self.db.consts.get(c)).collect();
+            let fid = consts
+                .as_ref()
+                .and_then(|t| self.db.fact_id(pred_id, t))
+                .ok_or_else(|| {
+                    Error::BadQuery(format!(
+                        "cannot retract {pred}({}): no such EDB fact",
+                        tuple.join(", ")
+                    ))
+                })?;
+            resolved.push((pred_id, consts.expect("resolved above"), fid));
+        }
+        if resolved.is_empty() {
+            return Ok(DeltaOutcome {
+                epoch: self.epoch,
+                incremental: true,
+                ..DeltaOutcome::default()
+            });
+        }
+
+        let db = Arc::make_mut(&mut self.db);
+        let mut retracted: Vec<FactId> = Vec::new();
+        for (pred_id, consts, fid) in &resolved {
+            // A duplicate within the batch retracts once.
+            if db.retract(*pred_id, consts).is_some() {
+                retracted.push(*fid);
+            }
+        }
+
+        let mut outcome = DeltaOutcome {
+            facts: retracted,
+            incremental: true,
+            ..DeltaOutcome::default()
+        };
+        if let Some(cell) = self.grounding.take() {
+            match cell {
+                Ok(mut arc) => {
+                    let gp = Arc::make_mut(&mut arc);
+                    outcome.base_rules = gp.rules.len();
+                    outcome.roots = retract_facts_from_grounding(gp, &outcome.facts);
+                    outcome.maintained = true;
+                    let _ = self.grounding.set(Ok(arc));
+                }
+                Err(_) => {
+                    outcome.incremental = false;
+                }
+            }
+        }
+        self.finish_delta(&mut outcome);
+        Ok(outcome)
+    }
+
+    /// Shared tail of a write batch: clear the value-level caches that
+    /// cannot be maintained in place, bump the epoch, count the batch.
+    fn finish_delta(&mut self, outcome: &mut DeltaOutcome) {
+        // The provenance fixpoint is cleared, not repaired: BoundedLayered
+        // unrolls circuits to its *naive iteration count*, and an in-place
+        // value repair cannot reproduce that measurement. Circuits embed
+        // fact indexing + provenance layering, so they go with it.
+        self.provenance.take();
+        self.circuits.get_mut().clear();
+        self.multi_outputs.get_mut().clear();
+        self.epoch += 1;
+        outcome.epoch = self.epoch;
+        if outcome.maintained {
+            self.metrics.counter(Counter::IncrementalApplied, 1);
+        }
+        if !outcome.incremental {
+            self.metrics.counter(Counter::IncrementalFallbacks, 1);
+        }
+    }
+
     /// Run the session's fixpoint over any semiring under a valuation,
     /// sharded across the session's [`parallelism`](Engine::parallelism).
     /// The raw [`EvalOutcome`] exposes iterations-to-fixpoint; non-
@@ -634,6 +917,7 @@ impl Engine {
             budget,
             self.eval_strategy,
             self.parallelism,
+            self.epoch,
             self.circuits.borrow().clone(),
             Arc::clone(&self.metrics),
         ))
@@ -911,7 +1195,7 @@ impl Query<'_> {
     }
 
     /// The fact's index in the session grounding (forcing the grounding),
-    /// or `None` when the fact is not derivable.
+    /// or `None` when the fact never appeared in it.
     fn fact(&self) -> Result<Option<usize>, Error> {
         match &self.consts {
             Some(t) => Ok(self.engine.grounding()?.fact(self.pred, t)),
@@ -919,15 +1203,28 @@ impl Query<'_> {
         }
     }
 
-    /// Index of the fact in the grounded program, when derivable.
+    /// Index of the fact in the grounded program, when grounded.
     /// Forces the (cached) grounding.
+    ///
+    /// After a retraction this is *membership*, not derivability: facts
+    /// severed by [`Engine::retract_facts`] stay in the grounding as
+    /// zombies (keeping indices stable for live snapshots) but evaluate
+    /// to `0` — [`is_derivable`](Query::is_derivable) tells them apart.
     pub fn fact_index(&self) -> Result<Option<usize>, Error> {
         self.fact()
     }
 
     /// Whether the fact is derivable at all. Forces the (cached) grounding.
+    ///
+    /// Decided by evaluation over [`semiring::Bool`], not grounding membership: on
+    /// a session that has seen [`Engine::retract_facts`], the grounding
+    /// retains underivable zombie facts pinned at `0`, and this answer
+    /// must stay bit-identical to a from-scratch rebuild.
     pub fn is_derivable(&self) -> Result<bool, Error> {
-        Ok(self.fact()?.is_some())
+        if self.fact()?.is_none() {
+            return Ok(false);
+        }
+        Ok(self.eval::<semiring::Bool, _>(&AllOnes)?.0)
     }
 
     /// Evaluate the fact over any semiring under a valuation, by the cached
@@ -1390,5 +1687,274 @@ mod tests {
             engine.grounding().unwrap_err(),
             Error::GroundingLimit { max_rules: 10 }
         ));
+    }
+
+    #[test]
+    fn insert_maintains_the_cached_grounding_in_place() {
+        let engine = &mut Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::path(4, "E"))
+            .build()
+            .unwrap();
+        // Force the grounding, then extend the path by a brand-new node.
+        assert!(engine
+            .query("T", &["v0", "v4"])
+            .unwrap()
+            .is_derivable()
+            .unwrap());
+        let out = engine.insert_fact("E", &["v4", "v5"]).unwrap();
+        assert_eq!(out.epoch, 1);
+        assert_eq!(out.facts.len(), 1);
+        assert!(out.maintained && out.incremental);
+        assert!(out.base_rules > 0);
+        assert_eq!(engine.epoch(), 1);
+        // The delta was grounded against the cache: no second grounding.
+        assert_eq!(engine.cache_stats().groundings, 1);
+        assert_eq!(
+            engine
+                .metrics_handle()
+                .counter_value(Counter::IncrementalApplied),
+            1
+        );
+        // The new derivation is there, with the right tropical distance.
+        let q = engine.query("T", &["v0", "v5"]).unwrap();
+        assert_eq!(
+            q.eval(&semiring::UnitWeights::new(Tropical::new(1)))
+                .unwrap(),
+            Tropical::new(5)
+        );
+        assert_eq!(engine.cache_stats().groundings, 1);
+    }
+
+    #[test]
+    fn insert_validation_is_all_or_nothing() {
+        let engine = &mut Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::path(3, "E"))
+            .build()
+            .unwrap();
+        let facts_before = engine.database().num_facts();
+        assert!(matches!(
+            engine.insert_fact("Z", &["v0", "v1"]),
+            Err(Error::UnknownPredicate(_))
+        ));
+        assert!(matches!(
+            engine.insert_fact("T", &["v0", "v1"]), // IDB: derived, not writable
+            Err(Error::BadQuery(_))
+        ));
+        // A bad fact anywhere in the batch rejects the whole batch.
+        assert!(matches!(
+            engine.insert_facts(&[("E", &["v3", "v4"]), ("E", &["v0"])]),
+            Err(Error::BadQuery(_))
+        ));
+        assert_eq!(engine.database().num_facts(), facts_before);
+        assert_eq!(engine.epoch(), 0);
+    }
+
+    #[test]
+    fn duplicate_inserts_are_no_ops() {
+        let engine = &mut Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::path(3, "E"))
+            .build()
+            .unwrap();
+        let out = engine.insert_fact("E", &["v0", "v1"]).unwrap();
+        assert_eq!(out.epoch, 0);
+        assert!(out.facts.is_empty());
+        assert!(out.incremental && !out.maintained);
+        assert_eq!(engine.epoch(), 0);
+    }
+
+    #[test]
+    fn retract_retires_rules_and_keeps_fact_indices_stable() {
+        let engine = &mut Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::path(4, "E"))
+            .build()
+            .unwrap();
+        let reachable = engine.query("T", &["v0", "v4"]).unwrap();
+        assert!(reachable.is_derivable().unwrap());
+        let idb_before = engine.grounding().unwrap().num_idb_facts();
+
+        let out = engine.retract_fact("E", &["v1", "v2"]).unwrap();
+        assert!(out.maintained && out.incremental);
+        assert!(!out.roots.is_empty());
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.cache_stats().groundings, 1);
+
+        // Severed: everything across the cut is now underivable — the facts
+        // stay in the grounding as zombies (stable indices) at value 0.
+        let gp = engine.grounding().unwrap();
+        assert_eq!(gp.num_idb_facts(), idb_before);
+        assert!(!engine
+            .query("T", &["v0", "v4"])
+            .unwrap()
+            .is_derivable()
+            .unwrap());
+        assert!(!engine
+            .query("T", &["v0", "v2"])
+            .unwrap()
+            .is_derivable()
+            .unwrap());
+        // Still derivable on the surviving prefix/suffix.
+        assert!(engine
+            .query("T", &["v0", "v1"])
+            .unwrap()
+            .is_derivable()
+            .unwrap());
+        assert!(engine
+            .query("T", &["v2", "v4"])
+            .unwrap()
+            .is_derivable()
+            .unwrap());
+        assert_eq!(engine.cache_stats().groundings, 1);
+    }
+
+    #[test]
+    fn retracting_an_absent_or_derived_fact_is_an_error() {
+        let engine = &mut Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::path(3, "E"))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            engine.retract_fact("E", &["v0", "v2"]), // no such edge
+            Err(Error::BadQuery(_))
+        ));
+        assert!(matches!(
+            engine.retract_fact("T", &["v0", "v1"]), // derived, not EDB
+            Err(Error::BadQuery(_))
+        ));
+        assert!(matches!(
+            engine.retract_fact("Z", &["v0"]),
+            Err(Error::UnknownPredicate(_))
+        ));
+        assert_eq!(engine.epoch(), 0);
+        // Retracting then re-inserting yields a *fresh* fact id.
+        let gone = engine.retract_fact("E", &["v0", "v1"]).unwrap();
+        let back = engine.insert_fact("E", &["v0", "v1"]).unwrap();
+        assert_ne!(gone.facts, back.facts);
+        assert!(engine
+            .query("T", &["v0", "v2"])
+            .unwrap()
+            .is_derivable()
+            .unwrap());
+    }
+
+    #[test]
+    fn insert_falls_back_to_regrounding_when_the_extension_overflows() {
+        // Cap the grounding just above the initial size so the delta
+        // extension overflows the budget.
+        let probe = Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::path(3, "E"))
+            .build()
+            .unwrap();
+        let base_rules = probe.grounding().unwrap().rules.len();
+
+        let engine = &mut Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::path(3, "E"))
+            .max_grounded_rules(base_rules)
+            .build()
+            .unwrap();
+        engine.grounding().unwrap();
+        let out = engine.insert_fact("E", &["v3", "v4"]).unwrap();
+        // The write itself succeeds; only the cache maintenance gave up.
+        assert!(!out.incremental && !out.maintained);
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(
+            engine
+                .metrics_handle()
+                .counter_value(Counter::IncrementalFallbacks),
+            1
+        );
+        // The next read re-grounds from scratch — and the rebuild honestly
+        // re-hits the limit, typed as ever.
+        assert!(matches!(
+            engine.grounding().unwrap_err(),
+            Error::GroundingLimit { .. }
+        ));
+        assert_eq!(engine.cache_stats().groundings, 2);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_writes_and_carry_the_epoch() {
+        let engine = &mut Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::path(4, "E"))
+            .build()
+            .unwrap();
+        let before = engine.snapshot().unwrap();
+        assert_eq!(before.epoch(), 0);
+
+        engine.retract_fact("E", &["v1", "v2"]).unwrap();
+        engine.insert_fact("E", &["v4", "v5"]).unwrap();
+        let after = engine.snapshot().unwrap();
+        assert_eq!(after.epoch(), 2);
+
+        // The old snapshot still sees the old world (copy-on-write), the
+        // new one the new world.
+        assert_eq!(
+            before
+                .eval::<Bool, _>("T", &["v0", "v4"], &AllOnes)
+                .unwrap(),
+            Bool(true)
+        );
+        assert_eq!(
+            after.eval::<Bool, _>("T", &["v0", "v4"], &AllOnes).unwrap(),
+            Bool(false)
+        );
+        assert_eq!(
+            before
+                .eval::<Bool, _>("T", &["v4", "v5"], &AllOnes)
+                .unwrap(),
+            Bool(false)
+        );
+        assert_eq!(
+            after.eval::<Bool, _>("T", &["v4", "v5"], &AllOnes).unwrap(),
+            Bool(true)
+        );
+        // All through one cached-and-maintained grounding.
+        assert_eq!(engine.cache_stats().groundings, 1);
+    }
+
+    #[test]
+    fn delta_outcome_drives_the_value_maintenance_layer() {
+        // The Engine maintains the *grounding*; `incremental` maintains the
+        // *values*. Wire the two through `DeltaOutcome` and check the
+        // maintained fixpoint is bit-identical to recomputation.
+        let engine = &mut Engine::builder()
+            .program(programs::transitive_closure())
+            .graph(&generators::path(4, "E"))
+            .build()
+            .unwrap();
+        let unit = semiring::UnitWeights::new(Tropical::new(1));
+        let out0 = engine.fixpoint::<Tropical, _>(&unit).unwrap();
+        let mut maintained = incremental::MaintainedFixpoint::start(&out0);
+
+        let ins = engine.insert_fact("E", &["v4", "v5"]).unwrap();
+        let gp = engine.grounding().unwrap();
+        assert!(maintained.apply_insert(
+            gp,
+            &unit,
+            ins.base_rules,
+            engine.budget().unwrap(),
+            &telemetry::Noop
+        ));
+        let fresh = engine.fixpoint::<Tropical, _>(&unit).unwrap();
+        assert_eq!(maintained.values(), &fresh.values[..]);
+
+        let del = engine.retract_fact("E", &["v1", "v2"]).unwrap();
+        let gp = engine.grounding().unwrap();
+        assert!(maintained.apply_retract(
+            gp,
+            &unit,
+            &del.roots,
+            engine.budget().unwrap(),
+            &telemetry::Noop
+        ));
+        let fresh = engine.fixpoint::<Tropical, _>(&unit).unwrap();
+        assert_eq!(maintained.values(), &fresh.values[..]);
     }
 }

@@ -54,6 +54,7 @@ pub struct EngineSnapshot {
     budget: usize,
     eval_strategy: EvalStrategy,
     parallelism: usize,
+    epoch: u64,
     circuits: HashMap<CircuitKey, Arc<Compiled>>,
     metrics: Arc<PipelineMetrics>,
 }
@@ -78,6 +79,7 @@ impl EngineSnapshot {
         budget: usize,
         eval_strategy: EvalStrategy,
         parallelism: usize,
+        epoch: u64,
         circuits: HashMap<CircuitKey, Arc<Compiled>>,
         metrics: Arc<PipelineMetrics>,
     ) -> Self {
@@ -89,6 +91,7 @@ impl EngineSnapshot {
             budget,
             eval_strategy,
             parallelism,
+            epoch,
             circuits,
             metrics,
         }
@@ -130,6 +133,14 @@ impl EngineSnapshot {
     /// worker-pool sizing discussion in `docs/ARCHITECTURE.md`.
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// The write epoch of the originating session at freeze time: which
+    /// generation of the database this snapshot sees. Bumped by
+    /// [`Engine::insert_facts`]/[`Engine::retract_facts`]; a serving layer
+    /// compares epochs to tell whether a reader handle predates a write.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The telemetry collector shared with the originating session:

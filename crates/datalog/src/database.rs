@@ -48,6 +48,34 @@ impl Database {
         id
     }
 
+    /// Remove a fact, keeping its [`FactId`] slot as a tombstone so every
+    /// other fact id stays valid. Returns the removed id, or `None` when
+    /// the fact is absent.
+    ///
+    /// Fact ids are never reused: a later [`insert`](Database::insert) of
+    /// the same tuple allocates a *fresh* id. That is what lets the
+    /// incremental-maintenance layer retire exactly the grounded rules
+    /// referencing the old id and treat a re-insert as genuinely new
+    /// support (with a fresh provenance variable).
+    pub fn retract(&mut self, pred: PredId, tuple: &[ConstId]) -> Option<FactId> {
+        let id = self.index.remove(&(pred, tuple.to_vec()))?;
+        if let Some(bucket) = self.by_pred.get_mut(&pred) {
+            // Buckets are ascending (insertion order = increasing id).
+            if let Ok(i) = bucket.binary_search(&id) {
+                bucket.remove(i);
+            }
+        }
+        Some(id)
+    }
+
+    /// Whether the fact id is live (not retracted). Tombstoned ids still
+    /// resolve through [`fact`](Database::fact) so provenance variables
+    /// stay printable, but they no longer join.
+    pub fn is_live(&self, id: FactId) -> bool {
+        let (p, t) = &self.facts[id as usize];
+        self.index.get(&(*p, t.clone())) == Some(&id)
+    }
+
     /// Whether the fact is present.
     pub fn contains(&self, pred: PredId, tuple: &[ConstId]) -> bool {
         self.index.contains_key(&(pred, tuple.to_vec()))
@@ -130,6 +158,28 @@ mod tests {
         assert_eq!(db.num_facts(), 1);
         assert!(db.contains(0, &[a, b]));
         assert!(!db.contains(0, &[b, a]));
+    }
+
+    #[test]
+    fn retract_tombstones_and_reinsert_gets_fresh_id() {
+        let mut db = Database::new();
+        let a = db.constant("a");
+        let b = db.constant("b");
+        let f0 = db.insert(0, vec![a, b]);
+        let f1 = db.insert(0, vec![b, a]);
+        assert_eq!(db.retract(0, &[a, b]), Some(f0));
+        assert_eq!(db.retract(0, &[a, b]), None, "second retract is a no-op");
+        assert!(!db.contains(0, &[a, b]));
+        assert!(!db.is_live(f0));
+        assert!(db.is_live(f1));
+        // Ids of surviving facts are untouched; the slot stays readable.
+        assert_eq!(db.fact(f0).1, &[a, b][..]);
+        assert_eq!(db.facts_of(0), &[f1][..]);
+        // Re-insert: fresh id, never a reuse of the tombstone.
+        let f2 = db.insert(0, vec![a, b]);
+        assert_ne!(f2, f0);
+        assert!(db.is_live(f2));
+        assert_eq!(db.facts_of(0), &[f1, f2][..]);
     }
 
     #[test]

@@ -748,8 +748,10 @@ where
 }
 
 /// Each rule's EDB factor is loop-invariant across a fixpoint run: the
-/// ⊗-product of its EDB body facts' values, computed once.
-fn edb_factors<S, V>(gp: &GroundedProgram, assign: &V) -> Vec<S>
+/// ⊗-product of its EDB body facts' values, computed once. Public so the
+/// incremental-maintenance layer can reuse it when seeding delta
+/// propagation over an extended grounding.
+pub fn edb_factors<S, V>(gp: &GroundedProgram, assign: &V) -> Vec<S>
 where
     S: Semiring,
     V: Valuation<S> + ?Sized,
@@ -768,8 +770,10 @@ where
 
 /// Invert the body references into fact → dependent rules, CSR layout:
 /// `deps[start[i]..start[i + 1]]` lists the rules reading fact `i`
-/// (each rule at most once per fact).
-fn dependency_csr(gp: &GroundedProgram) -> (Vec<usize>, Vec<u32>) {
+/// (each rule at most once per fact). Public so the incremental
+/// maintenance layer can drive its change-propagation worklist and DRed
+/// cone computation off the same table.
+pub fn dependency_csr(gp: &GroundedProgram) -> (Vec<usize>, Vec<u32>) {
     let n = gp.num_idb_facts();
     let mut start = vec![0usize; n + 1];
     for r in &gp.rules {

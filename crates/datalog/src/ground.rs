@@ -690,6 +690,341 @@ pub fn par_ground(
     par_ground_with_limit(program, db, usize::MAX, threads)
 }
 
+/// Old/new boundary of one incremental delta pass: EDB fact ids
+/// `>= edb_start` and IDB fact indices `>= idb_start` are "new".
+struct PinBounds {
+    edb_start: usize,
+    idb_start: usize,
+}
+
+/// Extend a grounded program **in place** with the consequences of newly
+/// inserted EDB facts (ids `>= edb_delta_start`) — the incremental
+/// alternative to re-grounding from scratch.
+///
+/// `gp` must be the grounding of `program` against `db` *minus* the new
+/// facts (tombstoned retractions are fine: they no longer join).
+/// `old_domain` is the size of `db.consts` before the inserts; constants
+/// interned at or after it are "fresh", which is how rules that were dead
+/// under the old domain (a constant naming nothing) are detected and
+/// revived with a full enumeration.
+///
+/// The pass mirrors the two grounding phases:
+/// 1. **Delta discovery** — each rule is re-fired with one EDB body
+///    position pinned to the new facts (earlier positions old-only, so
+///    nothing is enumerated twice; see `Matcher::enumerate_pinned`),
+///    seeding a semi-naive frontier fixpoint over the newly derivable IDB
+///    facts, which are *appended* to `gp.idb_facts` — existing fact
+///    indices never move.
+/// 2. **Delta rule enumeration** — every grounding whose body uses at
+///    least one new fact (inserted EDB or newly derived IDB) is
+///    enumerated exactly once, at its first new body position, and
+///    appended to `gp.rules`. Revived rules are enumerated in full (they
+///    had zero groundings before).
+///
+/// The union of old and appended rules is exactly the full re-grounding
+/// of the current database *plus* any rules whose body references a
+/// fact left underivable by earlier retractions — those bodies evaluate
+/// to `0`, so they are ⊕-neutral in every fixpoint (the "zombie"
+/// invariant of [`retract_facts_from_grounding`]).
+///
+/// Runs sequentially (deltas are small by design; the full-ground path
+/// stays the parallel one) and reports one [`Stage::DeltaGround`] span
+/// plus [`Counter::FactsDiscovered`] / [`Counter::IndexProbes`] into
+/// `rec`. Fails with [`Error::GroundingLimit`] when the extended program
+/// would exceed `max_rules`; `gp` is left partially extended and must be
+/// discarded by the caller (the `Engine` falls back to lazy
+/// re-grounding).
+pub fn extend_grounding(
+    program: &Program,
+    db: &Database,
+    gp: &mut GroundedProgram,
+    edb_delta_start: FactId,
+    old_domain: usize,
+    max_rules: usize,
+    rec: &dyn Recorder,
+) -> Result<(), Error> {
+    let enabled = rec.enabled();
+    let span_start = enabled.then(std::time::Instant::now);
+    program.validate()?;
+    let idbs = program.idbs();
+    let const_map: Vec<Option<ConstId>> = (0..program.consts.len() as u32)
+        .map(|c| db.consts.get(program.consts.name(c)))
+        .collect();
+    let mut slots = SlotInterner::default();
+    let plans: Vec<RulePlan> = program
+        .rules
+        .iter()
+        .map(|r| plan_rule(r, &idbs, &const_map, &mut slots))
+        .collect();
+    let delta_plans: Vec<Vec<DeltaPlan>> = program
+        .rules
+        .iter()
+        .enumerate()
+        .map(|(ri, rule)| {
+            if plans[ri].dead {
+                return Vec::new();
+            }
+            plans[ri]
+                .idb_positions
+                .iter()
+                .map(|&dpos| plan_delta(rule, dpos, &idbs, &mut slots))
+                .collect()
+        })
+        .collect();
+    let mut indices = JoinIndices::build(&slots, db);
+    indices.extend_idb(gp);
+
+    // A rule is *revived* when it is live now but referenced a constant
+    // absent from the pre-delta domain: it had zero groundings before, so
+    // every grounding is new and it gets a full (delta-free) enumeration.
+    let revived: Vec<bool> = program
+        .rules
+        .iter()
+        .enumerate()
+        .map(|(ri, rule)| {
+            !plans[ri].dead
+                && std::iter::once(&rule.head)
+                    .chain(rule.body.iter())
+                    .flat_map(|a| a.terms.iter())
+                    .any(|t| {
+                        matches!(t, Term::Const(c)
+                            if matches!(const_map[*c as usize], Some(id) if (id as usize) >= old_domain))
+                    })
+        })
+        .collect();
+
+    let idb_delta_start = gp.idb_facts.len();
+    let edb_start = edb_delta_start as usize;
+    let bounds = PinBounds {
+        edb_start,
+        idb_start: idb_delta_start,
+    };
+
+    // Phase 1 (delta discovery): seed with the new EDB facts, then run
+    // the usual semi-naive frontier rounds over the newly derived facts.
+    let mut probes = 0u64;
+    let mut found: Vec<(PredId, Vec<ConstId>)> = Vec::new();
+    {
+        let gpr: &GroundedProgram = gp;
+        for (ri, rule) in program.rules.iter().enumerate() {
+            if plans[ri].dead {
+                continue;
+            }
+            let m = Matcher {
+                db,
+                gp: gpr,
+                const_map: &const_map,
+                rule,
+                plan: &plans[ri],
+                idbs: &idbs,
+                indices: &indices,
+                count_probes: enabled,
+                probes: Cell::new(0),
+            };
+            let mut on = |bindings: &HashMap<VarSym, ConstId>, _: &[BodyMatch]| {
+                let head = instantiate(&rule.head, bindings, &const_map)
+                    .expect("head vars bound by safety; dead rules skipped");
+                if gpr.fact(rule.head.pred, &head).is_none() {
+                    found.push((rule.head.pred, head));
+                }
+                ControlFlow::Continue(())
+            };
+            if revived[ri] {
+                m.enumerate(&mut on);
+            } else {
+                for (pos, atom) in rule.body.iter().enumerate() {
+                    if idbs.contains(&atom.pred) {
+                        continue;
+                    }
+                    let has_new = db
+                        .facts_of(atom.pred)
+                        .last()
+                        .is_some_and(|&f| (f as usize) >= edb_start);
+                    if has_new {
+                        m.enumerate_pinned(pos, &bounds, &mut on);
+                    }
+                }
+            }
+            probes += m.probes.get();
+        }
+    }
+    let mut changed = false;
+    for (pred, tuple) in found.drain(..) {
+        changed |= gp.push_fact(pred, tuple).is_some();
+    }
+    if changed {
+        indices.extend_idb(gp);
+    }
+    let mut delta_start = idb_delta_start;
+    while changed {
+        let hi = gp.idb_facts.len();
+        {
+            let gpr: &GroundedProgram = gp;
+            for (ri, dps) in delta_plans.iter().enumerate() {
+                for dp in dps {
+                    let rule = &program.rules[ri];
+                    let m = Matcher {
+                        db,
+                        gp: gpr,
+                        const_map: &const_map,
+                        rule,
+                        plan: &plans[ri],
+                        idbs: &idbs,
+                        indices: &indices,
+                        count_probes: enabled,
+                        probes: Cell::new(0),
+                    };
+                    m.enumerate_delta(dp, delta_start, delta_start, hi, &mut |bindings, _| {
+                        let head = instantiate(&rule.head, bindings, &const_map)
+                            .expect("head vars bound by safety; dead rules skipped");
+                        if gpr.fact(rule.head.pred, &head).is_none() {
+                            found.push((rule.head.pred, head));
+                        }
+                        ControlFlow::Continue(())
+                    });
+                    probes += m.probes.get();
+                }
+            }
+        }
+        delta_start = hi;
+        changed = false;
+        for (pred, tuple) in found.drain(..) {
+            changed |= gp.push_fact(pred, tuple).is_some();
+        }
+        if changed {
+            indices.extend_idb(gp);
+        }
+    }
+
+    // Phase 2 (delta rule enumeration): every grounding with ≥ 1 new
+    // body fact, exactly once, appended in (rule, pinned position) order.
+    let base_rules = gp.rules.len();
+    let mut new_rules: Vec<GroundedRule> = Vec::new();
+    let mut overflow = false;
+    {
+        let gpr: &GroundedProgram = gp;
+        for (ri, rule) in program.rules.iter().enumerate() {
+            if plans[ri].dead {
+                continue;
+            }
+            let m = Matcher {
+                db,
+                gp: gpr,
+                const_map: &const_map,
+                rule,
+                plan: &plans[ri],
+                idbs: &idbs,
+                indices: &indices,
+                count_probes: enabled,
+                probes: Cell::new(0),
+            };
+            let new_rules = &mut new_rules;
+            let overflow = &mut overflow;
+            let mut emit = |bindings: &HashMap<VarSym, ConstId>, matches: &[BodyMatch]| {
+                if base_rules + new_rules.len() >= max_rules {
+                    *overflow = true;
+                    return ControlFlow::Break(());
+                }
+                let head_tuple = instantiate(&rule.head, bindings, &const_map)
+                    .expect("head vars bound by safety; dead rules skipped");
+                let head = gpr
+                    .fact(rule.head.pred, &head_tuple)
+                    .expect("head derivable at delta fixpoint");
+                let mut body_idb = Vec::new();
+                let mut body_edb = Vec::new();
+                for bm in matches {
+                    match *bm {
+                        BodyMatch::Idb(i) => body_idb.push(i),
+                        BodyMatch::Edb(f) => body_edb.push(f),
+                    }
+                }
+                new_rules.push(GroundedRule {
+                    rule_index: ri,
+                    head,
+                    body_idb,
+                    body_edb,
+                });
+                ControlFlow::Continue(())
+            };
+            if revived[ri] {
+                m.enumerate(&mut emit);
+            } else {
+                for (pos, atom) in rule.body.iter().enumerate() {
+                    let has_new = if idbs.contains(&atom.pred) {
+                        gpr.facts_of(atom.pred)
+                            .last()
+                            .is_some_and(|&i| i >= idb_delta_start)
+                    } else {
+                        db.facts_of(atom.pred)
+                            .last()
+                            .is_some_and(|&f| (f as usize) >= edb_start)
+                    };
+                    if has_new {
+                        m.enumerate_pinned(pos, &bounds, &mut emit);
+                    }
+                }
+            }
+            probes += m.probes.get();
+            if *overflow {
+                return Err(Error::GroundingLimit { max_rules });
+            }
+        }
+    }
+    gp.rules_by_head.resize(gp.idb_facts.len(), Vec::new());
+    for (i, r) in new_rules.iter().enumerate() {
+        gp.rules_by_head[r.head].push(base_rules + i);
+    }
+    gp.rules.append(&mut new_rules);
+    if enabled {
+        rec.counter(Counter::IndexProbes, probes);
+        rec.counter(
+            Counter::FactsDiscovered,
+            (gp.idb_facts.len() - idb_delta_start) as u64,
+        );
+    }
+    if let Some(t) = span_start {
+        rec.stage_nanos(Stage::DeltaGround, t.elapsed().as_nanos() as u64);
+    }
+    Ok(())
+}
+
+/// Remove — in place — every grounded rule whose EDB body references one
+/// of the `retracted` fact ids, renumbering the survivors and rebuilding
+/// `rules_by_head`. Returns the head fact indices of the removed rules,
+/// deduplicated and ascending: the roots of the DRed cone that
+/// [`incremental`-style value maintenance][r] must rederive.
+///
+/// Derivable facts are **not** removed, even when the retraction leaves
+/// them underivable: deleting a fact index would renumber every index
+/// after it (invalidating circuits, provenance variables, and cached
+/// values wholesale — the very thing incremental maintenance avoids).
+/// Instead an underivable fact stays as a *zombie*: it keeps its index,
+/// rederivation drives its value to `0`, and any rule still referencing
+/// it in a body contributes `0 ⊗ … = 0`, i.e. is ⊕-neutral in every
+/// fixpoint on every semiring. Query results are therefore identical to
+/// a from-scratch rebuild, which simply never derives the fact.
+///
+/// [r]: https://docs.rs/provcirc
+pub fn retract_facts_from_grounding(gp: &mut GroundedProgram, retracted: &[FactId]) -> Vec<usize> {
+    let dead: HashSet<FactId> = retracted.iter().copied().collect();
+    let mut roots: Vec<usize> = Vec::new();
+    gp.rules.retain(|r| {
+        if r.body_edb.iter().any(|f| dead.contains(f)) {
+            roots.push(r.head);
+            false
+        } else {
+            true
+        }
+    });
+    roots.sort_unstable();
+    roots.dedup();
+    gp.rules_by_head = vec![Vec::new(); gp.idb_facts.len()];
+    for (i, r) in gp.rules.iter().enumerate() {
+        gp.rules_by_head[r.head].push(i);
+    }
+    roots
+}
+
 /// Callback invoked for every satisfying assignment of a rule body.
 /// Returning [`ControlFlow::Break`] aborts the whole enumeration — how the
 /// grounded-rule cap cuts a combinatorially exploding join off early
@@ -823,6 +1158,78 @@ impl Matcher<'_> {
             if let Some(newly) = self.bind_atom(atom, tuple, bindings) {
                 matches.push(matched);
                 let flow = self.recurse_rest(dp, k + 1, delta_start, bindings, matches, on_match);
+                matches.pop();
+                for v in newly {
+                    bindings.remove(&v);
+                }
+                flow?;
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Enumerate the substitutions whose body atom at position `pinned`
+    /// takes a **new** fact while every atom at an earlier position takes
+    /// an **old** one (later positions are unrestricted). Summing over all
+    /// `pinned` positions covers every body with at least one new fact,
+    /// each exactly once — at its *first* new position. This is the
+    /// incremental analogue of the phase-1 delta decomposition,
+    /// generalized so the pinned atom may be EDB (a freshly inserted
+    /// fact, [`PinBounds::edb_start`]) as well as IDB (a fact first
+    /// derived by the current delta pass, [`PinBounds::idb_start`]).
+    fn enumerate_pinned(&self, pinned: usize, b: &PinBounds, on_match: &mut OnMatch<'_>) {
+        let mut bindings: HashMap<VarSym, ConstId> = HashMap::new();
+        let mut matches: Vec<BodyMatch> = Vec::with_capacity(self.rule.body.len());
+        let _ = self.recurse_pinned(0, pinned, b, &mut bindings, &mut matches, on_match);
+    }
+
+    /// Descend through the body in original order, slicing each index
+    /// bucket by the old/new boundary of `b` (buckets are ascending, so
+    /// the split is a binary search): old-only before the pinned
+    /// position, new-only at it, unrestricted after it.
+    fn recurse_pinned(
+        &self,
+        pos: usize,
+        pinned: usize,
+        b: &PinBounds,
+        bindings: &mut HashMap<VarSym, ConstId>,
+        matches: &mut Vec<BodyMatch>,
+        on_match: &mut OnMatch<'_>,
+    ) -> ControlFlow<()> {
+        if pos == self.rule.body.len() {
+            return on_match(bindings, matches);
+        }
+        let atom = &self.rule.body[pos];
+        let key: Vec<ConstId> = self.plan.bound[pos]
+            .iter()
+            .map(|&p| match &atom.terms[p] {
+                Term::Const(c) => self.const_map[*c as usize].expect("dead rules are skipped"),
+                Term::Var(v) => bindings[v],
+            })
+            .collect();
+        self.probe();
+        let Some(candidates) = self.indices.maps[self.plan.slot[pos]].get(&key) else {
+            return ControlFlow::Continue(());
+        };
+        let is_idb = self.idbs.contains(&atom.pred);
+        let start = if is_idb { b.idb_start } else { b.edb_start };
+        let (from, to) = match pos.cmp(&pinned) {
+            std::cmp::Ordering::Less => (0, candidates.partition_point(|&c| c < start)),
+            std::cmp::Ordering::Equal => {
+                (candidates.partition_point(|&c| c < start), candidates.len())
+            }
+            std::cmp::Ordering::Greater => (0, candidates.len()),
+        };
+        for &c in &candidates[from..to] {
+            let (tuple, matched) = if is_idb {
+                (&self.gp.idb_facts[c].1[..], BodyMatch::Idb(c))
+            } else {
+                let fid = c as FactId;
+                (self.db.fact(fid).1, BodyMatch::Edb(fid))
+            };
+            if let Some(newly) = self.bind_atom(atom, tuple, bindings) {
+                matches.push(matched);
+                let flow = self.recurse_pinned(pos + 1, pinned, b, bindings, matches, on_match);
                 matches.pop();
                 for v in newly {
                     bindings.remove(&v);
@@ -1176,5 +1583,236 @@ mod tests {
             }
             assert_eq!(gp.facts_of(t).len(), expected, "seed={seed}");
         }
+    }
+
+    /// Canonical, order-insensitive view of a grounded program: the fact
+    /// set plus every grounded rule with head/body-IDB indices resolved to
+    /// `(pred, tuple)` pairs (EDB fact ids are comparable directly when
+    /// both databases inserted facts in the same order).
+    #[allow(clippy::type_complexity)]
+    fn canon(
+        gp: &GroundedProgram,
+    ) -> (
+        Vec<(PredId, Vec<ConstId>)>,
+        Vec<(
+            usize,
+            (PredId, Vec<ConstId>),
+            Vec<(PredId, Vec<ConstId>)>,
+            Vec<FactId>,
+        )>,
+    ) {
+        let mut facts = gp.idb_facts.clone();
+        facts.sort();
+        let mut rules: Vec<_> = gp
+            .rules
+            .iter()
+            .map(|r| {
+                (
+                    r.rule_index,
+                    gp.idb_facts[r.head].clone(),
+                    r.body_idb
+                        .iter()
+                        .map(|&i| gp.idb_facts[i].clone())
+                        .collect::<Vec<_>>(),
+                    r.body_edb.clone(),
+                )
+            })
+            .collect();
+        rules.sort();
+        (facts, rules)
+    }
+
+    #[test]
+    fn extend_grounding_matches_rebuild_on_random_inserts() {
+        // Ground a prefix of the edge set, insert the remaining edges, and
+        // extend: facts and grounded rules must equal a from-scratch
+        // grounding of the full database (fact ids align because both
+        // databases intern constants and insert edges in the same order).
+        let programs: Vec<Program> = vec![
+            tc(),
+            parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), T(Z,Y).").unwrap(),
+        ];
+        for mut p in programs {
+            for seed in 0..4u64 {
+                let g = generators::gnm(8, 18, &["E"], seed);
+                // Rebuild target: the full graph in one shot.
+                let (db_full, _) = Database::from_graph(&mut p, &g);
+                let e = p.preds.get("E").unwrap();
+                let gp_full = ground(&p, &db_full).unwrap();
+                for hold_back in [1usize, 3, 6] {
+                    // Base: same constants, same edge order, last
+                    // `hold_back` edges missing.
+                    let mut db = Database::new();
+                    for i in 0..g.num_nodes() {
+                        db.constant(&format!("v{i}"));
+                    }
+                    let edges = g.edges();
+                    let split = edges.len() - hold_back;
+                    for &(u, v, _) in &edges[..split] {
+                        db.insert(
+                            e,
+                            vec![
+                                db.node_const(u as usize).unwrap(),
+                                db.node_const(v as usize).unwrap(),
+                            ],
+                        );
+                    }
+                    let mut gp = ground(&p, &db).unwrap();
+                    let edb_delta_start = db.num_facts() as FactId;
+                    let old_domain = db.domain_size();
+                    for &(u, v, _) in &edges[split..] {
+                        db.insert(
+                            e,
+                            vec![
+                                db.node_const(u as usize).unwrap(),
+                                db.node_const(v as usize).unwrap(),
+                            ],
+                        );
+                    }
+                    extend_grounding(
+                        &p,
+                        &db,
+                        &mut gp,
+                        edb_delta_start,
+                        old_domain,
+                        usize::MAX,
+                        &NOOP,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        canon(&gp),
+                        canon(&gp_full),
+                        "seed={seed} hold_back={hold_back}"
+                    );
+                    // Self-consistency of the maintained indices.
+                    assert_eq!(gp.rules_by_head.len(), gp.idb_facts.len());
+                    for (i, r) in gp.rules.iter().enumerate() {
+                        assert!(gp.rules_by_head[r.head].contains(&i));
+                    }
+                    for (f, &i) in &gp.fact_index {
+                        assert_eq!(&gp.idb_facts[i], f);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extend_grounding_revives_rules_on_new_constants() {
+        // `hub` is outside the initial active domain, so both rules
+        // mentioning it are dead at first grounding. Inserting A(hub) and
+        // E(hub, v0) interns `hub`; the extension must revive the rules
+        // and enumerate them in full.
+        let mut p = parse_program("R(Y) :- A(hub), E(hub, Y).\nR(Y) :- R(Z), E(Z,Y).").unwrap();
+        let g = generators::path(3, "E");
+        let (mut db, _) = Database::from_graph(&mut p, &g);
+        let e = p.preds.get("E").unwrap();
+        let a = p.preds.get("A").unwrap();
+        let mut gp = ground(&p, &db).unwrap();
+        assert_eq!(gp.num_idb_facts(), 0);
+        let edb_delta_start = db.num_facts() as FactId;
+        let old_domain = db.domain_size();
+        let hub = db.constant("hub");
+        let v0 = db.node_const(0).unwrap();
+        db.insert(a, vec![hub]);
+        db.insert(e, vec![hub, v0]);
+        extend_grounding(
+            &p,
+            &db,
+            &mut gp,
+            edb_delta_start,
+            old_domain,
+            usize::MAX,
+            &NOOP,
+        )
+        .unwrap();
+        let gp_full = ground(&p, &db).unwrap();
+        assert_eq!(canon(&gp), canon(&gp_full));
+        let r = p.preds.get("R").unwrap();
+        // hub → v0 → v1 → v2 → v3.
+        assert_eq!(gp.facts_of(r).len(), 4);
+    }
+
+    #[test]
+    fn extend_grounding_enforces_the_rule_limit() {
+        let mut p = tc();
+        let g = generators::complete(6, "E");
+        let e = p.preds.get("E").unwrap();
+        let (db_full, _) = Database::from_graph(&mut p, &g);
+        let mut db = Database::new();
+        for i in 0..g.num_nodes() {
+            db.constant(&format!("v{i}"));
+        }
+        let edges = g.edges();
+        let split = edges.len() / 2;
+        for &(u, v, _) in &edges[..split] {
+            db.insert(
+                e,
+                vec![
+                    db.node_const(u as usize).unwrap(),
+                    db.node_const(v as usize).unwrap(),
+                ],
+            );
+        }
+        let mut gp = ground(&p, &db).unwrap();
+        let edb_delta_start = db.num_facts() as FactId;
+        let old_domain = db.domain_size();
+        for &(u, v, _) in &edges[split..] {
+            db.insert(
+                e,
+                vec![
+                    db.node_const(u as usize).unwrap(),
+                    db.node_const(v as usize).unwrap(),
+                ],
+            );
+        }
+        let full_rules = ground(&p, &db_full).unwrap().rules.len();
+        let err = extend_grounding(
+            &p,
+            &db,
+            &mut gp,
+            edb_delta_start,
+            old_domain,
+            full_rules / 2,
+            &NOOP,
+        );
+        assert!(matches!(err, Err(Error::GroundingLimit { .. })));
+    }
+
+    #[test]
+    fn retract_removes_exactly_the_rules_citing_the_fact() {
+        let mut p = tc();
+        let g = generators::path(3, "E");
+        let (mut db, edge_facts) = Database::from_graph(&mut p, &g);
+        let mut gp = ground(&p, &db).unwrap();
+        let before = gp.rules.len();
+        let citing = gp
+            .rules
+            .iter()
+            .filter(|r| r.body_edb.contains(&edge_facts[1]))
+            .count();
+        assert!(citing > 0);
+        // Retract the middle edge from both the database and the grounding.
+        let (pred, tuple) = db.fact(edge_facts[1]);
+        let tuple = tuple.to_vec();
+        assert_eq!(db.retract(pred, &tuple), Some(edge_facts[1]));
+        let roots = retract_facts_from_grounding(&mut gp, &[edge_facts[1]]);
+        assert_eq!(gp.rules.len(), before - citing);
+        assert!(!roots.is_empty());
+        assert!(gp
+            .rules
+            .iter()
+            .all(|r| !r.body_edb.contains(&edge_facts[1])));
+        // Index invariants: rules_by_head rebuilt, roots are valid facts.
+        assert_eq!(gp.rules_by_head.len(), gp.idb_facts.len());
+        for (i, r) in gp.rules.iter().enumerate() {
+            assert!(gp.rules_by_head[r.head].contains(&i));
+        }
+        for &root in &roots {
+            assert!(root < gp.idb_facts.len());
+        }
+        // Zombie invariant: idb_facts are retained even when underivable.
+        let t = p.preds.get("T").unwrap();
+        assert_eq!(gp.facts_of(t).len(), 6);
     }
 }

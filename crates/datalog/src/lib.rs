@@ -41,15 +41,15 @@ pub use ast::{Atom, Program, Rule, Term};
 pub use classify::{classify, ProgramClass};
 pub use database::{Database, FactId};
 pub use eval::{
-    default_budget, eval_all_ones, eval_with_strategy, ico, naive_eval, par_eval_with_strategy,
-    par_eval_with_strategy_recorded, par_ico, par_naive_eval, par_naive_eval_recorded,
-    par_semi_naive_eval, par_semi_naive_eval_recorded, provenance_eval, semi_naive_eval,
-    semi_naive_eval_recorded, EvalOutcome, EvalStrategy,
+    default_budget, dependency_csr, edb_factors, eval_all_ones, eval_with_strategy, ico,
+    naive_eval, par_eval_with_strategy, par_eval_with_strategy_recorded, par_ico, par_naive_eval,
+    par_naive_eval_recorded, par_semi_naive_eval, par_semi_naive_eval_recorded, provenance_eval,
+    semi_naive_eval, semi_naive_eval_recorded, EvalOutcome, EvalStrategy,
 };
 pub use expansion::{boundedness_evidence, expansions, homomorphism, BoundednessEvidence, Cq};
 pub use ground::{
-    ground, ground_with_limit, par_ground, par_ground_with_limit, par_ground_with_limit_recorded,
-    GroundedProgram, GroundedRule,
+    extend_grounding, ground, ground_with_limit, par_ground, par_ground_with_limit,
+    par_ground_with_limit_recorded, retract_facts_from_grounding, GroundedProgram, GroundedRule,
 };
 pub use magic::{magic_rewrite, MagicRewrite};
 pub use parser::parse_program;

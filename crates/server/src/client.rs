@@ -148,9 +148,14 @@ impl Client {
 }
 
 /// Lines opening a payload block (terminated by `END`, one reply total).
+/// A `QUERY … VALUATION perfact` counts: its `WEIGHT` lines are a block.
 fn is_block_opener(line: &str) -> bool {
     let upper = line.to_ascii_uppercase();
-    upper == "BATCH" || upper == "LOAD PROGRAM" || upper == "LOAD FACTS"
+    if upper == "BATCH" || upper == "LOAD PROGRAM" || upper == "LOAD FACTS" {
+        return true;
+    }
+    let toks: Vec<&str> = upper.split_ascii_whitespace().collect();
+    toks.first() == Some(&"QUERY") && toks.windows(2).any(|w| w == ["VALUATION", "PERFACT"])
 }
 
 /// Body-line count of a count-prefixed status (`OK BATCH <n>`,
@@ -181,6 +186,9 @@ mod tests {
         assert!(is_block_opener("BATCH"));
         assert!(is_block_opener("load program"));
         assert!(is_block_opener("LOAD FACTS"));
+        assert!(is_block_opener(
+            "QUERY T v0 v1 SEMIRING tropical VALUATION perfact"
+        ));
         assert!(!is_block_opener("QUERY T v0 SEMIRING bool"));
         assert!(!is_block_opener("END"));
     }

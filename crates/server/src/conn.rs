@@ -19,7 +19,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::protocol::{parse_command, Command, ErrCode, WireError, MAX_LINE};
+use crate::protocol::{
+    parse_command, parse_weight_line, Command, ErrCode, WireError, WireValuation, MAX_LINE,
+};
 use crate::session::{Registry, Session};
 
 /// What one poll of the line reader produced.
@@ -337,7 +339,45 @@ pub(crate) fn serve_connection(
                     Err(wire) => write_line(&mut writer, &wire.render())?,
                 }
             }
-            Command::Query(spec) => {
+            Command::Insert(pred, args) => {
+                let reply = require(&session).and_then(|s| s.insert(&pred, &args));
+                match reply {
+                    Ok((n, e)) => write_line(&mut writer, &format!("OK INSERTED {n} EPOCH {e}"))?,
+                    Err(wire) => write_line(&mut writer, &wire.render())?,
+                }
+            }
+            Command::Retract(pred, args) => {
+                let reply = require(&session).and_then(|s| s.retract(&pred, &args));
+                match reply {
+                    Ok((n, e)) => write_line(&mut writer, &format!("OK RETRACTED {n} EPOCH {e}"))?,
+                    Err(wire) => write_line(&mut writer, &wire.render())?,
+                }
+            }
+            Command::Query(mut spec) => {
+                // `VALUATION perfact` carries its weights as a payload
+                // block of `WEIGHT <pred> <c…> <w>` lines ending in `END`.
+                if matches!(spec.valuation, WireValuation::PerFact(_)) {
+                    let block = match read_block(&mut reader, shutdown, read_timeout)? {
+                        BlockRead::Lines(lines) => lines,
+                        BlockRead::Wire(wire) => {
+                            write_line(&mut writer, &wire.render())?;
+                            continue;
+                        }
+                        BlockRead::Close => return Ok(false),
+                    };
+                    match block
+                        .iter()
+                        .filter(|l| !l.trim().is_empty())
+                        .map(|l| parse_weight_line(l))
+                        .collect::<Result<Vec<_>, WireError>>()
+                    {
+                        Ok(weights) => spec.valuation = WireValuation::PerFact(weights),
+                        Err(wire) => {
+                            write_line(&mut writer, &wire.render())?;
+                            continue;
+                        }
+                    }
+                }
                 let reply = require(&session).and_then(|s| s.query(&spec));
                 match reply {
                     Ok(v) => write_line(&mut writer, &format!("OK VALUE {v}"))?,
@@ -360,6 +400,39 @@ pub(crate) fn serve_connection(
                     let mut parsed: Vec<Result<crate::protocol::QuerySpec, WireError>> = Vec::new();
                     for item in block.iter().filter(|l| !l.trim().is_empty()) {
                         let toks: Vec<&str> = item.split_ascii_whitespace().collect();
+                        // `WEIGHT` lines are not items: they attach to the
+                        // preceding `VALUATION perfact` query.
+                        if toks
+                            .first()
+                            .is_some_and(|t| t.eq_ignore_ascii_case("WEIGHT"))
+                        {
+                            let attach =
+                                parse_weight_line(item).and_then(|w| match parsed.last_mut() {
+                                    Some(Ok(q)) => {
+                                        if let WireValuation::PerFact(ws) = &mut q.valuation {
+                                            ws.push(w);
+                                            return Ok(());
+                                        }
+                                        Err(WireError::new(
+                                            ErrCode::Valuation,
+                                            "WEIGHT after a non-perfact query",
+                                        ))
+                                    }
+                                    _ => Err(WireError::new(
+                                        ErrCode::Valuation,
+                                        "WEIGHT line without a preceding perfact query",
+                                    )),
+                                });
+                            if let Err(wire) = attach {
+                                // Poison the item the weight belonged to
+                                // (or report a stray line as its own row).
+                                match parsed.last_mut() {
+                                    Some(item @ Ok(_)) => *item = Err(wire),
+                                    _ => parsed.push(Err(wire)),
+                                }
+                            }
+                            continue;
+                        }
                         let toks = if toks
                             .first()
                             .is_some_and(|t| t.eq_ignore_ascii_case("QUERY"))
@@ -410,6 +483,7 @@ pub(crate) fn serve_connection(
             Command::Metrics => match require(&session) {
                 Err(wire) => write_line(&mut writer, &wire.render())?,
                 Ok(s) => {
+                    s.touch();
                     let json = s.metrics().report().to_json();
                     let lines: Vec<&str> = json.lines().collect();
                     write_line(&mut writer, &format!("OK METRICS {}", lines.len()))?;

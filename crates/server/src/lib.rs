@@ -68,17 +68,19 @@ pub struct ServerConfig {
     workers: usize,
     eval_threads: usize,
     read_timeout: Option<Duration>,
+    session_ttl: Option<Duration>,
 }
 
 impl Default for ServerConfig {
     /// Loopback on an ephemeral port, 4 workers, 1 eval thread per query,
-    /// 30-second idle timeout.
+    /// 30-second idle timeout, no session eviction.
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: 4,
             eval_threads: 1,
             read_timeout: Some(Duration::from_secs(30)),
+            session_ttl: None,
         }
     }
 }
@@ -109,6 +111,16 @@ impl ServerConfig {
     /// Per-connection idle read timeout (`None` = wait forever).
     pub fn read_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.read_timeout = timeout;
+        self
+    }
+
+    /// Evict sessions idle for longer than `ttl` (`None`, the default,
+    /// keeps sessions forever). Swept by the accept loop; every command a
+    /// connection runs against a session counts as use. Evictions bump the
+    /// `sessions_evicted` counter on the evicted session's `METRICS`
+    /// stream. Wire flag: `dlc serve --session-ttl <secs>`.
+    pub fn session_ttl(mut self, ttl: Option<Duration>) -> Self {
+        self.session_ttl = ttl;
         self
     }
 }
@@ -177,12 +189,25 @@ impl Server {
 
         let accept = {
             let shutdown = Arc::clone(&shutdown);
+            let registry = Arc::clone(&registry);
+            let session_ttl = config.session_ttl;
             std::thread::Builder::new()
                 .name("dlc-serve-accept".to_owned())
                 .spawn(move || {
+                    // Sweep idle sessions at a fraction of the TTL (at
+                    // least every 50ms for the short TTLs tests use).
+                    let mut last_sweep = std::time::Instant::now();
+                    let sweep_every =
+                        session_ttl.map(|ttl| (ttl / 4).max(Duration::from_millis(50)));
                     loop {
                         if shutdown.load(Ordering::SeqCst) {
                             break;
+                        }
+                        if let (Some(ttl), Some(every)) = (session_ttl, sweep_every) {
+                            if last_sweep.elapsed() >= every {
+                                registry.evict_idle(ttl);
+                                last_sweep = std::time::Instant::now();
+                            }
                         }
                         match listener.accept() {
                             Ok((stream, _peer)) => {

@@ -11,6 +11,8 @@
 //! SESSION CLOSE                     → OK CLOSED <id>
 //! LOAD PROGRAM                      → (lines of Datalog text …) END → OK PROGRAM <rules>
 //! LOAD FACTS                        → (lines `Pred c1 c2 …` …) END → OK FACTS <n>
+//! INSERT <pred> <c…>                → OK INSERTED <n> EPOCH <e>   (incremental write path)
+//! RETRACT <pred> <c…>               → OK RETRACTED <n> EPOCH <e>  (incremental write path)
 //! QUERY <pred> <c…> SEMIRING <name> [VALUATION <spec>]
 //!                                   → OK VALUE <rendered>
 //! BATCH                             → (QUERY-shaped lines …) END
@@ -26,9 +28,20 @@
 //! layer). Multi-line replies are count-prefixed so clients never sniff.
 //!
 //! Semiring names: `bool`, `tropical`, `counting`, `fuzzy`, `bottleneck`.
-//! Valuation specs: `ones` (the default; every fact ↦ 1) and `unit:<w>`
+//! Valuation specs: `ones` (the default; every fact ↦ 1), `unit:<w>`
 //! (every fact ↦ the same weight `w`; rejected for `bool`, whose only
-//! usable unit is its 1).
+//! usable unit is its 1), and `perfact` — individual fact weights follow
+//! as `WEIGHT <pred> <c…> <w>` lines, terminated by `END` for a bare
+//! `QUERY` or attached to the preceding item inside a `BATCH` block;
+//! unlisted facts default to the semiring's 1.
+//!
+//! `INSERT`/`RETRACT` are the incremental write path: unlike `LOAD FACTS`
+//! (which rebuilds the engine and re-grounds), they maintain the session's
+//! cached grounding in place via `Engine::insert_facts` /
+//! `Engine::retract_facts` and atomically swap in the next snapshot —
+//! concurrent readers keep the old one. `<n>` is the number of facts
+//! actually changed (0 for a duplicate insert), `<e>` the session's write
+//! epoch after the command.
 
 use std::fmt;
 
@@ -159,13 +172,64 @@ impl WireSemiring {
     }
 }
 
-/// A parsed valuation spec: `ones` or `unit:<weight>`.
+/// One `WEIGHT` line: an EDB fact and its weight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireWeight {
+    /// Fact predicate name.
+    pub pred: String,
+    /// Fact constants.
+    pub args: Vec<String>,
+    /// The weight, interpreted per semiring at evaluation time.
+    pub weight: f64,
+}
+
+/// Parse one `WEIGHT <pred> <c…> <w>` payload line (the `WEIGHT` keyword
+/// already stripped or still leading — both accepted).
+pub fn parse_weight_line(line: &str) -> Result<WireWeight, WireError> {
+    let mut toks: Vec<&str> = line.split_ascii_whitespace().collect();
+    if toks
+        .first()
+        .is_some_and(|t| t.eq_ignore_ascii_case("WEIGHT"))
+    {
+        toks.remove(0);
+    }
+    if toks.len() < 3 {
+        return Err(WireError::new(
+            ErrCode::Valuation,
+            "usage: WEIGHT <pred> <c…> <w>",
+        ));
+    }
+    let w_tok = toks.pop().expect("len checked");
+    let weight: f64 = w_tok.parse().map_err(|_| {
+        WireError::new(
+            ErrCode::Valuation,
+            format!("bad weight {w_tok:?} (expected a number)"),
+        )
+    })?;
+    if !weight.is_finite() || weight < 0.0 {
+        return Err(WireError::new(
+            ErrCode::Valuation,
+            "fact weight must be finite and non-negative",
+        ));
+    }
+    Ok(WireWeight {
+        pred: toks[0].to_owned(),
+        args: toks[1..].iter().map(|s| (*s).to_owned()).collect(),
+        weight,
+    })
+}
+
+/// A parsed valuation spec: `ones`, `unit:<weight>`, or `perfact`.
 #[derive(Clone, Debug, PartialEq)]
 pub enum WireValuation {
     /// Every fact ↦ the semiring's 1 (the default).
     Ones,
     /// Every fact ↦ the same weight, parsed per semiring.
     Unit(f64),
+    /// Listed facts ↦ their own weight, unlisted facts ↦ the semiring's 1.
+    /// Parsed empty from the `perfact` token; the `WEIGHT` lines that
+    /// follow the command fill it in.
+    PerFact(Vec<WireWeight>),
 }
 
 impl WireValuation {
@@ -174,6 +238,9 @@ impl WireValuation {
         let lower = spec.to_ascii_lowercase();
         if lower == "ones" {
             return Ok(WireValuation::Ones);
+        }
+        if lower == "perfact" {
+            return Ok(WireValuation::PerFact(Vec::new()));
         }
         if let Some(w) = lower.strip_prefix("unit:") {
             let v: f64 = w.parse().map_err(|_| {
@@ -192,7 +259,7 @@ impl WireValuation {
         }
         Err(WireError::new(
             ErrCode::Valuation,
-            format!("unknown valuation {spec:?} (ones | unit:<w>)"),
+            format!("unknown valuation {spec:?} (ones | unit:<w> | perfact)"),
         ))
     }
 }
@@ -267,6 +334,10 @@ pub enum Command {
     LoadProgram,
     /// `LOAD FACTS` — payload lines follow until `END`.
     LoadFacts,
+    /// `INSERT <pred> <c…>` — incremental single-fact insert.
+    Insert(String, Vec<String>),
+    /// `RETRACT <pred> <c…>` — incremental single-fact retraction.
+    Retract(String, Vec<String>),
     /// `QUERY …`
     Query(QuerySpec),
     /// `BATCH` — QUERY-shaped payload lines follow until `END`.
@@ -308,6 +379,27 @@ pub fn parse_command(line: &str) -> Result<Command, WireError> {
                 "usage: LOAD PROGRAM | LOAD FACTS",
             )),
         },
+        "INSERT" | "RETRACT" => {
+            let Some((pred, args)) = rest.split_first() else {
+                return Err(WireError::new(
+                    ErrCode::Query,
+                    format!("usage: {} <pred> <c…>", verb.to_ascii_uppercase()),
+                ));
+            };
+            if args.is_empty() {
+                return Err(WireError::new(
+                    ErrCode::Query,
+                    format!("fact {pred:?} has no constants"),
+                ));
+            }
+            let pred = (*pred).to_owned();
+            let args: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+            if verb.eq_ignore_ascii_case("INSERT") {
+                Ok(Command::Insert(pred, args))
+            } else {
+                Ok(Command::Retract(pred, args))
+            }
+        }
         "QUERY" => QuerySpec::parse(rest).map(Command::Query),
         "BATCH" if rest.is_empty() => Ok(Command::Batch),
         "METRICS" if rest.is_empty() => Ok(Command::Metrics),
@@ -389,6 +481,61 @@ mod tests {
         assert_eq!(err("FROBNICATE"), ErrCode::UnknownCommand);
         assert_eq!(err(""), ErrCode::UnknownCommand);
         assert_eq!(err("SESSION ATTACH xyz"), ErrCode::BadSession);
+    }
+
+    #[test]
+    fn parses_incremental_write_verbs() {
+        match parse_command("INSERT E v0 v1") {
+            Ok(Command::Insert(pred, args)) => {
+                assert_eq!(pred, "E");
+                assert_eq!(args, vec!["v0", "v1"]);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_command("retract E v0 v1") {
+            Ok(Command::Retract(pred, args)) => {
+                assert_eq!(pred, "E");
+                assert_eq!(args, vec!["v0", "v1"]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(parse_command("INSERT").unwrap_err().code, ErrCode::Query);
+        assert_eq!(parse_command("RETRACT E").unwrap_err().code, ErrCode::Query);
+    }
+
+    #[test]
+    fn parses_perfact_valuation_and_weight_lines() {
+        let q = match parse_command("QUERY T v0 v4 SEMIRING tropical VALUATION perfact") {
+            Ok(Command::Query(q)) => q,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(q.valuation, WireValuation::PerFact(Vec::new()));
+        // Bool still only supports ones.
+        assert_eq!(
+            parse_command("QUERY T v0 SEMIRING bool VALUATION perfact")
+                .unwrap_err()
+                .code,
+            ErrCode::Valuation
+        );
+
+        let w = parse_weight_line("WEIGHT E v0 v1 3").unwrap();
+        assert_eq!(w.pred, "E");
+        assert_eq!(w.args, vec!["v0", "v1"]);
+        assert_eq!(w.weight, 3.0);
+        // The keyword is optional (items inside parsed blocks).
+        assert_eq!(parse_weight_line("E v0 v1 0.5").unwrap().weight, 0.5);
+        assert_eq!(
+            parse_weight_line("WEIGHT E v0").unwrap_err().code,
+            ErrCode::Valuation
+        );
+        assert_eq!(
+            parse_weight_line("WEIGHT E v0 v1 nope").unwrap_err().code,
+            ErrCode::Valuation
+        );
+        assert_eq!(
+            parse_weight_line("WEIGHT E v0 v1 -1").unwrap_err().code,
+            ErrCode::Valuation
+        );
     }
 
     #[test]

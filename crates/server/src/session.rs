@@ -24,14 +24,15 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use provcirc::{Engine, EngineSnapshot};
 use provcirc_error::Error;
-use semiring::valuation::{AllOnes, UnitWeights, Valuation};
+use semiring::valuation::{AllOnes, PerFact, UnitWeights, Valuation};
 use semiring::{Bool, Bottleneck, Counting, Fuzzy, Semiring, Tropical};
 use telemetry::{Counter, PipelineMetrics, Recorder, Stage};
 
-use crate::protocol::{ErrCode, QuerySpec, WireError, WireSemiring, WireValuation};
+use crate::protocol::{ErrCode, QuerySpec, WireError, WireSemiring, WireValuation, WireWeight};
 
 /// Map an engine [`Error`] onto a wire error with the right code.
 fn engine_err(e: &Error) -> WireError {
@@ -49,12 +50,18 @@ pub struct Session {
     id: u64,
     metrics: Arc<PipelineMetrics>,
     eval_threads: usize,
+    last_used: Mutex<Instant>,
     state: Mutex<SessionState>,
 }
 
 struct SessionState {
     program: Option<String>,
     facts: Vec<(String, Vec<String>)>,
+    /// The live engine behind the current snapshot. Kept resident so
+    /// `INSERT`/`RETRACT` can take the incremental write path
+    /// ([`Engine::insert_facts`]/[`Engine::retract_facts`]) instead of
+    /// rebuilding; dropped when the *program* changes.
+    engine: Option<Engine>,
     snapshot: Option<Arc<EngineSnapshot>>,
 }
 
@@ -66,9 +73,11 @@ impl Session {
             // session collects spans/counters unconditionally.
             metrics: Arc::new(PipelineMetrics::new(true)),
             eval_threads,
+            last_used: Mutex::new(Instant::now()),
             state: Mutex::new(SessionState {
                 program: None,
                 facts: Vec::new(),
+                engine: None,
                 snapshot: None,
             }),
         }
@@ -77,6 +86,16 @@ impl Session {
     /// The session id handed to the client.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Mark the session as used now (for TTL-based eviction).
+    pub fn touch(&self) {
+        *self.last_used.lock().expect("last_used poisoned") = Instant::now();
+    }
+
+    /// How long since the session was last touched.
+    pub fn idle_for(&self) -> Duration {
+        self.last_used.lock().expect("last_used poisoned").elapsed()
     }
 
     /// The session's cumulative telemetry stream (survives snapshot
@@ -89,20 +108,25 @@ impl Session {
     /// first `LOAD FACTS` or query builds the snapshot. Returns the rule
     /// count. Invalidates any existing snapshot: the program changed.
     pub fn load_program(&self, text: &str) -> Result<usize, WireError> {
+        self.touch();
         let program = datalog::parse_program(text)
             .map_err(|e| WireError::new(ErrCode::Parse, e.to_string()))?;
         let rules = program.rules.len();
         let mut st = self.state.lock().expect("session state poisoned");
         st.program = Some(text.to_owned());
+        st.engine = None;
         st.snapshot = None;
         Ok(rules)
     }
 
     /// Append facts (`(pred, constants)` tuples), rebuild the engine, and
-    /// atomically swap in the fresh snapshot. This is the write path: it
-    /// grounds exactly once per call; concurrent readers keep the old
-    /// snapshot until they next ask for one.
+    /// atomically swap in the fresh snapshot. This is the bulk write path:
+    /// it grounds exactly once per call; concurrent readers keep the old
+    /// snapshot until they next ask for one. (For single-fact maintenance
+    /// without re-grounding, see [`insert`](Session::insert) /
+    /// [`retract`](Session::retract).)
     pub fn load_facts(&self, facts: Vec<(String, Vec<String>)>) -> Result<usize, WireError> {
+        self.touch();
         let added = facts.len();
         let mut st = self.state.lock().expect("session state poisoned");
         if st.program.is_none() {
@@ -116,10 +140,77 @@ impl Session {
         // Build outside nothing: the rebuild grounds, which can be heavy,
         // but correctness first — holding the lock serializes writers and
         // keeps readers on the old Arc (they cloned it out already).
-        let snapshot = self.build_snapshot(st.program.as_deref().unwrap(), &all)?;
+        let (engine, snapshot) = self.build_engine(st.program.as_deref().unwrap(), &all)?;
         st.facts = all;
+        st.engine = Some(engine);
         st.snapshot = Some(Arc::new(snapshot));
         Ok(added)
+    }
+
+    /// Incrementally insert one EDB fact via [`Engine::insert_facts`]: the
+    /// resident engine maintains its cached grounding in place (no
+    /// re-grounding, no engine rebuild) and the next snapshot is swapped
+    /// in atomically. Returns `(facts actually inserted, write epoch)` —
+    /// 0 facts for a duplicate.
+    pub fn insert(&self, pred: &str, args: &[String]) -> Result<(usize, u64), WireError> {
+        self.write_delta(pred, args, true)
+    }
+
+    /// Incrementally retract one EDB fact — the mirror of
+    /// [`insert`](Session::insert); grounded rules citing the fact are
+    /// retired in place and readers swap to the next snapshot. Retracting
+    /// an absent (or derived) fact is an error.
+    pub fn retract(&self, pred: &str, args: &[String]) -> Result<(usize, u64), WireError> {
+        self.write_delta(pred, args, false)
+    }
+
+    fn write_delta(
+        &self,
+        pred: &str,
+        args: &[String],
+        insert: bool,
+    ) -> Result<(usize, u64), WireError> {
+        self.touch();
+        let mut st = self.state.lock().expect("session state poisoned");
+        let Some(program) = st.program.clone() else {
+            return Err(WireError::new(
+                ErrCode::NoProgram,
+                "LOAD PROGRAM before INSERT/RETRACT",
+            ));
+        };
+        // Make sure the resident engine exists (first write straight after
+        // LOAD PROGRAM builds it once, grounding lazily as usual).
+        if st.engine.is_none() {
+            let (engine, snapshot) = self.build_engine(&program, &st.facts)?;
+            st.engine = Some(engine);
+            st.snapshot = Some(Arc::new(snapshot));
+        }
+        let engine = st.engine.as_mut().expect("resident engine ensured above");
+        let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        let outcome = if insert {
+            engine.insert_fact(pred, &refs)
+        } else {
+            engine.retract_fact(pred, &refs)
+        }
+        .map_err(|e| engine_err(&e))?;
+        let changed = outcome.facts.len();
+        if changed > 0 {
+            // Freeze and swap; in-flight readers finish on the old Arc.
+            let snap = engine.snapshot().map_err(|e| engine_err(&e))?;
+            st.snapshot = Some(Arc::new(snap));
+            // Keep the rebuild fact list in sync so a later LOAD
+            // PROGRAM/LOAD FACTS rebuild sees the same database.
+            if insert {
+                st.facts.push((pred.to_owned(), args.to_vec()));
+            } else if let Some(i) = st
+                .facts
+                .iter()
+                .position(|(p, a)| p == pred && a.as_slice() == args)
+            {
+                st.facts.remove(i);
+            }
+        }
+        Ok((changed, outcome.epoch))
     }
 
     /// The current snapshot, building it lazily when a program is loaded
@@ -137,16 +228,18 @@ impl Session {
             ));
         };
         let facts = st.facts.clone();
-        let snap = Arc::new(self.build_snapshot(&program, &facts)?);
+        let (engine, snap) = self.build_engine(&program, &facts)?;
+        let snap = Arc::new(snap);
+        st.engine = Some(engine);
         st.snapshot = Some(Arc::clone(&snap));
         Ok(snap)
     }
 
-    fn build_snapshot(
+    fn build_engine(
         &self,
         program: &str,
         facts: &[(String, Vec<String>)],
-    ) -> Result<EngineSnapshot, WireError> {
+    ) -> Result<(Engine, EngineSnapshot), WireError> {
         let mut builder = Engine::builder()
             .program_text(program)
             .parallelism(self.eval_threads)
@@ -156,12 +249,14 @@ impl Session {
             builder = builder.fact(pred, &refs);
         }
         let engine = builder.build().map_err(|e| engine_err(&e))?;
-        engine.snapshot().map_err(|e| engine_err(&e))
+        let snapshot = engine.snapshot().map_err(|e| engine_err(&e))?;
+        Ok((engine, snapshot))
     }
 
     /// Evaluate one `QUERY`, bumping the serve counters and attributing
     /// wall-clock to [`Stage::Serve`].
     pub fn query(&self, spec: &QuerySpec) -> Result<String, WireError> {
+        self.touch();
         let snap = self.snapshot()?;
         self.metrics.counter(Counter::QueriesServed, 1);
         telemetry::time(&*self.metrics, Stage::Serve, || {
@@ -180,6 +275,7 @@ impl Session {
     /// as a wire command). Results come back in item order; per-item
     /// failures don't fail the batch.
     pub fn batch(&self, specs: &[QuerySpec]) -> Result<Vec<Result<String, WireError>>, WireError> {
+        self.touch();
         let snap = self.snapshot()?;
         self.metrics.counter(Counter::BatchesServed, 1);
         self.metrics
@@ -227,29 +323,47 @@ fn eval_group(
             // QuerySpec::parse rejects bool + unit, so `val` is Ones here.
             run_group::<Bool, _>(snap, &AllOnes, goals, |b| b.0.to_string())
         }
-        WireSemiring::Tropical => match unit_u64(val) {
-            Err(e) => fail_all(goals, e),
-            Ok(None) => run_group::<Tropical, _>(snap, &AllOnes, goals, render_tropical),
-            Ok(Some(w)) => run_group(
-                snap,
-                &UnitWeights::new(Tropical::new(w)),
-                goals,
-                render_tropical,
-            ),
+        WireSemiring::Tropical => match val {
+            WireValuation::PerFact(ws) => match per_fact_u64(snap, ws, Tropical::new) {
+                Err(e) => fail_all(goals, e),
+                Ok(v) => run_group(snap, &v, goals, render_tropical),
+            },
+            _ => match unit_u64(val) {
+                Err(e) => fail_all(goals, e),
+                Ok(None) => run_group::<Tropical, _>(snap, &AllOnes, goals, render_tropical),
+                Ok(Some(w)) => run_group(
+                    snap,
+                    &UnitWeights::new(Tropical::new(w)),
+                    goals,
+                    render_tropical,
+                ),
+            },
         },
-        WireSemiring::Counting => match unit_u64(val) {
-            Err(e) => fail_all(goals, e),
-            Ok(None) => run_group::<Counting, _>(snap, &AllOnes, goals, |c| c.0.to_string()),
-            Ok(Some(w)) => run_group(snap, &UnitWeights::new(Counting::new(w)), goals, |c| {
-                c.0.to_string()
-            }),
+        WireSemiring::Counting => match val {
+            WireValuation::PerFact(ws) => match per_fact_u64(snap, ws, Counting::new) {
+                Err(e) => fail_all(goals, e),
+                Ok(v) => run_group(snap, &v, goals, |c| c.0.to_string()),
+            },
+            _ => match unit_u64(val) {
+                Err(e) => fail_all(goals, e),
+                Ok(None) => run_group::<Counting, _>(snap, &AllOnes, goals, |c| c.0.to_string()),
+                Ok(Some(w)) => run_group(snap, &UnitWeights::new(Counting::new(w)), goals, |c| {
+                    c.0.to_string()
+                }),
+            },
         },
-        WireSemiring::Bottleneck => match unit_u64(val) {
-            Err(e) => fail_all(goals, e),
-            Ok(None) => run_group::<Bottleneck, _>(snap, &AllOnes, goals, |b| b.0.to_string()),
-            Ok(Some(w)) => run_group(snap, &UnitWeights::new(Bottleneck::new(w)), goals, |b| {
-                b.0.to_string()
-            }),
+        WireSemiring::Bottleneck => match val {
+            WireValuation::PerFact(ws) => match per_fact_u64(snap, ws, Bottleneck::new) {
+                Err(e) => fail_all(goals, e),
+                Ok(v) => run_group(snap, &v, goals, |b| b.0.to_string()),
+            },
+            _ => match unit_u64(val) {
+                Err(e) => fail_all(goals, e),
+                Ok(None) => run_group::<Bottleneck, _>(snap, &AllOnes, goals, |b| b.0.to_string()),
+                Ok(Some(w)) => run_group(snap, &UnitWeights::new(Bottleneck::new(w)), goals, |b| {
+                    b.0.to_string()
+                }),
+            },
         },
         WireSemiring::Fuzzy => match val {
             WireValuation::Ones => {
@@ -266,8 +380,77 @@ fn eval_group(
                     f.value().to_string()
                 })
             }
+            WireValuation::PerFact(ws) => {
+                let v = per_fact_valuation(snap, ws, |w| {
+                    if !(0.0..=1.0).contains(&w) {
+                        return Err(WireError::new(
+                            ErrCode::Valuation,
+                            "fuzzy fact weight must be in [0, 1]",
+                        ));
+                    }
+                    Ok(Fuzzy::new(w))
+                });
+                match v {
+                    Err(e) => fail_all(goals, e),
+                    Ok(v) => run_group(snap, &v, goals, |f| f.value().to_string()),
+                }
+            }
         },
     }
+}
+
+/// Build a [`PerFact`] valuation from `WEIGHT` lines: each named fact is
+/// resolved against the frozen database (unknown predicates, constants,
+/// or facts are `VALUATION` errors — a typo must not silently weigh
+/// nothing), unlisted facts default to the semiring's 1.
+fn per_fact_valuation<S: Semiring>(
+    snap: &EngineSnapshot,
+    weights: &[WireWeight],
+    parse: impl Fn(f64) -> Result<S, WireError>,
+) -> Result<PerFact<S>, WireError> {
+    let mut v = PerFact::new();
+    for w in weights {
+        let rendered = || format!("{} {}", w.pred, w.args.join(" "));
+        let pred = snap.program().preds.get(&w.pred).ok_or_else(|| {
+            WireError::new(
+                ErrCode::Valuation,
+                format!("WEIGHT names unknown predicate {:?}", w.pred),
+            )
+        })?;
+        let tuple: Option<Vec<u32>> = w
+            .args
+            .iter()
+            .map(|c| snap.database().consts.get(c))
+            .collect();
+        let fact = tuple
+            .and_then(|t| snap.database().fact_id(pred, &t))
+            .ok_or_else(|| {
+                WireError::new(
+                    ErrCode::Valuation,
+                    format!("WEIGHT names unknown EDB fact {:?}", rendered()),
+                )
+            })?;
+        v.insert(fact, parse(w.weight)?);
+    }
+    Ok(v)
+}
+
+/// [`per_fact_valuation`] for the u64-weighted semirings: weights must be
+/// non-negative integers.
+fn per_fact_u64<S: Semiring>(
+    snap: &EngineSnapshot,
+    weights: &[WireWeight],
+    mk: impl Fn(u64) -> S,
+) -> Result<PerFact<S>, WireError> {
+    per_fact_valuation(snap, weights, |w| {
+        if w.fract() != 0.0 || w < 0.0 || w > u64::MAX as f64 {
+            return Err(WireError::new(
+                ErrCode::Valuation,
+                "fact weight must be a non-negative integer for this semiring",
+            ));
+        }
+        Ok(mk(w as u64))
+    })
 }
 
 /// `unit:<w>` for the u64-weighted semirings: `Ok(None)` for `ones`,
@@ -284,6 +467,11 @@ fn unit_u64(val: &WireValuation) -> Result<Option<u64>, WireError> {
             }
             Ok(Some(*w as u64))
         }
+        // Handled by the per-semiring `PerFact` arms before this is called.
+        WireValuation::PerFact(_) => Err(WireError::new(
+            ErrCode::Valuation,
+            "internal: perfact valuation reached the unit path",
+        )),
     }
 }
 
@@ -398,12 +586,35 @@ impl Registry {
     /// Attach to an existing session by id (shared state: two connections
     /// attached to one session see the same snapshots and metrics).
     pub fn attach(&self, id: u64) -> Result<Arc<Session>, WireError> {
-        self.sessions
+        let session = self
+            .sessions
             .lock()
             .expect("session registry poisoned")
             .get(&id)
             .cloned()
-            .ok_or_else(|| WireError::new(ErrCode::BadSession, format!("no session {id}")))
+            .ok_or_else(|| WireError::new(ErrCode::BadSession, format!("no session {id}")))?;
+        session.touch();
+        Ok(session)
+    }
+
+    /// Drop every session idle for longer than `ttl`, returning how many
+    /// were evicted. Connections still holding an evicted session's `Arc`
+    /// can finish in-flight work (and will see the `sessions_evicted`
+    /// counter in their `METRICS` stream); new attaches fail. Swept
+    /// periodically by the accept loop when `--session-ttl` is set.
+    pub fn evict_idle(&self, ttl: Duration) -> usize {
+        let mut sessions = self.sessions.lock().expect("session registry poisoned");
+        let stale: Vec<u64> = sessions
+            .iter()
+            .filter(|(_, s)| s.idle_for() > ttl)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &stale {
+            if let Some(s) = sessions.remove(id) {
+                s.metrics.counter(Counter::SessionsEvicted, 1);
+            }
+        }
+        stale.len()
     }
 
     /// Close (drop) a session. Connections still holding the `Arc` can
@@ -537,6 +748,142 @@ mod tests {
         assert_eq!(results[1].as_ref().unwrap_err().code, ErrCode::Query);
         // Out-of-domain constant: underivable ⇒ semiring zero, not error.
         assert_eq!(results[2].as_ref().unwrap(), "inf");
+    }
+
+    #[test]
+    fn insert_and_retract_maintain_the_grounding_without_regrounding() {
+        let reg = Registry::new(1);
+        let session = reg.open();
+        session.load_program(TC).unwrap();
+        session.load_facts(path_facts(3)).unwrap();
+        assert_eq!(
+            session
+                .metrics()
+                .cache_count(telemetry::CacheEvent::Grounding),
+            1
+        );
+
+        // Incremental insert: the answer changes, the grounding count
+        // does not.
+        let (n, epoch) = session
+            .insert("E", &["v3".to_owned(), "v4".to_owned()])
+            .unwrap();
+        assert_eq!((n, epoch), (1, 1));
+        assert_eq!(
+            session.query(&spec("T v0 v4 SEMIRING bool")).unwrap(),
+            "true"
+        );
+        // Duplicate insert: no-op, epoch unchanged.
+        let (n, epoch) = session
+            .insert("E", &["v3".to_owned(), "v4".to_owned()])
+            .unwrap();
+        assert_eq!((n, epoch), (0, 1));
+
+        // Incremental retract severs the path.
+        let (n, epoch) = session
+            .retract("E", &["v1".to_owned(), "v2".to_owned()])
+            .unwrap();
+        assert_eq!((n, epoch), (1, 2));
+        assert_eq!(
+            session.query(&spec("T v0 v4 SEMIRING bool")).unwrap(),
+            "false"
+        );
+        assert_eq!(
+            session.query(&spec("T v2 v4 SEMIRING bool")).unwrap(),
+            "true"
+        );
+
+        // Still exactly one grounding: both writes extended/retired the
+        // cached one in place.
+        assert_eq!(
+            session
+                .metrics()
+                .cache_count(telemetry::CacheEvent::Grounding),
+            1
+        );
+        assert_eq!(
+            session.metrics().counter_value(Counter::IncrementalApplied),
+            2
+        );
+        assert_eq!(
+            session
+                .metrics()
+                .counter_value(Counter::IncrementalFallbacks),
+            0
+        );
+
+        // Retracting what is no longer there is a query error.
+        let err = session
+            .retract("E", &["v1".to_owned(), "v2".to_owned()])
+            .unwrap_err();
+        assert_eq!(err.code, ErrCode::Query);
+    }
+
+    #[test]
+    fn perfact_valuation_weighs_individual_facts() {
+        let reg = Registry::new(1);
+        let session = reg.open();
+        session.load_program(TC).unwrap();
+        session.load_facts(path_facts(3)).unwrap();
+        let mut q = spec("T v0 v3 SEMIRING tropical VALUATION perfact");
+        // Unlisted facts default to the semiring's 1 — in tropical the
+        // ⊗-identity is cost 0, so only the listed edges cost anything.
+        q.valuation = WireValuation::PerFact(vec![
+            WireWeight {
+                pred: "E".to_owned(),
+                args: vec!["v0".to_owned(), "v1".to_owned()],
+                weight: 2.0,
+            },
+            WireWeight {
+                pred: "E".to_owned(),
+                args: vec!["v1".to_owned(), "v2".to_owned()],
+                weight: 10.0,
+            },
+        ]);
+        assert_eq!(session.query(&q).unwrap(), "12");
+
+        // Unknown facts in WEIGHT lines are valuation errors, not silence.
+        q.valuation = WireValuation::PerFact(vec![WireWeight {
+            pred: "E".to_owned(),
+            args: vec!["v0".to_owned(), "v9".to_owned()],
+            weight: 10.0,
+        }]);
+        assert_eq!(session.query(&q).unwrap_err().code, ErrCode::Valuation);
+
+        // Fuzzy rejects weights outside [0, 1].
+        let mut f = spec("T v0 v3 SEMIRING fuzzy VALUATION perfact");
+        f.valuation = WireValuation::PerFact(vec![WireWeight {
+            pred: "E".to_owned(),
+            args: vec!["v1".to_owned(), "v2".to_owned()],
+            weight: 2.0,
+        }]);
+        assert_eq!(session.query(&f).unwrap_err().code, ErrCode::Valuation);
+        let mut f = spec("T v0 v3 SEMIRING fuzzy VALUATION perfact");
+        f.valuation = WireValuation::PerFact(vec![WireWeight {
+            pred: "E".to_owned(),
+            args: vec!["v1".to_owned(), "v2".to_owned()],
+            weight: 0.5,
+        }]);
+        assert_eq!(session.query(&f).unwrap(), "0.5");
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_and_counted() {
+        let reg = Registry::new(1);
+        let hot = reg.open();
+        let cold = reg.open();
+        hot.load_program(TC).unwrap();
+        cold.load_program(TC).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        hot.touch();
+        // Only `cold` has been idle longer than the TTL.
+        assert_eq!(reg.evict_idle(Duration::from_millis(20)), 1);
+        assert!(reg.attach(hot.id()).is_ok());
+        assert!(reg.attach(cold.id()).is_err());
+        assert_eq!(cold.metrics().counter_value(Counter::SessionsEvicted), 1);
+        assert_eq!(hot.metrics().counter_value(Counter::SessionsEvicted), 0);
+        // A connection still holding the Arc can finish in-flight work.
+        assert!(cold.load_facts(path_facts(2)).is_ok());
     }
 
     #[test]

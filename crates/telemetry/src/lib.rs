@@ -62,11 +62,19 @@ pub enum Stage {
     /// lazy snapshot build, `Eval` fixpoints) are attributed to their own
     /// stages as usual, so `serve` minus `eval` is protocol overhead.
     Serve,
+    /// Incremental delta-grounding: extending a cached grounded program
+    /// with the consequences of newly inserted EDB facts
+    /// (`datalog::ground::extend_grounding`).
+    DeltaGround,
+    /// Incremental fixpoint maintenance: ⊕-propagation from newly
+    /// grounded rules and DRed-style cone rederivation after retraction
+    /// (`incremental::MaintainedFixpoint`).
+    Maintain,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Parse,
         Stage::GroundPhase1,
         Stage::GroundPhase2,
@@ -75,6 +83,8 @@ impl Stage {
         Stage::Provenance,
         Stage::CircuitBuild,
         Stage::Serve,
+        Stage::DeltaGround,
+        Stage::Maintain,
     ];
 
     /// Stable machine-readable name (used as the JSON key).
@@ -88,6 +98,8 @@ impl Stage {
             Stage::Provenance => "provenance",
             Stage::CircuitBuild => "circuit_build",
             Stage::Serve => "serve",
+            Stage::DeltaGround => "delta_ground",
+            Stage::Maintain => "maintain",
         }
     }
 
@@ -101,6 +113,8 @@ impl Stage {
             Stage::Provenance => 5,
             Stage::CircuitBuild => 6,
             Stage::Serve => 7,
+            Stage::DeltaGround => 8,
+            Stage::Maintain => 9,
         }
     }
 }
@@ -133,11 +147,20 @@ pub enum Counter {
     /// Total queries submitted through `BATCH` commands — divide by
     /// [`Counter::BatchesServed`] for the mean batch size.
     BatchQueries,
+    /// Write batches (insert or retract) applied through the incremental
+    /// maintenance path — delta grounding plus in-place fixpoint repair.
+    IncrementalApplied,
+    /// Write batches that fell back to full recomputation (lazy
+    /// re-ground / re-eval) because in-place maintenance was unsound or
+    /// the cached grounding was unusable.
+    IncrementalFallbacks,
+    /// Serving-layer sessions evicted by the idle TTL sweeper.
+    SessionsEvicted,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 14] = [
         Counter::IndexProbes,
         Counter::RuleFirings,
         Counter::FactsDiscovered,
@@ -149,6 +172,9 @@ impl Counter {
         Counter::QueriesServed,
         Counter::BatchesServed,
         Counter::BatchQueries,
+        Counter::IncrementalApplied,
+        Counter::IncrementalFallbacks,
+        Counter::SessionsEvicted,
     ];
 
     /// Stable machine-readable name (used as the JSON key).
@@ -165,6 +191,9 @@ impl Counter {
             Counter::QueriesServed => "queries_served",
             Counter::BatchesServed => "batches_served",
             Counter::BatchQueries => "batch_queries",
+            Counter::IncrementalApplied => "incremental_applied",
+            Counter::IncrementalFallbacks => "incremental_fallbacks",
+            Counter::SessionsEvicted => "sessions_evicted",
         }
     }
 
@@ -181,6 +210,9 @@ impl Counter {
             Counter::QueriesServed => 8,
             Counter::BatchesServed => 9,
             Counter::BatchQueries => 10,
+            Counter::IncrementalApplied => 11,
+            Counter::IncrementalFallbacks => 12,
+            Counter::SessionsEvicted => 13,
         }
     }
 }

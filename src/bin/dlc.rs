@@ -9,7 +9,7 @@
 //!              [--metrics] [--metrics-json <path>]
 //! dlc bounded  <program.dl>
 //! dlc serve    [--addr <host:port>] [--workers N] [--eval-threads N]
-//!              [--timeout-secs S]
+//!              [--timeout-secs S] [--session-ttl <secs>]
 //! dlc client   <host:port> [--script <file>] [--metrics-json <path>]
 //! ```
 //!
@@ -50,7 +50,7 @@ fn main() -> ExitCode {
             );
             eprintln!(
                 "  dlc serve    [--addr <host:port>] [--workers N] [--eval-threads N] \
-                 [--timeout-secs S]"
+                 [--timeout-secs S] [--session-ttl <secs>]"
             );
             eprintln!("  dlc client   <host:port> [--script <file>] [--metrics-json <path>]");
             ExitCode::FAILURE
@@ -395,6 +395,14 @@ fn serve_cmd(args: &[String]) -> Result<(), Error> {
                     .parse()
                     .map_err(|_| cli_err("--timeout-secs needs a number"))?;
                 config = config.read_timeout((s > 0).then(|| std::time::Duration::from_secs(s)));
+            }
+            "--session-ttl" => {
+                let s: u64 = it
+                    .next()
+                    .ok_or_else(|| cli_err("--session-ttl needs seconds"))?
+                    .parse()
+                    .map_err(|_| cli_err("--session-ttl needs a number"))?;
+                config = config.session_ttl((s > 0).then(|| std::time::Duration::from_secs(s)));
             }
             other => return Err(cli_err(format!("unknown flag '{other}'"))),
         }

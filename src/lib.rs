@@ -14,6 +14,7 @@ pub use circuit;
 pub use datalog;
 pub use grammar;
 pub use graphgen;
+pub use incremental;
 pub use provcirc;
 pub use semiring;
 pub use server;

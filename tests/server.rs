@@ -399,6 +399,244 @@ fn writes_swap_snapshots_while_readers_keep_answering() {
 }
 
 #[test]
+fn insert_and_retract_round_trip_over_the_wire() {
+    let handle = boot(2);
+    let mut c = connect(&handle);
+    c.roundtrip("SESSION OPEN").unwrap();
+    let program: Vec<&str> = TC.lines().collect();
+    c.send_block("LOAD PROGRAM", &program).unwrap();
+    c.send_block("LOAD FACTS", &["E v0 v1", "E v1 v2"]).unwrap();
+    assert_eq!(
+        c.roundtrip("QUERY T v0 v3 SEMIRING bool").unwrap(),
+        "OK VALUE false"
+    );
+
+    // INSERT extends the chain in place; the epoch advances.
+    assert_eq!(
+        c.roundtrip("INSERT E v2 v3").unwrap(),
+        "OK INSERTED 1 EPOCH 1"
+    );
+    assert_eq!(
+        c.roundtrip("QUERY T v0 v3 SEMIRING bool").unwrap(),
+        "OK VALUE true"
+    );
+    assert_eq!(
+        c.roundtrip("QUERY T v0 v3 SEMIRING tropical VALUATION unit:1")
+            .unwrap(),
+        "OK VALUE 3"
+    );
+    // A duplicate insert is a no-op: nothing changed, epoch held.
+    assert_eq!(
+        c.roundtrip("INSERT E v2 v3").unwrap(),
+        "OK INSERTED 0 EPOCH 1"
+    );
+
+    // RETRACT reverts it; retracting again is an error the connection
+    // survives.
+    assert_eq!(
+        c.roundtrip("RETRACT E v2 v3").unwrap(),
+        "OK RETRACTED 1 EPOCH 2"
+    );
+    assert_eq!(
+        c.roundtrip("QUERY T v0 v3 SEMIRING bool").unwrap(),
+        "OK VALUE false"
+    );
+    let status = c.roundtrip("RETRACT E v2 v3").unwrap();
+    assert!(status.starts_with("ERR QUERY"), "{status}");
+    assert_eq!(c.roundtrip("PING").unwrap(), "OK PONG");
+
+    // The whole insert→retract cycle was maintained on the one cached
+    // grounding from LOAD FACTS.
+    let metrics = c.run_line("METRICS").unwrap();
+    let json = metrics.body.join("\n");
+    assert!(json.contains("\"groundings\": 1"), "{json}");
+    assert!(json.contains("\"incremental_applied\": 2"), "{json}");
+    assert!(json.contains("\"incremental_fallbacks\": 0"), "{json}");
+
+    handle.shutdown();
+    handle.wait().unwrap();
+}
+
+#[test]
+fn perfact_valuation_round_trips_in_query_and_batch() {
+    let handle = boot(2);
+    let mut c = connect(&handle);
+    load_workload(&mut c);
+
+    // Weigh the long path expensive and the short path cheap: tropical
+    // takes the v0→a→v2 route (1+2) plus the tail (4). Unlisted facts
+    // default to the semiring's 1 (cost 0 for tropical).
+    let weights = &[
+        "WEIGHT E v0 v1 10",
+        "WEIGHT E v1 v2 10",
+        "WEIGHT E v0 a 1",
+        "WEIGHT E a v2 2",
+        "WEIGHT E v2 v3 4",
+    ];
+    let reply = c
+        .send_block("QUERY T v0 v3 SEMIRING tropical VALUATION perfact", weights)
+        .unwrap();
+    assert_eq!(reply.status, "OK VALUE 7");
+
+    // A typo in a WEIGHT line is a hard error, not a silent no-op.
+    let reply = c
+        .send_block(
+            "QUERY T v0 v3 SEMIRING tropical VALUATION perfact",
+            &["WEIGHT E v0 nosuch 3"],
+        )
+        .unwrap();
+    assert!(
+        reply.status.starts_with("ERR VALUATION"),
+        "{}",
+        reply.status
+    );
+
+    // In a BATCH, WEIGHT lines attach to the preceding perfact item and
+    // are not rows of their own.
+    let reply = c
+        .send_block(
+            "BATCH",
+            &[
+                "QUERY T v0 v3 SEMIRING tropical VALUATION perfact",
+                "WEIGHT E v0 v1 10",
+                "WEIGHT E v1 v2 10",
+                "WEIGHT E v0 a 1",
+                "WEIGHT E a v2 2",
+                "WEIGHT E v2 v3 4",
+                "QUERY T v0 v3 SEMIRING bool",
+            ],
+        )
+        .unwrap();
+    assert_eq!(reply.status, "OK BATCH 2");
+    assert_eq!(reply.body[0], "0 OK 7");
+    assert_eq!(reply.body[1], "1 OK true");
+
+    handle.shutdown();
+    handle.wait().unwrap();
+}
+
+/// The ISSUE 8 acceptance case: `INSERT` while 8 readers hammer the
+/// session must maintain the one cached grounding, never reground. The
+/// readers also pin a correctness floor — a fact derivable before every
+/// write stays derivable in every snapshot they observe.
+#[test]
+fn insert_under_eight_concurrent_readers_never_regrounds() {
+    let handle = boot(8);
+    let mut admin = connect(&handle);
+    let open = admin.roundtrip("SESSION OPEN").unwrap();
+    let session_id: u64 = open.strip_prefix("OK SESSION ").unwrap().parse().unwrap();
+    let program: Vec<&str> = TC.lines().collect();
+    admin.send_block("LOAD PROGRAM", &program).unwrap();
+    admin
+        .send_block("LOAD FACTS", &["E v0 v1", "E v1 v2"])
+        .unwrap();
+
+    let addr = handle.addr();
+    std::thread::scope(|s| {
+        let readers: Vec<_> = (0..8)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).expect("reader connect");
+                    c.roundtrip(&format!("SESSION ATTACH {session_id}"))
+                        .unwrap();
+                    for _ in 0..25 {
+                        // Invariant across every write below.
+                        assert_eq!(
+                            c.roundtrip("QUERY T v0 v2 SEMIRING bool").unwrap(),
+                            "OK VALUE true"
+                        );
+                        // Racing the writer: either answer is fine, but it
+                        // must be an answer, never an error.
+                        let status = c.roundtrip("QUERY T v0 v4 SEMIRING bool").unwrap();
+                        assert!(status.starts_with("OK VALUE"), "{status}");
+                    }
+                })
+            })
+            .collect();
+
+        // Writer: grow and shrink the chain while the readers run.
+        for _ in 0..10 {
+            for cmd in [
+                "INSERT E v2 v3",
+                "INSERT E v3 v4",
+                "RETRACT E v3 v4",
+                "RETRACT E v2 v3",
+            ] {
+                let status = admin.roundtrip(cmd).unwrap();
+                assert!(status.starts_with("OK "), "{cmd} → {status}");
+            }
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+    });
+
+    // 40 writes and 400 reads later: still exactly the one grounding
+    // built by LOAD FACTS.
+    let metrics = admin.run_line("METRICS").unwrap();
+    let json = metrics.body.join("\n");
+    assert!(
+        json.contains("\"groundings\": 1"),
+        "INSERT must maintain, not reground: {json}"
+    );
+    assert!(json.contains("\"incremental_applied\": 40"), "{json}");
+    assert!(json.contains("\"incremental_fallbacks\": 0"), "{json}");
+
+    handle.shutdown();
+    handle.wait().unwrap();
+}
+
+#[test]
+fn idle_sessions_are_evicted_over_the_wire() {
+    let handle = Server::bind(
+        ServerConfig::default()
+            .workers(2)
+            .session_ttl(Some(std::time::Duration::from_millis(200))),
+    )
+    .expect("bind ephemeral server");
+    let mut c = connect(&handle);
+    let open = c.roundtrip("SESSION OPEN").unwrap();
+    let session_id: u64 = open.strip_prefix("OK SESSION ").unwrap().parse().unwrap();
+    load_workload_into(&mut c);
+    assert_eq!(handle.registry().len(), 1);
+
+    // Go idle past the TTL; the accept-loop sweep evicts the session.
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    assert!(handle.registry().is_empty(), "idle session not evicted");
+
+    // A fresh connection can no longer attach…
+    let mut fresh = connect(&handle);
+    let status = fresh
+        .roundtrip(&format!("SESSION ATTACH {session_id}"))
+        .unwrap();
+    assert!(status.starts_with("ERR BAD-SESSION"), "{status}");
+
+    // …but the original connection still holds the session and can read
+    // the eviction off its own metrics stream.
+    let metrics = c.run_line("METRICS").unwrap();
+    assert!(
+        metrics.status.starts_with("OK METRICS"),
+        "{}",
+        metrics.status
+    );
+    let json = metrics.body.join("\n");
+    assert!(json.contains("\"sessions_evicted\": 1"), "{json}");
+
+    handle.shutdown();
+    handle.wait().unwrap();
+}
+
+/// `load_workload` minus the SESSION OPEN (for tests that opened one
+/// already to capture the id).
+fn load_workload_into(c: &mut Client) {
+    let program: Vec<&str> = TC.lines().collect();
+    c.send_block("LOAD PROGRAM", &program).unwrap();
+    let facts = fact_lines();
+    let fact_refs: Vec<&str> = facts.iter().map(String::as_str).collect();
+    c.send_block("LOAD FACTS", &fact_refs).unwrap();
+}
+
+#[test]
 fn shutdown_over_the_wire_drains_the_server() {
     let handle = boot(2);
     let mut c = connect(&handle);
