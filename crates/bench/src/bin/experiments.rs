@@ -63,6 +63,9 @@ fn main() {
     if want("seminaive") {
         seminaive();
     }
+    if want("grounding") {
+        grounding();
+    }
     if want("parallel") {
         parallel();
     }
@@ -629,6 +632,186 @@ fn seminaive() {
     assert!(
         speedup >= 1.5,
         "semi-naive speedup collapsed on gnm(200,800): {speedup:.2}x"
+    );
+}
+
+/// Streaming fused ground+eval vs materialize-then-eval, plus the
+/// demand-driven (magic-set) cone size — the perf-trajectory experiment
+/// behind `BENCH_grounding.json` (ISSUE 9).
+fn grounding() {
+    header(
+        "E-grounding · fused ground+eval vs materialize-then-eval",
+        "streaming grounded rules straight into the ⊕-worklist skips the grounded-rule vector: the end-to-end win on TC over gnm grows with instance size toward 2× as the rule vector hits the allocator wall; a magic-set point query grounds <10% of the full program",
+    );
+    let tc = programs::transitive_closure();
+    let unit = UnitWeights::new(Tropical::new(1));
+    let mut rows: Vec<String> = Vec::new();
+    let mut gate_speedup = None;
+    let mut headline = None;
+    let mut large_speedup = None;
+    println!(
+        "   {:>5} {:>6} {:>9} {:>10} | {:>10} {:>10} {:>8} | {:>10} {:>9} | {:>11} {:>8}",
+        "n",
+        "m",
+        "facts",
+        "rules",
+        "mat_ms",
+        "fused_ms",
+        "speedup",
+        "peak_rules",
+        "csr_KiB",
+        "magic_rules",
+        "cone%"
+    );
+    // The large row is where the materialized pipeline's rule vector
+    // (15.4M rules, ~1.5 GiB boxed) hits the allocator wall and the
+    // streaming win peaks (1.6–2.1× across runs on the noisy 1-core
+    // bench container); it adds ~2 min, so it is opt-in
+    // (`GROUNDING_LARGE=1`, used to produce the committed trajectory)
+    // and the CI smoke gates on the mid-size rows only.
+    let mut sizes: Vec<(usize, usize, usize)> =
+        vec![(200, 800, 3), (500, 2_000, 3), (1_000, 4_000, 3)];
+    if std::env::var("GROUNDING_LARGE").is_ok() {
+        sizes.push((2_000, 8_000, 2));
+    } else {
+        println!("   (gnm(2000,8000) row skipped — set GROUNDING_LARGE=1 to run it)");
+    }
+    for (n, m, runs) in sizes {
+        let g = generators::gnm(n, m, &["E"], 13);
+        let mut p = tc.clone();
+        let (db, _) = datalog::Database::from_graph(&mut p, &g);
+
+        // Baseline: materialize the grounded-rule vector, then run the
+        // semi-naive fixpoint over it — the pre-fusion pipeline, timed
+        // end-to-end (grounding included, as a query session pays it).
+        let (mat, (gp, mout)) = bench::time_stats_ms(runs, || {
+            let gp = datalog::ground(&p, &db).expect("grounding");
+            let out =
+                datalog::semi_naive_eval::<Tropical, _>(&gp, &unit, datalog::default_budget(&gp));
+            (gp, out)
+        });
+        // Fused: discovery and evaluation share one worklist; no rule
+        // vector ever exists for this pure fixpoint query.
+        let (fus, fout) = bench::time_stats_ms(runs, || {
+            datalog::fused_eval::<Tropical, _>(&p, &db, &unit, None).expect("fused eval")
+        });
+        assert!(mout.converged && fout.converged, "both must converge");
+        assert_eq!(
+            fout.gp.idb_facts, gp.idb_facts,
+            "fused fact order must be bit-identical"
+        );
+        assert_eq!(fout.values, mout.values, "pipelines must agree");
+        let speedup = mat.best_ms / fus.best_ms;
+        assert_eq!(
+            fout.retained, None,
+            "pure fixpoint queries must not retain grounded rules"
+        );
+
+        // Retention mode: what a session that *wants* the rules for later
+        // (provenance, incremental maintenance) pays — the CSR store vs
+        // the boxed `Vec<GroundedRule>` it replaces.
+        let retained =
+            datalog::fused_eval_retaining::<Tropical, _>(&p, &db, &unit, None, &telemetry::NOOP)
+                .expect("retaining eval");
+        let csr = retained.retained.expect("retention requested");
+        let csr_bytes = csr.heap_bytes();
+        let boxed_bytes = csr.boxed_bytes_equivalent();
+
+        // Demand-driven: one bound-source point query grounds only the
+        // magic cone — monadic facts from the source, not all n² pairs.
+        let t = p.preds.get("T").expect("TC target");
+        let goal = [
+            db.node_const(0).expect("v0"),
+            db.node_const(n - 1).expect("v(n-1)"),
+        ];
+        let magic = datalog::magic_point_eval::<Tropical, _>(
+            &p,
+            &db,
+            t,
+            &goal,
+            &unit,
+            None,
+            &telemetry::NOOP,
+        )
+        .expect("eligible TC goal")
+        .expect("left-linear chain");
+        let cone = magic.grounded_rules as f64 / gp.rules.len() as f64;
+
+        if (n, m) == (500, 2_000) {
+            gate_speedup = Some(speedup);
+        }
+        if (n, m) == (1_000, 4_000) {
+            headline = Some((speedup, cone));
+        }
+        if (n, m) == (2_000, 8_000) {
+            large_speedup = Some(speedup);
+        }
+        println!(
+            "   {:>5} {:>6} {:>9} {:>10} | {:>10.1} {:>10.1} {:>7.2}x | {:>10} {:>9.1} | {:>11} {:>7.2}%",
+            n,
+            m,
+            gp.num_idb_facts(),
+            gp.rules.len(),
+            mat.best_ms,
+            fus.best_ms,
+            speedup,
+            gp.rules.len(),
+            csr_bytes as f64 / 1024.0,
+            magic.grounded_rules,
+            cone * 100.0,
+        );
+        rows.push(format!(
+            "{{\"n\": {n}, \"m\": {m}, \"idb_facts\": {}, \
+             \"materialize_eval_ms\": {:.3}, \"materialize_eval_mean_ms\": {:.3}, \
+             \"fused_ms\": {:.3}, \"fused_mean_ms\": {:.3}, \"samples\": {}, \
+             \"speedup\": {speedup:.3}, \
+             \"peak_grounded_rules_materialized\": {}, \
+             \"peak_grounded_rules_fused\": {}, \
+             \"streamed_rules\": {}, \"fused_rounds\": {}, \
+             \"csr_retained_bytes\": {csr_bytes}, \"boxed_equivalent_bytes\": {boxed_bytes}, \
+             \"magic_cone_rules\": {}, \"magic_cone_fraction\": {cone:.5}}}",
+            gp.num_idb_facts(),
+            mat.best_ms,
+            mat.mean_ms,
+            fus.best_ms,
+            fus.mean_ms,
+            mat.samples,
+            gp.rules.len(),
+            fout.peak_buffered,
+            fout.streamed_rules,
+            fout.iterations,
+            magic.grounded_rules,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"fused_grounding\",\n  \"program\": \"transitive_closure\",\n  \
+         \"semiring\": \"tropical, unit weights\",\n  \"timer\": \"best of 3 (2 for gnm(2000,8000)), end-to-end (ground + eval)\",\n  \
+         \"rows\": [\n    {}\n  ]\n}}\n",
+        rows.join(",\n    ")
+    );
+    match std::fs::write("BENCH_grounding.json", &json) {
+        Ok(()) => println!("   trajectory written to BENCH_grounding.json"),
+        Err(e) => println!("   could not write BENCH_grounding.json: {e}"),
+    }
+    let (speedup, cone) = headline.expect("gnm(1000,4000) row ran");
+    println!(
+        "   reading: gnm(1000,4000) fused speedup {speedup:.2}x, magic cone {:.2}% [target: < 10%]",
+        cone * 100.0
+    );
+    if let Some(large) = large_speedup {
+        println!("   reading: gnm(2000,8000) fused speedup {large:.2}x [fused win peaks at the rule-vector memory wall; 1.6–2.1x across runs]");
+    }
+    // Regression guards, deliberately loose for noisy shared CI runners:
+    // the committed trajectory records the real numbers.
+    let gate = gate_speedup.expect("gnm(500,2000) row ran");
+    assert!(
+        gate >= 1.0,
+        "fused ground+eval slower than materialize-then-eval on gnm(500,2000): {gate:.2}x"
+    );
+    assert!(
+        cone < 0.10,
+        "magic cone grew to {:.2}% of the full grounding",
+        cone * 100.0
     );
 }
 

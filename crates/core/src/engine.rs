@@ -68,10 +68,10 @@ use std::sync::Arc;
 
 use circuit::Circuit;
 use datalog::{
-    default_budget, extend_grounding, par_eval_with_strategy_recorded,
-    par_ground_with_limit_recorded, par_naive_eval_recorded, parse_program,
-    retract_facts_from_grounding, ConstId, Database, EvalOutcome, EvalStrategy, FactId,
-    GroundedProgram, PredId, Program,
+    default_budget, extend_grounding, magic_point_eval, par_eval_with_strategy_recorded,
+    par_fused_eval_recorded, par_ground_with_limit_recorded, par_naive_eval_recorded,
+    parse_program, retract_facts_from_grounding, ConstId, Database, EvalOutcome, EvalStrategy,
+    FactId, FusedOutcome, GroundedProgram, PredId, Program,
 };
 use graphgen::{LabeledDigraph, NodeId};
 use provcirc_error::Error;
@@ -111,6 +111,56 @@ pub struct EngineCacheStats {
 /// Cache key of a compiled circuit: the queried fact plus the resolved
 /// strategy.
 pub(crate) type CircuitKey = (PredId, Vec<ConstId>, Strategy);
+
+/// Which grounding/evaluation pipeline [`Query::eval`] routes through.
+///
+/// The knob affects `Query::eval` (and through it the server's `QUERY`
+/// path) only: [`Engine::fixpoint`], provenance, circuit compilation, and
+/// incremental maintenance always use the materialized grounding — those
+/// consumers need the grounded rules themselves.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Pipeline {
+    /// Materialize the full grounding (cached per session), then run the
+    /// fixpoint over it. The right choice when the session asks many
+    /// questions of the same instance — the grounding is paid once.
+    #[default]
+    Materialized,
+    /// Fused ground+eval ([`datalog::fused_eval`]): stream every grounded
+    /// rule straight into the semi-naive ⊕-worklist as discovery
+    /// enumerates it, never materializing a rule vector. The one-shot
+    /// query mode: each `eval` call re-grounds from scratch, so it wins
+    /// when the grounding dominates and is asked for once (`BENCH_grounding`
+    /// measures the crossover). Non-⊕-idempotent semirings fall back to
+    /// materialize + naive inside the call.
+    Fused,
+    /// Demand-driven point queries ([`datalog::magic_point_eval`]): for a
+    /// bound-argument goal over a left-linear chain program, rewrite with
+    /// magic predicates and ground only the query cone. Ineligible goals
+    /// fall back to [`Pipeline::Materialized`] transparently.
+    Magic,
+}
+
+impl Pipeline {
+    /// Parse a pipeline name as used by `DATALOG_PIPELINE` and the wire
+    /// protocol's `PIPELINE` clause.
+    pub fn parse(s: &str) -> Option<Pipeline> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "materialized" => Some(Pipeline::Materialized),
+            "fused" => Some(Pipeline::Fused),
+            "magic" => Some(Pipeline::Magic),
+            _ => None,
+        }
+    }
+
+    /// The wire name of the pipeline.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pipeline::Materialized => "materialized",
+            Pipeline::Fused => "fused",
+            Pipeline::Magic => "magic",
+        }
+    }
+}
 
 /// What one write batch ([`Engine::insert_facts`] /
 /// [`Engine::retract_facts`]) did to the session.
@@ -166,6 +216,7 @@ pub struct EngineBuilder {
     eval_budget: Option<usize>,
     eval_strategy: EvalStrategy,
     parallelism: usize,
+    pipeline: Pipeline,
     telemetry: Option<bool>,
     metrics_collector: Option<Arc<PipelineMetrics>>,
 }
@@ -191,6 +242,16 @@ fn default_telemetry() -> bool {
 /// environment variable when set to a positive integer (the knob CI uses
 /// to pin the whole test suite to a thread count), otherwise the number of
 /// available cores, otherwise 1.
+/// The default [`Pipeline`] of a new session: the `DATALOG_PIPELINE`
+/// environment variable when set to a recognized name (`materialized`,
+/// `fused`, `magic`), otherwise [`Pipeline::Materialized`].
+fn default_pipeline() -> Pipeline {
+    std::env::var("DATALOG_PIPELINE")
+        .ok()
+        .and_then(|v| Pipeline::parse(&v))
+        .unwrap_or_default()
+}
+
 fn default_parallelism() -> usize {
     if let Some(n) = std::env::var("DATALOG_PARALLELISM")
         .ok()
@@ -218,6 +279,7 @@ impl EngineBuilder {
             eval_budget: None,
             eval_strategy: EvalStrategy::default(),
             parallelism: default_parallelism(),
+            pipeline: default_pipeline(),
             telemetry: None,
             metrics_collector: None,
         }
@@ -320,6 +382,18 @@ impl EngineBuilder {
     /// [`datalog::par_semi_naive_eval`].
     pub fn parallelism(mut self, threads: usize) -> Self {
         self.parallelism = threads.max(1);
+        self
+    }
+
+    /// Which grounding/evaluation pipeline [`Query::eval`] routes through
+    /// (default: [`Pipeline::Materialized`], overridable via the
+    /// `DATALOG_PIPELINE` environment variable — an explicit call wins).
+    ///
+    /// All three pipelines return bit-identical values; they differ in
+    /// what gets materialized and when. See [`Pipeline`] for the
+    /// trade-offs.
+    pub fn pipeline(mut self, pipeline: Pipeline) -> Self {
+        self.pipeline = pipeline;
         self
     }
 
@@ -439,6 +513,7 @@ impl EngineBuilder {
             eval_budget: self.eval_budget,
             eval_strategy: self.eval_strategy,
             parallelism: self.parallelism.max(1),
+            pipeline: self.pipeline,
             epoch: 0,
             grounding: OnceCell::new(),
             classification: OnceCell::new(),
@@ -475,6 +550,7 @@ pub struct Engine {
     eval_budget: Option<usize>,
     eval_strategy: EvalStrategy,
     parallelism: usize,
+    pipeline: Pipeline,
     epoch: u64,
     grounding: OnceCell<Result<Arc<GroundedProgram>, Error>>,
     classification: OnceCell<Arc<Classification>>,
@@ -612,6 +688,12 @@ impl Engine {
     /// (set by [`EngineBuilder::parallelism`]; available cores by default).
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// The pipeline [`Query::eval`] routes through (set by
+    /// [`EngineBuilder::pipeline`]; [`Pipeline::Materialized`] by default).
+    pub fn pipeline(&self) -> Pipeline {
+        self.pipeline
     }
 
     /// The session's write epoch: 0 at build, bumped once per
@@ -885,6 +967,38 @@ impl Engine {
                 Stage::Eval,
             )
         });
+        self.note_effective_strategy(out.strategy);
+        Ok(out)
+    }
+
+    /// Run the fused ground+eval pipeline over any semiring under a
+    /// valuation: phase-1 discovery streams each grounded rule straight
+    /// into the semi-naive ⊕-worklist, and **no rule vector is ever
+    /// materialized** — the cached grounding is neither consulted nor
+    /// filled. Values and the fact list are bit-identical to
+    /// [`Engine::fixpoint`]'s; non-convergence is reported in the
+    /// outcome.
+    ///
+    /// Each call re-grounds from scratch (the streamed rules are gone by
+    /// design), so this is the one-shot mode: for many queries against
+    /// one instance, the cached materialized grounding amortizes better.
+    /// The session's [`eval_budget`](EngineBuilder::eval_budget) caps the
+    /// fused rounds; [`max_grounded_rules`](EngineBuilder::max_grounded_rules)
+    /// does not apply — there is no rule storage to cap (the internal
+    /// non-⊕-idempotent fallback materializes uncapped).
+    pub fn fused_fixpoint<S, V>(&self, valuation: &V) -> Result<FusedOutcome<S>, Error>
+    where
+        S: Semiring,
+        V: Valuation<S> + ?Sized,
+    {
+        let out = par_fused_eval_recorded(
+            &self.program,
+            &self.db,
+            valuation,
+            self.eval_budget,
+            self.parallelism,
+            &*self.metrics,
+        )?;
         self.note_effective_strategy(out.strategy);
         Ok(out)
     }
@@ -1227,18 +1341,66 @@ impl Query<'_> {
         Ok(self.eval::<semiring::Bool, _>(&AllOnes)?.0)
     }
 
-    /// Evaluate the fact over any semiring under a valuation, by the cached
-    /// grounding's fixpoint (the session's [`EvalStrategy`] — semi-naive by
-    /// default). Underivable facts evaluate to `0`.
+    /// Evaluate the fact over any semiring under a valuation, through the
+    /// session's [`Pipeline`] (materialized by default). Underivable
+    /// facts evaluate to `0`.
     ///
-    /// Each call runs one fixpoint over the (cached) grounding. To evaluate
-    /// *many* facts under the same valuation, run [`Engine::fixpoint`] once
-    /// and index its `values` by [`Query::fact_index`] instead.
+    /// * [`Pipeline::Materialized`] runs one fixpoint over the (cached)
+    ///   grounding with the session's [`EvalStrategy`]. To evaluate
+    ///   *many* facts under the same valuation, run [`Engine::fixpoint`]
+    ///   once and index its `values` by [`Query::fact_index`] instead.
+    /// * [`Pipeline::Fused`] streams grounded rules straight into the
+    ///   ⊕-worklist ([`Engine::fused_fixpoint`]) — nothing is cached and
+    ///   no rule vector is materialized.
+    /// * [`Pipeline::Magic`] rewrites the program for the goal's bound
+    ///   first argument and grounds only the query cone
+    ///   ([`datalog::magic_point_eval`]); goals the rewrite does not
+    ///   cover fall back to the materialized pipeline.
     ///
-    /// Errors with [`Error::Diverged`] when the semiring/valuation pair
-    /// does not reach a fixpoint within the session budget (e.g. the
-    /// counting semiring on a cyclic instance).
+    /// All three produce bit-identical values. Errors with
+    /// [`Error::Diverged`] when the semiring/valuation pair does not
+    /// reach a fixpoint within the session budget (e.g. the counting
+    /// semiring on a cyclic instance); the magic pipeline can converge
+    /// where the others diverge if the divergent component lies outside
+    /// the query cone.
     pub fn eval<S, V>(&self, valuation: &V) -> Result<S, Error>
+    where
+        S: Semiring,
+        V: Valuation<S> + Sync + ?Sized,
+    {
+        match self.engine.pipeline {
+            Pipeline::Materialized => self.eval_materialized(valuation),
+            Pipeline::Fused => self.eval_fused(valuation),
+            Pipeline::Magic => {
+                let Some(consts) = &self.consts else {
+                    return Ok(S::zero());
+                };
+                match magic_point_eval::<S, _>(
+                    &self.engine.program,
+                    &self.engine.db,
+                    self.pred,
+                    consts,
+                    valuation,
+                    self.engine.eval_budget,
+                    &*self.engine.metrics,
+                )? {
+                    // Divergence only matters for derivable goals: an
+                    // absent goal is 0 however the rest of the cone
+                    // behaved, matching the materialized route (which
+                    // answers it without evaluating at all).
+                    Some(out) if out.derivable && !out.converged => Err(Error::Diverged {
+                        iterations: out.iterations,
+                    }),
+                    Some(out) => Ok(out.value),
+                    None => self.eval_materialized(valuation),
+                }
+            }
+        }
+    }
+
+    /// The materialized pipeline behind [`Query::eval`]: one fixpoint
+    /// over the cached grounding.
+    fn eval_materialized<S, V>(&self, valuation: &V) -> Result<S, Error>
     where
         S: Semiring,
         V: Valuation<S> + Sync + ?Sized,
@@ -1264,6 +1426,30 @@ impl Query<'_> {
             return Err(Error::Diverged { iterations: budget });
         }
         Ok(out.values[fact].clone())
+    }
+
+    /// The fused pipeline behind [`Query::eval`]: stream ground+eval,
+    /// then look the goal up in the streamed outcome's own fact list —
+    /// the cached materialized grounding is never touched.
+    fn eval_fused<S, V>(&self, valuation: &V) -> Result<S, Error>
+    where
+        S: Semiring,
+        V: Valuation<S> + ?Sized,
+    {
+        let Some(consts) = &self.consts else {
+            return Ok(S::zero());
+        };
+        let out = self.engine.fused_fixpoint::<S, _>(valuation)?;
+        // Underivable goals render 0 even when the fixpoint ran out of
+        // budget — the materialized route answers them without evaluating
+        // at all, and the pipelines must agree error-for-error.
+        match out.gp.fact(self.pred, consts) {
+            Some(_) if !out.converged => Err(Error::Diverged {
+                iterations: out.iterations,
+            }),
+            Some(i) => Ok(out.values[i].clone()),
+            None => Ok(S::zero()),
+        }
     }
 
     /// The fact's provenance polynomial (paper §2.4), from the cached

@@ -63,7 +63,7 @@ pub use boundedness::{
 pub use classify::{classify_program, Classification, DepthBound, FormulaVerdict, GrammarInfo};
 pub use compile::{chain_program_dfa, compile_fact, compile_graph_fact, Compiled, Strategy};
 pub use datalog::EvalStrategy;
-pub use engine::{DeltaOutcome, Engine, EngineBuilder, EngineCacheStats, Query};
+pub use engine::{DeltaOutcome, Engine, EngineBuilder, EngineCacheStats, Pipeline, Query};
 pub use snapshot::EngineSnapshot;
 
 pub use incremental;
@@ -74,7 +74,9 @@ pub mod prelude {
     pub use crate::boundedness::{decide_boundedness, BoundednessOptions, Verdict};
     pub use crate::classify::{classify_program, Classification, DepthBound, FormulaVerdict};
     pub use crate::compile::{compile_fact, compile_graph_fact, Compiled, Strategy};
-    pub use crate::engine::{DeltaOutcome, Engine, EngineBuilder, EngineCacheStats, Query};
+    pub use crate::engine::{
+        DeltaOutcome, Engine, EngineBuilder, EngineCacheStats, Pipeline, Query,
+    };
     pub use crate::snapshot::EngineSnapshot;
     pub use datalog::EvalStrategy;
     pub use incremental::MaintainedFixpoint;

@@ -29,8 +29,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use datalog::{
-    par_eval_with_strategy_recorded, ConstId, Database, EvalOutcome, EvalStrategy, GroundedProgram,
-    Program,
+    magic_point_eval, par_eval_with_strategy_recorded, par_fused_eval_recorded, ConstId, Database,
+    EvalOutcome, EvalStrategy, FusedOutcome, GroundedProgram, Program,
 };
 use provcirc_error::Error;
 use semiring::valuation::Valuation;
@@ -224,6 +224,87 @@ impl EngineSnapshot {
         Ok(out.values[fact].clone())
     }
 
+    /// Run the fused ground+eval pipeline against the frozen
+    /// program/database — the snapshot counterpart of
+    /// `Engine::fused_fixpoint`. The frozen **grounding is not touched**:
+    /// discovery re-streams every grounded rule into the ⊕-worklist, so
+    /// the outcome carries its own (bit-identical) fact list. The frozen
+    /// budget caps the fused rounds.
+    pub fn fused_fixpoint<S, V>(&self, valuation: &V) -> Result<FusedOutcome<S>, Error>
+    where
+        S: Semiring,
+        V: Valuation<S> + ?Sized,
+    {
+        par_fused_eval_recorded(
+            &self.program,
+            &self.db,
+            valuation,
+            Some(self.budget),
+            self.parallelism,
+            &*self.metrics,
+        )
+    }
+
+    /// Evaluate one goal demand-driven (magic-set rewrite, cone-only
+    /// grounding) against the frozen program/database — the snapshot
+    /// counterpart of the `Pipeline::Magic` route of `Query::eval`.
+    ///
+    /// `Ok(None)` means the goal is not eligible for the rewrite (fall
+    /// back to the materialized path); constants outside the domain
+    /// evaluate to `0`; unknown predicates and arity mismatches are
+    /// errors, exactly as in [`fact_index`](EngineSnapshot::fact_index);
+    /// a cone fixpoint that does not converge errors with
+    /// [`Error::Diverged`].
+    pub fn magic_point<S, V>(
+        &self,
+        pred: &str,
+        tuple: &[&str],
+        valuation: &V,
+    ) -> Result<Option<S>, Error>
+    where
+        S: Semiring,
+        V: Valuation<S> + ?Sized,
+    {
+        let pred_id = self
+            .program
+            .preds
+            .get(pred)
+            .ok_or_else(|| Error::UnknownPredicate(pred.to_owned()))?;
+        if let Some(arity) = self.program.arity(pred_id) {
+            if arity != tuple.len() {
+                return Err(Error::BadQuery(format!(
+                    "{pred} has arity {arity}, got {} arguments",
+                    tuple.len()
+                )));
+            }
+        }
+        let consts: Option<Vec<ConstId>> = tuple.iter().map(|c| self.db.consts.get(c)).collect();
+        let Some(consts) = consts else {
+            // Out-of-domain constant: underivable under every pipeline.
+            // Still only an answer if the rewrite applies at all — an
+            // ineligible goal must fall back whole.
+            return Ok(magic_eligible(&self.program, pred_id, tuple.len()).then(S::zero));
+        };
+        match magic_point_eval::<S, _>(
+            &self.program,
+            &self.db,
+            pred_id,
+            &consts,
+            valuation,
+            None,
+            &*self.metrics,
+        )? {
+            None => Ok(None),
+            // Divergence is only an error for derivable goals — an
+            // absent goal renders 0 whatever the rest of the cone did,
+            // matching the materialized route's resolve-before-eval.
+            Some(out) if out.derivable && !out.converged => Err(Error::Diverged {
+                iterations: out.iterations,
+            }),
+            Some(out) => Ok(Some(out.value)),
+        }
+    }
+
     /// A circuit compiled on the originating session before the freeze,
     /// if one was cached for exactly this fact and (resolved) strategy.
     /// Snapshots never compile: a miss returns `None` rather than doing
@@ -244,6 +325,13 @@ impl EngineSnapshot {
     pub fn compiled_count(&self) -> usize {
         self.circuits.len()
     }
+}
+
+/// Mirror of `magic_point_eval`'s eligibility test, for goals whose
+/// constants fall outside the domain (there is no tuple to hand the
+/// rewrite, but the fallback decision must match).
+fn magic_eligible(program: &Program, pred: datalog::PredId, arity: usize) -> bool {
+    datalog::classify(program).is_left_linear_chain && program.idbs().contains(&pred) && arity == 2
 }
 
 /// Convenience: freeze directly from a reference, equivalent to

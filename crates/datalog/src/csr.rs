@@ -1,0 +1,209 @@
+//! Compact CSR storage for grounded rules.
+//!
+//! A materialized [`GroundedProgram`] stores its rules as
+//! `Vec<GroundedRule>`, each rule owning two boxed `Vec`s — at 15M rules
+//! (TC on gnm(2000, 8000)) that is 15M × 2 separate heap allocations plus
+//! two pointer-sized headers per rule, and the body payloads are scattered
+//! across the heap. [`CompactRules`] stores the same rules in six flat
+//! arrays (classic compressed-sparse-row layout): per-rule scalars plus
+//! two shared body pools indexed by offset ranges. Rules that must be
+//! *retained* — for provenance, circuits, or incremental maintenance —
+//! can land here instead of in boxed vectors; the fused ground+eval
+//! pipeline's retention mode ([`crate::fused::fused_eval_retaining`])
+//! fills one streaming, without ever building the boxed form.
+//!
+//! [`GroundedProgram`]: crate::ground::GroundedProgram
+
+use crate::database::FactId;
+use crate::ground::GroundedRule;
+
+/// Grounded rules in compressed-sparse-row form: six flat arrays instead
+/// of one boxed struct per rule.
+///
+/// Scalars are narrowed to `u32` — a grounding with ≥ 2³² facts or rules
+/// is far beyond the engine's memory ceiling (the boxed form would need
+/// hundreds of GiB first), and the narrowing is half the point: per-rule
+/// overhead drops from two `Vec` headers (48 bytes) plus two allocations
+/// to 16 bytes of offsets, and body entries from 8 to 4 bytes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompactRules {
+    /// Per rule: index of the originating program rule.
+    rule_index: Vec<u32>,
+    /// Per rule: head fact (index into `GroundedProgram::idb_facts`).
+    head: Vec<u32>,
+    /// Per rule + sentinel: start of its IDB body slice in `idb_bodies`.
+    idb_start: Vec<u32>,
+    /// Per rule + sentinel: start of its EDB body slice in `edb_bodies`.
+    edb_start: Vec<u32>,
+    /// Shared pool of IDB body fact indices.
+    idb_bodies: Vec<u32>,
+    /// Shared pool of EDB body fact ids.
+    edb_bodies: Vec<FactId>,
+}
+
+impl CompactRules {
+    /// An empty store (the CSR sentinel rows are created lazily on the
+    /// first [`push`](CompactRules::push)).
+    pub fn new() -> Self {
+        CompactRules {
+            rule_index: Vec::new(),
+            head: Vec::new(),
+            idb_start: vec![0],
+            edb_start: vec![0],
+            idb_bodies: Vec::new(),
+            edb_bodies: Vec::new(),
+        }
+    }
+
+    /// Number of rules stored.
+    pub fn len(&self) -> usize {
+        self.rule_index.len()
+    }
+
+    /// Whether the store holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rule_index.is_empty()
+    }
+
+    /// Append one rule given as parts (the streaming entry point: no
+    /// `GroundedRule` is ever built).
+    pub fn push(
+        &mut self,
+        rule_index: usize,
+        head: usize,
+        body_idb: &[usize],
+        body_edb: &[FactId],
+    ) {
+        self.rule_index.push(rule_index as u32);
+        self.head.push(head as u32);
+        self.idb_bodies.extend(body_idb.iter().map(|&i| i as u32));
+        self.edb_bodies.extend_from_slice(body_edb);
+        self.idb_start.push(self.idb_bodies.len() as u32);
+        self.edb_start.push(self.edb_bodies.len() as u32);
+    }
+
+    /// Build from a boxed rule vector.
+    pub fn from_rules(rules: &[GroundedRule]) -> Self {
+        let mut out = CompactRules::new();
+        for r in rules {
+            out.push(r.rule_index, r.head, &r.body_idb, &r.body_edb);
+        }
+        out
+    }
+
+    /// Originating program-rule index of rule `i`.
+    pub fn rule_index(&self, i: usize) -> usize {
+        self.rule_index[i] as usize
+    }
+
+    /// Head fact of rule `i`.
+    pub fn head(&self, i: usize) -> usize {
+        self.head[i] as usize
+    }
+
+    /// IDB body facts of rule `i` (indices into the grounded fact list,
+    /// still `u32`-narrow — widen at the use site).
+    pub fn body_idb(&self, i: usize) -> &[u32] {
+        &self.idb_bodies[self.idb_start[i] as usize..self.idb_start[i + 1] as usize]
+    }
+
+    /// EDB body fact ids of rule `i`.
+    pub fn body_edb(&self, i: usize) -> &[FactId] {
+        &self.edb_bodies[self.edb_start[i] as usize..self.edb_start[i + 1] as usize]
+    }
+
+    /// Reconstruct rule `i` in boxed form.
+    pub fn rule(&self, i: usize) -> GroundedRule {
+        GroundedRule {
+            rule_index: self.rule_index(i),
+            head: self.head(i),
+            body_idb: self.body_idb(i).iter().map(|&x| x as usize).collect(),
+            body_edb: self.body_edb(i).to_vec(),
+        }
+    }
+
+    /// Reconstruct the full boxed rule vector (round-trip with
+    /// [`from_rules`](CompactRules::from_rules)).
+    pub fn to_rules(&self) -> Vec<GroundedRule> {
+        (0..self.len()).map(|i| self.rule(i)).collect()
+    }
+
+    /// Heap bytes held by the six arrays (capacity not counted — this is
+    /// the payload measure the bench reports).
+    pub fn heap_bytes(&self) -> usize {
+        self.rule_index.len() * 4
+            + self.head.len() * 4
+            + self.idb_start.len() * 4
+            + self.edb_start.len() * 4
+            + self.idb_bodies.len() * 4
+            + self.edb_bodies.len() * std::mem::size_of::<FactId>()
+    }
+
+    /// Heap bytes the same rules occupy in boxed `Vec<GroundedRule>` form:
+    /// the struct footprint per rule plus each body vector's payload and
+    /// its own allocation. Used to report the compaction ratio.
+    pub fn boxed_bytes_equivalent(&self) -> usize {
+        self.len() * std::mem::size_of::<GroundedRule>()
+            + self.idb_bodies.len() * std::mem::size_of::<usize>()
+            + self.edb_bodies.len() * std::mem::size_of::<FactId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::ground::ground;
+    use crate::parser::parse_program;
+    use graphgen::generators;
+
+    #[test]
+    fn round_trips_a_real_grounding() {
+        let p = parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).").unwrap();
+        let g = generators::gnm(12, 30, &["E"], 7);
+        let mut p = p;
+        let (db, _) = Database::from_graph(&mut p, &g);
+        let gp = ground(&p, &db).unwrap();
+        assert!(!gp.rules.is_empty());
+        let csr = CompactRules::from_rules(&gp.rules);
+        assert_eq!(csr.len(), gp.rules.len());
+        assert_eq!(csr.to_rules(), gp.rules);
+        for (i, r) in gp.rules.iter().enumerate() {
+            assert_eq!(csr.rule_index(i), r.rule_index);
+            assert_eq!(csr.head(i), r.head);
+            assert_eq!(
+                csr.body_idb(i)
+                    .iter()
+                    .map(|&x| x as usize)
+                    .collect::<Vec<_>>(),
+                r.body_idb
+            );
+            assert_eq!(csr.body_edb(i), &r.body_edb[..]);
+        }
+    }
+
+    #[test]
+    fn empty_store_is_coherent() {
+        let csr = CompactRules::new();
+        assert!(csr.is_empty());
+        assert_eq!(csr.len(), 0);
+        assert!(csr.to_rules().is_empty());
+        assert!(csr.heap_bytes() >= 8); // the two sentinels
+    }
+
+    #[test]
+    fn csr_is_smaller_than_boxed() {
+        let p = parse_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).").unwrap();
+        let g = generators::gnm(30, 90, &["E"], 3);
+        let mut p = p;
+        let (db, _) = Database::from_graph(&mut p, &g);
+        let gp = ground(&p, &db).unwrap();
+        let csr = CompactRules::from_rules(&gp.rules);
+        assert!(
+            csr.heap_bytes() * 2 < csr.boxed_bytes_equivalent(),
+            "CSR {} bytes vs boxed {} bytes",
+            csr.heap_bytes(),
+            csr.boxed_bytes_equivalent()
+        );
+    }
+}

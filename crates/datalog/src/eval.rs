@@ -888,11 +888,8 @@ mod tests {
         for src in 0..g.num_nodes() {
             let dist = g.bfs_distances(src as u32);
             for (dst, &dopt) in dist.iter().enumerate() {
-                let key = (
-                    t,
-                    vec![db.node_const(src).unwrap(), db.node_const(dst).unwrap()],
-                );
-                if let Some(&i) = gp.fact_index.get(&key) {
+                let key = [db.node_const(src).unwrap(), db.node_const(dst).unwrap()];
+                if let Some(i) = gp.fact(t, &key) {
                     let d = dopt.expect("derivable implies reachable");
                     // E+ paths: for src==dst, BFS gives 0 but TC needs a
                     // cycle; skip the diagonal.

@@ -46,6 +46,8 @@
 
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
+
+use crate::fxhash::FxHashMap;
 use std::ops::ControlFlow;
 
 use provcirc_error::Error;
@@ -73,8 +75,14 @@ pub struct GroundedRule {
 pub struct GroundedProgram {
     /// All derivable IDB facts.
     pub idb_facts: Vec<(PredId, Vec<ConstId>)>,
-    /// Index from fact to its position in `idb_facts`.
-    pub fact_index: HashMap<(PredId, Vec<ConstId>), usize>,
+    /// Index from fact to its position in `idb_facts`, grouped by
+    /// predicate so a lookup can probe with a borrowed `&[ConstId]`
+    /// (`Vec<ConstId>: Borrow<[ConstId]>`) instead of cloning the tuple
+    /// into a composite key — [`fact`] sits on the per-grounding hot path
+    /// of both grounding phases and the fused worklist.
+    ///
+    /// [`fact`]: GroundedProgram::fact
+    pub fact_index: FxHashMap<PredId, FxHashMap<Vec<ConstId>, usize>>,
     /// All grounded rules.
     pub rules: Vec<GroundedRule>,
     /// For each IDB fact, the grounded rules deriving it.
@@ -84,7 +92,7 @@ pub struct GroundedProgram {
     /// not a scan.
     ///
     /// [`facts_of`]: GroundedProgram::facts_of
-    pub facts_by_pred: HashMap<PredId, Vec<usize>>,
+    pub facts_by_pred: FxHashMap<PredId, Vec<usize>>,
 }
 
 impl GroundedProgram {
@@ -93,9 +101,10 @@ impl GroundedProgram {
         self.idb_facts.len()
     }
 
-    /// The index of a derivable IDB fact.
+    /// The index of a derivable IDB fact. Allocation-free: probes the
+    /// per-predicate map with the borrowed tuple.
     pub fn fact(&self, pred: PredId, tuple: &[ConstId]) -> Option<usize> {
-        self.fact_index.get(&(pred, tuple.to_vec())).copied()
+        self.fact_index.get(&pred)?.get(tuple).copied()
     }
 
     /// Indices of derivable facts of a predicate, in `idb_facts` order.
@@ -120,23 +129,25 @@ impl GroundedProgram {
 
     /// Append a derivable fact, keeping `fact_index` and `facts_by_pred`
     /// coherent. Returns `Some(i)` for a new fact, `None` for a duplicate.
-    fn push_fact(&mut self, pred: PredId, tuple: Vec<ConstId>) -> Option<usize> {
-        let key = (pred, tuple);
-        if self.fact_index.contains_key(&key) {
+    pub(crate) fn push_fact(&mut self, pred: PredId, tuple: Vec<ConstId>) -> Option<usize> {
+        let by_pred = self.fact_index.entry(pred).or_default();
+        if by_pred.contains_key(&tuple) {
             return None;
         }
         let i = self.idb_facts.len();
-        self.fact_index.insert(key.clone(), i);
+        by_pred.insert(tuple.clone(), i);
         self.facts_by_pred.entry(pred).or_default().push(i);
-        self.idb_facts.push(key);
+        self.idb_facts.push((pred, tuple));
         Some(i)
     }
 }
 
 /// A match target during joins: either an IDB fact index or an EDB fact id.
 #[derive(Clone, Copy, Debug)]
-enum BodyMatch {
+pub(crate) enum BodyMatch {
+    /// Index into [`GroundedProgram::idb_facts`].
     Idb(usize),
+    /// EDB fact id (a provenance variable).
     Edb(FactId),
 }
 
@@ -299,12 +310,12 @@ impl SlotInterner {
 struct JoinIndices {
     /// Per slot: projection key → matching facts (IDB fact indices or EDB
     /// fact ids, ascending — insertion order).
-    maps: Vec<HashMap<Vec<ConstId>, Vec<usize>>>,
+    maps: Vec<FxHashMap<Vec<ConstId>, Vec<usize>>>,
     /// Per slot: the projected positions (copied out of the interner).
     positions: Vec<Vec<usize>>,
     /// IDB slot numbers grouped by predicate, so extending with a new fact
     /// touches only its own predicate's slots.
-    idb_slots_by_pred: HashMap<PredId, Vec<usize>>,
+    idb_slots_by_pred: FxHashMap<PredId, Vec<usize>>,
     /// Number of `idb_facts` already folded into the IDB slots.
     idb_upto: usize,
 }
@@ -313,9 +324,9 @@ impl JoinIndices {
     fn build(slots: &SlotInterner, db: &Database) -> Self {
         let mut maps = Vec::with_capacity(slots.specs.len());
         let mut positions = Vec::with_capacity(slots.specs.len());
-        let mut idb_slots_by_pred: HashMap<PredId, Vec<usize>> = HashMap::new();
+        let mut idb_slots_by_pred: FxHashMap<PredId, Vec<usize>> = FxHashMap::default();
         for (slot, (pred, pos, idb)) in slots.specs.iter().enumerate() {
-            let mut map: HashMap<Vec<ConstId>, Vec<usize>> = HashMap::new();
+            let mut map: FxHashMap<Vec<ConstId>, Vec<usize>> = FxHashMap::default();
             if *idb {
                 idb_slots_by_pred.entry(*pred).or_default().push(slot);
             } else {
@@ -605,7 +616,7 @@ pub fn par_ground_with_limit_recorded(
             let rule = &program.rules[rule_index];
             let mut out: Vec<GroundedRule> = Vec::new();
             let mut overflow = false;
-            let mut ground_rule = |bindings: &HashMap<VarSym, ConstId>, matches: &[BodyMatch]| {
+            let mut ground_rule = |bindings: &Bindings, matches: &[BodyMatch]| {
                 if limited
                     && emitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed) >= max_rules
                 {
@@ -821,7 +832,7 @@ pub fn extend_grounding(
                 count_probes: enabled,
                 probes: Cell::new(0),
             };
-            let mut on = |bindings: &HashMap<VarSym, ConstId>, _: &[BodyMatch]| {
+            let mut on = |bindings: &Bindings, _: &[BodyMatch]| {
                 let head = instantiate(&rule.head, bindings, &const_map)
                     .expect("head vars bound by safety; dead rules skipped");
                 if gpr.fact(rule.head.pred, &head).is_none() {
@@ -920,7 +931,7 @@ pub fn extend_grounding(
             };
             let new_rules = &mut new_rules;
             let overflow = &mut overflow;
-            let mut emit = |bindings: &HashMap<VarSym, ConstId>, matches: &[BodyMatch]| {
+            let mut emit = |bindings: &Bindings, matches: &[BodyMatch]| {
                 if base_rules + new_rules.len() >= max_rules {
                     *overflow = true;
                     return ControlFlow::Break(());
@@ -1025,11 +1036,49 @@ pub fn retract_facts_from_grounding(gp: &mut GroundedProgram, retracted: &[FactI
     roots
 }
 
+/// Variable bindings of an in-progress body match. Rule bodies bind a
+/// handful of variables, so a linear-scanned vector beats a hash map on
+/// every operation, and binding is strictly stack-shaped (atoms bind on
+/// descent, unbind on backtrack), so a checkpoint/truncate pair replaces
+/// per-variable removal — no `newly_bound` allocation per matched atom.
+#[derive(Default)]
+struct Bindings(Vec<(VarSym, ConstId)>);
+
+impl Bindings {
+    #[inline]
+    fn get(&self, v: VarSym) -> Option<ConstId> {
+        self.0.iter().find(|&&(b, _)| b == v).map(|&(_, c)| c)
+    }
+
+    #[inline]
+    fn push(&mut self, v: VarSym, c: ConstId) {
+        self.0.push((v, c));
+    }
+
+    /// Checkpoint for a later [`truncate`](Bindings::truncate).
+    #[inline]
+    fn mark(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Drop every binding made since `mark` (bindings are stack-shaped).
+    #[inline]
+    fn truncate(&mut self, mark: usize) {
+        self.0.truncate(mark);
+    }
+}
+
 /// Callback invoked for every satisfying assignment of a rule body.
 /// Returning [`ControlFlow::Break`] aborts the whole enumeration — how the
 /// grounded-rule cap cuts a combinatorially exploding join off early
 /// instead of enumerating it to completion with a no-op callback.
-type OnMatch<'a> = dyn FnMut(&HashMap<VarSym, ConstId>, &[BodyMatch]) -> ControlFlow<()> + 'a;
+///
+/// The enumeration methods are generic over the callback (monomorphized,
+/// so the per-match invocation inlines) — with tens of millions of
+/// matches per grounding run, a `dyn` indirection per match is
+/// measurable.
+trait OnMatch: FnMut(&Bindings, &[BodyMatch]) -> ControlFlow<()> {}
+impl<F: FnMut(&Bindings, &[BodyMatch]) -> ControlFlow<()>> OnMatch for F {}
 
 /// One rule's indexed join over EDB ∪ derivable-IDB.
 struct Matcher<'a> {
@@ -1061,10 +1110,11 @@ impl Matcher<'_> {
     /// order, invoking `on_match(bindings, per-atom matches)` — the full
     /// (delta-free) join used by round 0 and phase 2. Stops as soon as
     /// the callback breaks.
-    fn enumerate(&self, on_match: &mut OnMatch<'_>) {
-        let mut bindings: HashMap<VarSym, ConstId> = HashMap::new();
+    fn enumerate(&self, on_match: &mut impl OnMatch) {
+        let mut bindings = Bindings::default();
         let mut matches: Vec<BodyMatch> = Vec::with_capacity(self.rule.body.len());
-        let _ = self.recurse(0, &mut bindings, &mut matches, on_match);
+        let mut key: Vec<ConstId> = Vec::new();
+        let _ = self.recurse(0, &mut bindings, &mut matches, &mut key, on_match);
     }
 
     /// Enumerate the substitutions whose IDB atom at `dp.dpos` takes a
@@ -1085,26 +1135,32 @@ impl Matcher<'_> {
         delta_start: usize,
         lo: usize,
         hi: usize,
-        on_match: &mut OnMatch<'_>,
+        on_match: &mut impl OnMatch,
     ) {
         let atom = &self.rule.body[dp.dpos];
         let facts = self.gp.facts_of(atom.pred);
         let from = facts.partition_point(|&i| i < lo.max(delta_start));
-        let mut bindings: HashMap<VarSym, ConstId> = HashMap::new();
+        let mut bindings = Bindings::default();
         let mut matches: Vec<BodyMatch> = Vec::with_capacity(self.rule.body.len());
+        let mut key: Vec<ConstId> = Vec::new();
         for &fi in &facts[from..] {
             if fi >= hi {
                 break;
             }
             let tuple = &self.gp.idb_facts[fi].1;
-            if let Some(newly) = self.bind_atom(atom, tuple, &mut bindings) {
+            if let Some(mark) = self.bind_atom(atom, tuple, &mut bindings) {
                 matches.push(BodyMatch::Idb(fi));
-                let flow =
-                    self.recurse_rest(dp, 0, delta_start, &mut bindings, &mut matches, on_match);
+                let flow = self.recurse_rest(
+                    dp,
+                    0,
+                    delta_start,
+                    &mut bindings,
+                    &mut matches,
+                    &mut key,
+                    on_match,
+                );
                 matches.pop();
-                for v in newly {
-                    bindings.remove(&v);
-                }
+                bindings.truncate(mark);
                 if flow.is_break() {
                     return;
                 }
@@ -1114,29 +1170,29 @@ impl Matcher<'_> {
 
     /// Descend through the non-delta atoms of a [`DeltaPlan`] (original
     /// body order, delta atom excluded).
+    #[allow(clippy::too_many_arguments)]
     fn recurse_rest(
         &self,
         dp: &DeltaPlan,
         k: usize,
         delta_start: usize,
-        bindings: &mut HashMap<VarSym, ConstId>,
+        bindings: &mut Bindings,
         matches: &mut Vec<BodyMatch>,
-        on_match: &mut OnMatch<'_>,
+        key: &mut Vec<ConstId>,
+        on_match: &mut impl OnMatch,
     ) -> ControlFlow<()> {
         if k == dp.rest.len() {
             return on_match(bindings, matches);
         }
         let pos = dp.rest[k];
         let atom = &self.rule.body[pos];
-        let key: Vec<ConstId> = dp.bound[k]
-            .iter()
-            .map(|&p| match &atom.terms[p] {
-                Term::Const(c) => self.const_map[*c as usize].expect("dead rules are skipped"),
-                Term::Var(v) => bindings[v],
-            })
-            .collect();
+        key.clear();
+        key.extend(dp.bound[k].iter().map(|&p| match &atom.terms[p] {
+            Term::Const(c) => self.const_map[*c as usize].expect("dead rules are skipped"),
+            Term::Var(v) => bindings.get(*v).expect("pre-bound by plan"),
+        }));
         self.probe();
-        let Some(candidates) = self.indices.maps[dp.slot[k]].get(&key) else {
+        let Some(candidates) = self.indices.maps[dp.slot[k]].get(key.as_slice()) else {
             return ControlFlow::Continue(());
         };
         let is_idb = self.idbs.contains(&atom.pred);
@@ -1155,17 +1211,60 @@ impl Matcher<'_> {
                 let fid = c as FactId;
                 (self.db.fact(fid).1, BodyMatch::Edb(fid))
             };
-            if let Some(newly) = self.bind_atom(atom, tuple, bindings) {
+            if let Some(mark) = self.bind_atom(atom, tuple, bindings) {
                 matches.push(matched);
-                let flow = self.recurse_rest(dp, k + 1, delta_start, bindings, matches, on_match);
+                let flow =
+                    self.recurse_rest(dp, k + 1, delta_start, bindings, matches, key, on_match);
                 matches.pop();
-                for v in newly {
-                    bindings.remove(&v);
-                }
+                bindings.truncate(mark);
                 flow?;
             }
         }
         ControlFlow::Continue(())
+    }
+
+    /// Enumerate the substitutions whose IDB atom at `dp.dpos` takes a
+    /// fact from `changed` (an ascending list of IDB fact indices) — the
+    /// fused pipeline's re-fire pass, covering groundings whose body
+    /// *values* changed without any body fact being newly discovered.
+    ///
+    /// Unlike [`enumerate_delta`](Matcher::enumerate_delta), earlier IDB
+    /// positions are **not** restricted: a grounding with several changed
+    /// facts is enumerated once per changed position. The duplicates are
+    /// sound because the fused worklist only ⊕-accumulates (idempotent ⊕,
+    /// which is the fused pipeline's precondition) — they cost work, not
+    /// correctness, and the changed set is typically tiny.
+    fn enumerate_changed(&self, dp: &DeltaPlan, changed: &[usize], on_match: &mut impl OnMatch) {
+        let atom = &self.rule.body[dp.dpos];
+        let mut bindings = Bindings::default();
+        let mut matches: Vec<BodyMatch> = Vec::with_capacity(self.rule.body.len());
+        let mut key: Vec<ConstId> = Vec::new();
+        for &fi in changed {
+            let (pred, tuple) = &self.gp.idb_facts[fi];
+            if *pred != atom.pred {
+                continue;
+            }
+            if let Some(mark) = self.bind_atom(atom, tuple, &mut bindings) {
+                matches.push(BodyMatch::Idb(fi));
+                // `usize::MAX` as the delta boundary disables the
+                // pre-frontier restriction in `recurse_rest`: every
+                // candidate index is `< usize::MAX`.
+                let flow = self.recurse_rest(
+                    dp,
+                    0,
+                    usize::MAX,
+                    &mut bindings,
+                    &mut matches,
+                    &mut key,
+                    on_match,
+                );
+                matches.pop();
+                bindings.truncate(mark);
+                if flow.is_break() {
+                    return;
+                }
+            }
+        }
     }
 
     /// Enumerate the substitutions whose body atom at position `pinned`
@@ -1177,38 +1276,47 @@ impl Matcher<'_> {
     /// generalized so the pinned atom may be EDB (a freshly inserted
     /// fact, [`PinBounds::edb_start`]) as well as IDB (a fact first
     /// derived by the current delta pass, [`PinBounds::idb_start`]).
-    fn enumerate_pinned(&self, pinned: usize, b: &PinBounds, on_match: &mut OnMatch<'_>) {
-        let mut bindings: HashMap<VarSym, ConstId> = HashMap::new();
+    fn enumerate_pinned(&self, pinned: usize, b: &PinBounds, on_match: &mut impl OnMatch) {
+        let mut bindings = Bindings::default();
         let mut matches: Vec<BodyMatch> = Vec::with_capacity(self.rule.body.len());
-        let _ = self.recurse_pinned(0, pinned, b, &mut bindings, &mut matches, on_match);
+        let mut key: Vec<ConstId> = Vec::new();
+        let _ = self.recurse_pinned(
+            0,
+            pinned,
+            b,
+            &mut bindings,
+            &mut matches,
+            &mut key,
+            on_match,
+        );
     }
 
     /// Descend through the body in original order, slicing each index
     /// bucket by the old/new boundary of `b` (buckets are ascending, so
     /// the split is a binary search): old-only before the pinned
     /// position, new-only at it, unrestricted after it.
+    #[allow(clippy::too_many_arguments)]
     fn recurse_pinned(
         &self,
         pos: usize,
         pinned: usize,
         b: &PinBounds,
-        bindings: &mut HashMap<VarSym, ConstId>,
+        bindings: &mut Bindings,
         matches: &mut Vec<BodyMatch>,
-        on_match: &mut OnMatch<'_>,
+        key: &mut Vec<ConstId>,
+        on_match: &mut impl OnMatch,
     ) -> ControlFlow<()> {
         if pos == self.rule.body.len() {
             return on_match(bindings, matches);
         }
         let atom = &self.rule.body[pos];
-        let key: Vec<ConstId> = self.plan.bound[pos]
-            .iter()
-            .map(|&p| match &atom.terms[p] {
-                Term::Const(c) => self.const_map[*c as usize].expect("dead rules are skipped"),
-                Term::Var(v) => bindings[v],
-            })
-            .collect();
+        key.clear();
+        key.extend(self.plan.bound[pos].iter().map(|&p| match &atom.terms[p] {
+            Term::Const(c) => self.const_map[*c as usize].expect("dead rules are skipped"),
+            Term::Var(v) => bindings.get(*v).expect("pre-bound by plan"),
+        }));
         self.probe();
-        let Some(candidates) = self.indices.maps[self.plan.slot[pos]].get(&key) else {
+        let Some(candidates) = self.indices.maps[self.plan.slot[pos]].get(key.as_slice()) else {
             return ControlFlow::Continue(());
         };
         let is_idb = self.idbs.contains(&atom.pred);
@@ -1227,13 +1335,12 @@ impl Matcher<'_> {
                 let fid = c as FactId;
                 (self.db.fact(fid).1, BodyMatch::Edb(fid))
             };
-            if let Some(newly) = self.bind_atom(atom, tuple, bindings) {
+            if let Some(mark) = self.bind_atom(atom, tuple, bindings) {
                 matches.push(matched);
-                let flow = self.recurse_pinned(pos + 1, pinned, b, bindings, matches, on_match);
+                let flow =
+                    self.recurse_pinned(pos + 1, pinned, b, bindings, matches, key, on_match);
                 matches.pop();
-                for v in newly {
-                    bindings.remove(&v);
-                }
+                bindings.truncate(mark);
                 flow?;
             }
         }
@@ -1243,25 +1350,27 @@ impl Matcher<'_> {
     fn recurse(
         &self,
         pos: usize,
-        bindings: &mut HashMap<VarSym, ConstId>,
+        bindings: &mut Bindings,
         matches: &mut Vec<BodyMatch>,
-        on_match: &mut OnMatch<'_>,
+        key: &mut Vec<ConstId>,
+        on_match: &mut impl OnMatch,
     ) -> ControlFlow<()> {
         if pos == self.rule.body.len() {
             return on_match(bindings, matches);
         }
         let atom = &self.rule.body[pos];
         // Probe key: current bindings projected onto the pre-bound
-        // positions of this atom (constants resolved statically).
-        let key: Vec<ConstId> = self.plan.bound[pos]
-            .iter()
-            .map(|&p| match &atom.terms[p] {
-                Term::Const(c) => self.const_map[*c as usize].expect("dead rules are skipped"),
-                Term::Var(v) => bindings[v],
-            })
-            .collect();
+        // positions of this atom (constants resolved statically). The
+        // scratch buffer is reused across the whole enumeration — the key
+        // is dead once the index probe returns, so deeper levels may
+        // clobber it freely.
+        key.clear();
+        key.extend(self.plan.bound[pos].iter().map(|&p| match &atom.terms[p] {
+            Term::Const(c) => self.const_map[*c as usize].expect("dead rules are skipped"),
+            Term::Var(v) => bindings.get(*v).expect("pre-bound by plan"),
+        }));
         self.probe();
-        let Some(candidates) = self.indices.maps[self.plan.slot[pos]].get(&key) else {
+        let Some(candidates) = self.indices.maps[self.plan.slot[pos]].get(key.as_slice()) else {
             return ControlFlow::Continue(());
         };
         let is_idb = self.idbs.contains(&atom.pred);
@@ -1272,13 +1381,11 @@ impl Matcher<'_> {
                 let fid = c as FactId;
                 (self.db.fact(fid).1, BodyMatch::Edb(fid))
             };
-            if let Some(newly) = self.bind_atom(atom, tuple, bindings) {
+            if let Some(mark) = self.bind_atom(atom, tuple, bindings) {
                 matches.push(matched);
-                let flow = self.recurse(pos + 1, bindings, matches, on_match);
+                let flow = self.recurse(pos + 1, bindings, matches, key, on_match);
                 matches.pop();
-                for v in newly {
-                    bindings.remove(&v);
-                }
+                bindings.truncate(mark);
                 flow?;
             }
         }
@@ -1287,53 +1394,378 @@ impl Matcher<'_> {
 
     /// Check the residual positions the index could not pre-filter (fresh
     /// variables, within-atom repeats) and bind the fresh variables. On
-    /// success returns the newly bound variables (for the caller to remove
-    /// after its recursion); on a mismatch rolls back and returns `None`.
-    fn bind_atom(
-        &self,
-        atom: &Atom,
-        tuple: &[ConstId],
-        bindings: &mut HashMap<VarSym, ConstId>,
-    ) -> Option<Vec<VarSym>> {
+    /// success returns the checkpoint to [`Bindings::truncate`] to after
+    /// the caller's recursion; on a mismatch rolls back and returns
+    /// `None`.
+    fn bind_atom(&self, atom: &Atom, tuple: &[ConstId], bindings: &mut Bindings) -> Option<usize> {
         if tuple.len() != atom.terms.len() {
             return None;
         }
-        let mut newly_bound: Vec<VarSym> = Vec::new();
+        let mark = bindings.mark();
         for (term, &value) in atom.terms.iter().zip(tuple) {
             let ok = match term {
                 Term::Const(c) => self.const_map[*c as usize] == Some(value),
-                Term::Var(v) => match bindings.get(v) {
-                    Some(&bound) => bound == value,
+                Term::Var(v) => match bindings.get(*v) {
+                    Some(bound) => bound == value,
                     None => {
-                        bindings.insert(*v, value);
-                        newly_bound.push(*v);
+                        bindings.push(*v, value);
                         true
                     }
                 },
             };
             if !ok {
-                for v in newly_bound {
-                    bindings.remove(&v);
-                }
+                bindings.truncate(mark);
                 return None;
             }
         }
-        Some(newly_bound)
+        Some(mark)
     }
 }
 
 fn instantiate(
     atom: &Atom,
-    bindings: &HashMap<VarSym, ConstId>,
+    bindings: &Bindings,
     const_map: &[Option<ConstId>],
 ) -> Option<Vec<ConstId>> {
     atom.terms
         .iter()
         .map(|t| match t {
-            Term::Var(v) => bindings.get(v).copied(),
+            Term::Var(v) => bindings.get(*v),
             Term::Const(c) => const_map[*c as usize],
         })
         .collect()
+}
+
+/// [`instantiate`] into a reused buffer — the fused pipeline instantiates
+/// one head per streamed grounding (millions per run), so the per-call
+/// allocation is hoisted out; consumers copy the slice only when the head
+/// turns out to be a brand-new fact.
+fn instantiate_into(
+    atom: &Atom,
+    bindings: &Bindings,
+    const_map: &[Option<ConstId>],
+    out: &mut Vec<ConstId>,
+) {
+    out.clear();
+    out.extend(atom.terms.iter().map(|t| match t {
+        Term::Var(v) => bindings.get(*v).expect("head vars bound by safety"),
+        Term::Const(c) => const_map[*c as usize].expect("dead rules are skipped"),
+    }));
+}
+
+/// One streamed grounding handed to the fused ⊕-worklist: the callback
+/// receives `(rule_index, head predicate, head tuple, body matches)` and
+/// the grounding is never stored. The head tuple is borrowed from a
+/// buffer the grounder reuses across calls — the sink copies it only if
+/// the head is a fact it has not seen before.
+pub(crate) trait FusedSink: FnMut(usize, PredId, &[ConstId], &[BodyMatch]) {}
+impl<F: FnMut(usize, PredId, &[ConstId], &[BodyMatch])> FusedSink for F {}
+
+/// The grounding half of the fused ground+eval pipeline: the phase-1
+/// planning artifacts (rule plans, hoisted delta plans, shared hash join
+/// indices) packaged so `fused::fused_eval` can drive discovery rounds
+/// itself and consume each grounding as it is enumerated, instead of
+/// receiving a materialized [`GroundedProgram::rules`] vector.
+///
+/// Enumeration order is the contract: [`round0`](FusedGrounder::round0)
+/// replays phase 1's round-0 task order (one full join per rule, rule
+/// order) and [`delta_round`](FusedGrounder::delta_round) replays the
+/// `(rule, delta position)` task order over the full frontier — so a
+/// consumer that appends newly derived head facts in first-discovery
+/// order reproduces [`par_ground_with_limit`]'s fact interning order
+/// **bit-identically**. Everything downstream that indexes by fact
+/// position (values, snapshots, oracle tests) relies on that.
+pub(crate) struct FusedGrounder<'p> {
+    program: &'p Program,
+    db: &'p Database,
+    idbs: HashSet<PredId>,
+    const_map: Vec<Option<ConstId>>,
+    plans: Vec<RulePlan>,
+    delta_plans: Vec<Vec<DeltaPlan>>,
+    indices: JoinIndices,
+    count_probes: bool,
+}
+
+impl<'p> FusedGrounder<'p> {
+    /// Validate the program and build the join plans and EDB-side indices.
+    pub(crate) fn new(
+        program: &'p Program,
+        db: &'p Database,
+        count_probes: bool,
+    ) -> Result<Self, Error> {
+        program.validate()?;
+        let idbs = program.idbs();
+        let const_map: Vec<Option<ConstId>> = (0..program.consts.len() as u32)
+            .map(|c| db.consts.get(program.consts.name(c)))
+            .collect();
+        let mut slots = SlotInterner::default();
+        let plans: Vec<RulePlan> = program
+            .rules
+            .iter()
+            .map(|r| plan_rule(r, &idbs, &const_map, &mut slots))
+            .collect();
+        let delta_plans: Vec<Vec<DeltaPlan>> = program
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(ri, rule)| {
+                if plans[ri].dead {
+                    return Vec::new();
+                }
+                plans[ri]
+                    .idb_positions
+                    .iter()
+                    .map(|&dpos| plan_delta(rule, dpos, &idbs, &mut slots))
+                    .collect()
+            })
+            .collect();
+        let indices = JoinIndices::build(&slots, db);
+        Ok(FusedGrounder {
+            program,
+            db,
+            idbs,
+            const_map,
+            plans,
+            delta_plans,
+            indices,
+            count_probes,
+        })
+    }
+
+    fn matcher<'m>(&'m self, ri: usize, gp: &'m GroundedProgram) -> Matcher<'m> {
+        Matcher {
+            db: self.db,
+            gp,
+            const_map: &self.const_map,
+            rule: &self.program.rules[ri],
+            plan: &self.plans[ri],
+            idbs: &self.idbs,
+            indices: &self.indices,
+            count_probes: self.count_probes,
+            probes: Cell::new(0),
+        }
+    }
+
+    /// Round 0 of discovery: the full (delta-free) join of every rule
+    /// against the empty IDB relation, in rule order — only all-EDB
+    /// bodies can match. Returns the index probes performed.
+    pub(crate) fn round0(&self, gp: &GroundedProgram, sink: &mut impl FusedSink) -> u64 {
+        let mut probes = 0;
+        let mut head = Vec::new();
+        for (ri, plan) in self.plans.iter().enumerate() {
+            if plan.dead {
+                continue;
+            }
+            let head_atom = &self.program.rules[ri].head;
+            let m = self.matcher(ri, gp);
+            m.enumerate(&mut |bindings, matches| {
+                instantiate_into(head_atom, bindings, &self.const_map, &mut head);
+                sink(ri, head_atom.pred, &head, matches);
+                ControlFlow::Continue(())
+            });
+            probes += m.probes.get();
+        }
+        probes
+    }
+
+    /// Discovery round `r > 0`: enumerate every grounding whose **newest**
+    /// body fact lies in the frontier `[delta_start, gp.idb_facts.len())`,
+    /// in phase 1's `(rule, delta position)` task order — each such
+    /// grounding exactly once, at its first frontier position. Returns
+    /// the index probes performed.
+    pub(crate) fn delta_round(
+        &self,
+        gp: &GroundedProgram,
+        delta_start: usize,
+        sink: &mut impl FusedSink,
+    ) -> u64 {
+        let hi = gp.idb_facts.len();
+        let mut probes = 0;
+        let mut head = Vec::new();
+        for (ri, dps) in self.delta_plans.iter().enumerate() {
+            let head_atom = &self.program.rules[ri].head;
+            for dp in dps {
+                let m = self.matcher(ri, gp);
+                m.enumerate_delta(
+                    dp,
+                    delta_start,
+                    delta_start,
+                    hi,
+                    &mut |bindings, matches| {
+                        instantiate_into(head_atom, bindings, &self.const_map, &mut head);
+                        sink(ri, head_atom.pred, &head, matches);
+                        ControlFlow::Continue(())
+                    },
+                );
+                probes += m.probes.get();
+            }
+        }
+        probes
+    }
+
+    /// Re-fire pass: enumerate the groundings with a body fact in
+    /// `changed` (ascending IDB fact indices whose *value* changed last
+    /// round without being newly discovered). May enumerate a grounding
+    /// more than once (see [`Matcher::enumerate_changed`]); never
+    /// enumerates a grounding whose head fact does not already exist by
+    /// the time the pass runs. Returns the index probes performed.
+    pub(crate) fn refire_round(
+        &self,
+        gp: &GroundedProgram,
+        changed: &[usize],
+        sink: &mut impl FusedSink,
+    ) -> u64 {
+        let mut probes = 0;
+        let mut head = Vec::new();
+        for (ri, dps) in self.delta_plans.iter().enumerate() {
+            let head_atom = &self.program.rules[ri].head;
+            for dp in dps {
+                let m = self.matcher(ri, gp);
+                m.enumerate_changed(dp, changed, &mut |bindings, matches| {
+                    instantiate_into(head_atom, bindings, &self.const_map, &mut head);
+                    sink(ri, head_atom.pred, &head, matches);
+                    ControlFlow::Continue(())
+                });
+                probes += m.probes.get();
+            }
+        }
+        probes
+    }
+
+    /// Fold the facts appended since the last call into the IDB join
+    /// indices — the fused driver calls this once per round, after
+    /// appending the round's discoveries.
+    pub(crate) fn extend_indices(&mut self, gp: &GroundedProgram) {
+        self.indices.extend_idb(gp);
+    }
+
+    /// Parallel [`round0`](FusedGrounder::round0): one task per rule,
+    /// each buffering its groundings into a [`FusedBatch`] instead of
+    /// sinking them live. Batches come back in rule order, so draining
+    /// them in order replays the sequential enumeration exactly. Returns
+    /// the batches and the index probes performed.
+    pub(crate) fn round0_par(
+        &self,
+        gp: &GroundedProgram,
+        threads: usize,
+        rec: &dyn Recorder,
+    ) -> (Vec<FusedBatch>, u64) {
+        let produced = |o: &(FusedBatch, u64)| o.0.len() as u64;
+        let outs = crate::par::run_indexed_recorded(
+            self.plans.len(),
+            threads,
+            rec,
+            Stage::FusedEval,
+            produced,
+            |ri| {
+                let mut batch = FusedBatch::default();
+                let mut probes = 0;
+                if !self.plans[ri].dead {
+                    let head_atom = &self.program.rules[ri].head;
+                    let m = self.matcher(ri, gp);
+                    let mut head = Vec::new();
+                    m.enumerate(&mut |bindings, matches| {
+                        instantiate_into(head_atom, bindings, &self.const_map, &mut head);
+                        batch.push(ri, &head, matches);
+                        ControlFlow::Continue(())
+                    });
+                    probes = m.probes.get();
+                }
+                (batch, probes)
+            },
+        );
+        let probes = outs.iter().map(|(_, p)| *p).sum();
+        (outs.into_iter().map(|(b, _)| b).collect(), probes)
+    }
+
+    /// Parallel [`delta_round`](FusedGrounder::delta_round): the frontier
+    /// is sharded exactly as phase 1 shards it — one task per `(rule,
+    /// delta position, frontier sub-range)` in lexicographic order — and
+    /// each task buffers its groundings instead of sinking them live.
+    /// Concatenating the batches in task order reproduces the sequential
+    /// enumeration bit-identically: the delta atom iterates the frontier
+    /// outermost (see [`Matcher::enumerate_delta`]), so consecutive
+    /// shards of `[delta_start, len)` concatenate to the full-frontier
+    /// enumeration. Returns the batches and the index probes performed.
+    pub(crate) fn delta_round_par(
+        &self,
+        gp: &GroundedProgram,
+        delta_start: usize,
+        threads: usize,
+        rec: &dyn Recorder,
+    ) -> (Vec<FusedBatch>, u64) {
+        let hi = gp.idb_facts.len();
+        let ranges = crate::par::shard_bounds(hi - delta_start, threads);
+        let mut tasks: Vec<(usize, usize, usize, usize)> = Vec::new();
+        for (ri, dps) in self.delta_plans.iter().enumerate() {
+            for di in 0..dps.len() {
+                for &(lo, hi_s) in &ranges {
+                    tasks.push((ri, di, delta_start + lo, delta_start + hi_s));
+                }
+            }
+        }
+        let produced = |o: &(FusedBatch, u64)| o.0.len() as u64;
+        let outs = crate::par::run_indexed_recorded(
+            tasks.len(),
+            threads,
+            rec,
+            Stage::FusedEval,
+            produced,
+            |t| {
+                let (ri, di, lo, hi_t) = tasks[t];
+                let mut batch = FusedBatch::default();
+                let head_atom = &self.program.rules[ri].head;
+                let m = self.matcher(ri, gp);
+                let mut head = Vec::new();
+                m.enumerate_delta(
+                    &self.delta_plans[ri][di],
+                    delta_start,
+                    lo,
+                    hi_t,
+                    &mut |bindings, matches| {
+                        instantiate_into(head_atom, bindings, &self.const_map, &mut head);
+                        batch.push(ri, &head, matches);
+                        ControlFlow::Continue(())
+                    },
+                );
+                (batch, m.probes.get())
+            },
+        );
+        let probes = outs.iter().map(|(_, p)| *p).sum();
+        (outs.into_iter().map(|(b, _)| b).collect(), probes)
+    }
+}
+
+/// One discovery round's groundings in flat buffers — what the parallel
+/// fused discovery tasks hand back for the sequential ⊕-drain. Strides
+/// are implicit: a grounding of rule `ri` contributes exactly
+/// `head.terms.len()` constants to `heads` and `body.len()` matches to
+/// `bodies`, so three flat vectors reconstruct the stream with no
+/// per-grounding allocation or length bookkeeping. This is the parallel
+/// fused path's only transient rule storage: it holds one round, not the
+/// program's full grounding, and is dropped at the round boundary.
+#[derive(Default)]
+pub(crate) struct FusedBatch {
+    /// Rule index per grounding, in enumeration order.
+    pub(crate) rules: Vec<u32>,
+    /// Head tuples, concatenated.
+    pub(crate) heads: Vec<ConstId>,
+    /// Body matches, concatenated.
+    pub(crate) bodies: Vec<BodyMatch>,
+}
+
+impl FusedBatch {
+    /// Number of buffered groundings.
+    pub(crate) fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    #[inline]
+    fn push(&mut self, ri: usize, head: &[ConstId], matches: &[BodyMatch]) {
+        self.rules.push(ri as u32);
+        self.heads.extend_from_slice(head);
+        self.bodies.extend_from_slice(matches);
+    }
 }
 
 #[cfg(test)]
@@ -1689,8 +2121,10 @@ mod tests {
                     for (i, r) in gp.rules.iter().enumerate() {
                         assert!(gp.rules_by_head[r.head].contains(&i));
                     }
-                    for (f, &i) in &gp.fact_index {
-                        assert_eq!(&gp.idb_facts[i], f);
+                    for (pred, by_tuple) in &gp.fact_index {
+                        for (tuple, &i) in by_tuple {
+                            assert_eq!(gp.idb_facts[i], (*pred, tuple.clone()));
+                        }
                     }
                 }
             }

@@ -10,6 +10,9 @@
 //! * [`eval`] — naive and semi-naive fixpoint evaluation over any
 //!   [`semiring::Semiring`], with convergence detection (p-stability,
 //!   §2.3) and the iterations-to-fixpoint boundedness probe (§4);
+//! * [`fused`] — fused ground+eval: streams grounded rules straight into
+//!   the semi-naive ⊕-worklist, never materializing the rule vector;
+//! * [`csr`] — compact CSR storage for rules that must be retained;
 //! * [`prooftree`] — tight proof trees and brute-force provenance
 //!   polynomials (§2.4), the small-instance oracle;
 //! * [`expansion`] — CQ expansions, homomorphisms, and Theorem 4.6
@@ -24,9 +27,12 @@
 
 pub mod ast;
 pub mod classify;
+pub mod csr;
 pub mod database;
 pub mod eval;
 pub mod expansion;
+pub mod fused;
+pub mod fxhash;
 pub mod ground;
 pub mod magic;
 mod par;
@@ -39,6 +45,7 @@ pub use provcirc_error::Error;
 
 pub use ast::{Atom, Program, Rule, Term};
 pub use classify::{classify, ProgramClass};
+pub use csr::CompactRules;
 pub use database::{Database, FactId};
 pub use eval::{
     default_budget, dependency_csr, edb_factors, eval_all_ones, eval_with_strategy, ico,
@@ -47,11 +54,15 @@ pub use eval::{
     semi_naive_eval, semi_naive_eval_recorded, EvalOutcome, EvalStrategy,
 };
 pub use expansion::{boundedness_evidence, expansions, homomorphism, BoundednessEvidence, Cq};
+pub use fused::{
+    fused_eval, fused_eval_recorded, fused_eval_retaining, par_fused_eval, par_fused_eval_recorded,
+    FusedOutcome,
+};
 pub use ground::{
     extend_grounding, ground, ground_with_limit, par_ground, par_ground_with_limit,
     par_ground_with_limit_recorded, retract_facts_from_grounding, GroundedProgram, GroundedRule,
 };
-pub use magic::{magic_rewrite, MagicRewrite};
+pub use magic::{magic_point_eval, magic_rewrite, MagicPointOutcome, MagicRewrite};
 pub use parser::parse_program;
 pub use prooftree::{provenance_polynomial, tight_proof_trees, ProofNode, TightTrees};
 pub use symbols::{ConstId, Interner, PredId};

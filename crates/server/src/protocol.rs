@@ -13,7 +13,7 @@
 //! LOAD FACTS                        → (lines `Pred c1 c2 …` …) END → OK FACTS <n>
 //! INSERT <pred> <c…>                → OK INSERTED <n> EPOCH <e>   (incremental write path)
 //! RETRACT <pred> <c…>               → OK RETRACTED <n> EPOCH <e>  (incremental write path)
-//! QUERY <pred> <c…> SEMIRING <name> [VALUATION <spec>]
+//! QUERY <pred> <c…> SEMIRING <name> [VALUATION <spec>] [PIPELINE <name>]
 //!                                   → OK VALUE <rendered>
 //! BATCH                             → (QUERY-shaped lines …) END
 //!                                   → OK BATCH <n>, then n lines `<i> OK <v>` | `<i> ERR <code> <msg>`
@@ -35,6 +35,13 @@
 //! `QUERY` or attached to the preceding item inside a `BATCH` block;
 //! unlisted facts default to the semiring's 1.
 //!
+//! The optional `PIPELINE` clause picks the grounding/evaluation route
+//! per query: `materialized` (the default — the session's cached full
+//! grounding), `fused` (streaming ground+eval, nothing materialized or
+//! cached), or `magic` (demand-driven point query; goals the magic
+//! rewrite does not cover fall back to `materialized` transparently).
+//! All three return bit-identical values.
+//!
 //! `INSERT`/`RETRACT` are the incremental write path: unlike `LOAD FACTS`
 //! (which rebuilds the engine and re-grounds), they maintain the session's
 //! cached grounding in place via `Engine::insert_facts` /
@@ -44,6 +51,8 @@
 //! epoch after the command.
 
 use std::fmt;
+
+use provcirc::Pipeline;
 
 /// Maximum accepted request-line length in bytes. Longer lines are
 /// discarded up to the next newline and answered with `ERR TOOLONG` —
@@ -264,8 +273,8 @@ impl WireValuation {
     }
 }
 
-/// One `(goal, semiring, valuation)` triple — a `QUERY` line's payload,
-/// also the element type of a `BATCH`.
+/// One `(goal, semiring, valuation, pipeline)` tuple — a `QUERY` line's
+/// payload, also the element type of a `BATCH`.
 #[derive(Clone, Debug)]
 pub struct QuerySpec {
     /// Goal predicate name.
@@ -276,11 +285,16 @@ pub struct QuerySpec {
     pub semiring: WireSemiring,
     /// Valuation assigning fact weights.
     pub valuation: WireValuation,
+    /// Grounding/evaluation pipeline to route through
+    /// (`materialized` — the default — | `fused` | `magic`).
+    pub pipeline: Pipeline,
 }
 
 impl QuerySpec {
     /// Parse the tokens after the `QUERY` verb:
-    /// `<pred> <c…> SEMIRING <name> [VALUATION <spec>]`.
+    /// `<pred> <c…> SEMIRING <name> [VALUATION <spec>] [PIPELINE <name>]`
+    /// (the optional clauses may appear in either order, each at most
+    /// once).
     pub fn parse(tokens: &[&str]) -> Result<Self, WireError> {
         let sem_pos = tokens
             .iter()
@@ -292,20 +306,43 @@ impl QuerySpec {
         let pred = tokens[0].to_owned();
         let args: Vec<String> = tokens[1..sem_pos].iter().map(|s| (*s).to_owned()).collect();
         let rest = &tokens[sem_pos + 1..];
-        let Some((sem_name, rest)) = rest.split_first() else {
+        let Some((sem_name, mut rest)) = rest.split_first() else {
             return Err(WireError::new(ErrCode::Query, "SEMIRING needs a name"));
         };
         let semiring = WireSemiring::parse(sem_name)?;
-        let valuation = match rest {
-            [] => WireValuation::Ones,
-            [kw, spec] if kw.eq_ignore_ascii_case("VALUATION") => WireValuation::parse(spec)?,
-            _ => {
+        let mut valuation: Option<WireValuation> = None;
+        let mut pipeline: Option<Pipeline> = None;
+        while let Some((kw, tail)) = rest.split_first() {
+            let Some((spec, tail)) = tail.split_first() else {
                 return Err(WireError::new(
                     ErrCode::Query,
-                    "trailing tokens (expected VALUATION <spec>)",
-                ))
+                    format!("{} needs a value", kw.to_ascii_uppercase()),
+                ));
+            };
+            if kw.eq_ignore_ascii_case("VALUATION") {
+                if valuation.is_some() {
+                    return Err(WireError::new(ErrCode::Query, "duplicate VALUATION clause"));
+                }
+                valuation = Some(WireValuation::parse(spec)?);
+            } else if kw.eq_ignore_ascii_case("PIPELINE") {
+                if pipeline.is_some() {
+                    return Err(WireError::new(ErrCode::Query, "duplicate PIPELINE clause"));
+                }
+                pipeline = Some(Pipeline::parse(spec).ok_or_else(|| {
+                    WireError::new(
+                        ErrCode::Query,
+                        format!("unknown pipeline {spec:?} (materialized | fused | magic)"),
+                    )
+                })?);
+            } else {
+                return Err(WireError::new(
+                    ErrCode::Query,
+                    "trailing tokens (expected VALUATION <spec> or PIPELINE <name>)",
+                ));
             }
-        };
+            rest = tail;
+        }
+        let valuation = valuation.unwrap_or(WireValuation::Ones);
         if matches!(semiring, WireSemiring::Bool) && !matches!(valuation, WireValuation::Ones) {
             return Err(WireError::new(
                 ErrCode::Valuation,
@@ -317,6 +354,7 @@ impl QuerySpec {
             args,
             semiring,
             valuation,
+            pipeline: pipeline.unwrap_or_default(),
         })
     }
 }
@@ -535,6 +573,47 @@ mod tests {
         assert_eq!(
             parse_weight_line("WEIGHT E v0 v1 -1").unwrap_err().code,
             ErrCode::Valuation
+        );
+    }
+
+    #[test]
+    fn parses_pipeline_clause_in_either_order() {
+        let q = |s: &str| match parse_command(s) {
+            Ok(Command::Query(q)) => q,
+            other => panic!("{other:?}"),
+        };
+        // Default is materialized when the clause is absent.
+        assert_eq!(
+            q("QUERY T v0 v4 SEMIRING bool").pipeline,
+            provcirc::Pipeline::Materialized
+        );
+        assert_eq!(
+            q("QUERY T v0 v4 SEMIRING bool PIPELINE fused").pipeline,
+            provcirc::Pipeline::Fused
+        );
+        // VALUATION and PIPELINE commute.
+        let a = q("QUERY T v0 v4 SEMIRING tropical VALUATION unit:2 PIPELINE magic");
+        let b = q("QUERY T v0 v4 SEMIRING tropical PIPELINE magic VALUATION unit:2");
+        assert_eq!(a.pipeline, provcirc::Pipeline::Magic);
+        assert_eq!(a.valuation, b.valuation);
+        assert_eq!(a.pipeline, b.pipeline);
+    }
+
+    #[test]
+    fn rejects_bad_pipeline_clauses() {
+        let err = |s: &str| parse_command(s).unwrap_err().code;
+        assert_eq!(
+            err("QUERY T v0 SEMIRING bool PIPELINE warp"),
+            ErrCode::Query
+        );
+        assert_eq!(err("QUERY T v0 SEMIRING bool PIPELINE"), ErrCode::Query);
+        assert_eq!(
+            err("QUERY T v0 SEMIRING bool PIPELINE fused PIPELINE magic"),
+            ErrCode::Query
+        );
+        assert_eq!(
+            err("QUERY T v0 SEMIRING tropical VALUATION unit:1 VALUATION unit:2"),
+            ErrCode::Query
         );
     }
 

@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use provcirc::{Engine, EngineSnapshot};
+use provcirc::{Engine, EngineSnapshot, Pipeline};
 use provcirc_error::Error;
 use semiring::valuation::{AllOnes, PerFact, UnitWeights, Valuation};
 use semiring::{Bool, Bottleneck, Counting, Fuzzy, Semiring, Tropical};
@@ -261,7 +261,7 @@ impl Session {
         self.metrics.counter(Counter::QueriesServed, 1);
         telemetry::time(&*self.metrics, Stage::Serve, || {
             let goals = [(0usize, spec)];
-            eval_group(&snap, spec.semiring, &spec.valuation, &goals)
+            eval_group(&snap, spec.semiring, &spec.valuation, spec.pipeline, &goals)
                 .pop()
                 .expect("one goal in, one result out")
                 .1
@@ -269,35 +269,44 @@ impl Session {
     }
 
     /// Evaluate a `BATCH` against **one** snapshot: items are grouped by
-    /// `(semiring, valuation)` and each group runs a single fixpoint over
-    /// the shared frozen grounding, so N queries cost one grounding and at
-    /// most `#groups` fixpoints (the paper's compile-once/eval-many pitch
-    /// as a wire command). Results come back in item order; per-item
-    /// failures don't fail the batch.
+    /// `(semiring, valuation, pipeline)` and each group runs a single
+    /// fixpoint over the shared frozen grounding, so N queries cost one
+    /// grounding and at most `#groups` fixpoints (the paper's
+    /// compile-once/eval-many pitch as a wire command). Results come back
+    /// in item order; per-item failures don't fail the batch.
     pub fn batch(&self, specs: &[QuerySpec]) -> Result<Vec<Result<String, WireError>>, WireError> {
         self.touch();
         let snap = self.snapshot()?;
         self.metrics.counter(Counter::BatchesServed, 1);
         self.metrics
             .counter(Counter::BatchQueries, specs.len() as u64);
-        // One batch group: a (semiring, valuation) pair and the goals
-        // (with original positions) it answers.
-        type Group<'a> = (WireSemiring, WireValuation, Vec<(usize, &'a QuerySpec)>);
+        // One batch group: a (semiring, valuation, pipeline) triple and
+        // the goals (with original positions) it answers.
+        type Group<'a> = (
+            WireSemiring,
+            WireValuation,
+            Pipeline,
+            Vec<(usize, &'a QuerySpec)>,
+        );
         Ok(telemetry::time(&*self.metrics, Stage::Serve, || {
             // Group while preserving original positions.
             let mut groups: Vec<Group> = Vec::new();
             for (i, spec) in specs.iter().enumerate() {
-                match groups
-                    .iter_mut()
-                    .find(|(s, v, _)| *s == spec.semiring && *v == spec.valuation)
-                {
-                    Some((_, _, goals)) => goals.push((i, spec)),
-                    None => groups.push((spec.semiring, spec.valuation.clone(), vec![(i, spec)])),
+                match groups.iter_mut().find(|(s, v, p, _)| {
+                    *s == spec.semiring && *v == spec.valuation && *p == spec.pipeline
+                }) {
+                    Some((_, _, _, goals)) => goals.push((i, spec)),
+                    None => groups.push((
+                        spec.semiring,
+                        spec.valuation.clone(),
+                        spec.pipeline,
+                        vec![(i, spec)],
+                    )),
                 }
             }
             let mut out: Vec<Option<Result<String, WireError>>> = vec![None; specs.len()];
-            for (sem, val, goals) in groups {
-                for (i, res) in eval_group(&snap, sem, &val, &goals) {
+            for (sem, val, pipeline, goals) in groups {
+                for (i, res) in eval_group(&snap, sem, &val, pipeline, &goals) {
                     out[i] = Some(res);
                 }
             }
@@ -308,31 +317,35 @@ impl Session {
     }
 }
 
-/// Evaluate one `(semiring, valuation)` group against a snapshot: resolve
-/// every goal first, run **at most one** fixpoint (skipped when no goal is
-/// derivable), then index the values out. Returns `(original index,
-/// per-goal result)` pairs.
+/// Evaluate one `(semiring, valuation, pipeline)` group against a
+/// snapshot: pick the typed semiring/valuation pair, then hand the goals
+/// to [`run_group`], which routes them down the requested pipeline.
+/// Returns `(original index, per-goal result)` pairs.
 fn eval_group(
     snap: &EngineSnapshot,
     sem: WireSemiring,
     val: &WireValuation,
+    pipeline: Pipeline,
     goals: &[(usize, &QuerySpec)],
 ) -> Vec<(usize, Result<String, WireError>)> {
     match sem {
         WireSemiring::Bool => {
             // QuerySpec::parse rejects bool + unit, so `val` is Ones here.
-            run_group::<Bool, _>(snap, &AllOnes, goals, |b| b.0.to_string())
+            run_group::<Bool, _>(snap, pipeline, &AllOnes, goals, |b| b.0.to_string())
         }
         WireSemiring::Tropical => match val {
             WireValuation::PerFact(ws) => match per_fact_u64(snap, ws, Tropical::new) {
                 Err(e) => fail_all(goals, e),
-                Ok(v) => run_group(snap, &v, goals, render_tropical),
+                Ok(v) => run_group(snap, pipeline, &v, goals, render_tropical),
             },
             _ => match unit_u64(val) {
                 Err(e) => fail_all(goals, e),
-                Ok(None) => run_group::<Tropical, _>(snap, &AllOnes, goals, render_tropical),
+                Ok(None) => {
+                    run_group::<Tropical, _>(snap, pipeline, &AllOnes, goals, render_tropical)
+                }
                 Ok(Some(w)) => run_group(
                     snap,
+                    pipeline,
                     &UnitWeights::new(Tropical::new(w)),
                     goals,
                     render_tropical,
@@ -342,32 +355,44 @@ fn eval_group(
         WireSemiring::Counting => match val {
             WireValuation::PerFact(ws) => match per_fact_u64(snap, ws, Counting::new) {
                 Err(e) => fail_all(goals, e),
-                Ok(v) => run_group(snap, &v, goals, |c| c.0.to_string()),
+                Ok(v) => run_group(snap, pipeline, &v, goals, |c| c.0.to_string()),
             },
             _ => match unit_u64(val) {
                 Err(e) => fail_all(goals, e),
-                Ok(None) => run_group::<Counting, _>(snap, &AllOnes, goals, |c| c.0.to_string()),
-                Ok(Some(w)) => run_group(snap, &UnitWeights::new(Counting::new(w)), goals, |c| {
-                    c.0.to_string()
-                }),
+                Ok(None) => {
+                    run_group::<Counting, _>(snap, pipeline, &AllOnes, goals, |c| c.0.to_string())
+                }
+                Ok(Some(w)) => run_group(
+                    snap,
+                    pipeline,
+                    &UnitWeights::new(Counting::new(w)),
+                    goals,
+                    |c| c.0.to_string(),
+                ),
             },
         },
         WireSemiring::Bottleneck => match val {
             WireValuation::PerFact(ws) => match per_fact_u64(snap, ws, Bottleneck::new) {
                 Err(e) => fail_all(goals, e),
-                Ok(v) => run_group(snap, &v, goals, |b| b.0.to_string()),
+                Ok(v) => run_group(snap, pipeline, &v, goals, |b| b.0.to_string()),
             },
             _ => match unit_u64(val) {
                 Err(e) => fail_all(goals, e),
-                Ok(None) => run_group::<Bottleneck, _>(snap, &AllOnes, goals, |b| b.0.to_string()),
-                Ok(Some(w)) => run_group(snap, &UnitWeights::new(Bottleneck::new(w)), goals, |b| {
-                    b.0.to_string()
-                }),
+                Ok(None) => {
+                    run_group::<Bottleneck, _>(snap, pipeline, &AllOnes, goals, |b| b.0.to_string())
+                }
+                Ok(Some(w)) => run_group(
+                    snap,
+                    pipeline,
+                    &UnitWeights::new(Bottleneck::new(w)),
+                    goals,
+                    |b| b.0.to_string(),
+                ),
             },
         },
         WireSemiring::Fuzzy => match val {
             WireValuation::Ones => {
-                run_group::<Fuzzy, _>(snap, &AllOnes, goals, |f| f.value().to_string())
+                run_group::<Fuzzy, _>(snap, pipeline, &AllOnes, goals, |f| f.value().to_string())
             }
             WireValuation::Unit(w) => {
                 if !(0.0..=1.0).contains(w) {
@@ -376,9 +401,13 @@ fn eval_group(
                         WireError::new(ErrCode::Valuation, "fuzzy unit weight must be in [0, 1]"),
                     );
                 }
-                run_group(snap, &UnitWeights::new(Fuzzy::new(*w)), goals, |f| {
-                    f.value().to_string()
-                })
+                run_group(
+                    snap,
+                    pipeline,
+                    &UnitWeights::new(Fuzzy::new(*w)),
+                    goals,
+                    |f| f.value().to_string(),
+                )
             }
             WireValuation::PerFact(ws) => {
                 let v = per_fact_valuation(snap, ws, |w| {
@@ -392,7 +421,7 @@ fn eval_group(
                 });
                 match v {
                     Err(e) => fail_all(goals, e),
-                    Ok(v) => run_group(snap, &v, goals, |f| f.value().to_string()),
+                    Ok(v) => run_group(snap, pipeline, &v, goals, |f| f.value().to_string()),
                 }
             }
         },
@@ -489,11 +518,139 @@ fn fail_all(
     goals.iter().map(|(i, _)| (*i, Err(e.clone()))).collect()
 }
 
-/// The typed heart of the serving read path: resolve all goals against the
+/// The typed heart of the serving read path: dispatch one goal group to
+/// the pipeline the client asked for. All three routes share a snapshot
+/// and a render closure, so a mixed `BATCH` can interleave pipelines and
+/// still compare answers character-for-character.
+fn run_group<S, V>(
+    snap: &EngineSnapshot,
+    pipeline: Pipeline,
+    valuation: &V,
+    goals: &[(usize, &QuerySpec)],
+    render: impl Fn(&S) -> String,
+) -> Vec<(usize, Result<String, WireError>)>
+where
+    S: Semiring,
+    V: Valuation<S> + Sync,
+{
+    match pipeline {
+        Pipeline::Materialized => run_group_materialized(snap, valuation, goals, &render),
+        Pipeline::Fused => run_group_fused(snap, valuation, goals, &render),
+        Pipeline::Magic => run_group_magic(snap, valuation, goals, &render),
+    }
+}
+
+/// Resolve a goal's predicate and constants against the snapshot without
+/// consulting the frozen grounding: unknown predicates and arity
+/// mismatches are query errors (parity with
+/// [`EngineSnapshot::fact_index`]); an unknown constant means the goal is
+/// trivially underivable (`Ok(None)`).
+fn resolve_goal(
+    snap: &EngineSnapshot,
+    q: &QuerySpec,
+) -> Result<Option<(datalog::PredId, Vec<datalog::ConstId>)>, WireError> {
+    let pred = snap
+        .program()
+        .preds
+        .get(&q.pred)
+        .ok_or_else(|| engine_err(&Error::UnknownPredicate(q.pred.clone())))?;
+    if let Some(arity) = snap.program().arity(pred) {
+        if arity != q.args.len() {
+            return Err(engine_err(&Error::BadQuery(format!(
+                "{} has arity {arity}, got {} arguments",
+                q.pred,
+                q.args.len()
+            ))));
+        }
+    }
+    let tuple: Option<Vec<datalog::ConstId>> = q
+        .args
+        .iter()
+        .map(|c| snap.database().consts.get(c))
+        .collect();
+    Ok(tuple.map(|t| (pred, t)))
+}
+
+/// The `PIPELINE fused` route: one streaming ground+eval pass answers the
+/// whole group — no grounded-rule vector is ever materialized for it.
+/// Goals the stream never discovered render the semiring's 0; if the
+/// fixpoint ran out of budget, discovered goals fail with an eval error
+/// (underivable ones still render 0, matching the materialized route).
+fn run_group_fused<S, V>(
+    snap: &EngineSnapshot,
+    valuation: &V,
+    goals: &[(usize, &QuerySpec)],
+    render: impl Fn(&S) -> String,
+) -> Vec<(usize, Result<String, WireError>)>
+where
+    S: Semiring,
+    V: Valuation<S> + Sync,
+{
+    let out = match snap.fused_fixpoint::<S, V>(valuation) {
+        Ok(out) => out,
+        Err(e) => return fail_all(goals, engine_err(&e)),
+    };
+    let diverged = (!out.converged).then(|| {
+        WireError::new(
+            ErrCode::Eval,
+            format!("fixpoint diverged within budget {}", snap.budget()),
+        )
+    });
+    goals
+        .iter()
+        .map(|(i, q)| {
+            let res = match resolve_goal(snap, q) {
+                Err(e) => Err(e),
+                Ok(None) => Ok(render(&S::zero())),
+                Ok(Some((pred, tuple))) => match out.gp.fact(pred, &tuple) {
+                    None => Ok(render(&S::zero())),
+                    Some(f) => match &diverged {
+                        Some(e) => Err(e.clone()),
+                        None => Ok(render(&out.values[f])),
+                    },
+                },
+            };
+            (*i, res)
+        })
+        .collect()
+}
+
+/// The `PIPELINE magic` route: each goal gets a demand-driven point
+/// evaluation that grounds only its query cone. Goals the magic-set
+/// rewrite can't serve (wrong shape, non-chain program) fall back to the
+/// materialized route as one residual group, so a mixed batch still runs
+/// at most one full fixpoint.
+fn run_group_magic<S, V>(
+    snap: &EngineSnapshot,
+    valuation: &V,
+    goals: &[(usize, &QuerySpec)],
+    render: impl Fn(&S) -> String,
+) -> Vec<(usize, Result<String, WireError>)>
+where
+    S: Semiring,
+    V: Valuation<S> + Sync,
+{
+    let mut results = Vec::with_capacity(goals.len());
+    let mut fallback: Vec<(usize, &QuerySpec)> = Vec::new();
+    for (i, q) in goals {
+        let args: Vec<&str> = q.args.iter().map(String::as_str).collect();
+        match snap.magic_point::<S, V>(&q.pred, &args, valuation) {
+            Ok(Some(v)) => results.push((*i, Ok(render(&v)))),
+            Ok(None) => fallback.push((*i, q)),
+            Err(e) => results.push((*i, Err(engine_err(&e)))),
+        }
+    }
+    if !fallback.is_empty() {
+        results.extend(run_group_materialized(snap, valuation, &fallback, &render));
+    }
+    results
+}
+
+/// The materialized (default) route: resolve all goals against the
 /// frozen grounding, run one shared fixpoint iff some goal is derivable,
 /// and render each value. Underivable goals render `0` without forcing an
 /// evaluation; a diverging fixpoint fails only the goals that needed it.
-fn run_group<S, V>(
+fn run_group_materialized<S, V>(
     snap: &EngineSnapshot,
     valuation: &V,
     goals: &[(usize, &QuerySpec)],
@@ -695,6 +852,64 @@ mod tests {
             1
         );
         assert_eq!(session.metrics().counter_value(Counter::BatchQueries), 3);
+    }
+
+    #[test]
+    fn pipelines_agree_on_the_wire() {
+        let reg = Registry::new(1);
+        let session = reg.open();
+        session.load_program(TC).unwrap();
+        session.load_facts(path_facts(5)).unwrap();
+        // Same goal down all three pipelines, mixed into one batch: the
+        // rendered answers must be byte-identical.
+        for goal in ["T v0 v5", "T v2 v4", "T v4 v1", "T v0 nowhere"] {
+            for sem in ["bool", "tropical VALUATION unit:1", "counting"] {
+                let results = session
+                    .batch(&[
+                        spec(&format!("{goal} SEMIRING {sem}")),
+                        spec(&format!("{goal} SEMIRING {sem} PIPELINE fused")),
+                        spec(&format!("{goal} SEMIRING {sem} PIPELINE magic")),
+                    ])
+                    .unwrap();
+                let values: Vec<String> = results.into_iter().map(|r| r.unwrap()).collect();
+                assert_eq!(values[0], values[1], "fused disagrees on {goal} / {sem}");
+                assert_eq!(values[0], values[2], "magic disagrees on {goal} / {sem}");
+            }
+        }
+        // Errors keep their codes on the alternate pipelines too.
+        for pipe in ["fused", "magic"] {
+            let err = session
+                .query(&spec(&format!("Nope v0 SEMIRING bool PIPELINE {pipe}")))
+                .unwrap_err();
+            assert_eq!(err.code, ErrCode::Query, "pipeline {pipe}");
+        }
+    }
+
+    #[test]
+    fn magic_pipeline_falls_back_when_ineligible() {
+        let reg = Registry::new(1);
+        let session = reg.open();
+        // A non-linear (quadratic) TC program: the magic rewrite declines,
+        // so PIPELINE magic must transparently serve the materialized
+        // answer instead of erroring.
+        session
+            .load_program("T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), T(Z,Y).")
+            .unwrap();
+        session.load_facts(path_facts(4)).unwrap();
+        assert_eq!(
+            session
+                .query(&spec("T v0 v4 SEMIRING bool PIPELINE magic"))
+                .unwrap(),
+            "true"
+        );
+        assert_eq!(
+            session
+                .query(&spec(
+                    "T v0 v4 SEMIRING tropical VALUATION unit:1 PIPELINE magic"
+                ))
+                .unwrap(),
+            "4"
+        );
     }
 
     #[test]

@@ -70,11 +70,16 @@ pub enum Stage {
     /// grounded rules and DRed-style cone rederivation after retraction
     /// (`incremental::MaintainedFixpoint`).
     Maintain,
+    /// Fused ground+eval: the streaming pipeline that feeds grounded
+    /// rules straight into the semi-naive ⊕-worklist as phase-1 delta
+    /// grounding discovers them, never materializing a rule vector
+    /// (`datalog::fused`).
+    FusedEval,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Parse,
         Stage::GroundPhase1,
         Stage::GroundPhase2,
@@ -85,6 +90,7 @@ impl Stage {
         Stage::Serve,
         Stage::DeltaGround,
         Stage::Maintain,
+        Stage::FusedEval,
     ];
 
     /// Stable machine-readable name (used as the JSON key).
@@ -100,6 +106,7 @@ impl Stage {
             Stage::Serve => "serve",
             Stage::DeltaGround => "delta_ground",
             Stage::Maintain => "maintain",
+            Stage::FusedEval => "fused_eval",
         }
     }
 
@@ -115,6 +122,7 @@ impl Stage {
             Stage::Serve => 7,
             Stage::DeltaGround => 8,
             Stage::Maintain => 9,
+            Stage::FusedEval => 10,
         }
     }
 }
@@ -156,11 +164,21 @@ pub enum Counter {
     IncrementalFallbacks,
     /// Serving-layer sessions evicted by the idle TTL sweeper.
     SessionsEvicted,
+    /// Grounded rules streamed through the fused ground+eval pipeline —
+    /// each is ⊕-accumulated into its head and dropped, never stored
+    /// (the materialized pipeline's `grounded_rules` equivalent).
+    StreamedRules,
+    /// Re-firings of already-streamed groundings whose body values
+    /// changed in a later fused round (the fused pipeline's semi-naive
+    /// propagation tail).
+    FusedRefires,
+    /// Magic-set rewrites performed for demand-driven point queries.
+    MagicRewrites,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 17] = [
         Counter::IndexProbes,
         Counter::RuleFirings,
         Counter::FactsDiscovered,
@@ -175,6 +193,9 @@ impl Counter {
         Counter::IncrementalApplied,
         Counter::IncrementalFallbacks,
         Counter::SessionsEvicted,
+        Counter::StreamedRules,
+        Counter::FusedRefires,
+        Counter::MagicRewrites,
     ];
 
     /// Stable machine-readable name (used as the JSON key).
@@ -194,6 +215,9 @@ impl Counter {
             Counter::IncrementalApplied => "incremental_applied",
             Counter::IncrementalFallbacks => "incremental_fallbacks",
             Counter::SessionsEvicted => "sessions_evicted",
+            Counter::StreamedRules => "streamed_rules",
+            Counter::FusedRefires => "fused_refires",
+            Counter::MagicRewrites => "magic_rewrites",
         }
     }
 
@@ -213,6 +237,9 @@ impl Counter {
             Counter::IncrementalApplied => 11,
             Counter::IncrementalFallbacks => 12,
             Counter::SessionsEvicted => 13,
+            Counter::StreamedRules => 14,
+            Counter::FusedRefires => 15,
+            Counter::MagicRewrites => 16,
         }
     }
 }

@@ -226,6 +226,72 @@ fn protocol_errors_never_kill_the_server() {
     handle.wait().unwrap();
 }
 
+/// ISSUE 9: the `PIPELINE` clause routes point queries through the fused
+/// streaming evaluator or the magic-set rewrite, and both must answer
+/// byte-identically to the default materialized path over the wire.
+#[test]
+fn pipeline_clause_answers_match_materialized_over_the_wire() {
+    let handle = boot(2);
+    let mut c = connect(&handle);
+    load_workload(&mut c);
+
+    let (ob, ot, oc) = sequential_oracle();
+    for pipe in ["fused", "magic"] {
+        assert_eq!(
+            c.roundtrip(&format!("QUERY T v0 v3 SEMIRING bool PIPELINE {pipe}"))
+                .unwrap(),
+            format!("OK VALUE {ob}"),
+            "pipeline {pipe}"
+        );
+        assert_eq!(
+            c.roundtrip(&format!(
+                "QUERY T v0 v3 SEMIRING tropical VALUATION unit:1 PIPELINE {pipe}"
+            ))
+            .unwrap(),
+            format!("OK VALUE {ot}"),
+            "pipeline {pipe}"
+        );
+        assert_eq!(
+            c.roundtrip(&format!("QUERY T v0 v3 SEMIRING counting PIPELINE {pipe}"))
+                .unwrap(),
+            format!("OK VALUE {oc}"),
+            "pipeline {pipe}"
+        );
+        // Underivable goals render the semiring zero on every route.
+        assert_eq!(
+            c.roundtrip(&format!("QUERY T v3 v0 SEMIRING bool PIPELINE {pipe}"))
+                .unwrap(),
+            "OK VALUE false",
+            "pipeline {pipe}"
+        );
+    }
+
+    // A mixed batch groups by (semiring, valuation, pipeline) and the
+    // answers still line up item-for-item.
+    let reply = c
+        .send_block(
+            "BATCH",
+            &[
+                "QUERY T v0 v3 SEMIRING counting",
+                "QUERY T v0 v3 SEMIRING counting PIPELINE fused",
+                "QUERY T v0 v3 SEMIRING counting PIPELINE magic",
+            ],
+        )
+        .unwrap();
+    assert_eq!(reply.status, "OK BATCH 3");
+    assert_eq!(reply.body[0], format!("0 OK {oc}"));
+    assert_eq!(reply.body[1], format!("1 OK {oc}"));
+    assert_eq!(reply.body[2], format!("2 OK {oc}"));
+
+    let status = c
+        .roundtrip("QUERY T v0 v3 SEMIRING bool PIPELINE warp")
+        .unwrap();
+    assert!(status.starts_with("ERR QUERY"), "{status}");
+
+    handle.shutdown();
+    handle.wait().unwrap();
+}
+
 #[test]
 fn mid_batch_error_evaluates_the_rest() {
     let handle = boot(2);
