@@ -819,8 +819,8 @@ fn grounding() {
 /// the perf-trajectory experiment behind `BENCH_parallel.json`.
 fn parallel() {
     header(
-        "E-parallel · sharded parallel evaluation",
-        "the ICO is embarrassingly rule-parallel: shard-private ⊕-accumulators merged at a barrier; wall-clock scales with cores, values are bit-identical",
+        "E-parallel · owner-sharded parallel evaluation",
+        "derived facts are partitioned by head-fact hash: each worker owns a disjoint ⊕-accumulator slice (no merge step), cross-owner contributions flow through deterministic mailboxes, and idle workers steal straggler chunks; values stay bit-identical",
     );
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -940,12 +940,15 @@ fn parallel() {
         .map(|((stage, worker), a)| {
             format!(
                 "{{\"stage\": \"{}\", \"worker\": {worker}, \"calls\": {}, \
-                 \"busy_ms\": {:.3}, \"tasks\": {}, \"produced\": {}}}",
+                 \"busy_ms\": {:.3}, \"tasks\": {}, \"produced\": {}, \
+                 \"steals\": {}, \"mailbox\": {}}}",
                 stage.name(),
                 a.calls,
                 a.busy_nanos as f64 / 1e6,
                 a.tasks,
                 a.produced,
+                a.steals,
+                a.mailbox,
             )
         })
         .collect();
@@ -966,14 +969,17 @@ fn parallel() {
     let best = naive4.max(semi4);
     println!(
         "   reading: gnm(2000,8000) 4-thread speedup — naive {naive4:.2}x, semi {semi4:.2}x \
-         [target on ≥4 cores: ≥ 1.5x]"
+         [target on ≥4 cores: ≥ 2.5x]"
     );
-    // Smoke gate. Wall-clock parallel speedup needs physical cores: on a
-    // ≥4-core host the 4-thread run must at least break even (the committed
-    // trajectory records the real scaling); on smaller hosts only guard
-    // against catastrophic overhead — 4 threads time-sliced onto 1 core
-    // should still be within ~2x of sequential.
-    let gate = if cores >= 4 { 1.0 } else { 0.5 };
+    // Speedup gate. Wall-clock parallel speedup needs physical cores: on a
+    // ≥4-core host the owner-sharded scheduler must deliver the ROADMAP
+    // target — ≥2.5x at 4 threads (no merge step left to amortize, stealing
+    // keeps the rounds balanced). On smaller hosts only guard against
+    // catastrophic overhead: the mailbox design materializes every
+    // cross-owner `(head, contribution)` pair instead of ⊕-applying in
+    // place, so 4 threads time-sliced onto 1 core legitimately pay ~2.5x —
+    // the gate trips below 3x.
+    let gate = if cores >= 4 { 2.5 } else { 1.0 / 3.0 };
     assert!(
         best >= gate,
         "parallel evaluation speedup collapsed on gnm(2000,8000): {best:.2}x (gate {gate}, cores {cores})"
@@ -1516,7 +1522,7 @@ fn crossover() {
 /// The committed `BENCH_seminaive.json` must record the tentpole's ≥2x
 /// speedup on the gnm(200,800)-scale row, and `BENCH_parallel.json` must
 /// record value-agreement plus — when measured on a host with ≥4 physical
-/// cores — a ≥1.5x 4-thread speedup on the gnm(2000,8000) row.
+/// cores — a ≥2.5x 4-thread speedup on the gnm(2000,8000) row.
 #[cfg(test)]
 mod tests {
     /// Extract a numeric JSON field from a flat `"key": value` line.
@@ -1561,10 +1567,12 @@ mod tests {
         let best = field(headline, "naive_speedup").max(field(headline, "semi_speedup"));
         // Wall-clock speedup needs physical cores. The trajectory records
         // the host's count so the gate arms exactly when it is meaningful
-        // (CI runners have ≥4; a 1-core container cannot exceed 1x).
+        // (CI runners have ≥4; a 1-core container cannot exceed 1x). The
+        // owner-sharded scheduler raised the armed bar to the ROADMAP
+        // target: ≥2.5x at 4 threads.
         if cores >= 4 {
             assert!(
-                best >= 1.5,
+                best >= 2.5,
                 "committed parallel trajectory records {best}x at 4 threads on {cores} cores"
             );
         } else {
@@ -1573,6 +1581,14 @@ mod tests {
                 "committed parallel trajectory records a nonsensical speedup {best}x"
             );
         }
+        // The schema carries the scheduler's per-worker stealing and
+        // mailbox-volume attribution.
+        let shard = json
+            .lines()
+            .find(|l| l.contains("\"steals\":"))
+            .expect("per-worker shard rows carry steal counts");
+        assert!(field(shard, "steals") >= 0.0);
+        assert!(field(shard, "mailbox") >= 0.0);
     }
 
     #[test]

@@ -1468,6 +1468,33 @@ impl Query<'_> {
     pub fn circuit(&self, strategy: Strategy) -> Result<Arc<Compiled>, Error> {
         self.engine.compile(self, strategy)
     }
+
+    /// Compile the fact's provenance circuit (cached, like
+    /// [`circuit`](Query::circuit)) and evaluate it bottom-up over the
+    /// session's [`parallelism`](Engine::parallelism) — the circuit-side
+    /// twin of [`eval`](Query::eval). Level-synchronous gate evaluation
+    /// is sharded across workers ([`Circuit::eval_par_recorded`]) and is
+    /// bit-identical to the sequential pass at every thread count; the
+    /// per-level shard work is attributed to `Stage::CircuitEval` in the
+    /// session's metrics.
+    pub fn circuit_eval<S, V>(&self, strategy: Strategy, assign: &V) -> Result<S, Error>
+    where
+        S: Semiring,
+        V: Valuation<S> + Sync + ?Sized,
+    {
+        let compiled = self.circuit(strategy)?;
+        Ok(telemetry::time(
+            &*self.engine.metrics,
+            Stage::CircuitEval,
+            || {
+                compiled.circuit.eval_par_recorded(
+                    assign,
+                    self.engine.parallelism,
+                    &*self.engine.metrics,
+                )
+            },
+        ))
+    }
 }
 
 fn constant_zero() -> Circuit {
@@ -1694,6 +1721,21 @@ mod tests {
         let pp = par.provenance_outcome().unwrap();
         assert_eq!(ps.values, pp.values);
         assert_eq!(ps.iterations, pp.iterations);
+        // Parallel bottom-up circuit evaluation matches too: the level-
+        // synchronous pass must reproduce the sequential gate walk.
+        for (src, dst) in [(0u32, 4u32), (1, 5), (2, 7)] {
+            let a: Tropical = seq
+                .node_query(src, dst)
+                .unwrap()
+                .circuit_eval(Strategy::Auto, &unit)
+                .unwrap();
+            let b: Tropical = par
+                .node_query(src, dst)
+                .unwrap()
+                .circuit_eval(Strategy::Auto, &unit)
+                .unwrap();
+            assert_eq!(a, b, "circuit ({src},{dst})");
+        }
     }
 
     #[test]

@@ -20,13 +20,20 @@
 //! `Engine` facade defaults to [`EvalStrategy::SemiNaive`]. The outcome's
 //! [`EvalOutcome::strategy`] records which algorithm actually ran.
 //!
-//! Every stage also has a **sharded parallel** variant ([`par_ico`],
-//! [`par_naive_eval`], [`par_semi_naive_eval`], dispatched by
-//! [`par_eval_with_strategy`]): grounded rules are embarrassingly
+//! Every stage also has an **owner-sharded parallel** variant
+//! ([`par_ico`], [`par_naive_eval`], [`par_semi_naive_eval`], dispatched
+//! by [`par_eval_with_strategy`]): grounded rules are embarrassingly
 //! rule-parallel — each rule's ⊗-product is independent and head
-//! contributions combine with `⊕` — so shards accumulate privately and
-//! merge at a barrier. `threads <= 1` is always the exact sequential code
-//! path; the `Engine` facade's `parallelism` knob picks the count.
+//! contributions combine with `⊕` — so producer chunks route `(head,
+//! contribution)` pairs through per-owner mailboxes
+//! ([`crate::par::owner_of`] partitions heads by a fixed hash), and each
+//! owner ⊕-folds a disjoint slice of heads in the deterministic chunk
+//! order. There is no ⊕-merge step and no cross-worker write; the only
+//! sequential residue is scattering the drained slices back into the
+//! value vector ([`Counter::EvalDrainNanos`]). Work stealing over the
+//! producer chunks keeps uneven frontiers from serializing rounds.
+//! `threads <= 1` is always the exact sequential code path; the `Engine`
+//! facade's `parallelism` knob picks the count.
 
 use semiring::valuation::{AllOnes, Valuation, VarTags};
 use semiring::{Semiring, Sorp};
@@ -83,17 +90,19 @@ where
     next
 }
 
-/// One application of the immediate consequence operator, sharded across
-/// `threads` scoped threads.
+/// One application of the immediate consequence operator, owner-sharded
+/// across `threads` scoped threads.
 ///
-/// The grounded rules are partitioned into contiguous shards; each thread
-/// ⊕-accumulates its shard's rule products into a **private** vector of
-/// head accumulators, and the shard vectors are ⊕-merged in shard order.
-/// Because every grounded rule contributes exactly once and `⊕` is
-/// associative and commutative, the merged vector equals [`ico`]'s on
-/// *every* semiring — idempotence is not required (the per-head addition
-/// order is in fact identical: contiguous shards merged in order replay
-/// the rules in creation order). With `threads <= 1` this *is* [`ico`].
+/// The grounded rules are partitioned into contiguous chunks (work-stolen
+/// across workers); each chunk computes its rules' products **in rule
+/// order** and deposits every `(head, product)` pair — zeros included —
+/// into the mailbox of the head's owner ([`crate::par::owner_of`]). Each
+/// owner then folds its disjoint head slice from `0` in chunk order:
+/// chunk-ascending + in-chunk-ascending *is* rule creation order, and
+/// distinct heads are independent accumulator slots, so every head
+/// replays the exact `add_assign` sequence of [`ico`] and the result is bit-identical
+/// on *every* semiring — idempotence is not required, and there is no
+/// ⊕-merge step. With `threads <= 1` this *is* [`ico`].
 pub fn par_ico<S, V>(gp: &GroundedProgram, assign: &V, current: &[S], threads: usize) -> Vec<S>
 where
     S: Semiring,
@@ -102,12 +111,13 @@ where
     par_ico_recorded(gp, assign, current, threads, &NOOP, Stage::Eval)
 }
 
-/// [`par_ico`] reporting into a telemetry [`Recorder`]: per-shard busy
-/// time and nonzero head accumulators produced, plus barrier ⊕-merge time
-/// ([`Counter::EvalMergeNanos`]). `stage` tags the shard samples (the
-/// `Engine` facade attributes its provenance fixpoint to
-/// [`Stage::Provenance`], everything else to [`Stage::Eval`]). Disabled
-/// recorders take the un-instrumented path bit-identically.
+/// [`par_ico`] reporting into a telemetry [`Recorder`]: per-worker busy
+/// time, steal counts, and mailbox volume from the producer chunks; head
+/// accumulators produced from the owner drains; plus the sequential
+/// transpose/scatter time ([`Counter::EvalDrainNanos`]). `stage` tags the
+/// shard samples (the `Engine` facade attributes its provenance fixpoint
+/// to [`Stage::Provenance`], everything else to [`Stage::Eval`]).
+/// Disabled recorders take the un-instrumented path bit-identically.
 pub fn par_ico_recorded<S, V>(
     gp: &GroundedProgram,
     assign: &V,
@@ -124,14 +134,21 @@ where
     if threads <= 1 || num_rules < 2 {
         return ico(gp, assign, current);
     }
-    let locals: Vec<Vec<S>> = crate::par::run_sharded_recorded(
-        num_rules,
+    let owners = threads;
+    let chunks = crate::par::chunk_bounds(num_rules, threads);
+    let chunks_ref = &chunks;
+    let mail: Vec<Vec<Vec<(u32, S)>>> = crate::par::run_indexed_stats(
+        chunks.len(),
         threads,
         rec,
         stage,
-        |acc: &Vec<S>| acc.iter().filter(|v| !v.is_zero()).count() as u64,
-        |lo, hi| {
-            let mut acc = vec![S::zero(); current.len()];
+        |buckets: &Vec<Vec<(u32, S)>>| {
+            let pairs: u64 = buckets.iter().map(|b| b.len() as u64).sum();
+            (pairs, pairs)
+        },
+        |c| {
+            let (lo, hi) = chunks_ref[c];
+            let mut buckets: Vec<Vec<(u32, S)>> = (0..owners).map(|_| Vec::new()).collect();
             for rule in &gp.rules[lo..hi] {
                 let mut prod = S::one();
                 for &i in &rule.body_idb {
@@ -140,24 +157,137 @@ where
                 for &f in &rule.body_edb {
                     prod.mul_assign(&assign.value(f));
                 }
-                acc[rule.head].add_assign(&prod);
+                // Zero products are deposited too: the owner's fold then
+                // replays the sequential per-head `add_assign` sequence
+                // exactly, with no appeal to `x ⊕ 0 = x` being bitwise.
+                let head = rule.head as u32;
+                buckets[crate::par::owner_of(head, owners)].push((head, prod));
             }
-            acc
+            buckets
         },
     );
-    let merge_start = rec.enabled().then(std::time::Instant::now);
+    let drained = drain_owner_mailboxes(
+        mail,
+        current.len(),
+        owners,
+        threads,
+        rec,
+        stage,
+        |acc: &mut S, prod| {
+            acc.add_assign(prod);
+            true
+        },
+    );
+    let scatter_start = rec.enabled().then(std::time::Instant::now);
     let mut next = vec![S::zero(); current.len()];
-    for acc in &locals {
-        for (slot, v) in next.iter_mut().zip(acc) {
-            if !v.is_zero() {
-                slot.add_assign(v);
-            }
+    for out in drained {
+        for (h, v, _) in out {
+            next[h as usize] = v;
         }
     }
-    if let Some(t) = merge_start {
-        rec.counter(Counter::EvalMergeNanos, t.elapsed().as_nanos() as u64);
+    if let Some(t) = scatter_start {
+        rec.counter(Counter::EvalDrainNanos, t.elapsed().as_nanos() as u64);
     }
     next
+}
+
+/// Drain per-(chunk, owner) mailboxes: transpose the producer chunks'
+/// buckets into per-owner columns (chunk order preserved — sequential
+/// contribution order), then fold each owner's disjoint head slice in
+/// parallel. Each mailbox has one producer (the worker that executed the
+/// chunk) and one consumer (the owner task), so no ⊕ runs outside the
+/// owner drains. `apply(acc, prod)` folds one contribution, starting from
+/// `seed(head)`; it returns whether the accumulator strictly changed, and
+/// the drain output `(head, final, changed)` ORs those per head. Heads
+/// are ascending within each owner's output.
+fn drain_owner_mailboxes<S, A>(
+    mail: Vec<Vec<Vec<(u32, S)>>>,
+    num_heads: usize,
+    owners: usize,
+    threads: usize,
+    rec: &dyn Recorder,
+    stage: Stage,
+    apply: A,
+) -> Vec<Vec<(u32, S, bool)>>
+where
+    S: Semiring,
+    A: Fn(&mut S, &S) -> bool + Sync,
+{
+    drain_owner_mailboxes_seeded(
+        mail,
+        num_heads,
+        owners,
+        threads,
+        rec,
+        stage,
+        |_| S::zero(),
+        apply,
+    )
+}
+
+/// [`drain_owner_mailboxes`] with a per-head seed (the semi-naive drain
+/// seeds each head with its pre-round value; the ICO drain with `0`).
+#[allow(clippy::too_many_arguments)]
+fn drain_owner_mailboxes_seeded<S, D, A>(
+    mail: Vec<Vec<Vec<(u32, S)>>>,
+    num_heads: usize,
+    owners: usize,
+    threads: usize,
+    rec: &dyn Recorder,
+    stage: Stage,
+    seed: D,
+    apply: A,
+) -> Vec<Vec<(u32, S, bool)>>
+where
+    S: Semiring,
+    D: Fn(u32) -> S + Sync,
+    A: Fn(&mut S, &S) -> bool + Sync,
+{
+    let transpose_start = rec.enabled().then(std::time::Instant::now);
+    let mut owner_mail: Vec<Vec<Vec<(u32, S)>>> = (0..owners)
+        .map(|_| Vec::with_capacity(mail.len()))
+        .collect();
+    for chunk in mail {
+        for (o, bucket) in chunk.into_iter().enumerate() {
+            owner_mail[o].push(bucket);
+        }
+    }
+    if let Some(t) = transpose_start {
+        rec.counter(Counter::EvalDrainNanos, t.elapsed().as_nanos() as u64);
+    }
+    let owner_mail_ref = &owner_mail;
+    let (seed, apply) = (&seed, &apply);
+    crate::par::run_indexed_stats(
+        owners,
+        threads,
+        rec,
+        stage,
+        |out: &Vec<(u32, S, bool)>| (out.len() as u64, 0),
+        move |o| {
+            // Chunk-ascending + in-chunk order is the sequential
+            // contribution order, and distinct heads are disjoint
+            // accumulator slots, so folding the flattened stream in that
+            // order replays the sequential ⊕ sequence per head exactly —
+            // no sort over the pair volume. A dense first-seen index
+            // keeps the per-pair cost at one array probe; only the
+            // distinct heads are sorted, to keep the output ascending.
+            let mut index: Vec<u32> = vec![u32::MAX; num_heads];
+            let mut out: Vec<(u32, S, bool)> = Vec::new();
+            for (h, prod) in owner_mail_ref[o].iter().flatten() {
+                let slot = index[*h as usize];
+                let entry = if slot == u32::MAX {
+                    index[*h as usize] = out.len() as u32;
+                    out.push((*h, seed(*h), false));
+                    out.last_mut().expect("entry just pushed")
+                } else {
+                    &mut out[slot as usize]
+                };
+                entry.2 |= apply(&mut entry.1, prod);
+            }
+            out.sort_unstable_by_key(|e| e.0);
+            out
+        },
+    )
 }
 
 /// The naive round loop shared by the sequential and sharded entry
@@ -562,13 +692,17 @@ where
 ///
 /// `threads <= 1` runs the sequential [`semi_naive_eval`] worklist
 /// unchanged. With more threads the algorithm becomes **round-based**: the
-/// frontier (initially every rule) is split into contiguous shards, each
-/// thread computes its shard's rule products against the *pre-round*
-/// values into a private `(head, contribution)` buffer, and at a round
-/// barrier the buffers are ⊕-merged into the global values **in frontier
-/// order** — heads that strictly grow enqueue their dependent rules for
-/// the next round. The frontier sequence is therefore deterministic and
-/// independent of the thread count.
+/// frontier (initially every rule, always sorted by rule id) is split
+/// into contiguous work-stolen chunks, each chunk computes its rules'
+/// products against the *pre-round* values and routes the nonzero
+/// `(head, contribution)` pairs to per-owner mailboxes
+/// ([`crate::par::owner_of`]); each owner then ⊕-folds its disjoint head
+/// slice in frontier order with the same strict-growth test as the
+/// sequential merge. Heads that strictly grow enqueue their dependent
+/// rules, and the next frontier is sorted by rule id — so the frontier
+/// sequence is deterministic and independent of the thread count, and no
+/// ⊕ ever runs outside an owner's own slice (no merge step, no
+/// cross-worker writes).
 ///
 /// Soundness is the same ⊕-idempotence argument as the sequential
 /// algorithm (stale contributions are dominated by, and absorbed into,
@@ -600,9 +734,10 @@ where
 /// [`par_semi_naive_eval`] reporting into a telemetry [`Recorder`]: one
 /// [`RoundStats`] per frontier round (frontier size, head-value changes,
 /// next-frontier worklist), [`Counter::RuleFirings`] /
-/// [`Counter::Contributions`] / [`Counter::EvalMergeNanos`] totals, and —
-/// at `threads > 1` — per-worker shard stats from each round's sharded
-/// fire. Disabled recorders take the un-instrumented path bit-identically.
+/// [`Counter::Contributions`] / [`Counter::EvalDrainNanos`] totals, and —
+/// at `threads > 1` — per-worker shard stats (busy time, steals, mailbox
+/// volume) from each round's producer chunks and owner drains. Disabled
+/// recorders take the un-instrumented path bit-identically.
 pub fn par_semi_naive_eval_recorded<S, V>(
     gp: &GroundedProgram,
     assign: &V,
@@ -658,14 +793,21 @@ where
         }
         let frontier_ref = &frontier;
         let values_ref = &values;
-        let buffers: Vec<Vec<(u32, S)>> = crate::par::run_sharded_recorded(
-            frontier.len(),
+        let owners = threads;
+        let chunks = crate::par::chunk_bounds(frontier.len(), threads);
+        let chunks_ref = &chunks;
+        let mail: Vec<Vec<Vec<(u32, S)>>> = crate::par::run_indexed_stats(
+            chunks.len(),
             threads,
             rec,
             stage,
-            |buf: &Vec<(u32, S)>| buf.len() as u64,
-            |lo, hi| {
-                let mut out = Vec::new();
+            |buckets: &Vec<Vec<(u32, S)>>| {
+                let pairs: u64 = buckets.iter().map(|b| b.len() as u64).sum();
+                (pairs, pairs)
+            },
+            |c| {
+                let (lo, hi) = chunks_ref[c];
+                let mut buckets: Vec<Vec<(u32, S)>> = (0..owners).map(|_| Vec::new()).collect();
                 for &ri in &frontier_ref[lo..hi] {
                     let rule = &gp.rules[ri as usize];
                     let mut prod = edb_factor[ri as usize].clone();
@@ -673,10 +815,11 @@ where
                         prod.mul_assign(&values_ref[i]);
                     }
                     if !prod.is_zero() {
-                        out.push((rule.head as u32, prod));
+                        let head = rule.head as u32;
+                        buckets[crate::par::owner_of(head, owners)].push((head, prod));
                     }
                 }
-                out
+                buckets
             },
         );
         firings += frontier.len();
@@ -684,40 +827,67 @@ where
             rec.counter(Counter::RuleFirings, frontier.len() as u64);
             rec.counter(
                 Counter::Contributions,
-                buffers.iter().map(|b| b.len() as u64).sum(),
+                mail.iter()
+                    .flat_map(|c| c.iter())
+                    .map(|b| b.len() as u64)
+                    .sum(),
             );
         }
-        // Rules that just fired read pre-round values: if the merge below
-        // changes one of their inputs they must re-fire next round, so
-        // clear their next-frontier membership first.
+        // Rules that just fired read pre-round values: if an owner drain
+        // below changes one of their inputs they must re-fire next round,
+        // so clear their next-frontier membership first.
         for &ri in &frontier {
             pending[ri as usize] = false;
         }
-        // Barrier merge, in frontier order (shards are contiguous), so the
-        // next frontier is deterministic whatever the thread count.
-        let merge_start = enabled.then(std::time::Instant::now);
+        // Owner drains: each owner folds its disjoint head slice in
+        // frontier order, seeded with the pre-round value and using the
+        // same strict-growth test as the sequential merge.
+        let drained = drain_owner_mailboxes_seeded(
+            mail,
+            values.len(),
+            owners,
+            threads,
+            rec,
+            stage,
+            |h| values_ref[h as usize].clone(),
+            |acc: &mut S, prod| {
+                let sum = acc.add(prod);
+                if sum.sr_eq(acc) {
+                    false
+                } else {
+                    *acc = sum;
+                    true
+                }
+            },
+        );
+        // Apply the drained slices and enqueue dependents in a fixed
+        // order — owner-major, heads ascending — then sort the next
+        // frontier by rule id, keeping the frontier sequence independent
+        // of the thread count.
+        let apply_start = enabled.then(std::time::Instant::now);
         let mut changed = 0u64;
         let mut next_frontier: Vec<u32> = Vec::new();
-        for buf in buffers {
-            for (head, prod) in buf {
+        for out in drained {
+            for (head, v, grew) in out {
+                if !grew {
+                    continue;
+                }
                 let h = head as usize;
-                let sum = values[h].add(&prod);
-                if !sum.sr_eq(&values[h]) {
-                    values[h] = sum;
-                    if enabled {
-                        changed += 1;
-                    }
-                    for &dep in &deps[start[h]..start[h + 1]] {
-                        if !pending[dep as usize] {
-                            pending[dep as usize] = true;
-                            next_frontier.push(dep);
-                        }
+                values[h] = v;
+                if enabled {
+                    changed += 1;
+                }
+                for &dep in &deps[start[h]..start[h + 1]] {
+                    if !pending[dep as usize] {
+                        pending[dep as usize] = true;
+                        next_frontier.push(dep);
                     }
                 }
             }
         }
-        if let Some(t) = merge_start {
-            rec.counter(Counter::EvalMergeNanos, t.elapsed().as_nanos() as u64);
+        next_frontier.sort_unstable();
+        if let Some(t) = apply_start {
+            rec.counter(Counter::EvalDrainNanos, t.elapsed().as_nanos() as u64);
         }
         if enabled {
             rec.round(

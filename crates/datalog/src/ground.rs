@@ -383,12 +383,16 @@ pub fn ground_with_limit(
 /// scoped threads.
 ///
 /// Phase-1 delta joins split each round's frontier fact range into
-/// contiguous sub-ranges probed concurrently against the (read-only,
-/// shared) per-predicate hash indices; phase 2 shards by rule. Both
-/// concatenate shard outputs in frontier/rule order, so the resulting
-/// [`GroundedProgram`] — fact order, `FactId`s, grounded-rule order — is
-/// **bit-identical** to the sequential run whatever the thread count.
-/// `threads <= 1` spawns nothing and is the exact sequential code path.
+/// contiguous steal-granularity chunks probed concurrently against the
+/// (read-only, shared) per-predicate hash indices; phase 2 shards each
+/// rule's join by its outer-loop candidate range, so even a single giant
+/// rule parallelizes. Uneven tasks are load-balanced by work stealing
+/// (`crate::par`), which only changes which worker executes a task, never
+/// the task order. Both phases concatenate task outputs in
+/// frontier/rule-major order, so the resulting [`GroundedProgram`] — fact
+/// order, `FactId`s, grounded-rule order — is **bit-identical** to the
+/// sequential run whatever the thread count. `threads <= 1` spawns
+/// nothing and is the exact sequential code path.
 pub fn par_ground_with_limit(
     program: &Program,
     db: &Database,
@@ -509,8 +513,10 @@ pub fn par_ground_with_limit_recorded(
             )
         } else {
             // Round r > 0: one work item per (rule, delta position,
-            // frontier sub-range), in that lexicographic order.
-            let ranges = crate::par::shard_bounds(frontier, threads);
+            // frontier sub-range), in that lexicographic order. Ranges
+            // are steal-granularity chunks (more chunks than workers), so
+            // a skewed frontier no longer serializes the round.
+            let ranges = crate::par::chunk_bounds(frontier, threads);
             let mut tasks: Vec<(usize, usize, usize, usize)> = Vec::new();
             for (ri, dps) in delta_plans.iter().enumerate() {
                 for di in 0..dps.len() {
@@ -589,86 +595,137 @@ pub fn par_ground_with_limit_recorded(
     }
 
     // Phase 2: enumerate all groundings against the completed fact set,
-    // through the same indices (no delta constraint). One work item per
-    // rule; concatenating per-rule outputs in rule order reproduces the
-    // sequential grounded-rule order. A shared counter of emitted rules
-    // short-circuits *all* tasks as soon as the cap is hit, so a tight
-    // `max_rules` still cuts the enumeration off early instead of paying
-    // for (and buffering) the full join before erroring.
+    // through the same indices (no delta constraint). At `threads <= 1`
+    // one work item per rule runs the exact sequential enumeration; with
+    // more threads each live rule's join is split by its *outer-loop
+    // candidate range* into steal-granularity sub-ranges, so one giant
+    // rule no longer serializes the phase. Task order is rule-major with
+    // ranges ascending, so concatenating the outputs reproduces the
+    // sequential grounded-rule order either way. A shared counter of
+    // emitted rules short-circuits *all* tasks as soon as the cap is hit,
+    // so a tight `max_rules` still cuts the enumeration off early instead
+    // of paying for (and buffering) the full join before erroring.
     let emitted = std::sync::atomic::AtomicUsize::new(0);
     let limited = max_rules != usize::MAX;
     let phase2_start = enabled.then(std::time::Instant::now);
-    let per_rule: Vec<(Vec<GroundedRule>, bool, u64)> = crate::par::run_indexed_recorded(
-        program.rules.len(),
-        threads,
-        rec,
-        Stage::GroundPhase2,
-        |o: &(Vec<GroundedRule>, bool, u64)| o.0.len() as u64,
-        |rule_index| {
-            let plan = &plans[rule_index];
+    type RuleOut = (Vec<GroundedRule>, bool, u64);
+    let run_rule = |rule_index: usize, range: Option<(usize, usize)>| -> RuleOut {
+        let plan = &plans[rule_index];
+        if plan.dead {
+            return (Vec::new(), false, 0);
+        }
+        if limited && emitted.load(std::sync::atomic::Ordering::Relaxed) > max_rules {
+            // Another task already blew the cap; skip this one.
+            return (Vec::new(), true, 0);
+        }
+        let rule = &program.rules[rule_index];
+        let mut out: Vec<GroundedRule> = Vec::new();
+        let mut overflow = false;
+        let mut ground_rule = |bindings: &Bindings, matches: &[BodyMatch]| {
+            if limited && emitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed) >= max_rules {
+                // Abort this task's whole join: the cap is blown
+                // globally, so further enumeration is pure waste.
+                overflow = true;
+                return ControlFlow::Break(());
+            }
+            let head_tuple = instantiate(&rule.head, bindings, &const_map)
+                .expect("head vars bound by safety; dead rules skipped");
+            let head = gp
+                .fact(rule.head.pred, &head_tuple)
+                .expect("head derivable at fixpoint");
+            let mut body_idb = Vec::new();
+            let mut body_edb = Vec::new();
+            for m in matches {
+                match *m {
+                    BodyMatch::Idb(i) => body_idb.push(i),
+                    BodyMatch::Edb(f) => body_edb.push(f),
+                }
+            }
+            out.push(GroundedRule {
+                rule_index,
+                head,
+                body_idb,
+                body_edb,
+            });
+            ControlFlow::Continue(())
+        };
+        let m = Matcher {
+            db,
+            gp: &gp,
+            const_map: &const_map,
+            rule,
+            plan,
+            idbs: &idbs,
+            indices: &indices,
+            count_probes: enabled,
+            probes: Cell::new(0),
+        };
+        match range {
+            None => m.enumerate(&mut ground_rule),
+            Some((lo, hi)) => m.enumerate_outer_range(lo, hi, &mut ground_rule),
+        }
+        (out, overflow, m.probes.get())
+    };
+    let produced_rules = |o: &RuleOut| o.0.len() as u64;
+    let per_task: Vec<RuleOut> = if threads <= 1 {
+        crate::par::run_indexed_recorded(
+            program.rules.len(),
+            threads,
+            rec,
+            Stage::GroundPhase2,
+            produced_rules,
+            |ri| run_rule(ri, None),
+        )
+    } else {
+        // Size each live rule's outer loop up front (the first atom's
+        // probe key uses constants only, so no enumeration is needed) and
+        // split it into steal-granularity chunks.
+        let mut sizing_probes = 0u64;
+        let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
+        for (rule_index, plan) in plans.iter().enumerate() {
             if plan.dead {
-                return (Vec::new(), false, 0);
+                continue;
             }
-            if limited && emitted.load(std::sync::atomic::Ordering::Relaxed) > max_rules {
-                // Another task already blew the cap; skip this rule.
-                return (Vec::new(), true, 0);
-            }
-            let rule = &program.rules[rule_index];
-            let mut out: Vec<GroundedRule> = Vec::new();
-            let mut overflow = false;
-            let mut ground_rule = |bindings: &Bindings, matches: &[BodyMatch]| {
-                if limited
-                    && emitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed) >= max_rules
-                {
-                    // Abort this rule's whole join: the cap is blown
-                    // globally, so further enumeration is pure waste.
-                    overflow = true;
-                    return ControlFlow::Break(());
-                }
-                let head_tuple = instantiate(&rule.head, bindings, &const_map)
-                    .expect("head vars bound by safety; dead rules skipped");
-                let head = gp
-                    .fact(rule.head.pred, &head_tuple)
-                    .expect("head derivable at fixpoint");
-                let mut body_idb = Vec::new();
-                let mut body_edb = Vec::new();
-                for m in matches {
-                    match *m {
-                        BodyMatch::Idb(i) => body_idb.push(i),
-                        BodyMatch::Edb(f) => body_edb.push(f),
-                    }
-                }
-                out.push(GroundedRule {
-                    rule_index,
-                    head,
-                    body_idb,
-                    body_edb,
-                });
-                ControlFlow::Continue(())
-            };
             let m = Matcher {
                 db,
                 gp: &gp,
                 const_map: &const_map,
-                rule,
+                rule: &program.rules[rule_index],
                 plan,
                 idbs: &idbs,
                 indices: &indices,
                 count_probes: enabled,
                 probes: Cell::new(0),
             };
-            m.enumerate(&mut ground_rule);
-            (out, overflow, m.probes.get())
-        },
-    );
+            let outer = m.outer_len();
+            sizing_probes += m.probes.get();
+            for (lo, hi) in crate::par::chunk_bounds(outer, threads) {
+                tasks.push((rule_index, lo, hi));
+            }
+        }
+        if enabled {
+            rec.counter(Counter::IndexProbes, sizing_probes);
+        }
+        crate::par::run_indexed_recorded(
+            tasks.len(),
+            threads,
+            rec,
+            Stage::GroundPhase2,
+            produced_rules,
+            |t| {
+                let (ri, lo, hi) = tasks[t];
+                run_rule(ri, Some((lo, hi)))
+            },
+        )
+    };
     if enabled {
         rec.counter(
             Counter::IndexProbes,
-            per_rule.iter().map(|(_, _, p)| *p).sum(),
+            per_task.iter().map(|(_, _, p)| *p).sum(),
         );
     }
     let mut rules: Vec<GroundedRule> = Vec::new();
-    for (mut out, overflow, _) in per_rule {
+    for (mut out, overflow, _) in per_task {
         if overflow || rules.len().saturating_add(out.len()) > max_rules {
             return Err(Error::GroundingLimit { max_rules });
         }
@@ -1115,6 +1172,78 @@ impl Matcher<'_> {
         let mut matches: Vec<BodyMatch> = Vec::with_capacity(self.rule.body.len());
         let mut key: Vec<ConstId> = Vec::new();
         let _ = self.recurse(0, &mut bindings, &mut matches, &mut key, on_match);
+    }
+
+    /// Size of the full join's outer loop: how many candidate facts the
+    /// body's first atom matches. Position 0 is probed with a key built
+    /// from constants only (no variable is bound before the first atom),
+    /// so the count is known before any enumeration — phase 2 uses it to
+    /// split one rule's join into
+    /// [`enumerate_outer_range`](Matcher::enumerate_outer_range)
+    /// sub-ranges so a single giant rule no longer serializes the phase.
+    /// Empty bodies count as one virtual candidate.
+    fn outer_len(&self) -> usize {
+        if self.rule.body.is_empty() {
+            return 1;
+        }
+        let atom = &self.rule.body[0];
+        let key: Vec<ConstId> = self.plan.bound[0]
+            .iter()
+            .map(|&p| match &atom.terms[p] {
+                Term::Const(c) => self.const_map[*c as usize].expect("dead rules are skipped"),
+                Term::Var(_) => unreachable!("no variable is bound before the first atom"),
+            })
+            .collect();
+        self.probe();
+        self.indices.maps[self.plan.slot[0]]
+            .get(key.as_slice())
+            .map_or(0, |c| c.len())
+    }
+
+    /// [`enumerate`](Matcher::enumerate) restricted to outer-loop
+    /// candidates `[lo, hi)` of the body's first atom. The candidate list
+    /// is iterated in index order, so concatenating the outputs of
+    /// consecutive ranges reproduces the full enumeration exactly — the
+    /// phase-2 intra-rule sharding relies on this.
+    fn enumerate_outer_range(&self, lo: usize, hi: usize, on_match: &mut impl OnMatch) {
+        let mut bindings = Bindings::default();
+        let mut matches: Vec<BodyMatch> = Vec::with_capacity(self.rule.body.len());
+        if self.rule.body.is_empty() {
+            if lo == 0 && hi > 0 {
+                let _ = on_match(&bindings, &matches);
+            }
+            return;
+        }
+        let atom = &self.rule.body[0];
+        let mut key: Vec<ConstId> = self.plan.bound[0]
+            .iter()
+            .map(|&p| match &atom.terms[p] {
+                Term::Const(c) => self.const_map[*c as usize].expect("dead rules are skipped"),
+                Term::Var(_) => unreachable!("no variable is bound before the first atom"),
+            })
+            .collect();
+        self.probe();
+        let Some(candidates) = self.indices.maps[self.plan.slot[0]].get(key.as_slice()) else {
+            return;
+        };
+        let is_idb = self.idbs.contains(&atom.pred);
+        for &c in &candidates[lo.min(candidates.len())..hi.min(candidates.len())] {
+            let (tuple, matched) = if is_idb {
+                (&self.gp.idb_facts[c].1[..], BodyMatch::Idb(c))
+            } else {
+                let fid = c as FactId;
+                (self.db.fact(fid).1, BodyMatch::Edb(fid))
+            };
+            if let Some(mark) = self.bind_atom(atom, tuple, &mut bindings) {
+                matches.push(matched);
+                let flow = self.recurse(1, &mut bindings, &mut matches, &mut key, on_match);
+                matches.pop();
+                bindings.truncate(mark);
+                if flow.is_break() {
+                    return;
+                }
+            }
+        }
     }
 
     /// Enumerate the substitutions whose IDB atom at `dp.dpos` takes a
@@ -1695,7 +1824,9 @@ impl<'p> FusedGrounder<'p> {
         rec: &dyn Recorder,
     ) -> (Vec<FusedBatch>, u64) {
         let hi = gp.idb_facts.len();
-        let ranges = crate::par::shard_bounds(hi - delta_start, threads);
+        // Steal-granularity chunks: oversplit the frontier so a worker
+        // that finishes its share early can steal a straggler's chunks.
+        let ranges = crate::par::chunk_bounds(hi - delta_start, threads);
         let mut tasks: Vec<(usize, usize, usize, usize)> = Vec::new();
         for (ri, dps) in self.delta_plans.iter().enumerate() {
             for di in 0..dps.len() {

@@ -35,7 +35,7 @@ pub mod fused;
 pub mod fxhash;
 pub mod ground;
 pub mod magic;
-mod par;
+pub mod par;
 pub mod parser;
 pub mod prooftree;
 pub mod symbols;

@@ -484,7 +484,18 @@ pub(crate) fn serve_connection(
                 Err(wire) => write_line(&mut writer, &wire.render())?,
                 Ok(s) => {
                     s.touch();
-                    let json = s.metrics().report().to_json();
+                    // Admission rejects happen before any session exists,
+                    // so the counter lives on the registry — fold it into
+                    // the session's report at read time.
+                    let mut report = s.metrics().report();
+                    if let Some(slot) = report
+                        .counters
+                        .iter_mut()
+                        .find(|(c, _)| *c == telemetry::Counter::OverloadRejections)
+                    {
+                        slot.1 += registry.overload_rejections();
+                    }
+                    let json = report.to_json();
                     let lines: Vec<&str> = json.lines().collect();
                     write_line(&mut writer, &format!("OK METRICS {}", lines.len()))?;
                     for l in lines {

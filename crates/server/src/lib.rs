@@ -50,10 +50,11 @@ pub mod protocol;
 pub mod session;
 
 use std::io;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -69,11 +70,12 @@ pub struct ServerConfig {
     eval_threads: usize,
     read_timeout: Option<Duration>,
     session_ttl: Option<Duration>,
+    pending_limit: usize,
 }
 
 impl Default for ServerConfig {
     /// Loopback on an ephemeral port, 4 workers, 1 eval thread per query,
-    /// 30-second idle timeout, no session eviction.
+    /// 30-second idle timeout, no session eviction, 64 pending connections.
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
@@ -81,6 +83,7 @@ impl Default for ServerConfig {
             eval_threads: 1,
             read_timeout: Some(Duration::from_secs(30)),
             session_ttl: None,
+            pending_limit: 64,
         }
     }
 }
@@ -123,6 +126,16 @@ impl ServerConfig {
         self.session_ttl = ttl;
         self
     }
+
+    /// Backpressure: how many accepted-but-unserved connections may wait
+    /// for a worker before the accept loop starts *rejecting* new ones
+    /// with a single `ERR BUSY <retry-hint>` frame instead of queueing
+    /// without bound. Rejects bump the `overload_rejections` counter
+    /// surfaced by `METRICS`. Minimum 1.
+    pub fn pending_limit(mut self, limit: usize) -> Self {
+        self.pending_limit = limit.max(1);
+        self
+    }
 }
 
 /// The serving subsystem: bind with [`Server::bind`], which returns a
@@ -143,7 +156,12 @@ impl Server {
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let registry = Arc::new(Registry::new(config.eval_threads));
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = std::sync::mpsc::channel();
+        // Bounded pending queue: accepted sockets wait here for a worker.
+        // When it is full the accept loop rejects instead of queueing —
+        // overload turns into fast, explicit `ERR BUSY` feedback rather
+        // than unbounded memory growth and silent latency.
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            std::sync::mpsc::sync_channel(config.pending_limit);
         let rx = Arc::new(Mutex::new(rx));
 
         let workers: Vec<JoinHandle<()>> = (0..config.workers)
@@ -210,11 +228,26 @@ impl Server {
                             }
                         }
                         match listener.accept() {
-                            Ok((stream, _peer)) => {
-                                if tx.send(stream).is_err() {
-                                    break;
+                            Ok((stream, _peer)) => match tx.try_send(stream) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full(mut stream)) => {
+                                    // Single-frame reject, then drop the
+                                    // socket: the client gets an explicit
+                                    // retry signal instead of an unbounded
+                                    // queue wait.
+                                    registry.note_overload_rejection();
+                                    let _ = stream.write_all(
+                                        protocol::WireError::new(
+                                            protocol::ErrCode::Busy,
+                                            "pending queue full; retry after backoff",
+                                        )
+                                        .render()
+                                        .as_bytes(),
+                                    );
+                                    let _ = stream.write_all(b"\n");
                                 }
-                            }
+                                Err(TrySendError::Disconnected(_)) => break,
+                            },
                             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                                 std::thread::sleep(Duration::from_millis(10));
                             }

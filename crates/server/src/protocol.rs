@@ -26,6 +26,10 @@
 //! Every failure is a single `ERR <CODE> <message>` line; the connection
 //! always survives a protocol error (the acceptance bar for the serving
 //! layer). Multi-line replies are count-prefixed so clients never sniff.
+//! The one exception is admission: when the server's bounded pending
+//! queue is full, a *new* connection is answered with a single
+//! `ERR BUSY <retry-hint>` frame and closed before any command is read —
+//! established connections are unaffected.
 //!
 //! Semiring names: `bool`, `tropical`, `counting`, `fuzzy`, `bottleneck`.
 //! Valuation specs: `ones` (the default; every fact ↦ 1), `unit:<w>`
@@ -84,6 +88,10 @@ pub enum ErrCode {
     Eval,
     /// Unexpected end of a payload block (connection closed before `END`).
     Payload,
+    /// The server's pending-connection queue is full; the connection was
+    /// rejected with a single frame before any command was read. Clients
+    /// should back off and retry.
+    Busy,
 }
 
 impl ErrCode {
@@ -101,6 +109,7 @@ impl ErrCode {
             ErrCode::Query => "QUERY",
             ErrCode::Eval => "EVAL",
             ErrCode::Payload => "PAYLOAD",
+            ErrCode::Busy => "BUSY",
         }
     }
 }
@@ -139,7 +148,7 @@ impl fmt::Display for WireError {
 }
 
 /// The semirings the wire protocol can evaluate over.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum WireSemiring {
     /// `bool` — derivability.
     Bool,

@@ -21,11 +21,14 @@
 //!
 //! [`EngineBuilder::metrics_collector`]: provcirc::EngineBuilder::metrics_collector
 
+use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use datalog::GroundedProgram;
+use incremental::MaintainedFixpoint;
 use provcirc::{Engine, EngineSnapshot, Pipeline};
 use provcirc_error::Error;
 use semiring::valuation::{AllOnes, PerFact, UnitWeights, Valuation};
@@ -52,7 +55,214 @@ pub struct Session {
     eval_threads: usize,
     last_used: Mutex<Instant>,
     state: Mutex<SessionState>,
+    fix_cache: FixCache,
 }
+
+/// Cache key for one `(semiring, valuation)` fixpoint group: the wire
+/// semiring plus the unit weight's bits (`None` = the `ones` valuation).
+/// `perfact` valuations are never cached — their weight tables are
+/// per-request.
+type FixKey = (WireSemiring, Option<u64>);
+
+/// The cacheable key of a group, or `None` when the valuation shape is
+/// uncacheable (`perfact`).
+fn fix_key(sem: WireSemiring, val: &WireValuation) -> Option<FixKey> {
+    match val {
+        WireValuation::Ones => Some((sem, None)),
+        WireValuation::Unit(w) => Some((sem, Some(w.to_bits()))),
+        WireValuation::PerFact(_) => None,
+    }
+}
+
+/// A cached fixpoint behind type erasure: the concrete semiring/valuation
+/// pair lives inside ([`TypedEntry`]); the write path repairs entries
+/// through this object-safe surface without knowing their types.
+trait AnyEntry: Send {
+    /// Repair after an incremental insert (`extend_grounding` appended
+    /// rules `base_rules..`). Returns whether the ⊕-idempotent worklist
+    /// path applied (false = exact naive fallback ran instead).
+    fn repair_insert(
+        &mut self,
+        gp: &GroundedProgram,
+        base_rules: usize,
+        budget: usize,
+        rec: &dyn Recorder,
+    ) -> bool;
+    /// Repair after an incremental retract (`roots` are the removed
+    /// rules' heads). Exact on every semiring.
+    fn repair_retract(
+        &mut self,
+        gp: &GroundedProgram,
+        roots: &[usize],
+        budget: usize,
+        rec: &dyn Recorder,
+    ) -> bool;
+    /// Whether the entry's values are a converged fixpoint.
+    fn converged(&self) -> bool;
+    /// The write epoch the values correspond to.
+    fn epoch(&self) -> u64;
+    fn set_epoch(&mut self, epoch: u64);
+    fn as_any(&self) -> &dyn Any;
+}
+
+struct TypedEntry<S: Semiring, V> {
+    fix: MaintainedFixpoint<S>,
+    assign: V,
+    epoch: u64,
+}
+
+impl<S, V> AnyEntry for TypedEntry<S, V>
+where
+    S: Semiring,
+    V: Valuation<S> + Send + Sync + 'static,
+{
+    fn repair_insert(
+        &mut self,
+        gp: &GroundedProgram,
+        base_rules: usize,
+        budget: usize,
+        rec: &dyn Recorder,
+    ) -> bool {
+        self.fix
+            .apply_insert(gp, &self.assign, base_rules, budget, rec)
+    }
+
+    fn repair_retract(
+        &mut self,
+        gp: &GroundedProgram,
+        roots: &[usize],
+        budget: usize,
+        rec: &dyn Recorder,
+    ) -> bool {
+        self.fix.apply_retract(gp, &self.assign, roots, budget, rec)
+    }
+
+    fn converged(&self) -> bool {
+        self.fix.converged()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// The session's per-`(semiring, valuation)` fixpoint cache. `QUERY` and
+/// `BATCH` groups populate it (one [`MaintainedFixpoint`] per cacheable
+/// group); `INSERT`/`RETRACT` **repair** every entry in place via the
+/// incremental maintenance subsystem instead of invalidating it, so a
+/// write-heavy session keeps answering reads without re-running full
+/// fixpoints. Entries are dropped only when a repair fails to converge,
+/// when the write path itself fell back to re-grounding, or when the
+/// program/fact base is reloaded wholesale.
+#[derive(Default)]
+struct FixCache {
+    entries: Mutex<HashMap<FixKey, Box<dyn AnyEntry>>>,
+}
+
+impl FixCache {
+    /// The cached converged values for `key` at exactly `epoch`, if the
+    /// stored entry's concrete types match `(S, V)`.
+    fn lookup<S, V>(&self, key: FixKey, epoch: u64) -> Option<Vec<S>>
+    where
+        S: Semiring,
+        V: Valuation<S> + Send + Sync + 'static,
+    {
+        let entries = self.entries.lock().expect("fix cache poisoned");
+        let e = entries.get(&key)?;
+        if e.epoch() != epoch || !e.converged() {
+            return None;
+        }
+        let t = e.as_any().downcast_ref::<TypedEntry<S, V>>()?;
+        Some(t.fix.values().to_vec())
+    }
+
+    /// Store a freshly converged fixpoint for `key` at `epoch`, unless a
+    /// newer-epoch entry is already present (an in-flight reader on an
+    /// old snapshot must not clobber a repaired entry).
+    fn store<S, V>(&self, key: FixKey, epoch: u64, values: Vec<S>, assign: V)
+    where
+        S: Semiring,
+        V: Valuation<S> + Send + Sync + 'static,
+    {
+        let mut entries = self.entries.lock().expect("fix cache poisoned");
+        if let Some(e) = entries.get(&key) {
+            if e.epoch() > epoch {
+                return;
+            }
+        }
+        entries.insert(
+            key,
+            Box::new(TypedEntry {
+                fix: MaintainedFixpoint::from_values(values, true),
+                assign,
+                epoch,
+            }),
+        );
+    }
+
+    /// Repair every cached fixpoint after an incremental write that
+    /// maintained the grounding in place. Entries whose epoch is not the
+    /// pre-write epoch were created against a different grounding
+    /// generation and are dropped (repairing them would be unsound), as
+    /// are entries whose repair fails to converge. Each in-place repair
+    /// bumps `incremental_applied`; the exact-but-not-incremental insert
+    /// fallback (non-⊕-idempotent semirings) bumps
+    /// `incremental_fallbacks` but keeps the entry — its values are
+    /// exact either way.
+    #[allow(clippy::too_many_arguments)]
+    fn repair(
+        &self,
+        gp: &GroundedProgram,
+        insert: bool,
+        base_rules: usize,
+        roots: &[usize],
+        pre_epoch: u64,
+        new_epoch: u64,
+        budget: usize,
+        metrics: &PipelineMetrics,
+    ) {
+        let mut entries = self.entries.lock().expect("fix cache poisoned");
+        entries.retain(|_, e| {
+            if e.epoch() != pre_epoch {
+                return false;
+            }
+            let incremental = if insert {
+                e.repair_insert(gp, base_rules, budget, metrics)
+            } else {
+                e.repair_retract(gp, roots, budget, metrics)
+            };
+            if !e.converged() {
+                metrics.counter(Counter::IncrementalFallbacks, 1);
+                return false;
+            }
+            e.set_epoch(new_epoch);
+            if incremental {
+                metrics.counter(Counter::IncrementalApplied, 1);
+            } else {
+                metrics.counter(Counter::IncrementalFallbacks, 1);
+            }
+            true
+        });
+    }
+
+    /// Drop every entry (program or fact base replaced wholesale, or the
+    /// write path fell back to re-grounding).
+    fn clear(&self) {
+        self.entries.lock().expect("fix cache poisoned").clear();
+    }
+}
+
+/// What [`eval_group`] threads down to the materialized route: the
+/// session's cache, the group's key, and the snapshot's write epoch.
+type FixCtx<'a> = Option<(&'a FixCache, FixKey, u64)>;
 
 struct SessionState {
     program: Option<String>,
@@ -80,6 +290,7 @@ impl Session {
                 engine: None,
                 snapshot: None,
             }),
+            fix_cache: FixCache::default(),
         }
     }
 
@@ -116,6 +327,9 @@ impl Session {
         st.program = Some(text.to_owned());
         st.engine = None;
         st.snapshot = None;
+        // A fresh engine restarts its epoch clock — cached fixpoints from
+        // the old one must not survive into the new numbering.
+        self.fix_cache.clear();
         Ok(rules)
     }
 
@@ -144,6 +358,9 @@ impl Session {
         st.facts = all;
         st.engine = Some(engine);
         st.snapshot = Some(Arc::new(snapshot));
+        // Bulk loads re-ground from scratch: cached fixpoints belong to
+        // the replaced engine's epoch clock.
+        self.fix_cache.clear();
         Ok(added)
     }
 
@@ -195,6 +412,25 @@ impl Session {
         .map_err(|e| engine_err(&e))?;
         let changed = outcome.facts.len();
         if changed > 0 {
+            // Repair the cached per-(semiring, valuation) fixpoints in
+            // place when the write maintained the grounding; drop them
+            // when the engine had to fall back to re-grounding.
+            if outcome.maintained && outcome.incremental {
+                let budget = engine.budget().map_err(|e| engine_err(&e))?;
+                let gp = engine.grounding().map_err(|e| engine_err(&e))?;
+                self.fix_cache.repair(
+                    gp,
+                    insert,
+                    outcome.base_rules,
+                    &outcome.roots,
+                    outcome.epoch.saturating_sub(1),
+                    outcome.epoch,
+                    budget,
+                    &self.metrics,
+                );
+            } else {
+                self.fix_cache.clear();
+            }
             // Freeze and swap; in-flight readers finish on the old Arc.
             let snap = engine.snapshot().map_err(|e| engine_err(&e))?;
             st.snapshot = Some(Arc::new(snap));
@@ -261,10 +497,17 @@ impl Session {
         self.metrics.counter(Counter::QueriesServed, 1);
         telemetry::time(&*self.metrics, Stage::Serve, || {
             let goals = [(0usize, spec)];
-            eval_group(&snap, spec.semiring, &spec.valuation, spec.pipeline, &goals)
-                .pop()
-                .expect("one goal in, one result out")
-                .1
+            eval_group(
+                &snap,
+                spec.semiring,
+                &spec.valuation,
+                spec.pipeline,
+                &goals,
+                Some(&self.fix_cache),
+            )
+            .pop()
+            .expect("one goal in, one result out")
+            .1
         })
     }
 
@@ -306,7 +549,9 @@ impl Session {
             }
             let mut out: Vec<Option<Result<String, WireError>>> = vec![None; specs.len()];
             for (sem, val, pipeline, goals) in groups {
-                for (i, res) in eval_group(&snap, sem, &val, pipeline, &goals) {
+                for (i, res) in
+                    eval_group(&snap, sem, &val, pipeline, &goals, Some(&self.fix_cache))
+                {
                     out[i] = Some(res);
                 }
             }
@@ -320,28 +565,35 @@ impl Session {
 /// Evaluate one `(semiring, valuation, pipeline)` group against a
 /// snapshot: pick the typed semiring/valuation pair, then hand the goals
 /// to [`run_group`], which routes them down the requested pipeline.
-/// Returns `(original index, per-goal result)` pairs.
+/// `cache` is the session's repairable fixpoint cache (`None` in
+/// contexts without one); groups with a cacheable valuation shape reuse
+/// and populate it on the materialized route. Returns `(original index,
+/// per-goal result)` pairs.
 fn eval_group(
     snap: &EngineSnapshot,
     sem: WireSemiring,
     val: &WireValuation,
     pipeline: Pipeline,
     goals: &[(usize, &QuerySpec)],
+    cache: Option<&FixCache>,
 ) -> Vec<(usize, Result<String, WireError>)> {
+    let fix: FixCtx = cache
+        .zip(fix_key(sem, val))
+        .map(|(c, k)| (c, k, snap.epoch()));
     match sem {
         WireSemiring::Bool => {
             // QuerySpec::parse rejects bool + unit, so `val` is Ones here.
-            run_group::<Bool, _>(snap, pipeline, &AllOnes, goals, |b| b.0.to_string())
+            run_group::<Bool, _>(snap, pipeline, &AllOnes, goals, |b| b.0.to_string(), fix)
         }
         WireSemiring::Tropical => match val {
             WireValuation::PerFact(ws) => match per_fact_u64(snap, ws, Tropical::new) {
                 Err(e) => fail_all(goals, e),
-                Ok(v) => run_group(snap, pipeline, &v, goals, render_tropical),
+                Ok(v) => run_group(snap, pipeline, &v, goals, render_tropical, fix),
             },
             _ => match unit_u64(val) {
                 Err(e) => fail_all(goals, e),
                 Ok(None) => {
-                    run_group::<Tropical, _>(snap, pipeline, &AllOnes, goals, render_tropical)
+                    run_group::<Tropical, _>(snap, pipeline, &AllOnes, goals, render_tropical, fix)
                 }
                 Ok(Some(w)) => run_group(
                     snap,
@@ -349,51 +601,69 @@ fn eval_group(
                     &UnitWeights::new(Tropical::new(w)),
                     goals,
                     render_tropical,
+                    fix,
                 ),
             },
         },
         WireSemiring::Counting => match val {
             WireValuation::PerFact(ws) => match per_fact_u64(snap, ws, Counting::new) {
                 Err(e) => fail_all(goals, e),
-                Ok(v) => run_group(snap, pipeline, &v, goals, |c| c.0.to_string()),
+                Ok(v) => run_group(snap, pipeline, &v, goals, |c| c.0.to_string(), fix),
             },
             _ => match unit_u64(val) {
                 Err(e) => fail_all(goals, e),
-                Ok(None) => {
-                    run_group::<Counting, _>(snap, pipeline, &AllOnes, goals, |c| c.0.to_string())
-                }
+                Ok(None) => run_group::<Counting, _>(
+                    snap,
+                    pipeline,
+                    &AllOnes,
+                    goals,
+                    |c| c.0.to_string(),
+                    fix,
+                ),
                 Ok(Some(w)) => run_group(
                     snap,
                     pipeline,
                     &UnitWeights::new(Counting::new(w)),
                     goals,
                     |c| c.0.to_string(),
+                    fix,
                 ),
             },
         },
         WireSemiring::Bottleneck => match val {
             WireValuation::PerFact(ws) => match per_fact_u64(snap, ws, Bottleneck::new) {
                 Err(e) => fail_all(goals, e),
-                Ok(v) => run_group(snap, pipeline, &v, goals, |b| b.0.to_string()),
+                Ok(v) => run_group(snap, pipeline, &v, goals, |b| b.0.to_string(), fix),
             },
             _ => match unit_u64(val) {
                 Err(e) => fail_all(goals, e),
-                Ok(None) => {
-                    run_group::<Bottleneck, _>(snap, pipeline, &AllOnes, goals, |b| b.0.to_string())
-                }
+                Ok(None) => run_group::<Bottleneck, _>(
+                    snap,
+                    pipeline,
+                    &AllOnes,
+                    goals,
+                    |b| b.0.to_string(),
+                    fix,
+                ),
                 Ok(Some(w)) => run_group(
                     snap,
                     pipeline,
                     &UnitWeights::new(Bottleneck::new(w)),
                     goals,
                     |b| b.0.to_string(),
+                    fix,
                 ),
             },
         },
         WireSemiring::Fuzzy => match val {
-            WireValuation::Ones => {
-                run_group::<Fuzzy, _>(snap, pipeline, &AllOnes, goals, |f| f.value().to_string())
-            }
+            WireValuation::Ones => run_group::<Fuzzy, _>(
+                snap,
+                pipeline,
+                &AllOnes,
+                goals,
+                |f| f.value().to_string(),
+                fix,
+            ),
             WireValuation::Unit(w) => {
                 if !(0.0..=1.0).contains(w) {
                     return fail_all(
@@ -407,6 +677,7 @@ fn eval_group(
                     &UnitWeights::new(Fuzzy::new(*w)),
                     goals,
                     |f| f.value().to_string(),
+                    fix,
                 )
             }
             WireValuation::PerFact(ws) => {
@@ -421,7 +692,7 @@ fn eval_group(
                 });
                 match v {
                     Err(e) => fail_all(goals, e),
-                    Ok(v) => run_group(snap, pipeline, &v, goals, |f| f.value().to_string()),
+                    Ok(v) => run_group(snap, pipeline, &v, goals, |f| f.value().to_string(), fix),
                 }
             }
         },
@@ -528,15 +799,18 @@ fn run_group<S, V>(
     valuation: &V,
     goals: &[(usize, &QuerySpec)],
     render: impl Fn(&S) -> String,
+    fix: FixCtx,
 ) -> Vec<(usize, Result<String, WireError>)>
 where
     S: Semiring,
-    V: Valuation<S> + Sync,
+    V: Valuation<S> + Sync + Send + Clone + 'static,
 {
     match pipeline {
-        Pipeline::Materialized => run_group_materialized(snap, valuation, goals, &render),
+        // The fused route never materializes a grounded fixpoint vector,
+        // so it has nothing to put in (or take from) the cache.
+        Pipeline::Materialized => run_group_materialized(snap, valuation, goals, &render, fix),
         Pipeline::Fused => run_group_fused(snap, valuation, goals, &render),
-        Pipeline::Magic => run_group_magic(snap, valuation, goals, &render),
+        Pipeline::Magic => run_group_magic(snap, valuation, goals, &render, fix),
     }
 }
 
@@ -625,10 +899,11 @@ fn run_group_magic<S, V>(
     valuation: &V,
     goals: &[(usize, &QuerySpec)],
     render: impl Fn(&S) -> String,
+    fix: FixCtx,
 ) -> Vec<(usize, Result<String, WireError>)>
 where
     S: Semiring,
-    V: Valuation<S> + Sync,
+    V: Valuation<S> + Sync + Send + Clone + 'static,
 {
     let mut results = Vec::with_capacity(goals.len());
     let mut fallback: Vec<(usize, &QuerySpec)> = Vec::new();
@@ -641,7 +916,9 @@ where
         }
     }
     if !fallback.is_empty() {
-        results.extend(run_group_materialized(snap, valuation, &fallback, &render));
+        results.extend(run_group_materialized(
+            snap, valuation, &fallback, &render, fix,
+        ));
     }
     results
 }
@@ -650,15 +927,19 @@ where
 /// frozen grounding, run one shared fixpoint iff some goal is derivable,
 /// and render each value. Underivable goals render `0` without forcing an
 /// evaluation; a diverging fixpoint fails only the goals that needed it.
+/// With a [`FixCtx`], a cached fixpoint at the snapshot's epoch answers
+/// the group without evaluating, and a freshly converged fixpoint is
+/// stored for the next read.
 fn run_group_materialized<S, V>(
     snap: &EngineSnapshot,
     valuation: &V,
     goals: &[(usize, &QuerySpec)],
     render: impl Fn(&S) -> String,
+    fix: FixCtx,
 ) -> Vec<(usize, Result<String, WireError>)>
 where
     S: Semiring,
-    V: Valuation<S> + Sync,
+    V: Valuation<S> + Sync + Send + Clone + 'static,
 {
     let resolved: Vec<(usize, Result<Option<usize>, WireError>)> = goals
         .iter()
@@ -672,22 +953,31 @@ where
         .collect();
     let needs_eval = resolved.iter().any(|(_, r)| matches!(r, Ok(Some(_))));
     let values = if needs_eval {
-        let out = snap.fixpoint::<S, V>(valuation);
-        if !out.converged {
-            let e = WireError::new(
-                ErrCode::Eval,
-                format!("fixpoint diverged within budget {}", snap.budget()),
-            );
-            return resolved
-                .into_iter()
-                .map(|(i, r)| match r {
-                    Err(orig) => (i, Err(orig)),
-                    Ok(None) => (i, Ok(render(&S::zero()))),
-                    Ok(Some(_)) => (i, Err(e.clone())),
-                })
-                .collect();
+        let cached = fix.and_then(|(cache, key, epoch)| cache.lookup::<S, V>(key, epoch));
+        match cached {
+            Some(values) => Some(values),
+            None => {
+                let out = snap.fixpoint::<S, V>(valuation);
+                if !out.converged {
+                    let e = WireError::new(
+                        ErrCode::Eval,
+                        format!("fixpoint diverged within budget {}", snap.budget()),
+                    );
+                    return resolved
+                        .into_iter()
+                        .map(|(i, r)| match r {
+                            Err(orig) => (i, Err(orig)),
+                            Ok(None) => (i, Ok(render(&S::zero()))),
+                            Ok(Some(_)) => (i, Err(e.clone())),
+                        })
+                        .collect();
+                }
+                if let Some((cache, key, epoch)) = fix {
+                    cache.store(key, epoch, out.values.clone(), valuation.clone());
+                }
+                Some(out.values)
+            }
         }
-        Some(out.values)
     } else {
         None
     };
@@ -714,6 +1004,10 @@ pub struct Registry {
     next_id: AtomicU64,
     eval_threads: usize,
     sessions: Mutex<HashMap<u64, Arc<Session>>>,
+    /// Connections the accept loop rejected with `ERR BUSY` because the
+    /// pending queue was full — server-wide, surfaced into every
+    /// session's `METRICS` report as `overload_rejections`.
+    overloads: AtomicU64,
 }
 
 impl Registry {
@@ -725,7 +1019,18 @@ impl Registry {
             next_id: AtomicU64::new(1),
             eval_threads: eval_threads.max(1),
             sessions: Mutex::new(HashMap::new()),
+            overloads: AtomicU64::new(0),
         }
+    }
+
+    /// Record one `ERR BUSY` admission reject (called by the accept loop).
+    pub fn note_overload_rejection(&self) {
+        self.overloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections rejected with `ERR BUSY` since the server started.
+    pub fn overload_rejections(&self) -> u64 {
+        self.overloads.load(Ordering::Relaxed)
     }
 
     /// Open a fresh session.
@@ -1016,9 +1321,13 @@ mod tests {
                 .cache_count(telemetry::CacheEvent::Grounding),
             1
         );
+        // Three incremental applications: the insert and retract each
+        // maintained the engine's grounding in place, and the retract
+        // additionally repaired the bool fixpoint cached by the first
+        // query (the insert preceded any cached read).
         assert_eq!(
             session.metrics().counter_value(Counter::IncrementalApplied),
-            2
+            3
         );
         assert_eq!(
             session
@@ -1032,6 +1341,89 @@ mod tests {
             .retract("E", &["v1".to_owned(), "v2".to_owned()])
             .unwrap_err();
         assert_eq!(err.code, ErrCode::Query);
+    }
+
+    #[test]
+    fn cached_fixpoints_are_repaired_not_invalidated() {
+        let reg = Registry::new(1);
+        let session = reg.open();
+        session.load_program(TC).unwrap();
+        // Path v0 -> v1 -> v2 -> v3.
+        session.load_facts(path_facts(3)).unwrap();
+
+        // Prime the cache: one tropical and one counting fixpoint.
+        assert_eq!(
+            session
+                .query(&spec("T v0 v3 SEMIRING tropical VALUATION unit:1"))
+                .unwrap(),
+            "3"
+        );
+        assert_eq!(
+            session.query(&spec("T v0 v3 SEMIRING counting")).unwrap(),
+            "1"
+        );
+        let evals_after_priming = session.metrics().stage_calls(telemetry::Stage::Eval);
+
+        // Insert a shortcut edge: the write repairs both cached
+        // fixpoints in place. Tropical (⊕ = min, idempotent) takes the
+        // incremental worklist path; counting (⊕ = +) the exact naive
+        // fallback — either way the entry survives and keeps serving.
+        session
+            .insert("E", &["v0".to_owned(), "v2".to_owned()])
+            .unwrap();
+        assert_eq!(
+            session
+                .query(&spec("T v0 v3 SEMIRING tropical VALUATION unit:1"))
+                .unwrap(),
+            "2"
+        );
+        assert_eq!(
+            session.query(&spec("T v0 v3 SEMIRING counting")).unwrap(),
+            "2"
+        );
+
+        // Retract the bypassed first edge: exact incremental repair on
+        // both entries.
+        session
+            .retract("E", &["v0".to_owned(), "v1".to_owned()])
+            .unwrap();
+        assert_eq!(
+            session
+                .query(&spec("T v0 v3 SEMIRING tropical VALUATION unit:1"))
+                .unwrap(),
+            "2"
+        );
+        assert_eq!(
+            session.query(&spec("T v0 v3 SEMIRING counting")).unwrap(),
+            "1"
+        );
+
+        // Every post-write read was answered from a repaired entry: no
+        // further full fixpoint ran, and the grounding was maintained in
+        // place rather than recomputed.
+        assert_eq!(
+            session.metrics().stage_calls(telemetry::Stage::Eval),
+            evals_after_priming
+        );
+        assert_eq!(
+            session
+                .metrics()
+                .cache_count(telemetry::CacheEvent::Grounding),
+            1
+        );
+        // Insert: engine grounding + tropical repair (counting's naive
+        // fallback is exact but not incremental). Retract: engine
+        // grounding + both repairs.
+        assert_eq!(
+            session.metrics().counter_value(Counter::IncrementalApplied),
+            5
+        );
+        assert_eq!(
+            session
+                .metrics()
+                .counter_value(Counter::IncrementalFallbacks),
+            1
+        );
     }
 
     #[test]

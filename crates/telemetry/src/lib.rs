@@ -75,11 +75,14 @@ pub enum Stage {
     /// grounding discovers them, never materializing a rule vector
     /// (`datalog::fused`).
     FusedEval,
+    /// Bottom-up circuit evaluation (`circuit::arena`): level-synchronous
+    /// parallel gate evaluation over the topological layers.
+    CircuitEval,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 12] = [
         Stage::Parse,
         Stage::GroundPhase1,
         Stage::GroundPhase2,
@@ -91,6 +94,7 @@ impl Stage {
         Stage::DeltaGround,
         Stage::Maintain,
         Stage::FusedEval,
+        Stage::CircuitEval,
     ];
 
     /// Stable machine-readable name (used as the JSON key).
@@ -107,6 +111,7 @@ impl Stage {
             Stage::DeltaGround => "delta_ground",
             Stage::Maintain => "maintain",
             Stage::FusedEval => "fused_eval",
+            Stage::CircuitEval => "circuit_eval",
         }
     }
 
@@ -123,6 +128,7 @@ impl Stage {
             Stage::DeltaGround => 8,
             Stage::Maintain => 9,
             Stage::FusedEval => 10,
+            Stage::CircuitEval => 11,
         }
     }
 }
@@ -141,8 +147,11 @@ pub enum Counter {
     Contributions,
     /// Nanoseconds spent ⊕-merging shard outputs at grounding barriers.
     GroundMergeNanos,
-    /// Nanoseconds spent ⊕-merging shard accumulators at eval barriers.
-    EvalMergeNanos,
+    /// Nanoseconds the main thread spent scattering owner-drained
+    /// accumulator slices back into the value vector at eval round
+    /// boundaries (the owner-sharded design's residual sequential work —
+    /// moves, not ⊕-merges).
+    EvalDrainNanos,
     /// Serving-layer sessions opened (`SESSION OPEN`).
     SessionsOpened,
     /// Serving-layer sessions closed (`SESSION CLOSE`).
@@ -174,17 +183,20 @@ pub enum Counter {
     FusedRefires,
     /// Magic-set rewrites performed for demand-driven point queries.
     MagicRewrites,
+    /// Connections rejected by the serving layer's bounded pending queue
+    /// (`ERR BUSY` single-frame rejects under overload).
+    OverloadRejections,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 18] = [
         Counter::IndexProbes,
         Counter::RuleFirings,
         Counter::FactsDiscovered,
         Counter::Contributions,
         Counter::GroundMergeNanos,
-        Counter::EvalMergeNanos,
+        Counter::EvalDrainNanos,
         Counter::SessionsOpened,
         Counter::SessionsClosed,
         Counter::QueriesServed,
@@ -196,6 +208,7 @@ impl Counter {
         Counter::StreamedRules,
         Counter::FusedRefires,
         Counter::MagicRewrites,
+        Counter::OverloadRejections,
     ];
 
     /// Stable machine-readable name (used as the JSON key).
@@ -206,7 +219,7 @@ impl Counter {
             Counter::FactsDiscovered => "facts_discovered",
             Counter::Contributions => "contributions",
             Counter::GroundMergeNanos => "ground_merge_nanos",
-            Counter::EvalMergeNanos => "eval_merge_nanos",
+            Counter::EvalDrainNanos => "eval_drain_nanos",
             Counter::SessionsOpened => "sessions_opened",
             Counter::SessionsClosed => "sessions_closed",
             Counter::QueriesServed => "queries_served",
@@ -218,6 +231,7 @@ impl Counter {
             Counter::StreamedRules => "streamed_rules",
             Counter::FusedRefires => "fused_refires",
             Counter::MagicRewrites => "magic_rewrites",
+            Counter::OverloadRejections => "overload_rejections",
         }
     }
 
@@ -228,7 +242,7 @@ impl Counter {
             Counter::FactsDiscovered => 2,
             Counter::Contributions => 3,
             Counter::GroundMergeNanos => 4,
-            Counter::EvalMergeNanos => 5,
+            Counter::EvalDrainNanos => 5,
             Counter::SessionsOpened => 6,
             Counter::SessionsClosed => 7,
             Counter::QueriesServed => 8,
@@ -240,6 +254,7 @@ impl Counter {
             Counter::StreamedRules => 14,
             Counter::FusedRefires => 15,
             Counter::MagicRewrites => 16,
+            Counter::OverloadRejections => 17,
         }
     }
 }
@@ -308,6 +323,12 @@ pub struct ShardStats {
     /// Items the worker produced (facts, grounded rules, or `(head,
     /// contribution)` pairs, depending on the stage).
     pub produced: u64,
+    /// Tasks this worker stole from another worker's chunk range (0 when
+    /// every executed task came from its own range).
+    pub steals: u64,
+    /// `(head, contribution)` pairs this worker routed through per-owner
+    /// mailboxes (0 for stages without owner-sharded accumulation).
+    pub mailbox: u64,
 }
 
 /// The sink the pipeline reports into.
@@ -380,6 +401,10 @@ pub struct ShardAgg {
     pub tasks: u64,
     /// Total items produced.
     pub produced: u64,
+    /// Total tasks stolen from other workers' chunk ranges.
+    pub steals: u64,
+    /// Total mailbox contributions routed to owners.
+    pub mailbox: u64,
 }
 
 /// The concrete session collector: a [`Recorder`] whose cache events are
@@ -517,6 +542,8 @@ impl Recorder for PipelineMetrics {
         agg.busy_nanos += stats.busy_nanos;
         agg.tasks += stats.tasks;
         agg.produced += stats.produced;
+        agg.steals += stats.steals;
+        agg.mailbox += stats.mailbox;
     }
 
     fn counter(&self, counter: Counter, delta: u64) {
@@ -662,12 +689,15 @@ impl MetricsReport {
             .map(|((s, w), a)| {
                 format!(
                     "    {{\"stage\": \"{}\", \"worker\": {w}, \"calls\": {}, \
-                     \"busy_ms\": {:.6}, \"tasks\": {}, \"produced\": {}}}",
+                     \"busy_ms\": {:.6}, \"tasks\": {}, \"produced\": {}, \
+                     \"steals\": {}, \"mailbox\": {}}}",
                     s.name(),
                     a.calls,
                     ms(a.busy_nanos),
                     a.tasks,
-                    a.produced
+                    a.produced,
+                    a.steals,
+                    a.mailbox
                 )
             })
             .collect();
@@ -758,18 +788,20 @@ impl fmt::Display for MetricsReport {
         if !self.shards.is_empty() {
             writeln!(
                 f,
-                "shards:        {:<14} {:>6} {:>6} {:>12} {:>10}",
-                "stage", "worker", "calls", "busy_ms", "produced"
+                "shards:        {:<14} {:>6} {:>6} {:>12} {:>10} {:>7} {:>9}",
+                "stage", "worker", "calls", "busy_ms", "produced", "steals", "mailbox"
             )?;
             for ((s, w), a) in &self.shards {
                 writeln!(
                     f,
-                    "               {:<14} {:>6} {:>6} {:>12.3} {:>10}",
+                    "               {:<14} {:>6} {:>6} {:>12.3} {:>10} {:>7} {:>9}",
                     s.name(),
                     w,
                     a.calls,
                     ms(a.busy_nanos),
-                    a.produced
+                    a.produced,
+                    a.steals,
+                    a.mailbox
                 )?;
             }
         }
@@ -852,6 +884,8 @@ mod tests {
                 busy_nanos: 500,
                 tasks: 2,
                 produced: 7,
+                steals: 1,
+                mailbox: 4,
             },
         );
         on.shard(
@@ -861,6 +895,8 @@ mod tests {
                 busy_nanos: 300,
                 tasks: 1,
                 produced: 3,
+                steals: 0,
+                mailbox: 2,
             },
         );
         let r = on.report();
@@ -870,6 +906,8 @@ mod tests {
         assert_eq!(agg.calls, 2);
         assert_eq!(agg.busy_nanos, 800);
         assert_eq!(agg.produced, 10);
+        assert_eq!(agg.steals, 1);
+        assert_eq!(agg.mailbox, 6);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!              [--metrics] [--metrics-json <path>]
 //! dlc bounded  <program.dl>
 //! dlc serve    [--addr <host:port>] [--workers N] [--eval-threads N]
-//!              [--timeout-secs S] [--session-ttl <secs>]
+//!              [--timeout-secs S] [--session-ttl <secs>] [--pending-limit N]
 //! dlc client   <host:port> [--script <file>] [--metrics-json <path>]
 //! ```
 //!
@@ -50,7 +50,7 @@ fn main() -> ExitCode {
             );
             eprintln!(
                 "  dlc serve    [--addr <host:port>] [--workers N] [--eval-threads N] \
-                 [--timeout-secs S] [--session-ttl <secs>]"
+                 [--timeout-secs S] [--session-ttl <secs>] [--pending-limit N]"
             );
             eprintln!("  dlc client   <host:port> [--script <file>] [--metrics-json <path>]");
             ExitCode::FAILURE
@@ -314,40 +314,43 @@ fn compile_cmd(args: &[String]) -> Result<(), Error> {
         compiled.stats.formula_size
     );
     // The i-th graph edge carries weights[i] (default 1); non-edge facts
-    // (there are none in a graph session) fall back to `1`.
+    // (there are none in a graph session) fall back to `1`. Evaluation
+    // goes through `Query::circuit_eval`, which reuses the cached
+    // compilation and runs the level-synchronous parallel arena pass at
+    // the session's `parallelism` (sequential at 1 — bit-identical
+    // either way), timed under the `circuit_eval` telemetry stage.
     let weight = |i: usize| weights.get(i).copied().unwrap_or(1);
     match semiring.as_str() {
         "boolean" => println!(
             "value (boolean): {}",
-            compiled.circuit.eval::<Bool, _>(&AllOnes)
+            query.circuit_eval::<Bool, _>(strategy, &AllOnes)?
         ),
         "tropical" => println!(
             "value (tropical): {}",
-            compiled
-                .circuit
-                .eval(&FromEdgeWeights::from_fn(engine.edge_facts(), |i| {
-                    Tropical::new(weight(i))
-                }))
+            query.circuit_eval(
+                strategy,
+                &FromEdgeWeights::from_fn(engine.edge_facts(), |i| Tropical::new(weight(i)))
+            )?
         ),
         "fuzzy" => println!(
             "value (fuzzy): {}",
-            compiled
-                .circuit
-                .eval(&FromEdgeWeights::from_fn(engine.edge_facts(), |i| {
+            query.circuit_eval(
+                strategy,
+                &FromEdgeWeights::from_fn(engine.edge_facts(), |i| {
                     Fuzzy::new(1.0 / (1.0 + weight(i) as f64))
-                }))
+                })
+            )?
         ),
         "bottleneck" => println!(
             "value (bottleneck): {}",
-            compiled
-                .circuit
-                .eval(&FromEdgeWeights::from_fn(engine.edge_facts(), |i| {
-                    Bottleneck::new(weight(i))
-                }))
+            query.circuit_eval(
+                strategy,
+                &FromEdgeWeights::from_fn(engine.edge_facts(), |i| Bottleneck::new(weight(i)))
+            )?
         ),
         "counting" => println!(
             "value (counting): {}",
-            compiled.circuit.eval::<Counting, _>(&AllOnes)
+            query.circuit_eval::<Counting, _>(strategy, &AllOnes)?
         ),
         other => return Err(cli_err(format!("unknown semiring '{other}'"))),
     }
@@ -403,6 +406,14 @@ fn serve_cmd(args: &[String]) -> Result<(), Error> {
                     .parse()
                     .map_err(|_| cli_err("--session-ttl needs a number"))?;
                 config = config.session_ttl((s > 0).then(|| std::time::Duration::from_secs(s)));
+            }
+            "--pending-limit" => {
+                let n: usize = it
+                    .next()
+                    .ok_or_else(|| cli_err("--pending-limit needs a count"))?
+                    .parse()
+                    .map_err(|_| cli_err("--pending-limit needs a number"))?;
+                config = config.pending_limit(n);
             }
             other => return Err(cli_err(format!("unknown flag '{other}'"))),
         }

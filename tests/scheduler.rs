@@ -1,0 +1,177 @@
+//! Scheduler-focused property tests for the owner-sharded parallel core.
+//!
+//! Three angles the broad agreement suite does not stress:
+//!
+//! 1. **Adversarial skew** — a hub vertex owning ~90% of the edges makes
+//!    one frontier shard vastly heavier than the rest, so these cases
+//!    pass only if work stealing preserves the deterministic
+//!    chunk-order reassembly (a thief that mangled task attribution
+//!    would reorder ⊕-folds and change Sorp polynomials).
+//! 2. **Mailbox drain order** — per-owner contributions must drain in
+//!    the same (round, producer) order at every thread count; Counting
+//!    (⊕ = +, non-idempotent) makes every duplicate or reordered
+//!    deposit visible, Sorp makes reordered folds visible.
+//! 3. **Parallel circuit-arena evaluation** — the level-synchronous
+//!    schedule over provenance circuits must be bit-identical to the
+//!    sequential bottom-up pass.
+
+use datalog_circuits::circuit;
+use datalog_circuits::datalog::{self, programs, Database};
+use datalog_circuits::graphgen::LabeledDigraph;
+use datalog_circuits::semiring::prelude::*;
+use proptest::{any, prop_assert_eq, proptest, ProptestConfig};
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deliberately skewed instance: one hub vertex is an endpoint of 90%
+/// of the edges, so its frontier shard dwarfs every other worker's share
+/// and rounds serialize unless the idle workers steal from it.
+fn hub_graph(n: usize, m: usize, seed: u64) -> LabeledDigraph {
+    let mut g = LabeledDigraph::new(n);
+    let mut rng = seed;
+    let hub = (splitmix(&mut rng) % n as u64) as u32;
+    for i in 0..m {
+        let other = (splitmix(&mut rng) % n as u64) as u32;
+        if i % 10 == 9 {
+            // The 10% of edges that avoid the hub keep the instance
+            // connected beyond the star.
+            let u = (splitmix(&mut rng) % n as u64) as u32;
+            g.add_edge(u, other, "E");
+        } else if i % 2 == 0 {
+            g.add_edge(hub, other, "E");
+        } else {
+            g.add_edge(other, hub, "E");
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Par ≡ seq under adversarial hub skew, for grounding (both
+    /// phases), semi-naive eval, and the fused pipeline, at 2/4/8
+    /// threads. Sorp equality pins the exact ⊕-fold order, not just the
+    /// numeric answer.
+    #[test]
+    fn work_stealing_stays_deterministic_under_hub_skew(
+        n in 5usize..10,
+        m in 24usize..48,
+        seed in any::<u64>(),
+    ) {
+        let g = hub_graph(n, m, seed);
+        let mut p = programs::transitive_closure();
+        let (db, _) = Database::from_graph(&mut p, &g);
+        let gp = datalog::ground(&p, &db).unwrap();
+        let budget = datalog::default_budget(&gp);
+        let unit = UnitWeights::new(Tropical::new(1));
+        let seq_trop = datalog::semi_naive_eval::<Tropical, _>(&gp, &unit, budget);
+        let seq_sorp = datalog::semi_naive_eval::<Sorp, _>(&gp, &VarTags, budget);
+        let fus_seq = datalog::fused_eval::<Tropical, _>(&p, &db, &unit, Some(budget)).unwrap();
+        for threads in [2usize, 4, 8] {
+            let gp_par = datalog::par_ground(&p, &db, threads).unwrap();
+            prop_assert_eq!(&gp.idb_facts, &gp_par.idb_facts, "grounding facts, threads={}", threads);
+            prop_assert_eq!(&gp.rules, &gp_par.rules, "grounded rules, threads={}", threads);
+
+            let par_trop = datalog::par_semi_naive_eval::<Tropical, _>(&gp, &unit, budget, threads);
+            prop_assert_eq!(seq_trop.converged, par_trop.converged, "threads={}", threads);
+            prop_assert_eq!(&seq_trop.values, &par_trop.values, "tropical values, threads={}", threads);
+            let par_sorp = datalog::par_semi_naive_eval::<Sorp, _>(&gp, &VarTags, budget, threads);
+            prop_assert_eq!(&seq_sorp.values, &par_sorp.values, "sorp values, threads={}", threads);
+
+            let fus_par =
+                datalog::par_fused_eval::<Tropical, _>(&p, &db, &unit, Some(budget), threads)
+                    .unwrap();
+            prop_assert_eq!(
+                &fus_seq.gp.idb_facts, &fus_par.gp.idb_facts,
+                "fused discovery order, threads={}", threads
+            );
+            prop_assert_eq!(&fus_seq.values, &fus_par.values, "fused values, threads={}", threads);
+        }
+    }
+
+    /// One ICO application must deposit cross-owner contributions in an
+    /// order independent of the worker count: every thread count in
+    /// 2..=8 replays the sequential `add_assign` sequence exactly.
+    /// Counting (non-idempotent ⊕) catches dropped or duplicated
+    /// mailbox entries; Sorp catches reordered folds.
+    #[test]
+    fn mailbox_drain_order_is_stable_across_thread_counts(
+        n in 5usize..10,
+        m in 24usize..48,
+        seed in any::<u64>(),
+    ) {
+        let g = hub_graph(n, m, seed);
+        let mut p = programs::transitive_closure();
+        let (db, _) = Database::from_graph(&mut p, &g);
+        let gp = datalog::ground(&p, &db).unwrap();
+
+        let state = vec![Sorp::zero(); gp.num_idb_facts()];
+        let sorp_base = datalog::ico::<Sorp, _>(&gp, &VarTags, &state);
+        let cunit = UnitWeights::new(Counting::new(1));
+        let cstate = vec![Counting::zero(); gp.num_idb_facts()];
+        let count_base = datalog::ico::<Counting, _>(&gp, &cunit, &cstate);
+        // A mid-fixpoint state too: non-zero inputs make ⊗-products
+        // asymmetric, so a reordered drain cannot cancel out.
+        let warm: Vec<Counting> = (0..gp.num_idb_facts())
+            .map(|i| Counting::new(i as u64 % 3))
+            .collect();
+        let warm_base = datalog::ico::<Counting, _>(&gp, &cunit, &warm);
+        for threads in 2usize..=8 {
+            prop_assert_eq!(
+                &sorp_base,
+                &datalog::par_ico::<Sorp, _>(&gp, &VarTags, &state, threads),
+                "sorp ico, threads={}", threads
+            );
+            prop_assert_eq!(
+                &count_base,
+                &datalog::par_ico::<Counting, _>(&gp, &cunit, &cstate, threads),
+                "counting ico, threads={}", threads
+            );
+            prop_assert_eq!(
+                &warm_base,
+                &datalog::par_ico::<Counting, _>(&gp, &cunit, &warm, threads),
+                "warm counting ico, threads={}", threads
+            );
+        }
+    }
+
+    /// Level-synchronous parallel arena evaluation is bit-identical to
+    /// the sequential bottom-up pass on Sorp provenance circuits (and a
+    /// numeric semiring through the same layers).
+    #[test]
+    fn parallel_arena_eval_agrees_on_sorp_circuits(
+        n in 4usize..8,
+        m in 6usize..16,
+        seed in any::<u64>(),
+    ) {
+        let g = hub_graph(n, m, seed);
+        let mut p = programs::transitive_closure();
+        let (db, _) = Database::from_graph(&mut p, &g);
+        let gp = datalog::ground(&p, &db).unwrap();
+        let mo = circuit::grounded_circuit(&gp, None);
+        for fact in 0..gp.num_idb_facts().min(6) {
+            let c = mo.circuit_for(fact);
+            let seq: Sorp = c.eval(&VarTags);
+            for threads in [2usize, 4, 8] {
+                prop_assert_eq!(
+                    &seq,
+                    &c.eval_par::<Sorp, _>(&VarTags, threads),
+                    "fact={} threads={}", fact, threads
+                );
+            }
+            let assign = from_fn(|v: u32| Tropical::new(v as u64 % 7 + 1));
+            prop_assert_eq!(
+                c.eval::<Tropical, _>(&assign),
+                c.eval_par(&assign, 4),
+                "tropical fact={}", fact
+            );
+        }
+    }
+}
